@@ -1,0 +1,59 @@
+//! Criterion micro-benchmarks of the performance-critical kernels.
+
+use ags_codec::{CodecConfig, LumaPlane, MotionEstimator};
+use ags_math::{Se3, Vec3};
+use ags_scene::PinholeCamera;
+use ags_sim::{GpeArrayConfig, GpeArraySim};
+use ags_splat::render::{render, RenderOptions};
+use ags_splat::{Gaussian, GaussianCloud};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_render(c: &mut Criterion) {
+    let mut cloud = GaussianCloud::new();
+    let mut rng = ags_math::Pcg32::seeded(1);
+    for _ in 0..2000 {
+        cloud.push(Gaussian::isotropic(
+            Vec3::new(rng.range_f32(-2.0, 2.0), rng.range_f32(-1.5, 1.5), rng.range_f32(1.0, 5.0)),
+            rng.range_f32(0.02, 0.1),
+            Vec3::new(rng.next_f32(), rng.next_f32(), rng.next_f32()),
+            rng.range_f32(0.3, 0.9),
+        ));
+    }
+    let camera = PinholeCamera::from_fov(128, 96, 1.3);
+    c.bench_function("render_2k_gaussians_128x96", |b| {
+        b.iter(|| {
+            black_box(render(
+                black_box(&cloud),
+                &camera,
+                &Se3::IDENTITY,
+                &RenderOptions::default(),
+            ))
+        })
+    });
+}
+
+fn bench_motion_estimation(c: &mut Criterion) {
+    let a = LumaPlane::from_fn(128, 96, |x, y| ((x * 13 + y * 7) % 251) as u8);
+    let b_plane = LumaPlane::from_fn(128, 96, |x, y| (((x + 2) * 13 + y * 7) % 251) as u8);
+    let est = MotionEstimator::new(CodecConfig::default());
+    c.bench_function("diamond_me_128x96", |bch| {
+        bch.iter(|| black_box(est.estimate(black_box(&b_plane), black_box(&a))))
+    });
+}
+
+fn bench_gpe_sim(c: &mut Criterion) {
+    let sim = GpeArraySim::new(GpeArrayConfig::default());
+    let evals: Vec<u16> = (0..256).map(|i| 10 + (i % 37) as u16).collect();
+    let blends: Vec<u16> = evals.iter().map(|&e| e / 2).collect();
+    c.bench_function("gpe_tile_cycles_256px", |b| {
+        b.iter(|| black_box(sim.tile_cycles(black_box(&evals), black_box(&blends))))
+    });
+}
+
+criterion_group! {
+    name = kernels;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_render, bench_motion_estimation, bench_gpe_sim
+}
+criterion_main!(kernels);

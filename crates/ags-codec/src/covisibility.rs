@@ -1,0 +1,140 @@
+//! The frame covisibility metric and its quantisations.
+
+/// Normalised frame covisibility in `[0, 1]`.
+///
+/// `1.0` means the frames are (photometrically) identical after per-MB motion
+/// compensation; `0.0` means no macro-block found any similar content. The
+/// paper's thresholds are expressed on this scale: `ThreshT = 0.90` for
+/// tracking, `ThreshM = 0.50` for key-frame designation.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct Covisibility(f32);
+
+impl Covisibility {
+    /// Wraps a raw value, clamping into `[0, 1]`.
+    pub fn new(v: f32) -> Self {
+        Self(v.clamp(0.0, 1.0))
+    }
+
+    /// Raw value in `[0, 1]`.
+    #[inline]
+    pub fn value(self) -> f32 {
+        self.0
+    }
+
+    /// Five-level quantisation used by the paper's Fig. 6 contribution
+    /// similarity study. Level 5 = highest covisibility.
+    pub fn level(self) -> CovisibilityLevel {
+        let l = if self.0 >= 0.93 {
+            5
+        } else if self.0 >= 0.85 {
+            4
+        } else if self.0 >= 0.75 {
+            3
+        } else if self.0 >= 0.60 {
+            2
+        } else {
+            1
+        };
+        CovisibilityLevel(l)
+    }
+
+    /// High/Medium/Low banding used by the paper's Fig. 22 FC distribution
+    /// study. "High" matches the tracking threshold `ThreshT = 0.9`.
+    pub fn band(self) -> CovisibilityBand {
+        if self.0 >= 0.90 {
+            CovisibilityBand::High
+        } else if self.0 >= 0.70 {
+            CovisibilityBand::Medium
+        } else {
+            CovisibilityBand::Low
+        }
+    }
+}
+
+impl std::fmt::Display for Covisibility {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.1}%", self.0 * 100.0)
+    }
+}
+
+/// A covisibility level from 1 (lowest) to 5 (highest).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CovisibilityLevel(pub u8);
+
+impl CovisibilityLevel {
+    /// All levels in ascending order.
+    pub const ALL: [CovisibilityLevel; 5] = [
+        CovisibilityLevel(1),
+        CovisibilityLevel(2),
+        CovisibilityLevel(3),
+        CovisibilityLevel(4),
+        CovisibilityLevel(5),
+    ];
+}
+
+impl std::fmt::Display for CovisibilityLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "level {}", self.0)
+    }
+}
+
+/// Coarse covisibility banding (paper Fig. 22).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CovisibilityBand {
+    /// FC ≥ 0.90 — coarse pose estimation alone suffices.
+    High,
+    /// 0.70 ≤ FC < 0.90.
+    Medium,
+    /// FC < 0.70 — significant movement.
+    Low,
+}
+
+impl std::fmt::Display for CovisibilityBand {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            CovisibilityBand::High => "High",
+            CovisibilityBand::Medium => "Medium",
+            CovisibilityBand::Low => "Low",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clamps_out_of_range() {
+        assert_eq!(Covisibility::new(1.5).value(), 1.0);
+        assert_eq!(Covisibility::new(-0.2).value(), 0.0);
+    }
+
+    #[test]
+    fn levels_are_monotone() {
+        let values = [0.1, 0.65, 0.8, 0.9, 0.99];
+        let levels: Vec<u8> = values.iter().map(|&v| Covisibility::new(v).level().0).collect();
+        assert_eq!(levels, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn band_thresholds() {
+        assert_eq!(Covisibility::new(0.95).band(), CovisibilityBand::High);
+        assert_eq!(Covisibility::new(0.90).band(), CovisibilityBand::High);
+        assert_eq!(Covisibility::new(0.89).band(), CovisibilityBand::Medium);
+        assert_eq!(Covisibility::new(0.70).band(), CovisibilityBand::Medium);
+        assert_eq!(Covisibility::new(0.5).band(), CovisibilityBand::Low);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", Covisibility::new(0.876)), "87.6%");
+        assert_eq!(format!("{}", CovisibilityLevel(3)), "level 3");
+        assert_eq!(format!("{}", CovisibilityBand::High), "High");
+    }
+
+    #[test]
+    fn ordering_follows_value() {
+        assert!(Covisibility::new(0.9) > Covisibility::new(0.5));
+    }
+}

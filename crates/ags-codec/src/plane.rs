@@ -1,0 +1,143 @@
+//! 8-bit luminance planes — the pixel format hardware ME consumes.
+
+use ags_image::RgbImage;
+
+/// An 8-bit single-channel image plane.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LumaPlane {
+    width: usize,
+    height: usize,
+    data: Vec<u8>,
+}
+
+impl LumaPlane {
+    /// Creates a plane filled with zeros.
+    pub fn new(width: usize, height: usize) -> Self {
+        Self { width, height, data: vec![0; width * height] }
+    }
+
+    /// Creates a plane from a generator function.
+    pub fn from_fn(width: usize, height: usize, mut f: impl FnMut(usize, usize) -> u8) -> Self {
+        let mut data = Vec::with_capacity(width * height);
+        for y in 0..height {
+            for x in 0..width {
+                data.push(f(x, y));
+            }
+        }
+        Self { width, height, data }
+    }
+
+    /// Converts an RGB frame to 8-bit luminance (Rec. 601), exactly the
+    /// conversion a camera ISP performs before handing frames to the CODEC.
+    pub fn from_rgb(rgb: &RgbImage) -> Self {
+        let gray = rgb.to_gray();
+        Self {
+            width: rgb.width(),
+            height: rgb.height(),
+            data: gray.pixels().iter().map(|&v| (v.clamp(0.0, 1.0) * 255.0 + 0.5) as u8).collect(),
+        }
+    }
+
+    /// Plane width.
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Plane height.
+    #[inline]
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Pixel accessor (unchecked in release builds).
+    #[inline]
+    pub fn at(&self, x: usize, y: usize) -> u8 {
+        debug_assert!(x < self.width && y < self.height);
+        self.data[y * self.width + x]
+    }
+
+    /// Raw pixel data, row-major.
+    #[inline]
+    pub fn data(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Sum of absolute differences between an MB-sized block of `self` at
+    /// `(x, y)` and a block of `reference` at `(rx, ry)`.
+    ///
+    /// Both blocks must lie fully inside their planes; the caller (the ME
+    /// search) guarantees this, mirroring hardware that clamps candidate
+    /// motion vectors to the picture boundary.
+    #[inline]
+    pub fn block_sad(
+        &self,
+        x: usize,
+        y: usize,
+        reference: &LumaPlane,
+        rx: usize,
+        ry: usize,
+        block: usize,
+    ) -> u32 {
+        debug_assert!(x + block <= self.width && y + block <= self.height);
+        debug_assert!(rx + block <= reference.width && ry + block <= reference.height);
+        let mut sad = 0u32;
+        for row in 0..block {
+            let a = &self.data[(y + row) * self.width + x..][..block];
+            let b = &reference.data[(ry + row) * reference.width + rx..][..block];
+            for (pa, pb) in a.iter().zip(b) {
+                sad += pa.abs_diff(*pb) as u32;
+            }
+        }
+        sad
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ags_math::Vec3;
+
+    #[test]
+    fn from_rgb_quantizes_luma() {
+        let rgb = RgbImage::filled(4, 4, Vec3::ONE);
+        let plane = LumaPlane::from_rgb(&rgb);
+        assert_eq!(plane.at(0, 0), 255);
+        let rgb = RgbImage::filled(4, 4, Vec3::ZERO);
+        assert_eq!(LumaPlane::from_rgb(&rgb).at(2, 2), 0);
+    }
+
+    #[test]
+    fn sad_of_identical_blocks_is_zero() {
+        let p = LumaPlane::from_fn(16, 16, |x, y| (x * 7 + y * 3) as u8);
+        assert_eq!(p.block_sad(4, 4, &p, 4, 4, 8), 0);
+    }
+
+    #[test]
+    fn sad_counts_absolute_differences() {
+        let a = LumaPlane::from_fn(8, 8, |_, _| 10);
+        let b = LumaPlane::from_fn(8, 8, |_, _| 13);
+        // 3 per pixel * 64 pixels
+        assert_eq!(a.block_sad(0, 0, &b, 0, 0, 8), 192);
+        // Symmetric.
+        assert_eq!(b.block_sad(0, 0, &a, 0, 0, 8), 192);
+    }
+
+    #[test]
+    fn sad_of_shifted_content_matches_at_offset() {
+        // Content moves 2 px right between reference and current.
+        let reference = LumaPlane::from_fn(32, 16, |x, _| (x * 8 % 256) as u8);
+        let current = LumaPlane::from_fn(32, 16, |x, _| (x.saturating_sub(2) * 8 % 256) as u8);
+        let aligned = current.block_sad(8, 4, &reference, 6, 4, 8);
+        let unaligned = current.block_sad(8, 4, &reference, 8, 4, 8);
+        assert_eq!(aligned, 0);
+        assert!(unaligned > 0);
+    }
+
+    #[test]
+    fn from_fn_layout() {
+        let p = LumaPlane::from_fn(3, 2, |x, y| (y * 3 + x) as u8);
+        assert_eq!(p.data(), &[0, 1, 2, 3, 4, 5]);
+        assert_eq!(p.at(2, 1), 5);
+    }
+}

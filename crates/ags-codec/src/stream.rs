@@ -1,0 +1,179 @@
+//! Streaming CODEC front end with reference-picture management.
+//!
+//! AGS needs two covisibility signals per incoming frame (paper §4):
+//!
+//! 1. FC against the **previous frame** — steers movement-adaptive tracking
+//!    (`ThreshT`).
+//! 2. FC against the **last mapping key frame** — steers key/non-key frame
+//!    designation (`ThreshM`).
+//!
+//! Hardware CODECs already keep reference pictures for inter prediction, so
+//! both estimates reuse the ME engine. [`VideoCodec`] models exactly that:
+//! push frames in streaming order, read back the per-frame report, and mark
+//! key frames so the key-frame reference is updated.
+
+use crate::covisibility::Covisibility;
+use crate::me::{CodecConfig, MotionEstimator, MotionResult};
+use crate::plane::LumaPlane;
+use ags_image::RgbImage;
+
+/// Covisibility report for one streamed frame.
+#[derive(Debug, Clone)]
+pub struct CodecFrameReport {
+    /// Frame index in stream order.
+    pub frame_index: usize,
+    /// FC against the previous frame (`None` for the first frame).
+    pub fc_prev: Option<Covisibility>,
+    /// FC against the last key frame (`None` before any key frame exists).
+    pub fc_keyframe: Option<Covisibility>,
+    /// Motion-estimation result against the previous frame, if computed.
+    pub me_prev: Option<MotionResult>,
+    /// Motion-estimation result against the key frame, if computed.
+    pub me_keyframe: Option<MotionResult>,
+    /// Total SAD block evaluations spent on this frame (cost-model input).
+    pub sad_evaluations: u64,
+}
+
+/// Streaming CODEC model holding the previous-frame and key-frame references.
+#[derive(Debug)]
+pub struct VideoCodec {
+    estimator: MotionEstimator,
+    config: CodecConfig,
+    previous: Option<LumaPlane>,
+    keyframe: Option<LumaPlane>,
+    frame_index: usize,
+    total_sad_evaluations: u64,
+}
+
+impl VideoCodec {
+    /// Creates a codec with the given ME configuration.
+    pub fn new(config: CodecConfig) -> Self {
+        Self {
+            estimator: MotionEstimator::new(config),
+            config,
+            previous: None,
+            keyframe: None,
+            frame_index: 0,
+            total_sad_evaluations: 0,
+        }
+    }
+
+    /// The ME configuration.
+    pub fn config(&self) -> &CodecConfig {
+        &self.config
+    }
+
+    /// Pushes the next RGB frame and returns its covisibility report.
+    pub fn push_rgb(&mut self, rgb: &RgbImage) -> CodecFrameReport {
+        self.push_plane(LumaPlane::from_rgb(rgb))
+    }
+
+    /// Pushes the next luminance plane and returns its covisibility report.
+    pub fn push_plane(&mut self, plane: LumaPlane) -> CodecFrameReport {
+        let mut report = CodecFrameReport {
+            frame_index: self.frame_index,
+            fc_prev: None,
+            fc_keyframe: None,
+            me_prev: None,
+            me_keyframe: None,
+            sad_evaluations: 0,
+        };
+
+        if let Some(prev) = &self.previous {
+            let me = self.estimator.estimate(&plane, prev);
+            report.sad_evaluations += me.sad_evaluations;
+            report.fc_prev = Some(me.covisibility(&self.config));
+            report.me_prev = Some(me);
+        }
+        if let Some(key) = &self.keyframe {
+            let me = self.estimator.estimate(&plane, key);
+            report.sad_evaluations += me.sad_evaluations;
+            report.fc_keyframe = Some(me.covisibility(&self.config));
+            report.me_keyframe = Some(me);
+        }
+
+        self.total_sad_evaluations += report.sad_evaluations;
+        self.previous = Some(plane);
+        self.frame_index += 1;
+        report
+    }
+
+    /// Marks the most recently pushed frame as the mapping key frame; future
+    /// frames report `fc_keyframe` against it.
+    ///
+    /// # Panics
+    ///
+    /// Panics when no frame has been pushed yet.
+    pub fn mark_keyframe(&mut self) {
+        let prev = self.previous.as_ref().expect("mark_keyframe before any frame was pushed");
+        self.keyframe = Some(prev.clone());
+    }
+
+    /// Number of frames pushed so far.
+    pub fn frames_pushed(&self) -> usize {
+        self.frame_index
+    }
+
+    /// Total SAD block evaluations across all frames.
+    pub fn total_sad_evaluations(&self) -> u64 {
+        self.total_sad_evaluations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plane(shift: usize) -> LumaPlane {
+        LumaPlane::from_fn(32, 32, |x, y| (((x + shift) * 13 + y * 7) % 240) as u8)
+    }
+
+    #[test]
+    fn first_frame_has_no_references() {
+        let mut codec = VideoCodec::new(CodecConfig::default());
+        let report = codec.push_plane(plane(0));
+        assert!(report.fc_prev.is_none());
+        assert!(report.fc_keyframe.is_none());
+        assert_eq!(report.sad_evaluations, 0);
+        assert_eq!(codec.frames_pushed(), 1);
+    }
+
+    #[test]
+    fn second_frame_reports_fc_prev() {
+        let mut codec = VideoCodec::new(CodecConfig::default());
+        codec.push_plane(plane(0));
+        let report = codec.push_plane(plane(1));
+        let fc = report.fc_prev.expect("fc_prev should exist");
+        assert!(fc.value() > 0.5, "small shift keeps covisibility high: {fc}");
+        assert!(report.fc_keyframe.is_none(), "no key frame marked yet");
+    }
+
+    #[test]
+    fn keyframe_reference_tracks_marked_frame() {
+        let mut codec = VideoCodec::new(CodecConfig::default());
+        codec.push_plane(plane(0));
+        codec.mark_keyframe(); // key = shift 0
+        codec.push_plane(plane(1));
+        let near = codec.push_plane(plane(2)).fc_keyframe.unwrap();
+        let far = codec.push_plane(plane(14)).fc_keyframe.unwrap();
+        assert!(near.value() > far.value(), "drifting away lowers key-frame FC");
+    }
+
+    #[test]
+    #[should_panic(expected = "before any frame")]
+    fn mark_keyframe_without_frames_panics() {
+        VideoCodec::new(CodecConfig::default()).mark_keyframe();
+    }
+
+    #[test]
+    fn sad_evaluation_accounting_accumulates() {
+        let mut codec = VideoCodec::new(CodecConfig::default());
+        codec.push_plane(plane(0));
+        codec.mark_keyframe();
+        let r1 = codec.push_plane(plane(1));
+        // Both references were compared.
+        assert!(r1.me_prev.is_some() && r1.me_keyframe.is_some());
+        assert!(r1.sad_evaluations > 0);
+        assert_eq!(codec.total_sad_evaluations(), r1.sad_evaluations);
+    }
+}

@@ -1,0 +1,97 @@
+//! AGS hyper-parameters (paper §4.3 and §6.6).
+
+use ags_codec::CodecConfig;
+use ags_slam::SlamConfig;
+use ags_track::coarse::CoarseConfig;
+
+/// Configuration of the AGS pipeline.
+///
+/// Paper reference values (640×480): `ThreshT = 90 %`, `IterT = 20`,
+/// `ThreshM = 50 %`, `Threshα = 1/255`, `ThreshN = 450` pixels. This
+/// workspace renders smaller frames, so `ThreshN` is expressed as a
+/// *fraction* of the frame and converted per resolution
+/// ([`AgsConfig::thresh_n_pixels`]); `IterT` keeps the paper's ratio to the
+/// baseline tracking budget (20/200 → scaled via the `SlamConfig`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AgsConfig {
+    /// Covisibility above which the coarse pose estimate suffices
+    /// (`ThreshT`, fraction in `[0, 1]`).
+    pub thresh_t: f32,
+    /// 3DGS pose-refinement iterations for low-covisibility frames
+    /// (`IterT`).
+    pub iter_t: u32,
+    /// Covisibility (vs the last key frame) above which a frame is non-key
+    /// (`ThreshM`, fraction in `[0, 1]`).
+    pub thresh_m: f32,
+    /// Fraction of frame pixels for the non-contributory designation
+    /// (`ThreshN` as a resolution-independent fraction; the paper's 450 px
+    /// at 640×480 ≈ 0.146 %).
+    pub thresh_n_fraction: f32,
+    /// Baseline SLAM configuration AGS wraps (mapping budget, densify, ...).
+    pub slam: SlamConfig,
+    /// Coarse tracker configuration.
+    pub coarse: CoarseConfig,
+    /// CODEC motion-estimation configuration.
+    pub codec: CodecConfig,
+    /// Record the ground-truth non-contributory sets on non-key frames to
+    /// measure the false-positive rate (§6.2). Costs an extra audit render.
+    pub audit_false_positives: bool,
+}
+
+impl Default for AgsConfig {
+    fn default() -> Self {
+        Self {
+            thresh_t: 0.90,
+            iter_t: 8,
+            thresh_m: 0.50,
+            thresh_n_fraction: 450.0 / (640.0 * 480.0),
+            slam: SlamConfig::default(),
+            coarse: CoarseConfig::default(),
+            codec: CodecConfig::default(),
+            audit_false_positives: false,
+        }
+    }
+}
+
+impl AgsConfig {
+    /// A fast configuration for unit tests.
+    pub fn tiny() -> Self {
+        Self { iter_t: 4, slam: SlamConfig::tiny(), ..Self::default() }
+    }
+
+    /// `ThreshN` in absolute pixels for a given frame resolution (the count
+    /// of negligible-α pixels above which a Gaussian is skipped).
+    pub fn thresh_n_pixels(&self, width: usize, height: usize) -> u32 {
+        ((width * height) as f32 * self.thresh_n_fraction).round().max(1.0) as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = AgsConfig::default();
+        assert_eq!(c.thresh_t, 0.90);
+        assert_eq!(c.thresh_m, 0.50);
+        // Paper: 450 px at 640x480.
+        assert_eq!(c.thresh_n_pixels(640, 480), 450);
+    }
+
+    #[test]
+    fn thresh_n_scales_with_resolution() {
+        let c = AgsConfig::default();
+        let small = c.thresh_n_pixels(128, 96);
+        assert!(small >= 17 && small <= 19, "128x96 -> ~18 px, got {small}");
+        assert!(c.thresh_n_pixels(64, 48) >= 1);
+    }
+
+    #[test]
+    fn iter_t_keeps_paper_ratio() {
+        let c = AgsConfig::default();
+        // Paper: IterT/N_T = 20/200 = 0.1; allow some slack for scaling.
+        let ratio = c.iter_t as f32 / c.slam.tracking_iterations as f32;
+        assert!(ratio <= 0.5, "IterT must be much smaller than N_T, ratio {ratio}");
+    }
+}

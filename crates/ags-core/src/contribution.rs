@@ -1,0 +1,157 @@
+//! Gaussian contribution tracking (the GS logging/skipping tables,
+//! algorithm side).
+//!
+//! On key frames the renderer records, per Gaussian, on how many pixels its
+//! α stayed below `Threshα` (the GS logging table of Fig. 11). Gaussians
+//! negligible on more than `ThreshN` pixels become the *skip set* that
+//! selective mapping applies on non-key frames (the GS skipping table of
+//! Fig. 12).
+
+use ags_splat::render::ContributionStats;
+use ags_splat::IdSet;
+
+/// Manages the recorded contribution information across frames.
+#[derive(Debug, Default)]
+pub struct ContributionTracker {
+    /// Skip set derived from the last key frame (ids to exclude).
+    skip: Option<IdSet>,
+    /// Negligible-pixel counts from the last key frame.
+    counts: Vec<u32>,
+    /// Map size at recording time (ids beyond this are new Gaussians that
+    /// must never be skipped — they have no recorded information).
+    recorded_len: usize,
+}
+
+impl ContributionTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records contribution statistics from a key frame's full mapping.
+    pub fn record(&mut self, stats: &ContributionStats, thresh_n: u32) {
+        self.recorded_len = stats.touched.len();
+        self.counts = stats.negligible.clone();
+        self.skip = Some(stats.non_contributory(thresh_n));
+    }
+
+    /// The skip set for the current map size (`None` before a key frame has
+    /// been recorded). Gaussians added after recording are not skipped.
+    pub fn skip_set(&self, current_map_len: usize) -> Option<IdSet> {
+        let skip = self.skip.as_ref()?;
+        if current_map_len == skip.capacity() {
+            return Some(skip.clone());
+        }
+        // Map grew: re-materialise into a larger set.
+        let mut grown = IdSet::with_capacity(current_map_len);
+        for id in skip.iter().filter(|&id| id < current_map_len) {
+            grown.insert(id);
+        }
+        Some(grown)
+    }
+
+    /// Invalidates recorded information (call after pruning — ids shift).
+    pub fn invalidate(&mut self) {
+        self.skip = None;
+        self.counts.clear();
+        self.recorded_len = 0;
+    }
+
+    /// Number of Gaussians currently predicted non-contributory.
+    pub fn skip_count(&self) -> usize {
+        self.skip.as_ref().map_or(0, |s| s.count())
+    }
+
+    /// Bytes of contribution information owned by the tracker (id + count
+    /// per recorded Gaussian — the GS logging/skipping table payload the
+    /// hardware moves between DRAM and the on-chip buffers).
+    pub fn table_bytes(&self) -> u64 {
+        self.recorded_len as u64 * 8
+    }
+
+    /// False-positive rate of the prediction vs. the actual non-contributory
+    /// set of a later frame: the fraction of *predicted* (skipped) Gaussians
+    /// that actually contributed (§6.2's FP metric).
+    pub fn false_positive_rate(&self, actual: &ContributionStats, thresh_n: u32) -> f32 {
+        let Some(skip) = &self.skip else { return 0.0 };
+        let actual_set = actual.non_contributory(thresh_n);
+        let mut predicted = 0u32;
+        let mut wrong = 0u32;
+        for id in skip.iter() {
+            // Only judge Gaussians the frame actually touched.
+            if id < actual.touched.len() && actual.touched[id] > 0 {
+                predicted += 1;
+                if !actual_set.contains(id) {
+                    wrong += 1;
+                }
+            }
+        }
+        if predicted == 0 {
+            0.0
+        } else {
+            wrong as f32 / predicted as f32
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(negligible: &[u32], touched: &[u32]) -> ContributionStats {
+        ContributionStats { touched: touched.to_vec(), negligible: negligible.to_vec() }
+    }
+
+    #[test]
+    fn record_then_skip() {
+        let mut tracker = ContributionTracker::new();
+        assert!(tracker.skip_set(4).is_none());
+        // Gaussians 1 and 3 are negligible on many pixels.
+        let s = stats(&[0, 10, 1, 9], &[12, 10, 12, 9]);
+        tracker.record(&s, 5);
+        let skip = tracker.skip_set(4).unwrap();
+        assert!(skip.contains(1) && skip.contains(3));
+        assert!(!skip.contains(0) && !skip.contains(2));
+        assert_eq!(tracker.skip_count(), 2);
+        assert_eq!(tracker.table_bytes(), 32);
+    }
+
+    #[test]
+    fn grown_map_never_skips_new_gaussians() {
+        let mut tracker = ContributionTracker::new();
+        tracker.record(&stats(&[10, 10], &[10, 10]), 5);
+        let skip = tracker.skip_set(5).unwrap();
+        assert_eq!(skip.capacity(), 5);
+        assert!(skip.contains(0) && skip.contains(1));
+        assert!(!skip.contains(2) && !skip.contains(4));
+    }
+
+    #[test]
+    fn invalidate_clears() {
+        let mut tracker = ContributionTracker::new();
+        tracker.record(&stats(&[10], &[10]), 5);
+        tracker.invalidate();
+        assert!(tracker.skip_set(1).is_none());
+        assert_eq!(tracker.skip_count(), 0);
+    }
+
+    #[test]
+    fn false_positive_rate_counts_wrong_skips() {
+        let mut tracker = ContributionTracker::new();
+        // Predict ids 0 and 1 as non-contributory.
+        tracker.record(&stats(&[10, 10, 0], &[10, 10, 10]), 5);
+        // Actually: id 0 still non-contributory, id 1 now contributes.
+        let actual = stats(&[10, 2, 0], &[10, 10, 10]);
+        let fp = tracker.false_positive_rate(&actual, 5);
+        assert!((fp - 0.5).abs() < 1e-6, "one of two predictions wrong: {fp}");
+    }
+
+    #[test]
+    fn fp_rate_ignores_untouched() {
+        let mut tracker = ContributionTracker::new();
+        tracker.record(&stats(&[10, 10], &[10, 10]), 5);
+        // Neither Gaussian touched in the later frame.
+        let actual = stats(&[0, 0], &[0, 0]);
+        assert_eq!(tracker.false_positive_rate(&actual, 5), 0.0);
+    }
+}

@@ -1,0 +1,47 @@
+//! AGS: CODEC-assisted frame-covisibility acceleration of 3DGS-SLAM.
+//!
+//! This crate is the paper's primary contribution — the algorithm layer of
+//! the AGS framework (§4):
+//!
+//! * [`fc::FcDetector`] — frame covisibility detection from the video
+//!   CODEC's min-SAD values (§4.1): one covisibility signal against the
+//!   previous frame (steers tracking) and one against the last mapping key
+//!   frame (steers key/non-key designation).
+//! * **Movement-adaptive tracking** (§4.2): every frame gets a coarse
+//!   Droid-style pose estimate; only frames whose covisibility falls below
+//!   `ThreshT` pay for `IterT` iterations of 3DGS pose refinement.
+//! * [`contribution::ContributionTracker`] — **Gaussian contribution-aware
+//!   mapping** (§4.3): key frames run full mapping and record, per Gaussian,
+//!   on how many pixels its α stayed below `Threshα`; Gaussians negligible
+//!   on more than `ThreshN` pixels are skipped on subsequent non-key frames.
+//! * [`pipeline::AgsSlam`] — the assembled system with the pipelined
+//!   execution flow of Fig. 9(b), emitting a [`trace::WorkloadTrace`] the
+//!   `ags-sim` hardware models consume.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use ags_core::{AgsConfig, AgsSlam};
+//! use ags_scene::dataset::{Dataset, DatasetConfig, SceneId};
+//!
+//! let data = Dataset::generate(SceneId::Desk, &DatasetConfig::default());
+//! let mut slam = AgsSlam::new(AgsConfig::default());
+//! for frame in &data.frames {
+//!     slam.process_frame(&data.camera, &frame.rgb, &frame.depth);
+//! }
+//! println!("ATE available via ags_track::ate::ate_rmse");
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod contribution;
+pub mod fc;
+pub mod pipeline;
+pub mod trace;
+
+pub use config::AgsConfig;
+pub use contribution::ContributionTracker;
+pub use fc::FcDetector;
+pub use pipeline::{AgsFrameRecord, AgsSlam};
+pub use trace::{TraceFrame, WorkloadTrace};

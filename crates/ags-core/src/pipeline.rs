@@ -1,0 +1,433 @@
+//! The assembled AGS pipeline (paper Fig. 7 + walk-through Fig. 9b).
+//!
+//! Per incoming frame:
+//!
+//! 1. The CODEC computes covisibility against the previous frame and the
+//!    last key frame ([`crate::fc::FcDetector`]).
+//! 2. **Movement-adaptive tracking**: the coarse Droid-style estimator runs
+//!    on every frame; frames with `FC < ThreshT` additionally run `IterT`
+//!    3DGS pose-refinement iterations.
+//! 3. **Gaussian contribution-aware mapping**: frames with
+//!    `FC(keyframe) < ThreshM` are key frames running full mapping with
+//!    contribution recording; other frames run selective mapping that skips
+//!    the predicted non-contributory Gaussians.
+
+use crate::config::AgsConfig;
+use crate::contribution::ContributionTracker;
+use crate::fc::FcDetector;
+use crate::trace::{TraceFrame, WorkloadTrace};
+use ags_image::{DepthImage, RgbImage};
+use ags_math::{Pcg32, Se3};
+use ags_scene::PinholeCamera;
+use ags_slam::keyframes::{KeyframeStore, StoredKeyframe};
+use ags_slam::{Backbone, WorkUnits};
+use ags_splat::backward::{backward, GradMode};
+use ags_splat::densify::densify_from_frame;
+use ags_splat::loss::compute_loss;
+use ags_splat::optim::Adam;
+use ags_splat::project::project_gaussians;
+use ags_splat::render::{rasterize, RenderOptions};
+use ags_splat::tiles::GaussianTables;
+use ags_splat::{GaussianCloud, IdSet};
+use ags_track::coarse::CoarseTracker;
+use ags_track::fine::{GsPoseRefiner, RefineConfig};
+
+/// Per-frame AGS processing record.
+#[derive(Debug, Clone)]
+pub struct AgsFrameRecord {
+    /// The trace entry (workloads + decisions).
+    pub trace: TraceFrame,
+    /// Estimated camera-to-world pose.
+    pub estimated_pose: Se3,
+    /// Gaussians skipped by selective mapping this frame.
+    pub skipped_gaussians: usize,
+}
+
+/// The AGS-accelerated 3DGS-SLAM system.
+#[derive(Debug)]
+pub struct AgsSlam {
+    config: AgsConfig,
+    fc: FcDetector,
+    coarse: CoarseTracker,
+    refiner: GsPoseRefiner,
+    contribution: ContributionTracker,
+    cloud: GaussianCloud,
+    adam: Adam,
+    keyframes: KeyframeStore,
+    rng: Pcg32,
+    trajectory: Vec<Se3>,
+    frame_count: usize,
+    keyframe_count: usize,
+    trainable_from: usize,
+    trace: WorkloadTrace,
+    /// Scratch slot carrying sampled tile work out of `map_step`.
+    last_tile_work: Option<Vec<ags_splat::render::TileWork>>,
+}
+
+impl AgsSlam {
+    /// Creates an AGS system.
+    pub fn new(config: AgsConfig) -> Self {
+        let fc = FcDetector::new(config.codec, config.thresh_t, config.thresh_m);
+        let refiner = GsPoseRefiner::new(RefineConfig {
+            iterations: config.iter_t,
+            learning_rate: config.slam.tracking_lr,
+            loss: config.slam.tracking_loss,
+            convergence_eps: 1e-4,
+        });
+        let coarse = CoarseTracker::new(config.coarse);
+        Self {
+            config,
+            fc,
+            coarse,
+            refiner,
+            contribution: ContributionTracker::new(),
+            cloud: GaussianCloud::new(),
+            adam: Adam::default(),
+            keyframes: KeyframeStore::new(),
+            rng: Pcg32::seeded(0xa65),
+            trajectory: Vec::new(),
+            frame_count: 0,
+            keyframe_count: 0,
+            trainable_from: 0,
+            trace: WorkloadTrace::default(),
+            last_tile_work: None,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &AgsConfig {
+        &self.config
+    }
+
+    /// The current Gaussian map.
+    pub fn cloud(&self) -> &GaussianCloud {
+        &self.cloud
+    }
+
+    /// Estimated trajectory so far.
+    pub fn trajectory(&self) -> &[Se3] {
+        &self.trajectory
+    }
+
+    /// The workload trace accumulated so far.
+    pub fn trace(&self) -> &WorkloadTrace {
+        &self.trace
+    }
+
+    /// Consumes the system, returning the trace.
+    pub fn into_trace(self) -> WorkloadTrace {
+        self.trace
+    }
+
+    /// Processes the next RGB-D frame.
+    pub fn process_frame(
+        &mut self,
+        camera: &PinholeCamera,
+        rgb: &RgbImage,
+        depth: &DepthImage,
+    ) -> AgsFrameRecord {
+        if self.trace.frames.is_empty() {
+            self.trace.width = camera.width;
+            self.trace.height = camera.height;
+        }
+        let frame_index = self.frame_count;
+        self.frame_count += 1;
+        let mut record = TraceFrame { frame_index, ..TraceFrame::default() };
+
+        // --- ① FC detection (CODEC). ---
+        let decision = self.fc.push(rgb);
+        record.fc_prev = decision.fc_prev.map(|c| c.value());
+        record.fc_keyframe = decision.fc_keyframe.map(|c| c.value());
+        record.codec.sad_evals = decision.sad_evals;
+
+        // --- ② Movement-adaptive tracking. ---
+        let gray = rgb.to_gray();
+        let coarse_result = self.coarse.track(camera, &gray, depth, Se3::IDENTITY);
+        record.coarse.nn_macs = coarse_result.backbone.total_macs();
+        record.coarse.gn_rows = coarse_result.gn_rows;
+        let mut pose = coarse_result.pose;
+
+        let refine = frame_index > 0 && decision.needs_refinement && !self.cloud.is_empty();
+        if refine {
+            let result = self.refiner.refine(&self.cloud, camera, pose, rgb, depth);
+            record.refine.add_render(&result.workload.render);
+            record.refine.grad_ops += result.workload.grad_ops;
+            record.refine.iterations += result.workload.iterations;
+            pose = result.pose;
+            // Chain subsequent coarse estimates off the refined pose.
+            self.coarse.correct_pose(pose);
+        }
+        record.refined = refine || frame_index == 0;
+        if frame_index == 0 {
+            pose = Se3::IDENTITY;
+            self.coarse.correct_pose(pose);
+        }
+        self.trajectory.push(pose);
+
+        // --- ③ Mapping: key/non-key designation. ---
+        let is_keyframe = decision.is_keyframe;
+        record.is_keyframe = is_keyframe;
+        let mut skipped_gaussians = 0usize;
+
+        // Densification follows the baseline schedule: selective mapping
+        // skips *computation* on recorded Gaussians, it does not stop the map
+        // from growing where new content appears.
+        if frame_index % self.config.slam.densify_interval.max(1) == 0 {
+            let rendered =
+                ags_splat::render::render(&self.cloud, camera, &pose, &RenderOptions::default());
+            record.mapping.add_render(&rendered.stats);
+            if self.config.slam.backbone == Backbone::GaussianSlam
+                && is_keyframe
+                && self.keyframe_count > 0
+                && self.keyframe_count % self.config.slam.submap_interval == 0
+            {
+                self.trainable_from = self.cloud.len();
+            }
+            densify_from_frame(
+                &mut self.cloud,
+                camera,
+                &pose,
+                rgb,
+                depth,
+                &rendered,
+                &self.config.slam.densify,
+                &mut self.rng,
+            );
+        }
+
+        let thresh_n = self.config.thresh_n_pixels(camera.width, camera.height);
+        let window =
+            self.keyframes.mapping_window(self.config.slam.mapping_window, &mut self.rng);
+        let window_data: Vec<(Se3, RgbImage, DepthImage)> =
+            window.iter().map(|kf| (kf.pose, kf.rgb.clone(), kf.depth.clone())).collect();
+        drop(window);
+
+        let skip = if is_keyframe { None } else { self.contribution.skip_set(self.cloud.len()) };
+        if let Some(s) = &skip {
+            skipped_gaussians = s.count();
+            // Reading the skipping table from DRAM (hardware: GS skipping
+            // table fetch, Fig. 12).
+            record.mapping.table_bytes += self.contribution.table_bytes();
+        }
+
+        let sample_tiles = self.config.slam.tile_work_interval > 0
+            && frame_index % self.config.slam.tile_work_interval == 0;
+
+        for iter in 0..self.config.slam.mapping_iterations {
+            let slot = iter as usize % (window_data.len() + 1);
+            let (p, r, d) = if slot == 0 {
+                (pose, None, None)
+            } else {
+                let (kp, ref kr, ref kd) = window_data[slot - 1];
+                (kp, Some(kr), Some(kd))
+            };
+            // Contribution recording on the key frame's last current-frame
+            // iteration (the hardware records while rendering; once per key
+            // frame is enough to refresh the table).
+            let record_contrib =
+                is_keyframe && slot == 0 && iter + 1 >= self.config.slam.mapping_iterations;
+            let collect = sample_tiles && iter == 0;
+            let (loss, stats, contributions) = self.map_step(
+                camera,
+                &p,
+                r.unwrap_or(rgb),
+                d.unwrap_or(depth),
+                skip.as_ref(),
+                record_contrib,
+                collect,
+            );
+            let _ = loss;
+            record.mapping.merge(&stats);
+            record.mapping.iterations += 1;
+            if let Some(c) = contributions {
+                self.contribution.record(&c, thresh_n);
+                // Writing the logging table back to DRAM (Fig. 11).
+                record.mapping.table_bytes += self.contribution.table_bytes();
+            }
+            if collect {
+                record.tile_work = self.last_tile_work.take().unwrap_or_default();
+            }
+        }
+
+        // --- FP audit (optional, §6.2): compare prediction vs actual. ---
+        if self.config.audit_false_positives && !is_keyframe && skip.is_some() {
+            let audit = ags_splat::render::render(
+                &self.cloud,
+                camera,
+                &pose,
+                &RenderOptions { record_contributions: true, ..Default::default() },
+            );
+            if let Some(stats) = audit.contributions {
+                record.fp_rate = Some(self.contribution.false_positive_rate(&stats, thresh_n));
+            }
+        }
+
+        // --- Keyframe bookkeeping. ---
+        if is_keyframe {
+            self.fc.mark_keyframe();
+            self.keyframes.push(StoredKeyframe {
+                frame_index,
+                pose,
+                rgb: rgb.clone(),
+                depth: depth.clone(),
+            });
+            self.keyframe_count += 1;
+        }
+
+        record.num_gaussians = self.cloud.len();
+        let trace_frame = record.clone();
+        self.trace.frames.push(trace_frame);
+        AgsFrameRecord { trace: record, estimated_pose: pose, skipped_gaussians }
+    }
+
+    /// One (selective) mapping iteration. Returns the loss, the phase work
+    /// and optionally the recorded contribution statistics.
+    #[allow(clippy::too_many_arguments)]
+    fn map_step(
+        &mut self,
+        camera: &PinholeCamera,
+        pose: &Se3,
+        rgb: &RgbImage,
+        depth: &DepthImage,
+        skip: Option<&IdSet>,
+        record_contributions: bool,
+        collect_tile_work: bool,
+    ) -> (f32, WorkUnits, Option<ags_splat::render::ContributionStats>) {
+        let options = RenderOptions {
+            skip: skip.cloned(),
+            record_contributions,
+            collect_tile_work,
+        };
+        let projection = project_gaussians(&self.cloud, camera, pose);
+        let tables = GaussianTables::build(&projection, camera);
+        let render = rasterize(&self.cloud, &projection, &tables, camera, &options);
+        let loss = compute_loss(&render, rgb, depth, &self.config.slam.mapping_loss);
+        let mut back =
+            backward(&self.cloud, &projection, &tables, camera, &loss, GradMode::Map, skip);
+        if let Some(grads) = back.grads.as_mut() {
+            for id in 0..self.trainable_from.min(grads.touched.len()) {
+                grads.touched[id] = false;
+            }
+            self.adam.step(&mut self.cloud, grads);
+        }
+        if self.config.slam.scale_regularisation > 0.0 {
+            let lambda = self.config.slam.scale_regularisation;
+            for g in self.cloud.gaussians_mut()[self.trainable_from..].iter_mut() {
+                let mean = (g.log_scale.x + g.log_scale.y + g.log_scale.z) / 3.0;
+                g.log_scale =
+                    g.log_scale * (1.0 - lambda) + ags_math::Vec3::splat(mean * lambda);
+            }
+        }
+        let mut work = WorkUnits::default();
+        work.add_render(&render.stats);
+        work.grad_ops = back.stats.grad_ops;
+        if collect_tile_work {
+            self.last_tile_work = Some(render.stats.tile_work.clone());
+        }
+        (loss.total, work, render.contributions)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ags_scene::dataset::{Dataset, DatasetConfig, SceneId};
+    use ags_track::ate::ate_rmse;
+
+    fn run_ags(mut config: AgsConfig, frames: usize) -> (AgsSlam, Dataset) {
+        config.slam.tile_work_interval = 0;
+        let dconfig = DatasetConfig {
+            width: 64,
+            height: 48,
+            num_frames: frames * 4,
+            ..DatasetConfig::tiny()
+        };
+        let mut data = Dataset::generate(SceneId::Xyz, &dconfig);
+        data.truncate(frames);
+        let mut slam = AgsSlam::new(config);
+        for frame in &data.frames {
+            slam.process_frame(&data.camera, &frame.rgb, &frame.depth);
+        }
+        (slam, data)
+    }
+
+    #[test]
+    fn tracks_and_maps_with_bounded_error() {
+        let (slam, data) = run_ags(AgsConfig::tiny(), 8);
+        assert!(slam.cloud().len() > 100);
+        let ate = ate_rmse(slam.trajectory(), &data.gt_trajectory());
+        assert!(ate < 0.08, "AGS ATE {ate}");
+    }
+
+    #[test]
+    fn high_covisibility_frames_skip_refinement() {
+        let (slam, _) = run_ags(AgsConfig::tiny(), 8);
+        let trace = slam.trace();
+        // The smooth Xyz prefix should have mostly high-FC frames.
+        assert!(
+            trace.refinement_skip_rate() > 0.4,
+            "skip rate {} too low",
+            trace.refinement_skip_rate()
+        );
+        // Skipped frames carry no 3DGS tracking iterations.
+        for f in &trace.frames {
+            if !f.refined {
+                assert_eq!(f.refine.iterations, 0);
+                assert!(f.coarse.nn_macs > 0, "coarse stage always runs");
+            }
+        }
+    }
+
+    #[test]
+    fn non_key_frames_skip_gaussians() {
+        let (slam, _) = run_ags(AgsConfig::tiny(), 8);
+        let trace = slam.trace();
+        let non_key: Vec<_> = trace.frames.iter().filter(|f| !f.is_keyframe).collect();
+        assert!(!non_key.is_empty(), "expected non-key frames");
+        let skipped: u64 = non_key.iter().map(|f| f.mapping.skipped_pairs).sum();
+        assert!(skipped > 0, "selective mapping should skip pairs");
+        assert!(trace.pair_skip_rate() > 0.0);
+    }
+
+    #[test]
+    fn first_frame_is_keyframe_and_refined() {
+        let (slam, _) = run_ags(AgsConfig::tiny(), 2);
+        let trace = slam.trace();
+        assert!(trace.frames[0].is_keyframe);
+        assert!(trace.frames[0].refined);
+        assert_eq!(slam.trajectory()[0], Se3::IDENTITY);
+    }
+
+    #[test]
+    fn ags_does_less_tracking_work_than_baseline() {
+        let (ags, data) = run_ags(AgsConfig::tiny(), 8);
+        // Run the baseline on the same frames.
+        let mut baseline = ags_slam::BaselineSlam::new(ags_slam::SlamConfig::tiny());
+        let mut records = Vec::new();
+        for frame in &data.frames {
+            records.push(baseline.process_frame(&data.camera, &frame.rgb, &frame.depth));
+        }
+        let base_trace =
+            WorkloadTrace::from_baseline(&records, data.camera.width, data.camera.height);
+        let ags_gs_tracking: u64 =
+            ags.trace().frames.iter().map(|f| f.refine.render_alpha).sum();
+        let base_gs_tracking: u64 =
+            base_trace.frames.iter().map(|f| f.refine.render_alpha).sum();
+        assert!(
+            ags_gs_tracking < base_gs_tracking / 2,
+            "AGS 3DGS tracking work {ags_gs_tracking} should be well below baseline {base_gs_tracking}"
+        );
+    }
+
+    #[test]
+    fn fp_audit_produces_rates() {
+        let config = AgsConfig { audit_false_positives: true, ..AgsConfig::tiny() };
+        let (slam, _) = run_ags(config, 8);
+        let rates: Vec<f32> =
+            slam.trace().frames.iter().filter_map(|f| f.fp_rate).collect();
+        assert!(!rates.is_empty(), "audit should produce FP rates");
+        for r in &rates {
+            assert!((0.0..=1.0).contains(r));
+        }
+    }
+}

@@ -1,0 +1,187 @@
+//! Workload traces consumed by the hardware cost models.
+
+use ags_slam::baseline::FrameRecord;
+use ags_slam::WorkUnits;
+use ags_splat::render::TileWork;
+
+/// Per-frame workload and covisibility record.
+#[derive(Debug, Clone, Default)]
+pub struct TraceFrame {
+    /// Stream index.
+    pub frame_index: usize,
+    /// FC against the previous frame (`None` on the first frame).
+    pub fc_prev: Option<f32>,
+    /// FC against the last key frame.
+    pub fc_keyframe: Option<f32>,
+    /// Whether fine pose refinement ran (AGS) / full tracking (baseline).
+    pub refined: bool,
+    /// Whether this frame ran full mapping as a key frame.
+    pub is_keyframe: bool,
+    /// CODEC work (SAD evaluations).
+    pub codec: WorkUnits,
+    /// Coarse-tracking work (NN MACs + GN rows); empty for the baseline.
+    pub coarse: WorkUnits,
+    /// 3DGS tracking / refinement work.
+    pub refine: WorkUnits,
+    /// Mapping work (includes densification renders).
+    pub mapping: WorkUnits,
+    /// Map size after the frame.
+    pub num_gaussians: usize,
+    /// Sampled per-tile rasterization workload (empty unless sampled).
+    pub tile_work: Vec<TileWork>,
+    /// Measured false-positive rate of the skip prediction, when audited.
+    pub fp_rate: Option<f32>,
+}
+
+impl TraceFrame {
+    /// Total work of the frame across phases.
+    pub fn total(&self) -> WorkUnits {
+        let mut w = WorkUnits::default();
+        w.merge(&self.codec);
+        w.merge(&self.coarse);
+        w.merge(&self.refine);
+        w.merge(&self.mapping);
+        w
+    }
+
+    /// Tracking-side work (everything except mapping).
+    pub fn tracking_total(&self) -> WorkUnits {
+        let mut w = WorkUnits::default();
+        w.merge(&self.codec);
+        w.merge(&self.coarse);
+        w.merge(&self.refine);
+        w
+    }
+}
+
+/// A full-run workload trace.
+#[derive(Debug, Clone, Default)]
+pub struct WorkloadTrace {
+    /// Frame width in pixels.
+    pub width: usize,
+    /// Frame height in pixels.
+    pub height: usize,
+    /// Per-frame records in stream order.
+    pub frames: Vec<TraceFrame>,
+}
+
+impl WorkloadTrace {
+    /// Creates an empty trace for the given resolution.
+    pub fn new(width: usize, height: usize) -> Self {
+        Self { width, height, frames: Vec::new() }
+    }
+
+    /// Builds a trace from baseline SLAM records (no codec/coarse phases;
+    /// full-budget tracking mapped to the `refine` slot).
+    pub fn from_baseline(records: &[FrameRecord], width: usize, height: usize) -> Self {
+        let frames = records
+            .iter()
+            .map(|r| TraceFrame {
+                frame_index: r.frame_index,
+                fc_prev: None,
+                fc_keyframe: None,
+                refined: !r.tracking.is_empty(),
+                is_keyframe: r.is_keyframe,
+                codec: WorkUnits::default(),
+                coarse: WorkUnits::default(),
+                refine: r.tracking,
+                mapping: r.mapping,
+                num_gaussians: r.num_gaussians,
+                tile_work: r.tile_work.clone(),
+                fp_rate: None,
+            })
+            .collect();
+        Self { width, height, frames }
+    }
+
+    /// Sum of all frames' work.
+    pub fn total(&self) -> WorkUnits {
+        let mut w = WorkUnits::default();
+        for f in &self.frames {
+            w.merge(&f.total());
+        }
+        w
+    }
+
+    /// Fraction of frames that skipped fine refinement.
+    pub fn refinement_skip_rate(&self) -> f32 {
+        if self.frames.is_empty() {
+            return 0.0;
+        }
+        self.frames.iter().filter(|f| !f.refined).count() as f32 / self.frames.len() as f32
+    }
+
+    /// Fraction of non-key frames among all frames.
+    pub fn non_key_rate(&self) -> f32 {
+        if self.frames.is_empty() {
+            return 0.0;
+        }
+        self.frames.iter().filter(|f| !f.is_keyframe).count() as f32 / self.frames.len() as f32
+    }
+
+    /// Fraction of mapping (splat, tile) pairs skipped by selective mapping.
+    pub fn pair_skip_rate(&self) -> f32 {
+        let total = self.total();
+        let denom = total.mapping_pairs_with_skips();
+        if denom == 0 {
+            0.0
+        } else {
+            total.skipped_pairs as f32 / denom as f32
+        }
+    }
+}
+
+/// Extension used by [`WorkloadTrace::pair_skip_rate`].
+trait PairExt {
+    fn mapping_pairs_with_skips(&self) -> u64;
+}
+
+impl PairExt for WorkUnits {
+    fn mapping_pairs_with_skips(&self) -> u64 {
+        self.pairs + self.skipped_pairs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame(refined: bool, key: bool, alpha: u64, skipped: u64) -> TraceFrame {
+        TraceFrame {
+            refined,
+            is_keyframe: key,
+            refine: WorkUnits { render_alpha: alpha, ..Default::default() },
+            mapping: WorkUnits { pairs: 10, skipped_pairs: skipped, ..Default::default() },
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn totals_accumulate() {
+        let mut trace = WorkloadTrace::new(64, 48);
+        trace.frames.push(frame(true, true, 100, 0));
+        trace.frames.push(frame(false, false, 0, 5));
+        let total = trace.total();
+        assert_eq!(total.render_alpha, 100);
+        assert_eq!(total.pairs, 20);
+        assert_eq!(total.skipped_pairs, 5);
+    }
+
+    #[test]
+    fn rates() {
+        let mut trace = WorkloadTrace::new(64, 48);
+        trace.frames.push(frame(true, true, 100, 0));
+        trace.frames.push(frame(false, false, 0, 5));
+        trace.frames.push(frame(false, false, 0, 5));
+        assert!((trace.refinement_skip_rate() - 2.0 / 3.0).abs() < 1e-6);
+        assert!((trace.non_key_rate() - 2.0 / 3.0).abs() < 1e-6);
+        assert!((trace.pair_skip_rate() - 10.0 / 40.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_trace_rates_are_zero() {
+        let trace = WorkloadTrace::new(8, 8);
+        assert_eq!(trace.refinement_skip_rate(), 0.0);
+        assert_eq!(trace.pair_skip_rate(), 0.0);
+    }
+}

@@ -1,0 +1,32 @@
+//! Image containers and quality metrics for the AGS workspace.
+//!
+//! Frames flowing through the SLAM pipeline are small dense grids:
+//!
+//! * [`Image<T>`] — a generic row-major 2D grid.
+//! * [`RgbImage`] — linear-light RGB with components in `[0, 1]`.
+//! * [`GrayImage`] — single-channel luminance.
+//! * [`DepthImage`] — metric depth in meters (`0.0` = invalid).
+//!
+//! The [`metrics`] module implements PSNR / SSIM / L1 — the mapping-quality
+//! measures reported in the paper's Fig. 14 and Table 4 — and the
+//! [`pyramid`] module provides the coarse-to-fine pyramids used by the
+//! Droid-style coarse tracker.
+//!
+//! # Example
+//!
+//! ```
+//! use ags_image::{RgbImage, metrics::psnr};
+//! use ags_math::Vec3;
+//!
+//! let a = RgbImage::filled(8, 8, Vec3::splat(0.5));
+//! let b = RgbImage::filled(8, 8, Vec3::splat(0.5));
+//! assert!(psnr(&a, &b) > 90.0); // identical images -> very high PSNR
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod image;
+pub mod metrics;
+pub mod pyramid;
+
+pub use image::{DepthImage, GrayImage, Image, RgbImage};

@@ -1,0 +1,153 @@
+//! Image pyramids for coarse-to-fine tracking.
+
+use crate::image::{DepthImage, GrayImage};
+
+/// Downsamples a luminance image by 2 with a 2×2 box filter.
+///
+/// Odd trailing rows/columns are dropped (matching the behaviour of typical
+/// visual-odometry pyramids).
+pub fn downsample_gray(src: &GrayImage) -> GrayImage {
+    let w = (src.width() / 2).max(1);
+    let h = (src.height() / 2).max(1);
+    let mut dst = GrayImage::new(w, h);
+    for y in 0..h {
+        for x in 0..w {
+            let x2 = (x * 2).min(src.width() - 1);
+            let y2 = (y * 2).min(src.height() - 1);
+            let x2b = (x2 + 1).min(src.width() - 1);
+            let y2b = (y2 + 1).min(src.height() - 1);
+            let sum = src.at(x2, y2) + src.at(x2b, y2) + src.at(x2, y2b) + src.at(x2b, y2b);
+            dst.set(x, y, sum * 0.25);
+        }
+    }
+    dst
+}
+
+/// Downsamples a depth image by 2.
+///
+/// Depth uses a *valid-aware* average: invalid (zero) samples are excluded so
+/// object borders do not bleed into free space.
+pub fn downsample_depth(src: &DepthImage) -> DepthImage {
+    let w = (src.width() / 2).max(1);
+    let h = (src.height() / 2).max(1);
+    let mut dst = DepthImage::new(w, h);
+    for y in 0..h {
+        for x in 0..w {
+            let x2 = (x * 2).min(src.width() - 1);
+            let y2 = (y * 2).min(src.height() - 1);
+            let x2b = (x2 + 1).min(src.width() - 1);
+            let y2b = (y2 + 1).min(src.height() - 1);
+            let samples = [src.at(x2, y2), src.at(x2b, y2), src.at(x2, y2b), src.at(x2b, y2b)];
+            let mut sum = 0.0;
+            let mut n = 0;
+            for s in samples {
+                if s > 0.0 {
+                    sum += s;
+                    n += 1;
+                }
+            }
+            dst.set(x, y, if n > 0 { sum / n as f32 } else { 0.0 });
+        }
+    }
+    dst
+}
+
+/// A gray + depth pyramid with matching level dimensions.
+#[derive(Debug, Clone)]
+pub struct RgbdPyramid {
+    /// Luminance at each level; level 0 is full resolution.
+    pub gray: Vec<GrayImage>,
+    /// Depth at each level; level 0 is full resolution.
+    pub depth: Vec<DepthImage>,
+}
+
+impl RgbdPyramid {
+    /// Builds a pyramid with `levels` levels (level 0 = input resolution).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `levels == 0` or when gray/depth dimensions differ.
+    pub fn build(gray: GrayImage, depth: DepthImage, levels: usize) -> Self {
+        assert!(levels > 0, "pyramid needs at least one level");
+        assert_eq!(gray.width(), depth.width(), "gray/depth width mismatch");
+        assert_eq!(gray.height(), depth.height(), "gray/depth height mismatch");
+        let mut gs = vec![gray];
+        let mut ds = vec![depth];
+        for l in 1..levels {
+            let g = downsample_gray(&gs[l - 1]);
+            let d = downsample_depth(&ds[l - 1]);
+            gs.push(g);
+            ds.push(d);
+        }
+        Self { gray: gs, depth: ds }
+    }
+
+    /// Number of levels.
+    pub fn levels(&self) -> usize {
+        self.gray.len()
+    }
+
+    /// Camera intrinsics scale factor for `level` (1.0 at level 0, 0.5 at
+    /// level 1, ...).
+    pub fn scale(&self, level: usize) -> f32 {
+        1.0 / (1 << level) as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn downsample_halves_dimensions() {
+        let img = GrayImage::new(8, 6);
+        let d = downsample_gray(&img);
+        assert_eq!(d.width(), 4);
+        assert_eq!(d.height(), 3);
+    }
+
+    #[test]
+    fn downsample_box_filter_average() {
+        let img = GrayImage::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let d = downsample_gray(&img);
+        assert_eq!(d.width(), 1);
+        assert!((d.at(0, 0) - 2.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn depth_downsample_skips_invalid() {
+        let img = DepthImage::from_vec(2, 2, vec![2.0, 0.0, 0.0, 4.0]);
+        let d = downsample_depth(&img);
+        assert!((d.at(0, 0) - 3.0).abs() < 1e-6);
+        let all_invalid = DepthImage::from_vec(2, 2, vec![0.0; 4]);
+        assert_eq!(downsample_depth(&all_invalid).at(0, 0), 0.0);
+    }
+
+    #[test]
+    fn pyramid_levels_and_scales() {
+        let g = GrayImage::new(16, 16);
+        let d = DepthImage::new(16, 16);
+        let p = RgbdPyramid::build(g, d, 3);
+        assert_eq!(p.levels(), 3);
+        assert_eq!(p.gray[2].width(), 4);
+        assert_eq!(p.depth[2].width(), 4);
+        assert_eq!(p.scale(0), 1.0);
+        assert_eq!(p.scale(2), 0.25);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one level")]
+    fn zero_level_pyramid_panics() {
+        let _ = RgbdPyramid::build(GrayImage::new(4, 4), DepthImage::new(4, 4), 0);
+    }
+
+    #[test]
+    fn odd_dimensions_are_handled() {
+        let img = GrayImage::new(5, 3);
+        let d = downsample_gray(&img);
+        assert_eq!((d.width(), d.height()), (2, 1));
+        // Down to 1x1 and stays there.
+        let tiny = downsample_gray(&downsample_gray(&d));
+        assert_eq!((tiny.width(), tiny.height()), (1, 1));
+    }
+}

@@ -1,0 +1,83 @@
+//! Minimal, dependency-free linear algebra for the AGS workspace.
+//!
+//! The crate provides exactly the math the AGS reproduction needs:
+//!
+//! * [`Vec2`], [`Vec3`], [`Vec4`] — small `f32` vectors used by the splatting
+//!   rasterizer and the scene ray-caster.
+//! * [`Mat2`], [`Mat3`], [`Mat4`] — column-major small matrices.
+//! * [`Quat`] — unit quaternions for rotations.
+//! * [`Se3`] — rigid-body poses with `exp`/`log` maps, used by the trackers.
+//! * [`solve`] — small dense solvers (Cholesky / Gaussian elimination) with
+//!   `f64` accumulation for the 6×6 Gauss–Newton systems.
+//! * [`svd3`] — Jacobi eigendecomposition / SVD of 3×3 matrices, used by the
+//!   Umeyama trajectory alignment inside ATE evaluation.
+//! * [`rng`] — a tiny deterministic PCG32 generator so library behaviour never
+//!   depends on external RNG crate versions.
+//! * [`stats`] — means, geometric means and percentiles for the experiment
+//!   harness.
+//!
+//! # Example
+//!
+//! ```
+//! use ags_math::{Vec3, Se3};
+//!
+//! let pose = Se3::from_translation(Vec3::new(1.0, 0.0, 0.0));
+//! let p = pose.transform_point(Vec3::ZERO);
+//! assert_eq!(p, Vec3::new(1.0, 0.0, 0.0));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod mat;
+pub mod quat;
+pub mod rng;
+pub mod se3;
+pub mod solve;
+pub mod stats;
+pub mod svd3;
+pub mod vec;
+
+pub use mat::{Mat2, Mat3, Mat4};
+pub use quat::Quat;
+pub use rng::Pcg32;
+pub use se3::Se3;
+pub use vec::{Vec2, Vec3, Vec4};
+
+/// Clamps `x` into `[lo, hi]`.
+///
+/// Unlike `f32::clamp` this never panics on a reversed range; it returns `lo`
+/// in that case, which is the behaviour the threshold sweeps rely on.
+#[inline]
+pub fn clampf(x: f32, lo: f32, hi: f32) -> f32 {
+    if hi < lo {
+        return lo;
+    }
+    x.max(lo).min(hi)
+}
+
+/// Linear interpolation `a + t * (b - a)`.
+#[inline]
+pub fn lerp(a: f32, b: f32, t: f32) -> f32 {
+    a + t * (b - a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clampf_basics() {
+        assert_eq!(clampf(5.0, 0.0, 1.0), 1.0);
+        assert_eq!(clampf(-5.0, 0.0, 1.0), 0.0);
+        assert_eq!(clampf(0.5, 0.0, 1.0), 0.5);
+        // Reversed range does not panic.
+        assert_eq!(clampf(0.5, 1.0, 0.0), 1.0);
+    }
+
+    #[test]
+    fn lerp_endpoints() {
+        assert_eq!(lerp(2.0, 4.0, 0.0), 2.0);
+        assert_eq!(lerp(2.0, 4.0, 1.0), 4.0);
+        assert_eq!(lerp(2.0, 4.0, 0.5), 3.0);
+    }
+}

@@ -1,0 +1,379 @@
+//! Small column-major matrices.
+
+use crate::vec::{Vec2, Vec3, Vec4};
+use std::ops::{Add, Mul, Sub};
+
+/// A 2×2 column-major matrix.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Mat2 {
+    /// Columns of the matrix.
+    pub cols: [Vec2; 2],
+}
+
+impl Mat2 {
+    /// Identity matrix.
+    pub const IDENTITY: Self = Self {
+        cols: [Vec2 { x: 1.0, y: 0.0 }, Vec2 { x: 0.0, y: 1.0 }],
+    };
+
+    /// Builds from columns.
+    #[inline]
+    pub const fn from_cols(c0: Vec2, c1: Vec2) -> Self {
+        Self { cols: [c0, c1] }
+    }
+
+    /// Builds from row-major entries `[[a, b], [c, d]]`.
+    #[inline]
+    pub const fn from_rows(a: f32, b: f32, c: f32, d: f32) -> Self {
+        Self::from_cols(Vec2 { x: a, y: c }, Vec2 { x: b, y: d })
+    }
+
+    /// Matrix determinant.
+    #[inline]
+    pub fn det(&self) -> f32 {
+        self.cols[0].x * self.cols[1].y - self.cols[1].x * self.cols[0].y
+    }
+
+    /// Matrix inverse; returns `None` when the determinant is ~0.
+    #[inline]
+    pub fn inverse(&self) -> Option<Self> {
+        let d = self.det();
+        if d.abs() < 1e-20 {
+            return None;
+        }
+        let inv = 1.0 / d;
+        Some(Self::from_rows(
+            self.cols[1].y * inv,
+            -self.cols[1].x * inv,
+            -self.cols[0].y * inv,
+            self.cols[0].x * inv,
+        ))
+    }
+
+    /// Matrix-vector product.
+    #[inline]
+    pub fn mul_vec(&self, v: Vec2) -> Vec2 {
+        self.cols[0] * v.x + self.cols[1] * v.y
+    }
+
+    /// Transpose.
+    #[inline]
+    pub fn transpose(&self) -> Self {
+        Self::from_rows(self.cols[0].x, self.cols[0].y, self.cols[1].x, self.cols[1].y)
+    }
+}
+
+impl Mul for Mat2 {
+    type Output = Self;
+    #[inline]
+    fn mul(self, rhs: Self) -> Self {
+        Self::from_cols(self.mul_vec(rhs.cols[0]), self.mul_vec(rhs.cols[1]))
+    }
+}
+
+/// A 3×3 column-major matrix.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Mat3 {
+    /// Columns of the matrix.
+    pub cols: [Vec3; 3],
+}
+
+impl Mat3 {
+    /// Identity matrix.
+    pub const IDENTITY: Self = Self {
+        cols: [
+            Vec3 { x: 1.0, y: 0.0, z: 0.0 },
+            Vec3 { x: 0.0, y: 1.0, z: 0.0 },
+            Vec3 { x: 0.0, y: 0.0, z: 1.0 },
+        ],
+    };
+
+    /// All-zero matrix.
+    pub const ZERO: Self = Self {
+        cols: [Vec3 { x: 0.0, y: 0.0, z: 0.0 }; 3],
+    };
+
+    /// Builds from columns.
+    #[inline]
+    pub const fn from_cols(c0: Vec3, c1: Vec3, c2: Vec3) -> Self {
+        Self { cols: [c0, c1, c2] }
+    }
+
+    /// Builds from row-major entries.
+    #[inline]
+    #[allow(clippy::too_many_arguments)]
+    pub const fn from_rows(
+        m00: f32, m01: f32, m02: f32,
+        m10: f32, m11: f32, m12: f32,
+        m20: f32, m21: f32, m22: f32,
+    ) -> Self {
+        Self::from_cols(
+            Vec3 { x: m00, y: m10, z: m20 },
+            Vec3 { x: m01, y: m11, z: m21 },
+            Vec3 { x: m02, y: m12, z: m22 },
+        )
+    }
+
+    /// A diagonal matrix with diagonal `d`.
+    #[inline]
+    pub fn from_diagonal(d: Vec3) -> Self {
+        Self::from_rows(d.x, 0.0, 0.0, 0.0, d.y, 0.0, 0.0, 0.0, d.z)
+    }
+
+    /// Entry accessor `(row, col)`.
+    #[inline]
+    pub fn at(&self, row: usize, col: usize) -> f32 {
+        self.cols[col][row]
+    }
+
+    /// Mutable entry accessor `(row, col)`.
+    #[inline]
+    pub fn at_mut(&mut self, row: usize, col: usize) -> &mut f32 {
+        &mut self.cols[col][row]
+    }
+
+    /// Matrix-vector product.
+    #[inline]
+    pub fn mul_vec(&self, v: Vec3) -> Vec3 {
+        self.cols[0] * v.x + self.cols[1] * v.y + self.cols[2] * v.z
+    }
+
+    /// Transpose.
+    #[inline]
+    pub fn transpose(&self) -> Self {
+        Self::from_rows(
+            self.cols[0].x, self.cols[0].y, self.cols[0].z,
+            self.cols[1].x, self.cols[1].y, self.cols[1].z,
+            self.cols[2].x, self.cols[2].y, self.cols[2].z,
+        )
+    }
+
+    /// Determinant.
+    #[inline]
+    pub fn det(&self) -> f32 {
+        self.cols[0].dot(self.cols[1].cross(self.cols[2]))
+    }
+
+    /// Inverse; `None` when the determinant is ~0.
+    pub fn inverse(&self) -> Option<Self> {
+        let d = self.det();
+        if d.abs() < 1e-25 {
+            return None;
+        }
+        let inv = 1.0 / d;
+        let c0 = self.cols[1].cross(self.cols[2]) * inv;
+        let c1 = self.cols[2].cross(self.cols[0]) * inv;
+        let c2 = self.cols[0].cross(self.cols[1]) * inv;
+        // Rows of the inverse are the scaled cross products.
+        Some(Self::from_rows(c0.x, c0.y, c0.z, c1.x, c1.y, c1.z, c2.x, c2.y, c2.z))
+    }
+
+    /// Skew-symmetric cross-product matrix `[v]×`.
+    #[inline]
+    pub fn skew(v: Vec3) -> Self {
+        Self::from_rows(0.0, -v.z, v.y, v.z, 0.0, -v.x, -v.y, v.x, 0.0)
+    }
+
+    /// Outer product `a * bᵀ`.
+    #[inline]
+    pub fn outer(a: Vec3, b: Vec3) -> Self {
+        Self::from_cols(a * b.x, a * b.y, a * b.z)
+    }
+
+    /// Frobenius norm.
+    #[inline]
+    pub fn frobenius_norm(&self) -> f32 {
+        (self.cols[0].norm_sq() + self.cols[1].norm_sq() + self.cols[2].norm_sq()).sqrt()
+    }
+}
+
+impl Mul for Mat3 {
+    type Output = Self;
+    #[inline]
+    fn mul(self, rhs: Self) -> Self {
+        Self::from_cols(
+            self.mul_vec(rhs.cols[0]),
+            self.mul_vec(rhs.cols[1]),
+            self.mul_vec(rhs.cols[2]),
+        )
+    }
+}
+
+impl Add for Mat3 {
+    type Output = Self;
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        Self::from_cols(
+            self.cols[0] + rhs.cols[0],
+            self.cols[1] + rhs.cols[1],
+            self.cols[2] + rhs.cols[2],
+        )
+    }
+}
+
+impl Sub for Mat3 {
+    type Output = Self;
+    #[inline]
+    fn sub(self, rhs: Self) -> Self {
+        Self::from_cols(
+            self.cols[0] - rhs.cols[0],
+            self.cols[1] - rhs.cols[1],
+            self.cols[2] - rhs.cols[2],
+        )
+    }
+}
+
+impl Mul<f32> for Mat3 {
+    type Output = Self;
+    #[inline]
+    fn mul(self, rhs: f32) -> Self {
+        Self::from_cols(self.cols[0] * rhs, self.cols[1] * rhs, self.cols[2] * rhs)
+    }
+}
+
+/// A 4×4 column-major matrix (homogeneous transforms).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Mat4 {
+    /// Columns of the matrix.
+    pub cols: [Vec4; 4],
+}
+
+impl Mat4 {
+    /// Identity matrix.
+    pub const IDENTITY: Self = Self {
+        cols: [
+            Vec4 { x: 1.0, y: 0.0, z: 0.0, w: 0.0 },
+            Vec4 { x: 0.0, y: 1.0, z: 0.0, w: 0.0 },
+            Vec4 { x: 0.0, y: 0.0, z: 1.0, w: 0.0 },
+            Vec4 { x: 0.0, y: 0.0, z: 0.0, w: 1.0 },
+        ],
+    };
+
+    /// Builds a rigid transform from a rotation matrix and translation.
+    #[inline]
+    pub fn from_rotation_translation(r: Mat3, t: Vec3) -> Self {
+        Self {
+            cols: [
+                r.cols[0].extend(0.0),
+                r.cols[1].extend(0.0),
+                r.cols[2].extend(0.0),
+                t.extend(1.0),
+            ],
+        }
+    }
+
+    /// Matrix-vector product.
+    #[inline]
+    pub fn mul_vec(&self, v: Vec4) -> Vec4 {
+        self.cols[0] * v.x + self.cols[1] * v.y + self.cols[2] * v.z + self.cols[3] * v.w
+    }
+
+    /// Transforms a point (w = 1).
+    #[inline]
+    pub fn transform_point(&self, p: Vec3) -> Vec3 {
+        self.mul_vec(p.extend(1.0)).xyz()
+    }
+
+    /// Upper-left 3×3 block.
+    #[inline]
+    pub fn rotation(&self) -> Mat3 {
+        Mat3::from_cols(self.cols[0].xyz(), self.cols[1].xyz(), self.cols[2].xyz())
+    }
+
+    /// Translation column.
+    #[inline]
+    pub fn translation(&self) -> Vec3 {
+        self.cols[3].xyz()
+    }
+}
+
+impl Mul for Mat4 {
+    type Output = Self;
+    #[inline]
+    fn mul(self, rhs: Self) -> Self {
+        Self {
+            cols: [
+                self.mul_vec(rhs.cols[0]),
+                self.mul_vec(rhs.cols[1]),
+                self.mul_vec(rhs.cols[2]),
+                self.mul_vec(rhs.cols[3]),
+            ],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx(a: f32, b: f32) -> bool {
+        (a - b).abs() < 1e-4
+    }
+
+    #[test]
+    fn mat2_inverse_roundtrip() {
+        let m = Mat2::from_rows(2.0, 1.0, 1.0, 3.0);
+        let inv = m.inverse().unwrap();
+        let id = m * inv;
+        assert!(approx(id.cols[0].x, 1.0) && approx(id.cols[1].y, 1.0));
+        assert!(approx(id.cols[0].y, 0.0) && approx(id.cols[1].x, 0.0));
+    }
+
+    #[test]
+    fn mat2_singular_returns_none() {
+        let m = Mat2::from_rows(1.0, 2.0, 2.0, 4.0);
+        assert!(m.inverse().is_none());
+    }
+
+    #[test]
+    fn mat3_inverse_roundtrip() {
+        let m = Mat3::from_rows(2.0, 0.5, 0.0, -1.0, 3.0, 0.2, 0.0, 0.1, 1.5);
+        let inv = m.inverse().unwrap();
+        let id = m * inv;
+        for r in 0..3 {
+            for c in 0..3 {
+                let expect = if r == c { 1.0 } else { 0.0 };
+                assert!(approx(id.at(r, c), expect), "entry ({r},{c}) = {}", id.at(r, c));
+            }
+        }
+    }
+
+    #[test]
+    fn mat3_det_of_identity() {
+        assert!(approx(Mat3::IDENTITY.det(), 1.0));
+    }
+
+    #[test]
+    fn skew_matches_cross() {
+        let a = Vec3::new(0.3, -1.2, 2.0);
+        let b = Vec3::new(1.5, 0.4, -0.7);
+        let via_mat = Mat3::skew(a).mul_vec(b);
+        let direct = a.cross(b);
+        assert!((via_mat - direct).norm() < 1e-5);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let m = Mat3::from_rows(1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0);
+        assert_eq!(m.transpose().transpose(), m);
+        assert!(approx(m.at(0, 1), 2.0));
+        assert!(approx(m.transpose().at(0, 1), 4.0));
+    }
+
+    #[test]
+    fn mat4_rigid_transform() {
+        let r = Mat3::IDENTITY;
+        let t = Vec3::new(1.0, 2.0, 3.0);
+        let m = Mat4::from_rotation_translation(r, t);
+        assert_eq!(m.transform_point(Vec3::ZERO), t);
+        assert_eq!(m.rotation(), r);
+        assert_eq!(m.translation(), t);
+    }
+
+    #[test]
+    fn outer_product_rank_one() {
+        let m = Mat3::outer(Vec3::X, Vec3::Y);
+        assert!(approx(m.at(0, 1), 1.0));
+        assert!(approx(m.det(), 0.0));
+    }
+}

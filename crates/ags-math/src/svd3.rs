@@ -1,0 +1,217 @@
+//! Jacobi eigendecomposition and SVD for 3×3 matrices.
+//!
+//! Used by the Umeyama alignment in trajectory evaluation (ATE) and by tests
+//! that validate Gaussian covariance construction.
+
+use crate::mat::Mat3;
+use crate::vec::Vec3;
+
+/// Eigendecomposition of a symmetric 3×3 matrix.
+#[derive(Debug, Clone, Copy)]
+pub struct SymEigen3 {
+    /// Eigenvalues, sorted descending.
+    pub values: Vec3,
+    /// Matching eigenvectors as the columns of an orthonormal matrix.
+    pub vectors: Mat3,
+}
+
+/// Computes the eigendecomposition of a symmetric 3×3 matrix using cyclic
+/// Jacobi rotations (f64 internally).
+///
+/// The input is symmetrised (`(A + Aᵀ)/2`) before decomposition, so slightly
+/// asymmetric inputs caused by float round-off are fine.
+pub fn sym_eigen3(m: &Mat3) -> SymEigen3 {
+    // Work in f64 for stability.
+    let mut a = [[0.0f64; 3]; 3];
+    for r in 0..3 {
+        for c in 0..3 {
+            a[r][c] = 0.5 * (m.at(r, c) as f64 + m.at(c, r) as f64);
+        }
+    }
+    let mut v = [[0.0f64; 3]; 3];
+    for (i, row) in v.iter_mut().enumerate() {
+        row[i] = 1.0;
+    }
+
+    for _sweep in 0..32 {
+        let off = a[0][1].abs() + a[0][2].abs() + a[1][2].abs();
+        if off < 1e-15 {
+            break;
+        }
+        for (p, q) in [(0usize, 1usize), (0, 2), (1, 2)] {
+            if a[p][q].abs() < 1e-18 {
+                continue;
+            }
+            let theta = (a[q][q] - a[p][p]) / (2.0 * a[p][q]);
+            let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+            let c = 1.0 / (t * t + 1.0).sqrt();
+            let s = t * c;
+            // Apply the rotation G(p, q, theta) on both sides.
+            let app = a[p][p];
+            let aqq = a[q][q];
+            let apq = a[p][q];
+            a[p][p] = c * c * app - 2.0 * s * c * apq + s * s * aqq;
+            a[q][q] = s * s * app + 2.0 * s * c * apq + c * c * aqq;
+            a[p][q] = 0.0;
+            a[q][p] = 0.0;
+            for k in 0..3 {
+                if k != p && k != q {
+                    let akp = a[k][p];
+                    let akq = a[k][q];
+                    a[k][p] = c * akp - s * akq;
+                    a[p][k] = a[k][p];
+                    a[k][q] = s * akp + c * akq;
+                    a[q][k] = a[k][q];
+                }
+                let vkp = v[k][p];
+                let vkq = v[k][q];
+                v[k][p] = c * vkp - s * vkq;
+                v[k][q] = s * vkp + c * vkq;
+            }
+        }
+    }
+
+    // Sort eigenpairs descending by eigenvalue.
+    let mut order = [0usize, 1, 2];
+    order.sort_by(|&i, &j| a[j][j].partial_cmp(&a[i][i]).unwrap());
+    let values = Vec3::new(
+        a[order[0]][order[0]] as f32,
+        a[order[1]][order[1]] as f32,
+        a[order[2]][order[2]] as f32,
+    );
+    let col = |idx: usize| Vec3::new(v[0][idx] as f32, v[1][idx] as f32, v[2][idx] as f32);
+    let vectors = Mat3::from_cols(col(order[0]), col(order[1]), col(order[2]));
+    SymEigen3 { values, vectors }
+}
+
+/// Singular value decomposition `A = U diag(S) Vᵀ` of a 3×3 matrix.
+#[derive(Debug, Clone, Copy)]
+pub struct Svd3 {
+    /// Left singular vectors.
+    pub u: Mat3,
+    /// Singular values, sorted descending (non-negative).
+    pub s: Vec3,
+    /// Right singular vectors.
+    pub v: Mat3,
+}
+
+/// Computes the SVD of a 3×3 matrix via the eigendecomposition of `AᵀA`.
+pub fn svd3(m: &Mat3) -> Svd3 {
+    let ata = m.transpose() * *m;
+    let eig = sym_eigen3(&ata);
+    let s = Vec3::new(
+        eig.values.x.max(0.0).sqrt(),
+        eig.values.y.max(0.0).sqrt(),
+        eig.values.z.max(0.0).sqrt(),
+    );
+    let v = eig.vectors;
+    // U columns: A v_i / s_i, with Gram-Schmidt fallback for tiny singular values.
+    let mut u_cols = [Vec3::ZERO; 3];
+    for i in 0..3 {
+        let si = [s.x, s.y, s.z][i];
+        if si > 1e-10 {
+            u_cols[i] = m.mul_vec(v.cols[i]) / si;
+        }
+    }
+    // Complete/orthonormalise U.
+    if u_cols[0].norm_sq() < 0.5 {
+        u_cols[0] = Vec3::X;
+    }
+    u_cols[0] = u_cols[0].normalized();
+    u_cols[1] = u_cols[1] - u_cols[0] * u_cols[0].dot(u_cols[1]);
+    if u_cols[1].norm_sq() < 1e-12 {
+        u_cols[1] = pick_orthogonal(u_cols[0]);
+    }
+    u_cols[1] = u_cols[1].normalized();
+    let c2 = u_cols[0].cross(u_cols[1]);
+    u_cols[2] = if u_cols[2].norm_sq() > 1e-12 && u_cols[2].dot(c2) < 0.0 { -1.0 * c2 } else { c2 };
+    let u = Mat3::from_cols(u_cols[0], u_cols[1], u_cols[2]);
+    Svd3 { u, s, v }
+}
+
+fn pick_orthogonal(v: Vec3) -> Vec3 {
+    let candidate = if v.x.abs() < 0.9 { Vec3::X } else { Vec3::Y };
+    (candidate - v * v.dot(candidate)).normalized()
+}
+
+/// Finds the rotation (and optional reflection fix) closest to `m` in the
+/// Frobenius sense: `R = U diag(1, 1, det(UVᵀ)) Vᵀ`.
+///
+/// This is the orthogonal Procrustes solution used by Umeyama alignment.
+pub fn closest_rotation(m: &Mat3) -> Mat3 {
+    let Svd3 { u, s: _, v } = svd3(m);
+    let d = (u * v.transpose()).det();
+    let fix = Mat3::from_diagonal(Vec3::new(1.0, 1.0, if d < 0.0 { -1.0 } else { 1.0 }));
+    u * fix * v.transpose()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quat::Quat;
+
+    fn mat_close(a: &Mat3, b: &Mat3, tol: f32) -> bool {
+        (*a - *b).frobenius_norm() < tol
+    }
+
+    #[test]
+    fn eigen_of_diagonal() {
+        let m = Mat3::from_diagonal(Vec3::new(3.0, 1.0, 2.0));
+        let e = sym_eigen3(&m);
+        assert!((e.values.x - 3.0).abs() < 1e-5);
+        assert!((e.values.y - 2.0).abs() < 1e-5);
+        assert!((e.values.z - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn eigen_reconstructs_matrix() {
+        let q = Quat::from_axis_angle(Vec3::new(1.0, 2.0, 3.0), 0.8).to_matrix();
+        let d = Mat3::from_diagonal(Vec3::new(5.0, 2.0, 0.5));
+        let m = q * d * q.transpose();
+        let e = sym_eigen3(&m);
+        let rec = e.vectors * Mat3::from_diagonal(e.values) * e.vectors.transpose();
+        assert!(mat_close(&rec, &m, 1e-3));
+    }
+
+    #[test]
+    fn eigenvectors_orthonormal() {
+        let m = Mat3::from_rows(4.0, 1.0, 0.5, 1.0, 3.0, 0.2, 0.5, 0.2, 2.0);
+        let e = sym_eigen3(&m);
+        let vtv = e.vectors.transpose() * e.vectors;
+        assert!(mat_close(&vtv, &Mat3::IDENTITY, 1e-4));
+    }
+
+    #[test]
+    fn svd_reconstructs() {
+        let m = Mat3::from_rows(1.0, 2.0, 0.0, -0.5, 1.5, 3.0, 2.0, 0.1, -1.0);
+        let svd = svd3(&m);
+        let rec = svd.u * Mat3::from_diagonal(svd.s) * svd.v.transpose();
+        assert!(mat_close(&rec, &m, 1e-3), "reconstruction error {}", (rec - m).frobenius_norm());
+    }
+
+    #[test]
+    fn svd_singular_values_nonnegative_sorted() {
+        let m = Mat3::from_rows(0.0, -2.0, 0.0, 3.0, 0.0, 0.0, 0.0, 0.0, 0.0);
+        let svd = svd3(&m);
+        assert!(svd.s.x >= svd.s.y && svd.s.y >= svd.s.z);
+        assert!(svd.s.z >= 0.0);
+        assert!((svd.s.x - 3.0).abs() < 1e-4);
+        assert!((svd.s.y - 2.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn closest_rotation_of_rotation_is_itself() {
+        let r = Quat::from_axis_angle(Vec3::new(0.2, 1.0, -0.3), 1.2).to_matrix();
+        let c = closest_rotation(&r);
+        assert!(mat_close(&c, &r, 1e-3));
+    }
+
+    #[test]
+    fn closest_rotation_is_orthonormal_with_positive_det() {
+        let m = Mat3::from_rows(1.0, 0.2, 0.0, 0.1, 0.8, 0.05, 0.0, 0.3, 1.2);
+        let r = closest_rotation(&m);
+        let rtr = r.transpose() * r;
+        assert!(mat_close(&rtr, &Mat3::IDENTITY, 1e-3));
+        assert!((r.det() - 1.0).abs() < 1e-3);
+    }
+}

@@ -1,0 +1,184 @@
+//! The assembled Droid-style backbone: feature encoder + ConvGRU updates.
+
+use crate::layers::{Conv2d, ConvGru};
+use crate::tensor::Tensor;
+use ags_image::GrayImage;
+use ags_math::Pcg32;
+
+/// Workload report for one backbone invocation (cost-model input).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BackboneReport {
+    /// Multiply-accumulates in the feature encoder.
+    pub encoder_macs: u64,
+    /// Multiply-accumulates across all GRU iterations.
+    pub gru_macs: u64,
+    /// GRU iterations executed.
+    pub iterations: u32,
+    /// Bytes of activations produced (4 bytes per element).
+    pub activation_bytes: u64,
+}
+
+impl BackboneReport {
+    /// Total MACs.
+    pub fn total_macs(&self) -> u64 {
+        self.encoder_macs + self.gru_macs
+    }
+}
+
+/// A Droid-SLAM-style backbone: a 3-stage strided convolutional encoder
+/// (1/8 resolution features) and a ConvGRU update operator iterated a fixed
+/// number of times per frame pair.
+#[derive(Debug, Clone)]
+pub struct DroidBackbone {
+    enc1: Conv2d,
+    enc2: Conv2d,
+    enc3: Conv2d,
+    gru: ConvGru,
+    /// GRU iterations per frame (Droid-SLAM uses ~8–12 update steps).
+    pub gru_iterations: u32,
+}
+
+impl DroidBackbone {
+    /// Feature channels at 1/8 resolution.
+    pub const FEATURE_CHANNELS: usize = 16;
+    /// Hidden state channels of the update GRU.
+    pub const HIDDEN_CHANNELS: usize = 16;
+
+    /// Builds the backbone with deterministic weights from `seed`.
+    pub fn new(seed: u64, gru_iterations: u32) -> Self {
+        let mut rng = Pcg32::seeded(seed);
+        Self {
+            enc1: Conv2d::new(2, 8, 3, 2, 1, &mut rng),
+            enc2: Conv2d::new(8, 12, 3, 2, 1, &mut rng),
+            enc3: Conv2d::new(12, Self::FEATURE_CHANNELS, 3, 2, 1, &mut rng),
+            gru: ConvGru::new(Self::HIDDEN_CHANNELS, Self::FEATURE_CHANNELS, &mut rng),
+            gru_iterations,
+        }
+    }
+
+    /// Total parameter count.
+    pub fn num_params(&self) -> usize {
+        self.enc1.num_params() + self.enc2.num_params() + self.enc3.num_params()
+    }
+
+    /// Runs the backbone over a frame pair (current + previous luminance),
+    /// returning the final hidden state and the workload report.
+    ///
+    /// The hidden state is what a learned Droid head would decode into flow
+    /// revisions; in this reproduction the geometric solve happens in
+    /// `ags-track`, so the hidden state is returned for inspection/testing
+    /// and the report feeds the hardware cost models.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the two images have different dimensions.
+    pub fn run(&self, current: &GrayImage, previous: &GrayImage) -> (Tensor, BackboneReport) {
+        assert_eq!(current.width(), previous.width(), "frame width mismatch");
+        assert_eq!(current.height(), previous.height(), "frame height mismatch");
+
+        // Two-channel input: current frame and temporal difference.
+        let n = current.len();
+        let mut data = Vec::with_capacity(2 * n);
+        data.extend_from_slice(current.pixels());
+        data.extend(current.pixels().iter().zip(previous.pixels()).map(|(&c, &p)| c - p));
+        let input = Tensor::from_vec(2, current.height(), current.width(), data);
+
+        let mut report = BackboneReport::default();
+        let (h0, w0) = (input.height(), input.width());
+        report.encoder_macs += self.enc1.macs(h0, w0);
+        let mut x = self.enc1.forward(&input);
+        x.relu_inplace();
+        report.encoder_macs += self.enc2.macs(x.height(), x.width());
+        let mut x2 = self.enc2.forward(&x);
+        x2.relu_inplace();
+        report.encoder_macs += self.enc3.macs(x2.height(), x2.width());
+        let mut features = self.enc3.forward(&x2);
+        features.relu_inplace();
+        report.activation_bytes +=
+            4 * (x.len() as u64 + x2.len() as u64 + features.len() as u64);
+
+        let mut hidden = Tensor::zeros(Self::HIDDEN_CHANNELS, features.height(), features.width());
+        for _ in 0..self.gru_iterations {
+            report.gru_macs += self.gru.macs(features.height(), features.width());
+            hidden = self.gru.step(&hidden, &features);
+            report.activation_bytes += 4 * hidden.len() as u64;
+        }
+        report.iterations = self.gru_iterations;
+        (hidden, report)
+    }
+
+    /// Predicted MACs for a `(width, height)` frame without running.
+    pub fn predict_macs(&self, width: usize, height: usize) -> u64 {
+        let (h1, w1) = self.enc1.output_size(height, width);
+        let (h2, w2) = self.enc2.output_size(h1, w1);
+        let (h3, w3) = self.enc3.output_size(h2, w2);
+        self.enc1.macs(height, width)
+            + self.enc2.macs(h1, w1)
+            + self.enc3.macs(h2, w2)
+            + self.gru.macs(h3, w3) * self.gru_iterations as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame(seed: u64) -> GrayImage {
+        let mut rng = Pcg32::seeded(seed);
+        GrayImage::from_vec(32, 24, (0..32 * 24).map(|_| rng.next_f32()).collect())
+    }
+
+    #[test]
+    fn run_produces_eighth_resolution_state() {
+        let bb = DroidBackbone::new(1, 4);
+        let (hidden, report) = bb.run(&frame(1), &frame(2));
+        assert_eq!(hidden.channels(), DroidBackbone::HIDDEN_CHANNELS);
+        assert_eq!(hidden.height(), 3); // 24 / 8
+        assert_eq!(hidden.width(), 4); // 32 / 8
+        assert_eq!(report.iterations, 4);
+        assert!(report.encoder_macs > 0 && report.gru_macs > 0);
+    }
+
+    #[test]
+    fn report_matches_prediction() {
+        let bb = DroidBackbone::new(2, 6);
+        let (_, report) = bb.run(&frame(3), &frame(4));
+        assert_eq!(report.total_macs(), bb.predict_macs(32, 24));
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        let a = DroidBackbone::new(9, 3);
+        let b = DroidBackbone::new(9, 3);
+        let (ha, _) = a.run(&frame(5), &frame(6));
+        let (hb, _) = b.run(&frame(5), &frame(6));
+        assert_eq!(ha.data(), hb.data());
+    }
+
+    #[test]
+    fn different_inputs_different_states() {
+        let bb = DroidBackbone::new(4, 3);
+        let (ha, _) = bb.run(&frame(1), &frame(2));
+        let (hb, _) = bb.run(&frame(7), &frame(8));
+        assert_ne!(ha.data(), hb.data());
+    }
+
+    #[test]
+    fn more_iterations_more_macs() {
+        let short = DroidBackbone::new(1, 2);
+        let long = DroidBackbone::new(1, 8);
+        assert!(long.predict_macs(64, 48) > short.predict_macs(64, 48));
+        // Encoder cost identical; difference is exactly 6 GRU steps.
+        let diff = long.predict_macs(64, 48) - short.predict_macs(64, 48);
+        assert_eq!(diff % 6, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn mismatched_frames_panic() {
+        let bb = DroidBackbone::new(1, 1);
+        let a = GrayImage::new(16, 16);
+        let b = GrayImage::new(8, 16);
+        let _ = bb.run(&a, &b);
+    }
+}

@@ -1,0 +1,261 @@
+//! Convolution and ConvGRU layers with exact MAC accounting.
+
+use crate::tensor::Tensor;
+use ags_math::Pcg32;
+
+/// A strided, zero-padded 2D convolution.
+#[derive(Debug, Clone)]
+pub struct Conv2d {
+    in_channels: usize,
+    out_channels: usize,
+    kernel: usize,
+    stride: usize,
+    padding: usize,
+    /// Weights in `(out, in, ky, kx)` order.
+    weights: Vec<f32>,
+    bias: Vec<f32>,
+}
+
+impl Conv2d {
+    /// Creates a convolution with deterministic He-style initialisation.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero-sized configuration.
+    pub fn new(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+        rng: &mut Pcg32,
+    ) -> Self {
+        assert!(in_channels > 0 && out_channels > 0 && kernel > 0 && stride > 0);
+        let fan_in = (in_channels * kernel * kernel) as f32;
+        let std = (2.0 / fan_in).sqrt();
+        let weights = (0..out_channels * in_channels * kernel * kernel)
+            .map(|_| rng.normal_f32() * std)
+            .collect();
+        let bias = vec![0.0; out_channels];
+        Self { in_channels, out_channels, kernel, stride, padding, weights, bias }
+    }
+
+    /// Output spatial size for an input of `(h, w)`.
+    pub fn output_size(&self, h: usize, w: usize) -> (usize, usize) {
+        let oh = (h + 2 * self.padding - self.kernel) / self.stride + 1;
+        let ow = (w + 2 * self.padding - self.kernel) / self.stride + 1;
+        (oh, ow)
+    }
+
+    /// Number of multiply-accumulates for an input of `(h, w)`.
+    pub fn macs(&self, h: usize, w: usize) -> u64 {
+        let (oh, ow) = self.output_size(h, w);
+        (oh * ow * self.out_channels * self.in_channels * self.kernel * self.kernel) as u64
+    }
+
+    /// Parameter count (weights + biases).
+    pub fn num_params(&self) -> usize {
+        self.weights.len() + self.bias.len()
+    }
+
+    /// Runs the convolution.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the input channel count differs from the layer's.
+    pub fn forward(&self, input: &Tensor) -> Tensor {
+        assert_eq!(input.channels(), self.in_channels, "conv input channel mismatch");
+        let (oh, ow) = self.output_size(input.height(), input.width());
+        let mut out = Tensor::zeros(self.out_channels, oh, ow);
+        let k = self.kernel;
+        for oc in 0..self.out_channels {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = self.bias[oc];
+                    let base_y = (oy * self.stride) as isize - self.padding as isize;
+                    let base_x = (ox * self.stride) as isize - self.padding as isize;
+                    for ic in 0..self.in_channels {
+                        for ky in 0..k {
+                            let iy = base_y + ky as isize;
+                            if iy < 0 || iy >= input.height() as isize {
+                                continue;
+                            }
+                            for kx in 0..k {
+                                let ix = base_x + kx as isize;
+                                if ix < 0 || ix >= input.width() as isize {
+                                    continue;
+                                }
+                                let w = self.weights
+                                    [((oc * self.in_channels + ic) * k + ky) * k + kx];
+                                acc += w * input.at(ic, iy as usize, ix as usize);
+                            }
+                        }
+                    }
+                    *out.at_mut(oc, oy, ox) = acc;
+                }
+            }
+        }
+        out
+    }
+}
+
+/// A convolutional GRU cell — the Droid-SLAM update operator.
+///
+/// Gates are computed by 3×3 convolutions over the concatenation of the
+/// hidden state and the input:
+///
+/// ```text
+/// z = σ(Conv([h, x]))      update gate
+/// r = σ(Conv([h, x]))      reset gate
+/// h̃ = tanh(Conv([r∘h, x]))
+/// h' = (1-z)∘h + z∘h̃
+/// ```
+#[derive(Debug, Clone)]
+pub struct ConvGru {
+    hidden_channels: usize,
+    conv_z: Conv2d,
+    conv_r: Conv2d,
+    conv_h: Conv2d,
+}
+
+impl ConvGru {
+    /// Creates a ConvGRU with `hidden_channels` state channels receiving
+    /// `input_channels` input channels.
+    pub fn new(hidden_channels: usize, input_channels: usize, rng: &mut Pcg32) -> Self {
+        let cat = hidden_channels + input_channels;
+        Self {
+            hidden_channels,
+            conv_z: Conv2d::new(cat, hidden_channels, 3, 1, 1, rng),
+            conv_r: Conv2d::new(cat, hidden_channels, 3, 1, 1, rng),
+            conv_h: Conv2d::new(cat, hidden_channels, 3, 1, 1, rng),
+        }
+    }
+
+    /// Hidden state channel count.
+    pub fn hidden_channels(&self) -> usize {
+        self.hidden_channels
+    }
+
+    /// MACs per step for a `(h, w)` spatial grid.
+    pub fn macs(&self, h: usize, w: usize) -> u64 {
+        self.conv_z.macs(h, w) + self.conv_r.macs(h, w) + self.conv_h.macs(h, w)
+    }
+
+    /// One GRU step; returns the new hidden state.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `hidden` has the wrong channel count or spatial dims
+    /// differ from `input`.
+    pub fn step(&self, hidden: &Tensor, input: &Tensor) -> Tensor {
+        assert_eq!(hidden.channels(), self.hidden_channels, "hidden channel mismatch");
+        let hx = hidden.concat_channels(input);
+        let mut z = self.conv_z.forward(&hx);
+        z.sigmoid_inplace();
+        let mut r = self.conv_r.forward(&hx);
+        r.sigmoid_inplace();
+
+        // r ∘ h concatenated with x.
+        let mut rh = hidden.clone();
+        for (v, g) in rh.data_mut().iter_mut().zip(r.data()) {
+            *v *= g;
+        }
+        let rhx = rh.concat_channels(input);
+        let mut h_tilde = self.conv_h.forward(&rhx);
+        h_tilde.tanh_inplace();
+
+        let mut out = hidden.clone();
+        for i in 0..out.len() {
+            let zi = z.data()[i];
+            out.data_mut()[i] = (1.0 - zi) * hidden.data()[i] + zi * h_tilde.data()[i];
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> Pcg32 {
+        Pcg32::seeded(77)
+    }
+
+    #[test]
+    fn conv_output_dims() {
+        let conv = Conv2d::new(1, 4, 3, 2, 1, &mut rng());
+        assert_eq!(conv.output_size(16, 16), (8, 8));
+        let out = conv.forward(&Tensor::zeros(1, 16, 16));
+        assert_eq!((out.channels(), out.height(), out.width()), (4, 8, 8));
+    }
+
+    #[test]
+    fn conv_macs_formula() {
+        let conv = Conv2d::new(2, 3, 3, 1, 1, &mut rng());
+        // 8*8 output * 3 out * 2 in * 9 = 3456
+        assert_eq!(conv.macs(8, 8), 3456);
+        assert_eq!(conv.num_params(), 3 * 2 * 9 + 3);
+    }
+
+    #[test]
+    fn conv_identity_kernel_passthrough() {
+        // Hand-build a 1x1 identity convolution.
+        let mut conv = Conv2d::new(1, 1, 1, 1, 0, &mut rng());
+        conv.weights = vec![1.0];
+        conv.bias = vec![0.0];
+        let input = Tensor::from_vec(1, 2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let out = conv.forward(&input);
+        assert_eq!(out.data(), input.data());
+    }
+
+    #[test]
+    fn conv_zero_padding_ignores_border() {
+        let mut conv = Conv2d::new(1, 1, 3, 1, 1, &mut rng());
+        // Sum kernel.
+        conv.weights = vec![1.0; 9];
+        conv.bias = vec![0.0];
+        let input = Tensor::from_vec(1, 2, 2, vec![1.0; 4]);
+        let out = conv.forward(&input);
+        // Corner output only sees 4 valid pixels.
+        assert_eq!(out.at(0, 0, 0), 4.0);
+    }
+
+    #[test]
+    fn conv_deterministic_weights() {
+        let a = Conv2d::new(2, 2, 3, 1, 1, &mut Pcg32::seeded(5));
+        let b = Conv2d::new(2, 2, 3, 1, 1, &mut Pcg32::seeded(5));
+        let input = Tensor::from_vec(2, 3, 3, (0..18).map(|i| i as f32 * 0.1).collect());
+        assert_eq!(a.forward(&input).data(), b.forward(&input).data());
+    }
+
+    #[test]
+    fn gru_preserves_shape_and_stays_bounded() {
+        let gru = ConvGru::new(4, 2, &mut rng());
+        let mut h = Tensor::zeros(4, 6, 6);
+        let x = Tensor::from_vec(2, 6, 6, (0..72).map(|i| (i as f32 * 0.37).sin()).collect());
+        for _ in 0..5 {
+            h = gru.step(&h, &x);
+            assert_eq!((h.channels(), h.height(), h.width()), (4, 6, 6));
+            // GRU state is a convex combination of bounded quantities.
+            assert!(h.data().iter().all(|v| v.abs() <= 1.0 + 1e-5));
+        }
+    }
+
+    #[test]
+    fn gru_state_responds_to_input() {
+        let gru = ConvGru::new(3, 1, &mut rng());
+        let h0 = Tensor::zeros(3, 4, 4);
+        let x_zero = Tensor::zeros(1, 4, 4);
+        let x_strong = Tensor::from_vec(1, 4, 4, vec![1.0; 16]);
+        let h_zero = gru.step(&h0, &x_zero);
+        let h_strong = gru.step(&h0, &x_strong);
+        assert_ne!(h_zero.data(), h_strong.data());
+    }
+
+    #[test]
+    fn gru_macs_counts_three_convs() {
+        let gru = ConvGru::new(4, 2, &mut rng());
+        // Each gate conv: (4+2) in, 4 out, 3x3, same spatial -> h*w*4*6*9.
+        assert_eq!(gru.macs(5, 5), 3 * (5 * 5 * 4 * 6 * 9) as u64);
+    }
+}

@@ -1,0 +1,159 @@
+//! Pinhole camera model.
+
+use ags_math::{Vec2, Vec3};
+
+/// Pinhole camera intrinsics.
+///
+/// The camera frame has +X right, +Y down, +Z forward (looking direction).
+/// Pixel centers sit at integer coordinates; the image spans
+/// `[-0.5, width - 0.5] × [-0.5, height - 0.5]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PinholeCamera {
+    /// Focal length in pixels along x.
+    pub fx: f32,
+    /// Focal length in pixels along y.
+    pub fy: f32,
+    /// Principal point x.
+    pub cx: f32,
+    /// Principal point y.
+    pub cy: f32,
+    /// Image width in pixels.
+    pub width: usize,
+    /// Image height in pixels.
+    pub height: usize,
+}
+
+impl PinholeCamera {
+    /// Creates intrinsics for an image of `width`×`height` with a horizontal
+    /// field of view of `fov_x` radians and the principal point at the image
+    /// center.
+    pub fn from_fov(width: usize, height: usize, fov_x: f32) -> Self {
+        let fx = width as f32 / (2.0 * (fov_x * 0.5).tan());
+        Self {
+            fx,
+            fy: fx,
+            cx: (width as f32 - 1.0) * 0.5,
+            cy: (height as f32 - 1.0) * 0.5,
+            width,
+            height,
+        }
+    }
+
+    /// Scales intrinsics by `s` (for pyramid levels), producing intrinsics
+    /// for an image of dimensions `round(width * s)` × `round(height * s)`.
+    pub fn scaled(&self, s: f32) -> Self {
+        Self {
+            fx: self.fx * s,
+            fy: self.fy * s,
+            cx: (self.cx + 0.5) * s - 0.5,
+            cy: (self.cy + 0.5) * s - 0.5,
+            width: ((self.width as f32) * s).round().max(1.0) as usize,
+            height: ((self.height as f32) * s).round().max(1.0) as usize,
+        }
+    }
+
+    /// Projects a camera-frame point to pixel coordinates; `None` when the
+    /// point is behind the camera (z <= near plane).
+    #[inline]
+    pub fn project(&self, p_cam: Vec3) -> Option<Vec2> {
+        if p_cam.z < 1e-4 {
+            return None;
+        }
+        Some(Vec2::new(
+            self.fx * p_cam.x / p_cam.z + self.cx,
+            self.fy * p_cam.y / p_cam.z + self.cy,
+        ))
+    }
+
+    /// Back-projects a pixel at depth `z` into the camera frame.
+    #[inline]
+    pub fn unproject(&self, pixel: Vec2, z: f32) -> Vec3 {
+        Vec3::new(
+            (pixel.x - self.cx) / self.fx * z,
+            (pixel.y - self.cy) / self.fy * z,
+            z,
+        )
+    }
+
+    /// Unit ray direction through a pixel, in the camera frame.
+    #[inline]
+    pub fn ray_dir(&self, pixel: Vec2) -> Vec3 {
+        self.unproject(pixel, 1.0).normalized()
+    }
+
+    /// True when pixel coordinates fall inside the image bounds.
+    #[inline]
+    pub fn contains(&self, pixel: Vec2) -> bool {
+        pixel.x >= -0.5
+            && pixel.y >= -0.5
+            && pixel.x < self.width as f32 - 0.5
+            && pixel.y < self.height as f32 - 0.5
+    }
+
+    /// Total pixel count.
+    #[inline]
+    pub fn num_pixels(&self) -> usize {
+        self.width * self.height
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cam() -> PinholeCamera {
+        PinholeCamera::from_fov(64, 48, 1.2)
+    }
+
+    #[test]
+    fn project_unproject_roundtrip() {
+        let c = cam();
+        let p = Vec3::new(0.3, -0.2, 2.5);
+        let px = c.project(p).unwrap();
+        let back = c.unproject(px, p.z);
+        assert!((back - p).norm() < 1e-4);
+    }
+
+    #[test]
+    fn center_pixel_projects_to_principal_point() {
+        let c = cam();
+        let px = c.project(Vec3::new(0.0, 0.0, 1.0)).unwrap();
+        assert!((px.x - c.cx).abs() < 1e-5);
+        assert!((px.y - c.cy).abs() < 1e-5);
+    }
+
+    #[test]
+    fn behind_camera_returns_none() {
+        let c = cam();
+        assert!(c.project(Vec3::new(0.0, 0.0, -1.0)).is_none());
+        assert!(c.project(Vec3::new(0.0, 0.0, 0.0)).is_none());
+    }
+
+    #[test]
+    fn ray_dir_is_unit_and_forward() {
+        let c = cam();
+        let d = c.ray_dir(Vec2::new(5.0, 7.0));
+        assert!((d.norm() - 1.0).abs() < 1e-5);
+        assert!(d.z > 0.0);
+    }
+
+    #[test]
+    fn contains_boundaries() {
+        let c = cam();
+        assert!(c.contains(Vec2::new(0.0, 0.0)));
+        assert!(c.contains(Vec2::new(63.0, 47.0)));
+        assert!(!c.contains(Vec2::new(64.0, 10.0)));
+        assert!(!c.contains(Vec2::new(-1.0, 10.0)));
+    }
+
+    #[test]
+    fn scaled_halves_projection() {
+        let c = cam();
+        let half = c.scaled(0.5);
+        assert_eq!(half.width, 32);
+        let p = Vec3::new(0.4, 0.1, 2.0);
+        let full_px = c.project(p).unwrap();
+        let half_px = half.project(p).unwrap();
+        assert!(((full_px.x + 0.5) * 0.5 - 0.5 - half_px.x).abs() < 1e-4);
+    }
+}

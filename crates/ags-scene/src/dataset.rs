@@ -1,0 +1,656 @@
+//! Named dataset stand-ins for the paper's evaluation sequences.
+//!
+//! One [`SceneId`] exists per sequence used in the paper: five TUM-RGBD
+//! stand-ins (`Desk`, `Desk2`, `Room`, `Xyz`, `House`), two Replica stand-ins
+//! (`Room0`, `Office0`) and two ScanNet++ stand-ins (`S1`, `S2`). Geometry,
+//! textures and — most importantly — the trajectory covisibility profile are
+//! tuned per scene: Replica-style scenes are smooth and easy (the paper
+//! reports ≤ 0.5 cm ATE there), TUM-style scenes contain handheld jitter and
+//! fast-motion bursts.
+
+use crate::camera::PinholeCamera;
+use crate::primitive::{Primitive, Shape};
+use crate::scene::Scene;
+use crate::texture::Texture;
+use crate::trajectory::{PathKind, TrajectoryProfile};
+use ags_image::{DepthImage, RgbImage};
+use ags_math::{Se3, Vec3};
+
+/// Identifier of a generated benchmark sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum SceneId {
+    /// TUM `fr1/desk` stand-in: orbit around a cluttered desk.
+    Desk,
+    /// TUM `fr1/desk2` stand-in: same desk, jerkier motion.
+    Desk2,
+    /// TUM `fr1/room` stand-in: room sweep with large rotations.
+    Room,
+    /// TUM `fr1/xyz` stand-in: axis translations, nearly fixed orientation.
+    Xyz,
+    /// A house-scale walkthrough ("House" in the paper's tables).
+    House,
+    /// Replica `room0` stand-in: smooth synthetic motion.
+    Room0,
+    /// Replica `office0` stand-in: smooth synthetic motion.
+    Office0,
+    /// ScanNet++ sequence 1 stand-in: handheld scan.
+    S1,
+    /// ScanNet++ sequence 2 stand-in: handheld scan.
+    S2,
+}
+
+impl SceneId {
+    /// All scenes, in the order the paper's figures list them.
+    pub const ALL: [SceneId; 9] = [
+        SceneId::Desk,
+        SceneId::Desk2,
+        SceneId::Room,
+        SceneId::Xyz,
+        SceneId::House,
+        SceneId::Room0,
+        SceneId::Office0,
+        SceneId::S1,
+        SceneId::S2,
+    ];
+
+    /// The five TUM-RGBD stand-ins used by Table 2 / Figs. 17–22.
+    pub const TUM: [SceneId; 5] =
+        [SceneId::Desk, SceneId::Desk2, SceneId::Room, SceneId::Xyz, SceneId::House];
+
+    /// Display name matching the paper's tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SceneId::Desk => "Desk",
+            SceneId::Desk2 => "Desk2",
+            SceneId::Room => "Room",
+            SceneId::Xyz => "Xyz",
+            SceneId::House => "House",
+            SceneId::Room0 => "Room0",
+            SceneId::Office0 => "Office0",
+            SceneId::S1 => "S1",
+            SceneId::S2 => "S2",
+        }
+    }
+
+    /// Deterministic per-scene seed.
+    fn seed(&self) -> u64 {
+        match self {
+            SceneId::Desk => 101,
+            SceneId::Desk2 => 202,
+            SceneId::Room => 303,
+            SceneId::Xyz => 404,
+            SceneId::House => 505,
+            SceneId::Room0 => 606,
+            SceneId::Office0 => 707,
+            SceneId::S1 => 808,
+            SceneId::S2 => 909,
+        }
+    }
+}
+
+impl std::fmt::Display for SceneId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Configuration for dataset generation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DatasetConfig {
+    /// Frame width in pixels.
+    pub width: usize,
+    /// Frame height in pixels.
+    pub height: usize,
+    /// Number of frames in the sequence.
+    pub num_frames: usize,
+    /// Horizontal field of view (radians).
+    pub fov_x: f32,
+    /// Extra seed offset mixed into the scene seed.
+    pub seed_offset: u64,
+}
+
+impl Default for DatasetConfig {
+    fn default() -> Self {
+        Self { width: 128, height: 96, num_frames: 120, fov_x: 1.3, seed_offset: 0 }
+    }
+}
+
+impl DatasetConfig {
+    /// A small configuration for unit tests (fast to generate).
+    pub fn tiny() -> Self {
+        Self { width: 48, height: 36, num_frames: 10, fov_x: 1.3, seed_offset: 0 }
+    }
+}
+
+/// One RGB-D frame with ground truth.
+#[derive(Debug, Clone)]
+pub struct Frame {
+    /// Frame index within the sequence.
+    pub index: usize,
+    /// Rendered color image.
+    pub rgb: RgbImage,
+    /// Rendered depth (camera-space z, meters).
+    pub depth: DepthImage,
+    /// Ground-truth camera-to-world pose.
+    pub gt_pose: Se3,
+    /// Timestamp in seconds (30 Hz nominal).
+    pub timestamp: f64,
+}
+
+/// A generated RGB-D sequence.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Scene identifier.
+    pub id: SceneId,
+    /// Camera intrinsics shared by all frames.
+    pub camera: PinholeCamera,
+    /// Frames in streaming order.
+    pub frames: Vec<Frame>,
+    /// The underlying renderable scene (kept for novel-view evaluation).
+    pub scene: Scene,
+}
+
+impl Dataset {
+    /// Generates the named sequence with the given configuration.
+    pub fn generate(id: SceneId, config: &DatasetConfig) -> Self {
+        let camera = PinholeCamera::from_fov(config.width, config.height, config.fov_x);
+        let scene = build_scene(id);
+        let profile = trajectory_profile(id, config);
+        let poses = profile.generate();
+        let frames = poses
+            .into_iter()
+            .enumerate()
+            .map(|(index, gt_pose)| {
+                let (rgb, depth) = scene.render(&camera, &gt_pose);
+                Frame { index, rgb, depth, gt_pose, timestamp: index as f64 / 30.0 }
+            })
+            .collect();
+        Self { id, camera, frames, scene }
+    }
+
+    /// Ground-truth trajectory of the sequence.
+    pub fn gt_trajectory(&self) -> Vec<Se3> {
+        self.frames.iter().map(|f| f.gt_pose).collect()
+    }
+
+    /// Keeps only the first `n` frames (tests often want the per-frame
+    /// motion of a long sequence without paying for rendering all of it).
+    pub fn truncate(&mut self, n: usize) {
+        self.frames.truncate(n);
+    }
+}
+
+/// Builds the static scene geometry for a scene id.
+pub fn build_scene(id: SceneId) -> Scene {
+    let seed = id.seed() as u32;
+    match id {
+        SceneId::Desk | SceneId::Desk2 | SceneId::Xyz => desk_scene(seed),
+        SceneId::Room | SceneId::Room0 => room_scene(seed, 6.0, 5.0, 2.8),
+        SceneId::Office0 | SceneId::S1 => office_scene(seed),
+        SceneId::House | SceneId::S2 => house_scene(seed),
+    }
+}
+
+/// Returns the per-scene trajectory profile.
+pub fn trajectory_profile(id: SceneId, config: &DatasetConfig) -> TrajectoryProfile {
+    let seed = id.seed() ^ config.seed_offset;
+    let n = config.num_frames;
+    match id {
+        SceneId::Desk => TrajectoryProfile {
+            kind: PathKind::Orbit {
+                center: Vec3::new(0.0, 0.8, 0.0),
+                radius: 1.9,
+                height: 0.75,
+                sweep: 1.9,
+            },
+            num_frames: n,
+            bursts: 2,
+            burst_strength: 7.0,
+            jitter: 0.0035,
+            seed,
+        },
+        SceneId::Desk2 => TrajectoryProfile {
+            kind: PathKind::Orbit {
+                center: Vec3::new(0.0, 0.8, 0.0),
+                radius: 2.1,
+                height: 1.0,
+                sweep: 2.4,
+            },
+            num_frames: n,
+            bursts: 3,
+            burst_strength: 9.0,
+            jitter: 0.005,
+            seed,
+        },
+        SceneId::Room => TrajectoryProfile {
+            kind: PathKind::Pan {
+                eye: Vec3::new(0.4, 1.4, 0.3),
+                look_radius: 2.0,
+                sweep: 3.6,
+                bob: 0.12,
+            },
+            num_frames: n,
+            bursts: 3,
+            burst_strength: 10.0,
+            jitter: 0.005,
+            seed,
+        },
+        SceneId::Xyz => TrajectoryProfile {
+            kind: PathKind::Shuttle {
+                center: Vec3::new(0.0, 0.9, -2.1),
+                amplitude: Vec3::new(0.28, 0.16, 0.18),
+                target: Vec3::new(0.0, 0.75, 0.0),
+            },
+            num_frames: n,
+            bursts: 0,
+            burst_strength: 1.0,
+            jitter: 0.0015,
+            seed,
+        },
+        SceneId::House => TrajectoryProfile {
+            kind: PathKind::Orbit {
+                center: Vec3::new(0.0, 1.1, 0.0),
+                radius: 3.4,
+                height: 0.7,
+                sweep: 2.9,
+            },
+            num_frames: n,
+            bursts: 3,
+            burst_strength: 8.0,
+            jitter: 0.004,
+            seed,
+        },
+        SceneId::Room0 => TrajectoryProfile {
+            kind: PathKind::Pan {
+                eye: Vec3::new(0.0, 1.4, 0.0),
+                look_radius: 2.2,
+                sweep: 2.4,
+                bob: 0.05,
+            },
+            num_frames: n,
+            bursts: 1,
+            burst_strength: 3.5,
+            jitter: 0.0,
+            seed,
+        },
+        SceneId::Office0 => TrajectoryProfile {
+            kind: PathKind::Orbit {
+                center: Vec3::new(0.0, 0.9, 0.0),
+                radius: 2.4,
+                height: 0.8,
+                sweep: 1.6,
+            },
+            num_frames: n,
+            bursts: 1,
+            burst_strength: 3.0,
+            jitter: 0.0,
+            seed,
+        },
+        SceneId::S1 => TrajectoryProfile {
+            kind: PathKind::Orbit {
+                center: Vec3::new(0.0, 1.0, 0.0),
+                radius: 2.6,
+                height: 1.1,
+                sweep: 2.2,
+            },
+            num_frames: n,
+            bursts: 2,
+            burst_strength: 6.0,
+            jitter: 0.006,
+            seed,
+        },
+        SceneId::S2 => TrajectoryProfile {
+            kind: PathKind::Pan {
+                eye: Vec3::new(-0.6, 1.3, 0.5),
+                look_radius: 2.4,
+                sweep: 3.0,
+                bob: 0.1,
+            },
+            num_frames: n,
+            bursts: 2,
+            burst_strength: 7.0,
+            jitter: 0.006,
+            seed,
+        },
+    }
+}
+
+fn room_shell(scene: &mut Scene, seed: u32, half_w: f32, half_d: f32, height: f32) {
+    let wall = |normal: Vec3, d: f32, s: u32| Primitive {
+        shape: Shape::Plane { normal, d },
+        texture: Texture::Composite {
+            a: Vec3::new(0.75, 0.72, 0.65),
+            b: Vec3::new(0.45, 0.5, 0.58),
+            scale: 0.8,
+            frequency: 2.1,
+            seed: seed.wrapping_add(s),
+        },
+    };
+    // Floor (y = 0, facing up) and ceiling (y = height, facing down).
+    scene.primitives.push(Primitive {
+        shape: Shape::Plane { normal: Vec3::Y, d: 0.0 },
+        texture: Texture::Composite {
+            a: Vec3::new(0.55, 0.4, 0.3),
+            b: Vec3::new(0.35, 0.25, 0.2),
+            scale: 0.5,
+            frequency: 3.0,
+            seed: seed.wrapping_add(11),
+        },
+    });
+    scene.primitives.push(wall(Vec3::new(0.0, -1.0, 0.0), -height, 13));
+    // Four walls facing inward.
+    scene.primitives.push(wall(Vec3::X, -half_w, 17));
+    scene.primitives.push(wall(Vec3::new(-1.0, 0.0, 0.0), -half_w, 19));
+    scene.primitives.push(wall(Vec3::Z, -half_d, 23));
+    scene.primitives.push(wall(Vec3::new(0.0, 0.0, -1.0), -half_d, 29));
+}
+
+fn desk_scene(seed: u32) -> Scene {
+    let mut scene = Scene::new();
+    room_shell(&mut scene, seed, 3.2, 3.2, 2.6);
+    // Desk top.
+    scene.primitives.push(Primitive {
+        shape: Shape::Aabb { min: Vec3::new(-0.9, 0.68, -0.5), max: Vec3::new(0.9, 0.76, 0.5) },
+        texture: Texture::Noise {
+            a: Vec3::new(0.5, 0.33, 0.18),
+            b: Vec3::new(0.72, 0.52, 0.3),
+            frequency: 6.0,
+            seed: seed.wrapping_add(31),
+        },
+    });
+    // Desk legs.
+    for (sx, sz) in [(-1.0f32, -1.0f32), (-1.0, 1.0), (1.0, -1.0), (1.0, 1.0)] {
+        scene.primitives.push(Primitive {
+            shape: Shape::Aabb {
+                min: Vec3::new(sx * 0.8 - 0.04, 0.0, sz * 0.42 - 0.04),
+                max: Vec3::new(sx * 0.8 + 0.04, 0.68, sz * 0.42 + 0.04),
+            },
+            texture: Texture::Solid(Vec3::new(0.2, 0.18, 0.16)),
+        });
+    }
+    // Monitor.
+    scene.primitives.push(Primitive {
+        shape: Shape::Aabb { min: Vec3::new(-0.35, 0.76, -0.15), max: Vec3::new(0.35, 1.18, -0.08) },
+        texture: Texture::Composite {
+            a: Vec3::new(0.12, 0.14, 0.3),
+            b: Vec3::new(0.3, 0.45, 0.7),
+            scale: 0.12,
+            frequency: 9.0,
+            seed: seed.wrapping_add(37),
+        },
+    });
+    // Books, mug, globe.
+    scene.primitives.push(Primitive {
+        shape: Shape::Aabb { min: Vec3::new(0.45, 0.76, 0.05), max: Vec3::new(0.75, 0.92, 0.35) },
+        texture: Texture::Checker {
+            a: Vec3::new(0.8, 0.2, 0.15),
+            b: Vec3::new(0.9, 0.85, 0.7),
+            scale: 0.07,
+        },
+    });
+    scene.primitives.push(Primitive {
+        shape: Shape::Sphere { center: Vec3::new(-0.55, 0.9, 0.2), radius: 0.14 },
+        texture: Texture::Noise {
+            a: Vec3::new(0.15, 0.4, 0.7),
+            b: Vec3::new(0.6, 0.8, 0.4),
+            frequency: 8.0,
+            seed: seed.wrapping_add(41),
+        },
+    });
+    scene.primitives.push(Primitive {
+        shape: Shape::Aabb { min: Vec3::new(-0.2, 0.76, 0.25), max: Vec3::new(0.0, 0.86, 0.4) },
+        texture: Texture::Solid(Vec3::new(0.85, 0.7, 0.2)),
+    });
+    // Chair.
+    scene.primitives.push(Primitive {
+        shape: Shape::Aabb { min: Vec3::new(-0.3, 0.0, 0.8), max: Vec3::new(0.3, 0.45, 1.3) },
+        texture: Texture::Noise {
+            a: Vec3::new(0.25, 0.25, 0.3),
+            b: Vec3::new(0.4, 0.38, 0.45),
+            frequency: 5.0,
+            seed: seed.wrapping_add(43),
+        },
+    });
+    scene
+}
+
+fn room_scene(seed: u32, w: f32, d: f32, h: f32) -> Scene {
+    let mut scene = Scene::new();
+    room_shell(&mut scene, seed, w * 0.5, d * 0.5, h);
+    // Sofa.
+    scene.primitives.push(Primitive {
+        shape: Shape::Aabb { min: Vec3::new(-2.2, 0.0, -1.8), max: Vec3::new(-1.2, 0.75, -0.2) },
+        texture: Texture::Noise {
+            a: Vec3::new(0.55, 0.25, 0.25),
+            b: Vec3::new(0.75, 0.45, 0.4),
+            frequency: 4.0,
+            seed: seed.wrapping_add(51),
+        },
+    });
+    // Table.
+    scene.primitives.push(Primitive {
+        shape: Shape::Aabb { min: Vec3::new(0.2, 0.0, -0.6), max: Vec3::new(1.4, 0.5, 0.6) },
+        texture: Texture::Checker {
+            a: Vec3::new(0.6, 0.5, 0.35),
+            b: Vec3::new(0.4, 0.32, 0.22),
+            scale: 0.25,
+        },
+    });
+    // Lamp (sphere on a thin box).
+    scene.primitives.push(Primitive {
+        shape: Shape::Aabb { min: Vec3::new(1.8, 0.0, 1.3), max: Vec3::new(1.9, 1.3, 1.4) },
+        texture: Texture::Solid(Vec3::new(0.2, 0.2, 0.22)),
+    });
+    scene.primitives.push(Primitive {
+        shape: Shape::Sphere { center: Vec3::new(1.85, 1.45, 1.35), radius: 0.2 },
+        texture: Texture::Solid(Vec3::new(0.95, 0.9, 0.6)),
+    });
+    // Shelf.
+    scene.primitives.push(Primitive {
+        shape: Shape::Aabb { min: Vec3::new(-2.6, 0.0, 1.5), max: Vec3::new(-1.6, 1.8, 1.9) },
+        texture: Texture::Composite {
+            a: Vec3::new(0.5, 0.35, 0.2),
+            b: Vec3::new(0.3, 0.22, 0.15),
+            scale: 0.3,
+            frequency: 5.0,
+            seed: seed.wrapping_add(53),
+        },
+    });
+    // Rug sphere-cluster for depth variety.
+    scene.primitives.push(Primitive {
+        shape: Shape::Sphere { center: Vec3::new(0.8, 0.25, 1.4), radius: 0.25 },
+        texture: Texture::Checker {
+            a: Vec3::new(0.2, 0.6, 0.3),
+            b: Vec3::new(0.8, 0.8, 0.3),
+            scale: 0.1,
+        },
+    });
+    scene
+}
+
+fn office_scene(seed: u32) -> Scene {
+    let mut scene = Scene::new();
+    room_shell(&mut scene, seed, 3.0, 2.6, 2.5);
+    // Two desks facing each other.
+    for (x0, x1) in [(-1.8f32, -0.4f32), (0.4, 1.8)] {
+        scene.primitives.push(Primitive {
+            shape: Shape::Aabb { min: Vec3::new(x0, 0.66, -0.5), max: Vec3::new(x1, 0.74, 0.5) },
+            texture: Texture::Noise {
+                a: Vec3::new(0.6, 0.6, 0.62),
+                b: Vec3::new(0.4, 0.42, 0.46),
+                frequency: 7.0,
+                seed: seed.wrapping_add(61),
+            },
+        });
+        // Monitors.
+        scene.primitives.push(Primitive {
+            shape: Shape::Aabb {
+                min: Vec3::new((x0 + x1) * 0.5 - 0.25, 0.74, -0.1),
+                max: Vec3::new((x0 + x1) * 0.5 + 0.25, 1.1, -0.04),
+            },
+            texture: Texture::Composite {
+                a: Vec3::new(0.1, 0.12, 0.25),
+                b: Vec3::new(0.25, 0.4, 0.65),
+                scale: 0.1,
+                frequency: 10.0,
+                seed: seed.wrapping_add(67),
+            },
+        });
+    }
+    // Cabinet and plant.
+    scene.primitives.push(Primitive {
+        shape: Shape::Aabb { min: Vec3::new(-2.8, 0.0, 1.2), max: Vec3::new(-2.0, 1.2, 2.2) },
+        texture: Texture::Checker {
+            a: Vec3::new(0.55, 0.55, 0.5),
+            b: Vec3::new(0.35, 0.35, 0.33),
+            scale: 0.2,
+        },
+    });
+    scene.primitives.push(Primitive {
+        shape: Shape::Sphere { center: Vec3::new(2.4, 0.5, 1.6), radius: 0.35 },
+        texture: Texture::Noise {
+            a: Vec3::new(0.15, 0.45, 0.2),
+            b: Vec3::new(0.35, 0.65, 0.3),
+            frequency: 9.0,
+            seed: seed.wrapping_add(71),
+        },
+    });
+    scene
+}
+
+fn house_scene(seed: u32) -> Scene {
+    let mut scene = Scene::new();
+    room_shell(&mut scene, seed, 4.5, 4.0, 3.0);
+    // Kitchen counter.
+    scene.primitives.push(Primitive {
+        shape: Shape::Aabb { min: Vec3::new(-4.2, 0.0, -3.6), max: Vec3::new(-1.5, 0.95, -2.8) },
+        texture: Texture::Composite {
+            a: Vec3::new(0.7, 0.68, 0.6),
+            b: Vec3::new(0.45, 0.43, 0.4),
+            scale: 0.4,
+            frequency: 6.0,
+            seed: seed.wrapping_add(81),
+        },
+    });
+    // Dining table + chairs.
+    scene.primitives.push(Primitive {
+        shape: Shape::Aabb { min: Vec3::new(0.6, 0.0, -1.0), max: Vec3::new(2.4, 0.72, 0.6) },
+        texture: Texture::Noise {
+            a: Vec3::new(0.55, 0.35, 0.2),
+            b: Vec3::new(0.7, 0.5, 0.3),
+            frequency: 5.0,
+            seed: seed.wrapping_add(83),
+        },
+    });
+    for dz in [-1.5f32, 1.1] {
+        scene.primitives.push(Primitive {
+            shape: Shape::Aabb { min: Vec3::new(1.1, 0.0, dz), max: Vec3::new(1.7, 0.5, dz + 0.5) },
+            texture: Texture::Solid(Vec3::new(0.3, 0.26, 0.24)),
+        });
+    }
+    // Sofa and TV.
+    scene.primitives.push(Primitive {
+        shape: Shape::Aabb { min: Vec3::new(-2.6, 0.0, 1.6), max: Vec3::new(-0.8, 0.8, 2.8) },
+        texture: Texture::Noise {
+            a: Vec3::new(0.3, 0.35, 0.5),
+            b: Vec3::new(0.45, 0.5, 0.65),
+            frequency: 4.0,
+            seed: seed.wrapping_add(87),
+        },
+    });
+    scene.primitives.push(Primitive {
+        shape: Shape::Aabb { min: Vec3::new(-2.4, 0.7, 3.7), max: Vec3::new(-1.0, 1.6, 3.9) },
+        texture: Texture::Composite {
+            a: Vec3::new(0.1, 0.1, 0.15),
+            b: Vec3::new(0.35, 0.3, 0.5),
+            scale: 0.15,
+            frequency: 8.0,
+            seed: seed.wrapping_add(89),
+        },
+    });
+    // Decorative spheres.
+    scene.primitives.push(Primitive {
+        shape: Shape::Sphere { center: Vec3::new(2.8, 0.4, 2.4), radius: 0.4 },
+        texture: Texture::Checker {
+            a: Vec3::new(0.85, 0.6, 0.2),
+            b: Vec3::new(0.4, 0.2, 0.5),
+            scale: 0.12,
+        },
+    });
+    scene.primitives.push(Primitive {
+        shape: Shape::Sphere { center: Vec3::new(3.2, 1.0, -2.6), radius: 0.55 },
+        texture: Texture::Noise {
+            a: Vec3::new(0.7, 0.3, 0.25),
+            b: Vec3::new(0.9, 0.6, 0.4),
+            frequency: 6.0,
+            seed: seed.wrapping_add(91),
+        },
+    });
+    scene
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trajectory::motion_stats;
+
+    #[test]
+    fn all_scenes_generate_valid_frames() {
+        let config = DatasetConfig { num_frames: 3, ..DatasetConfig::tiny() };
+        for id in SceneId::ALL {
+            let data = Dataset::generate(id, &config);
+            assert_eq!(data.frames.len(), 3, "{id}");
+            for frame in &data.frames {
+                assert!(
+                    frame.depth.valid_fraction() > 0.85,
+                    "{id} frame {} depth coverage {}",
+                    frame.index,
+                    frame.depth.valid_fraction()
+                );
+                // Frames must contain photometric variation for tracking.
+                let gray = frame.rgb.to_gray();
+                let mean = gray.mean();
+                let var = gray
+                    .pixels()
+                    .iter()
+                    .map(|&v| (v - mean) * (v - mean))
+                    .sum::<f32>()
+                    / gray.len() as f32;
+                assert!(var > 1e-4, "{id} frame {} variance {var}", frame.index);
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let config = DatasetConfig { num_frames: 2, ..DatasetConfig::tiny() };
+        let a = Dataset::generate(SceneId::Desk, &config);
+        let b = Dataset::generate(SceneId::Desk, &config);
+        assert_eq!(a.frames[1].rgb.pixels(), b.frames[1].rgb.pixels());
+        assert_eq!(a.frames[1].gt_pose, b.frames[1].gt_pose);
+    }
+
+    #[test]
+    fn xyz_is_the_smoothest_tum_scene() {
+        let config = DatasetConfig { num_frames: 40, ..DatasetConfig::tiny() };
+        let xyz = motion_stats(&trajectory_profile(SceneId::Xyz, &config).generate());
+        let room = motion_stats(&trajectory_profile(SceneId::Room, &config).generate());
+        assert!(xyz.max_rotation < room.max_rotation);
+    }
+
+    #[test]
+    fn scene_names_match_paper() {
+        assert_eq!(SceneId::Desk.name(), "Desk");
+        assert_eq!(SceneId::Office0.name(), "Office0");
+        assert_eq!(format!("{}", SceneId::S1), "S1");
+        assert_eq!(SceneId::ALL.len(), 9);
+        assert_eq!(SceneId::TUM.len(), 5);
+    }
+
+    #[test]
+    fn timestamps_are_30hz() {
+        let config = DatasetConfig { num_frames: 3, ..DatasetConfig::tiny() };
+        let data = Dataset::generate(SceneId::Xyz, &config);
+        assert!((data.frames[1].timestamp - 1.0 / 30.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,42 @@
+//! Procedural RGB-D scene generation — the dataset substrate.
+//!
+//! The AGS paper evaluates on TUM-RGBD, Replica and ScanNet++ sequences.
+//! Those datasets cannot ship with this repository, so this crate generates
+//! deterministic *stand-in* sequences with the properties the AGS mechanisms
+//! actually consume:
+//!
+//! * streaming RGB-D frames whose **inter-frame covisibility** is controlled
+//!   per scene (mostly small motion with occasional rapid movements),
+//! * exact ground-truth trajectories for ATE evaluation,
+//! * textured surfaces with photometric gradients so both the photometric
+//!   3DGS trackers and the classical feature tracker are exercised
+//!   realistically.
+//!
+//! Scenes are built from planes, boxes and spheres with procedural noise /
+//! checker textures and rendered by ray casting ([`scene::Scene::render`]).
+//! One named stand-in exists for each sequence in the paper's evaluation
+//! ([`dataset::SceneId`]).
+//!
+//! # Example
+//!
+//! ```
+//! use ags_scene::dataset::{Dataset, DatasetConfig, SceneId};
+//!
+//! let config = DatasetConfig { width: 32, height: 24, num_frames: 4, ..Default::default() };
+//! let data = Dataset::generate(SceneId::Desk, &config);
+//! assert_eq!(data.frames.len(), 4);
+//! assert!(data.frames[0].depth.valid_fraction() > 0.9);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod camera;
+pub mod dataset;
+pub mod primitive;
+pub mod scene;
+pub mod texture;
+pub mod trajectory;
+
+pub use camera::PinholeCamera;
+pub use dataset::{Dataset, DatasetConfig, Frame, SceneId};
+pub use scene::Scene;

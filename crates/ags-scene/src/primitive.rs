@@ -1,0 +1,264 @@
+//! Geometric primitives with ray intersection.
+
+use crate::texture::Texture;
+use ags_math::Vec3;
+
+/// A ray with origin and unit direction.
+#[derive(Debug, Clone, Copy)]
+pub struct Ray {
+    /// Ray origin.
+    pub origin: Vec3,
+    /// Unit direction.
+    pub dir: Vec3,
+}
+
+impl Ray {
+    /// Point at parameter `t`.
+    #[inline]
+    pub fn at(&self, t: f32) -> Vec3 {
+        self.origin + self.dir * t
+    }
+}
+
+/// Result of a ray/primitive intersection.
+#[derive(Debug, Clone, Copy)]
+pub struct Hit {
+    /// Ray parameter of the hit.
+    pub t: f32,
+    /// World-space hit position.
+    pub position: Vec3,
+    /// Outward surface normal at the hit.
+    pub normal: Vec3,
+}
+
+/// Geometric shape of a primitive.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Shape {
+    /// Infinite plane `dot(n, p) = d` rendered single-sided (visible from the
+    /// side the normal points toward).
+    Plane {
+        /// Unit plane normal.
+        normal: Vec3,
+        /// Signed distance of the plane from the origin along the normal.
+        d: f32,
+    },
+    /// Axis-aligned box.
+    Aabb {
+        /// Minimum corner.
+        min: Vec3,
+        /// Maximum corner.
+        max: Vec3,
+    },
+    /// Sphere.
+    Sphere {
+        /// Center position.
+        center: Vec3,
+        /// Radius.
+        radius: f32,
+    },
+}
+
+/// A textured primitive in the scene.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Primitive {
+    /// Geometry.
+    pub shape: Shape,
+    /// Surface texture.
+    pub texture: Texture,
+}
+
+impl Shape {
+    /// Intersects a ray with the shape; returns the nearest hit with
+    /// `t > t_min`.
+    pub fn intersect(&self, ray: &Ray, t_min: f32) -> Option<Hit> {
+        match *self {
+            Shape::Plane { normal, d } => {
+                let denom = normal.dot(ray.dir);
+                // Single-sided: only hit when approaching against the normal.
+                if denom >= -1e-6 {
+                    return None;
+                }
+                let t = (d - normal.dot(ray.origin)) / denom;
+                if t <= t_min {
+                    return None;
+                }
+                Some(Hit { t, position: ray.at(t), normal })
+            }
+            Shape::Aabb { min, max } => {
+                let mut t_near = f32::NEG_INFINITY;
+                let mut t_far = f32::INFINITY;
+                let mut axis_near = 0usize;
+                for axis in 0..3 {
+                    let o = ray.origin[axis];
+                    let dir = ray.dir[axis];
+                    let (lo, hi) = (min[axis], max[axis]);
+                    if dir.abs() < 1e-9 {
+                        if o < lo || o > hi {
+                            return None;
+                        }
+                        continue;
+                    }
+                    let inv = 1.0 / dir;
+                    let mut t0 = (lo - o) * inv;
+                    let mut t1 = (hi - o) * inv;
+                    if t0 > t1 {
+                        std::mem::swap(&mut t0, &mut t1);
+                    }
+                    if t0 > t_near {
+                        t_near = t0;
+                        axis_near = axis;
+                    }
+                    t_far = t_far.min(t1);
+                    if t_near > t_far {
+                        return None;
+                    }
+                }
+                let t = if t_near > t_min { t_near } else { t_far };
+                if t <= t_min || t == f32::INFINITY {
+                    return None;
+                }
+                let position = ray.at(t);
+                let normal = if t == t_near {
+                    let mut n = Vec3::ZERO;
+                    n[axis_near] = -ray.dir[axis_near].signum();
+                    n
+                } else {
+                    // Exiting hit (camera inside the box): approximate normal
+                    // from the face nearest to the hit position.
+                    face_normal(position, min, max)
+                };
+                Some(Hit { t, position, normal })
+            }
+            Shape::Sphere { center, radius } => {
+                let oc = ray.origin - center;
+                let b = oc.dot(ray.dir);
+                let c = oc.norm_sq() - radius * radius;
+                let disc = b * b - c;
+                if disc < 0.0 {
+                    return None;
+                }
+                let sq = disc.sqrt();
+                let mut t = -b - sq;
+                if t <= t_min {
+                    t = -b + sq;
+                }
+                if t <= t_min {
+                    return None;
+                }
+                let position = ray.at(t);
+                Some(Hit { t, position, normal: (position - center).normalized() })
+            }
+        }
+    }
+}
+
+fn face_normal(p: Vec3, min: Vec3, max: Vec3) -> Vec3 {
+    let mut best_axis = 0;
+    let mut best_dist = f32::INFINITY;
+    let mut sign = 1.0;
+    for axis in 0..3 {
+        let d_min = (p[axis] - min[axis]).abs();
+        let d_max = (p[axis] - max[axis]).abs();
+        if d_min < best_dist {
+            best_dist = d_min;
+            best_axis = axis;
+            sign = -1.0;
+        }
+        if d_max < best_dist {
+            best_dist = d_max;
+            best_axis = axis;
+            sign = 1.0;
+        }
+    }
+    let mut n = Vec3::ZERO;
+    n[best_axis] = sign;
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ray(origin: Vec3, dir: Vec3) -> Ray {
+        Ray { origin, dir: dir.normalized() }
+    }
+
+    #[test]
+    fn plane_hit_from_front() {
+        // Floor at y = 0 with +Y normal; camera above looking down.
+        let s = Shape::Plane { normal: Vec3::Y, d: 0.0 };
+        let r = ray(Vec3::new(0.0, 2.0, 0.0), Vec3::new(0.0, -1.0, 0.0));
+        let h = s.intersect(&r, 1e-4).unwrap();
+        assert!((h.t - 2.0).abs() < 1e-5);
+        assert_eq!(h.normal, Vec3::Y);
+    }
+
+    #[test]
+    fn plane_miss_from_behind() {
+        let s = Shape::Plane { normal: Vec3::Y, d: 0.0 };
+        let r = ray(Vec3::new(0.0, -2.0, 0.0), Vec3::new(0.0, 1.0, 0.0));
+        assert!(s.intersect(&r, 1e-4).is_none());
+        // Parallel ray also misses.
+        let r = ray(Vec3::new(0.0, 1.0, 0.0), Vec3::X);
+        assert!(s.intersect(&r, 1e-4).is_none());
+    }
+
+    #[test]
+    fn sphere_hit_and_normal() {
+        let s = Shape::Sphere { center: Vec3::new(0.0, 0.0, 5.0), radius: 1.0 };
+        let r = ray(Vec3::ZERO, Vec3::Z);
+        let h = s.intersect(&r, 1e-4).unwrap();
+        assert!((h.t - 4.0).abs() < 1e-4);
+        assert!((h.normal - Vec3::new(0.0, 0.0, -1.0)).norm() < 1e-4);
+    }
+
+    #[test]
+    fn sphere_from_inside_hits_far_side() {
+        let s = Shape::Sphere { center: Vec3::ZERO, radius: 2.0 };
+        let r = ray(Vec3::ZERO, Vec3::X);
+        let h = s.intersect(&r, 1e-4).unwrap();
+        assert!((h.t - 2.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn sphere_miss() {
+        let s = Shape::Sphere { center: Vec3::new(0.0, 5.0, 5.0), radius: 1.0 };
+        let r = ray(Vec3::ZERO, Vec3::Z);
+        assert!(s.intersect(&r, 1e-4).is_none());
+    }
+
+    #[test]
+    fn aabb_hit_face_normal() {
+        let s = Shape::Aabb { min: Vec3::new(-1.0, -1.0, 4.0), max: Vec3::new(1.0, 1.0, 6.0) };
+        let r = ray(Vec3::ZERO, Vec3::Z);
+        let h = s.intersect(&r, 1e-4).unwrap();
+        assert!((h.t - 4.0).abs() < 1e-4);
+        assert!((h.normal - Vec3::new(0.0, 0.0, -1.0)).norm() < 1e-4);
+    }
+
+    #[test]
+    fn aabb_from_inside() {
+        let s = Shape::Aabb { min: Vec3::splat(-2.0), max: Vec3::splat(2.0) };
+        let r = ray(Vec3::ZERO, Vec3::X);
+        let h = s.intersect(&r, 1e-4).unwrap();
+        assert!((h.t - 2.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn aabb_parallel_ray_outside_slab_misses() {
+        let s = Shape::Aabb { min: Vec3::new(-1.0, -1.0, 4.0), max: Vec3::new(1.0, 1.0, 6.0) };
+        let r = ray(Vec3::new(0.0, 5.0, 0.0), Vec3::Z);
+        assert!(s.intersect(&r, 1e-4).is_none());
+    }
+
+    #[test]
+    fn t_min_filters_near_hits() {
+        let s = Shape::Sphere { center: Vec3::new(0.0, 0.0, 5.0), radius: 1.0 };
+        let r = ray(Vec3::ZERO, Vec3::Z);
+        // t_min beyond both intersections (4 and 6).
+        assert!(s.intersect(&r, 7.0).is_none());
+        // t_min between them picks the far one.
+        let h = s.intersect(&r, 5.0).unwrap();
+        assert!((h.t - 6.0).abs() < 1e-4);
+    }
+}

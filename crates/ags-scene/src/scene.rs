@@ -1,0 +1,201 @@
+//! Scene container and RGB-D ray-cast rendering.
+
+use crate::camera::PinholeCamera;
+use crate::primitive::{Hit, Primitive, Ray};
+use ags_image::{DepthImage, RgbImage};
+use ags_math::{Se3, Vec2, Vec3};
+
+/// A directional light (direction points *toward* the scene).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Light {
+    /// Unit direction the light travels.
+    pub direction: Vec3,
+    /// Light intensity per channel.
+    pub intensity: Vec3,
+}
+
+/// A renderable scene: primitives, lights, ambient term and background.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scene {
+    /// Scene geometry.
+    pub primitives: Vec<Primitive>,
+    /// Directional lights.
+    pub lights: Vec<Light>,
+    /// Ambient light intensity.
+    pub ambient: Vec3,
+    /// Background color for rays that miss all geometry.
+    pub background: Vec3,
+}
+
+impl Default for Scene {
+    fn default() -> Self {
+        Self {
+            primitives: Vec::new(),
+            lights: vec![
+                Light {
+                    direction: Vec3::new(-0.4, 0.8, 0.45).normalized(),
+                    intensity: Vec3::splat(0.55),
+                },
+                Light {
+                    direction: Vec3::new(0.6, 0.5, -0.6).normalized(),
+                    intensity: Vec3::splat(0.25),
+                },
+            ],
+            ambient: Vec3::splat(0.35),
+            background: Vec3::new(0.02, 0.02, 0.03),
+        }
+    }
+}
+
+impl Scene {
+    /// Creates an empty scene with default lighting.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intersects a world-space ray against all primitives, returning the
+    /// nearest hit and the index of the primitive that produced it.
+    pub fn trace(&self, ray: &Ray) -> Option<(Hit, usize)> {
+        let mut best: Option<(Hit, usize)> = None;
+        for (idx, prim) in self.primitives.iter().enumerate() {
+            if let Some(hit) = prim.shape.intersect(ray, 1e-3) {
+                if best.as_ref().map_or(true, |(b, _)| hit.t < b.t) {
+                    best = Some((hit, idx));
+                }
+            }
+        }
+        best
+    }
+
+    /// Shades a hit point with Lambertian lighting (no shadows — intentional:
+    /// shadow edges would add depth-uncorrelated photometric discontinuities
+    /// that real RGB-D datasets don't exhibit at this scale).
+    pub fn shade(&self, hit: &Hit, prim_idx: usize) -> Vec3 {
+        let albedo = self.primitives[prim_idx].texture.sample(hit.position);
+        let mut light_sum = self.ambient;
+        for light in &self.lights {
+            let ndotl = hit.normal.dot(-1.0 * light.direction).max(0.0);
+            light_sum += light.intensity * ndotl;
+        }
+        albedo.mul_elem(light_sum).min_elem(Vec3::ONE)
+    }
+
+    /// Renders an RGB-D frame from `pose` (camera-to-world) with the given
+    /// intrinsics. Depth is camera-space z; misses get depth `0.0`.
+    pub fn render(&self, camera: &PinholeCamera, pose: &Se3) -> (RgbImage, DepthImage) {
+        let mut rgb = RgbImage::filled(camera.width, camera.height, self.background);
+        let mut depth = DepthImage::new(camera.width, camera.height);
+        let origin = pose.translation;
+        for y in 0..camera.height {
+            for x in 0..camera.width {
+                let dir_cam = camera.ray_dir(Vec2::new(x as f32, y as f32));
+                let ray = Ray { origin, dir: pose.transform_dir(dir_cam) };
+                if let Some((hit, idx)) = self.trace(&ray) {
+                    rgb.set(x, y, self.shade(&hit, idx));
+                    // Camera-space z = t * (unit camera-frame dir).z
+                    depth.set(x, y, hit.t * dir_cam.z);
+                }
+            }
+        }
+        (rgb, depth)
+    }
+
+    /// Renders only depth (faster; used by tests and the classical tracker's
+    /// synthetic-data fixtures).
+    pub fn render_depth(&self, camera: &PinholeCamera, pose: &Se3) -> DepthImage {
+        let mut depth = DepthImage::new(camera.width, camera.height);
+        let origin = pose.translation;
+        for y in 0..camera.height {
+            for x in 0..camera.width {
+                let dir_cam = camera.ray_dir(Vec2::new(x as f32, y as f32));
+                let ray = Ray { origin, dir: pose.transform_dir(dir_cam) };
+                if let Some((hit, _)) = self.trace(&ray) {
+                    depth.set(x, y, hit.t * dir_cam.z);
+                }
+            }
+        }
+        depth
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::primitive::Shape;
+    use crate::texture::Texture;
+
+    fn test_scene() -> Scene {
+        let mut scene = Scene::new();
+        // A wall at z = 5 facing the camera (normal -Z).
+        scene.primitives.push(Primitive {
+            shape: Shape::Plane { normal: Vec3::new(0.0, 0.0, -1.0), d: -5.0 },
+            texture: Texture::Solid(Vec3::splat(0.8)),
+        });
+        scene
+    }
+
+    fn cam() -> PinholeCamera {
+        PinholeCamera::from_fov(16, 12, 1.0)
+    }
+
+    #[test]
+    fn render_wall_depth_is_five_at_center() {
+        let scene = test_scene();
+        let (rgb, depth) = scene.render(&cam(), &Se3::IDENTITY);
+        let cx = cam().width / 2;
+        let cy = cam().height / 2;
+        assert!((depth.at(cx, cy) - 5.0).abs() < 0.05, "depth {}", depth.at(cx, cy));
+        assert!(rgb.at(cx, cy).x > 0.1, "wall should be lit");
+        assert_eq!(depth.valid_fraction(), 1.0);
+    }
+
+    #[test]
+    fn depth_is_z_not_ray_distance() {
+        let scene = test_scene();
+        let depth = scene.render_depth(&cam(), &Se3::IDENTITY);
+        // Corner ray travels farther than 5 m but its z-depth is still 5.
+        assert!((depth.at(0, 0) - 5.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn miss_yields_background_and_zero_depth() {
+        let scene = test_scene();
+        // Look away from the wall.
+        let pose = Se3::from_rotation(ags_math::Quat::from_axis_angle(Vec3::Y, std::f32::consts::PI));
+        let (rgb, depth) = scene.render(&cam(), &pose);
+        assert_eq!(depth.valid_fraction(), 0.0);
+        assert_eq!(rgb.at(0, 0), scene.background);
+    }
+
+    #[test]
+    fn nearest_primitive_wins() {
+        let mut scene = test_scene();
+        scene.primitives.push(Primitive {
+            shape: Shape::Sphere { center: Vec3::new(0.0, 0.0, 3.0), radius: 0.5 },
+            texture: Texture::Solid(Vec3::new(1.0, 0.0, 0.0)),
+        });
+        let (rgb, depth) = scene.render(&cam(), &Se3::IDENTITY);
+        let cx = cam().width / 2;
+        let cy = cam().height / 2;
+        assert!(depth.at(cx, cy) < 3.0, "sphere in front of wall");
+        assert!(rgb.at(cx, cy).x > rgb.at(cx, cy).y, "sphere is red-ish");
+    }
+
+    #[test]
+    fn translation_changes_depth() {
+        let scene = test_scene();
+        let forward = Se3::from_translation(Vec3::new(0.0, 0.0, 2.0));
+        let depth = scene.render_depth(&cam(), &forward);
+        let cx = cam().width / 2;
+        let cy = cam().height / 2;
+        assert!((depth.at(cx, cy) - 3.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn shading_clamps_to_one() {
+        let mut scene = test_scene();
+        scene.ambient = Vec3::splat(10.0);
+        let (rgb, _) = scene.render(&cam(), &Se3::IDENTITY);
+        assert!(rgb.at(2, 2).max_component() <= 1.0);
+    }
+}

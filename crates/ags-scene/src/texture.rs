@@ -1,0 +1,209 @@
+//! Procedural surface textures.
+//!
+//! Dense photometric trackers need image gradients almost everywhere, so the
+//! default texture is multi-octave value noise (smooth, non-zero gradient)
+//! optionally combined with checker patterns for strong edges.
+
+use ags_math::{Vec3, lerp};
+
+/// Hash-based lattice value in `[0, 1]` for integer coordinates and a seed.
+fn lattice(ix: i32, iy: i32, iz: i32, seed: u32) -> f32 {
+    let mut h = seed ^ 0x9e37_79b9;
+    h = h.wrapping_add(ix as u32).wrapping_mul(0x85eb_ca6b);
+    h ^= h >> 13;
+    h = h.wrapping_add(iy as u32).wrapping_mul(0xc2b2_ae35);
+    h ^= h >> 16;
+    h = h.wrapping_add(iz as u32).wrapping_mul(0x27d4_eb2f);
+    h ^= h >> 15;
+    (h & 0x00ff_ffff) as f32 / 0x0100_0000 as f32
+}
+
+/// Trilinearly interpolated value noise in `[0, 1]`.
+pub fn value_noise(p: Vec3, seed: u32) -> f32 {
+    let xf = p.x.floor();
+    let yf = p.y.floor();
+    let zf = p.z.floor();
+    let (ix, iy, iz) = (xf as i32, yf as i32, zf as i32);
+    let (tx, ty, tz) = (p.x - xf, p.y - yf, p.z - zf);
+    // Smoothstep fade.
+    let fade = |t: f32| t * t * (3.0 - 2.0 * t);
+    let (fx, fy, fz) = (fade(tx), fade(ty), fade(tz));
+    let mut c = [0.0f32; 8];
+    for (i, corner) in c.iter_mut().enumerate() {
+        let dx = (i & 1) as i32;
+        let dy = ((i >> 1) & 1) as i32;
+        let dz = ((i >> 2) & 1) as i32;
+        *corner = lattice(ix + dx, iy + dy, iz + dz, seed);
+    }
+    let x00 = lerp(c[0], c[1], fx);
+    let x10 = lerp(c[2], c[3], fx);
+    let x01 = lerp(c[4], c[5], fx);
+    let x11 = lerp(c[6], c[7], fx);
+    let y0 = lerp(x00, x10, fy);
+    let y1 = lerp(x01, x11, fy);
+    lerp(y0, y1, fz)
+}
+
+/// Multi-octave value noise (fractal Brownian motion) in `[0, 1]`.
+pub fn fbm_noise(p: Vec3, seed: u32, octaves: u32) -> f32 {
+    let mut amp = 0.5;
+    let mut freq = 1.0;
+    let mut total = 0.0;
+    let mut norm = 0.0;
+    for o in 0..octaves {
+        total += amp * value_noise(p * freq, seed.wrapping_add(o * 131));
+        norm += amp;
+        amp *= 0.5;
+        freq *= 2.07;
+    }
+    if norm > 0.0 { total / norm } else { 0.5 }
+}
+
+/// A procedural surface texture evaluated at world-space positions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Texture {
+    /// Uniform color.
+    Solid(Vec3),
+    /// Checkerboard alternating between two colors with the given cell size.
+    Checker {
+        /// First cell color.
+        a: Vec3,
+        /// Second cell color.
+        b: Vec3,
+        /// Cell edge length in meters.
+        scale: f32,
+    },
+    /// Smooth fractal noise blending between two colors.
+    Noise {
+        /// Color at noise value 0.
+        a: Vec3,
+        /// Color at noise value 1.
+        b: Vec3,
+        /// Spatial frequency (higher = finer detail).
+        frequency: f32,
+        /// Noise seed.
+        seed: u32,
+    },
+    /// Checker modulated by noise — strong edges plus dense gradients.
+    Composite {
+        /// First cell color.
+        a: Vec3,
+        /// Second cell color.
+        b: Vec3,
+        /// Checker cell edge length in meters.
+        scale: f32,
+        /// Noise spatial frequency.
+        frequency: f32,
+        /// Noise seed.
+        seed: u32,
+    },
+}
+
+impl Texture {
+    /// Evaluates the albedo at a world-space position.
+    pub fn sample(&self, p: Vec3) -> Vec3 {
+        match *self {
+            Texture::Solid(c) => c,
+            Texture::Checker { a, b, scale } => {
+                if checker_parity(p, scale) { a } else { b }
+            }
+            Texture::Noise { a, b, frequency, seed } => {
+                let t = fbm_noise(p * frequency, seed, 3);
+                a + (b - a) * t
+            }
+            Texture::Composite { a, b, scale, frequency, seed } => {
+                let base = if checker_parity(p, scale) { a } else { b };
+                let t = fbm_noise(p * frequency, seed, 3);
+                // Modulate brightness by ±30 %.
+                base * (0.7 + 0.6 * t)
+            }
+        }
+    }
+}
+
+fn checker_parity(p: Vec3, scale: f32) -> bool {
+    let s = scale.max(1e-5);
+    let q = |v: f32| (v / s).floor() as i64;
+    (q(p.x) + q(p.y) + q(p.z)).rem_euclid(2) == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_noise_in_unit_range_and_deterministic() {
+        let mut prev = Vec::new();
+        for i in 0..50 {
+            let p = Vec3::new(i as f32 * 0.37, i as f32 * 0.11, 0.5);
+            let v = value_noise(p, 7);
+            assert!((0.0..=1.0).contains(&v), "noise {v} out of range");
+            prev.push(v);
+        }
+        // Re-evaluating gives identical values.
+        for (i, &v) in prev.iter().enumerate() {
+            let p = Vec3::new(i as f32 * 0.37, i as f32 * 0.11, 0.5);
+            assert_eq!(value_noise(p, 7), v);
+        }
+    }
+
+    #[test]
+    fn noise_is_continuous() {
+        // Small steps produce small changes.
+        let mut max_jump: f32 = 0.0;
+        let mut last = value_noise(Vec3::new(0.0, 0.3, 0.7), 3);
+        for i in 1..200 {
+            let v = value_noise(Vec3::new(i as f32 * 0.01, 0.3, 0.7), 3);
+            max_jump = max_jump.max((v - last).abs());
+            last = v;
+        }
+        assert!(max_jump < 0.1, "max jump {max_jump} too large for continuity");
+    }
+
+    #[test]
+    fn noise_varies_with_seed() {
+        let p = Vec3::new(0.4, 1.3, 2.2);
+        assert_ne!(value_noise(p, 1), value_noise(p, 2));
+    }
+
+    #[test]
+    fn checker_alternates() {
+        let t = Texture::Checker { a: Vec3::ONE, b: Vec3::ZERO, scale: 1.0 };
+        // Cell sums 0, 1 and 2 alternate between the two colors.
+        assert_eq!(t.sample(Vec3::new(0.5, 0.5, 0.5)), Vec3::ONE);
+        assert_eq!(t.sample(Vec3::new(1.5, 0.5, 0.5)), Vec3::ZERO);
+        assert_eq!(t.sample(Vec3::new(1.5, 1.5, 0.5)), Vec3::ONE);
+    }
+
+    #[test]
+    fn checker_handles_negative_coords() {
+        let t = Texture::Checker { a: Vec3::ONE, b: Vec3::ZERO, scale: 1.0 };
+        // (-0.5, 0.5, 0.5) -> cell sum -1 + 0 + 0 = -1 -> odd parity -> b.
+        assert_eq!(t.sample(Vec3::new(-0.5, 0.5, 0.5)), Vec3::ZERO);
+    }
+
+    #[test]
+    fn solid_constant() {
+        let c = Vec3::new(0.1, 0.2, 0.3);
+        let t = Texture::Solid(c);
+        assert_eq!(t.sample(Vec3::new(9.0, -3.0, 2.0)), c);
+    }
+
+    #[test]
+    fn noise_texture_blends_between_colors() {
+        let t = Texture::Noise { a: Vec3::ZERO, b: Vec3::ONE, frequency: 2.0, seed: 5 };
+        for i in 0..20 {
+            let v = t.sample(Vec3::splat(i as f32 * 0.3));
+            assert!(v.x >= 0.0 && v.x <= 1.0);
+            assert_eq!(v.x, v.y);
+        }
+    }
+
+    #[test]
+    fn fbm_in_range() {
+        for i in 0..50 {
+            let v = fbm_noise(Vec3::splat(i as f32 * 0.21), 9, 4);
+            assert!((0.0..=1.0).contains(&v));
+        }
+    }
+}

@@ -1,0 +1,340 @@
+//! Camera trajectory generators with controllable covisibility profiles.
+//!
+//! The AGS mechanisms depend on the *distribution of inter-frame motion*:
+//! most consecutive SLAM frames overlap heavily (high covisibility) with
+//! occasional rapid movements (low covisibility). Each generator produces a
+//! smooth base path and injects configurable speed *bursts* that create the
+//! low-covisibility episodes the paper's Fig. 22 characterises.
+
+use ags_math::{Mat3, Pcg32, Quat, Se3, Vec3};
+
+/// Shape of the camera path.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PathKind {
+    /// Circular orbit around `center` at `radius`, always looking at the
+    /// center (desk-style sequences).
+    Orbit {
+        /// Orbit center (look-at target).
+        center: Vec3,
+        /// Orbit radius in meters.
+        radius: f32,
+        /// Camera height above the center.
+        height: f32,
+        /// Total angle swept over the trajectory, in radians.
+        sweep: f32,
+    },
+    /// Mostly-stationary camera panning around the room from `eye`
+    /// (room-scan sequences).
+    Pan {
+        /// Camera position.
+        eye: Vec3,
+        /// Distance of the look-at target ring.
+        look_radius: f32,
+        /// Total pan angle in radians.
+        sweep: f32,
+        /// Vertical bobbing amplitude.
+        bob: f32,
+    },
+    /// Small axis-aligned translations with nearly fixed orientation
+    /// (TUM `fr1/xyz`-style, very high covisibility).
+    Shuttle {
+        /// Center of the shuttle motion.
+        center: Vec3,
+        /// Amplitude of the translation along each axis.
+        amplitude: Vec3,
+        /// Fixed look-at target.
+        target: Vec3,
+    },
+}
+
+/// Full description of a camera trajectory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrajectoryProfile {
+    /// Path geometry.
+    pub kind: PathKind,
+    /// Number of frames to generate.
+    pub num_frames: usize,
+    /// Number of fast-motion bursts injected along the path.
+    pub bursts: usize,
+    /// Speed multiplier at the peak of a burst (1.0 = no speedup).
+    pub burst_strength: f32,
+    /// Handheld rotational jitter amplitude in radians.
+    pub jitter: f32,
+    /// RNG seed for jitter/burst placement.
+    pub seed: u64,
+}
+
+impl TrajectoryProfile {
+    /// Generates the camera-to-world pose sequence.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `num_frames == 0`.
+    pub fn generate(&self) -> Vec<Se3> {
+        assert!(self.num_frames > 0, "trajectory needs at least one frame");
+        let mut rng = Pcg32::seeded(self.seed);
+
+        // Burst layout: center parameter (0..1) and width for each burst.
+        let bursts: Vec<(f32, f32)> = (0..self.bursts)
+            .map(|i| {
+                let slot = (i as f32 + 0.5) / self.bursts.max(1) as f32;
+                let center = (slot + rng.range_f32(-0.08, 0.08)).clamp(0.05, 0.95);
+                let width = rng.range_f32(0.015, 0.04);
+                (center, width)
+            })
+            .collect();
+
+        // Integrate a speed profile so bursts compress parameter time.
+        let n = self.num_frames;
+        let mut params = Vec::with_capacity(n);
+        let mut u = 0.0f32;
+        let mut speeds = Vec::with_capacity(n);
+        for i in 0..n {
+            let x = i as f32 / n as f32;
+            let mut speed = 1.0;
+            for &(c, w) in &bursts {
+                let d = (x - c) / w;
+                speed += (self.burst_strength - 1.0) * (-0.5 * d * d).exp();
+            }
+            speeds.push(speed);
+            params.push(u);
+            u += speed;
+        }
+        let total: f32 = u.max(1e-6);
+        for p in &mut params {
+            *p /= total;
+        }
+
+        // Smooth jitter: low-pass filtered white noise per rotation axis.
+        let mut jitter_state = Vec3::ZERO;
+        let mut poses = Vec::with_capacity(n);
+        for (i, &t) in params.iter().enumerate() {
+            let mut pose = self.base_pose(t);
+            if self.jitter > 0.0 {
+                let white = Vec3::new(rng.normal_f32(), rng.normal_f32(), rng.normal_f32());
+                jitter_state = jitter_state * 0.85 + white * 0.15;
+                // Extra shake during bursts makes low-FC frames harder,
+                // mirroring real handheld capture.
+                let burst_boost = 1.0 + 0.5 * (speeds[i] - 1.0).max(0.0);
+                let j = jitter_state * (self.jitter * burst_boost);
+                pose.rotation = (Quat::from_rotation_vector(j) * pose.rotation).normalized();
+            }
+            poses.push(pose);
+        }
+        poses
+    }
+
+    fn base_pose(&self, t: f32) -> Se3 {
+        match self.kind {
+            PathKind::Orbit { center, radius, height, sweep } => {
+                let angle = t * sweep;
+                let eye = center
+                    + Vec3::new(radius * angle.cos(), height, radius * angle.sin());
+                look_at(eye, center)
+            }
+            PathKind::Pan { eye, look_radius, sweep, bob } => {
+                let angle = t * sweep;
+                let target = eye
+                    + Vec3::new(
+                        look_radius * angle.cos(),
+                        bob * (t * std::f32::consts::TAU * 2.0).sin(),
+                        look_radius * angle.sin(),
+                    );
+                let eye_moved = eye + Vec3::new(0.0, bob * 0.3 * (t * 9.0).sin(), 0.0);
+                look_at(eye_moved, target)
+            }
+            PathKind::Shuttle { center, amplitude, target } => {
+                let tau = std::f32::consts::TAU;
+                let eye = center
+                    + Vec3::new(
+                        amplitude.x * (t * tau).sin(),
+                        amplitude.y * (t * tau * 2.0).sin(),
+                        amplitude.z * (t * tau * 0.5).sin(),
+                    );
+                look_at(eye, target)
+            }
+        }
+    }
+}
+
+/// Builds a camera-to-world pose at `eye` looking toward `target`.
+///
+/// The camera frame is the computer-vision convention: +X image-right,
+/// +Y image-down, +Z forward. The world is Y-up.
+pub fn look_at(eye: Vec3, target: Vec3) -> Se3 {
+    let forward = (target - eye).normalized();
+    let up = if forward.y.abs() > 0.99 { Vec3::X } else { Vec3::Y };
+    // down = -(up orthogonalised against forward)
+    let down = (forward * up.dot(forward) - up).normalized();
+    let right = down.cross(forward);
+    let rot = Mat3::from_cols(right, down, forward);
+    Se3::new(Quat::from_matrix(&rot), eye)
+}
+
+/// Motion statistics of a trajectory (used by tests and the covisibility
+/// analysis experiment).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MotionStats {
+    /// Mean translation between consecutive frames (m).
+    pub mean_translation: f32,
+    /// Max translation between consecutive frames (m).
+    pub max_translation: f32,
+    /// Mean rotation between consecutive frames (rad).
+    pub mean_rotation: f32,
+    /// Max rotation between consecutive frames (rad).
+    pub max_rotation: f32,
+}
+
+/// Computes per-step motion statistics of a pose sequence.
+pub fn motion_stats(poses: &[Se3]) -> MotionStats {
+    let mut stats = MotionStats {
+        mean_translation: 0.0,
+        max_translation: 0.0,
+        mean_rotation: 0.0,
+        max_rotation: 0.0,
+    };
+    if poses.len() < 2 {
+        return stats;
+    }
+    let steps = poses.len() - 1;
+    for w in poses.windows(2) {
+        let dt = w[0].translation_distance(&w[1]);
+        let dr = w[0].rotation_angle_to(&w[1]);
+        stats.mean_translation += dt;
+        stats.mean_rotation += dr;
+        stats.max_translation = stats.max_translation.max(dt);
+        stats.max_rotation = stats.max_rotation.max(dr);
+    }
+    stats.mean_translation /= steps as f32;
+    stats.mean_rotation /= steps as f32;
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn look_at_points_camera_forward() {
+        let eye = Vec3::new(0.0, 1.0, -3.0);
+        let target = Vec3::new(0.0, 1.0, 2.0);
+        let pose = look_at(eye, target);
+        // The camera-frame forward axis (+Z) maps to the direction of the target.
+        let fwd_world = pose.transform_dir(Vec3::Z);
+        let expect = (target - eye).normalized();
+        assert!((fwd_world - expect).norm() < 1e-4);
+        assert_eq!(pose.translation, eye);
+    }
+
+    #[test]
+    fn look_at_rotation_is_orthonormal() {
+        let pose = look_at(Vec3::new(1.0, 2.0, 3.0), Vec3::new(-2.0, 0.5, 1.0));
+        let m = pose.rotation_matrix();
+        let id = m.transpose() * m;
+        assert!((id - Mat3::IDENTITY).frobenius_norm() < 1e-4);
+        assert!((m.det() - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn look_at_handles_vertical_direction() {
+        let pose = look_at(Vec3::new(0.0, 5.0, 0.0), Vec3::ZERO);
+        let fwd = pose.transform_dir(Vec3::Z);
+        assert!((fwd - Vec3::new(0.0, -1.0, 0.0)).norm() < 1e-4);
+    }
+
+    fn orbit_profile(bursts: usize, strength: f32) -> TrajectoryProfile {
+        TrajectoryProfile {
+            kind: PathKind::Orbit {
+                center: Vec3::ZERO,
+                radius: 2.0,
+                height: 1.0,
+                sweep: std::f32::consts::PI,
+            },
+            num_frames: 60,
+            bursts,
+            burst_strength: strength,
+            jitter: 0.0,
+            seed: 9,
+        }
+    }
+
+    #[test]
+    fn generates_requested_frame_count() {
+        assert_eq!(orbit_profile(0, 1.0).generate().len(), 60);
+    }
+
+    #[test]
+    fn orbit_looks_at_center() {
+        let poses = orbit_profile(0, 1.0).generate();
+        for pose in &poses {
+            let fwd = pose.transform_dir(Vec3::Z);
+            let to_center = (Vec3::ZERO - pose.translation).normalized();
+            assert!(fwd.dot(to_center) > 0.99, "camera should face orbit center");
+        }
+    }
+
+    #[test]
+    fn bursts_create_fast_frames() {
+        let smooth = motion_stats(&orbit_profile(0, 1.0).generate());
+        let bursty = motion_stats(&orbit_profile(2, 8.0).generate());
+        assert!(
+            bursty.max_rotation > smooth.max_rotation * 2.0,
+            "bursty max {} vs smooth max {}",
+            bursty.max_rotation,
+            smooth.max_rotation
+        );
+        // Bursty trajectory still covers the same sweep, so slow frames are slower.
+        assert!(bursty.max_translation > smooth.max_translation * 2.0);
+    }
+
+    #[test]
+    fn jitter_perturbs_rotation_only_slightly() {
+        let mut p = orbit_profile(0, 1.0);
+        p.jitter = 0.004;
+        let jittered = p.generate();
+        let clean = orbit_profile(0, 1.0).generate();
+        let mut max_diff: f32 = 0.0;
+        for (a, b) in jittered.iter().zip(&clean) {
+            max_diff = max_diff.max(a.rotation_angle_to(b));
+            assert_eq!(a.translation, b.translation);
+        }
+        assert!(max_diff > 0.0 && max_diff < 0.05, "max rotation diff {max_diff}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = orbit_profile(2, 4.0).generate();
+        let b = orbit_profile(2, 4.0).generate();
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.translation, y.translation);
+        }
+    }
+
+    #[test]
+    fn shuttle_keeps_orientation_nearly_fixed() {
+        let profile = TrajectoryProfile {
+            kind: PathKind::Shuttle {
+                center: Vec3::new(0.0, 1.0, -2.0),
+                amplitude: Vec3::new(0.3, 0.15, 0.2),
+                target: Vec3::new(0.0, 1.0, 3.0),
+            },
+            num_frames: 40,
+            bursts: 0,
+            burst_strength: 1.0,
+            jitter: 0.0,
+            seed: 3,
+        };
+        let stats = motion_stats(&profile.generate());
+        assert!(stats.max_rotation < 0.12, "shuttle rotation {}", stats.max_rotation);
+        assert!(stats.max_translation < 0.12);
+    }
+
+    #[test]
+    fn motion_stats_of_static_sequence_is_zero() {
+        let poses = vec![Se3::IDENTITY; 5];
+        let s = motion_stats(&poses);
+        assert_eq!(s.max_translation, 0.0);
+        assert_eq!(s.mean_rotation, 0.0);
+    }
+}

@@ -1,0 +1,188 @@
+//! Area model regenerating the paper's Table 3.
+//!
+//! Synthesis (Design Compiler @ 28 nm, CACTI for SRAM) is replaced by the
+//! per-unit areas the paper reports; the table is *computed* from the
+//! Edge/Server configurations so design-space changes propagate.
+
+/// One row of the area table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AreaRow {
+    /// Engine the component belongs to.
+    pub module: &'static str,
+    /// Component name.
+    pub component: &'static str,
+    /// Configuration remark (edge / server), e.g. unit counts.
+    pub remarks: String,
+    /// Area of the Edge variant in mm².
+    pub edge_mm2: f64,
+    /// Area of the Server variant in mm².
+    pub server_mm2: f64,
+}
+
+/// Per-unit area constants (mm², 28 nm @ 500 MHz), back-derived from the
+/// paper's Table 3 entries.
+mod unit {
+    /// One 32×32 systolic array.
+    pub const SYSTOLIC_32X32: f64 = 0.48;
+    /// One 4×4 GPE sub-array.
+    pub const GPE_4X4: f64 = 3.53 / 16.0;
+    /// SRAM per KB (CACTI-derived, scaled to 28 nm).
+    pub const SRAM_PER_KB: f64 = 0.09 / 32.0;
+    /// One update unit (adder + address path).
+    pub const UPDATE_UNIT: f64 = 0.13 / 16.0;
+    /// One comparison unit.
+    pub const COMPARISON_UNIT: f64 = 0.01 / 16.0;
+    /// FC detection adders (8) / comparators (2) blocks.
+    pub const FC_ADDERS: f64 = 0.01;
+    /// FC comparators block.
+    pub const FC_COMPARATORS: f64 = 0.01;
+}
+
+/// Computes the area table for the Edge and Server design points.
+pub fn area_table() -> Vec<AreaRow> {
+    let row = |module, component, remarks: String, edge: f64, server: f64| AreaRow {
+        module,
+        component,
+        remarks,
+        edge_mm2: edge,
+        server_mm2: server,
+    };
+    vec![
+        row(
+            "FC Detection Engine",
+            "Adders and Comparators",
+            "8 Units + 2 Units".into(),
+            unit::FC_ADDERS,
+            unit::FC_COMPARATORS,
+        ),
+        row(
+            "Pose Tracking Engine",
+            "Systolic Array",
+            "2x(32x32) / 4x(32x32)".into(),
+            2.0 * unit::SYSTOLIC_32X32,
+            4.0 * unit::SYSTOLIC_32X32,
+        ),
+        row(
+            "Pose Tracking Engine",
+            "NN Buffer",
+            "32KB / 64KB".into(),
+            32.0 * unit::SRAM_PER_KB,
+            64.0 * unit::SRAM_PER_KB,
+        ),
+        row(
+            "Pose Tracking Engine",
+            "GS Array (Light)",
+            "8x(4x4) / 16x(4x4)".into(),
+            8.0 * unit::GPE_4X4,
+            16.0 * unit::GPE_4X4,
+        ),
+        row(
+            "Pose Tracking Engine",
+            "Gauss Buffer (Light)",
+            "32KB / 64KB".into(),
+            // Wider ports than the NN buffer: the paper reports 0.23/0.46.
+            0.23,
+            0.46,
+        ),
+        row(
+            "Mapping Engine",
+            "GS Logging Table",
+            "4KB / 8KB".into(),
+            0.03,
+            0.04,
+        ),
+        row(
+            "Mapping Engine",
+            "Update Unit",
+            "16 Units / 32 Units".into(),
+            16.0 * unit::UPDATE_UNIT,
+            32.0 * unit::UPDATE_UNIT,
+        ),
+        row(
+            "Mapping Engine",
+            "GS Skipping Table",
+            "4KB / 8KB".into(),
+            0.03,
+            0.04,
+        ),
+        row(
+            "Mapping Engine",
+            "Comparison Unit",
+            "16 Units / 32 Units".into(),
+            16.0 * unit::COMPARISON_UNIT,
+            32.0 * unit::COMPARISON_UNIT,
+        ),
+        row(
+            "Mapping Engine",
+            "GS Array",
+            "16x(4x4) / 32x(4x4)".into(),
+            16.0 * unit::GPE_4X4,
+            32.0 * unit::GPE_4X4,
+        ),
+        row(
+            "Mapping Engine",
+            "Gauss Buffer",
+            "64KB / 128KB".into(),
+            0.46,
+            0.93,
+        ),
+    ]
+}
+
+/// Total areas `(edge, server)` in mm².
+pub fn total_area() -> (f64, f64) {
+    area_table()
+        .iter()
+        .fold((0.0, 0.0), |(e, s), r| (e + r.edge_mm2, s + r.server_mm2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_match_paper_scale() {
+        let (edge, server) = total_area();
+        // Paper: 7.25 mm² (edge) and 14.38 mm² (server); allow small drift
+        // from rounding the per-unit constants.
+        assert!((edge - 7.25).abs() < 0.4, "edge {edge}");
+        assert!((server - 14.38).abs() < 0.6, "server {server}");
+    }
+
+    #[test]
+    fn server_doubles_compute_components() {
+        for r in area_table() {
+            if r.component.contains("GS Array") || r.component.contains("Systolic") {
+                assert!(
+                    (r.server_mm2 / r.edge_mm2 - 2.0).abs() < 1e-6,
+                    "{}: {} vs {}",
+                    r.component,
+                    r.edge_mm2,
+                    r.server_mm2
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn engines_dominate_area() {
+        let (edge, _) = total_area();
+        let engine_area: f64 = area_table()
+            .iter()
+            .filter(|r| r.module != "FC Detection Engine")
+            .map(|r| r.edge_mm2)
+            .sum();
+        // Paper: tracking + mapping engines occupy > 90 % of the chip.
+        assert!(engine_area / edge > 0.9);
+    }
+
+    #[test]
+    fn fc_engine_is_tiny() {
+        let fc: f64 = area_table()
+            .iter()
+            .filter(|r| r.module == "FC Detection Engine")
+            .map(|r| r.edge_mm2)
+            .sum();
+        assert!(fc < 0.05, "CODEC reuse keeps FC detection tiny: {fc}");
+    }
+}

@@ -1,0 +1,203 @@
+//! Cycle-exact GPE array model with the AGS scheduler.
+//!
+//! A GS array rasterizes one tile at a time: each GPE owns a subset of the
+//! tile's pixels and walks the tile's Gaussian table front-to-back. Per
+//! (Gaussian, pixel) pair the GPE spends `ALPHA_CYCLES` on the α stage
+//! (Eqn. 1) and `BLEND_CYCLES` on the blend stage (Eqn. 2). Early
+//! termination makes per-pixel work uneven (paper Challenge 3); the GPE
+//! scheduler lets idle GPEs execute the *independent* α stage for busy
+//! GPEs, leaving only the sequential blend chain on the owner (Fig. 13).
+
+/// Cycles for one α-stage evaluation (exp + quadratic form).
+pub const ALPHA_CYCLES: u64 = 4;
+/// Cycles for one blend-stage operation (the recurrent T update).
+pub const BLEND_CYCLES: u64 = 2;
+
+/// Static configuration of one GS array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GpeArrayConfig {
+    /// Number of GPE lanes in the array (the paper uses 4×4 = 16).
+    pub lanes: usize,
+    /// Whether the GPE scheduler (α/blend disassembly + alpha buffer) is
+    /// enabled.
+    pub scheduler: bool,
+    /// Alpha-buffer capacity in pre-computed α values per assisted GPE; caps
+    /// how far assistants may run ahead.
+    pub alpha_buffer: usize,
+}
+
+impl Default for GpeArrayConfig {
+    fn default() -> Self {
+        Self { lanes: 16, scheduler: true, alpha_buffer: 32 }
+    }
+}
+
+/// Cycle-exact simulation of one GS array.
+#[derive(Debug, Clone)]
+pub struct GpeArraySim {
+    config: GpeArrayConfig,
+}
+
+impl GpeArraySim {
+    /// Creates a simulator.
+    pub fn new(config: GpeArrayConfig) -> Self {
+        Self { config }
+    }
+
+    /// Simulates one tile given per-pixel α-stage and blend-stage counts
+    /// (from the renderer's sampled [`TileWork`](ags_splat::render::TileWork)),
+    /// returning the cycles until every pixel finishes.
+    ///
+    /// Pixels are distributed round-robin over the lanes (the hardware
+    /// interleaves pixels so neighbouring pixels land on different GPEs).
+    pub fn tile_cycles(&self, per_pixel_evals: &[u16], per_pixel_blends: &[u16]) -> u64 {
+        let lanes = self.config.lanes.max(1);
+        // Per-lane workload: α cycles and blend cycles.
+        let mut lane_alpha = vec![0u64; lanes];
+        let mut lane_blend = vec![0u64; lanes];
+        for (i, (&e, &b)) in per_pixel_evals.iter().zip(per_pixel_blends).enumerate() {
+            let lane = i % lanes;
+            lane_alpha[lane] += e as u64 * ALPHA_CYCLES;
+            lane_blend[lane] += b as u64 * BLEND_CYCLES;
+        }
+
+        if !self.config.scheduler {
+            // Without redistribution each lane serially executes both stages.
+            return lane_alpha
+                .iter()
+                .zip(&lane_blend)
+                .map(|(a, b)| a + b)
+                .max()
+                .unwrap_or(0);
+        }
+
+        // With the scheduler, α work is a shared pool (any idle lane can
+        // assist any busy lane through the alpha buffer), while each lane's
+        // blend chain stays sequential on its owner. The makespan is bounded
+        // below by both the blend-critical lane (which still computes or
+        // receives its own α values, overlapped) and the α throughput of the
+        // whole array; a small per-assist overhead models the workload-table
+        // lookups and alpha-buffer tags.
+        let total_alpha: u64 = lane_alpha.iter().sum();
+        let alpha_bound = total_alpha.div_ceil(lanes as u64);
+        let blend_bound = lane_blend.iter().copied().max().unwrap_or(0);
+        // Residual serialization: the busiest lane overlaps its blend chain
+        // with α work executed elsewhere, but tag lookups add ~1 cycle per
+        // blended Gaussian beyond the alpha-buffer capacity.
+        let busiest = lane_blend.iter().copied().max().unwrap_or(0) / BLEND_CYCLES;
+        let overflow = busiest.saturating_sub(self.config.alpha_buffer as u64);
+        alpha_bound.max(blend_bound) + overflow
+    }
+
+    /// Analytic approximation used for frames without sampled tile work,
+    /// mirroring the exact model's semantics: with the scheduler, the α pool
+    /// is spread over all lanes and overlaps the blend chains (bounded by
+    /// whichever dominates); without it, each lane serially executes both
+    /// stages and pays the sampled `imbalance` factor (makespan over
+    /// mean-lane-work).
+    pub fn analytic_cycles(
+        &self,
+        alpha_evals: u64,
+        blend_ops: u64,
+        imbalance: f32,
+    ) -> u64 {
+        let lanes = self.config.lanes.max(1) as u64;
+        if self.config.scheduler {
+            let alpha_bound = (alpha_evals * ALPHA_CYCLES).div_ceil(lanes);
+            let blend_bound = (blend_ops * BLEND_CYCLES).div_ceil(lanes);
+            alpha_bound.max(blend_bound)
+        } else {
+            let ideal = (alpha_evals * ALPHA_CYCLES + blend_ops * BLEND_CYCLES).div_ceil(lanes);
+            (ideal as f64 * imbalance.max(1.0) as f64) as u64
+        }
+    }
+
+    /// Measures the imbalance factor of a sampled tile: the ratio between
+    /// the no-scheduler makespan and the perfectly-balanced time.
+    pub fn measure_imbalance(&self, per_pixel_evals: &[u16], per_pixel_blends: &[u16]) -> f32 {
+        let no_sched =
+            GpeArraySim::new(GpeArrayConfig { scheduler: false, ..self.config }).tile_cycles(
+                per_pixel_evals,
+                per_pixel_blends,
+            );
+        let total: u64 = per_pixel_evals.iter().map(|&e| e as u64 * ALPHA_CYCLES).sum::<u64>()
+            + per_pixel_blends.iter().map(|&b| b as u64 * BLEND_CYCLES).sum::<u64>();
+        let ideal = total.div_ceil(self.config.lanes.max(1) as u64).max(1);
+        no_sched as f32 / ideal as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sim(scheduler: bool) -> GpeArraySim {
+        GpeArraySim::new(GpeArrayConfig { lanes: 4, scheduler, alpha_buffer: 8 })
+    }
+
+    #[test]
+    fn balanced_tile_is_ideal() {
+        // 4 pixels, one per lane, equal work.
+        let evals = [10u16; 4];
+        let blends = [10u16; 4];
+        let cycles = sim(false).tile_cycles(&evals, &blends);
+        assert_eq!(cycles, 10 * ALPHA_CYCLES + 10 * BLEND_CYCLES);
+        // Scheduler can't beat an already balanced tile's blend+alpha bound.
+        let sched = sim(true).tile_cycles(&evals, &blends);
+        assert!(sched <= cycles);
+    }
+
+    #[test]
+    fn scheduler_helps_unbalanced_tiles() {
+        // One heavy pixel (early-terminated neighbours idle).
+        let evals = [40u16, 2, 2, 2];
+        let blends = [40u16, 2, 2, 2];
+        let without = sim(false).tile_cycles(&evals, &blends);
+        let with = sim(true).tile_cycles(&evals, &blends);
+        assert!(
+            with < without,
+            "scheduler should shorten the makespan: {with} vs {without}"
+        );
+        // Lower bound: the heavy pixel's blend chain cannot be parallelised.
+        assert!(with >= 40 * BLEND_CYCLES);
+    }
+
+    #[test]
+    fn empty_tile_is_free() {
+        assert_eq!(sim(true).tile_cycles(&[], &[]), 0);
+        assert_eq!(sim(false).tile_cycles(&[], &[]), 0);
+    }
+
+    #[test]
+    fn analytic_matches_exact_on_balanced_work() {
+        let evals = [8u16; 16];
+        let blends = [8u16; 16];
+        let s = GpeArraySim::new(GpeArrayConfig { lanes: 16, scheduler: true, alpha_buffer: 32 });
+        let exact = s.tile_cycles(&evals, &blends);
+        let total_alpha: u64 = evals.iter().map(|&e| e as u64).sum();
+        let total_blend: u64 = blends.iter().map(|&b| b as u64).sum();
+        let analytic = s.analytic_cycles(total_alpha, total_blend, 1.0);
+        let diff = (exact as f64 - analytic as f64).abs() / exact as f64;
+        assert!(diff < 0.35, "exact {exact} vs analytic {analytic}");
+    }
+
+    #[test]
+    fn imbalance_factor_detects_skew() {
+        let s = sim(false);
+        let balanced = s.measure_imbalance(&[10, 10, 10, 10], &[10, 10, 10, 10]);
+        let skewed = s.measure_imbalance(&[40, 0, 0, 0], &[40, 0, 0, 0]);
+        assert!(balanced < 1.2, "balanced imbalance {balanced}");
+        assert!(skewed > 2.0, "skewed imbalance {skewed}");
+    }
+
+    #[test]
+    fn more_lanes_reduce_cycles() {
+        let evals: Vec<u16> = (0..64).map(|i| 4 + (i % 7) as u16).collect();
+        let blends = evals.clone();
+        let small = GpeArraySim::new(GpeArrayConfig { lanes: 4, scheduler: true, alpha_buffer: 16 })
+            .tile_cycles(&evals, &blends);
+        let large = GpeArraySim::new(GpeArrayConfig { lanes: 16, scheduler: true, alpha_buffer: 16 })
+            .tile_cycles(&evals, &blends);
+        assert!(large < small);
+    }
+}

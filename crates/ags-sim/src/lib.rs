@@ -1,0 +1,32 @@
+//! Cycle-level AGS architecture simulator and platform cost models.
+//!
+//! Translates the algorithm-level [`ags_core::WorkloadTrace`] into execution
+//! time and energy on four platform families:
+//!
+//! * [`platform::GpuModel`] — roofline GPU models (an A100-class server part
+//!   and a Xavier-class edge part) with kernel-launch overheads and the
+//!   baseline's serial tracking→mapping dependency.
+//! * [`platform::GsCoreModel`] — the GSCore comparison: forward rendering
+//!   accelerated, everything else on the host GPU (paper §6.1).
+//! * [`platform::AgsModel`] — the AGS accelerator: FC detection engine fed
+//!   by the CODEC, pose tracking engine (systolic array + light GS array),
+//!   mapping engine (GS array + GS logging/skipping tables with hot/cold
+//!   buffering), GPE scheduler, and tracking/mapping overlap (Fig. 9b/10).
+//! * [`gpe::GpeArraySim`] — a cycle-exact model of one GS array processing a
+//!   tile, including early termination and the α/blend disassembly the GPE
+//!   scheduler exploits (Fig. 13), validated against an analytic model.
+//!
+//! [`area`] and [`energy`] regenerate the paper's Table 3 and Fig. 16.
+
+#![warn(missing_docs)]
+
+pub mod area;
+pub mod dram;
+pub mod energy;
+pub mod gpe;
+pub mod platform;
+
+pub use area::{area_table, AreaRow};
+pub use dram::DramModel;
+pub use gpe::{GpeArrayConfig, GpeArraySim};
+pub use platform::{AgsModel, AgsVariant, GpuModel, GsCoreModel, PhaseTimes};

@@ -1,0 +1,531 @@
+//! Platform cost models: GPUs, GSCore and the AGS accelerator.
+
+use crate::dram::DramModel;
+use crate::gpe::{GpeArrayConfig, GpeArraySim};
+use ags_core::trace::{TraceFrame, WorkloadTrace};
+
+/// Per-phase execution time of one run, in milliseconds.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PhaseTimes {
+    /// CODEC + FC detection time.
+    pub codec_ms: f64,
+    /// Coarse (neural + GN) tracking time.
+    pub coarse_ms: f64,
+    /// 3DGS tracking / refinement time.
+    pub refine_ms: f64,
+    /// Mapping time.
+    pub mapping_ms: f64,
+    /// End-to-end time including scheduling/overlap.
+    pub total_ms: f64,
+}
+
+impl PhaseTimes {
+    /// Tracking-side time (codec + coarse + refine).
+    pub fn tracking_ms(&self) -> f64 {
+        self.codec_ms + self.coarse_ms + self.refine_ms
+    }
+}
+
+// ---------------------------------------------------------------------------
+// GPU roofline models
+// ---------------------------------------------------------------------------
+
+/// A roofline GPU model with per-iteration launch overhead.
+///
+/// The paper scales GPU core counts to the accelerator's area budget; these
+/// effective throughputs bake that scaling in.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GpuModel {
+    /// Display name.
+    pub name: &'static str,
+    /// Effective FLOPs per millisecond.
+    pub flops_per_ms: f64,
+    /// Effective bytes per millisecond.
+    pub bytes_per_ms: f64,
+    /// Launch/synchronisation overhead per training iteration (ms).
+    pub launch_ms: f64,
+    /// Board power in watts (energy model).
+    pub power_w: f64,
+}
+
+impl GpuModel {
+    /// A100-class server GPU, area-normalised to the accelerator budget
+    /// (§6.1 "we scale the number of computing cores to ensure the same
+    /// area budget") and de-rated for the poor utilisation of the small
+    /// kernels 3DGS-SLAM launches.
+    pub fn a100() -> Self {
+        Self {
+            name: "A100",
+            flops_per_ms: 6.0e8,
+            bytes_per_ms: 2.0e8,
+            launch_ms: 0.02,
+            power_w: 300.0,
+        }
+    }
+
+    /// Jetson AGX Xavier-class edge GPU (same normalisation).
+    pub fn xavier() -> Self {
+        Self {
+            name: "Xavier",
+            flops_per_ms: 5.0e7,
+            bytes_per_ms: 1.5e7,
+            launch_ms: 0.08,
+            power_w: 30.0,
+        }
+    }
+
+    fn phase_ms(&self, flops: u64, bytes: u64, iterations: u32) -> f64 {
+        let compute = flops as f64 / self.flops_per_ms;
+        let memory = bytes as f64 / self.bytes_per_ms;
+        compute.max(memory) + iterations as f64 * self.launch_ms
+    }
+
+    /// Busy time excluding launch gaps (energy accounting: the GPU sits near
+    /// idle power between kernel launches).
+    fn busy_ms(&self, flops: u64, bytes: u64) -> f64 {
+        (flops as f64 / self.flops_per_ms).max(bytes as f64 / self.bytes_per_ms)
+    }
+
+    /// Busy time of a whole trace (for the energy model).
+    pub fn busy_trace_ms(&self, trace: &WorkloadTrace) -> f64 {
+        trace
+            .frames
+            .iter()
+            .map(|f| {
+                self.busy_ms(f.codec.flops(), f.codec.bytes())
+                    + self.busy_ms(f.coarse.flops(), f.coarse.bytes())
+                    + self.busy_ms(f.refine.flops(), f.refine.bytes())
+                    + self.busy_ms(f.mapping.flops(), f.mapping.bytes())
+            })
+            .sum()
+    }
+
+    /// Executes a trace serially (the baseline's Fig. 9a flow): tracking and
+    /// mapping of each frame run back to back.
+    pub fn run_trace(&self, trace: &WorkloadTrace) -> PhaseTimes {
+        let mut t = PhaseTimes::default();
+        for f in &trace.frames {
+            // GPUs have no CODEC reuse: covisibility detection (if the
+            // algorithm requests it) runs as compute.
+            let codec = self.phase_ms(f.codec.flops(), f.codec.bytes(), 0);
+            let coarse = self.phase_ms(f.coarse.flops(), f.coarse.bytes(), 0);
+            let refine = self.phase_ms(f.refine.flops(), f.refine.bytes(), f.refine.iterations);
+            // GPUs handle the irregular contribution-table updates poorly:
+            // scattered reads/writes see a fraction of streaming bandwidth.
+            let table_penalty = 4.0 * f.mapping.table_bytes as f64 / self.bytes_per_ms;
+            let mapping = self.phase_ms(
+                f.mapping.flops(),
+                f.mapping.bytes(),
+                f.mapping.iterations,
+            ) + table_penalty;
+            t.codec_ms += codec;
+            t.coarse_ms += coarse;
+            t.refine_ms += refine;
+            t.mapping_ms += mapping;
+            t.total_ms += codec + coarse + refine + mapping;
+        }
+        t
+    }
+}
+
+// ---------------------------------------------------------------------------
+// GSCore
+// ---------------------------------------------------------------------------
+
+/// GSCore comparison model: a dedicated unit accelerates the *forward
+/// rendering* of 3DGS; gradients, optimizer and everything else run on the
+/// host GPU (paper §6.1: "we combine the accelerated inference process of
+/// GSCore with the rest training process ... on the GPUs").
+#[derive(Debug, Clone, Copy)]
+pub struct GsCoreModel {
+    /// Host GPU for the non-rendering work.
+    pub host: GpuModel,
+    /// Rendering throughput of the GSCore unit, in (Gaussian, pixel) pair
+    /// operations per millisecond.
+    pub render_pairs_per_ms: f64,
+}
+
+impl GsCoreModel {
+    /// GSCore paired with the server GPU.
+    pub fn server() -> Self {
+        Self { host: GpuModel::a100(), render_pairs_per_ms: 1.2e8 }
+    }
+
+    /// GSCore paired with the edge GPU.
+    pub fn edge() -> Self {
+        Self { host: GpuModel::xavier(), render_pairs_per_ms: 1.2e7 }
+    }
+
+    /// Executes a trace: forward rendering on the GSCore unit, the rest on
+    /// the host (still serial per frame).
+    pub fn run_trace(&self, trace: &WorkloadTrace) -> PhaseTimes {
+        let mut t = PhaseTimes::default();
+        for f in &trace.frames {
+            let codec = self.host.phase_ms(f.codec.flops(), f.codec.bytes(), 0);
+            let coarse = self.host.phase_ms(f.coarse.flops(), f.coarse.bytes(), 0);
+            let refine = self.split_phase(&f.refine);
+            let mapping = self.split_phase(&f.mapping)
+                + 4.0 * f.mapping.table_bytes as f64 / self.host.bytes_per_ms;
+            t.codec_ms += codec;
+            t.coarse_ms += coarse;
+            t.refine_ms += refine;
+            t.mapping_ms += mapping;
+            t.total_ms += codec + coarse + refine + mapping;
+        }
+        t
+    }
+
+    /// Forward rendering on the accelerator, backward + update on the host.
+    /// The two run pipelined (GSCore renders iteration *i+1*'s view while
+    /// the host back-propagates iteration *i*), and offloading the render
+    /// kernels removes roughly 60 % of the per-iteration launch overhead.
+    fn split_phase(&self, w: &ags_slam::WorkUnits) -> f64 {
+        let render_ms = (w.render_alpha + w.render_blend) as f64 / self.render_pairs_per_ms;
+        let backward_flops = w.grad_ops * 30 + w.nn_macs * 2 + w.gn_rows * 60;
+        let compute = backward_flops as f64 / self.host.flops_per_ms;
+        let memory = w.bytes() as f64 / self.host.bytes_per_ms;
+        let host_ms = compute.max(memory) + w.iterations as f64 * self.host.launch_ms * 0.4;
+        render_ms.max(host_ms)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// AGS accelerator
+// ---------------------------------------------------------------------------
+
+/// Feature toggles for the paper's ablation (Fig. 18).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AgsFeatures {
+    /// Movement-adaptive tracking hardware (systolic array + light GS array).
+    pub mat: bool,
+    /// Gaussian contribution-aware mapping hardware (logging/skipping
+    /// tables + hot/cold buffering).
+    pub gcm: bool,
+    /// GPE scheduler (α/blend disassembly, Fig. 13).
+    pub scheduler: bool,
+    /// Tracking/mapping overlap (Fig. 9b pipeline).
+    pub overlap: bool,
+}
+
+impl AgsFeatures {
+    /// Everything on (AGS-Full).
+    pub fn full() -> Self {
+        Self { mat: true, gcm: true, scheduler: true, overlap: true }
+    }
+}
+
+/// An AGS accelerator design point (Edge or Server, §6.1/Table 3).
+#[derive(Debug, Clone, Copy)]
+pub struct AgsVariant {
+    /// Display name.
+    pub name: &'static str,
+    /// GPE lanes of the mapping engine's GS array (arrays × 16).
+    pub map_lanes: u64,
+    /// GPE lanes of the pose tracking engine's light GS array.
+    pub track_lanes: u64,
+    /// Systolic-array MACs per cycle.
+    pub systolic_macs: u64,
+    /// Clock frequency in GHz.
+    pub freq_ghz: f64,
+    /// Off-chip memory model.
+    pub dram: DramModel,
+}
+
+impl AgsVariant {
+    /// AGS-Edge: 16×(4×4) GS array, 8×(4×4) light array, 2×(32×32) systolic,
+    /// LPDDR4-3200 (Table 3 left column).
+    pub fn edge() -> Self {
+        Self {
+            name: "AGS-Edge",
+            map_lanes: 16 * 16,
+            track_lanes: 8 * 16,
+            systolic_macs: 2 * 32 * 32,
+            freq_ghz: 0.5,
+            dram: DramModel::lpddr4(),
+        }
+    }
+
+    /// AGS-Server: 32×(4×4) GS array, 16×(4×4) light array, 4×(32×32)
+    /// systolic, HBM2 (Table 3 right column).
+    pub fn server() -> Self {
+        Self {
+            name: "AGS-Server",
+            map_lanes: 32 * 16,
+            track_lanes: 16 * 16,
+            systolic_macs: 4 * 32 * 32,
+            freq_ghz: 0.5,
+            dram: DramModel::hbm2(),
+        }
+    }
+}
+
+/// The AGS accelerator model.
+#[derive(Debug, Clone, Copy)]
+pub struct AgsModel {
+    /// Design point.
+    pub variant: AgsVariant,
+    /// Feature toggles.
+    pub features: AgsFeatures,
+}
+
+impl AgsModel {
+    /// Full-featured model of a design point.
+    pub fn new(variant: AgsVariant) -> Self {
+        Self { variant, features: AgsFeatures::full() }
+    }
+
+    /// Model with explicit feature toggles (ablation).
+    pub fn with_features(variant: AgsVariant, features: AgsFeatures) -> Self {
+        Self { variant, features }
+    }
+
+    fn cycles_to_ms(&self, cycles: u64) -> f64 {
+        cycles as f64 / (self.variant.freq_ghz * 1e6)
+    }
+
+    /// Mean GPE-lane imbalance of the trace's sampled tiles (penalty applied
+    /// when the scheduler is disabled).
+    fn measured_imbalance(&self, trace: &WorkloadTrace) -> f32 {
+        let probe = GpeArraySim::new(GpeArrayConfig { lanes: 16, scheduler: false, alpha_buffer: 32 });
+        let mut sum = 0.0f32;
+        let mut n = 0u32;
+        for f in &trace.frames {
+            for tile in &f.tile_work {
+                if tile.per_pixel_evals.iter().any(|&e| e > 0) {
+                    sum += probe.measure_imbalance(&tile.per_pixel_evals, &tile.per_pixel_blends);
+                    n += 1;
+                }
+            }
+        }
+        if n == 0 {
+            1.6
+        } else {
+            sum / n as f32
+        }
+    }
+
+    /// Time of a GS-array phase (render + gradient work + parameter traffic).
+    fn gs_phase_ms(
+        &self,
+        w: &ags_slam::WorkUnits,
+        lanes: u64,
+        imbalance: f32,
+        add_back_skipped: bool,
+    ) -> f64 {
+        let mut alpha = w.render_alpha;
+        let mut blend = w.render_blend;
+        let mut pairs = w.pairs;
+        if add_back_skipped && w.pairs > 0 {
+            // GCM disabled: the skipped pairs would have been processed.
+            let alpha_per_pair = w.render_alpha as f64 / w.pairs as f64;
+            let blend_per_pair = w.render_blend as f64 / w.pairs as f64;
+            alpha += (w.skipped_pairs as f64 * alpha_per_pair) as u64;
+            blend += (w.skipped_pairs as f64 * blend_per_pair) as u64;
+            pairs += w.skipped_pairs;
+        }
+        let sim = GpeArraySim::new(GpeArrayConfig {
+            lanes: lanes as usize,
+            scheduler: self.features.scheduler,
+            alpha_buffer: 32,
+        });
+        let render_cycles = sim.analytic_cycles(alpha, blend, imbalance);
+        // Gradient computation shares the GS array: ~6 cycles per grad op
+        // spread over the lanes, plus preprocessing of pairs (2 cycles each).
+        let grad_cycles = (w.grad_ops * 6).div_ceil(lanes);
+        let pre_cycles = (pairs * 2).div_ceil(lanes);
+        let compute_ms = self.cycles_to_ms(render_cycles + grad_cycles + pre_cycles);
+        // Parameter traffic streams well; table traffic locality depends on
+        // the hot/cold buffering (GCM hardware).
+        let table_locality = if self.features.gcm { 0.9 } else { 0.3 };
+        let dram_ms = (self.variant.dram.transfer_ns(w.param_bytes, 0.85)
+            + self.variant.dram.transfer_ns(w.table_bytes, table_locality))
+            / 1e6;
+        compute_ms.max(dram_ms)
+    }
+
+    /// Executes a trace on the accelerator.
+    ///
+    /// Without `features.mat` the coarse estimates are assumed absent, i.e.
+    /// every frame pays baseline-style full 3DGS tracking; callers model that
+    /// case by passing the *baseline* trace instead (the ablation harness
+    /// does exactly this), so here `mat=false` only removes the systolic
+    /// array speed and runs coarse work on the GS array.
+    pub fn run_trace(&self, trace: &WorkloadTrace) -> PhaseTimes {
+        let imbalance = self.measured_imbalance(trace);
+        let mut t = PhaseTimes::default();
+        let mut prev_mapping_ms = 0.0f64;
+        for f in &trace.frames {
+            let (codec, coarse, refine) = self.tracking_ms(f, imbalance);
+            let mapping =
+                self.gs_phase_ms(&f.mapping, self.variant.map_lanes, imbalance, !self.features.gcm);
+            t.codec_ms += codec;
+            t.coarse_ms += coarse;
+            t.refine_ms += refine;
+            t.mapping_ms += mapping;
+            let tracking = codec + coarse + refine;
+            if self.features.overlap {
+                // Fig. 9b: this frame's tracking overlaps the previous
+                // frame's mapping on independent engines.
+                t.total_ms += tracking.max(prev_mapping_ms);
+                prev_mapping_ms = mapping;
+            } else {
+                t.total_ms += tracking + mapping;
+            }
+        }
+        if self.features.overlap {
+            t.total_ms += prev_mapping_ms; // drain the pipeline
+        }
+        t
+    }
+
+    fn tracking_ms(&self, f: &TraceFrame, imbalance: f32) -> (f64, f64, f64) {
+        // FC detection engine: the CODEC computes SADs anyway for encoding;
+        // the engine only accumulates min-SADs (8 adders @ 500 MHz). Model
+        // the accumulation plus reading SAD values from DRAM.
+        let mbs = f.codec.sad_evals / 16; // ~16 candidates per MB (diamond)
+        let codec = self.cycles_to_ms(mbs.div_ceil(8))
+            + self.variant.dram.transfer_ns(mbs * 4, 0.9) / 1e6;
+        let coarse = if self.features.mat {
+            // Systolic array for the NN; GN rows on the same engine.
+            let nn_cycles = f.coarse.nn_macs.div_ceil(self.variant.systolic_macs);
+            let gn_cycles = (f.coarse.gn_rows * 30).div_ceil(self.variant.systolic_macs);
+            self.cycles_to_ms(nn_cycles + gn_cycles)
+        } else {
+            // Without MAT hardware the coarse stage runs on the GS array's
+            // scalar pipelines: far fewer usable MACs.
+            let cycles = (f.coarse.nn_macs + f.coarse.gn_rows * 30)
+                .div_ceil(self.variant.track_lanes * 2);
+            self.cycles_to_ms(cycles)
+        };
+        let refine = self.gs_phase_ms(&f.refine, self.variant.track_lanes, imbalance, false);
+        (codec, coarse, refine)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ags_slam::WorkUnits;
+
+    fn synthetic_trace(frames: usize, refine_alpha: u64, skipped: u64) -> WorkloadTrace {
+        let mut trace = WorkloadTrace::new(128, 96);
+        for i in 0..frames {
+            trace.frames.push(TraceFrame {
+                frame_index: i,
+                refined: refine_alpha > 0,
+                is_keyframe: i == 0,
+                codec: WorkUnits { sad_evals: 3000, ..Default::default() },
+                coarse: WorkUnits { nn_macs: 4_000_000, gn_rows: 5_000, ..Default::default() },
+                refine: WorkUnits {
+                    render_alpha: refine_alpha,
+                    render_blend: refine_alpha / 3,
+                    pairs: refine_alpha / 100,
+                    grad_ops: refine_alpha / 4,
+                    iterations: 8,
+                    param_bytes: 2_000_000,
+                    ..Default::default()
+                },
+                mapping: WorkUnits {
+                    render_alpha: 2_000_000,
+                    render_blend: 600_000,
+                    pairs: 30_000,
+                    skipped_pairs: skipped,
+                    grad_ops: 500_000,
+                    iterations: 6,
+                    param_bytes: 4_000_000,
+                    table_bytes: 40_000,
+                    ..Default::default()
+                },
+                ..Default::default()
+            });
+        }
+        trace
+    }
+
+    #[test]
+    fn edge_gpu_slower_than_server_gpu() {
+        let trace = synthetic_trace(10, 3_000_000, 0);
+        let server = GpuModel::a100().run_trace(&trace);
+        let edge = GpuModel::xavier().run_trace(&trace);
+        assert!(edge.total_ms > server.total_ms * 2.0);
+    }
+
+    #[test]
+    fn ags_beats_gpu_on_same_trace() {
+        let trace = synthetic_trace(10, 3_000_000, 10_000);
+        let gpu = GpuModel::a100().run_trace(&trace);
+        let ags = AgsModel::new(AgsVariant::server()).run_trace(&trace);
+        assert!(
+            ags.total_ms < gpu.total_ms,
+            "AGS {} ms vs GPU {} ms",
+            ags.total_ms,
+            gpu.total_ms
+        );
+    }
+
+    #[test]
+    fn gscore_sits_between_gpu_and_ags() {
+        let trace = synthetic_trace(10, 3_000_000, 10_000);
+        let gpu = GpuModel::a100().run_trace(&trace).total_ms;
+        let gscore = GsCoreModel::server().run_trace(&trace).total_ms;
+        let ags = AgsModel::new(AgsVariant::server()).run_trace(&trace).total_ms;
+        assert!(gscore < gpu, "gscore {gscore} < gpu {gpu}");
+        assert!(ags < gscore, "ags {ags} < gscore {gscore}");
+    }
+
+    #[test]
+    fn overlap_reduces_total_time() {
+        let trace = synthetic_trace(10, 3_000_000, 0);
+        let full = AgsModel::new(AgsVariant::server()).run_trace(&trace);
+        let serial = AgsModel::with_features(
+            AgsVariant::server(),
+            AgsFeatures { overlap: false, ..AgsFeatures::full() },
+        )
+        .run_trace(&trace);
+        assert!(full.total_ms < serial.total_ms);
+        // Phase sums are unchanged; only scheduling differs.
+        assert!((full.mapping_ms - serial.mapping_ms).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scheduler_toggle_changes_render_time() {
+        // Use the server variant: the edge design point is DRAM-bound on
+        // this workload, where the scheduler (a compute optimisation)
+        // rightly makes no difference.
+        let trace = synthetic_trace(10, 3_000_000, 0);
+        let with = AgsModel::new(AgsVariant::server()).run_trace(&trace);
+        let without = AgsModel::with_features(
+            AgsVariant::server(),
+            AgsFeatures { scheduler: false, ..AgsFeatures::full() },
+        )
+        .run_trace(&trace);
+        assert!(without.mapping_ms > with.mapping_ms);
+    }
+
+    #[test]
+    fn gcm_disabled_restores_skipped_work() {
+        let trace = synthetic_trace(10, 0, 50_000);
+        let with = AgsModel::new(AgsVariant::server()).run_trace(&trace);
+        let without = AgsModel::with_features(
+            AgsVariant::server(),
+            AgsFeatures { gcm: false, ..AgsFeatures::full() },
+        )
+        .run_trace(&trace);
+        assert!(without.mapping_ms > with.mapping_ms);
+    }
+
+    #[test]
+    fn edge_variant_slower_than_server() {
+        let trace = synthetic_trace(10, 3_000_000, 0);
+        let edge = AgsModel::new(AgsVariant::edge()).run_trace(&trace);
+        let server = AgsModel::new(AgsVariant::server()).run_trace(&trace);
+        assert!(edge.total_ms > server.total_ms);
+    }
+
+    #[test]
+    fn empty_trace_costs_nothing() {
+        let trace = WorkloadTrace::new(64, 48);
+        let t = AgsModel::new(AgsVariant::edge()).run_trace(&trace);
+        assert_eq!(t.total_ms, 0.0);
+    }
+}

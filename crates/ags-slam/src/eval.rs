@@ -1,0 +1,113 @@
+//! End-of-run evaluation: mapping quality (PSNR) and tracking accuracy (ATE).
+
+use ags_image::metrics::{depth_l1, psnr, ssim};
+use ags_math::Se3;
+use ags_scene::dataset::Dataset;
+use ags_scene::PinholeCamera;
+use ags_splat::render::{render, RenderOptions};
+use ags_splat::GaussianCloud;
+use ags_track::ate::ate_rmse;
+
+/// Summary metrics of one SLAM run, matching the paper's reporting units.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EvalSummary {
+    /// ATE RMSE in centimeters (Table 2's unit).
+    pub ate_cm: f32,
+    /// Mean PSNR over evaluated frames, in dB (Fig. 14's unit).
+    pub psnr_db: f32,
+    /// Mean SSIM over evaluated frames.
+    pub ssim: f32,
+    /// Mean absolute depth error in meters.
+    pub depth_l1_m: f32,
+    /// Frames evaluated.
+    pub frames: usize,
+}
+
+/// Renders the final map at the estimated poses and compares against the
+/// dataset's ground-truth images, plus trajectory ATE.
+///
+/// `stride` subsamples the evaluation frames (rendering every frame of a
+/// long sequence is expensive and adds little information).
+///
+/// # Panics
+///
+/// Panics when `estimated` length differs from the dataset's frame count.
+pub fn evaluate_map(
+    cloud: &GaussianCloud,
+    camera: &PinholeCamera,
+    estimated: &[Se3],
+    dataset: &Dataset,
+    stride: usize,
+) -> EvalSummary {
+    assert_eq!(estimated.len(), dataset.frames.len(), "trajectory/dataset length mismatch");
+    let stride = stride.max(1);
+    let mut psnr_sum = 0.0f64;
+    let mut ssim_sum = 0.0f64;
+    let mut depth_sum = 0.0f64;
+    let mut n = 0usize;
+    for (pose, frame) in estimated.iter().zip(&dataset.frames).step_by(stride) {
+        let out = render(cloud, camera, pose, &RenderOptions::default());
+        psnr_sum += psnr(&out.color, &frame.rgb) as f64;
+        ssim_sum += ssim(&out.color, &frame.rgb) as f64;
+        // Normalise expected depth by accumulated opacity for a fair
+        // comparison against sensor depth.
+        let mut d = out.depth.clone();
+        for (dv, sv) in d.pixels_mut().iter_mut().zip(out.silhouette.pixels()) {
+            if *sv > 0.3 {
+                *dv /= sv.max(1e-4);
+            } else {
+                *dv = 0.0;
+            }
+        }
+        depth_sum += depth_l1(&d, &frame.depth) as f64;
+        n += 1;
+    }
+    let gt = dataset.gt_trajectory();
+    EvalSummary {
+        ate_cm: ate_rmse(estimated, &gt) * 100.0,
+        psnr_db: if n > 0 { (psnr_sum / n as f64) as f32 } else { 0.0 },
+        ssim: if n > 0 { (ssim_sum / n as f64) as f32 } else { 0.0 },
+        depth_l1_m: if n > 0 { (depth_sum / n as f64) as f32 } else { 0.0 },
+        frames: n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline::BaselineSlam;
+    use crate::config::SlamConfig;
+    use ags_scene::dataset::{DatasetConfig, SceneId};
+
+    #[test]
+    fn end_to_end_slam_quality() {
+        let dconfig =
+            DatasetConfig { width: 64, height: 48, num_frames: 24, ..DatasetConfig::tiny() };
+        let mut data = Dataset::generate(SceneId::Xyz, &dconfig);
+        data.truncate(6);
+        let config = SlamConfig { mapping_iterations: 8, ..SlamConfig::tiny() };
+        let mut slam = BaselineSlam::new(config);
+        for frame in &data.frames {
+            slam.process_frame(&data.camera, &frame.rgb, &frame.depth);
+        }
+        let summary = evaluate_map(slam.cloud(), &data.camera, slam.trajectory(), &data, 1);
+        assert_eq!(summary.frames, 6);
+        assert!(summary.psnr_db > 14.0, "PSNR too low: {}", summary.psnr_db);
+        assert!(summary.ate_cm < 10.0, "ATE too high: {} cm", summary.ate_cm);
+        assert!(summary.depth_l1_m < 0.5, "depth error {}", summary.depth_l1_m);
+        assert!(summary.ssim > 0.3, "ssim {}", summary.ssim);
+    }
+
+    #[test]
+    fn stride_subsamples_frames() {
+        let dconfig =
+            DatasetConfig { width: 48, height: 36, num_frames: 4, ..DatasetConfig::tiny() };
+        let data = Dataset::generate(SceneId::Desk, &dconfig);
+        let mut slam = BaselineSlam::new(SlamConfig::tiny());
+        for frame in &data.frames {
+            slam.process_frame(&data.camera, &frame.rgb, &frame.depth);
+        }
+        let s = evaluate_map(slam.cloud(), &data.camera, slam.trajectory(), &data, 2);
+        assert_eq!(s.frames, 2);
+    }
+}

@@ -1,0 +1,131 @@
+//! Workload accounting shared by the SLAM pipelines and the hardware models.
+
+use ags_splat::render::RenderStats;
+
+/// Operation counts for one phase of one frame.
+///
+/// These are *algorithm-level* counts: the hardware cost models in `ags-sim`
+/// translate them into cycles for each platform (GPU, GSCore, AGS).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkUnits {
+    /// α-stage evaluations (Eqn. 1 of the paper) in forward rendering.
+    pub render_alpha: u64,
+    /// Blend-stage operations (Eqn. 2) in forward rendering.
+    pub render_blend: u64,
+    /// (splat, tile) pairs processed by preprocessing/sorting.
+    pub pairs: u64,
+    /// (splat, tile) pairs skipped by selective mapping.
+    pub skipped_pairs: u64,
+    /// Gradient accumulation operations in the backward pass.
+    pub grad_ops: u64,
+    /// Neural-network multiply-accumulates (coarse tracker backbone).
+    pub nn_macs: u64,
+    /// CODEC SAD block evaluations.
+    pub sad_evals: u64,
+    /// Gauss–Newton residual rows (coarse tracker solve).
+    pub gn_rows: u64,
+    /// Training iterations executed in this phase.
+    pub iterations: u32,
+    /// Gaussian-parameter bytes moved (render reads + update writes).
+    pub param_bytes: u64,
+    /// Contribution-information bytes moved (GS logging/skipping tables).
+    pub table_bytes: u64,
+}
+
+impl WorkUnits {
+    /// Merges another phase's counts into this one.
+    pub fn merge(&mut self, other: &WorkUnits) {
+        self.render_alpha += other.render_alpha;
+        self.render_blend += other.render_blend;
+        self.pairs += other.pairs;
+        self.skipped_pairs += other.skipped_pairs;
+        self.grad_ops += other.grad_ops;
+        self.nn_macs += other.nn_macs;
+        self.sad_evals += other.sad_evals;
+        self.gn_rows += other.gn_rows;
+        self.iterations += other.iterations;
+        self.param_bytes += other.param_bytes;
+        self.table_bytes += other.table_bytes;
+    }
+
+    /// Adds one render pass's statistics, accounting parameter traffic for
+    /// the visible splats (14 f32 parameters per Gaussian read per tile
+    /// touch is pessimistic; hardware caches within a tile, so one read per
+    /// visible splat plus one per pair for the table entry).
+    pub fn add_render(&mut self, stats: &RenderStats) {
+        self.render_alpha += stats.alpha_evals;
+        self.render_blend += stats.blend_ops;
+        self.pairs += stats.pairs;
+        self.skipped_pairs += stats.skipped_pairs;
+        self.param_bytes += stats.visible_splats * 56 + stats.pairs * 8;
+    }
+
+    /// Total arithmetic operations (rough FLOP proxy used by the GPU
+    /// roofline: α ≈ 12 flops, blend ≈ 8, gradient ≈ 30, MAC = 2,
+    /// SAD block = 3·64, GN row ≈ 60).
+    pub fn flops(&self) -> u64 {
+        self.render_alpha * 12
+            + self.render_blend * 8
+            + self.grad_ops * 30
+            + self.nn_macs * 2
+            + self.sad_evals * 192
+            + self.gn_rows * 60
+    }
+
+    /// Total bytes moved to/from off-chip memory.
+    pub fn bytes(&self) -> u64 {
+        self.param_bytes + self.table_bytes
+    }
+
+    /// True when no work was recorded.
+    pub fn is_empty(&self) -> bool {
+        *self == WorkUnits::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_accumulates_all_fields() {
+        let mut a = WorkUnits { render_alpha: 1, pairs: 2, iterations: 1, ..Default::default() };
+        let b = WorkUnits {
+            render_alpha: 10,
+            render_blend: 5,
+            grad_ops: 7,
+            iterations: 2,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.render_alpha, 11);
+        assert_eq!(a.render_blend, 5);
+        assert_eq!(a.pairs, 2);
+        assert_eq!(a.grad_ops, 7);
+        assert_eq!(a.iterations, 3);
+    }
+
+    #[test]
+    fn add_render_tracks_traffic() {
+        let mut w = WorkUnits::default();
+        let stats = RenderStats {
+            alpha_evals: 100,
+            blend_ops: 60,
+            pairs: 10,
+            visible_splats: 4,
+            ..Default::default()
+        };
+        w.add_render(&stats);
+        assert_eq!(w.render_alpha, 100);
+        assert_eq!(w.param_bytes, 4 * 56 + 10 * 8);
+        assert!(w.flops() > 0);
+    }
+
+    #[test]
+    fn empty_detection() {
+        assert!(WorkUnits::default().is_empty());
+        let w = WorkUnits { sad_evals: 1, ..Default::default() };
+        assert!(!w.is_empty());
+        assert_eq!(w.flops(), 192);
+    }
+}

@@ -1,0 +1,128 @@
+//! Contribution audits backing the paper's motivation studies.
+//!
+//! * Fig. 5 — the fraction of Gaussians assigned to Gaussian tables that
+//!   never contribute above `Threshα` to any pixel.
+//! * Fig. 6 — how similar the non-contributory sets of two frames are, as a
+//!   function of their covisibility.
+
+use crate::gaussian::GaussianCloud;
+use crate::idset::IdSet;
+use crate::render::{render, RenderOptions};
+use ags_math::Se3;
+use ags_scene::PinholeCamera;
+
+/// Result of a per-frame contribution audit.
+#[derive(Debug, Clone)]
+pub struct ContributionAudit {
+    /// Ids of Gaussians that appeared in at least one Gaussian table.
+    pub touched: IdSet,
+    /// Ids that never rose above the α threshold on any pixel.
+    pub non_contributory: IdSet,
+    /// Per-Gaussian negligible-pixel counts.
+    pub negligible_counts: Vec<u32>,
+}
+
+impl ContributionAudit {
+    /// Fraction of touched Gaussians that were fully non-contributory
+    /// (the paper's Fig. 5 bar).
+    pub fn non_contributory_fraction(&self) -> f32 {
+        let touched = self.touched.count();
+        if touched == 0 {
+            return 0.0;
+        }
+        self.non_contributory.count() as f32 / touched as f32
+    }
+}
+
+/// Renders the cloud from `pose` and audits per-Gaussian contributions.
+pub fn audit_contributions(
+    cloud: &GaussianCloud,
+    camera: &PinholeCamera,
+    pose: &Se3,
+) -> ContributionAudit {
+    let options = RenderOptions { record_contributions: true, ..Default::default() };
+    let out = render(cloud, camera, pose, &options);
+    let stats = out.contributions.expect("contributions requested");
+    let mut touched = IdSet::with_capacity(cloud.len());
+    let mut non_contributory = IdSet::with_capacity(cloud.len());
+    for id in 0..cloud.len() {
+        if stats.touched[id] > 0 {
+            touched.insert(id);
+            if stats.negligible[id] == stats.touched[id] {
+                non_contributory.insert(id);
+            }
+        }
+    }
+    ContributionAudit { touched, non_contributory, negligible_counts: stats.negligible }
+}
+
+/// Fraction of frame-A non-contributory Gaussians that are still
+/// non-contributory in frame B (paper Fig. 6's y-axis).
+pub fn contribution_similarity(a: &ContributionAudit, b: &ContributionAudit) -> f32 {
+    a.non_contributory.overlap_fraction(&b.non_contributory)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gaussian::Gaussian;
+    use ags_math::{Quat, Vec3};
+
+    fn camera() -> PinholeCamera {
+        PinholeCamera::from_fov(32, 24, 1.2)
+    }
+
+    fn mixed_cloud() -> GaussianCloud {
+        let mut cloud = GaussianCloud::new();
+        // Strong contributor.
+        cloud.push(Gaussian::isotropic(Vec3::new(0.0, 0.0, 2.0), 0.3, Vec3::ONE, 0.9));
+        // Faint Gaussians that never pass the threshold.
+        for i in 0..5 {
+            cloud.push(Gaussian::isotropic(
+                Vec3::new(-0.4 + 0.2 * i as f32, 0.1, 2.5),
+                0.2,
+                Vec3::ONE,
+                0.002,
+            ));
+        }
+        cloud
+    }
+
+    #[test]
+    fn audit_counts_faint_gaussians() {
+        let cloud = mixed_cloud();
+        let audit = audit_contributions(&cloud, &camera(), &Se3::IDENTITY);
+        assert!(audit.touched.count() >= 5);
+        assert!(audit.non_contributory.count() >= 4);
+        assert!(!audit.non_contributory.contains(0), "strong gaussian contributes");
+        let frac = audit.non_contributory_fraction();
+        assert!(frac > 0.5 && frac < 1.0, "fraction {frac}");
+    }
+
+    #[test]
+    fn similarity_is_high_for_close_views() {
+        let cloud = mixed_cloud();
+        let cam = camera();
+        let a = audit_contributions(&cloud, &cam, &Se3::IDENTITY);
+        let near = Se3::from_translation(Vec3::new(0.01, 0.0, 0.0));
+        let b = audit_contributions(&cloud, &cam, &near);
+        assert!(contribution_similarity(&a, &b) > 0.9);
+    }
+
+    #[test]
+    fn similarity_drops_for_distant_views() {
+        let cloud = mixed_cloud();
+        let cam = camera();
+        let a = audit_contributions(&cloud, &cam, &Se3::IDENTITY);
+        // Rotate 90°: none of the faint set should be touched any more.
+        let far = Se3::from_rotation(Quat::from_axis_angle(Vec3::Y, 1.6));
+        let b = audit_contributions(&cloud, &cam, &far);
+        assert!(contribution_similarity(&a, &b) < contribution_similarity(&a, &a));
+    }
+
+    #[test]
+    fn empty_cloud_has_zero_fraction() {
+        let audit = audit_contributions(&GaussianCloud::new(), &camera(), &Se3::IDENTITY);
+        assert_eq!(audit.non_contributory_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,256 @@
+//! Gaussian primitives and the map container.
+
+use ags_math::{Mat3, Quat, Vec3};
+
+/// One anisotropic 3D Gaussian.
+///
+/// Parameters follow the original 3DGS parameterisation: scales are stored in
+/// log-space and opacity as a logit, so unconstrained gradient updates keep
+/// them in their valid ranges.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Gaussian {
+    /// Center position in world space.
+    pub position: Vec3,
+    /// Per-axis log standard deviations.
+    pub log_scale: Vec3,
+    /// Orientation of the principal axes.
+    pub rotation: Quat,
+    /// RGB color in `[0, 1]` (view-independent; SplaTAM uses SH degree 0).
+    pub color: Vec3,
+    /// Opacity logit; `sigmoid(opacity_logit)` is the peak alpha.
+    pub opacity_logit: f32,
+}
+
+impl Gaussian {
+    /// Creates an isotropic Gaussian with standard deviation `sigma` and
+    /// the given peak opacity in `(0, 1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `sigma` or `opacity` is out of range.
+    pub fn isotropic(position: Vec3, sigma: f32, color: Vec3, opacity: f32) -> Self {
+        assert!(sigma > 0.0, "sigma must be positive");
+        assert!((0.0..1.0).contains(&opacity) && opacity > 0.0, "opacity must be in (0, 1)");
+        Self {
+            position,
+            log_scale: Vec3::splat(sigma.ln()),
+            rotation: Quat::IDENTITY,
+            color,
+            opacity_logit: logit(opacity),
+        }
+    }
+
+    /// Per-axis standard deviations (`exp(log_scale)`).
+    #[inline]
+    pub fn scales(&self) -> Vec3 {
+        Vec3::new(self.log_scale.x.exp(), self.log_scale.y.exp(), self.log_scale.z.exp())
+    }
+
+    /// Peak opacity (`sigmoid(opacity_logit)`).
+    #[inline]
+    pub fn opacity(&self) -> f32 {
+        sigmoid(self.opacity_logit)
+    }
+
+    /// The 3D covariance `Σ = R S Sᵀ Rᵀ`.
+    pub fn covariance(&self) -> Mat3 {
+        let r = self.rotation.to_matrix();
+        let s = self.scales();
+        let m = Mat3::from_cols(r.cols[0] * s.x, r.cols[1] * s.y, r.cols[2] * s.z);
+        m * m.transpose()
+    }
+
+    /// Largest standard deviation — a conservative world-space radius proxy.
+    #[inline]
+    pub fn max_scale(&self) -> f32 {
+        self.scales().max_component()
+    }
+}
+
+/// Numerically-safe sigmoid.
+#[inline]
+pub fn sigmoid(x: f32) -> f32 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Inverse sigmoid; input clamped away from {0, 1}.
+#[inline]
+pub fn logit(p: f32) -> f32 {
+    let p = p.clamp(1e-6, 1.0 - 1e-6);
+    (p / (1.0 - p)).ln()
+}
+
+/// A growable soup of Gaussians — the SLAM map representation.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct GaussianCloud {
+    gaussians: Vec<Gaussian>,
+}
+
+impl GaussianCloud {
+    /// Creates an empty cloud.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of Gaussians.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.gaussians.len()
+    }
+
+    /// True when the cloud holds no Gaussians.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.gaussians.is_empty()
+    }
+
+    /// Appends a Gaussian, returning its id.
+    pub fn push(&mut self, g: Gaussian) -> usize {
+        self.gaussians.push(g);
+        self.gaussians.len() - 1
+    }
+
+    /// Immutable access to all Gaussians.
+    #[inline]
+    pub fn gaussians(&self) -> &[Gaussian] {
+        &self.gaussians
+    }
+
+    /// Mutable access to all Gaussians.
+    #[inline]
+    pub fn gaussians_mut(&mut self) -> &mut [Gaussian] {
+        &mut self.gaussians
+    }
+
+    /// Retains only the Gaussians for which `keep` returns `true`, returning
+    /// the number removed. Ids shift; callers holding id-indexed side tables
+    /// must rebuild them (the mapping engine does this on key frames).
+    pub fn retain(&mut self, mut keep: impl FnMut(usize, &Gaussian) -> bool) -> usize {
+        let before = self.gaussians.len();
+        let mut idx = 0;
+        self.gaussians.retain(|g| {
+            let k = keep(idx, g);
+            idx += 1;
+            k
+        });
+        before - self.gaussians.len()
+    }
+
+    /// Axis-aligned bounds of all centers; `None` when empty.
+    pub fn bounds(&self) -> Option<(Vec3, Vec3)> {
+        let first = self.gaussians.first()?;
+        let mut lo = first.position;
+        let mut hi = first.position;
+        for g in &self.gaussians[1..] {
+            lo = lo.min_elem(g.position);
+            hi = hi.max_elem(g.position);
+        }
+        Some((lo, hi))
+    }
+
+    /// Approximate memory footprint of the parameter arrays in bytes
+    /// (14 f32 per Gaussian: 3 pos + 3 scale + 4 quat + 3 color + 1 opacity).
+    pub fn param_bytes(&self) -> u64 {
+        self.gaussians.len() as u64 * 14 * 4
+    }
+}
+
+impl FromIterator<Gaussian> for GaussianCloud {
+    fn from_iter<I: IntoIterator<Item = Gaussian>>(iter: I) -> Self {
+        Self { gaussians: iter.into_iter().collect() }
+    }
+}
+
+impl Extend<Gaussian> for GaussianCloud {
+    fn extend<I: IntoIterator<Item = Gaussian>>(&mut self, iter: I) {
+        self.gaussians.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sigmoid_logit_roundtrip() {
+        for p in [0.01, 0.3, 0.5, 0.9, 0.99] {
+            assert!((sigmoid(logit(p)) - p).abs() < 1e-5);
+        }
+        assert!(sigmoid(100.0) <= 1.0);
+        assert!(sigmoid(-100.0) >= 0.0);
+    }
+
+    #[test]
+    fn isotropic_covariance_is_diagonal() {
+        let g = Gaussian::isotropic(Vec3::ZERO, 0.5, Vec3::ONE, 0.8);
+        let cov = g.covariance();
+        assert!((cov.at(0, 0) - 0.25).abs() < 1e-5);
+        assert!((cov.at(1, 1) - 0.25).abs() < 1e-5);
+        assert!(cov.at(0, 1).abs() < 1e-6);
+        assert!((g.opacity() - 0.8).abs() < 1e-5);
+    }
+
+    #[test]
+    fn rotated_covariance_stays_symmetric_posdef() {
+        let mut g = Gaussian::isotropic(Vec3::ZERO, 0.3, Vec3::ONE, 0.5);
+        g.log_scale = Vec3::new(0.1f32.ln(), 0.4f32.ln(), 0.05f32.ln());
+        g.rotation = Quat::from_axis_angle(Vec3::new(1.0, 2.0, 0.5), 0.7);
+        let cov = g.covariance();
+        // Symmetry.
+        assert!((cov.at(0, 1) - cov.at(1, 0)).abs() < 1e-6);
+        assert!((cov.at(0, 2) - cov.at(2, 0)).abs() < 1e-6);
+        // Positive definite: determinant is the squared-scale product.
+        let expect_det = (0.1f32 * 0.4 * 0.05).powi(2);
+        assert!((cov.det() - expect_det).abs() / expect_det < 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "sigma must be positive")]
+    fn zero_sigma_panics() {
+        let _ = Gaussian::isotropic(Vec3::ZERO, 0.0, Vec3::ONE, 0.5);
+    }
+
+    #[test]
+    fn cloud_push_retain() {
+        let mut cloud = GaussianCloud::new();
+        for i in 0..10 {
+            cloud.push(Gaussian::isotropic(Vec3::splat(i as f32), 0.1, Vec3::ONE, 0.5));
+        }
+        assert_eq!(cloud.len(), 10);
+        let removed = cloud.retain(|i, _| i % 2 == 0);
+        assert_eq!(removed, 5);
+        assert_eq!(cloud.len(), 5);
+        assert_eq!(cloud.gaussians()[1].position, Vec3::splat(2.0));
+    }
+
+    #[test]
+    fn bounds_cover_all_centers() {
+        let mut cloud = GaussianCloud::new();
+        assert!(cloud.bounds().is_none());
+        cloud.push(Gaussian::isotropic(Vec3::new(-1.0, 0.0, 2.0), 0.1, Vec3::ONE, 0.5));
+        cloud.push(Gaussian::isotropic(Vec3::new(3.0, -2.0, 0.5), 0.1, Vec3::ONE, 0.5));
+        let (lo, hi) = cloud.bounds().unwrap();
+        assert_eq!(lo, Vec3::new(-1.0, -2.0, 0.5));
+        assert_eq!(hi, Vec3::new(3.0, 0.0, 2.0));
+    }
+
+    #[test]
+    fn param_bytes_counts_14_floats() {
+        let mut cloud = GaussianCloud::new();
+        cloud.push(Gaussian::isotropic(Vec3::ZERO, 0.1, Vec3::ONE, 0.5));
+        assert_eq!(cloud.param_bytes(), 56);
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let cloud: GaussianCloud = (0..4)
+            .map(|i| Gaussian::isotropic(Vec3::splat(i as f32), 0.2, Vec3::ONE, 0.5))
+            .collect();
+        assert_eq!(cloud.len(), 4);
+    }
+}

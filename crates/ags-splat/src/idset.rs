@@ -1,0 +1,186 @@
+//! A compact bitset over Gaussian ids.
+//!
+//! Used as the *skip set* of selective mapping: ids marked here are excluded
+//! from rendering and training on non-key frames (paper §4.3, GS skipping
+//! table).
+
+/// A fixed-capacity bitset indexed by Gaussian id.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IdSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl IdSet {
+    /// Creates an empty set with capacity for `capacity` ids.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self { words: vec![0; capacity.div_ceil(64)], len: capacity }
+    }
+
+    /// Capacity in ids.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.len
+    }
+
+    /// Inserts an id.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `id >= capacity`.
+    #[inline]
+    pub fn insert(&mut self, id: usize) {
+        assert!(id < self.len, "id {id} out of capacity {}", self.len);
+        self.words[id / 64] |= 1 << (id % 64);
+    }
+
+    /// Removes an id (no-op when absent).
+    #[inline]
+    pub fn remove(&mut self, id: usize) {
+        if id < self.len {
+            self.words[id / 64] &= !(1 << (id % 64));
+        }
+    }
+
+    /// Membership test; ids beyond capacity are reported absent.
+    #[inline]
+    pub fn contains(&self, id: usize) -> bool {
+        if id >= self.len {
+            return false;
+        }
+        self.words[id / 64] >> (id % 64) & 1 == 1
+    }
+
+    /// Number of ids in the set.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Removes all ids.
+    pub fn clear(&mut self) {
+        self.words.iter_mut().for_each(|w| *w = 0);
+    }
+
+    /// Iterates over member ids in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut bits = w;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    return None;
+                }
+                let tz = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                Some(wi * 64 + tz)
+            })
+        })
+    }
+
+    /// Jaccard similarity with another set (`|∩| / |∪|`); `1.0` when both
+    /// sets are empty. Used by the Fig. 6 contribution-similarity analysis.
+    pub fn jaccard(&self, other: &IdSet) -> f32 {
+        let mut inter = 0u64;
+        let mut union = 0u64;
+        let n = self.words.len().max(other.words.len());
+        for i in 0..n {
+            let a = self.words.get(i).copied().unwrap_or(0);
+            let b = other.words.get(i).copied().unwrap_or(0);
+            inter += (a & b).count_ones() as u64;
+            union += (a | b).count_ones() as u64;
+        }
+        if union == 0 {
+            1.0
+        } else {
+            inter as f32 / union as f32
+        }
+    }
+
+    /// Fraction of `self`'s members also present in `other`; `1.0` when
+    /// `self` is empty. This is the "remain non-contributory" overlap the
+    /// paper's Fig. 6 reports.
+    pub fn overlap_fraction(&self, other: &IdSet) -> f32 {
+        let total = self.count();
+        if total == 0 {
+            return 1.0;
+        }
+        let mut inter = 0usize;
+        for i in 0..self.words.len().min(other.words.len()) {
+            inter += (self.words[i] & other.words[i]).count_ones() as usize;
+        }
+        inter as f32 / total as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = IdSet::with_capacity(130);
+        s.insert(0);
+        s.insert(64);
+        s.insert(129);
+        assert!(s.contains(0) && s.contains(64) && s.contains(129));
+        assert!(!s.contains(1));
+        assert!(!s.contains(1000));
+        assert_eq!(s.count(), 3);
+        s.remove(64);
+        assert!(!s.contains(64));
+        assert_eq!(s.count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of capacity")]
+    fn insert_beyond_capacity_panics() {
+        IdSet::with_capacity(10).insert(10);
+    }
+
+    #[test]
+    fn iter_ascending() {
+        let mut s = IdSet::with_capacity(200);
+        for id in [5usize, 77, 130, 6] {
+            s.insert(id);
+        }
+        let ids: Vec<usize> = s.iter().collect();
+        assert_eq!(ids, vec![5, 6, 77, 130]);
+    }
+
+    #[test]
+    fn jaccard_and_overlap() {
+        let mut a = IdSet::with_capacity(100);
+        let mut b = IdSet::with_capacity(100);
+        for id in 0..10 {
+            a.insert(id);
+        }
+        for id in 5..15 {
+            b.insert(id);
+        }
+        // |∩| = 5, |∪| = 15.
+        assert!((a.jaccard(&b) - 5.0 / 15.0).abs() < 1e-6);
+        assert!((a.overlap_fraction(&b) - 0.5).abs() < 1e-6);
+        let empty = IdSet::with_capacity(100);
+        assert_eq!(empty.jaccard(&IdSet::with_capacity(100)), 1.0);
+        assert_eq!(empty.overlap_fraction(&a), 1.0);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut s = IdSet::with_capacity(70);
+        s.insert(3);
+        s.insert(69);
+        s.clear();
+        assert_eq!(s.count(), 0);
+    }
+
+    #[test]
+    fn different_capacities_compare_safely() {
+        let mut a = IdSet::with_capacity(64);
+        let mut b = IdSet::with_capacity(256);
+        a.insert(10);
+        b.insert(10);
+        b.insert(200);
+        assert!((a.jaccard(&b) - 0.5).abs() < 1e-6);
+        assert_eq!(a.overlap_fraction(&b), 1.0);
+    }
+}

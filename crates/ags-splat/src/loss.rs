@@ -1,0 +1,263 @@
+//! Photometric + geometric losses and their per-pixel gradients.
+//!
+//! 3DGS-SLAM trains with an L1 color + L1 depth objective; SplaTAM masks
+//! tracking loss to well-observed pixels using the rendered silhouette.
+//! An L2 variant exists for gradient-checking (L1 subgradients make finite
+//! differences unreliable near zero residual).
+
+use crate::render::RenderOutput;
+use ags_image::{DepthImage, RgbImage};
+use ags_math::Vec3;
+
+/// Which pointwise penalty to apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LossKind {
+    /// Mean absolute error (the 3DGS-SLAM default).
+    #[default]
+    L1,
+    /// Mean squared error (smooth; used by gradient checks).
+    L2,
+}
+
+/// Loss configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LossConfig {
+    /// Penalty shape.
+    pub kind: LossKind,
+    /// Weight of the color term.
+    pub color_weight: f32,
+    /// Weight of the depth term.
+    pub depth_weight: f32,
+    /// Restrict the loss to pixels whose rendered silhouette exceeds
+    /// [`LossConfig::mask_threshold`] (SplaTAM's tracking mask).
+    pub silhouette_mask: bool,
+    /// Threshold for the silhouette mask.
+    pub mask_threshold: f32,
+}
+
+impl Default for LossConfig {
+    fn default() -> Self {
+        Self {
+            kind: LossKind::L1,
+            color_weight: 0.5,
+            depth_weight: 1.0,
+            silhouette_mask: false,
+            mask_threshold: 0.9,
+        }
+    }
+}
+
+impl LossConfig {
+    /// SplaTAM-style tracking loss: silhouette-masked color + depth.
+    pub fn tracking() -> Self {
+        Self { silhouette_mask: true, ..Self::default() }
+    }
+
+    /// SplaTAM-style mapping loss: unmasked color + depth.
+    pub fn mapping() -> Self {
+        Self::default()
+    }
+}
+
+/// Loss value plus per-pixel upstream gradients.
+#[derive(Debug, Clone)]
+pub struct LossResult {
+    /// Total weighted loss.
+    pub total: f32,
+    /// Total weighted loss accumulated in `f64` (for gradient checks, where
+    /// `f32` cancellation would dominate finite differences).
+    pub total_f64: f64,
+    /// Unweighted mean color error.
+    pub color_term: f32,
+    /// Unweighted mean depth error.
+    pub depth_term: f32,
+    /// Per-pixel `∂L/∂C` (row-major).
+    pub d_color: Vec<Vec3>,
+    /// Per-pixel `∂L/∂D` (row-major).
+    pub d_depth: Vec<f32>,
+    /// Number of pixels that passed the mask.
+    pub active_pixels: usize,
+}
+
+/// Evaluates the loss of a render against ground truth.
+///
+/// Depth residuals are only evaluated where the ground-truth depth is valid
+/// (> 0). With [`LossConfig::silhouette_mask`] enabled, pixels whose rendered
+/// silhouette is below the threshold are excluded from both terms.
+///
+/// # Panics
+///
+/// Panics when image dimensions disagree.
+pub fn compute_loss(
+    rendered: &RenderOutput,
+    gt_rgb: &RgbImage,
+    gt_depth: &DepthImage,
+    config: &LossConfig,
+) -> LossResult {
+    let w = rendered.color.width();
+    let h = rendered.color.height();
+    assert_eq!((w, h), (gt_rgb.width(), gt_rgb.height()), "gt color dimensions mismatch");
+    assert_eq!((w, h), (gt_depth.width(), gt_depth.height()), "gt depth dimensions mismatch");
+
+    let n = w * h;
+    let mut d_color = vec![Vec3::ZERO; n];
+    let mut d_depth = vec![0.0f32; n];
+    let mut color_sum = 0.0f64;
+    let mut depth_sum = 0.0f64;
+    let mut active = 0usize;
+
+    // Normalise over all pixels (not just active ones) so the gradient scale
+    // does not explode when the mask is nearly empty.
+    let inv_n = 1.0 / n as f32;
+
+    for i in 0..n {
+        let (x, y) = (i % w, i / w);
+        if config.silhouette_mask && rendered.silhouette.at(x, y) < config.mask_threshold {
+            continue;
+        }
+        active += 1;
+
+        let dc = rendered.color.at(x, y) - gt_rgb.at(x, y);
+        match config.kind {
+            LossKind::L1 => {
+                color_sum += (dc.abs().x + dc.abs().y + dc.abs().z) as f64 / 3.0;
+                d_color[i] = Vec3::new(sign(dc.x), sign(dc.y), sign(dc.z))
+                    * (config.color_weight * inv_n / 3.0);
+            }
+            LossKind::L2 => {
+                color_sum += 0.5 * dc.norm_sq() as f64 / 3.0;
+                d_color[i] = dc * (config.color_weight * inv_n / 3.0);
+            }
+        }
+
+        let gt_z = gt_depth.at(x, y);
+        if gt_z > 0.0 {
+            let dz = rendered.depth.at(x, y) - gt_z;
+            match config.kind {
+                LossKind::L1 => {
+                    depth_sum += dz.abs() as f64;
+                    d_depth[i] = sign(dz) * config.depth_weight * inv_n;
+                }
+                LossKind::L2 => {
+                    depth_sum += 0.5 * (dz * dz) as f64;
+                    d_depth[i] = dz * config.depth_weight * inv_n;
+                }
+            }
+        }
+    }
+
+    let total_f64 = (config.color_weight as f64 * color_sum
+        + config.depth_weight as f64 * depth_sum)
+        * inv_n as f64;
+    let color_term = (color_sum as f32) * inv_n;
+    let depth_term = (depth_sum as f32) * inv_n;
+    LossResult {
+        total: total_f64 as f32,
+        total_f64,
+        color_term,
+        depth_term,
+        d_color,
+        d_depth,
+        active_pixels: active,
+    }
+}
+
+#[inline]
+fn sign(x: f32) -> f32 {
+    if x > 0.0 {
+        1.0
+    } else if x < 0.0 {
+        -1.0
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::render::RenderStats;
+    use ags_image::GrayImage;
+
+    fn fake_render(w: usize, h: usize, color: Vec3, depth: f32, sil: f32) -> RenderOutput {
+        RenderOutput {
+            color: RgbImage::filled(w, h, color),
+            depth: DepthImage::filled(w, h, depth),
+            silhouette: GrayImage::filled(w, h, sil),
+            stats: RenderStats::default(),
+            contributions: None,
+        }
+    }
+
+    #[test]
+    fn zero_loss_for_perfect_render() {
+        let r = fake_render(4, 4, Vec3::splat(0.5), 2.0, 1.0);
+        let gt_rgb = RgbImage::filled(4, 4, Vec3::splat(0.5));
+        let gt_depth = DepthImage::filled(4, 4, 2.0);
+        let loss = compute_loss(&r, &gt_rgb, &gt_depth, &LossConfig::default());
+        assert_eq!(loss.total, 0.0);
+        assert!(loss.d_color.iter().all(|v| *v == Vec3::ZERO));
+        assert_eq!(loss.active_pixels, 16);
+    }
+
+    #[test]
+    fn l1_color_term_value() {
+        let r = fake_render(2, 2, Vec3::splat(0.7), 1.0, 1.0);
+        let gt_rgb = RgbImage::filled(2, 2, Vec3::splat(0.5));
+        let gt_depth = DepthImage::filled(2, 2, 1.0);
+        let cfg = LossConfig { color_weight: 1.0, depth_weight: 0.0, ..Default::default() };
+        let loss = compute_loss(&r, &gt_rgb, &gt_depth, &cfg);
+        assert!((loss.color_term - 0.2).abs() < 1e-6);
+        // Positive residual -> positive sign gradient.
+        assert!(loss.d_color[0].x > 0.0);
+    }
+
+    #[test]
+    fn depth_loss_skips_invalid_gt() {
+        let r = fake_render(2, 1, Vec3::ZERO, 3.0, 1.0);
+        let gt_rgb = RgbImage::filled(2, 1, Vec3::ZERO);
+        let gt_depth = DepthImage::from_vec(2, 1, vec![2.0, 0.0]);
+        let loss = compute_loss(&r, &gt_rgb, &gt_depth, &LossConfig::default());
+        assert_eq!(loss.d_depth[1], 0.0, "invalid gt depth pixel gets no gradient");
+        assert!(loss.d_depth[0] > 0.0);
+    }
+
+    #[test]
+    fn silhouette_mask_excludes_pixels() {
+        let mut r = fake_render(2, 1, Vec3::splat(1.0), 1.0, 1.0);
+        r.silhouette.set(1, 0, 0.1);
+        let gt_rgb = RgbImage::filled(2, 1, Vec3::ZERO);
+        let gt_depth = DepthImage::filled(2, 1, 1.0);
+        let cfg = LossConfig::tracking();
+        let loss = compute_loss(&r, &gt_rgb, &gt_depth, &cfg);
+        assert_eq!(loss.active_pixels, 1);
+        assert_eq!(loss.d_color[1], Vec3::ZERO);
+        assert!(loss.d_color[0].x > 0.0);
+    }
+
+    #[test]
+    fn l2_gradient_is_residual() {
+        let r = fake_render(1, 1, Vec3::new(0.8, 0.5, 0.5), 1.0, 1.0);
+        let gt_rgb = RgbImage::filled(1, 1, Vec3::splat(0.5));
+        let gt_depth = DepthImage::filled(1, 1, 1.0);
+        let cfg = LossConfig {
+            kind: LossKind::L2,
+            color_weight: 3.0,
+            depth_weight: 0.0,
+            ..Default::default()
+        };
+        let loss = compute_loss(&r, &gt_rgb, &gt_depth, &cfg);
+        // dL/dC = residual * weight / (n*3) = 0.3 * 3 / 3 = 0.3
+        assert!((loss.d_color[0].x - 0.3).abs() < 1e-6);
+        assert_eq!(loss.d_color[0].y, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions mismatch")]
+    fn dimension_mismatch_panics() {
+        let r = fake_render(2, 2, Vec3::ZERO, 1.0, 1.0);
+        let gt_rgb = RgbImage::filled(3, 2, Vec3::ZERO);
+        let gt_depth = DepthImage::filled(3, 2, 1.0);
+        compute_loss(&r, &gt_rgb, &gt_depth, &LossConfig::default());
+    }
+}

@@ -1,0 +1,258 @@
+//! Preprocessing: projecting 3D Gaussians to 2D screen-space splats.
+//!
+//! This is step ① of the 3DGS pipeline (paper Fig. 2a): each visible
+//! Gaussian is transformed into the camera frame, its 3D covariance is
+//! projected through the local affine approximation of the pinhole projection
+//! (EWA splatting), and a conservative screen-space radius is derived for
+//! tile binning.
+
+use crate::gaussian::GaussianCloud;
+use ags_math::{Mat2, Mat3, Se3, Vec2, Vec3};
+use ags_scene::PinholeCamera;
+
+/// Numerical blur added to the 2D covariance diagonal (standard 3DGS uses
+/// 0.3 px² to guarantee splats cover at least a fraction of a pixel).
+pub const COV2D_BLUR: f32 = 0.3;
+
+/// A Gaussian projected into screen space.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Splat2d {
+    /// Id of the source Gaussian in the cloud.
+    pub id: u32,
+    /// Screen-space mean in pixels.
+    pub mean: Vec2,
+    /// Camera-space depth (z) of the center.
+    pub depth: f32,
+    /// Conic (inverse 2D covariance): `(a, b, c)` for `a·dx² + 2b·dx·dy + c·dy²`.
+    pub conic: (f32, f32, f32),
+    /// Conservative screen-space radius in pixels (3σ of the major axis).
+    pub radius: f32,
+    /// Color copied from the Gaussian.
+    pub color: Vec3,
+    /// Peak opacity (sigmoid of the logit).
+    pub opacity: f32,
+    /// Camera-space center (kept for pose gradients).
+    pub p_cam: Vec3,
+}
+
+/// Projection products shared by forward and backward passes.
+#[derive(Debug, Clone)]
+pub struct Projection {
+    /// Visible splats (culled Gaussians are absent).
+    pub splats: Vec<Splat2d>,
+    /// Number of Gaussians culled by the near-plane / frustum test.
+    pub culled: usize,
+    /// World-to-camera transform used.
+    pub world_to_cam: Se3,
+}
+
+/// Projects every Gaussian in the cloud; `pose` is camera-to-world.
+///
+/// Gaussians behind the near plane (z < 0.05) or projecting entirely outside
+/// the (margin-expanded) image are culled, mirroring the paper's
+/// "preprocess" stage.
+pub fn project_gaussians(
+    cloud: &GaussianCloud,
+    camera: &PinholeCamera,
+    pose: &Se3,
+) -> Projection {
+    let world_to_cam = pose.inverse();
+    let rot_wc = world_to_cam.rotation_matrix();
+    let mut splats = Vec::with_capacity(cloud.len());
+    let mut culled = 0usize;
+
+    for (id, g) in cloud.gaussians().iter().enumerate() {
+        let p_cam = world_to_cam.transform_point(g.position);
+        if p_cam.z < 0.05 {
+            culled += 1;
+            continue;
+        }
+        let mean = match camera.project(p_cam) {
+            Some(m) => m,
+            None => {
+                culled += 1;
+                continue;
+            }
+        };
+
+        // EWA: Σ2 = J W Σ3 Wᵀ Jᵀ with J the projection Jacobian at p_cam.
+        let (jw, _) = projection_jacobian(camera, p_cam, &rot_wc);
+        let cov3 = g.covariance();
+        let cov2 = project_cov(&jw, &cov3);
+        let (a, b, c) = (cov2.cols[0].x + COV2D_BLUR, cov2.cols[1].x, cov2.cols[1].y + COV2D_BLUR);
+
+        let det = a * c - b * b;
+        if det <= 1e-12 {
+            culled += 1;
+            continue;
+        }
+        let inv = 1.0 / det;
+        let conic = (c * inv, -b * inv, a * inv);
+
+        // 3σ radius from the larger eigenvalue of Σ2.
+        let mid = 0.5 * (a + c);
+        let disc = (mid * mid - det).max(0.0).sqrt();
+        let lambda_max = mid + disc;
+        let radius = (3.0 * lambda_max.sqrt()).ceil();
+
+        // Frustum cull with the splat's own extent as margin.
+        if mean.x + radius < -0.5
+            || mean.y + radius < -0.5
+            || mean.x - radius > camera.width as f32 - 0.5
+            || mean.y - radius > camera.height as f32 - 0.5
+        {
+            culled += 1;
+            continue;
+        }
+
+        splats.push(Splat2d {
+            id: id as u32,
+            mean,
+            depth: p_cam.z,
+            conic,
+            radius,
+            color: g.color,
+            opacity: g.opacity(),
+            p_cam,
+        });
+    }
+
+    Projection { splats, culled, world_to_cam }
+}
+
+/// Returns `(A, J)` where `A = J · W` is the 2×3 affine projection used for
+/// covariance propagation (rows packed into a `Mat3` whose third row is zero)
+/// and `J` the bare projection Jacobian.
+pub fn projection_jacobian(
+    camera: &PinholeCamera,
+    p_cam: Vec3,
+    rot_wc: &Mat3,
+) -> (Mat3, Mat3) {
+    let z_inv = 1.0 / p_cam.z;
+    let z_inv2 = z_inv * z_inv;
+    // J = [fx/z, 0, -fx·x/z²; 0, fy/z, -fy·y/z²] packed into rows 0..2 of a Mat3.
+    let j = Mat3::from_rows(
+        camera.fx * z_inv, 0.0, -camera.fx * p_cam.x * z_inv2,
+        0.0, camera.fy * z_inv, -camera.fy * p_cam.y * z_inv2,
+        0.0, 0.0, 0.0,
+    );
+    (j * *rot_wc, j)
+}
+
+/// Projects a 3D covariance through the 2×3 affine map `A` (stored in the
+/// top two rows of a `Mat3`), returning the 2×2 result as a [`Mat2`].
+pub fn project_cov(a: &Mat3, cov3: &Mat3) -> Mat2 {
+    let full = *a * *cov3 * a.transpose();
+    Mat2::from_rows(full.at(0, 0), full.at(0, 1), full.at(1, 0), full.at(1, 1))
+}
+
+/// Evaluates the (unclamped) Gaussian falloff `exp(-½ dᵀ K d)` for an offset
+/// `d` from the splat mean.
+#[inline]
+pub fn falloff(conic: (f32, f32, f32), d: Vec2) -> f32 {
+    let q = conic.0 * d.x * d.x + 2.0 * conic.1 * d.x * d.y + conic.2 * d.y * d.y;
+    if q < 0.0 {
+        return 0.0;
+    }
+    (-0.5 * q).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gaussian::Gaussian;
+
+    fn camera() -> PinholeCamera {
+        PinholeCamera::from_fov(64, 48, 1.2)
+    }
+
+    fn single(g: Gaussian) -> GaussianCloud {
+        let mut c = GaussianCloud::new();
+        c.push(g);
+        c
+    }
+
+    #[test]
+    fn center_gaussian_projects_to_principal_point() {
+        let cloud = single(Gaussian::isotropic(Vec3::new(0.0, 0.0, 2.0), 0.1, Vec3::ONE, 0.5));
+        let proj = project_gaussians(&cloud, &camera(), &Se3::IDENTITY);
+        assert_eq!(proj.splats.len(), 1);
+        let s = &proj.splats[0];
+        assert!((s.mean.x - camera().cx).abs() < 1e-3);
+        assert!((s.mean.y - camera().cy).abs() < 1e-3);
+        assert!((s.depth - 2.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn behind_camera_is_culled() {
+        let cloud = single(Gaussian::isotropic(Vec3::new(0.0, 0.0, -1.0), 0.1, Vec3::ONE, 0.5));
+        let proj = project_gaussians(&cloud, &camera(), &Se3::IDENTITY);
+        assert!(proj.splats.is_empty());
+        assert_eq!(proj.culled, 1);
+    }
+
+    #[test]
+    fn far_off_screen_is_culled() {
+        let cloud = single(Gaussian::isotropic(Vec3::new(100.0, 0.0, 2.0), 0.01, Vec3::ONE, 0.5));
+        let proj = project_gaussians(&cloud, &camera(), &Se3::IDENTITY);
+        assert_eq!(proj.culled, 1);
+    }
+
+    #[test]
+    fn closer_gaussian_has_larger_radius() {
+        let near = single(Gaussian::isotropic(Vec3::new(0.0, 0.0, 1.0), 0.2, Vec3::ONE, 0.5));
+        let far = single(Gaussian::isotropic(Vec3::new(0.0, 0.0, 6.0), 0.2, Vec3::ONE, 0.5));
+        let cam = camera();
+        let rn = project_gaussians(&near, &cam, &Se3::IDENTITY).splats[0].radius;
+        let rf = project_gaussians(&far, &cam, &Se3::IDENTITY).splats[0].radius;
+        assert!(rn > rf, "near radius {rn} vs far {rf}");
+    }
+
+    #[test]
+    fn isotropic_conic_is_isotropic_at_center() {
+        let cloud = single(Gaussian::isotropic(Vec3::new(0.0, 0.0, 3.0), 0.3, Vec3::ONE, 0.5));
+        let s = project_gaussians(&cloud, &camera(), &Se3::IDENTITY).splats[0];
+        // On-axis, the conic should be (nearly) diagonal with equal entries
+        // for a square-pixel camera.
+        assert!((s.conic.0 - s.conic.2).abs() / s.conic.0 < 1e-2);
+        assert!(s.conic.1.abs() / s.conic.0 < 1e-3);
+    }
+
+    #[test]
+    fn falloff_peaks_at_mean() {
+        let conic = (0.5, 0.0, 0.5);
+        assert!((falloff(conic, Vec2::ZERO) - 1.0).abs() < 1e-6);
+        assert!(falloff(conic, Vec2::new(1.0, 0.0)) < 1.0);
+        // Monotone decay with distance.
+        assert!(falloff(conic, Vec2::new(1.0, 0.0)) > falloff(conic, Vec2::new(2.0, 0.0)));
+    }
+
+    #[test]
+    fn pose_translation_moves_projection() {
+        let cloud = single(Gaussian::isotropic(Vec3::new(0.0, 0.0, 4.0), 0.2, Vec3::ONE, 0.5));
+        let cam = camera();
+        // Move the camera right: the splat should move left in the image.
+        let pose = Se3::from_translation(Vec3::new(0.5, 0.0, 0.0));
+        let centered = project_gaussians(&cloud, &cam, &Se3::IDENTITY).splats[0].mean;
+        let shifted = project_gaussians(&cloud, &cam, &pose).splats[0].mean;
+        assert!(shifted.x < centered.x - 1.0);
+    }
+
+    #[test]
+    fn projected_covariance_matches_scale_over_depth() {
+        // For an isotropic Gaussian on the optical axis the 2D σ should be
+        // roughly fx·σ/z (plus blur).
+        let sigma = 0.3f32;
+        let z = 3.0f32;
+        let cloud = single(Gaussian::isotropic(Vec3::new(0.0, 0.0, z), sigma, Vec3::ONE, 0.5));
+        let cam = camera();
+        let s = project_gaussians(&cloud, &cam, &Se3::IDENTITY).splats[0];
+        let expected_var = (cam.fx * sigma / z).powi(2) + COV2D_BLUR;
+        // conic.0 ≈ 1/expected_var for a diagonal covariance.
+        assert!(
+            (1.0 / s.conic.0 - expected_var).abs() / expected_var < 0.05,
+            "var {} vs expected {expected_var}",
+            1.0 / s.conic.0
+        );
+    }
+}

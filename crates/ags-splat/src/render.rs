@@ -1,0 +1,371 @@
+//! Forward rasterization: per-pixel front-to-back alpha blending.
+//!
+//! Step ③ of the 3DGS pipeline. Each tile's Gaussian table is traversed
+//! front-to-back per pixel; a Gaussian contributes
+//! `α = opacity · exp(-½ dᵀ K d)` and updates the transmittance
+//! `T ← T·(1-α)`. Contributions below [`crate::ALPHA_THRESHOLD`] are skipped
+//! (and optionally *recorded* — the raw signal behind AGS's
+//! contribution-aware mapping), and pixels terminate early once
+//! `T < `[`crate::TRANSMITTANCE_MIN`].
+
+use crate::gaussian::GaussianCloud;
+use crate::idset::IdSet;
+use crate::project::{falloff, project_gaussians, Projection};
+use crate::tiles::GaussianTables;
+use crate::{ALPHA_THRESHOLD, TRANSMITTANCE_MIN};
+use ags_image::{DepthImage, GrayImage, RgbImage};
+use ags_math::{Se3, Vec2, Vec3};
+use ags_scene::PinholeCamera;
+
+/// Options controlling a render pass.
+#[derive(Debug, Clone, Default)]
+pub struct RenderOptions {
+    /// Gaussian ids to exclude entirely (selective mapping's skip set).
+    pub skip: Option<IdSet>,
+    /// Record per-Gaussian contribution statistics (key-frame full mapping).
+    pub record_contributions: bool,
+    /// Collect per-tile per-pixel Gaussian counts for the cycle-level
+    /// hardware simulator.
+    pub collect_tile_work: bool,
+}
+
+/// Per-Gaussian contribution statistics from one render.
+///
+/// `touched[g]` counts pixels whose blending loop evaluated Gaussian `g`;
+/// `negligible[g]` counts those where its α fell below `Threshα` — the
+/// quantity the GS logging table accumulates (paper Fig. 8).
+#[derive(Debug, Clone, Default)]
+pub struct ContributionStats {
+    /// Pixels that evaluated each Gaussian.
+    pub touched: Vec<u32>,
+    /// Pixels where the Gaussian's α was below the threshold.
+    pub negligible: Vec<u32>,
+}
+
+impl ContributionStats {
+    fn new(n: usize) -> Self {
+        Self { touched: vec![0; n], negligible: vec![0; n] }
+    }
+
+    /// Ids whose negligible-pixel count exceeds `thresh_n` — the paper's
+    /// non-contributory designation.
+    pub fn non_contributory(&self, thresh_n: u32) -> IdSet {
+        let mut set = IdSet::with_capacity(self.touched.len());
+        for (id, &neg) in self.negligible.iter().enumerate() {
+            if neg > thresh_n {
+                set.insert(id);
+            }
+        }
+        set
+    }
+
+    /// Fraction of *touched* Gaussians that never contributed above the
+    /// threshold on any pixel (the paper's Fig. 5 measurement).
+    pub fn fully_non_contributory_fraction(&self) -> f32 {
+        let mut touched = 0u32;
+        let mut silent = 0u32;
+        for (t, n) in self.touched.iter().zip(&self.negligible) {
+            if *t > 0 {
+                touched += 1;
+                if n == t {
+                    silent += 1;
+                }
+            }
+        }
+        if touched == 0 {
+            0.0
+        } else {
+            silent as f32 / touched as f32
+        }
+    }
+}
+
+/// Per-tile rasterization workload (input for the cycle-level GPE model).
+#[derive(Debug, Clone)]
+pub struct TileWork {
+    /// Tile index in the grid.
+    pub tile: u32,
+    /// For each pixel of the tile (row-major within the tile), the number of
+    /// Gaussians whose α stage was evaluated before termination.
+    pub per_pixel_evals: Vec<u16>,
+    /// For each pixel, the number of Gaussians that passed the α threshold
+    /// and entered the blend stage.
+    pub per_pixel_blends: Vec<u16>,
+}
+
+/// Aggregate statistics of one render pass.
+#[derive(Debug, Clone, Default)]
+pub struct RenderStats {
+    /// α-stage evaluations (Eqn. 1 of the paper).
+    pub alpha_evals: u64,
+    /// Blend-stage operations (Eqn. 2).
+    pub blend_ops: u64,
+    /// (splat, tile) pairs in the Gaussian tables.
+    pub pairs: u64,
+    /// Splats surviving projection.
+    pub visible_splats: u64,
+    /// Gaussians culled during projection.
+    pub culled: u64,
+    /// Gaussians skipped by the skip set (counted once per (splat, tile)).
+    pub skipped_pairs: u64,
+    /// Pixels that terminated early (T below threshold).
+    pub early_terminated_pixels: u64,
+    /// Per-tile workload detail (only when requested).
+    pub tile_work: Vec<TileWork>,
+}
+
+/// Output of a render pass.
+#[derive(Debug, Clone)]
+pub struct RenderOutput {
+    /// Blended color (background = black).
+    pub color: RgbImage,
+    /// Expected depth `Σ Tᵢαᵢzᵢ` (SplaTAM-style, not normalised).
+    pub depth: DepthImage,
+    /// Accumulated opacity `1 - T_final` — SplaTAM's silhouette.
+    pub silhouette: GrayImage,
+    /// Workload statistics.
+    pub stats: RenderStats,
+    /// Contribution statistics when requested.
+    pub contributions: Option<ContributionStats>,
+}
+
+/// Projects, bins and rasterizes the cloud in one call.
+pub fn render(
+    cloud: &GaussianCloud,
+    camera: &PinholeCamera,
+    pose: &Se3,
+    options: &RenderOptions,
+) -> RenderOutput {
+    let projection = project_gaussians(cloud, camera, pose);
+    let tables = GaussianTables::build(&projection, camera);
+    rasterize(cloud, &projection, &tables, camera, options)
+}
+
+/// Rasterizes pre-projected splats (lets callers reuse projection products
+/// across the forward and backward passes).
+pub fn rasterize(
+    cloud: &GaussianCloud,
+    projection: &Projection,
+    tables: &GaussianTables,
+    camera: &PinholeCamera,
+    options: &RenderOptions,
+) -> RenderOutput {
+    let mut color = RgbImage::filled(camera.width, camera.height, Vec3::ZERO);
+    let mut depth = DepthImage::new(camera.width, camera.height);
+    let mut silhouette = GrayImage::new(camera.width, camera.height);
+    let mut stats = RenderStats {
+        pairs: tables.total_pairs,
+        visible_splats: projection.splats.len() as u64,
+        culled: projection.culled as u64,
+        ..RenderStats::default()
+    };
+    let mut contributions =
+        options.record_contributions.then(|| ContributionStats::new(cloud.len()));
+
+    for (tile_idx, table) in tables.tables.iter().enumerate() {
+        let (x0, y0, x1, y1) = tables.grid.tile_bounds(tile_idx);
+        let tile_w = x1 - x0;
+        let tile_h = y1 - y0;
+        let mut work = options.collect_tile_work.then(|| TileWork {
+            tile: tile_idx as u32,
+            per_pixel_evals: vec![0; tile_w * tile_h],
+            per_pixel_blends: vec![0; tile_w * tile_h],
+        });
+
+        if table.is_empty() {
+            if let Some(w) = work.take() {
+                stats.tile_work.push(w);
+            }
+            continue;
+        }
+
+        for py in y0..y1 {
+            for px in x0..x1 {
+                let pixel = Vec2::new(px as f32, py as f32);
+                let mut t = 1.0f32;
+                let mut c = Vec3::ZERO;
+                let mut d = 0.0f32;
+                let mut evals = 0u16;
+                let mut blends = 0u16;
+
+                for entry in table {
+                    let splat = &projection.splats[entry.splat_index as usize];
+                    if let Some(skip) = &options.skip {
+                        if skip.contains(splat.id as usize) {
+                            continue;
+                        }
+                    }
+                    evals += 1;
+                    let g = falloff(splat.conic, pixel - splat.mean);
+                    let alpha = (splat.opacity * g).min(0.99);
+
+                    if let Some(stats) = contributions.as_mut() {
+                        stats.touched[splat.id as usize] += 1;
+                        if alpha < ALPHA_THRESHOLD {
+                            stats.negligible[splat.id as usize] += 1;
+                        }
+                    }
+                    if alpha < ALPHA_THRESHOLD {
+                        continue;
+                    }
+                    blends += 1;
+                    c += splat.color * (t * alpha);
+                    d += splat.depth * (t * alpha);
+                    t *= 1.0 - alpha;
+                    if t < TRANSMITTANCE_MIN {
+                        stats.early_terminated_pixels += 1;
+                        break;
+                    }
+                }
+
+                stats.alpha_evals += evals as u64;
+                stats.blend_ops += blends as u64;
+                color.set(px, py, c);
+                depth.set(px, py, d);
+                silhouette.set(px, py, 1.0 - t);
+                if let Some(w) = work.as_mut() {
+                    let i = (py - y0) * tile_w + (px - x0);
+                    w.per_pixel_evals[i] = evals;
+                    w.per_pixel_blends[i] = blends;
+                }
+            }
+        }
+
+        // Skip accounting: pairs whose splat is in the skip set.
+        if let Some(skip) = &options.skip {
+            stats.skipped_pairs += table
+                .iter()
+                .filter(|e| skip.contains(projection.splats[e.splat_index as usize].id as usize))
+                .count() as u64;
+        }
+        if let Some(w) = work.take() {
+            stats.tile_work.push(w);
+        }
+    }
+
+    RenderOutput { color, depth, silhouette, stats, contributions }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gaussian::Gaussian;
+
+    fn camera() -> PinholeCamera {
+        PinholeCamera::from_fov(32, 32, 1.2)
+    }
+
+    fn single_gaussian_cloud(opacity: f32) -> GaussianCloud {
+        let mut cloud = GaussianCloud::new();
+        cloud.push(Gaussian::isotropic(
+            Vec3::new(0.0, 0.0, 2.0),
+            0.25,
+            Vec3::new(1.0, 0.0, 0.0),
+            opacity,
+        ));
+        cloud
+    }
+
+    #[test]
+    fn single_gaussian_renders_red_center() {
+        let out = render(&single_gaussian_cloud(0.9), &camera(), &Se3::IDENTITY, &RenderOptions::default());
+        let c = out.color.at(15, 15);
+        assert!(c.x > 0.5, "center should be strongly red, got {c:?}");
+        assert!(c.y < 0.05 && c.z < 0.05);
+        assert!(out.silhouette.at(15, 15) > 0.8);
+        // Depth is alpha-weighted: close to 2.0 * accumulated alpha.
+        assert!(out.depth.at(15, 15) > 1.0);
+    }
+
+    #[test]
+    fn empty_cloud_renders_black() {
+        let out = render(&GaussianCloud::new(), &camera(), &Se3::IDENTITY, &RenderOptions::default());
+        assert_eq!(out.color.at(5, 5), Vec3::ZERO);
+        assert_eq!(out.stats.alpha_evals, 0);
+        assert_eq!(out.stats.visible_splats, 0);
+    }
+
+    #[test]
+    fn skip_set_removes_gaussian() {
+        let cloud = single_gaussian_cloud(0.9);
+        let mut skip = IdSet::with_capacity(cloud.len());
+        skip.insert(0);
+        let options = RenderOptions { skip: Some(skip), ..Default::default() };
+        let out = render(&cloud, &camera(), &Se3::IDENTITY, &options);
+        assert_eq!(out.color.at(15, 15), Vec3::ZERO);
+        assert!(out.stats.skipped_pairs > 0);
+        assert_eq!(out.stats.alpha_evals, 0);
+    }
+
+    #[test]
+    fn front_gaussian_occludes_back() {
+        let mut cloud = GaussianCloud::new();
+        // Nearly opaque red in front, green behind.
+        cloud.push(Gaussian::isotropic(Vec3::new(0.0, 0.0, 2.0), 0.3, Vec3::new(1.0, 0.0, 0.0), 0.99));
+        cloud.push(Gaussian::isotropic(Vec3::new(0.0, 0.0, 4.0), 0.3, Vec3::new(0.0, 1.0, 0.0), 0.99));
+        let out = render(&cloud, &camera(), &Se3::IDENTITY, &RenderOptions::default());
+        let c = out.color.at(15, 15);
+        assert!(c.x > 10.0 * c.y, "front red should dominate: {c:?}");
+    }
+
+    #[test]
+    fn early_termination_fires_with_opaque_stack() {
+        let mut cloud = GaussianCloud::new();
+        for i in 0..8 {
+            cloud.push(Gaussian::isotropic(
+                Vec3::new(0.0, 0.0, 2.0 + i as f32 * 0.2),
+                0.4,
+                Vec3::ONE,
+                0.995,
+            ));
+        }
+        let out = render(&cloud, &camera(), &Se3::IDENTITY, &RenderOptions::default());
+        assert!(out.stats.early_terminated_pixels > 0);
+        // Early termination means not all pairs were blended for those pixels.
+        assert!(out.stats.blend_ops < out.stats.pairs * 200);
+    }
+
+    #[test]
+    fn contribution_recording_flags_faint_gaussians() {
+        let mut cloud = GaussianCloud::new();
+        // Strong central Gaussian and an extremely faint one.
+        cloud.push(Gaussian::isotropic(Vec3::new(0.0, 0.0, 2.0), 0.3, Vec3::ONE, 0.9));
+        cloud.push(Gaussian::isotropic(Vec3::new(0.0, 0.0, 3.0), 0.3, Vec3::ONE, 0.002));
+        let options = RenderOptions { record_contributions: true, ..Default::default() };
+        let out = render(&cloud, &camera(), &Se3::IDENTITY, &options);
+        let stats = out.contributions.expect("requested contributions");
+        assert!(stats.touched[1] > 0);
+        assert_eq!(stats.negligible[1], stats.touched[1], "faint gaussian never contributes");
+        // The strong Gaussian contributes on some pixels; the faint one on none,
+        // so its negligible count is strictly larger.
+        assert!(stats.negligible[0] < stats.touched[0]);
+        assert!(stats.negligible[1] > stats.negligible[0]);
+        let non_contrib = stats.non_contributory(stats.negligible[0]);
+        assert!(non_contrib.contains(1));
+        assert!(!non_contrib.contains(0));
+        assert!(stats.fully_non_contributory_fraction() > 0.0);
+    }
+
+    #[test]
+    fn tile_work_collection_matches_dimensions() {
+        let options = RenderOptions { collect_tile_work: true, ..Default::default() };
+        let out = render(&single_gaussian_cloud(0.9), &camera(), &Se3::IDENTITY, &options);
+        assert_eq!(out.stats.tile_work.len(), 4, "32x32 with 16px tiles -> 4 tiles");
+        let total_evals: u64 = out
+            .stats
+            .tile_work
+            .iter()
+            .flat_map(|w| w.per_pixel_evals.iter())
+            .map(|&e| e as u64)
+            .sum();
+        assert_eq!(total_evals, out.stats.alpha_evals);
+    }
+
+    #[test]
+    fn alpha_is_clamped_below_one() {
+        // opacity 0.999 clamps to 0.99 per splat; transmittance stays positive.
+        let out = render(&single_gaussian_cloud(0.999), &camera(), &Se3::IDENTITY, &RenderOptions::default());
+        assert!(out.silhouette.at(15, 15) <= 1.0);
+        assert!(out.silhouette.at(15, 15) > 0.9);
+    }
+}

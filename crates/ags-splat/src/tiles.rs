@@ -1,0 +1,204 @@
+//! Tile binning and per-tile Gaussian tables.
+//!
+//! Step ② of the 3DGS pipeline (paper Fig. 2a): splats are assigned to every
+//! `TILE_SIZE`² tile their extent intersects, then each tile's list is sorted
+//! front-to-back by depth. The sorted per-tile lists are the paper's
+//! *Gaussian tables* — the structures that both the rasterizer and the AGS
+//! mapping engine's GS logging/skipping tables consume.
+
+use crate::project::{Projection, Splat2d};
+use crate::TILE_SIZE;
+use ags_scene::PinholeCamera;
+
+/// The tile decomposition of an image.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TileGrid {
+    /// Number of tile columns.
+    pub cols: usize,
+    /// Number of tile rows.
+    pub rows: usize,
+    /// Image width in pixels.
+    pub width: usize,
+    /// Image height in pixels.
+    pub height: usize,
+}
+
+impl TileGrid {
+    /// Builds the grid covering a camera's image plane.
+    pub fn for_camera(camera: &PinholeCamera) -> Self {
+        Self {
+            cols: camera.width.div_ceil(TILE_SIZE),
+            rows: camera.height.div_ceil(TILE_SIZE),
+            width: camera.width,
+            height: camera.height,
+        }
+    }
+
+    /// Total number of tiles.
+    #[inline]
+    pub fn num_tiles(&self) -> usize {
+        self.cols * self.rows
+    }
+
+    /// Pixel bounds `(x0, y0, x1, y1)` of tile `t` (exclusive upper bounds,
+    /// clamped to the image).
+    pub fn tile_bounds(&self, t: usize) -> (usize, usize, usize, usize) {
+        let col = t % self.cols;
+        let row = t / self.cols;
+        let x0 = col * TILE_SIZE;
+        let y0 = row * TILE_SIZE;
+        (x0, y0, (x0 + TILE_SIZE).min(self.width), (y0 + TILE_SIZE).min(self.height))
+    }
+}
+
+/// One entry of a per-tile Gaussian table.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TableEntry {
+    /// Index into [`Projection::splats`].
+    pub splat_index: u32,
+    /// Depth used for ordering.
+    pub depth: f32,
+}
+
+/// Per-tile, depth-sorted Gaussian tables.
+#[derive(Debug, Clone)]
+pub struct GaussianTables {
+    /// Tile decomposition.
+    pub grid: TileGrid,
+    /// `tables[t]` lists splats intersecting tile `t`, sorted front-to-back.
+    pub tables: Vec<Vec<TableEntry>>,
+    /// Total number of (splat, tile) pairs — the paper's per-frame workload
+    /// proxy for sorting and table construction.
+    pub total_pairs: u64,
+}
+
+impl GaussianTables {
+    /// Bins and sorts the splats of a projection into per-tile tables.
+    pub fn build(projection: &Projection, camera: &PinholeCamera) -> Self {
+        let grid = TileGrid::for_camera(camera);
+        let mut tables: Vec<Vec<TableEntry>> = vec![Vec::new(); grid.num_tiles()];
+        let mut total_pairs = 0u64;
+
+        for (si, splat) in projection.splats.iter().enumerate() {
+            let (c0, c1, r0, r1) = splat_tile_range(splat, &grid);
+            for row in r0..=r1 {
+                for col in c0..=c1 {
+                    tables[row * grid.cols + col]
+                        .push(TableEntry { splat_index: si as u32, depth: splat.depth });
+                    total_pairs += 1;
+                }
+            }
+        }
+        for table in &mut tables {
+            table.sort_by(|a, b| a.depth.partial_cmp(&b.depth).unwrap_or(std::cmp::Ordering::Equal));
+        }
+        Self { grid, tables, total_pairs }
+    }
+
+    /// Mean table length over non-empty tiles.
+    pub fn mean_depth_complexity(&self) -> f32 {
+        let non_empty: Vec<usize> =
+            self.tables.iter().map(|t| t.len()).filter(|&l| l > 0).collect();
+        if non_empty.is_empty() {
+            return 0.0;
+        }
+        non_empty.iter().sum::<usize>() as f32 / non_empty.len() as f32
+    }
+}
+
+/// Inclusive tile-coordinate range `(col0, col1, row0, row1)` a splat covers.
+fn splat_tile_range(splat: &Splat2d, grid: &TileGrid) -> (usize, usize, usize, usize) {
+    let clamp_col = |v: f32| (v.max(0.0) as usize).min(grid.cols.saturating_sub(1));
+    let clamp_row = |v: f32| (v.max(0.0) as usize).min(grid.rows.saturating_sub(1));
+    let c0 = clamp_col((splat.mean.x - splat.radius) / TILE_SIZE as f32);
+    let c1 = clamp_col((splat.mean.x + splat.radius) / TILE_SIZE as f32);
+    let r0 = clamp_row((splat.mean.y - splat.radius) / TILE_SIZE as f32);
+    let r1 = clamp_row((splat.mean.y + splat.radius) / TILE_SIZE as f32);
+    (c0, c1, r0, r1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gaussian::{Gaussian, GaussianCloud};
+    use crate::project::project_gaussians;
+    use ags_math::{Se3, Vec3};
+
+    fn camera() -> PinholeCamera {
+        PinholeCamera::from_fov(64, 48, 1.2)
+    }
+
+    #[test]
+    fn grid_covers_image() {
+        let grid = TileGrid::for_camera(&camera());
+        assert_eq!(grid.cols, 4);
+        assert_eq!(grid.rows, 3);
+        assert_eq!(grid.num_tiles(), 12);
+        let (x0, y0, x1, y1) = grid.tile_bounds(11);
+        assert_eq!((x0, y0), (48, 32));
+        assert_eq!((x1, y1), (64, 48));
+    }
+
+    #[test]
+    fn grid_clamps_partial_tiles() {
+        let cam = PinholeCamera::from_fov(20, 20, 1.0);
+        let grid = TileGrid::for_camera(&cam);
+        assert_eq!(grid.cols, 2);
+        let (.., x1, y1) = grid.tile_bounds(3);
+        assert_eq!((x1, y1), (20, 20));
+    }
+
+    #[test]
+    fn small_central_splat_lands_in_one_tile() {
+        let mut cloud = GaussianCloud::new();
+        // Tiny Gaussian projecting near the center of tile (1,1).
+        cloud.push(Gaussian::isotropic(Vec3::new(-0.22, -0.12, 4.0), 0.01, Vec3::ONE, 0.5));
+        let cam = camera();
+        let proj = project_gaussians(&cloud, &cam, &Se3::IDENTITY);
+        assert_eq!(proj.splats.len(), 1);
+        let tables = GaussianTables::build(&proj, &cam);
+        let occupied: Vec<usize> =
+            tables.tables.iter().enumerate().filter(|(_, t)| !t.is_empty()).map(|(i, _)| i).collect();
+        assert_eq!(occupied.len(), 1, "tiny splat should occupy one tile, got {occupied:?}");
+    }
+
+    #[test]
+    fn large_splat_covers_multiple_tiles() {
+        let mut cloud = GaussianCloud::new();
+        cloud.push(Gaussian::isotropic(Vec3::new(0.0, 0.0, 2.0), 0.8, Vec3::ONE, 0.5));
+        let cam = camera();
+        let proj = project_gaussians(&cloud, &cam, &Se3::IDENTITY);
+        let tables = GaussianTables::build(&proj, &cam);
+        let occupied = tables.tables.iter().filter(|t| !t.is_empty()).count();
+        assert!(occupied > 4, "large splat should cover many tiles, got {occupied}");
+        assert_eq!(tables.total_pairs, occupied as u64);
+    }
+
+    #[test]
+    fn tables_sorted_front_to_back() {
+        let mut cloud = GaussianCloud::new();
+        for z in [5.0, 2.0, 8.0, 3.0] {
+            cloud.push(Gaussian::isotropic(Vec3::new(0.0, 0.0, z), 0.3, Vec3::ONE, 0.5));
+        }
+        let cam = camera();
+        let proj = project_gaussians(&cloud, &cam, &Se3::IDENTITY);
+        let tables = GaussianTables::build(&proj, &cam);
+        for table in &tables.tables {
+            for pair in table.windows(2) {
+                assert!(pair[0].depth <= pair[1].depth, "table not sorted");
+            }
+        }
+    }
+
+    #[test]
+    fn depth_complexity_counts_overlap() {
+        let mut cloud = GaussianCloud::new();
+        for z in [2.0, 3.0, 4.0] {
+            cloud.push(Gaussian::isotropic(Vec3::new(0.0, 0.0, z), 0.5, Vec3::ONE, 0.5));
+        }
+        let cam = camera();
+        let proj = project_gaussians(&cloud, &cam, &Se3::IDENTITY);
+        let tables = GaussianTables::build(&proj, &cam);
+        assert!(tables.mean_depth_complexity() >= 1.0);
+    }
+}

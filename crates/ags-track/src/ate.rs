@@ -1,0 +1,182 @@
+//! Trajectory evaluation: Umeyama alignment and ATE RMSE.
+//!
+//! The paper's Table 2 reports ATE RMSE in centimeters after rigid alignment
+//! of the estimated trajectory to ground truth — the standard TUM-RGBD
+//! evaluation protocol.
+
+use ags_math::svd3::closest_rotation;
+use ags_math::{Mat3, Se3, Vec3};
+
+/// Rigid (SE(3), no scale) alignment of `estimated` onto `ground_truth` by
+/// Horn/Umeyama on the translation components.
+///
+/// Returns the transform `T` minimising `Σ ‖T·est_i − gt_i‖²`; applying it to
+/// every estimated pose aligns the trajectories.
+///
+/// # Panics
+///
+/// Panics when the trajectories have different lengths or fewer than 2 poses.
+pub fn align_trajectories(estimated: &[Se3], ground_truth: &[Se3]) -> Se3 {
+    assert_eq!(estimated.len(), ground_truth.len(), "trajectory length mismatch");
+    assert!(estimated.len() >= 2, "alignment needs at least two poses");
+
+    let n = estimated.len() as f32;
+    let mean = |poses: &[Se3]| -> Vec3 {
+        let mut acc = Vec3::ZERO;
+        for p in poses {
+            acc += p.translation;
+        }
+        acc / n
+    };
+    let mu_e = mean(estimated);
+    let mu_g = mean(ground_truth);
+
+    // Cross-covariance Σ gt_c · est_cᵀ.
+    let mut h = Mat3::ZERO;
+    for (e, g) in estimated.iter().zip(ground_truth) {
+        let ec = e.translation - mu_e;
+        let gc = g.translation - mu_g;
+        h = h + Mat3::outer(gc, ec);
+    }
+    let r = closest_rotation(&h);
+    let rot = ags_math::Quat::from_matrix(&r);
+    let t = mu_g - r.mul_vec(mu_e);
+    Se3::new(rot, t)
+}
+
+/// ATE RMSE in the ground truth's units after rigid alignment.
+///
+/// # Panics
+///
+/// Panics when the trajectories have different lengths or fewer than 2 poses.
+pub fn ate_rmse(estimated: &[Se3], ground_truth: &[Se3]) -> f32 {
+    let t = align_trajectories(estimated, ground_truth);
+    let mut sq = 0.0f64;
+    for (e, g) in estimated.iter().zip(ground_truth) {
+        let aligned = t.transform_point(e.translation);
+        sq += (aligned - g.translation).norm_sq() as f64;
+    }
+    ((sq / estimated.len() as f64) as f32).sqrt()
+}
+
+/// Relative pose error: RMS of per-step translation drift (meters/frame).
+///
+/// # Panics
+///
+/// Panics when lengths differ or trajectories are shorter than 2.
+pub fn rpe_translation(estimated: &[Se3], ground_truth: &[Se3]) -> f32 {
+    assert_eq!(estimated.len(), ground_truth.len(), "trajectory length mismatch");
+    assert!(estimated.len() >= 2, "RPE needs at least two poses");
+    let mut sq = 0.0f64;
+    let steps = estimated.len() - 1;
+    for i in 0..steps {
+        let rel_e = estimated[i].relative_to(&estimated[i + 1]);
+        let rel_g = ground_truth[i].relative_to(&ground_truth[i + 1]);
+        let err = (rel_e.translation - rel_g.translation).norm();
+        sq += (err * err) as f64;
+    }
+    ((sq / steps as f64) as f32).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ags_math::{Pcg32, Quat};
+
+    fn random_trajectory(n: usize, seed: u64) -> Vec<Se3> {
+        let mut rng = Pcg32::seeded(seed);
+        let mut poses = vec![Se3::IDENTITY];
+        for _ in 1..n {
+            let step = Se3::new(
+                Quat::from_rotation_vector(Vec3::new(
+                    rng.range_f32(-0.05, 0.05),
+                    rng.range_f32(-0.05, 0.05),
+                    rng.range_f32(-0.05, 0.05),
+                )),
+                Vec3::new(rng.range_f32(-0.1, 0.1), rng.range_f32(-0.1, 0.1), 0.1),
+            );
+            let last = *poses.last().unwrap();
+            poses.push((last * step).renormalized());
+        }
+        poses
+    }
+
+    #[test]
+    fn identical_trajectories_have_zero_ate() {
+        let traj = random_trajectory(20, 1);
+        assert!(ate_rmse(&traj, &traj) < 1e-5);
+        assert!(rpe_translation(&traj, &traj) < 1e-5);
+    }
+
+    #[test]
+    fn rigidly_displaced_trajectory_aligns_to_zero() {
+        let gt = random_trajectory(25, 2);
+        let offset = Se3::new(
+            Quat::from_axis_angle(Vec3::new(0.3, 1.0, -0.2), 0.7),
+            Vec3::new(5.0, -2.0, 1.0),
+        );
+        let est: Vec<Se3> = gt.iter().map(|p| (offset * *p).renormalized()).collect();
+        let ate = ate_rmse(&est, &gt);
+        assert!(ate < 1e-3, "rigid offset should align away, ate = {ate}");
+    }
+
+    #[test]
+    fn noise_produces_matching_ate_scale() {
+        let gt = random_trajectory(50, 3);
+        let mut rng = Pcg32::seeded(9);
+        let sigma = 0.02f32;
+        let est: Vec<Se3> = gt
+            .iter()
+            .map(|p| {
+                Se3::new(
+                    p.rotation,
+                    p.translation
+                        + Vec3::new(
+                            rng.normal_f32() * sigma,
+                            rng.normal_f32() * sigma,
+                            rng.normal_f32() * sigma,
+                        ),
+                )
+            })
+            .collect();
+        let ate = ate_rmse(&est, &gt);
+        // RMS of isotropic Gaussian noise with σ per axis is σ√3 ≈ 0.035.
+        assert!(ate > sigma && ate < sigma * 3.0, "ate {ate}");
+    }
+
+    #[test]
+    fn ate_detects_drift_that_rpe_underrates() {
+        let gt = random_trajectory(40, 4);
+        // Linearly growing drift along x.
+        let est: Vec<Se3> = gt
+            .iter()
+            .enumerate()
+            .map(|(i, p)| Se3::new(p.rotation, p.translation + Vec3::new(0.01 * i as f32, 0.0, 0.0)))
+            .collect();
+        let ate = ate_rmse(&est, &gt);
+        let rpe = rpe_translation(&est, &gt);
+        // Alignment absorbs part of a linear drift, but the accumulated error
+        // still dominates the per-step error.
+        assert!(ate > rpe * 1.5, "drift: ate {ate} should dominate rpe {rpe}");
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let a = random_trajectory(5, 1);
+        let b = random_trajectory(6, 1);
+        ate_rmse(&a, &b);
+    }
+
+    #[test]
+    fn alignment_recovers_transform() {
+        let gt = random_trajectory(15, 7);
+        let offset = Se3::new(Quat::from_axis_angle(Vec3::Z, 0.5), Vec3::new(1.0, 2.0, 3.0));
+        let est: Vec<Se3> = gt.iter().map(|p| (offset * *p).renormalized()).collect();
+        let recovered = align_trajectories(&est, &gt);
+        // recovered should equal offset⁻¹.
+        let expect = offset.inverse();
+        assert!(recovered.translation_distance(&expect) < 1e-3);
+        assert!(recovered.rotation_angle_to(&expect) < 1e-3);
+    }
+}

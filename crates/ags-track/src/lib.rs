@@ -1,0 +1,29 @@
+//! Pose tracking for 3DGS-SLAM: coarse, fine, and classical trackers.
+//!
+//! Three estimators cover the paper's tracking landscape:
+//!
+//! * [`coarse::CoarseTracker`] — the Droid-SLAM-style lightweight estimator
+//!   AGS runs on **every** frame (paper §4.2 Ⓐ). It executes the
+//!   `ags-neural` backbone for the workload the pose-tracking engine's
+//!   systolic array models, and estimates the pose with iterative
+//!   Gauss–Newton dense RGB-D alignment over an image pyramid.
+//! * [`fine::GsPoseRefiner`] — photometric 3DGS pose refinement (`IterT`
+//!   training iterations against the Gaussian map) executed only for
+//!   low-covisibility frames (paper §4.2 Ⓑ).
+//! * [`classical::ClassicalTracker`] — a sparse feature + depth Gauss–Newton
+//!   odometry standing in for ORB-SLAM2 in Table 2's comparison.
+//!
+//! [`ate`] implements the evaluation side: Umeyama trajectory alignment and
+//! ATE RMSE, the metric of the paper's Table 2.
+
+#![warn(missing_docs)]
+
+pub mod ate;
+pub mod classical;
+pub mod coarse;
+pub mod fine;
+
+pub use ate::{align_trajectories, ate_rmse};
+pub use classical::ClassicalTracker;
+pub use coarse::CoarseTracker;
+pub use fine::GsPoseRefiner;

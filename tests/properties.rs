@@ -1,0 +1,172 @@
+//! Property-based tests over the core data structures and invariants.
+
+use ags::prelude::*;
+use ags::splat::render::{render, RenderOptions};
+use ags::splat::IdSet;
+use proptest::prelude::*;
+
+fn arb_vec3(range: f32) -> impl Strategy<Value = Vec3> {
+    (-range..range, -range..range, -range..range).prop_map(|(x, y, z)| Vec3::new(x, y, z))
+}
+
+fn arb_quat() -> impl Strategy<Value = Quat> {
+    arb_vec3(2.0).prop_map(Quat::from_rotation_vector)
+}
+
+fn arb_pose() -> impl Strategy<Value = Se3> {
+    (arb_quat(), arb_vec3(5.0)).prop_map(|(q, t)| Se3::new(q, t))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Rotations preserve vector length.
+    #[test]
+    fn rotation_preserves_norm(q in arb_quat(), v in arb_vec3(10.0)) {
+        let rotated = q.rotate(v);
+        prop_assert!((rotated.norm() - v.norm()).abs() < 1e-3);
+    }
+
+    /// Pose composition with the inverse is the identity.
+    #[test]
+    fn pose_inverse_composes_to_identity(p in arb_pose()) {
+        let id = p * p.inverse();
+        prop_assert!(id.translation.norm() < 1e-3);
+        prop_assert!(id.rotation.angle_to(Quat::IDENTITY) < 1e-3);
+    }
+
+    /// Transforming a point and inverting recovers the point.
+    #[test]
+    fn pose_transform_roundtrip(p in arb_pose(), v in arb_vec3(10.0)) {
+        let back = p.inverse().transform_point(p.transform_point(v));
+        prop_assert!((back - v).norm() < 1e-2);
+    }
+
+    /// SE(3) exp/log roundtrip for bounded twists.
+    #[test]
+    fn se3_exp_log_roundtrip(
+        t in prop::array::uniform6(-0.5f32..0.5f32)
+    ) {
+        let pose = Se3::exp(&t);
+        let back = pose.log();
+        for k in 0..6 {
+            prop_assert!((back[k] - t[k]).abs() < 1e-3, "component {k}");
+        }
+    }
+
+    /// The covisibility metric is always within [0, 1] and identical frames
+    /// score higher than heavily perturbed ones.
+    #[test]
+    fn covisibility_bounds_and_ordering(seed in 0u64..1000) {
+        let mut rng = Pcg32::seeded(seed);
+        let base = LumaPlane::from_fn(32, 32, |x, y| {
+            ((x * 7 + y * 13 + rng.index(8)) % 250) as u8
+        });
+        let mut rng2 = Pcg32::seeded(seed ^ 0xffff);
+        let noisy = LumaPlane::from_fn(32, 32, |_, _| rng2.range_u32(250) as u8);
+        let config = CodecConfig::default();
+        let est = MotionEstimator::new(config);
+        let same = est.estimate(&base, &base).covisibility(&config).value();
+        let diff = est.estimate(&noisy, &base).covisibility(&config).value();
+        prop_assert!((0.0..=1.0).contains(&same));
+        prop_assert!((0.0..=1.0).contains(&diff));
+        prop_assert!(same >= diff);
+    }
+
+    /// Rendering invariants: silhouette in [0, 1], depth non-negative, and
+    /// skipping Gaussians never increases the α-stage workload.
+    #[test]
+    fn render_invariants(seed in 0u64..500) {
+        let mut rng = Pcg32::seeded(seed);
+        let mut cloud = GaussianCloud::new();
+        for _ in 0..rng.index(20) + 1 {
+            cloud.push(Gaussian::isotropic(
+                Vec3::new(rng.range_f32(-1.0, 1.0), rng.range_f32(-1.0, 1.0), rng.range_f32(0.5, 4.0)),
+                rng.range_f32(0.02, 0.4),
+                Vec3::new(rng.next_f32(), rng.next_f32(), rng.next_f32()),
+                rng.range_f32(0.05, 0.95),
+            ));
+        }
+        let camera = PinholeCamera::from_fov(32, 24, 1.2);
+        let full = render(&cloud, &camera, &Se3::IDENTITY, &RenderOptions::default());
+        for (&s, &d) in full.silhouette.pixels().iter().zip(full.depth.pixels()) {
+            prop_assert!((0.0..=1.0 + 1e-5).contains(&s));
+            prop_assert!(d >= 0.0);
+        }
+        // Skip half the Gaussians: alpha evaluations must not increase.
+        let mut skip = IdSet::with_capacity(cloud.len());
+        for id in (0..cloud.len()).step_by(2) {
+            skip.insert(id);
+        }
+        let partial = render(
+            &cloud,
+            &camera,
+            &Se3::IDENTITY,
+            &RenderOptions { skip: Some(skip), ..Default::default() },
+        );
+        prop_assert!(partial.stats.alpha_evals <= full.stats.alpha_evals);
+    }
+
+    /// ATE is invariant to a rigid transform of the estimated trajectory.
+    #[test]
+    fn ate_rigid_invariance(offset in arb_pose(), seed in 0u64..200) {
+        let mut rng = Pcg32::seeded(seed);
+        let mut gt = vec![Se3::IDENTITY];
+        for _ in 0..10 {
+            let step = Se3::new(
+                Quat::from_rotation_vector(Vec3::new(
+                    rng.range_f32(-0.1, 0.1),
+                    rng.range_f32(-0.1, 0.1),
+                    rng.range_f32(-0.1, 0.1),
+                )),
+                Vec3::new(rng.range_f32(-0.2, 0.2), rng.range_f32(-0.2, 0.2), 0.2),
+            );
+            let last = *gt.last().unwrap();
+            gt.push((last * step).renormalized());
+        }
+        let moved: Vec<Se3> = gt.iter().map(|p| (offset * *p).renormalized()).collect();
+        let ate = ate_rmse(&moved, &gt);
+        prop_assert!(ate < 1e-2, "rigidly moved trajectory must align back, ate {ate}");
+    }
+
+    /// Gaussian covariance is always symmetric positive semi-definite.
+    #[test]
+    fn covariance_is_spd(
+        q in arb_quat(),
+        s in prop::array::uniform3(0.01f32..0.5f32),
+        p in arb_vec3(3.0)
+    ) {
+        let mut g = Gaussian::isotropic(p, 0.1, Vec3::ONE, 0.5);
+        g.rotation = q;
+        g.log_scale = Vec3::new(s[0].ln(), s[1].ln(), s[2].ln());
+        let cov = g.covariance();
+        // Symmetry.
+        prop_assert!((cov.at(0, 1) - cov.at(1, 0)).abs() < 1e-5);
+        prop_assert!((cov.at(0, 2) - cov.at(2, 0)).abs() < 1e-5);
+        prop_assert!((cov.at(1, 2) - cov.at(2, 1)).abs() < 1e-5);
+        // PSD via quadratic forms on the axes and a random-ish direction.
+        for v in [Vec3::X, Vec3::Y, Vec3::Z, Vec3::new(0.3, -0.7, 0.64)] {
+            prop_assert!(v.dot(cov.mul_vec(v)) >= -1e-6);
+        }
+        // Determinant equals the squared product of scales.
+        let expect = (s[0] * s[1] * s[2]).powi(2);
+        prop_assert!((cov.det() - expect).abs() / expect < 1e-2);
+    }
+
+    /// IdSet operations: inserted ids are members, jaccard is symmetric and
+    /// bounded.
+    #[test]
+    fn idset_properties(ids_a in prop::collection::vec(0usize..256, 0..40),
+                        ids_b in prop::collection::vec(0usize..256, 0..40)) {
+        let mut a = IdSet::with_capacity(256);
+        let mut b = IdSet::with_capacity(256);
+        for &id in &ids_a { a.insert(id); }
+        for &id in &ids_b { b.insert(id); }
+        for &id in &ids_a { prop_assert!(a.contains(id)); }
+        let j_ab = a.jaccard(&b);
+        let j_ba = b.jaccard(&a);
+        prop_assert!((j_ab - j_ba).abs() < 1e-6);
+        prop_assert!((0.0..=1.0).contains(&j_ab));
+        prop_assert!((a.overlap_fraction(&a) - 1.0).abs() < 1e-6);
+    }
+}
