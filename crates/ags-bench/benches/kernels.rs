@@ -1,18 +1,102 @@
-//! Criterion micro-benchmarks of the performance-critical kernels.
+//! Micro-benchmarks of the performance-critical kernels.
+//!
+//! Times the two hot paths the AGS hardware accelerates — CODEC motion
+//! estimation and tile rasterization — in serial and parallel mode, checks
+//! the parallel output is bit-identical before trusting its timing, prints a
+//! table, and writes the machine-readable `BENCH_kernels.json` into the
+//! workspace root so the perf trajectory is tracked from PR 1 onwards.
+//!
+//! Run: `cargo bench -p ags-bench --bench kernels`
+//! Env: `AGS_BENCH_THREADS=<n>` overrides the parallel worker count.
 
-use ags_codec::{CodecConfig, LumaPlane, MotionEstimator};
+use ags_codec::{CodecConfig, LumaPlane, MotionEstimator, SearchKind};
+use ags_math::parallel::Parallelism;
 use ags_math::{Se3, Vec3};
 use ags_scene::PinholeCamera;
 use ags_sim::{GpeArrayConfig, GpeArraySim};
 use ags_splat::render::{render, RenderOptions};
 use ags_splat::{Gaussian, GaussianCloud};
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use std::path::PathBuf;
+use std::time::Instant;
 
-fn bench_render(c: &mut Criterion) {
+/// Median wall-clock seconds of one invocation over `samples` timed batches.
+fn time_it<F: FnMut()>(samples: usize, iters: usize, mut f: F) -> f64 {
+    f(); // warm-up
+    let mut per_iter: Vec<f64> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            start.elapsed().as_secs_f64() / iters as f64
+        })
+        .collect();
+    per_iter.sort_unstable_by(f64::total_cmp);
+    per_iter[per_iter.len() / 2]
+}
+
+struct MeResult {
+    serial_blocks_per_s: f64,
+    parallel_blocks_per_s: f64,
+    speedup: f64,
+    sad_evaluations: u64,
+}
+
+fn bench_motion_estimation(search: SearchKind, parallel: Parallelism) -> MeResult {
+    let (w, h) = (512usize, 384usize);
+    let reference = LumaPlane::from_fn(w, h, |x, y| (((x * 13 + y * 7) ^ (x * y / 5)) % 251) as u8);
+    let current = LumaPlane::from_fn(w, h, |x, y| {
+        ((((x + 3) * 13 + (y + 1) * 7) ^ ((x + 3) * (y + 1) / 5)) % 251) as u8
+    });
+    let serial_est = MotionEstimator::new(CodecConfig {
+        search,
+        parallelism: Parallelism::serial(),
+        ..CodecConfig::default()
+    });
+    let parallel_est = MotionEstimator::new(CodecConfig {
+        search,
+        parallelism: parallel,
+        ..CodecConfig::default()
+    });
+
+    let expect = serial_est.estimate(&current, &reference);
+    assert_eq!(
+        expect,
+        parallel_est.estimate(&current, &reference),
+        "parallel ME must be bit-identical"
+    );
+    let blocks = (expect.field.mb_cols * expect.field.mb_rows) as f64;
+
+    let (samples, iters) = match search {
+        SearchKind::Diamond => (5, 20),
+        SearchKind::FullSearch => (3, 2),
+    };
+    let t_serial = time_it(samples, iters, || {
+        black_box(serial_est.estimate(black_box(&current), black_box(&reference)));
+    });
+    let t_parallel = time_it(samples, iters, || {
+        black_box(parallel_est.estimate(black_box(&current), black_box(&reference)));
+    });
+    MeResult {
+        serial_blocks_per_s: blocks / t_serial,
+        parallel_blocks_per_s: blocks / t_parallel,
+        speedup: t_serial / t_parallel,
+        sad_evaluations: expect.sad_evaluations,
+    }
+}
+
+struct RasterResult {
+    tiles: usize,
+    serial_tiles_per_s: f64,
+    parallel_tiles_per_s: f64,
+    speedup: f64,
+}
+
+fn bench_rasterization(parallel: Parallelism) -> RasterResult {
     let mut cloud = GaussianCloud::new();
     let mut rng = ags_math::Pcg32::seeded(1);
-    for _ in 0..2000 {
+    for _ in 0..4000 {
         cloud.push(Gaussian::isotropic(
             Vec3::new(rng.range_f32(-2.0, 2.0), rng.range_f32(-1.5, 1.5), rng.range_f32(1.0, 5.0)),
             rng.range_f32(0.02, 0.1),
@@ -20,40 +104,116 @@ fn bench_render(c: &mut Criterion) {
             rng.range_f32(0.3, 0.9),
         ));
     }
-    let camera = PinholeCamera::from_fov(128, 96, 1.3);
-    c.bench_function("render_2k_gaussians_128x96", |b| {
-        b.iter(|| {
-            black_box(render(
-                black_box(&cloud),
-                &camera,
-                &Se3::IDENTITY,
-                &RenderOptions::default(),
-            ))
-        })
+    let camera = PinholeCamera::from_fov(256, 192, 1.3);
+    let serial_opts = RenderOptions { parallelism: Parallelism::serial(), ..Default::default() };
+    let parallel_opts = RenderOptions { parallelism: parallel, ..Default::default() };
+
+    let expect = render(&cloud, &camera, &Se3::IDENTITY, &serial_opts);
+    let got = render(&cloud, &camera, &Se3::IDENTITY, &parallel_opts);
+    assert_eq!(expect.color.pixels(), got.color.pixels(), "parallel raster must be bit-identical");
+    let tiles = ags_splat::tiles::TileGrid::for_camera(&camera).num_tiles();
+
+    let t_serial = time_it(5, 3, || {
+        black_box(render(black_box(&cloud), &camera, &Se3::IDENTITY, &serial_opts));
     });
+    let t_parallel = time_it(5, 3, || {
+        black_box(render(black_box(&cloud), &camera, &Se3::IDENTITY, &parallel_opts));
+    });
+    RasterResult {
+        tiles,
+        serial_tiles_per_s: tiles as f64 / t_serial,
+        parallel_tiles_per_s: tiles as f64 / t_parallel,
+        speedup: t_serial / t_parallel,
+    }
 }
 
-fn bench_motion_estimation(c: &mut Criterion) {
-    let a = LumaPlane::from_fn(128, 96, |x, y| ((x * 13 + y * 7) % 251) as u8);
-    let b_plane = LumaPlane::from_fn(128, 96, |x, y| (((x + 2) * 13 + y * 7) % 251) as u8);
-    let est = MotionEstimator::new(CodecConfig::default());
-    c.bench_function("diamond_me_128x96", |bch| {
-        bch.iter(|| black_box(est.estimate(black_box(&b_plane), black_box(&a))))
-    });
-}
-
-fn bench_gpe_sim(c: &mut Criterion) {
+fn bench_gpe_sim() -> f64 {
     let sim = GpeArraySim::new(GpeArrayConfig::default());
     let evals: Vec<u16> = (0..256).map(|i| 10 + (i % 37) as u16).collect();
     let blends: Vec<u16> = evals.iter().map(|&e| e / 2).collect();
-    c.bench_function("gpe_tile_cycles_256px", |b| {
-        b.iter(|| black_box(sim.tile_cycles(black_box(&evals), black_box(&blends))))
-    });
+    time_it(5, 2000, || {
+        black_box(sim.tile_cycles(black_box(&evals), black_box(&blends)));
+    }) * 1e9
 }
 
-criterion_group! {
-    name = kernels;
-    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_render, bench_motion_estimation, bench_gpe_sim
+fn out_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_kernels.json")
 }
-criterion_main!(kernels);
+
+fn main() {
+    let threads =
+        std::env::var("AGS_BENCH_THREADS").ok().and_then(|v| v.parse::<usize>().ok()).unwrap_or(0);
+    let parallel =
+        if threads > 0 { Parallelism::with_threads(threads) } else { Parallelism::default() };
+    let workers = parallel.effective_threads();
+    println!("kernel benchmarks — {workers} parallel worker(s)\n");
+
+    let diamond = bench_motion_estimation(SearchKind::Diamond, parallel);
+    println!(
+        "motion estimation / diamond    512x384: serial {:>12.0} blocks/s  parallel {:>12.0} blocks/s  speedup {:.2}x",
+        diamond.serial_blocks_per_s, diamond.parallel_blocks_per_s, diamond.speedup
+    );
+    let full = bench_motion_estimation(SearchKind::FullSearch, parallel);
+    println!(
+        "motion estimation / full       512x384: serial {:>12.0} blocks/s  parallel {:>12.0} blocks/s  speedup {:.2}x",
+        full.serial_blocks_per_s, full.parallel_blocks_per_s, full.speedup
+    );
+    let raster = bench_rasterization(parallel);
+    println!(
+        "rasterization 4k gaussians     256x192: serial {:>12.0} tiles/s   parallel {:>12.0} tiles/s   speedup {:.2}x",
+        raster.serial_tiles_per_s, raster.parallel_tiles_per_s, raster.speedup
+    );
+    let gpe_ns = bench_gpe_sim();
+    println!("gpe cycle model                 256 px: {gpe_ns:>12.0} ns/tile");
+
+    let json = format!(
+        r#"{{
+  "bench": "kernels",
+  "threads": {workers},
+  "motion_estimation": {{
+    "frame": [512, 384],
+    "mb_size": 8,
+    "diamond": {{
+      "serial_blocks_per_s": {:.1},
+      "parallel_blocks_per_s": {:.1},
+      "speedup": {:.3},
+      "sad_evaluations": {}
+    }},
+    "full_search": {{
+      "serial_blocks_per_s": {:.1},
+      "parallel_blocks_per_s": {:.1},
+      "speedup": {:.3},
+      "sad_evaluations": {}
+    }}
+  }},
+  "rasterization": {{
+    "frame": [256, 192],
+    "gaussians": 4000,
+    "tiles": {},
+    "serial_tiles_per_s": {:.1},
+    "parallel_tiles_per_s": {:.1},
+    "speedup": {:.3}
+  }},
+  "gpe_sim_ns_per_tile": {:.1}
+}}
+"#,
+        diamond.serial_blocks_per_s,
+        diamond.parallel_blocks_per_s,
+        diamond.speedup,
+        diamond.sad_evaluations,
+        full.serial_blocks_per_s,
+        full.parallel_blocks_per_s,
+        full.speedup,
+        full.sad_evaluations,
+        raster.tiles,
+        raster.serial_tiles_per_s,
+        raster.parallel_tiles_per_s,
+        raster.speedup,
+        gpe_ns,
+    );
+    let path = out_path();
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("\nwarning: could not write {}: {e}", path.display()),
+    }
+}

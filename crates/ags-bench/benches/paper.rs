@@ -27,10 +27,8 @@ fn emit(table: Table) {
 }
 
 fn main() {
-    let filters: Vec<String> = std::env::args()
-        .skip(1)
-        .filter(|a| !a.starts_with('-') && a != "bench")
-        .collect();
+    let filters: Vec<String> =
+        std::env::args().skip(1).filter(|a| !a.starts_with('-') && a != "bench").collect();
     let wants = |id: &str| filters.is_empty() || filters.iter().any(|f| id.contains(f.as_str()));
 
     let profile = BenchProfile::default();

@@ -5,8 +5,8 @@ use ags_core::{AgsConfig, AgsSlam};
 use ags_scene::dataset::{Dataset, DatasetConfig, SceneId};
 use ags_slam::{evaluate_map, BaselineSlam, EvalSummary, SlamConfig};
 use ags_splat::audit::audit_contributions;
-use ags_track::classical::{ClassicalConfig, ClassicalTracker};
 use ags_track::ate::ate_rmse;
+use ags_track::classical::{ClassicalConfig, ClassicalTracker};
 use std::collections::HashMap;
 
 /// Workload scale of a benchmark run.
@@ -154,8 +154,7 @@ pub fn run_scene(id: SceneId, profile: &BenchProfile, ags_config: AgsConfig) -> 
     }
     let eval_baseline =
         evaluate_map(baseline.cloud(), &dataset.camera, baseline.trajectory(), &dataset, 4);
-    let trace_baseline =
-        WorkloadTrace::from_baseline(&base_records, profile.width, profile.height);
+    let trace_baseline = WorkloadTrace::from_baseline(&base_records, profile.width, profile.height);
 
     // AGS.
     let mut ags = AgsSlam::new(ags_config);
@@ -172,8 +171,7 @@ pub fn run_scene(id: SceneId, profile: &BenchProfile, ags_config: AgsConfig) -> 
         frac_sum += audit.non_contributory_fraction();
         frac_n += 1;
     }
-    let fp_rates: Vec<f32> =
-        ags.trace().frames.iter().filter_map(|f| f.fp_rate).collect();
+    let fp_rates: Vec<f32> = ags.trace().frames.iter().filter_map(|f| f.fp_rate).collect();
     let mean_fp_rate = if fp_rates.is_empty() {
         0.0
     } else {
@@ -188,8 +186,9 @@ pub fn run_scene(id: SceneId, profile: &BenchProfile, ags_config: AgsConfig) -> 
     let mut classical_traj = Vec::new();
     for frame in &dataset.frames {
         let gray = frame.rgb.to_gray();
-        classical_traj
-            .push(classical.track(&dataset.camera, &gray, &frame.depth, dataset.frames[0].gt_pose).pose);
+        classical_traj.push(
+            classical.track(&dataset.camera, &gray, &frame.depth, dataset.frames[0].gt_pose).pose,
+        );
     }
     let classical_ate_cm = ate_rmse(&classical_traj, &dataset.gt_trajectory()) * 100.0;
 

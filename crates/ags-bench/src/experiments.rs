@@ -34,7 +34,8 @@ pub fn table1(ctx: &mut Context) -> Table {
     );
     let gpu = GpuModel::a100();
     let run = ctx.run(SceneId::Desk);
-    let base_ms = gpu.run_trace(&run.trace_baseline).total_ms / run.trace_baseline.frames.len() as f64;
+    let base_ms =
+        gpu.run_trace(&run.trace_baseline).total_ms / run.trace_baseline.frames.len() as f64;
     let ags_model = AgsModel::new(AgsVariant::server());
     let ags_ms = ags_model.run_trace(&run.trace_ags).total_ms / run.trace_ags.frames.len() as f64;
     t.push_row(vec![
@@ -156,11 +157,7 @@ pub fn fig04(profile: &BenchProfile) -> Table {
             base_low = low;
         }
         let acc = |err: f32, base: f32| 100.0 * (base / err).min(1.0);
-        t.push_row(vec![
-            iters.to_string(),
-            f2(acc(high, base_high)),
-            f2(acc(low, base_low)),
-        ]);
+        t.push_row(vec![iters.to_string(), f2(acc(high, base_high)), f2(acc(low, base_low))]);
     }
     t
 }
@@ -212,8 +209,10 @@ pub fn fig06(ctx: &mut Context) -> Table {
                 codec.estimate(&b, &a).covisibility(codec.config())
             };
             let map = run.final_cloud();
-            let audit_a = audit_contributions(map, &run.dataset.camera, &run.dataset.frames[i].gt_pose);
-            let audit_b = audit_contributions(map, &run.dataset.camera, &run.dataset.frames[j].gt_pose);
+            let audit_a =
+                audit_contributions(map, &run.dataset.camera, &run.dataset.frames[i].gt_pose);
+            let audit_b =
+                audit_contributions(map, &run.dataset.camera, &run.dataset.frames[j].gt_pose);
             samples.push((fc.level().0, contribution_similarity(&audit_a, &audit_b)));
         }
         columns.push(samples);
@@ -289,13 +288,7 @@ pub fn fig15(ctx: &mut Context) -> Table {
     let mut t = Table::new(
         "fig15",
         "Speedup over the GPU baseline (higher is better)",
-        &[
-            "Scene",
-            "GSCore-Server",
-            "AGS-Server",
-            "GSCore-Edge",
-            "AGS-Edge",
-        ],
+        &["Scene", "GSCore-Server", "AGS-Server", "GSCore-Edge", "AGS-Edge"],
     );
     let mut cols: [Vec<f32>; 4] = Default::default();
     for id in SceneId::ALL {
@@ -303,8 +296,7 @@ pub fn fig15(ctx: &mut Context) -> Table {
         let base_s = GpuModel::a100().run_trace(&run.trace_baseline).total_ms;
         let base_e = GpuModel::xavier().run_trace(&run.trace_baseline).total_ms;
         let gs_s = base_s / GsCoreModel::server().run_trace(&run.trace_baseline).total_ms;
-        let ags_s =
-            base_s / AgsModel::new(AgsVariant::server()).run_trace(&run.trace_ags).total_ms;
+        let ags_s = base_s / AgsModel::new(AgsVariant::server()).run_trace(&run.trace_ags).total_ms;
         let gs_e = base_e / GsCoreModel::edge().run_trace(&run.trace_baseline).total_ms;
         let ags_e = base_e / AgsModel::new(AgsVariant::edge()).run_trace(&run.trace_ags).total_ms;
         for (c, v) in cols.iter_mut().zip([gs_s, ags_s, gs_e, ags_e]) {
@@ -417,8 +409,7 @@ pub fn fig18(ctx: &mut Context) -> Table {
             / AgsModel::with_features(AgsVariant::server(), off).run_trace(&run.trace_ags).total_ms;
         let mat_gcm = base
             / AgsModel::with_features(AgsVariant::server(), gcm).run_trace(&run.trace_ags).total_ms;
-        let full =
-            base / AgsModel::new(AgsVariant::server()).run_trace(&run.trace_ags).total_ms;
+        let full = base / AgsModel::new(AgsVariant::server()).run_trace(&run.trace_ags).total_ms;
         for (c, v) in cols.iter_mut().zip([gpu_ags, mat, mat_gcm, full]) {
             c.push(v as f32);
         }

@@ -2,6 +2,7 @@
 
 use crate::covisibility::Covisibility;
 use crate::plane::LumaPlane;
+use ags_math::parallel::{par_map_ranges, Parallelism};
 
 /// Search strategy for block matching.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -30,11 +31,21 @@ pub struct CodecConfig {
     /// the paper's `ThreshT = 0.9` and fast-motion bursts (MAD ≥ 15) fall
     /// below it.
     pub norm_mad: f32,
+    /// Thread-level parallelism of [`MotionEstimator::estimate`]. The
+    /// parallel path distributes macro-block rows across workers and is
+    /// bit-identical to `Parallelism::serial()`.
+    pub parallelism: Parallelism,
 }
 
 impl Default for CodecConfig {
     fn default() -> Self {
-        Self { mb_size: 8, search_range: 8, search: SearchKind::Diamond, norm_mad: 80.0 }
+        Self {
+            mb_size: 8,
+            search_range: 8,
+            search: SearchKind::Diamond,
+            norm_mad: 80.0,
+            parallelism: Parallelism::default(),
+        }
     }
 }
 
@@ -75,11 +86,8 @@ impl MotionField {
         if self.entries.is_empty() {
             return 0.0;
         }
-        let sum: f32 = self
-            .entries
-            .iter()
-            .map(|e| ((e.mv.0 * e.mv.0 + e.mv.1 * e.mv.1) as f32).sqrt())
-            .sum();
+        let sum: f32 =
+            self.entries.iter().map(|e| ((e.mv.0 * e.mv.0 + e.mv.1 * e.mv.1) as f32).sqrt()).sum();
         sum / self.entries.len() as f32
     }
 }
@@ -126,6 +134,10 @@ impl MotionEstimator {
 
     /// Runs motion estimation of `current` against `reference`.
     ///
+    /// Macro-block rows are distributed across worker threads according to
+    /// `config.parallelism`; per-MB results are merged back in row-major
+    /// order, so the output is bit-identical to the serial path.
+    ///
     /// # Panics
     ///
     /// Panics when plane dimensions differ or are smaller than one MB.
@@ -137,20 +149,36 @@ impl MotionEstimator {
 
         let mb_cols = current.width() / mb;
         let mb_rows = current.height() / mb;
+
+        // Below ~512 MBs (tiny SLAM frames) thread-spawn cost dominates the
+        // search work; auto mode drops to the serial path there.
+        let par = self.config.parallelism.for_workload(mb_cols * mb_rows, 512);
+        let row_chunks = par_map_ranges(&par, mb_rows, 1, |rows| {
+            let mut entries = Vec::with_capacity(rows.len() * mb_cols);
+            let mut evals = 0u64;
+            let mut scratch = SearchScratch::new(self.config.search_range);
+            for row in rows {
+                for col in 0..mb_cols {
+                    let x = col * mb;
+                    let y = row * mb;
+                    let (m, e) = match self.config.search {
+                        SearchKind::FullSearch => self.full_search(current, reference, x, y),
+                        SearchKind::Diamond => {
+                            self.diamond_search(current, reference, x, y, &mut scratch)
+                        }
+                    };
+                    evals += e;
+                    entries.push(m);
+                }
+            }
+            (entries, evals)
+        });
+
         let mut entries = Vec::with_capacity(mb_cols * mb_rows);
         let mut evals = 0u64;
-
-        for row in 0..mb_rows {
-            for col in 0..mb_cols {
-                let x = col * mb;
-                let y = row * mb;
-                let (m, e) = match self.config.search {
-                    SearchKind::FullSearch => self.full_search(current, reference, x, y),
-                    SearchKind::Diamond => self.diamond_search(current, reference, x, y),
-                };
-                evals += e;
-                entries.push(m);
-            }
+        for (chunk_entries, chunk_evals) in row_chunks {
+            entries.extend(chunk_entries);
+            evals += chunk_evals;
         }
 
         MotionResult {
@@ -160,6 +188,10 @@ impl MotionEstimator {
         }
     }
 
+    /// SAD of the candidate at displacement `(dx, dy)`, abandoned early once
+    /// it provably exceeds `bound` (see [`LumaPlane::block_sad_bounded`]).
+    /// `None` when the candidate block falls outside the reference picture.
+    #[allow(clippy::too_many_arguments)]
     fn candidate_sad(
         &self,
         current: &LumaPlane,
@@ -168,6 +200,7 @@ impl MotionEstimator {
         y: usize,
         dx: i32,
         dy: i32,
+        bound: u32,
     ) -> Option<u32> {
         let mb = self.config.mb_size;
         let rx = x as i32 + dx;
@@ -179,7 +212,7 @@ impl MotionEstimator {
         {
             return None;
         }
-        Some(current.block_sad(x, y, reference, rx as usize, ry as usize, mb))
+        Some(current.block_sad_bounded(x, y, reference, rx as usize, ry as usize, mb, bound))
     }
 
     fn full_search(
@@ -194,7 +227,13 @@ impl MotionEstimator {
         let mut evals = 0u64;
         for dy in -r..=r {
             for dx in -r..=r {
-                if let Some(sad) = self.candidate_sad(current, reference, x, y, dx, dy) {
+                // `bound = best.min_sad` keeps every SAD that could win —
+                // including ties, which the mv-cost rule below arbitrates —
+                // exact, so the bounded search picks the same match as the
+                // unbounded one.
+                if let Some(sad) =
+                    self.candidate_sad(current, reference, x, y, dx, dy, best.min_sad)
+                {
                     evals += 1;
                     // Prefer the zero vector on ties (hardware behaviour —
                     // shorter MVs cost fewer bits).
@@ -218,6 +257,7 @@ impl MotionEstimator {
         reference: &LumaPlane,
         x: usize,
         y: usize,
+        scratch: &mut SearchScratch,
     ) -> (MbMatch, u64) {
         const LDSP: [(i32, i32); 9] =
             [(0, 0), (0, -2), (1, -1), (2, 0), (1, 1), (0, 2), (-1, 1), (-2, 0), (-1, -1)];
@@ -227,6 +267,7 @@ impl MotionEstimator {
         let mut center = (0i32, 0i32);
         let mut evals = 0u64;
         let mut best_sad = u32::MAX;
+        scratch.begin_block();
 
         // Large diamond until the center wins (bounded by the search range).
         loop {
@@ -235,7 +276,14 @@ impl MotionEstimator {
             for &(ox, oy) in &LDSP {
                 let dx = (center.0 + ox).clamp(-r, r);
                 let dy = (center.1 + oy).clamp(-r, r);
-                if let Some(sad) = self.candidate_sad(current, reference, x, y, dx, dy) {
+                // Successive LDSP steps overlap (and clamping aliases
+                // candidates); each position is evaluated — and counted —
+                // once. A revisited candidate can never beat the best SAD
+                // recorded at its first evaluation, so skipping is exact.
+                if !scratch.first_visit(dx, dy) {
+                    continue;
+                }
+                if let Some(sad) = self.candidate_sad(current, reference, x, y, dx, dy, best_sad) {
                     evals += 1;
                     if sad < best_sad {
                         best_sad = sad;
@@ -258,7 +306,10 @@ impl MotionEstimator {
         for &(ox, oy) in &SDSP {
             let dx = (center.0 + ox).clamp(-r, r);
             let dy = (center.1 + oy).clamp(-r, r);
-            if let Some(sad) = self.candidate_sad(current, reference, x, y, dx, dy) {
+            if !scratch.first_visit(dx, dy) {
+                continue;
+            }
+            if let Some(sad) = self.candidate_sad(current, reference, x, y, dx, dy, best.min_sad) {
                 evals += 1;
                 if sad < best.min_sad {
                     best = MbMatch { mv: (dx, dy), min_sad: sad };
@@ -269,6 +320,46 @@ impl MotionEstimator {
             best.min_sad = 0;
         }
         (best, evals)
+    }
+}
+
+/// Reusable visited-candidate table for one search worker.
+///
+/// Stamp-based: `begin_block` bumps a generation counter instead of clearing
+/// the table, so the per-MB cost is O(1) while lookups stay exact.
+#[derive(Debug, Clone)]
+struct SearchScratch {
+    visited: Vec<u32>,
+    stamp: u32,
+    side: i32,
+}
+
+impl SearchScratch {
+    fn new(search_range: i32) -> Self {
+        let side = 2 * search_range + 1;
+        Self { visited: vec![0; (side * side) as usize], stamp: 0, side }
+    }
+
+    fn begin_block(&mut self) {
+        self.stamp = self.stamp.wrapping_add(1);
+        if self.stamp == 0 {
+            // Wrapped: old entries could alias the fresh stamp; reset.
+            self.visited.fill(0);
+            self.stamp = 1;
+        }
+    }
+
+    /// Marks `(dx, dy)` visited; returns `false` when it already was.
+    fn first_visit(&mut self, dx: i32, dy: i32) -> bool {
+        let r = (self.side - 1) / 2;
+        debug_assert!(dx.abs() <= r && dy.abs() <= r);
+        let idx = ((dy + r) * self.side + (dx + r)) as usize;
+        if self.visited[idx] == self.stamp {
+            false
+        } else {
+            self.visited[idx] = self.stamp;
+            true
+        }
     }
 }
 
@@ -334,6 +425,99 @@ mod tests {
         // with far fewer evaluations.
         assert_eq!(diamond.field.at(2, 2).min_sad, full.field.at(2, 2).min_sad);
         assert!(diamond.sad_evaluations < full.sad_evaluations / 3);
+    }
+
+    #[test]
+    fn parallel_estimate_is_bit_identical_to_serial() {
+        let reference = textured_plane(96, 72, 3);
+        let current = textured_plane(96, 72, 0);
+        for search in [SearchKind::FullSearch, SearchKind::Diamond] {
+            let serial = MotionEstimator::new(CodecConfig {
+                search,
+                parallelism: Parallelism::serial(),
+                ..CodecConfig::default()
+            })
+            .estimate(&current, &reference);
+            for threads in [2, 4, 7] {
+                let parallel = MotionEstimator::new(CodecConfig {
+                    search,
+                    parallelism: Parallelism::with_threads(threads),
+                    ..CodecConfig::default()
+                })
+                .estimate(&current, &reference);
+                assert_eq!(serial, parallel, "{search:?} with {threads} threads");
+            }
+        }
+    }
+
+    #[test]
+    fn diamond_counts_each_candidate_once() {
+        // On identical frames the first LDSP round terminates immediately:
+        // 9 LDSP candidates, and the SDSP ring adds 4 fresh ones (its center
+        // is the already-visited LDSP center) -> 13 unique candidates per MB,
+        // minus those falling outside the reference picture. The old code
+        // re-evaluated the SDSP center, over-counting by one per MB.
+        const UNIQUE: [(i32, i32); 13] = [
+            (0, 0),
+            (0, -2),
+            (1, -1),
+            (2, 0),
+            (1, 1),
+            (0, 2),
+            (-1, 1),
+            (-2, 0),
+            (-1, -1),
+            (0, -1),
+            (1, 0),
+            (0, 1),
+            (-1, 0),
+        ];
+        let (w, h, mb) = (32usize, 32usize, 8i32);
+        let p = textured_plane(w, h, 0);
+        let est = MotionEstimator::new(CodecConfig {
+            search: SearchKind::Diamond,
+            ..CodecConfig::default()
+        });
+        let result = est.estimate(&p, &p);
+        let mut expected = 0u64;
+        for row in 0..result.field.mb_rows {
+            for col in 0..result.field.mb_cols {
+                let (x, y) = (col as i32 * mb, row as i32 * mb);
+                expected += UNIQUE
+                    .iter()
+                    .filter(|(dx, dy)| {
+                        x + dx >= 0
+                            && y + dy >= 0
+                            && x + dx + mb <= w as i32
+                            && y + dy + mb <= h as i32
+                    })
+                    .count() as u64;
+            }
+        }
+        assert_eq!(result.sad_evaluations, expected);
+    }
+
+    #[test]
+    fn diamond_min_sad_never_beats_full_search() {
+        // Full search is exhaustive: per MB its minimum is a lower bound on
+        // whatever the heuristic diamond search settles on.
+        for shift in [0usize, 1, 2, 5] {
+            let reference = textured_plane(64, 48, shift);
+            let current = textured_plane(64, 48, 0);
+            let full = MotionEstimator::new(CodecConfig {
+                search: SearchKind::FullSearch,
+                ..CodecConfig::default()
+            })
+            .estimate(&current, &reference);
+            let diamond = MotionEstimator::new(CodecConfig {
+                search: SearchKind::Diamond,
+                ..CodecConfig::default()
+            })
+            .estimate(&current, &reference);
+            for (f, d) in full.field.entries.iter().zip(&diamond.field.entries) {
+                assert!(d.min_sad >= f.min_sad, "shift {shift}: {d:?} vs {f:?}");
+            }
+        }
     }
 
     #[test]

@@ -91,6 +91,43 @@ impl LumaPlane {
         }
         sad
     }
+
+    /// [`block_sad`](Self::block_sad) with an early exit: the row loop
+    /// abandons the sum as soon as the partial SAD exceeds `bound`.
+    ///
+    /// The return value is the exact SAD whenever it is `<= bound`; otherwise
+    /// it is some partial sum that is already `> bound`. Block-matching
+    /// searches pass their current best SAD as `bound`: any candidate whose
+    /// true SAD could still win (`<= bound`, covering ties) is computed
+    /// exactly, so the search selects the same best match as with the
+    /// unbounded SAD while skipping most of the arithmetic on losers.
+    #[inline]
+    #[allow(clippy::too_many_arguments)]
+    pub fn block_sad_bounded(
+        &self,
+        x: usize,
+        y: usize,
+        reference: &LumaPlane,
+        rx: usize,
+        ry: usize,
+        block: usize,
+        bound: u32,
+    ) -> u32 {
+        debug_assert!(x + block <= self.width && y + block <= self.height);
+        debug_assert!(rx + block <= reference.width && ry + block <= reference.height);
+        let mut sad = 0u32;
+        for row in 0..block {
+            let a = &self.data[(y + row) * self.width + x..][..block];
+            let b = &reference.data[(ry + row) * reference.width + rx..][..block];
+            for (pa, pb) in a.iter().zip(b) {
+                sad += pa.abs_diff(*pb) as u32;
+            }
+            if sad > bound {
+                return sad;
+            }
+        }
+        sad
+    }
 }
 
 #[cfg(test)]
@@ -132,6 +169,20 @@ mod tests {
         let unaligned = current.block_sad(8, 4, &reference, 8, 4, 8);
         assert_eq!(aligned, 0);
         assert!(unaligned > 0);
+    }
+
+    #[test]
+    fn bounded_sad_is_exact_up_to_the_bound() {
+        let a = LumaPlane::from_fn(16, 16, |x, y| ((x * 31 + y * 17) % 256) as u8);
+        let b = LumaPlane::from_fn(16, 16, |x, y| ((x * 13 + y * 29 + 5) % 256) as u8);
+        let exact = a.block_sad(2, 3, &b, 4, 1, 8);
+        // Any bound at or above the true SAD returns the exact value.
+        assert_eq!(a.block_sad_bounded(2, 3, &b, 4, 1, 8, exact), exact);
+        assert_eq!(a.block_sad_bounded(2, 3, &b, 4, 1, 8, u32::MAX), exact);
+        // A tighter bound may exit early but must report a sum above it.
+        let early = a.block_sad_bounded(2, 3, &b, 4, 1, 8, exact / 4);
+        assert!(early > exact / 4);
+        assert!(early <= exact);
     }
 
     #[test]

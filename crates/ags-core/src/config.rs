@@ -1,6 +1,7 @@
 //! AGS hyper-parameters (paper §4.3 and §6.6).
 
 use ags_codec::CodecConfig;
+use ags_math::Parallelism;
 use ags_slam::SlamConfig;
 use ags_track::coarse::CoarseConfig;
 
@@ -36,6 +37,11 @@ pub struct AgsConfig {
     /// Record the ground-truth non-contributory sets on non-key frames to
     /// measure the false-positive rate (§6.2). Costs an extra audit render.
     pub audit_false_positives: bool,
+    /// Thread-level parallelism of the hot kernels (CODEC motion estimation,
+    /// tile binning, rasterization). Applied on top of `codec.parallelism`
+    /// by [`crate::pipeline::AgsSlam::new`]; parallel execution is
+    /// bit-identical to [`Parallelism::serial()`].
+    pub parallelism: Parallelism,
 }
 
 impl Default for AgsConfig {
@@ -49,6 +55,7 @@ impl Default for AgsConfig {
             coarse: CoarseConfig::default(),
             codec: CodecConfig::default(),
             audit_false_positives: false,
+            parallelism: Parallelism::default(),
         }
     }
 }
@@ -83,7 +90,7 @@ mod tests {
     fn thresh_n_scales_with_resolution() {
         let c = AgsConfig::default();
         let small = c.thresh_n_pixels(128, 96);
-        assert!(small >= 17 && small <= 19, "128x96 -> ~18 px, got {small}");
+        assert!((17..=19).contains(&small), "128x96 -> ~18 px, got {small}");
         assert!(c.thresh_n_pixels(64, 48) >= 1);
     }
 

@@ -81,11 +81,7 @@ mod tests {
 
     fn noisy_frame(seed: u64) -> RgbImage {
         let mut rng = Pcg32::seeded(seed);
-        RgbImage::from_vec(
-            32,
-            32,
-            (0..32 * 32).map(|_| Vec3::splat(rng.next_f32())).collect(),
-        )
+        RgbImage::from_vec(32, 32, (0..32 * 32).map(|_| Vec3::splat(rng.next_f32())).collect())
     }
 
     #[test]

@@ -66,7 +66,13 @@ pub struct AgsSlam {
 
 impl AgsSlam {
     /// Creates an AGS system.
-    pub fn new(config: AgsConfig) -> Self {
+    pub fn new(mut config: AgsConfig) -> Self {
+        // One knob rules the whole pipeline: the CODEC inherits the
+        // system-level parallelism setting — unless the caller configured
+        // the codec's own knob away from its default.
+        if config.codec.parallelism == ags_math::Parallelism::default() {
+            config.codec.parallelism = config.parallelism;
+        }
         let fc = FcDetector::new(config.codec, config.thresh_t, config.thresh_m);
         let refiner = GsPoseRefiner::new(RefineConfig {
             iterations: config.iter_t,
@@ -173,8 +179,9 @@ impl AgsSlam {
         // skips *computation* on recorded Gaussians, it does not stop the map
         // from growing where new content appears.
         if frame_index % self.config.slam.densify_interval.max(1) == 0 {
-            let rendered =
-                ags_splat::render::render(&self.cloud, camera, &pose, &RenderOptions::default());
+            let options =
+                RenderOptions { parallelism: self.config.parallelism, ..RenderOptions::default() };
+            let rendered = ags_splat::render::render(&self.cloud, camera, &pose, &options);
             record.mapping.add_render(&rendered.stats);
             if self.config.slam.backbone == Backbone::GaussianSlam
                 && is_keyframe
@@ -196,8 +203,7 @@ impl AgsSlam {
         }
 
         let thresh_n = self.config.thresh_n_pixels(camera.width, camera.height);
-        let window =
-            self.keyframes.mapping_window(self.config.slam.mapping_window, &mut self.rng);
+        let window = self.keyframes.mapping_window(self.config.slam.mapping_window, &mut self.rng);
         let window_data: Vec<(Se3, RgbImage, DepthImage)> =
             window.iter().map(|kf| (kf.pose, kf.rgb.clone(), kf.depth.clone())).collect();
         drop(window);
@@ -255,7 +261,11 @@ impl AgsSlam {
                 &self.cloud,
                 camera,
                 &pose,
-                &RenderOptions { record_contributions: true, ..Default::default() },
+                &RenderOptions {
+                    record_contributions: true,
+                    parallelism: self.config.parallelism,
+                    ..Default::default()
+                },
             );
             if let Some(stats) = audit.contributions {
                 record.fp_rate = Some(self.contribution.false_positive_rate(&stats, thresh_n));
@@ -297,9 +307,10 @@ impl AgsSlam {
             skip: skip.cloned(),
             record_contributions,
             collect_tile_work,
+            parallelism: self.config.parallelism,
         };
         let projection = project_gaussians(&self.cloud, camera, pose);
-        let tables = GaussianTables::build(&projection, camera);
+        let tables = GaussianTables::build_with(&projection, camera, &self.config.parallelism);
         let render = rasterize(&self.cloud, &projection, &tables, camera, &options);
         let loss = compute_loss(&render, rgb, depth, &self.config.slam.mapping_loss);
         let mut back =
@@ -314,8 +325,7 @@ impl AgsSlam {
             let lambda = self.config.slam.scale_regularisation;
             for g in self.cloud.gaussians_mut()[self.trainable_from..].iter_mut() {
                 let mean = (g.log_scale.x + g.log_scale.y + g.log_scale.z) / 3.0;
-                g.log_scale =
-                    g.log_scale * (1.0 - lambda) + ags_math::Vec3::splat(mean * lambda);
+                g.log_scale = g.log_scale * (1.0 - lambda) + ags_math::Vec3::splat(mean * lambda);
             }
         }
         let mut work = WorkUnits::default();
@@ -409,10 +419,8 @@ mod tests {
         }
         let base_trace =
             WorkloadTrace::from_baseline(&records, data.camera.width, data.camera.height);
-        let ags_gs_tracking: u64 =
-            ags.trace().frames.iter().map(|f| f.refine.render_alpha).sum();
-        let base_gs_tracking: u64 =
-            base_trace.frames.iter().map(|f| f.refine.render_alpha).sum();
+        let ags_gs_tracking: u64 = ags.trace().frames.iter().map(|f| f.refine.render_alpha).sum();
+        let base_gs_tracking: u64 = base_trace.frames.iter().map(|f| f.refine.render_alpha).sum();
         assert!(
             ags_gs_tracking < base_gs_tracking / 2,
             "AGS 3DGS tracking work {ags_gs_tracking} should be well below baseline {base_gs_tracking}"
@@ -420,11 +428,26 @@ mod tests {
     }
 
     #[test]
+    fn codec_inherits_system_parallelism_unless_set_explicitly() {
+        use ags_math::Parallelism;
+        // Default codec knob inherits the system-level setting.
+        let mut config = AgsConfig::tiny();
+        config.parallelism = Parallelism::with_threads(4);
+        let slam = AgsSlam::new(config);
+        assert_eq!(slam.config().codec.parallelism, Parallelism::with_threads(4));
+        // An explicitly configured codec knob survives.
+        let mut config = AgsConfig::tiny();
+        config.codec.parallelism = Parallelism::serial();
+        config.parallelism = Parallelism::with_threads(4);
+        let slam = AgsSlam::new(config);
+        assert_eq!(slam.config().codec.parallelism, Parallelism::serial());
+    }
+
+    #[test]
     fn fp_audit_produces_rates() {
         let config = AgsConfig { audit_false_positives: true, ..AgsConfig::tiny() };
         let (slam, _) = run_ags(config, 8);
-        let rates: Vec<f32> =
-            slam.trace().frames.iter().filter_map(|f| f.fp_rate).collect();
+        let rates: Vec<f32> = slam.trace().frames.iter().filter_map(|f| f.fp_rate).collect();
         assert!(!rates.is_empty(), "audit should produce FP rates");
         for r in &rates {
             assert!((0.0..=1.0).contains(r));

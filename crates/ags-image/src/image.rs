@@ -121,7 +121,11 @@ impl<T: Copy> Image<T> {
 
     /// Applies `f` to every pixel, producing a new image.
     pub fn map<U: Copy>(&self, mut f: impl FnMut(T) -> U) -> Image<U> {
-        Image { width: self.width, height: self.height, data: self.data.iter().map(|&v| f(v)).collect() }
+        Image {
+            width: self.width,
+            height: self.height,
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
     }
 }
 

@@ -12,9 +12,7 @@ pub struct Mat2 {
 
 impl Mat2 {
     /// Identity matrix.
-    pub const IDENTITY: Self = Self {
-        cols: [Vec2 { x: 1.0, y: 0.0 }, Vec2 { x: 0.0, y: 1.0 }],
-    };
+    pub const IDENTITY: Self = Self { cols: [Vec2 { x: 1.0, y: 0.0 }, Vec2 { x: 0.0, y: 1.0 }] };
 
     /// Builds from columns.
     #[inline]
@@ -89,9 +87,7 @@ impl Mat3 {
     };
 
     /// All-zero matrix.
-    pub const ZERO: Self = Self {
-        cols: [Vec3 { x: 0.0, y: 0.0, z: 0.0 }; 3],
-    };
+    pub const ZERO: Self = Self { cols: [Vec3 { x: 0.0, y: 0.0, z: 0.0 }; 3] };
 
     /// Builds from columns.
     #[inline]
@@ -103,9 +99,15 @@ impl Mat3 {
     #[inline]
     #[allow(clippy::too_many_arguments)]
     pub const fn from_rows(
-        m00: f32, m01: f32, m02: f32,
-        m10: f32, m11: f32, m12: f32,
-        m20: f32, m21: f32, m22: f32,
+        m00: f32,
+        m01: f32,
+        m02: f32,
+        m10: f32,
+        m11: f32,
+        m12: f32,
+        m20: f32,
+        m21: f32,
+        m22: f32,
     ) -> Self {
         Self::from_cols(
             Vec3 { x: m00, y: m10, z: m20 },
@@ -142,9 +144,15 @@ impl Mat3 {
     #[inline]
     pub fn transpose(&self) -> Self {
         Self::from_rows(
-            self.cols[0].x, self.cols[0].y, self.cols[0].z,
-            self.cols[1].x, self.cols[1].y, self.cols[1].z,
-            self.cols[2].x, self.cols[2].y, self.cols[2].z,
+            self.cols[0].x,
+            self.cols[0].y,
+            self.cols[0].z,
+            self.cols[1].x,
+            self.cols[1].y,
+            self.cols[1].z,
+            self.cols[2].x,
+            self.cols[2].y,
+            self.cols[2].z,
         )
     }
 

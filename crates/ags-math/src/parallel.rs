@@ -1,0 +1,232 @@
+//! Deterministic fork-join parallelism for the hot kernels.
+//!
+//! The workspace vendors no thread-pool crate; instead these helpers run
+//! `std::thread::scope` workers that pull contiguous index chunks off an
+//! atomic counter. Chunk *results* are always merged in chunk order, so every
+//! helper is **bit-identical** to its serial equivalent regardless of thread
+//! count or OS scheduling — the property the kernel tests enforce.
+//!
+//! The scheduling knob is [`Parallelism`]: pipelines thread it from their
+//! config down to the motion-estimation and rasterization kernels, and
+//! `Parallelism::serial()` recovers the exact single-threaded execution.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// How many chunks to cut per worker thread. More chunks smooth out load
+/// imbalance (tiles and macro-block rows have skewed costs) at slightly
+/// higher scheduling overhead.
+const CHUNKS_PER_THREAD: usize = 4;
+
+/// Thread-level parallelism knob threaded through the kernel configs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Parallelism {
+    /// Whether the parallel path may be taken at all.
+    pub enabled: bool,
+    /// Worker-thread budget; `0` means one worker per available CPU.
+    pub threads: usize,
+}
+
+impl Default for Parallelism {
+    fn default() -> Self {
+        Self { enabled: true, threads: 0 }
+    }
+}
+
+impl Parallelism {
+    /// Forces the serial reference path.
+    pub const fn serial() -> Self {
+        Self { enabled: false, threads: 1 }
+    }
+
+    /// Parallel execution with an explicit worker budget.
+    pub const fn with_threads(threads: usize) -> Self {
+        Self { enabled: true, threads }
+    }
+
+    /// Resolves the knob for a workload of `work_items`: in auto mode
+    /// (`threads == 0`) workloads below `serial_below` fall back to the
+    /// serial path, because fork-join spawn cost would dominate the work.
+    /// An explicit thread count is always honored — callers (and tests)
+    /// that pin `threads` get the parallel path regardless of size.
+    pub fn for_workload(self, work_items: usize, serial_below: usize) -> Self {
+        if self.enabled && self.threads == 0 && work_items < serial_below {
+            Self::serial()
+        } else {
+            self
+        }
+    }
+
+    /// The number of workers a kernel should actually use.
+    pub fn effective_threads(&self) -> usize {
+        if !self.enabled {
+            return 1;
+        }
+        if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        }
+    }
+}
+
+/// Splits `0..n` into contiguous chunks of at least `min_chunk` indices, maps
+/// every chunk through `f` (possibly on worker threads) and returns the chunk
+/// results **in chunk order**.
+///
+/// Falls back to a plain sequential loop when one worker (or one chunk) is
+/// all there is, so the serial path pays no synchronisation cost.
+pub fn par_map_ranges<T, F>(par: &Parallelism, n: usize, min_chunk: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(Range<usize>) -> T + Sync,
+{
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = par.effective_threads();
+    let chunk = min_chunk.max(1).max(n.div_ceil(threads * CHUNKS_PER_THREAD));
+    let num_chunks = n.div_ceil(chunk);
+    let range_of = |i: usize| i * chunk..((i + 1) * chunk).min(n);
+    if threads <= 1 || num_chunks <= 1 {
+        return (0..num_chunks).map(|i| f(range_of(i))).collect();
+    }
+
+    let counter = AtomicUsize::new(0);
+    let workers = threads.min(num_chunks);
+    let mut tagged: Vec<(usize, T)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = counter.fetch_add(1, Ordering::Relaxed);
+                        if i >= num_chunks {
+                            break;
+                        }
+                        local.push((i, f(range_of(i))));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles.into_iter().flat_map(|h| h.join().expect("parallel worker panicked")).collect()
+    });
+    tagged.sort_unstable_by_key(|&(i, _)| i);
+    tagged.into_iter().map(|(_, t)| t).collect()
+}
+
+/// Computes `[f(0), f(1), …, f(n-1)]`, distributing contiguous index chunks
+/// across workers. Output order always matches the serial map.
+pub fn par_map<T, F>(par: &Parallelism, n: usize, min_chunk: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let chunks = par_map_ranges(par, n, min_chunk, |r| r.map(&f).collect::<Vec<T>>());
+    let mut out = Vec::with_capacity(n);
+    for c in chunks {
+        out.extend(c);
+    }
+    out
+}
+
+/// Applies `f(index, &mut item)` to every element, splitting the slice into
+/// one contiguous chunk per worker. Items are mutated in place; because each
+/// element is touched by exactly one worker the result is identical to the
+/// serial loop.
+pub fn par_for_each_mut<T, F>(par: &Parallelism, items: &mut [T], min_chunk: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut T) + Sync,
+{
+    let n = items.len();
+    let threads = par.effective_threads();
+    let workers = threads.min(n.div_ceil(min_chunk.max(1)).max(1));
+    if workers <= 1 {
+        for (i, item) in items.iter_mut().enumerate() {
+            f(i, item);
+        }
+        return;
+    }
+    let chunk = n.div_ceil(workers);
+    std::thread::scope(|s| {
+        for (ci, slice) in items.chunks_mut(chunk).enumerate() {
+            let f = &f;
+            s.spawn(move || {
+                for (j, item) in slice.iter_mut().enumerate() {
+                    f(ci * chunk + j, item);
+                }
+            });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_mode_uses_one_thread() {
+        assert_eq!(Parallelism::serial().effective_threads(), 1);
+        assert_eq!(Parallelism::with_threads(3).effective_threads(), 3);
+        assert!(Parallelism::default().effective_threads() >= 1);
+    }
+
+    #[test]
+    fn for_workload_falls_back_to_serial_only_in_auto_mode() {
+        let auto = Parallelism::default();
+        assert_eq!(auto.for_workload(10, 100), Parallelism::serial());
+        assert_eq!(auto.for_workload(100, 100), auto);
+        // Explicit thread counts are always honored.
+        let pinned = Parallelism::with_threads(4);
+        assert_eq!(pinned.for_workload(10, 100), pinned);
+        // Serial stays serial.
+        assert_eq!(Parallelism::serial().for_workload(1000, 100), Parallelism::serial());
+    }
+
+    #[test]
+    fn par_map_matches_serial_map_for_any_thread_count() {
+        let f = |i: usize| (i * 7 + 3) as u64;
+        let expect: Vec<u64> = (0..1000).map(f).collect();
+        for par in [
+            Parallelism::serial(),
+            Parallelism::with_threads(2),
+            Parallelism::with_threads(5),
+            Parallelism::with_threads(64),
+        ] {
+            assert_eq!(par_map(&par, 1000, 1, f), expect, "{par:?}");
+        }
+    }
+
+    #[test]
+    fn par_map_ranges_preserves_chunk_order() {
+        let par = Parallelism::with_threads(8);
+        let chunks = par_map_ranges(&par, 100, 1, |r| r.start);
+        let mut sorted = chunks.clone();
+        sorted.sort_unstable();
+        assert_eq!(chunks, sorted);
+        // Chunks tile 0..n exactly.
+        let total: usize = par_map_ranges(&par, 100, 1, |r| r.len()).iter().sum();
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn par_map_handles_empty_and_tiny_inputs() {
+        let par = Parallelism::with_threads(4);
+        assert!(par_map(&par, 0, 1, |i| i).is_empty());
+        assert_eq!(par_map(&par, 1, 1, |i| i), vec![0]);
+        assert_eq!(par_map(&par, 3, 100, |i| i), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn par_for_each_mut_touches_every_item_once() {
+        for par in [Parallelism::serial(), Parallelism::with_threads(4)] {
+            let mut items = vec![0u32; 257];
+            par_for_each_mut(&par, &mut items, 8, |i, v| *v += i as u32 + 1);
+            for (i, v) in items.iter().enumerate() {
+                assert_eq!(*v, i as u32 + 1, "{par:?}");
+            }
+        }
+    }
+}

@@ -162,8 +162,8 @@ impl NormalEquations {
         for i in 0..self.n {
             let ji = jac[i] as f64;
             self.jtr[i] += wd * ji * rd;
-            for j in i..self.n {
-                self.jtj[i * self.n + j] += wd * ji * jac[j] as f64;
+            for (j, &jj) in jac.iter().enumerate().take(self.n).skip(i) {
+                self.jtj[i * self.n + j] += wd * ji * jj as f64;
             }
         }
         self.rows += 1;

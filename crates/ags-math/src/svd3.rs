@@ -23,9 +23,9 @@ pub struct SymEigen3 {
 pub fn sym_eigen3(m: &Mat3) -> SymEigen3 {
     // Work in f64 for stability.
     let mut a = [[0.0f64; 3]; 3];
-    for r in 0..3 {
-        for c in 0..3 {
-            a[r][c] = 0.5 * (m.at(r, c) as f64 + m.at(c, r) as f64);
+    for (r, row) in a.iter_mut().enumerate() {
+        for (c, v) in row.iter_mut().enumerate() {
+            *v = 0.5 * (m.at(r, c) as f64 + m.at(c, r) as f64);
         }
     }
     let mut v = [[0.0f64; 3]; 3];

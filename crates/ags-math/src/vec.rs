@@ -1,7 +1,9 @@
 //! Small fixed-size `f32` vectors.
 
 use std::fmt;
-use std::ops::{Add, AddAssign, Div, DivAssign, Index, IndexMut, Mul, MulAssign, Neg, Sub, SubAssign};
+use std::ops::{
+    Add, AddAssign, Div, DivAssign, Index, IndexMut, Mul, MulAssign, Neg, Sub, SubAssign,
+};
 
 macro_rules! impl_vec_ops {
     ($name:ident, $($field:ident),+) => {

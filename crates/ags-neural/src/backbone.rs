@@ -94,8 +94,7 @@ impl DroidBackbone {
         report.encoder_macs += self.enc3.macs(x2.height(), x2.width());
         let mut features = self.enc3.forward(&x2);
         features.relu_inplace();
-        report.activation_bytes +=
-            4 * (x.len() as u64 + x2.len() as u64 + features.len() as u64);
+        report.activation_bytes += 4 * (x.len() as u64 + x2.len() as u64 + features.len() as u64);
 
         let mut hidden = Tensor::zeros(Self::HIDDEN_CHANNELS, features.height(), features.width());
         for _ in 0..self.gru_iterations {

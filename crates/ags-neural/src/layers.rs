@@ -85,8 +85,8 @@ impl Conv2d {
                                 if ix < 0 || ix >= input.width() as isize {
                                     continue;
                                 }
-                                let w = self.weights
-                                    [((oc * self.in_channels + ic) * k + ky) * k + kx];
+                                let w =
+                                    self.weights[((oc * self.in_channels + ic) * k + ky) * k + kx];
                                 acc += w * input.at(ic, iy as usize, ix as usize);
                             }
                         }

@@ -29,12 +29,7 @@ impl Tensor {
 
     /// Wraps a luminance image as a 1-channel tensor.
     pub fn from_gray(img: &GrayImage) -> Self {
-        Self {
-            channels: 1,
-            height: img.height(),
-            width: img.width(),
-            data: img.pixels().to_vec(),
-        }
+        Self { channels: 1, height: img.height(), width: img.width(), data: img.pixels().to_vec() }
     }
 
     /// Channel count.

@@ -68,11 +68,7 @@ impl PinholeCamera {
     /// Back-projects a pixel at depth `z` into the camera frame.
     #[inline]
     pub fn unproject(&self, pixel: Vec2, z: f32) -> Vec3 {
-        Vec3::new(
-            (pixel.x - self.cx) / self.fx * z,
-            (pixel.y - self.cy) / self.fy * z,
-            z,
-        )
+        Vec3::new((pixel.x - self.cx) / self.fx * z, (pixel.y - self.cy) / self.fy * z, z)
     }
 
     /// Unit ray direction through a pixel, in the camera frame.

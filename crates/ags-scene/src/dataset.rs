@@ -370,7 +370,10 @@ fn desk_scene(seed: u32) -> Scene {
     }
     // Monitor.
     scene.primitives.push(Primitive {
-        shape: Shape::Aabb { min: Vec3::new(-0.35, 0.76, -0.15), max: Vec3::new(0.35, 1.18, -0.08) },
+        shape: Shape::Aabb {
+            min: Vec3::new(-0.35, 0.76, -0.15),
+            max: Vec3::new(0.35, 1.18, -0.08),
+        },
         texture: Texture::Composite {
             a: Vec3::new(0.12, 0.14, 0.3),
             b: Vec3::new(0.3, 0.45, 0.7),
@@ -610,11 +613,7 @@ mod tests {
                 // Frames must contain photometric variation for tracking.
                 let gray = frame.rgb.to_gray();
                 let mean = gray.mean();
-                let var = gray
-                    .pixels()
-                    .iter()
-                    .map(|&v| (v - mean) * (v - mean))
-                    .sum::<f32>()
+                let var = gray.pixels().iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>()
                     / gray.len() as f32;
                 assert!(var > 1e-4, "{id} frame {} variance {var}", frame.index);
             }

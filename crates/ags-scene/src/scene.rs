@@ -161,7 +161,8 @@ mod tests {
     fn miss_yields_background_and_zero_depth() {
         let scene = test_scene();
         // Look away from the wall.
-        let pose = Se3::from_rotation(ags_math::Quat::from_axis_angle(Vec3::Y, std::f32::consts::PI));
+        let pose =
+            Se3::from_rotation(ags_math::Quat::from_axis_angle(Vec3::Y, std::f32::consts::PI));
         let (rgb, depth) = scene.render(&cam(), &pose);
         assert_eq!(depth.valid_fraction(), 0.0);
         assert_eq!(rgb.at(0, 0), scene.background);

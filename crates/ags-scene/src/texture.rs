@@ -4,7 +4,7 @@
 //! default texture is multi-octave value noise (smooth, non-zero gradient)
 //! optionally combined with checker patterns for strong edges.
 
-use ags_math::{Vec3, lerp};
+use ags_math::{lerp, Vec3};
 
 /// Hash-based lattice value in `[0, 1]` for integer coordinates and a seed.
 fn lattice(ix: i32, iy: i32, iz: i32, seed: u32) -> f32 {
@@ -56,7 +56,11 @@ pub fn fbm_noise(p: Vec3, seed: u32, octaves: u32) -> f32 {
         amp *= 0.5;
         freq *= 2.07;
     }
-    if norm > 0.0 { total / norm } else { 0.5 }
+    if norm > 0.0 {
+        total / norm
+    } else {
+        0.5
+    }
 }
 
 /// A procedural surface texture evaluated at world-space positions.
@@ -105,7 +109,11 @@ impl Texture {
         match *self {
             Texture::Solid(c) => c,
             Texture::Checker { a, b, scale } => {
-                if checker_parity(p, scale) { a } else { b }
+                if checker_parity(p, scale) {
+                    a
+                } else {
+                    b
+                }
             }
             Texture::Noise { a, b, frequency, seed } => {
                 let t = fbm_noise(p * frequency, seed, 3);

@@ -128,8 +128,7 @@ impl TrajectoryProfile {
         match self.kind {
             PathKind::Orbit { center, radius, height, sweep } => {
                 let angle = t * sweep;
-                let eye = center
-                    + Vec3::new(radius * angle.cos(), height, radius * angle.sin());
+                let eye = center + Vec3::new(radius * angle.cos(), height, radius * angle.sin());
                 look_at(eye, center)
             }
             PathKind::Pan { eye, look_radius, sweep, bob } => {

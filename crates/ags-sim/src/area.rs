@@ -84,13 +84,7 @@ pub fn area_table() -> Vec<AreaRow> {
             0.23,
             0.46,
         ),
-        row(
-            "Mapping Engine",
-            "GS Logging Table",
-            "4KB / 8KB".into(),
-            0.03,
-            0.04,
-        ),
+        row("Mapping Engine", "GS Logging Table", "4KB / 8KB".into(), 0.03, 0.04),
         row(
             "Mapping Engine",
             "Update Unit",
@@ -98,13 +92,7 @@ pub fn area_table() -> Vec<AreaRow> {
             16.0 * unit::UPDATE_UNIT,
             32.0 * unit::UPDATE_UNIT,
         ),
-        row(
-            "Mapping Engine",
-            "GS Skipping Table",
-            "4KB / 8KB".into(),
-            0.03,
-            0.04,
-        ),
+        row("Mapping Engine", "GS Skipping Table", "4KB / 8KB".into(), 0.03, 0.04),
         row(
             "Mapping Engine",
             "Comparison Unit",
@@ -119,21 +107,13 @@ pub fn area_table() -> Vec<AreaRow> {
             16.0 * unit::GPE_4X4,
             32.0 * unit::GPE_4X4,
         ),
-        row(
-            "Mapping Engine",
-            "Gauss Buffer",
-            "64KB / 128KB".into(),
-            0.46,
-            0.93,
-        ),
+        row("Mapping Engine", "Gauss Buffer", "64KB / 128KB".into(), 0.46, 0.93),
     ]
 }
 
 /// Total areas `(edge, server)` in mm².
 pub fn total_area() -> (f64, f64) {
-    area_table()
-        .iter()
-        .fold((0.0, 0.0), |(e, s), r| (e + r.edge_mm2, s + r.server_mm2))
+    area_table().iter().fold((0.0, 0.0), |(e, s), r| (e + r.edge_mm2, s + r.server_mm2))
 }
 
 #[cfg(test)]

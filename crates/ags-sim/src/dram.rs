@@ -25,7 +25,13 @@ pub struct DramModel {
 impl DramModel {
     /// LPDDR4-3200 (AGS-Edge's memory, §6.1).
     pub fn lpddr4() -> Self {
-        Self { bandwidth_gbps: 25.6, row_hit_ns: 10.0, row_miss_ns: 45.0, burst_bytes: 32, banks: 8 }
+        Self {
+            bandwidth_gbps: 25.6,
+            row_hit_ns: 10.0,
+            row_miss_ns: 45.0,
+            burst_bytes: 32,
+            banks: 8,
+        }
     }
 
     /// HBM2 (AGS-Server's memory, §6.1).

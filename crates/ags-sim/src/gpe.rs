@@ -63,12 +63,7 @@ impl GpeArraySim {
 
         if !self.config.scheduler {
             // Without redistribution each lane serially executes both stages.
-            return lane_alpha
-                .iter()
-                .zip(&lane_blend)
-                .map(|(a, b)| a + b)
-                .max()
-                .unwrap_or(0);
+            return lane_alpha.iter().zip(&lane_blend).map(|(a, b)| a + b).max().unwrap_or(0);
         }
 
         // With the scheduler, α work is a shared pool (any idle lane can
@@ -95,12 +90,7 @@ impl GpeArraySim {
     /// whichever dominates); without it, each lane serially executes both
     /// stages and pays the sampled `imbalance` factor (makespan over
     /// mean-lane-work).
-    pub fn analytic_cycles(
-        &self,
-        alpha_evals: u64,
-        blend_ops: u64,
-        imbalance: f32,
-    ) -> u64 {
+    pub fn analytic_cycles(&self, alpha_evals: u64, blend_ops: u64, imbalance: f32) -> u64 {
         let lanes = self.config.lanes.max(1) as u64;
         if self.config.scheduler {
             let alpha_bound = (alpha_evals * ALPHA_CYCLES).div_ceil(lanes);
@@ -115,11 +105,8 @@ impl GpeArraySim {
     /// Measures the imbalance factor of a sampled tile: the ratio between
     /// the no-scheduler makespan and the perfectly-balanced time.
     pub fn measure_imbalance(&self, per_pixel_evals: &[u16], per_pixel_blends: &[u16]) -> f32 {
-        let no_sched =
-            GpeArraySim::new(GpeArrayConfig { scheduler: false, ..self.config }).tile_cycles(
-                per_pixel_evals,
-                per_pixel_blends,
-            );
+        let no_sched = GpeArraySim::new(GpeArrayConfig { scheduler: false, ..self.config })
+            .tile_cycles(per_pixel_evals, per_pixel_blends);
         let total: u64 = per_pixel_evals.iter().map(|&e| e as u64 * ALPHA_CYCLES).sum::<u64>()
             + per_pixel_blends.iter().map(|&b| b as u64 * BLEND_CYCLES).sum::<u64>();
         let ideal = total.div_ceil(self.config.lanes.max(1) as u64).max(1);
@@ -154,10 +141,7 @@ mod tests {
         let blends = [40u16, 2, 2, 2];
         let without = sim(false).tile_cycles(&evals, &blends);
         let with = sim(true).tile_cycles(&evals, &blends);
-        assert!(
-            with < without,
-            "scheduler should shorten the makespan: {with} vs {without}"
-        );
+        assert!(with < without, "scheduler should shorten the makespan: {with} vs {without}");
         // Lower bound: the heavy pixel's blend chain cannot be parallelised.
         assert!(with >= 40 * BLEND_CYCLES);
     }
@@ -194,10 +178,12 @@ mod tests {
     fn more_lanes_reduce_cycles() {
         let evals: Vec<u16> = (0..64).map(|i| 4 + (i % 7) as u16).collect();
         let blends = evals.clone();
-        let small = GpeArraySim::new(GpeArrayConfig { lanes: 4, scheduler: true, alpha_buffer: 16 })
-            .tile_cycles(&evals, &blends);
-        let large = GpeArraySim::new(GpeArrayConfig { lanes: 16, scheduler: true, alpha_buffer: 16 })
-            .tile_cycles(&evals, &blends);
+        let small =
+            GpeArraySim::new(GpeArrayConfig { lanes: 4, scheduler: true, alpha_buffer: 16 })
+                .tile_cycles(&evals, &blends);
+        let large =
+            GpeArraySim::new(GpeArrayConfig { lanes: 16, scheduler: true, alpha_buffer: 16 })
+                .tile_cycles(&evals, &blends);
         assert!(large < small);
     }
 }

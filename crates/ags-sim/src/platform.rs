@@ -113,11 +113,8 @@ impl GpuModel {
             // GPUs handle the irregular contribution-table updates poorly:
             // scattered reads/writes see a fraction of streaming bandwidth.
             let table_penalty = 4.0 * f.mapping.table_bytes as f64 / self.bytes_per_ms;
-            let mapping = self.phase_ms(
-                f.mapping.flops(),
-                f.mapping.bytes(),
-                f.mapping.iterations,
-            ) + table_penalty;
+            let mapping = self.phase_ms(f.mapping.flops(), f.mapping.bytes(), f.mapping.iterations)
+                + table_penalty;
             t.codec_ms += codec;
             t.coarse_ms += coarse;
             t.refine_ms += refine;
@@ -286,7 +283,8 @@ impl AgsModel {
     /// Mean GPE-lane imbalance of the trace's sampled tiles (penalty applied
     /// when the scheduler is disabled).
     fn measured_imbalance(&self, trace: &WorkloadTrace) -> f32 {
-        let probe = GpeArraySim::new(GpeArrayConfig { lanes: 16, scheduler: false, alpha_buffer: 32 });
+        let probe =
+            GpeArraySim::new(GpeArrayConfig { lanes: 16, scheduler: false, alpha_buffer: 32 });
         let mut sum = 0.0f32;
         let mut n = 0u32;
         for f in &trace.frames {
@@ -383,8 +381,8 @@ impl AgsModel {
         // the engine only accumulates min-SADs (8 adders @ 500 MHz). Model
         // the accumulation plus reading SAD values from DRAM.
         let mbs = f.codec.sad_evals / 16; // ~16 candidates per MB (diamond)
-        let codec = self.cycles_to_ms(mbs.div_ceil(8))
-            + self.variant.dram.transfer_ns(mbs * 4, 0.9) / 1e6;
+        let codec =
+            self.cycles_to_ms(mbs.div_ceil(8)) + self.variant.dram.transfer_ns(mbs * 4, 0.9) / 1e6;
         let coarse = if self.features.mat {
             // Systolic array for the NN; GN rows on the same engine.
             let nn_cycles = f.coarse.nn_macs.div_ceil(self.variant.systolic_macs);
@@ -393,8 +391,8 @@ impl AgsModel {
         } else {
             // Without MAT hardware the coarse stage runs on the GS array's
             // scalar pipelines: far fewer usable MACs.
-            let cycles = (f.coarse.nn_macs + f.coarse.gn_rows * 30)
-                .div_ceil(self.variant.track_lanes * 2);
+            let cycles =
+                (f.coarse.nn_macs + f.coarse.gn_rows * 30).div_ceil(self.variant.track_lanes * 2);
             self.cycles_to_ms(cycles)
         };
         let refine = self.gs_phase_ms(&f.refine, self.variant.track_lanes, imbalance, false);
@@ -455,12 +453,7 @@ mod tests {
         let trace = synthetic_trace(10, 3_000_000, 10_000);
         let gpu = GpuModel::a100().run_trace(&trace);
         let ags = AgsModel::new(AgsVariant::server()).run_trace(&trace);
-        assert!(
-            ags.total_ms < gpu.total_ms,
-            "AGS {} ms vs GPU {} ms",
-            ags.total_ms,
-            gpu.total_ms
-        );
+        assert!(ags.total_ms < gpu.total_ms, "AGS {} ms vs GPU {} ms", ags.total_ms, gpu.total_ms);
     }
 
     #[test]

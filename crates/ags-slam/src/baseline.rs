@@ -136,12 +136,8 @@ impl BaselineSlam {
         // --- Densification. ---
         let mut mapping = WorkUnits::default();
         if frame_index % self.config.densify_interval.max(1) == 0 {
-            let rendered = ags_splat::render::render(
-                &self.cloud,
-                camera,
-                &pose,
-                &RenderOptions::default(),
-            );
+            let rendered =
+                ags_splat::render::render(&self.cloud, camera, &pose, &RenderOptions::default());
             mapping.add_render(&rendered.stats);
             if self.config.backbone == Backbone::GaussianSlam
                 && self.keyframe_count > 0
@@ -165,16 +161,14 @@ impl BaselineSlam {
 
         // --- Mapping: N_M iterations over the window (current + keyframes). ---
         let window = self.keyframes.mapping_window(self.config.mapping_window, &mut self.rng);
-        let window_data: Vec<(Se3, RgbImage, DepthImage)> = window
-            .iter()
-            .map(|kf| (kf.pose, kf.rgb.clone(), kf.depth.clone()))
-            .collect();
+        let window_data: Vec<(Se3, RgbImage, DepthImage)> =
+            window.iter().map(|kf| (kf.pose, kf.rgb.clone(), kf.depth.clone())).collect();
         drop(window);
 
         let mut mapping_loss = 0.0;
         let mut tile_work = Vec::new();
-        let sample_tiles = self.config.tile_work_interval > 0
-            && frame_index % self.config.tile_work_interval == 0;
+        let sample_tiles =
+            self.config.tile_work_interval > 0 && frame_index % self.config.tile_work_interval == 0;
         for iter in 0..self.config.mapping_iterations {
             // Round-robin: current frame first, then window frames.
             let slot = iter as usize % (window_data.len() + 1);
@@ -185,13 +179,7 @@ impl BaselineSlam {
                 (kp, Some(kr), Some(kd))
             };
             let collect = sample_tiles && iter == 0;
-            let report = self.map_step(
-                camera,
-                &p,
-                r.unwrap_or(rgb),
-                d.unwrap_or(depth),
-                collect,
-            );
+            let report = self.map_step(camera, &p, r.unwrap_or(rgb), d.unwrap_or(depth), collect);
             mapping.add_render(&report.render.stats);
             mapping.grad_ops += report.backward.stats.grad_ops;
             mapping.iterations += 1;
@@ -347,14 +335,10 @@ mod tests {
 
     #[test]
     fn gaussian_slam_freezes_submaps() {
-        let config = SlamConfig {
-            keyframe_interval: 1,
-            submap_interval: 2,
-            ..SlamConfig::tiny()
-        }
-        .gaussian_slam();
+        let config = SlamConfig { keyframe_interval: 1, submap_interval: 2, ..SlamConfig::tiny() }
+            .gaussian_slam();
         let (slam, data, _) = run_slam(config, 5);
-        assert!(slam.cloud().len() > 0);
+        assert!(!slam.cloud().is_empty());
         // Rendering still covers the frame even with frozen sub-maps.
         let out = ags_splat::render::render(
             slam.cloud(),

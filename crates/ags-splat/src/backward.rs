@@ -272,9 +272,15 @@ pub fn backward(
             // ∂L/∂Σ2 = -K G K (K symmetric).
             let neg = k * gk_m * k;
             let d_sigma2_full = Mat3::from_rows(
-                -neg.cols[0].x, -neg.cols[1].x, 0.0,
-                -neg.cols[0].y, -neg.cols[1].y, 0.0,
-                0.0, 0.0, 0.0,
+                -neg.cols[0].x,
+                -neg.cols[1].x,
+                0.0,
+                -neg.cols[0].y,
+                -neg.cols[1].y,
+                0.0,
+                0.0,
+                0.0,
+                0.0,
             );
             d_sigma3 = Some(a_mat.transpose() * d_sigma2_full * a_mat);
 
@@ -409,8 +415,8 @@ mod tests {
     use super::*;
     use crate::gaussian::Gaussian;
     use crate::loss::{compute_loss, LossConfig, LossKind};
-    use crate::render::{rasterize, RenderOptions};
     use crate::project::project_gaussians;
+    use crate::render::{rasterize, RenderOptions};
     use ags_image::{DepthImage, RgbImage};
     use ags_math::Pcg32;
 
@@ -445,7 +451,12 @@ mod tests {
         (loss.total, back)
     }
 
-    fn loss_only(cloud: &GaussianCloud, pose: &Se3, gt_rgb: &RgbImage, gt_depth: &DepthImage) -> f64 {
+    fn loss_only(
+        cloud: &GaussianCloud,
+        pose: &Se3,
+        gt_rgb: &RgbImage,
+        gt_depth: &DepthImage,
+    ) -> f64 {
         let cam = camera();
         let projection = project_gaussians(cloud, &cam, pose);
         let tables = GaussianTables::build(&projection, &cam);
@@ -455,12 +466,8 @@ mod tests {
 
     fn test_fixture() -> (GaussianCloud, RgbImage, DepthImage) {
         let mut cloud = GaussianCloud::new();
-        let mut g = Gaussian::isotropic(
-            Vec3::new(0.05, -0.08, 2.0),
-            0.15,
-            Vec3::new(0.8, 0.4, 0.2),
-            0.7,
-        );
+        let mut g =
+            Gaussian::isotropic(Vec3::new(0.05, -0.08, 2.0), 0.15, Vec3::new(0.8, 0.4, 0.2), 0.7);
         g.rotation = Quat::from_axis_angle(Vec3::new(0.3, 1.0, 0.2), 0.4);
         g.log_scale = Vec3::new(0.12f32.ln(), 0.2f32.ln(), 0.08f32.ln());
         cloud.push(g);
@@ -515,14 +522,20 @@ mod tests {
         let (_, back) = loss_and_grads(&cloud, &Se3::IDENTITY, &gt_rgb, &gt_depth, GradMode::Map);
         let grads = back.grads.unwrap();
         for ch in 0..3 {
-            let numeric = fd(&cloud, &gt_rgb, &gt_depth, |c, e| {
-                let g = &mut c.gaussians_mut()[0];
-                match ch {
-                    0 => g.color.x += e,
-                    1 => g.color.y += e,
-                    _ => g.color.z += e,
-                }
-            }, 1e-3);
+            let numeric = fd(
+                &cloud,
+                &gt_rgb,
+                &gt_depth,
+                |c, e| {
+                    let g = &mut c.gaussians_mut()[0];
+                    match ch {
+                        0 => g.color.x += e,
+                        1 => g.color.y += e,
+                        _ => g.color.z += e,
+                    }
+                },
+                1e-3,
+            );
             let analytic = [grads.color[0].x, grads.color[0].y, grads.color[0].z][ch];
             check_close(analytic, numeric, &format!("color[{ch}]"));
         }
@@ -533,9 +546,15 @@ mod tests {
         let (cloud, gt_rgb, gt_depth) = test_fixture();
         let (_, back) = loss_and_grads(&cloud, &Se3::IDENTITY, &gt_rgb, &gt_depth, GradMode::Map);
         let grads = back.grads.unwrap();
-        let numeric = fd(&cloud, &gt_rgb, &gt_depth, |c, e| {
-            c.gaussians_mut()[0].opacity_logit += e;
-        }, 1e-3);
+        let numeric = fd(
+            &cloud,
+            &gt_rgb,
+            &gt_depth,
+            |c, e| {
+                c.gaussians_mut()[0].opacity_logit += e;
+            },
+            1e-3,
+        );
         check_close(grads.opacity_logit[0], numeric, "opacity_logit");
     }
 
@@ -545,9 +564,15 @@ mod tests {
         let (_, back) = loss_and_grads(&cloud, &Se3::IDENTITY, &gt_rgb, &gt_depth, GradMode::Map);
         let grads = back.grads.unwrap();
         for axis in 0..3 {
-            let numeric = fd(&cloud, &gt_rgb, &gt_depth, |c, e| {
-                c.gaussians_mut()[0].position[axis] += e;
-            }, 2e-4);
+            let numeric = fd(
+                &cloud,
+                &gt_rgb,
+                &gt_depth,
+                |c, e| {
+                    c.gaussians_mut()[0].position[axis] += e;
+                },
+                2e-4,
+            );
             check_close(grads.position[0][axis], numeric, &format!("position[{axis}]"));
         }
     }
@@ -558,9 +583,15 @@ mod tests {
         let (_, back) = loss_and_grads(&cloud, &Se3::IDENTITY, &gt_rgb, &gt_depth, GradMode::Map);
         let grads = back.grads.unwrap();
         for axis in 0..3 {
-            let numeric = fd(&cloud, &gt_rgb, &gt_depth, |c, e| {
-                c.gaussians_mut()[0].log_scale[axis] += e;
-            }, 1e-3);
+            let numeric = fd(
+                &cloud,
+                &gt_rgb,
+                &gt_depth,
+                |c, e| {
+                    c.gaussians_mut()[0].log_scale[axis] += e;
+                },
+                1e-3,
+            );
             check_close(grads.log_scale[0][axis], numeric, &format!("log_scale[{axis}]"));
         }
     }
@@ -572,21 +603,23 @@ mod tests {
         let grads = back.grads.unwrap();
         // Perturb raw quaternion components (renormalised inside covariance()
         // via to_matrix(), matching the optimizer's update-then-normalize).
-        let comps: [fn(&mut Quat, f32); 4] = [
-            |q, e| q.w += e,
-            |q, e| q.x += e,
-            |q, e| q.y += e,
-            |q, e| q.z += e,
-        ];
+        let comps: [fn(&mut Quat, f32); 4] =
+            [|q, e| q.w += e, |q, e| q.x += e, |q, e| q.y += e, |q, e| q.z += e];
         // Use a directional check: the analytic gradient must predict the FD
         // directional derivative along a random direction of quat space.
         let dir = [0.4f32, -0.7, 0.2, 0.5];
-        let numeric = fd(&cloud, &gt_rgb, &gt_depth, |c, e| {
-            let q = &mut c.gaussians_mut()[0].rotation;
-            for (f, d) in comps.iter().zip(dir) {
-                f(q, e * d);
-            }
-        }, 1e-3);
+        let numeric = fd(
+            &cloud,
+            &gt_rgb,
+            &gt_depth,
+            |c, e| {
+                let q = &mut c.gaussians_mut()[0].rotation;
+                for (f, d) in comps.iter().zip(dir) {
+                    f(q, e * d);
+                }
+            },
+            1e-3,
+        );
         let analytic: f32 = grads.rotation[0].iter().zip(dir).map(|(g, d)| g * d).sum();
         check_close(analytic, numeric, "rotation directional");
     }
@@ -613,8 +646,8 @@ mod tests {
         // Norm-wise comparison: tiny components are FD-noise-limited, so the
         // error is bounded relative to the gradient magnitude.
         let norm: f32 = numeric.iter().map(|v| v * v).sum::<f32>().sqrt();
-        for k in 0..6 {
-            let err = (pose_grad.twist[k] - numeric[k]).abs();
+        for (k, &num) in numeric.iter().enumerate() {
+            let err = (pose_grad.twist[k] - num).abs();
             assert!(
                 err < 0.05 * norm.max(1e-6),
                 "twist[{k}]: analytic {} vs numeric {} (norm {norm})",
@@ -640,10 +673,8 @@ mod tests {
         let cam = camera();
         // Ground truth rendered at identity; start from a perturbed pose.
         let gt = crate::render::render(&cloud, &cam, &Se3::IDENTITY, &RenderOptions::default());
-        let mut pose = Se3::new(
-            Quat::from_axis_angle(Vec3::Y, 0.02),
-            Vec3::new(0.02, -0.015, 0.01),
-        );
+        let mut pose =
+            Se3::new(Quat::from_axis_angle(Vec3::Y, 0.02), Vec3::new(0.02, -0.015, 0.01));
         let initial = loss_only(&cloud, &pose, &gt.color, &gt.depth);
         let mut adam = crate::optim::PoseAdam::with_rates(2e-3, 2e-3);
         for _ in 0..60 {
@@ -680,7 +711,8 @@ mod tests {
         let mut far_cloud = cloud.clone();
         // A Gaussian far outside the frustum.
         far_cloud.push(Gaussian::isotropic(Vec3::new(50.0, 0.0, 2.0), 0.1, Vec3::ONE, 0.5));
-        let (_, back) = loss_and_grads(&far_cloud, &Se3::IDENTITY, &gt_rgb, &gt_depth, GradMode::Map);
+        let (_, back) =
+            loss_and_grads(&far_cloud, &Se3::IDENTITY, &gt_rgb, &gt_depth, GradMode::Map);
         let grads = back.grads.unwrap();
         assert!(!grads.touched[2]);
         assert_eq!(grads.position[2], Vec3::ZERO);

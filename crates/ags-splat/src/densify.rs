@@ -9,9 +9,9 @@
 use crate::gaussian::{Gaussian, GaussianCloud};
 use crate::render::RenderOutput;
 use ags_image::{DepthImage, RgbImage};
-use ags_math::{Pcg32, Se3, Vec2};
 #[cfg(test)]
 use ags_math::Vec3;
+use ags_math::{Pcg32, Se3, Vec2};
 use ags_scene::PinholeCamera;
 
 /// Densification configuration.
@@ -64,6 +64,7 @@ pub struct DensifyReport {
 /// Candidates are subsampled with `config.stride` and jittered by `rng` so
 /// repeated densification of the same region does not stack Gaussians at
 /// identical positions.
+#[allow(clippy::too_many_arguments)]
 pub fn densify_from_frame(
     cloud: &mut GaussianCloud,
     camera: &PinholeCamera,
@@ -154,8 +155,14 @@ mod tests {
         let rendered = render(&cloud, &cam, &Se3::IDENTITY, &RenderOptions::default());
         let mut rng = Pcg32::seeded(1);
         let report = densify_from_frame(
-            &mut cloud, &cam, &Se3::IDENTITY, &rgb, &depth, &rendered,
-            &DensifyConfig::default(), &mut rng,
+            &mut cloud,
+            &cam,
+            &Se3::IDENTITY,
+            &rgb,
+            &depth,
+            &rendered,
+            &DensifyConfig::default(),
+            &mut rng,
         );
         assert!(report.added > 50, "expected many new Gaussians, got {}", report.added);
         assert_eq!(report.added, cloud.len());
@@ -175,11 +182,27 @@ mod tests {
         let empty_render = render(&cloud, &cam, &Se3::IDENTITY, &RenderOptions::default());
         let mut rng = Pcg32::seeded(2);
         let config = DensifyConfig { stride: 1, ..DensifyConfig::default() };
-        densify_from_frame(&mut cloud, &cam, &Se3::IDENTITY, &rgb, &depth, &empty_render, &config, &mut rng);
+        densify_from_frame(
+            &mut cloud,
+            &cam,
+            &Se3::IDENTITY,
+            &rgb,
+            &depth,
+            &empty_render,
+            &config,
+            &mut rng,
+        );
         let covered = render(&cloud, &cam, &Se3::IDENTITY, &RenderOptions::default());
         let before = cloud.len();
         let report = densify_from_frame(
-            &mut cloud, &cam, &Se3::IDENTITY, &rgb, &depth, &covered, &config, &mut rng,
+            &mut cloud,
+            &cam,
+            &Se3::IDENTITY,
+            &rgb,
+            &depth,
+            &covered,
+            &config,
+            &mut rng,
         );
         assert!(
             report.added < before / 10,
@@ -198,7 +221,14 @@ mod tests {
         let mut rng = Pcg32::seeded(3);
         let config = DensifyConfig { max_new: 10, stride: 1, ..DensifyConfig::default() };
         let report = densify_from_frame(
-            &mut cloud, &cam, &Se3::IDENTITY, &rgb, &depth, &rendered, &config, &mut rng,
+            &mut cloud,
+            &cam,
+            &Se3::IDENTITY,
+            &rgb,
+            &depth,
+            &rendered,
+            &config,
+            &mut rng,
         );
         assert_eq!(report.added, 10);
     }
@@ -212,8 +242,14 @@ mod tests {
         let rendered = render(&cloud, &cam, &Se3::IDENTITY, &RenderOptions::default());
         let mut rng = Pcg32::seeded(4);
         let report = densify_from_frame(
-            &mut cloud, &cam, &Se3::IDENTITY, &rgb, &depth, &rendered,
-            &DensifyConfig::default(), &mut rng,
+            &mut cloud,
+            &cam,
+            &Se3::IDENTITY,
+            &rgb,
+            &depth,
+            &rendered,
+            &DensifyConfig::default(),
+            &mut rng,
         );
         assert_eq!(report.added, 0);
     }
@@ -241,8 +277,26 @@ mod tests {
         let config = DensifyConfig::default();
         let (rgb_n, depth_n) = flat_frame(1.0);
         let (rgb_f, depth_f) = flat_frame(4.0);
-        densify_from_frame(&mut near_cloud, &cam, &Se3::IDENTITY, &rgb_n, &depth_n, &rendered, &config, &mut rng);
-        densify_from_frame(&mut far_cloud, &cam, &Se3::IDENTITY, &rgb_f, &depth_f, &rendered, &config, &mut rng);
+        densify_from_frame(
+            &mut near_cloud,
+            &cam,
+            &Se3::IDENTITY,
+            &rgb_n,
+            &depth_n,
+            &rendered,
+            &config,
+            &mut rng,
+        );
+        densify_from_frame(
+            &mut far_cloud,
+            &cam,
+            &Se3::IDENTITY,
+            &rgb_f,
+            &depth_f,
+            &rendered,
+            &config,
+            &mut rng,
+        );
         let near_sigma = near_cloud.gaussians()[0].max_scale();
         let far_sigma = far_cloud.gaussians()[0].max_scale();
         assert!((far_sigma / near_sigma - 4.0).abs() < 0.1);

@@ -146,13 +146,13 @@ impl Adam {
                 );
             }
             let mut q = [g.rotation.w, g.rotation.x, g.rotation.y, g.rotation.z];
-            for k in 0..4 {
+            for (k, qk) in q.iter_mut().enumerate() {
                 update(
                     &mut self.rotation.m[i * 4 + k],
                     &mut self.rotation.v[i * 4 + k],
                     grads.rotation[i][k],
                     c.lr_rotation,
-                    &mut q[k],
+                    qk,
                 );
             }
             g.rotation = ags_math::Quat::new(q[0], q[1], q[2], q[3]).normalized();
@@ -218,13 +218,13 @@ impl PoseAdam {
         let bias1 = 1.0 - self.beta1.powf(self.t as f32);
         let bias2 = 1.0 - self.beta2.powf(self.t as f32);
         let mut twist = [0.0f32; 6];
-        for k in 0..6 {
+        for (k, tw) in twist.iter_mut().enumerate() {
             self.m[k] = self.beta1 * self.m[k] + (1.0 - self.beta1) * grad.twist[k];
             self.v[k] = self.beta2 * self.v[k] + (1.0 - self.beta2) * grad.twist[k] * grad.twist[k];
             let m_hat = self.m[k] / bias1;
             let v_hat = self.v[k] / bias2;
             let lr = if k < 3 { self.lr_translation } else { self.lr_rotation };
-            twist[k] = -lr * m_hat / (v_hat.sqrt() + self.eps);
+            *tw = -lr * m_hat / (v_hat.sqrt() + self.eps);
         }
         let w2c = pose_c2w.inverse();
         (Se3::exp(&twist) * w2c).inverse().renormalized()

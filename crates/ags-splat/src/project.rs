@@ -51,11 +51,7 @@ pub struct Projection {
 /// Gaussians behind the near plane (z < 0.05) or projecting entirely outside
 /// the (margin-expanded) image are culled, mirroring the paper's
 /// "preprocess" stage.
-pub fn project_gaussians(
-    cloud: &GaussianCloud,
-    camera: &PinholeCamera,
-    pose: &Se3,
-) -> Projection {
+pub fn project_gaussians(cloud: &GaussianCloud, camera: &PinholeCamera, pose: &Se3) -> Projection {
     let world_to_cam = pose.inverse();
     let rot_wc = world_to_cam.rotation_matrix();
     let mut splats = Vec::with_capacity(cloud.len());
@@ -123,18 +119,20 @@ pub fn project_gaussians(
 /// Returns `(A, J)` where `A = J · W` is the 2×3 affine projection used for
 /// covariance propagation (rows packed into a `Mat3` whose third row is zero)
 /// and `J` the bare projection Jacobian.
-pub fn projection_jacobian(
-    camera: &PinholeCamera,
-    p_cam: Vec3,
-    rot_wc: &Mat3,
-) -> (Mat3, Mat3) {
+pub fn projection_jacobian(camera: &PinholeCamera, p_cam: Vec3, rot_wc: &Mat3) -> (Mat3, Mat3) {
     let z_inv = 1.0 / p_cam.z;
     let z_inv2 = z_inv * z_inv;
     // J = [fx/z, 0, -fx·x/z²; 0, fy/z, -fy·y/z²] packed into rows 0..2 of a Mat3.
     let j = Mat3::from_rows(
-        camera.fx * z_inv, 0.0, -camera.fx * p_cam.x * z_inv2,
-        0.0, camera.fy * z_inv, -camera.fy * p_cam.y * z_inv2,
-        0.0, 0.0, 0.0,
+        camera.fx * z_inv,
+        0.0,
+        -camera.fx * p_cam.x * z_inv2,
+        0.0,
+        camera.fy * z_inv,
+        -camera.fy * p_cam.y * z_inv2,
+        0.0,
+        0.0,
+        0.0,
     );
     (j * *rot_wc, j)
 }

@@ -11,9 +11,10 @@
 use crate::gaussian::GaussianCloud;
 use crate::idset::IdSet;
 use crate::project::{falloff, project_gaussians, Projection};
-use crate::tiles::GaussianTables;
+use crate::tiles::{GaussianTables, TableEntry};
 use crate::{ALPHA_THRESHOLD, TRANSMITTANCE_MIN};
 use ags_image::{DepthImage, GrayImage, RgbImage};
+use ags_math::parallel::{par_map, Parallelism};
 use ags_math::{Se3, Vec2, Vec3};
 use ags_scene::PinholeCamera;
 
@@ -27,6 +28,10 @@ pub struct RenderOptions {
     /// Collect per-tile per-pixel Gaussian counts for the cycle-level
     /// hardware simulator.
     pub collect_tile_work: bool,
+    /// Thread-level parallelism of binning and rasterization. Tiles are
+    /// rasterized independently and merged in tile order, so the parallel
+    /// path is bit-identical to [`Parallelism::serial()`].
+    pub parallelism: Parallelism,
 }
 
 /// Per-Gaussian contribution statistics from one render.
@@ -137,12 +142,134 @@ pub fn render(
     options: &RenderOptions,
 ) -> RenderOutput {
     let projection = project_gaussians(cloud, camera, pose);
-    let tables = GaussianTables::build(&projection, camera);
+    let tables = GaussianTables::build_with(&projection, camera, &options.parallelism);
     rasterize(cloud, &projection, &tables, camera, options)
+}
+
+/// Everything one tile produces: local framebuffers plus workload counters,
+/// merged into the frame-level output in tile order.
+struct TileRaster {
+    color: Vec<Vec3>,
+    depth: Vec<f32>,
+    silhouette: Vec<f32>,
+    alpha_evals: u64,
+    blend_ops: u64,
+    early_terminated: u64,
+    skipped_pairs: u64,
+    work: Option<TileWork>,
+    /// `(gaussian id, touched pixels, negligible pixels)` per table entry.
+    contributions: Vec<(u32, u32, u32)>,
+}
+
+/// Rasterizes one tile into tile-local buffers (row-major within the tile).
+fn rasterize_tile(
+    projection: &Projection,
+    table: &[TableEntry],
+    bounds: (usize, usize, usize, usize),
+    tile_idx: usize,
+    options: &RenderOptions,
+) -> TileRaster {
+    let (x0, y0, x1, y1) = bounds;
+    let tile_w = x1 - x0;
+    let tile_h = y1 - y0;
+    let work = options.collect_tile_work.then(|| TileWork {
+        tile: tile_idx as u32,
+        per_pixel_evals: vec![0; tile_w * tile_h],
+        per_pixel_blends: vec![0; tile_w * tile_h],
+    });
+    let mut out = TileRaster {
+        color: Vec::new(),
+        depth: Vec::new(),
+        silhouette: Vec::new(),
+        alpha_evals: 0,
+        blend_ops: 0,
+        early_terminated: 0,
+        skipped_pairs: 0,
+        work,
+        contributions: Vec::new(),
+    };
+    if table.is_empty() {
+        return out;
+    }
+    out.color = vec![Vec3::ZERO; tile_w * tile_h];
+    out.depth = vec![0.0; tile_w * tile_h];
+    out.silhouette = vec![0.0; tile_w * tile_h];
+    if options.record_contributions {
+        out.contributions =
+            table.iter().map(|e| (projection.splats[e.splat_index as usize].id, 0, 0)).collect();
+    }
+
+    for py in y0..y1 {
+        for px in x0..x1 {
+            let pixel = Vec2::new(px as f32, py as f32);
+            let mut t = 1.0f32;
+            let mut c = Vec3::ZERO;
+            let mut d = 0.0f32;
+            let mut evals = 0u32;
+            let mut blends = 0u32;
+
+            for (k, entry) in table.iter().enumerate() {
+                let splat = &projection.splats[entry.splat_index as usize];
+                if let Some(skip) = &options.skip {
+                    if skip.contains(splat.id as usize) {
+                        continue;
+                    }
+                }
+                evals += 1;
+                let g = falloff(splat.conic, pixel - splat.mean);
+                let alpha = (splat.opacity * g).min(0.99);
+
+                if options.record_contributions {
+                    let entry_stats = &mut out.contributions[k];
+                    entry_stats.1 += 1;
+                    if alpha < ALPHA_THRESHOLD {
+                        entry_stats.2 += 1;
+                    }
+                }
+                if alpha < ALPHA_THRESHOLD {
+                    continue;
+                }
+                blends += 1;
+                c += splat.color * (t * alpha);
+                d += splat.depth * (t * alpha);
+                t *= 1.0 - alpha;
+                if t < TRANSMITTANCE_MIN {
+                    out.early_terminated += 1;
+                    break;
+                }
+            }
+
+            out.alpha_evals += evals as u64;
+            out.blend_ops += blends as u64;
+            let i = (py - y0) * tile_w + (px - x0);
+            out.color[i] = c;
+            out.depth[i] = d;
+            out.silhouette[i] = 1.0 - t;
+            if let Some(w) = out.work.as_mut() {
+                // The cycle model's per-pixel counters are u16; tables deeper
+                // than 65535 entries saturate instead of wrapping.
+                w.per_pixel_evals[i] = evals.min(u16::MAX as u32) as u16;
+                w.per_pixel_blends[i] = blends.min(u16::MAX as u32) as u16;
+            }
+        }
+    }
+
+    // Skip accounting: pairs whose splat is in the skip set.
+    if let Some(skip) = &options.skip {
+        out.skipped_pairs = table
+            .iter()
+            .filter(|e| skip.contains(projection.splats[e.splat_index as usize].id as usize))
+            .count() as u64;
+    }
+    out
 }
 
 /// Rasterizes pre-projected splats (lets callers reuse projection products
 /// across the forward and backward passes).
+///
+/// Tiles are independent: `options.parallelism` distributes them across
+/// workers and the per-tile outcomes are merged in tile order, making the
+/// parallel output bit-identical to the serial path.
 pub fn rasterize(
     cloud: &GaussianCloud,
     projection: &Projection,
@@ -162,84 +289,47 @@ pub fn rasterize(
     let mut contributions =
         options.record_contributions.then(|| ContributionStats::new(cloud.len()));
 
-    for (tile_idx, table) in tables.tables.iter().enumerate() {
-        let (x0, y0, x1, y1) = tables.grid.tile_bounds(tile_idx);
-        let tile_w = x1 - x0;
-        let tile_h = y1 - y0;
-        let mut work = options.collect_tile_work.then(|| TileWork {
-            tile: tile_idx as u32,
-            per_pixel_evals: vec![0; tile_w * tile_h],
-            per_pixel_blends: vec![0; tile_w * tile_h],
-        });
+    // Small frames on the SLAM hot path carry too little blending work to
+    // amortise thread spawns; auto mode drops to serial below ~1k pairs.
+    let par = options.parallelism.for_workload(tables.total_pairs as usize, 1024);
+    let outcomes = par_map(&par, tables.tables.len(), 1, |tile_idx| {
+        rasterize_tile(
+            projection,
+            &tables.tables[tile_idx],
+            tables.grid.tile_bounds(tile_idx),
+            tile_idx,
+            options,
+        )
+    });
 
-        if table.is_empty() {
-            if let Some(w) = work.take() {
-                stats.tile_work.push(w);
+    for (tile_idx, outcome) in outcomes.into_iter().enumerate() {
+        stats.alpha_evals += outcome.alpha_evals;
+        stats.blend_ops += outcome.blend_ops;
+        stats.early_terminated_pixels += outcome.early_terminated;
+        stats.skipped_pairs += outcome.skipped_pairs;
+        if let Some(w) = outcome.work {
+            stats.tile_work.push(w);
+        }
+        if let Some(c) = contributions.as_mut() {
+            for &(id, touched, negligible) in &outcome.contributions {
+                c.touched[id as usize] += touched;
+                c.negligible[id as usize] += negligible;
             }
+        }
+        // Empty tiles produced no buffers; the background fill already
+        // matches their contents.
+        if outcome.color.is_empty() {
             continue;
         }
-
+        let (x0, y0, x1, y1) = tables.grid.tile_bounds(tile_idx);
+        let tile_w = x1 - x0;
         for py in y0..y1 {
             for px in x0..x1 {
-                let pixel = Vec2::new(px as f32, py as f32);
-                let mut t = 1.0f32;
-                let mut c = Vec3::ZERO;
-                let mut d = 0.0f32;
-                let mut evals = 0u16;
-                let mut blends = 0u16;
-
-                for entry in table {
-                    let splat = &projection.splats[entry.splat_index as usize];
-                    if let Some(skip) = &options.skip {
-                        if skip.contains(splat.id as usize) {
-                            continue;
-                        }
-                    }
-                    evals += 1;
-                    let g = falloff(splat.conic, pixel - splat.mean);
-                    let alpha = (splat.opacity * g).min(0.99);
-
-                    if let Some(stats) = contributions.as_mut() {
-                        stats.touched[splat.id as usize] += 1;
-                        if alpha < ALPHA_THRESHOLD {
-                            stats.negligible[splat.id as usize] += 1;
-                        }
-                    }
-                    if alpha < ALPHA_THRESHOLD {
-                        continue;
-                    }
-                    blends += 1;
-                    c += splat.color * (t * alpha);
-                    d += splat.depth * (t * alpha);
-                    t *= 1.0 - alpha;
-                    if t < TRANSMITTANCE_MIN {
-                        stats.early_terminated_pixels += 1;
-                        break;
-                    }
-                }
-
-                stats.alpha_evals += evals as u64;
-                stats.blend_ops += blends as u64;
-                color.set(px, py, c);
-                depth.set(px, py, d);
-                silhouette.set(px, py, 1.0 - t);
-                if let Some(w) = work.as_mut() {
-                    let i = (py - y0) * tile_w + (px - x0);
-                    w.per_pixel_evals[i] = evals;
-                    w.per_pixel_blends[i] = blends;
-                }
+                let i = (py - y0) * tile_w + (px - x0);
+                color.set(px, py, outcome.color[i]);
+                depth.set(px, py, outcome.depth[i]);
+                silhouette.set(px, py, outcome.silhouette[i]);
             }
-        }
-
-        // Skip accounting: pairs whose splat is in the skip set.
-        if let Some(skip) = &options.skip {
-            stats.skipped_pairs += table
-                .iter()
-                .filter(|e| skip.contains(projection.splats[e.splat_index as usize].id as usize))
-                .count() as u64;
-        }
-        if let Some(w) = work.take() {
-            stats.tile_work.push(w);
         }
     }
 
@@ -250,6 +340,7 @@ pub fn rasterize(
 mod tests {
     use super::*;
     use crate::gaussian::Gaussian;
+    use ags_math::Parallelism;
 
     fn camera() -> PinholeCamera {
         PinholeCamera::from_fov(32, 32, 1.2)
@@ -268,7 +359,12 @@ mod tests {
 
     #[test]
     fn single_gaussian_renders_red_center() {
-        let out = render(&single_gaussian_cloud(0.9), &camera(), &Se3::IDENTITY, &RenderOptions::default());
+        let out = render(
+            &single_gaussian_cloud(0.9),
+            &camera(),
+            &Se3::IDENTITY,
+            &RenderOptions::default(),
+        );
         let c = out.color.at(15, 15);
         assert!(c.x > 0.5, "center should be strongly red, got {c:?}");
         assert!(c.y < 0.05 && c.z < 0.05);
@@ -279,7 +375,8 @@ mod tests {
 
     #[test]
     fn empty_cloud_renders_black() {
-        let out = render(&GaussianCloud::new(), &camera(), &Se3::IDENTITY, &RenderOptions::default());
+        let out =
+            render(&GaussianCloud::new(), &camera(), &Se3::IDENTITY, &RenderOptions::default());
         assert_eq!(out.color.at(5, 5), Vec3::ZERO);
         assert_eq!(out.stats.alpha_evals, 0);
         assert_eq!(out.stats.visible_splats, 0);
@@ -301,8 +398,18 @@ mod tests {
     fn front_gaussian_occludes_back() {
         let mut cloud = GaussianCloud::new();
         // Nearly opaque red in front, green behind.
-        cloud.push(Gaussian::isotropic(Vec3::new(0.0, 0.0, 2.0), 0.3, Vec3::new(1.0, 0.0, 0.0), 0.99));
-        cloud.push(Gaussian::isotropic(Vec3::new(0.0, 0.0, 4.0), 0.3, Vec3::new(0.0, 1.0, 0.0), 0.99));
+        cloud.push(Gaussian::isotropic(
+            Vec3::new(0.0, 0.0, 2.0),
+            0.3,
+            Vec3::new(1.0, 0.0, 0.0),
+            0.99,
+        ));
+        cloud.push(Gaussian::isotropic(
+            Vec3::new(0.0, 0.0, 4.0),
+            0.3,
+            Vec3::new(0.0, 1.0, 0.0),
+            0.99,
+        ));
         let out = render(&cloud, &camera(), &Se3::IDENTITY, &RenderOptions::default());
         let c = out.color.at(15, 15);
         assert!(c.x > 10.0 * c.y, "front red should dominate: {c:?}");
@@ -362,9 +469,70 @@ mod tests {
     }
 
     #[test]
+    fn parallel_rasterize_is_bit_identical_to_serial() {
+        use ags_math::Pcg32;
+        let mut cloud = GaussianCloud::new();
+        let mut rng = Pcg32::seeded(42);
+        for _ in 0..300 {
+            cloud.push(Gaussian::isotropic(
+                Vec3::new(
+                    rng.range_f32(-1.0, 1.0),
+                    rng.range_f32(-1.0, 1.0),
+                    rng.range_f32(0.5, 5.0),
+                ),
+                rng.range_f32(0.02, 0.3),
+                Vec3::new(rng.next_f32(), rng.next_f32(), rng.next_f32()),
+                rng.range_f32(0.1, 0.95),
+            ));
+        }
+        let mut skip = IdSet::with_capacity(cloud.len());
+        for id in (0..cloud.len()).step_by(3) {
+            skip.insert(id);
+        }
+        let cam = PinholeCamera::from_fov(64, 48, 1.2);
+        let base = RenderOptions {
+            skip: Some(skip),
+            record_contributions: true,
+            collect_tile_work: true,
+            parallelism: Parallelism::serial(),
+        };
+        let serial = render(&cloud, &cam, &Se3::IDENTITY, &base);
+        for threads in [2, 4, 7] {
+            let options =
+                RenderOptions { parallelism: Parallelism::with_threads(threads), ..base.clone() };
+            let parallel = render(&cloud, &cam, &Se3::IDENTITY, &options);
+            assert_eq!(serial.color.pixels(), parallel.color.pixels(), "{threads} threads");
+            assert_eq!(serial.depth.pixels(), parallel.depth.pixels());
+            assert_eq!(serial.silhouette.pixels(), parallel.silhouette.pixels());
+            assert_eq!(serial.stats.alpha_evals, parallel.stats.alpha_evals);
+            assert_eq!(serial.stats.blend_ops, parallel.stats.blend_ops);
+            assert_eq!(serial.stats.skipped_pairs, parallel.stats.skipped_pairs);
+            assert_eq!(
+                serial.stats.early_terminated_pixels,
+                parallel.stats.early_terminated_pixels
+            );
+            assert_eq!(serial.stats.tile_work.len(), parallel.stats.tile_work.len());
+            for (a, b) in serial.stats.tile_work.iter().zip(&parallel.stats.tile_work) {
+                assert_eq!(a.tile, b.tile);
+                assert_eq!(a.per_pixel_evals, b.per_pixel_evals);
+                assert_eq!(a.per_pixel_blends, b.per_pixel_blends);
+            }
+            let (sc, pc) =
+                (serial.contributions.as_ref().unwrap(), parallel.contributions.as_ref().unwrap());
+            assert_eq!(sc.touched, pc.touched);
+            assert_eq!(sc.negligible, pc.negligible);
+        }
+    }
+
+    #[test]
     fn alpha_is_clamped_below_one() {
         // opacity 0.999 clamps to 0.99 per splat; transmittance stays positive.
-        let out = render(&single_gaussian_cloud(0.999), &camera(), &Se3::IDENTITY, &RenderOptions::default());
+        let out = render(
+            &single_gaussian_cloud(0.999),
+            &camera(),
+            &Se3::IDENTITY,
+            &RenderOptions::default(),
+        );
         assert!(out.silhouette.at(15, 15) <= 1.0);
         assert!(out.silhouette.at(15, 15) > 0.9);
     }

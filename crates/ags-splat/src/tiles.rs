@@ -8,6 +8,7 @@
 
 use crate::project::{Projection, Splat2d};
 use crate::TILE_SIZE;
+use ags_math::parallel::{par_for_each_mut, par_map_ranges, Parallelism};
 use ags_scene::PinholeCamera;
 
 /// The tile decomposition of an image.
@@ -72,26 +73,71 @@ pub struct GaussianTables {
     pub total_pairs: u64,
 }
 
-impl GaussianTables {
-    /// Bins and sorts the splats of a projection into per-tile tables.
-    pub fn build(projection: &Projection, camera: &PinholeCamera) -> Self {
-        let grid = TileGrid::for_camera(camera);
-        let mut tables: Vec<Vec<TableEntry>> = vec![Vec::new(); grid.num_tiles()];
-        let mut total_pairs = 0u64;
+/// Minimum splats per binning chunk — below this the fork-join overhead
+/// dwarfs the work.
+const BIN_CHUNK: usize = 512;
+/// Minimum tiles per sort worker.
+const SORT_CHUNK: usize = 16;
 
-        for (si, splat) in projection.splats.iter().enumerate() {
-            let (c0, c1, r0, r1) = splat_tile_range(splat, &grid);
-            for row in r0..=r1 {
-                for col in c0..=c1 {
-                    tables[row * grid.cols + col]
-                        .push(TableEntry { splat_index: si as u32, depth: splat.depth });
-                    total_pairs += 1;
+impl GaussianTables {
+    /// Bins and sorts the splats of a projection into per-tile tables using
+    /// the default [`Parallelism`].
+    pub fn build(projection: &Projection, camera: &PinholeCamera) -> Self {
+        Self::build_with(projection, camera, &Parallelism::default())
+    }
+
+    /// [`build`](Self::build) with an explicit parallelism knob.
+    ///
+    /// Contiguous splat chunks are binned into chunk-local tables and merged
+    /// per tile in chunk order, reproducing the serial push order exactly;
+    /// the per-tile depth sort then runs on the same entry sequence either
+    /// way, so parallel output is bit-identical to
+    /// [`Parallelism::serial()`].
+    pub fn build_with(
+        projection: &Projection,
+        camera: &PinholeCamera,
+        parallelism: &Parallelism,
+    ) -> Self {
+        let grid = TileGrid::for_camera(camera);
+        let num_tiles = grid.num_tiles();
+        // Auto mode bins small clouds serially — one chunk, no spawns.
+        let parallelism = &parallelism.for_workload(projection.splats.len(), 2 * BIN_CHUNK);
+
+        let bin_chunk = |splats: std::ops::Range<usize>| {
+            let mut local: Vec<Vec<TableEntry>> = vec![Vec::new(); num_tiles];
+            let mut pairs = 0u64;
+            for si in splats {
+                let splat = &projection.splats[si];
+                let (c0, c1, r0, r1) = splat_tile_range(splat, &grid);
+                for row in r0..=r1 {
+                    for col in c0..=c1 {
+                        local[row * grid.cols + col]
+                            .push(TableEntry { splat_index: si as u32, depth: splat.depth });
+                        pairs += 1;
+                    }
                 }
             }
-        }
-        for table in &mut tables {
-            table.sort_by(|a, b| a.depth.partial_cmp(&b.depth).unwrap_or(std::cmp::Ordering::Equal));
-        }
+            (local, pairs)
+        };
+        let mut chunks = par_map_ranges(parallelism, projection.splats.len(), BIN_CHUNK, bin_chunk);
+
+        let total_pairs = chunks.iter().map(|(_, p)| p).sum();
+        let mut tables = if chunks.len() == 1 {
+            chunks.pop().expect("one chunk").0
+        } else {
+            let mut merged: Vec<Vec<TableEntry>> = vec![Vec::new(); num_tiles];
+            for (t, table) in merged.iter_mut().enumerate() {
+                table.reserve_exact(chunks.iter().map(|(c, _)| c[t].len()).sum());
+                for (chunk, _) in &chunks {
+                    table.extend_from_slice(&chunk[t]);
+                }
+            }
+            merged
+        };
+
+        par_for_each_mut(parallelism, &mut tables, SORT_CHUNK, |_, table| {
+            table.sort_unstable_by(|a, b| a.depth.total_cmp(&b.depth));
+        });
         Self { grid, tables, total_pairs }
     }
 
@@ -122,7 +168,7 @@ mod tests {
     use super::*;
     use crate::gaussian::{Gaussian, GaussianCloud};
     use crate::project::project_gaussians;
-    use ags_math::{Se3, Vec3};
+    use ags_math::{Parallelism, Se3, Vec3};
 
     fn camera() -> PinholeCamera {
         PinholeCamera::from_fov(64, 48, 1.2)
@@ -157,8 +203,13 @@ mod tests {
         let proj = project_gaussians(&cloud, &cam, &Se3::IDENTITY);
         assert_eq!(proj.splats.len(), 1);
         let tables = GaussianTables::build(&proj, &cam);
-        let occupied: Vec<usize> =
-            tables.tables.iter().enumerate().filter(|(_, t)| !t.is_empty()).map(|(i, _)| i).collect();
+        let occupied: Vec<usize> = tables
+            .tables
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| !t.is_empty())
+            .map(|(i, _)| i)
+            .collect();
         assert_eq!(occupied.len(), 1, "tiny splat should occupy one tile, got {occupied:?}");
     }
 
@@ -188,6 +239,52 @@ mod tests {
                 assert!(pair[0].depth <= pair[1].depth, "table not sorted");
             }
         }
+    }
+
+    #[test]
+    fn parallel_build_is_bit_identical_to_serial() {
+        use ags_math::Pcg32;
+        let mut cloud = GaussianCloud::new();
+        let mut rng = Pcg32::seeded(7);
+        for _ in 0..1500 {
+            cloud.push(Gaussian::isotropic(
+                Vec3::new(
+                    rng.range_f32(-1.5, 1.5),
+                    rng.range_f32(-1.0, 1.0),
+                    rng.range_f32(0.5, 6.0),
+                ),
+                rng.range_f32(0.01, 0.3),
+                Vec3::ONE,
+                0.5,
+            ));
+        }
+        let cam = camera();
+        let proj = project_gaussians(&cloud, &cam, &Se3::IDENTITY);
+        let serial = GaussianTables::build_with(&proj, &cam, &Parallelism::serial());
+        for threads in [2, 4, 7] {
+            let parallel =
+                GaussianTables::build_with(&proj, &cam, &Parallelism::with_threads(threads));
+            assert_eq!(serial.total_pairs, parallel.total_pairs);
+            assert_eq!(serial.grid, parallel.grid);
+            for (t, (a, b)) in serial.tables.iter().zip(&parallel.tables).enumerate() {
+                assert_eq!(a, b, "tile {t} differs with {threads} threads");
+            }
+        }
+    }
+
+    #[test]
+    fn depth_sort_is_nan_total() {
+        // total_cmp orders NaN depths deterministically instead of leaving
+        // them wherever the comparator's Equal fallback happened to put them.
+        let mut entries = [
+            TableEntry { splat_index: 0, depth: f32::NAN },
+            TableEntry { splat_index: 1, depth: 2.0 },
+            TableEntry { splat_index: 2, depth: 1.0 },
+        ];
+        entries.sort_unstable_by(|a, b| a.depth.total_cmp(&b.depth));
+        assert_eq!(entries[0].splat_index, 2);
+        assert_eq!(entries[1].splat_index, 1);
+        assert!(entries[2].depth.is_nan());
     }
 
     #[test]

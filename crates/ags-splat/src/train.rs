@@ -30,6 +30,7 @@ pub struct StepReport {
 ///
 /// `skip` excludes Gaussians from rendering *and* updating — the hook
 /// selective mapping uses.
+#[allow(clippy::too_many_arguments)]
 pub fn mapping_step(
     cloud: &mut GaussianCloud,
     adam: &mut Adam,
@@ -51,7 +52,7 @@ pub fn mapping_step(
     if let Some(grads) = &back.grads {
         adam.step(cloud, grads);
     }
-    StepReport { loss: loss.total, render: render, backward: back }
+    StepReport { loss: loss.total, render, backward: back }
 }
 
 /// Runs one *tracking* gradient evaluation: render → loss → pose gradient.
@@ -89,8 +90,18 @@ mod tests {
     /// Builds a "ground truth" scene of a few Gaussians and a target render.
     fn gt_setup() -> (GaussianCloud, RgbImage, DepthImage) {
         let mut gt_cloud = GaussianCloud::new();
-        gt_cloud.push(Gaussian::isotropic(Vec3::new(-0.2, 0.0, 2.0), 0.25, Vec3::new(0.9, 0.2, 0.1), 0.9));
-        gt_cloud.push(Gaussian::isotropic(Vec3::new(0.25, 0.1, 2.4), 0.3, Vec3::new(0.1, 0.8, 0.3), 0.9));
+        gt_cloud.push(Gaussian::isotropic(
+            Vec3::new(-0.2, 0.0, 2.0),
+            0.25,
+            Vec3::new(0.9, 0.2, 0.1),
+            0.9,
+        ));
+        gt_cloud.push(Gaussian::isotropic(
+            Vec3::new(0.25, 0.1, 2.4),
+            0.3,
+            Vec3::new(0.1, 0.8, 0.3),
+            0.9,
+        ));
         let out = render(&gt_cloud, &camera(), &Se3::IDENTITY, &RenderOptions::default());
         (gt_cloud, out.color, out.depth)
     }
@@ -107,14 +118,28 @@ mod tests {
         let cam = camera();
         let cfg = LossConfig::mapping();
         let first = mapping_step(
-            &mut cloud, &mut adam, &cam, &Se3::IDENTITY, &gt_rgb, &gt_depth, &cfg, None,
+            &mut cloud,
+            &mut adam,
+            &cam,
+            &Se3::IDENTITY,
+            &gt_rgb,
+            &gt_depth,
+            &cfg,
+            None,
             &RenderOptions::default(),
         )
         .loss;
         let mut last = first;
         for _ in 0..40 {
             last = mapping_step(
-                &mut cloud, &mut adam, &cam, &Se3::IDENTITY, &gt_rgb, &gt_depth, &cfg, None,
+                &mut cloud,
+                &mut adam,
+                &cam,
+                &Se3::IDENTITY,
+                &gt_rgb,
+                &gt_depth,
+                &cfg,
+                None,
                 &RenderOptions::default(),
             )
             .loss;
@@ -132,14 +157,27 @@ mod tests {
         let empty = render(&cloud, &cam, &Se3::IDENTITY, &RenderOptions::default());
         let mut rng = Pcg32::seeded(7);
         densify_from_frame(
-            &mut cloud, &cam, &Se3::IDENTITY, &gt_rgb, &gt_depth, &empty,
-            &DensifyConfig::default(), &mut rng,
+            &mut cloud,
+            &cam,
+            &Se3::IDENTITY,
+            &gt_rgb,
+            &gt_depth,
+            &empty,
+            &DensifyConfig::default(),
+            &mut rng,
         );
         let mut adam = Adam::new(AdamConfig::default());
         let cfg = LossConfig::mapping();
         for _ in 0..25 {
             mapping_step(
-                &mut cloud, &mut adam, &cam, &Se3::IDENTITY, &gt_rgb, &gt_depth, &cfg, None,
+                &mut cloud,
+                &mut adam,
+                &cam,
+                &Se3::IDENTITY,
+                &gt_rgb,
+                &gt_depth,
+                &cfg,
+                None,
                 &RenderOptions::default(),
             );
         }
@@ -163,8 +201,15 @@ mod tests {
         let mut adam = Adam::new(AdamConfig::default());
         let cam = camera();
         mapping_step(
-            &mut cloud, &mut adam, &cam, &Se3::IDENTITY, &gt_rgb, &gt_depth,
-            &LossConfig::mapping(), Some(&skip), &RenderOptions::default(),
+            &mut cloud,
+            &mut adam,
+            &cam,
+            &Se3::IDENTITY,
+            &gt_rgb,
+            &gt_depth,
+            &LossConfig::mapping(),
+            Some(&skip),
+            &RenderOptions::default(),
         );
         assert_eq!(cloud.gaussians()[1], frozen_before, "skipped gaussian must not move");
         assert_ne!(cloud.gaussians()[0].color, Vec3::splat(0.5), "active gaussian trains");
@@ -174,8 +219,14 @@ mod tests {
     fn tracking_gradient_is_nonzero_off_pose() {
         let (gt_cloud, gt_rgb, gt_depth) = gt_setup();
         let off_pose = Se3::from_translation(Vec3::new(0.03, 0.0, 0.0));
-        let (_, back, _) =
-            tracking_gradient(&gt_cloud, &camera(), &off_pose, &gt_rgb, &gt_depth, &LossConfig::tracking());
+        let (_, back, _) = tracking_gradient(
+            &gt_cloud,
+            &camera(),
+            &off_pose,
+            &gt_rgb,
+            &gt_depth,
+            &LossConfig::tracking(),
+        );
         let pg = back.pose.unwrap();
         let norm: f32 = pg.twist.iter().map(|t| t * t).sum::<f32>();
         assert!(norm > 0.0, "off-pose tracking gradient must be non-zero");

@@ -34,7 +34,10 @@ fn loss_only(
     compute_loss(&out, gt_rgb, gt_depth, &l2()).total_f64
 }
 
-fn fixture(num_gaussians: usize, seed: u64) -> (GaussianCloud, PinholeCamera, RgbImage, DepthImage) {
+fn fixture(
+    num_gaussians: usize,
+    seed: u64,
+) -> (GaussianCloud, PinholeCamera, RgbImage, DepthImage) {
     let cam = PinholeCamera::from_fov(24, 24, 1.2);
     let mut rng = Pcg32::seeded(seed);
     let mut cloud = GaussianCloud::new();
@@ -122,9 +125,8 @@ fn parameter_gradient_matches_fd_directional() {
     // Gaussian.
     let mut rng = Pcg32::seeded(99);
     let n = cloud.len();
-    let dirs: Vec<[f32; 10]> = (0..n)
-        .map(|_| std::array::from_fn(|_| rng.range_f32(-1.0, 1.0)))
-        .collect();
+    let dirs: Vec<[f32; 10]> =
+        (0..n).map(|_| std::array::from_fn(|_| rng.range_f32(-1.0, 1.0))).collect();
 
     let apply = |cloud: &GaussianCloud, eps: f32| -> GaussianCloud {
         let mut c = cloud.clone();
@@ -143,8 +145,7 @@ fn parameter_gradient_matches_fd_directional() {
         / (2.0 * eps as f64)) as f32;
 
     let mut analytic = 0.0f32;
-    for i in 0..n {
-        let d = &dirs[i];
+    for (i, d) in dirs.iter().enumerate().take(n) {
         analytic += grads.position[i].dot(Vec3::new(d[0], d[1], d[2]));
         analytic += grads.log_scale[i].dot(Vec3::new(d[3], d[4], d[5]));
         analytic += grads.color[i].dot(Vec3::new(d[6], d[7], d[8]));

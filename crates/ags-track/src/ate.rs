@@ -151,7 +151,9 @@ mod tests {
         let est: Vec<Se3> = gt
             .iter()
             .enumerate()
-            .map(|(i, p)| Se3::new(p.rotation, p.translation + Vec3::new(0.01 * i as f32, 0.0, 0.0)))
+            .map(|(i, p)| {
+                Se3::new(p.rotation, p.translation + Vec3::new(0.01 * i as f32, 0.0, 0.0))
+            })
             .collect();
         let ate = ate_rmse(&est, &gt);
         let rpe = rpe_translation(&est, &gt);

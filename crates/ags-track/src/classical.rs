@@ -155,7 +155,8 @@ impl ClassicalTracker {
                 if err < self.config.huber_px * 3.0 {
                     inliers += 1;
                 }
-                let wgt = if err <= self.config.huber_px { 1.0 } else { self.config.huber_px / err };
+                let wgt =
+                    if err <= self.config.huber_px { 1.0 } else { self.config.huber_px / err };
 
                 let z_inv = 1.0 / p_cam.z;
                 let z_inv2 = z_inv * z_inv;
@@ -196,11 +197,8 @@ impl ClassicalTracker {
 
         // Key-frame policy.
         let matched = matches.len();
-        let ratio = if kf.features.is_empty() {
-            0.0
-        } else {
-            matched as f32 / kf.features.len() as f32
-        };
+        let ratio =
+            if kf.features.is_empty() { 0.0 } else { matched as f32 / kf.features.len() as f32 };
         let need_new_kf =
             ratio < self.config.keyframe_inlier_ratio || matched < self.config.min_tracked;
         if need_new_kf {
@@ -209,7 +207,13 @@ impl ClassicalTracker {
 
         self.velocity = (pose * self.last_pose.inverse()).renormalized();
         self.last_pose = pose;
-        ClassicalResult { pose, matched, inliers, new_keyframe: need_new_kf, ssd_evaluations: ssd_evals }
+        ClassicalResult {
+            pose,
+            matched,
+            inliers,
+            new_keyframe: need_new_kf,
+            ssd_evaluations: ssd_evals,
+        }
     }
 
     fn adopt_keyframe(
@@ -265,7 +269,7 @@ impl ClassicalTracker {
                 for py in -pr..=pr {
                     for px in -pr..=pr {
                         let a = kf_gray.at_clamped(ax + px, ay + py);
-                        let b = cur.at(( mx + px) as usize, (my + py) as usize);
+                        let b = cur.at((mx + px) as usize, (my + py) as usize);
                         let d = a - b;
                         ssd += d * d;
                     }
@@ -299,7 +303,8 @@ pub fn detect_corners(gray: &GrayImage, max: usize, threshold: f32) -> Vec<Vec2>
             let mut sxy = 0.0;
             for dy in -1..=1isize {
                 for dx in -1..=1isize {
-                    let g = gray.gradient_at((x as isize + dx) as usize, (y as isize + dy) as usize);
+                    let g =
+                        gray.gradient_at((x as isize + dx) as usize, (y as isize + dy) as usize);
                     sxx += g.x * g.x;
                     syy += g.y * g.y;
                     sxy += g.x * g.y;
@@ -370,7 +375,8 @@ mod tests {
 
     #[test]
     fn first_frame_is_keyframe() {
-        let config = DatasetConfig { width: 64, height: 48, num_frames: 1, ..DatasetConfig::tiny() };
+        let config =
+            DatasetConfig { width: 64, height: 48, num_frames: 1, ..DatasetConfig::tiny() };
         let data = Dataset::generate(SceneId::Desk, &config);
         let mut tracker = ClassicalTracker::new(ClassicalConfig::default());
         let gray = data.frames[0].rgb.to_gray();
@@ -381,7 +387,8 @@ mod tests {
 
     #[test]
     fn keyframe_rotates_on_large_motion() {
-        let config = DatasetConfig { width: 64, height: 48, num_frames: 30, ..DatasetConfig::tiny() };
+        let config =
+            DatasetConfig { width: 64, height: 48, num_frames: 30, ..DatasetConfig::tiny() };
         let data = Dataset::generate(SceneId::Room, &config);
         let mut tracker = ClassicalTracker::new(ClassicalConfig::default());
         let mut new_kfs = 0;
@@ -397,13 +404,16 @@ mod tests {
 
     #[test]
     fn reports_workload() {
-        let config = DatasetConfig { width: 64, height: 48, num_frames: 3, ..DatasetConfig::tiny() };
+        let config =
+            DatasetConfig { width: 64, height: 48, num_frames: 3, ..DatasetConfig::tiny() };
         let data = Dataset::generate(SceneId::Desk, &config);
         let mut tracker = ClassicalTracker::new(ClassicalConfig::default());
         let mut total = 0u64;
         for frame in &data.frames {
             let gray = frame.rgb.to_gray();
-            total += tracker.track(&data.camera, &gray, &frame.depth, data.frames[0].gt_pose).ssd_evaluations;
+            total += tracker
+                .track(&data.camera, &gray, &frame.depth, data.frames[0].gt_pose)
+                .ssd_evaluations;
         }
         assert!(total > 0);
     }

@@ -115,8 +115,7 @@ impl CoarseTracker {
         depth: &DepthImage,
         initial_pose: Se3,
     ) -> CoarseResult {
-        let pyramid =
-            RgbdPyramid::build(gray.clone(), depth.clone(), self.config.pyramid_levels);
+        let pyramid = RgbdPyramid::build(gray.clone(), depth.clone(), self.config.pyramid_levels);
 
         let Some(prev) = self.previous.take() else {
             self.previous = Some(PreviousFrame { pyramid, pose: initial_pose, gray: gray.clone() });
@@ -330,7 +329,8 @@ mod tests {
     use ags_scene::dataset::{Dataset, DatasetConfig, SceneId};
 
     fn track_scene(id: SceneId, frames: usize) -> (Vec<Se3>, Vec<Se3>) {
-        let config = DatasetConfig { width: 64, height: 48, num_frames: frames, ..DatasetConfig::tiny() };
+        let config =
+            DatasetConfig { width: 64, height: 48, num_frames: frames, ..DatasetConfig::tiny() };
         let data = Dataset::generate(id, &config);
         let mut tracker = CoarseTracker::new(CoarseConfig::default());
         let mut estimated = Vec::new();
@@ -372,7 +372,8 @@ mod tests {
 
     #[test]
     fn static_camera_stays_put() {
-        let config = DatasetConfig { width: 64, height: 48, num_frames: 1, ..DatasetConfig::tiny() };
+        let config =
+            DatasetConfig { width: 64, height: 48, num_frames: 1, ..DatasetConfig::tiny() };
         let data = Dataset::generate(SceneId::Desk, &config);
         let frame = &data.frames[0];
         let gray = frame.rgb.to_gray();
@@ -380,13 +381,18 @@ mod tests {
         tracker.track(&data.camera, &gray, &frame.depth, frame.gt_pose);
         // Feed the identical frame again: relative motion must be ~0.
         let r = tracker.track(&data.camera, &gray, &frame.depth, frame.gt_pose);
-        assert!(r.pose.translation_distance(&frame.gt_pose) < 2e-3, "drift {}", r.pose.translation_distance(&frame.gt_pose));
+        assert!(
+            r.pose.translation_distance(&frame.gt_pose) < 2e-3,
+            "drift {}",
+            r.pose.translation_distance(&frame.gt_pose)
+        );
         assert!(r.pose.rotation_angle_to(&frame.gt_pose) < 2e-3);
     }
 
     #[test]
     fn backbone_workload_is_reported() {
-        let config = DatasetConfig { width: 64, height: 48, num_frames: 2, ..DatasetConfig::tiny() };
+        let config =
+            DatasetConfig { width: 64, height: 48, num_frames: 2, ..DatasetConfig::tiny() };
         let data = Dataset::generate(SceneId::Desk, &config);
         let mut tracker = CoarseTracker::new(CoarseConfig::default());
         for frame in &data.frames {
@@ -401,7 +407,8 @@ mod tests {
 
     #[test]
     fn correct_pose_rebases_next_frame() {
-        let config = DatasetConfig { width: 64, height: 48, num_frames: 3, ..DatasetConfig::tiny() };
+        let config =
+            DatasetConfig { width: 64, height: 48, num_frames: 3, ..DatasetConfig::tiny() };
         let data = Dataset::generate(SceneId::Xyz, &config);
         let mut tracker = CoarseTracker::new(CoarseConfig::default());
         let g0 = data.frames[0].rgb.to_gray();

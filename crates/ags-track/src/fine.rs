@@ -88,7 +88,14 @@ impl GsPoseRefiner {
         gt_rgb: &RgbImage,
         gt_depth: &DepthImage,
     ) -> RefineResult {
-        self.refine_with_iterations(cloud, camera, initial_pose, gt_rgb, gt_depth, self.config.iterations)
+        self.refine_with_iterations(
+            cloud,
+            camera,
+            initial_pose,
+            gt_rgb,
+            gt_depth,
+            self.config.iterations,
+        )
     }
 
     /// Runs up to `iterations` pose-only training iterations (used by the
@@ -175,7 +182,8 @@ mod tests {
         let mut cloud = GaussianCloud::new();
         for gy in 0..12 {
             for gx in 0..16 {
-                let z = 1.7 + 0.4 * ((gx * 7 + gy * 3) % 5) as f32 / 5.0
+                let z = 1.7
+                    + 0.4 * ((gx * 7 + gy * 3) % 5) as f32 / 5.0
                     + 0.3 * ((gx as f32 * 0.8).sin() * (gy as f32 * 0.6).cos());
                 cloud.push(Gaussian::isotropic(
                     Vec3::new((gx as f32 - 7.5) * 0.22, (gy as f32 - 5.5) * 0.22, z),
@@ -194,10 +202,7 @@ mod tests {
         let cam = camera();
         let gt_pose = Se3::IDENTITY;
         let gt = render(&cloud, &cam, &gt_pose, &RenderOptions::default());
-        let off = Se3::new(
-            Quat::from_axis_angle(Vec3::Y, 0.015),
-            Vec3::new(0.02, -0.01, 0.015),
-        );
+        let off = Se3::new(Quat::from_axis_angle(Vec3::Y, 0.015), Vec3::new(0.02, -0.01, 0.015));
         let refiner = GsPoseRefiner::new(RefineConfig { iterations: 40, ..Default::default() });
         let result = refiner.refine(&cloud, &cam, off, &gt.color, &gt.depth);
         let before_t = off.translation_distance(&gt_pose);
@@ -243,10 +248,18 @@ mod tests {
         let cam = camera();
         let gt = render(&cloud, &cam, &Se3::IDENTITY, &RenderOptions::default());
         let off = Se3::from_translation(Vec3::new(0.03, 0.01, 0.0));
-        let short = GsPoseRefiner::new(RefineConfig { iterations: 4, convergence_eps: 0.0, ..Default::default() })
-            .refine(&cloud, &cam, off, &gt.color, &gt.depth);
-        let long = GsPoseRefiner::new(RefineConfig { iterations: 40, convergence_eps: 0.0, ..Default::default() })
-            .refine(&cloud, &cam, off, &gt.color, &gt.depth);
+        let short = GsPoseRefiner::new(RefineConfig {
+            iterations: 4,
+            convergence_eps: 0.0,
+            ..Default::default()
+        })
+        .refine(&cloud, &cam, off, &gt.color, &gt.depth);
+        let long = GsPoseRefiner::new(RefineConfig {
+            iterations: 40,
+            convergence_eps: 0.0,
+            ..Default::default()
+        })
+        .refine(&cloud, &cam, off, &gt.color, &gt.depth);
         assert!(long.final_loss <= short.final_loss * 1.05);
         assert!(long.workload.render.alpha_evals > short.workload.render.alpha_evals);
     }

@@ -43,5 +43,8 @@ fn main() {
     println!("ATE (cm)      {:>12.2} {:>12.2}", base_eval.ate_cm, ags_eval.ate_cm);
     println!("PSNR (dB)     {:>12.2} {:>12.2}", base_eval.psnr_db, ags_eval.psnr_db);
     println!("edge time(ms) {:>12.1} {:>12.1}", gpu_ms, ags_ms);
-    println!("\nmodelled edge speedup: {:.2}x — the robot starts delivering sooner", gpu_ms / ags_ms);
+    println!(
+        "\nmodelled edge speedup: {:.2}x — the robot starts delivering sooner",
+        gpu_ms / ags_ms
+    );
 }

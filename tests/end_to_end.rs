@@ -2,16 +2,12 @@
 
 use ags::core::trace::WorkloadTrace;
 use ags::prelude::*;
-use ags::slam::evaluate_map;
 use ags::sim::platform::AgsFeatures;
+use ags::slam::evaluate_map;
 
 fn tiny_dataset(id: SceneId, frames: usize) -> Dataset {
-    let config = DatasetConfig {
-        width: 64,
-        height: 48,
-        num_frames: frames * 4,
-        ..DatasetConfig::default()
-    };
+    let config =
+        DatasetConfig { width: 64, height: 48, num_frames: frames * 4, ..DatasetConfig::default() };
     let mut data = Dataset::generate(id, &config);
     data.truncate(frames);
     data
@@ -86,9 +82,7 @@ fn covisibility_tracks_ground_truth_motion() {
     for frame in &data.frames {
         let report = codec.push_rgb(&frame.rgb);
         if let Some(fc) = report.fc_prev {
-            let motion = data.frames[frame.index - 1]
-                .gt_pose
-                .translation_distance(&frame.gt_pose)
+            let motion = data.frames[frame.index - 1].gt_pose.translation_distance(&frame.gt_pose)
                 + data.frames[frame.index - 1].gt_pose.rotation_angle_to(&frame.gt_pose);
             rows.push((motion, fc.value()));
         }
