@@ -1,0 +1,162 @@
+//! CI perf gate: compares the freshly generated `BENCH_kernels.json`
+//! against the committed baseline and fails on end-to-end throughput
+//! regressions.
+//!
+//! Usage: `perf_gate <baseline.json> <current.json> [max-regression]`
+//!
+//! `max-regression` is a fraction (default `0.25`): the gate fails when any
+//! gated metric of the current run falls below
+//! `baseline * (1 - max_regression)`. Gated metrics are the end-to-end
+//! `process_frame` frame rates — the numbers the ROADMAP tracks per PR:
+//!
+//! * `serial_frames_per_s`
+//! * `parallel_frames_per_s`
+//! * `overlapped_frames_per_s`
+//!
+//! Improvements and new metrics never fail the gate; a metric missing from
+//! the *current* file does (the bench must keep emitting what the gate
+//! checks).
+//!
+//! The comparison assumes baseline and current numbers come from the same
+//! hardware class: wall-clock frames/s on a much slower (or faster) host
+//! would gate the machine, not the code. The generous 25 % default budget
+//! absorbs runner-to-runner noise within one class; whoever regenerates the
+//! committed `BENCH_kernels.json` on exotic hardware should expect the next
+//! CI run to re-baseline it.
+
+use std::process::ExitCode;
+
+/// The gated metrics: end-to-end frames/s (higher is better).
+const GATED_KEYS: [&str; 3] =
+    ["serial_frames_per_s", "parallel_frames_per_s", "overlapped_frames_per_s"];
+
+/// Extracts the first `"key": <number>` value from a JSON document.
+///
+/// The bench writes flat, machine-generated JSON with unique metric names,
+/// so a scanner is enough — no JSON dependency needed in CI.
+fn extract_metric(json: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\"");
+    let at = json.find(&needle)?;
+    let rest = &json[at + needle.len()..];
+    let colon = rest.find(':')?;
+    let value = rest[colon + 1..].trim_start();
+    let end = value
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == '+' || c == 'e'))
+        .unwrap_or(value.len());
+    value[..end].parse().ok()
+}
+
+fn run(
+    baseline_json: &str,
+    current_json: &str,
+    max_regression: f64,
+) -> Result<Vec<String>, String> {
+    let mut report = Vec::new();
+    for key in GATED_KEYS {
+        let Some(base) = extract_metric(baseline_json, key) else {
+            // Baseline predates this metric: nothing to gate against.
+            report.push(format!("{key}: no baseline, skipped"));
+            continue;
+        };
+        let Some(current) = extract_metric(current_json, key) else {
+            return Err(format!("{key}: missing from the current bench output"));
+        };
+        let floor = base * (1.0 - max_regression);
+        let delta = (current / base - 1.0) * 100.0;
+        if current < floor {
+            return Err(format!(
+                "{key}: {current:.3} is below the allowed floor {floor:.3} \
+                 (baseline {base:.3}, {delta:+.1}%)"
+            ));
+        }
+        report.push(format!("{key}: {current:.3} vs baseline {base:.3} ({delta:+.1}%) ok"));
+    }
+    Ok(report)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    if args.len() < 3 {
+        eprintln!("usage: perf_gate <baseline.json> <current.json> [max-regression]");
+        return ExitCode::from(2);
+    }
+    let max_regression: f64 = args.get(3).map(|s| s.parse().expect("fraction")).unwrap_or(0.25);
+    let read = |path: &str| {
+        std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"))
+    };
+    let baseline = read(&args[1]);
+    let current = read(&args[2]);
+    match run(&baseline, &current, max_regression) {
+        Ok(report) => {
+            println!("perf gate passed (max allowed regression {:.0}%):", max_regression * 100.0);
+            for line in report {
+                println!("  {line}");
+            }
+            ExitCode::SUCCESS
+        }
+        Err(message) => {
+            eprintln!("perf gate FAILED: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(serial: f64, parallel: f64, overlapped: f64) -> String {
+        format!(
+            r#"{{ "end_to_end": {{ "serial_frames_per_s": {serial},
+                 "parallel_frames_per_s": {parallel},
+                 "overlapped_frames_per_s": {overlapped} }} }}"#
+        )
+    }
+
+    #[test]
+    fn extracts_numbers_by_key() {
+        let json = doc(7.5, 8.25, 7.9);
+        assert_eq!(extract_metric(&json, "serial_frames_per_s"), Some(7.5));
+        assert_eq!(extract_metric(&json, "parallel_frames_per_s"), Some(8.25));
+        assert_eq!(extract_metric(&json, "missing"), None);
+    }
+
+    #[test]
+    fn passes_within_threshold_and_on_improvement() {
+        let baseline = doc(10.0, 10.0, 10.0);
+        // -20% is inside the 25% budget; improvements always pass.
+        let current = doc(8.0, 12.0, 10.0);
+        assert!(run(&baseline, &current, 0.25).is_ok());
+    }
+
+    #[test]
+    fn fails_beyond_threshold() {
+        let baseline = doc(10.0, 10.0, 10.0);
+        let current = doc(7.0, 10.0, 10.0); // -30%
+        let err = run(&baseline, &current, 0.25).unwrap_err();
+        assert!(err.contains("serial_frames_per_s"), "{err}");
+    }
+
+    #[test]
+    fn fails_when_current_drops_a_metric() {
+        let baseline = doc(10.0, 10.0, 10.0);
+        let current = r#"{ "end_to_end": { "serial_frames_per_s": 10.0 } }"#;
+        let err = run(&baseline, current, 0.25).unwrap_err();
+        assert!(err.contains("parallel_frames_per_s"), "{err}");
+    }
+
+    #[test]
+    fn skips_metrics_absent_from_baseline() {
+        let baseline = r#"{ "bench": "kernels" }"#; // pre-gate baseline
+        let current = doc(1.0, 1.0, 1.0);
+        let report = run(baseline, &current, 0.25).unwrap();
+        assert!(report.iter().all(|l| l.contains("skipped")));
+    }
+
+    #[test]
+    fn parses_scientific_and_negative_numbers() {
+        let json = r#"{"serial_frames_per_s": 1.5e2, "parallel_frames_per_s": -3}"#;
+        assert_eq!(extract_metric(json, "serial_frames_per_s"), Some(150.0));
+        assert_eq!(extract_metric(json, "parallel_frames_per_s"), Some(-3.0));
+    }
+}

@@ -85,9 +85,7 @@ impl LumaPlane {
         for row in 0..block {
             let a = &self.data[(y + row) * self.width + x..][..block];
             let b = &reference.data[(ry + row) * reference.width + rx..][..block];
-            for (pa, pb) in a.iter().zip(b) {
-                sad += pa.abs_diff(*pb) as u32;
-            }
+            sad += row_sad(a, b);
         }
         sad
     }
@@ -119,15 +117,66 @@ impl LumaPlane {
         for row in 0..block {
             let a = &self.data[(y + row) * self.width + x..][..block];
             let b = &reference.data[(ry + row) * reference.width + rx..][..block];
-            for (pa, pb) in a.iter().zip(b) {
-                sad += pa.abs_diff(*pb) as u32;
-            }
+            sad += row_sad(a, b);
             if sad > bound {
                 return sad;
             }
         }
         sad
     }
+
+    /// Scalar reference SAD — the pre-vectorisation kernel, kept for
+    /// identity tests and the `sad_kernel` benchmark baseline.
+    #[inline]
+    pub fn block_sad_scalar(
+        &self,
+        x: usize,
+        y: usize,
+        reference: &LumaPlane,
+        rx: usize,
+        ry: usize,
+        block: usize,
+    ) -> u32 {
+        debug_assert!(x + block <= self.width && y + block <= self.height);
+        debug_assert!(rx + block <= reference.width && ry + block <= reference.height);
+        let mut sad = 0u32;
+        for row in 0..block {
+            let a = &self.data[(y + row) * self.width + x..][..block];
+            let b = &reference.data[(ry + row) * reference.width + rx..][..block];
+            for (pa, pb) in a.iter().zip(b) {
+                sad += pa.abs_diff(*pb) as u32;
+            }
+        }
+        sad
+    }
+}
+
+/// Width of the fixed SAD lane group. Eight `u8` lanes widened to `u32`
+/// accumulators compile to a single SIMD register on SSE2/NEON targets.
+const SAD_LANES: usize = 8;
+
+/// SAD of one block row: fixed-width lane accumulation over groups of
+/// [`SAD_LANES`] pixels plus a scalar tail.
+///
+/// The per-lane sums are integers, so any association is exact — this is
+/// bit-identical to the scalar reference for every input, while the
+/// branch-free fixed-width inner loop autovectorises (`u8`→`u32` widening
+/// absolute difference per lane, horizontal add once per row).
+#[inline]
+fn row_sad(a: &[u8], b: &[u8]) -> u32 {
+    let mut lanes = [0u32; SAD_LANES];
+    let mut chunks_a = a.chunks_exact(SAD_LANES);
+    let mut chunks_b = b.chunks_exact(SAD_LANES);
+    for (ca, cb) in (&mut chunks_a).zip(&mut chunks_b) {
+        for i in 0..SAD_LANES {
+            lanes[i] += ca[i].abs_diff(cb[i]) as u32;
+        }
+    }
+    let mut sad: u32 = lanes.iter().sum();
+    for (pa, pb) in chunks_a.remainder().iter().zip(chunks_b.remainder()) {
+        sad += pa.abs_diff(*pb) as u32;
+    }
+    sad
 }
 
 #[cfg(test)]
@@ -183,6 +232,31 @@ mod tests {
         let early = a.block_sad_bounded(2, 3, &b, 4, 1, 8, exact / 4);
         assert!(early > exact / 4);
         assert!(early <= exact);
+    }
+
+    #[test]
+    fn chunked_row_kernel_matches_scalar_reference() {
+        // Random-ish planes, block widths covering lane-exact (8, 16), sub-lane
+        // (5) and tail (17, 23) shapes; chunked and scalar sums are integers so
+        // they must agree bit-for-bit at every offset.
+        let a = LumaPlane::from_fn(64, 48, |x, y| (((x * 37 + y * 101) ^ (x * y)) % 256) as u8);
+        let b = LumaPlane::from_fn(64, 48, |x, y| (((x * 53 + y * 19) ^ (x + y * 7)) % 256) as u8);
+        for block in [5usize, 8, 16, 17, 23] {
+            for (x, y, rx, ry) in [(0, 0, 0, 0), (3, 7, 11, 2), (64 - block, 48 - block, 1, 5)] {
+                let chunked = a.block_sad(x, y, &b, rx, ry, block);
+                let scalar = a.block_sad_scalar(x, y, &b, rx, ry, block);
+                assert_eq!(chunked, scalar, "block {block} at ({x},{y})/({rx},{ry})");
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_sad_agrees_with_unbounded_below_bound() {
+        let a = LumaPlane::from_fn(32, 32, |x, y| ((x * 91 + y * 57) % 256) as u8);
+        let b = LumaPlane::from_fn(32, 32, |x, y| ((x * 33 + y * 72 + 9) % 256) as u8);
+        let exact = a.block_sad(4, 4, &b, 9, 2, 16);
+        assert_eq!(a.block_sad_bounded(4, 4, &b, 9, 2, 16, exact), exact);
+        assert_eq!(exact, a.block_sad_scalar(4, 4, &b, 9, 2, 16));
     }
 
     #[test]

@@ -5,6 +5,52 @@ use ags_math::Parallelism;
 use ags_slam::SlamConfig;
 use ags_track::coarse::CoarseConfig;
 
+/// Execution strategy of the assembled pipeline (paper Fig. 9).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PipelineMode {
+    /// One thread runs FC → track → map per frame, in order.
+    #[default]
+    Serial,
+    /// CODEC FC detection runs on a dedicated worker thread connected by a
+    /// bounded channel, overlapping frame `N+1`'s FC work with frame `N`'s
+    /// tracking/mapping (Fig. 9b). Bit-identical to [`PipelineMode::Serial`].
+    Overlapped,
+}
+
+/// How the stage graph is driven (see `ags_core::pipelined`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PipelineConfig {
+    /// Serial or overlapped execution.
+    pub mode: PipelineMode,
+    /// Frames of FC lookahead in [`PipelineMode::Overlapped`]: the bounded
+    /// stage channel buffers at most this many frames ahead of the SLAM
+    /// stage (clamped to `1..=8` by the driver). The paper's Fig. 9(b)
+    /// corresponds to a depth of 1.
+    pub depth: usize,
+    /// Test-only backpressure knob: stalls every map-stage invocation by
+    /// this many milliseconds so stress tests can force the FC worker to
+    /// run ahead and block on the bounded channel. Keep `0` in production.
+    pub stress_map_stall_ms: u64,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        Self { mode: PipelineMode::Serial, depth: 1, stress_map_stall_ms: 0 }
+    }
+}
+
+impl PipelineConfig {
+    /// Overlapped execution with the given lookahead depth.
+    pub fn overlapped(depth: usize) -> Self {
+        Self { mode: PipelineMode::Overlapped, depth, ..Self::default() }
+    }
+
+    /// The lookahead depth clamped to the supported range.
+    pub fn clamped_depth(&self) -> usize {
+        self.depth.clamp(1, 8)
+    }
+}
+
 /// Configuration of the AGS pipeline.
 ///
 /// Paper reference values (640×480): `ThreshT = 90 %`, `IterT = 20`,
@@ -38,10 +84,13 @@ pub struct AgsConfig {
     /// measure the false-positive rate (§6.2). Costs an extra audit render.
     pub audit_false_positives: bool,
     /// Thread-level parallelism of the hot kernels (CODEC motion estimation,
-    /// tile binning, rasterization). Applied on top of `codec.parallelism`
-    /// by [`crate::pipeline::AgsSlam::new`]; parallel execution is
+    /// tile binning, rasterization, backward pass). Applied on top of
+    /// `codec.parallelism` by [`AgsConfig::resolve`]; parallel execution is
     /// bit-identical to [`Parallelism::serial()`].
     pub parallelism: Parallelism,
+    /// Stage-graph execution strategy: serial, or FC overlapped with
+    /// tracking/mapping on a worker thread (Fig. 9b).
+    pub pipeline: PipelineConfig,
 }
 
 impl Default for AgsConfig {
@@ -56,6 +105,7 @@ impl Default for AgsConfig {
             codec: CodecConfig::default(),
             audit_false_positives: false,
             parallelism: Parallelism::default(),
+            pipeline: PipelineConfig::default(),
         }
     }
 }
@@ -70,6 +120,17 @@ impl AgsConfig {
     /// of negligible-α pixels above which a Gaussian is skipped).
     pub fn thresh_n_pixels(&self, width: usize, height: usize) -> u32 {
         ((width * height) as f32 * self.thresh_n_fraction).round().max(1.0) as u32
+    }
+
+    /// Resolves derived settings: one knob rules the whole pipeline — the
+    /// CODEC inherits the system-level parallelism setting unless the caller
+    /// configured the codec's own knob away from its default. Both pipeline
+    /// drivers call this on construction.
+    pub fn resolve(mut self) -> Self {
+        if self.codec.parallelism == Parallelism::default() {
+            self.codec.parallelism = self.parallelism;
+        }
+        self
     }
 }
 

@@ -14,9 +14,15 @@
 //!   mapping** (§4.3): key frames run full mapping and record, per Gaussian,
 //!   on how many pixels its α stayed below `Threshα`; Gaussians negligible
 //!   on more than `ThreshN` pixels are skipped on subsequent non-key frames.
-//! * [`pipeline::AgsSlam`] — the assembled system with the pipelined
-//!   execution flow of Fig. 9(b), emitting a [`trace::WorkloadTrace`] the
-//!   `ags-sim` hardware models consume.
+//! * [`stages`] — the pipeline decomposed into an explicit stage graph:
+//!   [`stages::FcStage`], [`stages::TrackStage`] and [`stages::MapStage`]
+//!   with typed inputs/outputs.
+//! * [`pipeline::AgsSlam`] — the assembled system (serial stage execution),
+//!   emitting a [`trace::WorkloadTrace`] the `ags-sim` hardware models
+//!   consume.
+//! * [`pipelined::PipelinedAgsSlam`] — the execution flow of Fig. 9(b) with
+//!   real threads: FC detection of frame `N+1` overlaps tracking/mapping of
+//!   frame `N` over a bounded channel, bit-identical to the serial driver.
 //!
 //! # Example
 //!
@@ -38,10 +44,14 @@ pub mod config;
 pub mod contribution;
 pub mod fc;
 pub mod pipeline;
+pub mod pipelined;
+pub mod stages;
 pub mod trace;
 
-pub use config::AgsConfig;
+pub use config::{AgsConfig, PipelineConfig, PipelineMode};
 pub use contribution::ContributionTracker;
 pub use fc::FcDetector;
 pub use pipeline::{AgsFrameRecord, AgsSlam};
-pub use trace::{TraceFrame, WorkloadTrace};
+pub use pipelined::PipelinedAgsSlam;
+pub use stages::{FcStage, FrameImages, FrameInput, MapStage, TrackStage};
+pub use trace::{StageTimes, TraceFrame, WorkloadTrace};

@@ -3,34 +3,31 @@
 //! Per incoming frame:
 //!
 //! 1. The CODEC computes covisibility against the previous frame and the
-//!    last key frame ([`crate::fc::FcDetector`]).
-//! 2. **Movement-adaptive tracking**: the coarse Droid-style estimator runs
-//!    on every frame; frames with `FC < ThreshT` additionally run `IterT`
-//!    3DGS pose-refinement iterations.
-//! 3. **Gaussian contribution-aware mapping**: frames with
-//!    `FC(keyframe) < ThreshM` are key frames running full mapping with
-//!    contribution recording; other frames run selective mapping that skips
-//!    the predicted non-contributory Gaussians.
+//!    last key frame ([`crate::stages::FcStage`]).
+//! 2. **Movement-adaptive tracking** ([`crate::stages::TrackStage`]): the
+//!    coarse Droid-style estimator runs on every frame; frames with
+//!    `FC < ThreshT` additionally run `IterT` 3DGS pose-refinement
+//!    iterations.
+//! 3. **Gaussian contribution-aware mapping**
+//!    ([`crate::stages::MapStage`]): frames with `FC(keyframe) < ThreshM`
+//!    are key frames running full mapping with contribution recording;
+//!    other frames run selective mapping that skips the predicted
+//!    non-contributory Gaussians.
+//!
+//! [`AgsSlam`] drives the three stages serially on the calling thread.
+//! [`crate::pipelined::PipelinedAgsSlam`] runs the FC stage on a worker
+//! thread instead, overlapping frame `N+1`'s CODEC work with frame `N`'s
+//! tracking/mapping — with bit-identical results.
 
 use crate::config::AgsConfig;
-use crate::contribution::ContributionTracker;
-use crate::fc::FcDetector;
-use crate::trace::{TraceFrame, WorkloadTrace};
+use crate::fc::FcDecision;
+use crate::stages::{FcStage, FrameImages, FrameInput, MapStage, TrackStage};
+use crate::trace::{StageTimes, TraceFrame, WorkloadTrace};
 use ags_image::{DepthImage, RgbImage};
-use ags_math::{Pcg32, Se3};
+use ags_math::Se3;
 use ags_scene::PinholeCamera;
-use ags_slam::keyframes::{KeyframeStore, StoredKeyframe};
-use ags_slam::{Backbone, WorkUnits};
-use ags_splat::backward::{backward, GradMode};
-use ags_splat::densify::densify_from_frame;
-use ags_splat::loss::compute_loss;
-use ags_splat::optim::Adam;
-use ags_splat::project::project_gaussians;
-use ags_splat::render::{rasterize, RenderOptions};
-use ags_splat::tiles::GaussianTables;
-use ags_splat::{GaussianCloud, IdSet};
-use ags_track::coarse::CoarseTracker;
-use ags_track::fine::{GsPoseRefiner, RefineConfig};
+use ags_splat::GaussianCloud;
+use std::time::Instant;
 
 /// Per-frame AGS processing record.
 #[derive(Debug, Clone)]
@@ -43,86 +40,145 @@ pub struct AgsFrameRecord {
     pub skipped_gaussians: usize,
 }
 
-/// The AGS-accelerated 3DGS-SLAM system.
+/// Everything downstream of FC detection: the tracking and mapping stages
+/// plus the state they share (map, trajectory, trace). Both pipeline drivers
+/// advance the same body, which is what makes them bit-identical.
 #[derive(Debug)]
-pub struct AgsSlam {
+pub(crate) struct SlamBody {
     config: AgsConfig,
-    fc: FcDetector,
-    coarse: CoarseTracker,
-    refiner: GsPoseRefiner,
-    contribution: ContributionTracker,
+    track: TrackStage,
+    map: MapStage,
     cloud: GaussianCloud,
-    adam: Adam,
-    keyframes: KeyframeStore,
-    rng: Pcg32,
     trajectory: Vec<Se3>,
     frame_count: usize,
-    keyframe_count: usize,
-    trainable_from: usize,
     trace: WorkloadTrace,
-    /// Scratch slot carrying sampled tile work out of `map_step`.
-    last_tile_work: Option<Vec<ags_splat::render::TileWork>>,
+}
+
+impl SlamBody {
+    /// Builds the body from a **resolved** configuration.
+    pub(crate) fn new(config: AgsConfig) -> Self {
+        Self {
+            track: TrackStage::new(&config),
+            map: MapStage::new(&config),
+            config,
+            cloud: GaussianCloud::new(),
+            trajectory: Vec::new(),
+            frame_count: 0,
+            trace: WorkloadTrace::default(),
+        }
+    }
+
+    pub(crate) fn config(&self) -> &AgsConfig {
+        &self.config
+    }
+
+    pub(crate) fn cloud(&self) -> &GaussianCloud {
+        &self.cloud
+    }
+
+    pub(crate) fn trajectory(&self) -> &[Se3] {
+        &self.trajectory
+    }
+
+    pub(crate) fn trace(&self) -> &WorkloadTrace {
+        &self.trace
+    }
+
+    pub(crate) fn into_trace(self) -> WorkloadTrace {
+        self.trace
+    }
+
+    pub(crate) fn take_trace(&mut self) -> WorkloadTrace {
+        std::mem::take(&mut self.trace)
+    }
+
+    /// Runs tracking + mapping for one frame whose FC decision is already
+    /// available, recording the trace entry.
+    pub(crate) fn advance(
+        &mut self,
+        camera: &PinholeCamera,
+        images: FrameImages<'_>,
+        decision: FcDecision,
+        fc_s: f64,
+    ) -> AgsFrameRecord {
+        if self.trace.frames.is_empty() {
+            self.trace.width = camera.width;
+            self.trace.height = camera.height;
+        }
+        let frame_index = self.frame_count;
+        self.frame_count += 1;
+        let input = FrameInput { frame_index, camera, images };
+        let mut record = TraceFrame { frame_index, ..TraceFrame::default() };
+        record.fc_prev = decision.fc_prev.map(|c| c.value());
+        record.fc_keyframe = decision.fc_keyframe.map(|c| c.value());
+        record.codec.sad_evals = decision.sad_evals;
+
+        let track_start = Instant::now();
+        let tracked = self.track.process(&input, &decision, &self.cloud);
+        let track_s = track_start.elapsed().as_secs_f64();
+        record.coarse = tracked.coarse;
+        record.refine = tracked.refine;
+        record.refined = tracked.refined;
+        let pose = tracked.pose;
+        self.trajectory.push(pose);
+
+        record.is_keyframe = decision.is_keyframe;
+        let map_start = Instant::now();
+        let mapped = self.map.process(&input, &decision, pose, &mut self.cloud);
+        let map_s = map_start.elapsed().as_secs_f64();
+        record.mapping = mapped.mapping;
+        record.tile_work = mapped.tile_work;
+        record.fp_rate = mapped.fp_rate;
+        record.num_gaussians = self.cloud.len();
+        record.stage_times = StageTimes { fc_s, track_s, map_s };
+
+        let trace_frame = record.clone();
+        self.trace.frames.push(trace_frame);
+        AgsFrameRecord {
+            trace: record,
+            estimated_pose: pose,
+            skipped_gaussians: mapped.skipped_gaussians,
+        }
+    }
+}
+
+/// The AGS-accelerated 3DGS-SLAM system (serial stage execution).
+#[derive(Debug)]
+pub struct AgsSlam {
+    fc: FcStage,
+    body: SlamBody,
 }
 
 impl AgsSlam {
     /// Creates an AGS system.
-    pub fn new(mut config: AgsConfig) -> Self {
-        // One knob rules the whole pipeline: the CODEC inherits the
-        // system-level parallelism setting — unless the caller configured
-        // the codec's own knob away from its default.
-        if config.codec.parallelism == ags_math::Parallelism::default() {
-            config.codec.parallelism = config.parallelism;
-        }
-        let fc = FcDetector::new(config.codec, config.thresh_t, config.thresh_m);
-        let refiner = GsPoseRefiner::new(RefineConfig {
-            iterations: config.iter_t,
-            learning_rate: config.slam.tracking_lr,
-            loss: config.slam.tracking_loss,
-            convergence_eps: 1e-4,
-        });
-        let coarse = CoarseTracker::new(config.coarse);
-        Self {
-            config,
-            fc,
-            coarse,
-            refiner,
-            contribution: ContributionTracker::new(),
-            cloud: GaussianCloud::new(),
-            adam: Adam::default(),
-            keyframes: KeyframeStore::new(),
-            rng: Pcg32::seeded(0xa65),
-            trajectory: Vec::new(),
-            frame_count: 0,
-            keyframe_count: 0,
-            trainable_from: 0,
-            trace: WorkloadTrace::default(),
-            last_tile_work: None,
-        }
+    pub fn new(config: AgsConfig) -> Self {
+        let config = config.resolve();
+        Self { fc: FcStage::new(&config), body: SlamBody::new(config) }
     }
 
     /// The configuration in use.
     pub fn config(&self) -> &AgsConfig {
-        &self.config
+        self.body.config()
     }
 
     /// The current Gaussian map.
     pub fn cloud(&self) -> &GaussianCloud {
-        &self.cloud
+        self.body.cloud()
     }
 
     /// Estimated trajectory so far.
     pub fn trajectory(&self) -> &[Se3] {
-        &self.trajectory
+        self.body.trajectory()
     }
 
     /// The workload trace accumulated so far.
     pub fn trace(&self) -> &WorkloadTrace {
-        &self.trace
+        self.body.trace()
     }
 
     /// Consumes the system, returning the trace.
     pub fn into_trace(self) -> WorkloadTrace {
-        self.trace
+        self.body.into_trace()
     }
 
     /// Processes the next RGB-D frame.
@@ -132,209 +188,10 @@ impl AgsSlam {
         rgb: &RgbImage,
         depth: &DepthImage,
     ) -> AgsFrameRecord {
-        if self.trace.frames.is_empty() {
-            self.trace.width = camera.width;
-            self.trace.height = camera.height;
-        }
-        let frame_index = self.frame_count;
-        self.frame_count += 1;
-        let mut record = TraceFrame { frame_index, ..TraceFrame::default() };
-
-        // --- ① FC detection (CODEC). ---
-        let decision = self.fc.push(rgb);
-        record.fc_prev = decision.fc_prev.map(|c| c.value());
-        record.fc_keyframe = decision.fc_keyframe.map(|c| c.value());
-        record.codec.sad_evals = decision.sad_evals;
-
-        // --- ② Movement-adaptive tracking. ---
-        let gray = rgb.to_gray();
-        let coarse_result = self.coarse.track(camera, &gray, depth, Se3::IDENTITY);
-        record.coarse.nn_macs = coarse_result.backbone.total_macs();
-        record.coarse.gn_rows = coarse_result.gn_rows;
-        let mut pose = coarse_result.pose;
-
-        let refine = frame_index > 0 && decision.needs_refinement && !self.cloud.is_empty();
-        if refine {
-            let result = self.refiner.refine(&self.cloud, camera, pose, rgb, depth);
-            record.refine.add_render(&result.workload.render);
-            record.refine.grad_ops += result.workload.grad_ops;
-            record.refine.iterations += result.workload.iterations;
-            pose = result.pose;
-            // Chain subsequent coarse estimates off the refined pose.
-            self.coarse.correct_pose(pose);
-        }
-        record.refined = refine || frame_index == 0;
-        if frame_index == 0 {
-            pose = Se3::IDENTITY;
-            self.coarse.correct_pose(pose);
-        }
-        self.trajectory.push(pose);
-
-        // --- ③ Mapping: key/non-key designation. ---
-        let is_keyframe = decision.is_keyframe;
-        record.is_keyframe = is_keyframe;
-        let mut skipped_gaussians = 0usize;
-
-        // Densification follows the baseline schedule: selective mapping
-        // skips *computation* on recorded Gaussians, it does not stop the map
-        // from growing where new content appears.
-        if frame_index % self.config.slam.densify_interval.max(1) == 0 {
-            let options =
-                RenderOptions { parallelism: self.config.parallelism, ..RenderOptions::default() };
-            let rendered = ags_splat::render::render(&self.cloud, camera, &pose, &options);
-            record.mapping.add_render(&rendered.stats);
-            if self.config.slam.backbone == Backbone::GaussianSlam
-                && is_keyframe
-                && self.keyframe_count > 0
-                && self.keyframe_count % self.config.slam.submap_interval == 0
-            {
-                self.trainable_from = self.cloud.len();
-            }
-            densify_from_frame(
-                &mut self.cloud,
-                camera,
-                &pose,
-                rgb,
-                depth,
-                &rendered,
-                &self.config.slam.densify,
-                &mut self.rng,
-            );
-        }
-
-        let thresh_n = self.config.thresh_n_pixels(camera.width, camera.height);
-        let window = self.keyframes.mapping_window(self.config.slam.mapping_window, &mut self.rng);
-        let window_data: Vec<(Se3, RgbImage, DepthImage)> =
-            window.iter().map(|kf| (kf.pose, kf.rgb.clone(), kf.depth.clone())).collect();
-        drop(window);
-
-        let skip = if is_keyframe { None } else { self.contribution.skip_set(self.cloud.len()) };
-        if let Some(s) = &skip {
-            skipped_gaussians = s.count();
-            // Reading the skipping table from DRAM (hardware: GS skipping
-            // table fetch, Fig. 12).
-            record.mapping.table_bytes += self.contribution.table_bytes();
-        }
-
-        let sample_tiles = self.config.slam.tile_work_interval > 0
-            && frame_index % self.config.slam.tile_work_interval == 0;
-
-        for iter in 0..self.config.slam.mapping_iterations {
-            let slot = iter as usize % (window_data.len() + 1);
-            let (p, r, d) = if slot == 0 {
-                (pose, None, None)
-            } else {
-                let (kp, ref kr, ref kd) = window_data[slot - 1];
-                (kp, Some(kr), Some(kd))
-            };
-            // Contribution recording on the key frame's last current-frame
-            // iteration (the hardware records while rendering; once per key
-            // frame is enough to refresh the table).
-            let record_contrib =
-                is_keyframe && slot == 0 && iter + 1 >= self.config.slam.mapping_iterations;
-            let collect = sample_tiles && iter == 0;
-            let (loss, stats, contributions) = self.map_step(
-                camera,
-                &p,
-                r.unwrap_or(rgb),
-                d.unwrap_or(depth),
-                skip.as_ref(),
-                record_contrib,
-                collect,
-            );
-            let _ = loss;
-            record.mapping.merge(&stats);
-            record.mapping.iterations += 1;
-            if let Some(c) = contributions {
-                self.contribution.record(&c, thresh_n);
-                // Writing the logging table back to DRAM (Fig. 11).
-                record.mapping.table_bytes += self.contribution.table_bytes();
-            }
-            if collect {
-                record.tile_work = self.last_tile_work.take().unwrap_or_default();
-            }
-        }
-
-        // --- FP audit (optional, §6.2): compare prediction vs actual. ---
-        if self.config.audit_false_positives && !is_keyframe && skip.is_some() {
-            let audit = ags_splat::render::render(
-                &self.cloud,
-                camera,
-                &pose,
-                &RenderOptions {
-                    record_contributions: true,
-                    parallelism: self.config.parallelism,
-                    ..Default::default()
-                },
-            );
-            if let Some(stats) = audit.contributions {
-                record.fp_rate = Some(self.contribution.false_positive_rate(&stats, thresh_n));
-            }
-        }
-
-        // --- Keyframe bookkeeping. ---
-        if is_keyframe {
-            self.fc.mark_keyframe();
-            self.keyframes.push(StoredKeyframe {
-                frame_index,
-                pose,
-                rgb: rgb.clone(),
-                depth: depth.clone(),
-            });
-            self.keyframe_count += 1;
-        }
-
-        record.num_gaussians = self.cloud.len();
-        let trace_frame = record.clone();
-        self.trace.frames.push(trace_frame);
-        AgsFrameRecord { trace: record, estimated_pose: pose, skipped_gaussians }
-    }
-
-    /// One (selective) mapping iteration. Returns the loss, the phase work
-    /// and optionally the recorded contribution statistics.
-    #[allow(clippy::too_many_arguments)]
-    fn map_step(
-        &mut self,
-        camera: &PinholeCamera,
-        pose: &Se3,
-        rgb: &RgbImage,
-        depth: &DepthImage,
-        skip: Option<&IdSet>,
-        record_contributions: bool,
-        collect_tile_work: bool,
-    ) -> (f32, WorkUnits, Option<ags_splat::render::ContributionStats>) {
-        let options = RenderOptions {
-            skip: skip.cloned(),
-            record_contributions,
-            collect_tile_work,
-            parallelism: self.config.parallelism,
-        };
-        let projection = project_gaussians(&self.cloud, camera, pose);
-        let tables = GaussianTables::build_with(&projection, camera, &self.config.parallelism);
-        let render = rasterize(&self.cloud, &projection, &tables, camera, &options);
-        let loss = compute_loss(&render, rgb, depth, &self.config.slam.mapping_loss);
-        let mut back =
-            backward(&self.cloud, &projection, &tables, camera, &loss, GradMode::Map, skip);
-        if let Some(grads) = back.grads.as_mut() {
-            for id in 0..self.trainable_from.min(grads.touched.len()) {
-                grads.touched[id] = false;
-            }
-            self.adam.step(&mut self.cloud, grads);
-        }
-        if self.config.slam.scale_regularisation > 0.0 {
-            let lambda = self.config.slam.scale_regularisation;
-            for g in self.cloud.gaussians_mut()[self.trainable_from..].iter_mut() {
-                let mean = (g.log_scale.x + g.log_scale.y + g.log_scale.z) / 3.0;
-                g.log_scale = g.log_scale * (1.0 - lambda) + ags_math::Vec3::splat(mean * lambda);
-            }
-        }
-        let mut work = WorkUnits::default();
-        work.add_render(&render.stats);
-        work.grad_ops = back.stats.grad_ops;
-        if collect_tile_work {
-            self.last_tile_work = Some(render.stats.tile_work.clone());
-        }
-        (loss.total, work, render.contributions)
+        let fc_start = Instant::now();
+        let decision = self.fc.process(rgb);
+        let fc_s = fc_start.elapsed().as_secs_f64();
+        self.body.advance(camera, FrameImages::Borrowed { rgb, depth }, decision, fc_s)
     }
 }
 
@@ -451,6 +308,19 @@ mod tests {
         assert!(!rates.is_empty(), "audit should produce FP rates");
         for r in &rates {
             assert!((0.0..=1.0).contains(r));
+        }
+    }
+
+    #[test]
+    fn stage_times_are_recorded() {
+        let (slam, _) = run_ags(AgsConfig::tiny(), 4);
+        let totals = slam.trace().stage_time_totals();
+        assert!(totals.track_s > 0.0, "tracking time must be measured");
+        assert!(totals.map_s > 0.0, "mapping time must be measured");
+        // FC runs on every frame, including the reference-free first one.
+        assert_eq!(slam.trace().frames.len(), 4);
+        for f in &slam.trace().frames {
+            assert!(f.stage_times.map_s > 0.0, "frame {} map time", f.frame_index);
         }
     }
 }

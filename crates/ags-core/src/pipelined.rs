@@ -1,0 +1,356 @@
+//! Pipelined AGS driver: CODEC FC detection overlapped with
+//! tracking/mapping (paper Fig. 9b) via real threads.
+//!
+//! The FC stream is computed purely from the RGB sequence and its own
+//! key-frame decisions ([`crate::stages::FcStage`] is self-contained), so it
+//! can legally run ahead of the SLAM stages: while the main thread tracks and
+//! maps frame `N`, a dedicated worker thread already computes frame `N+1`'s
+//! covisibility. A **bounded** channel (1–2 frames of lookahead,
+//! [`crate::config::PipelineConfig::depth`]) connects the stages, so the
+//! worker blocks — instead of buffering unboundedly — when the SLAM stage
+//! falls behind.
+//!
+//! Determinism: frames traverse both channels in FIFO order and the SLAM
+//! body consumes them in exactly the serial order, so traces (canonical
+//! bytes), trajectories and the final Gaussian cloud are **bit-identical**
+//! to [`crate::pipeline::AgsSlam`] — a property the
+//! `pipeline_determinism` integration tests enforce.
+
+use crate::config::{AgsConfig, PipelineMode};
+use crate::fc::FcDecision;
+use crate::pipeline::{AgsFrameRecord, SlamBody};
+use crate::stages::{FcStage, FrameImages};
+use crate::trace::WorkloadTrace;
+use ags_image::{DepthImage, RgbImage};
+use ags_math::Se3;
+use ags_scene::PinholeCamera;
+use ags_splat::GaussianCloud;
+use std::collections::VecDeque;
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// FC result shipped back from the worker thread.
+struct FcResult {
+    decision: FcDecision,
+    fc_s: f64,
+}
+
+/// A frame submitted to the FC stage whose SLAM half is still outstanding.
+#[derive(Debug)]
+struct PendingFrame {
+    camera: PinholeCamera,
+    rgb: std::sync::Arc<RgbImage>,
+    depth: std::sync::Arc<DepthImage>,
+}
+
+/// Front end of the stage graph: FC inline (serial mode) or on a worker
+/// thread behind bounded channels (overlapped mode).
+enum FcFrontEnd {
+    Inline(FcStage),
+    Worker {
+        frames_tx: Option<SyncSender<std::sync::Arc<RgbImage>>>,
+        results_rx: Receiver<FcResult>,
+        handle: Option<JoinHandle<()>>,
+    },
+}
+
+impl std::fmt::Debug for FcFrontEnd {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FcFrontEnd::Inline(_) => f.write_str("FcFrontEnd::Inline"),
+            FcFrontEnd::Worker { .. } => f.write_str("FcFrontEnd::Worker"),
+        }
+    }
+}
+
+/// AGS driver with an explicit stage graph: `FcStage ‖ (TrackStage →
+/// MapStage)`.
+///
+/// In [`PipelineMode::Overlapped`] the FC stage runs on its own thread; in
+/// [`PipelineMode::Serial`] the same stages run inline and every
+/// [`push_frame`](Self::push_frame) returns its record immediately.
+///
+/// Streaming protocol (overlapped): [`push_frame`](Self::push_frame) returns
+/// `None` for the first `depth` frames while the lookahead window fills,
+/// then one completed record per push (for the frame `depth` positions
+/// back). Call [`finish`](Self::finish) after the last frame to drain the
+/// window.
+#[derive(Debug)]
+pub struct PipelinedAgsSlam {
+    body: SlamBody,
+    front: FcFrontEnd,
+    pending: VecDeque<PendingFrame>,
+    depth: usize,
+}
+
+impl PipelinedAgsSlam {
+    /// Creates a pipelined AGS system; `config.pipeline.mode` selects
+    /// overlapped or inline FC execution.
+    pub fn new(config: AgsConfig) -> Self {
+        let config = config.resolve();
+        let depth = config.pipeline.clamped_depth();
+        let front = match config.pipeline.mode {
+            PipelineMode::Serial => FcFrontEnd::Inline(FcStage::new(&config)),
+            PipelineMode::Overlapped => {
+                let mut fc = FcStage::new(&config);
+                // Bounded stage channels: at most `depth` undecoded frames
+                // plus `depth` undelivered decisions in flight, so the FC
+                // worker can run 1–2 frames ahead and no further.
+                let (frames_tx, frames_rx) = sync_channel::<std::sync::Arc<RgbImage>>(depth);
+                let (results_tx, results_rx) = sync_channel::<FcResult>(depth);
+                let handle = std::thread::Builder::new()
+                    .name("ags-fc-stage".into())
+                    .spawn(move || {
+                        while let Ok(rgb) = frames_rx.recv() {
+                            let start = Instant::now();
+                            let decision = fc.process(&rgb);
+                            let fc_s = start.elapsed().as_secs_f64();
+                            if results_tx.send(FcResult { decision, fc_s }).is_err() {
+                                break; // driver dropped
+                            }
+                        }
+                    })
+                    .expect("spawn FC stage worker");
+                FcFrontEnd::Worker { frames_tx: Some(frames_tx), results_rx, handle: Some(handle) }
+            }
+        };
+        Self { body: SlamBody::new(config), front, pending: VecDeque::new(), depth }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &AgsConfig {
+        self.body.config()
+    }
+
+    /// The current Gaussian map.
+    pub fn cloud(&self) -> &GaussianCloud {
+        self.body.cloud()
+    }
+
+    /// Estimated trajectory of all *completed* frames.
+    pub fn trajectory(&self) -> &[Se3] {
+        self.body.trajectory()
+    }
+
+    /// The workload trace of all completed frames.
+    pub fn trace(&self) -> &WorkloadTrace {
+        self.body.trace()
+    }
+
+    /// Takes the accumulated trace out of the driver, leaving an empty one.
+    /// Call [`finish`](Self::finish) first so all pushed frames are in it.
+    pub fn take_trace(&mut self) -> WorkloadTrace {
+        self.body.take_trace()
+    }
+
+    /// Frames pushed but not yet tracked/mapped.
+    pub fn pending_frames(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Submits the next RGB-D frame.
+    ///
+    /// Serial mode returns the frame's record immediately. Overlapped mode
+    /// returns the record of the frame `depth` positions earlier — or `None`
+    /// while the lookahead window is still filling.
+    pub fn push_frame(
+        &mut self,
+        camera: &PinholeCamera,
+        rgb: std::sync::Arc<RgbImage>,
+        depth: std::sync::Arc<DepthImage>,
+    ) -> Option<AgsFrameRecord> {
+        match &mut self.front {
+            FcFrontEnd::Inline(fc) => {
+                let start = Instant::now();
+                let decision = fc.process(&rgb);
+                let fc_s = start.elapsed().as_secs_f64();
+                Some(self.body.advance(
+                    camera,
+                    FrameImages::Shared { rgb: &rgb, depth: &depth },
+                    decision,
+                    fc_s,
+                ))
+            }
+            FcFrontEnd::Worker { frames_tx, .. } => {
+                frames_tx
+                    .as_ref()
+                    .expect("frames channel open")
+                    .send(std::sync::Arc::clone(&rgb))
+                    .expect("FC stage worker alive");
+                self.pending.push_back(PendingFrame { camera: *camera, rgb, depth });
+                (self.pending.len() > self.depth).then(|| self.complete_oldest())
+            }
+        }
+    }
+
+    /// Convenience wrapper for borrowed images (pays one copy per frame to
+    /// share them with the FC worker; prefer [`push_frame`](Self::push_frame)
+    /// with pre-shared frames on the hot path).
+    pub fn push_frame_cloned(
+        &mut self,
+        camera: &PinholeCamera,
+        rgb: &RgbImage,
+        depth: &DepthImage,
+    ) -> Option<AgsFrameRecord> {
+        self.push_frame(
+            camera,
+            std::sync::Arc::new(rgb.clone()),
+            std::sync::Arc::new(depth.clone()),
+        )
+    }
+
+    /// Drains the lookahead window after the last
+    /// [`push_frame`](Self::push_frame), returning the remaining records in
+    /// stream order. A no-op in serial mode.
+    pub fn finish(&mut self) -> Vec<AgsFrameRecord> {
+        let mut records = Vec::with_capacity(self.pending.len());
+        while !self.pending.is_empty() {
+            records.push(self.complete_oldest());
+        }
+        records
+    }
+
+    /// Tracks + maps the oldest pending frame using its (possibly already
+    /// computed) FC decision.
+    fn complete_oldest(&mut self) -> AgsFrameRecord {
+        let frame = self.pending.pop_front().expect("pending frame");
+        let FcFrontEnd::Worker { results_rx, .. } = &self.front else {
+            unreachable!("pending frames only exist in overlapped mode");
+        };
+        // FIFO channels: this result belongs to exactly this frame.
+        let result = results_rx.recv().expect("FC stage worker alive");
+        self.body.advance(
+            &frame.camera,
+            FrameImages::Shared { rgb: &frame.rgb, depth: &frame.depth },
+            result.decision,
+            result.fc_s,
+        )
+    }
+}
+
+impl Drop for PipelinedAgsSlam {
+    fn drop(&mut self) {
+        if let FcFrontEnd::Worker { frames_tx, results_rx, handle } = &mut self.front {
+            // Hang up the frame channel so the worker's recv() loop ends,
+            // drain any in-flight results so it is not blocked on send, then
+            // join.
+            drop(frames_tx.take());
+            while results_rx.try_recv().is_ok() {}
+            if let Some(handle) = handle.take() {
+                let _ = handle.join();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PipelineConfig;
+    use crate::pipeline::AgsSlam;
+    use ags_scene::dataset::{Dataset, DatasetConfig, SceneId};
+    use std::sync::Arc;
+
+    fn tiny_dataset(frames: usize) -> Dataset {
+        let dconfig = DatasetConfig {
+            width: 64,
+            height: 48,
+            num_frames: frames * 4,
+            ..DatasetConfig::tiny()
+        };
+        let mut data = Dataset::generate(SceneId::Xyz, &dconfig);
+        data.truncate(frames);
+        data
+    }
+
+    #[test]
+    fn serial_mode_returns_records_immediately() {
+        let data = tiny_dataset(3);
+        let mut slam = PipelinedAgsSlam::new(AgsConfig::tiny());
+        for frame in &data.frames {
+            let record = slam.push_frame(
+                &data.camera,
+                Arc::new(frame.rgb.clone()),
+                Arc::new(frame.depth.clone()),
+            );
+            assert!(record.is_some(), "serial mode is synchronous");
+        }
+        assert!(slam.finish().is_empty());
+        assert_eq!(slam.trajectory().len(), 3);
+    }
+
+    #[test]
+    fn overlapped_mode_fills_then_streams() {
+        let data = tiny_dataset(4);
+        let config = AgsConfig { pipeline: PipelineConfig::overlapped(2), ..AgsConfig::tiny() };
+        let mut slam = PipelinedAgsSlam::new(config);
+        let mut completed = 0usize;
+        for (i, frame) in data.frames.iter().enumerate() {
+            let record = slam.push_frame_cloned(&data.camera, &frame.rgb, &frame.depth);
+            if i < 2 {
+                assert!(record.is_none(), "frame {i} fills the lookahead window");
+            } else {
+                let record = record.expect("pipeline full: one record per push");
+                assert_eq!(record.trace.frame_index, i - 2);
+                completed += 1;
+            }
+        }
+        assert_eq!(slam.pending_frames(), 2);
+        let rest = slam.finish();
+        assert_eq!(rest.len(), 2);
+        assert_eq!(completed + rest.len(), 4);
+        assert_eq!(slam.trajectory().len(), 4);
+        assert_eq!(rest.last().unwrap().trace.frame_index, 3);
+    }
+
+    #[test]
+    fn overlapped_records_fc_wall_time_from_worker() {
+        let data = tiny_dataset(3);
+        let config = AgsConfig { pipeline: PipelineConfig::overlapped(1), ..AgsConfig::tiny() };
+        let mut slam = PipelinedAgsSlam::new(config);
+        for frame in &data.frames {
+            slam.push_frame_cloned(&data.camera, &frame.rgb, &frame.depth);
+        }
+        slam.finish();
+        // Frames beyond the first have codec references to compare against,
+        // so their FC stage spends measurable time on the worker.
+        let fc_total = slam.trace().stage_time_totals().fc_s;
+        assert!(fc_total > 0.0, "worker-side FC time must flow into the trace");
+    }
+
+    #[test]
+    fn dropping_mid_stream_joins_worker_cleanly() {
+        let data = tiny_dataset(3);
+        let config = AgsConfig { pipeline: PipelineConfig::overlapped(2), ..AgsConfig::tiny() };
+        let mut slam = PipelinedAgsSlam::new(config);
+        for frame in &data.frames {
+            slam.push_frame_cloned(&data.camera, &frame.rgb, &frame.depth);
+        }
+        // Two frames still pending; Drop must not deadlock or panic.
+        drop(slam);
+    }
+
+    #[test]
+    fn matches_serial_driver_quickly() {
+        // Smoke-level equivalence (the full determinism suite lives in
+        // tests/pipeline_determinism.rs).
+        let data = tiny_dataset(4);
+        let mut serial = AgsSlam::new(AgsConfig::tiny());
+        for frame in &data.frames {
+            serial.process_frame(&data.camera, &frame.rgb, &frame.depth);
+        }
+        let config = AgsConfig { pipeline: PipelineConfig::overlapped(1), ..AgsConfig::tiny() };
+        let mut overlapped = PipelinedAgsSlam::new(config);
+        for frame in &data.frames {
+            overlapped.push_frame_cloned(&data.camera, &frame.rgb, &frame.depth);
+        }
+        overlapped.finish();
+        assert_eq!(serial.trajectory(), overlapped.trajectory());
+        assert_eq!(
+            serial.trace().canonical_bytes(),
+            overlapped.trace().canonical_bytes(),
+            "overlapped trace must be canonically identical to serial"
+        );
+    }
+}

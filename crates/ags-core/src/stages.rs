@@ -1,0 +1,442 @@
+//! The AGS stage graph: the pipeline of Fig. 7 decomposed into three
+//! free-standing units with typed inputs/outputs.
+//!
+//! * [`FcStage`] — CODEC push, covisibility decisions and key-frame
+//!   reference marking. Consumes **only** the RGB stream and its own
+//!   key-frame decisions — never poses or the map — so it can legally run
+//!   ahead of the SLAM stages on another thread with bit-identical results
+//!   (the property [`crate::pipelined::PipelinedAgsSlam`] exploits).
+//! * [`TrackStage`] — movement-adaptive tracking: coarse Droid-style
+//!   estimate on every frame, conditional 3DGS refinement below `ThreshT`.
+//! * [`MapStage`] — Gaussian contribution-aware mapping: densification,
+//!   selective mapping with the skip set, contribution recording, the
+//!   optional FP audit and key-frame storage.
+//!
+//! The two drivers ([`crate::pipeline::AgsSlam`] — serial — and
+//! [`crate::pipelined::PipelinedAgsSlam`] — FC overlapped) are thin
+//! compositions of these stages; both produce identical traces,
+//! trajectories and maps for the same frame stream.
+
+use crate::config::AgsConfig;
+use crate::contribution::ContributionTracker;
+use crate::fc::{FcDecision, FcDetector};
+use ags_image::{DepthImage, RgbImage};
+use ags_math::{Pcg32, Se3};
+use ags_scene::PinholeCamera;
+use ags_slam::keyframes::{KeyframeStore, StoredKeyframe};
+use ags_slam::{Backbone, WorkUnits};
+use ags_splat::backward::{backward, GradMode};
+use ags_splat::densify::densify_from_frame;
+use ags_splat::loss::compute_loss;
+use ags_splat::optim::Adam;
+use ags_splat::project::project_gaussians;
+use ags_splat::render::{rasterize, RenderOptions, TileWork};
+use ags_splat::tiles::GaussianTables;
+use ags_splat::{GaussianCloud, IdSet};
+use ags_track::coarse::CoarseTracker;
+use ags_track::fine::{GsPoseRefiner, RefineConfig};
+use std::sync::Arc;
+
+/// Frame images as either plain borrows (serial driver, no extra copies) or
+/// shared `Arc` handles (pipelined driver, which must hand the RGB plane to
+/// the FC worker thread while the SLAM stages keep using it).
+#[derive(Debug, Clone, Copy)]
+pub enum FrameImages<'a> {
+    /// Borrowed images owned by the caller.
+    Borrowed {
+        /// Color image.
+        rgb: &'a RgbImage,
+        /// Depth image.
+        depth: &'a DepthImage,
+    },
+    /// Reference-counted images shared across threads.
+    Shared {
+        /// Color image.
+        rgb: &'a Arc<RgbImage>,
+        /// Depth image.
+        depth: &'a Arc<DepthImage>,
+    },
+}
+
+impl<'a> FrameImages<'a> {
+    /// The color image.
+    pub fn rgb(&self) -> &'a RgbImage {
+        match *self {
+            FrameImages::Borrowed { rgb, .. } => rgb,
+            FrameImages::Shared { rgb, .. } => rgb.as_ref(),
+        }
+    }
+
+    /// The depth image.
+    pub fn depth(&self) -> &'a DepthImage {
+        match *self {
+            FrameImages::Borrowed { depth, .. } => depth,
+            FrameImages::Shared { depth, .. } => depth.as_ref(),
+        }
+    }
+
+    /// `Arc` handles for long-term storage (key frames). Borrowed images
+    /// are deep-copied exactly once here — the same cost the pre-stage-graph
+    /// pipeline paid when storing a key frame — while shared images only
+    /// bump their reference counts.
+    pub fn to_shared(&self) -> (Arc<RgbImage>, Arc<DepthImage>) {
+        match self {
+            FrameImages::Borrowed { rgb, depth } => {
+                (Arc::new((*rgb).clone()), Arc::new((*depth).clone()))
+            }
+            FrameImages::Shared { rgb, depth } => (Arc::clone(rgb), Arc::clone(depth)),
+        }
+    }
+}
+
+/// Typed input shared by the tracking and mapping stages.
+#[derive(Debug, Clone, Copy)]
+pub struct FrameInput<'a> {
+    /// Stream index of the frame.
+    pub frame_index: usize,
+    /// Camera intrinsics.
+    pub camera: &'a PinholeCamera,
+    /// The frame's images.
+    pub images: FrameImages<'a>,
+}
+
+/// Stage ①: CODEC-side frame-covisibility detection.
+///
+/// Self-contained: the key-frame reference is updated *inside* the stage
+/// (immediately after a frame is designated a key frame), so the decision
+/// stream depends only on the pushed RGB sequence.
+#[derive(Debug)]
+pub struct FcStage {
+    detector: FcDetector,
+}
+
+impl FcStage {
+    /// Builds the stage from a resolved [`AgsConfig`].
+    pub fn new(config: &AgsConfig) -> Self {
+        Self { detector: FcDetector::new(config.codec, config.thresh_t, config.thresh_m) }
+    }
+
+    /// Pushes one frame: covisibility decisions plus key-frame marking.
+    pub fn process(&mut self, rgb: &RgbImage) -> FcDecision {
+        let decision = self.detector.push(rgb);
+        if decision.is_keyframe {
+            // Mark immediately: equivalent to the monolithic pipeline, which
+            // marked after mapping but before the next push, and required for
+            // running ahead of the SLAM stages.
+            self.detector.mark_keyframe();
+        }
+        decision
+    }
+}
+
+/// Output of the tracking stage.
+#[derive(Debug, Clone, Copy)]
+pub struct TrackOutput {
+    /// Estimated camera-to-world pose.
+    pub pose: Se3,
+    /// Coarse-tracking work (NN MACs + GN rows).
+    pub coarse: WorkUnits,
+    /// 3DGS refinement work (zero when skipped).
+    pub refine: WorkUnits,
+    /// Whether the pose is refined (3DGS refinement ran, or frame 0's anchor).
+    pub refined: bool,
+}
+
+/// Stage ②: movement-adaptive tracking.
+#[derive(Debug)]
+pub struct TrackStage {
+    coarse: CoarseTracker,
+    refiner: GsPoseRefiner,
+}
+
+impl TrackStage {
+    /// Builds the stage from a resolved [`AgsConfig`].
+    pub fn new(config: &AgsConfig) -> Self {
+        let refiner = GsPoseRefiner::new(RefineConfig {
+            iterations: config.iter_t,
+            learning_rate: config.slam.tracking_lr,
+            loss: config.slam.tracking_loss,
+            convergence_eps: 1e-4,
+            parallelism: config.parallelism,
+        });
+        let coarse = CoarseTracker::new(config.coarse);
+        Self { coarse, refiner }
+    }
+
+    /// Estimates the frame's pose against the current map.
+    pub fn process(
+        &mut self,
+        input: &FrameInput<'_>,
+        decision: &FcDecision,
+        cloud: &GaussianCloud,
+    ) -> TrackOutput {
+        let rgb = input.images.rgb();
+        let depth = input.images.depth();
+        let gray = rgb.to_gray();
+        let coarse_result = self.coarse.track(input.camera, &gray, depth, Se3::IDENTITY);
+        let coarse = WorkUnits {
+            nn_macs: coarse_result.backbone.total_macs(),
+            gn_rows: coarse_result.gn_rows,
+            ..WorkUnits::default()
+        };
+        let mut pose = coarse_result.pose;
+
+        let mut refine_work = WorkUnits::default();
+        let refine = input.frame_index > 0 && decision.needs_refinement && !cloud.is_empty();
+        if refine {
+            let result = self.refiner.refine(cloud, input.camera, pose, rgb, depth);
+            refine_work.add_render(&result.workload.render);
+            refine_work.grad_ops += result.workload.grad_ops;
+            refine_work.iterations += result.workload.iterations;
+            pose = result.pose;
+            // Chain subsequent coarse estimates off the refined pose.
+            self.coarse.correct_pose(pose);
+        }
+        let refined = refine || input.frame_index == 0;
+        if input.frame_index == 0 {
+            pose = Se3::IDENTITY;
+            self.coarse.correct_pose(pose);
+        }
+        TrackOutput { pose, coarse, refine: refine_work, refined }
+    }
+}
+
+/// Output of the mapping stage.
+#[derive(Debug, Clone)]
+pub struct MapOutput {
+    /// Mapping work (includes densification renders and table traffic).
+    pub mapping: WorkUnits,
+    /// Gaussians skipped by selective mapping this frame.
+    pub skipped_gaussians: usize,
+    /// Sampled per-tile rasterization workload (empty unless sampled).
+    pub tile_work: Vec<TileWork>,
+    /// Measured false-positive rate of the skip prediction, when audited.
+    pub fp_rate: Option<f32>,
+}
+
+/// Stage ③: Gaussian contribution-aware mapping.
+#[derive(Debug)]
+pub struct MapStage {
+    config: AgsConfig,
+    contribution: ContributionTracker,
+    adam: Adam,
+    keyframes: KeyframeStore,
+    rng: Pcg32,
+    keyframe_count: usize,
+    trainable_from: usize,
+    /// Scratch slot carrying sampled tile work out of `map_step`.
+    last_tile_work: Option<Vec<TileWork>>,
+}
+
+impl MapStage {
+    /// Builds the stage from a resolved [`AgsConfig`].
+    pub fn new(config: &AgsConfig) -> Self {
+        Self {
+            config: config.clone(),
+            contribution: ContributionTracker::new(),
+            adam: Adam::default(),
+            keyframes: KeyframeStore::new(),
+            rng: Pcg32::seeded(0xa65),
+            keyframe_count: 0,
+            trainable_from: 0,
+            last_tile_work: None,
+        }
+    }
+
+    /// Runs densification + (selective) mapping for one frame, mutating the
+    /// map in place and storing the frame as a key frame when designated.
+    pub fn process(
+        &mut self,
+        input: &FrameInput<'_>,
+        decision: &FcDecision,
+        pose: Se3,
+        cloud: &mut GaussianCloud,
+    ) -> MapOutput {
+        if self.config.pipeline.stress_map_stall_ms > 0 {
+            // Test-only backpressure: see `PipelineConfig::stress_map_stall_ms`.
+            std::thread::sleep(std::time::Duration::from_millis(
+                self.config.pipeline.stress_map_stall_ms,
+            ));
+        }
+        let camera = input.camera;
+        let rgb = input.images.rgb();
+        let depth = input.images.depth();
+        let frame_index = input.frame_index;
+        let is_keyframe = decision.is_keyframe;
+        let mut out = MapOutput {
+            mapping: WorkUnits::default(),
+            skipped_gaussians: 0,
+            tile_work: Vec::new(),
+            fp_rate: None,
+        };
+
+        // Densification follows the baseline schedule: selective mapping
+        // skips *computation* on recorded Gaussians, it does not stop the map
+        // from growing where new content appears.
+        if frame_index % self.config.slam.densify_interval.max(1) == 0 {
+            let options =
+                RenderOptions { parallelism: self.config.parallelism, ..RenderOptions::default() };
+            let rendered = ags_splat::render::render(cloud, camera, &pose, &options);
+            out.mapping.add_render(&rendered.stats);
+            if self.config.slam.backbone == Backbone::GaussianSlam
+                && is_keyframe
+                && self.keyframe_count > 0
+                && self.keyframe_count % self.config.slam.submap_interval == 0
+            {
+                self.trainable_from = cloud.len();
+            }
+            densify_from_frame(
+                cloud,
+                camera,
+                &pose,
+                rgb,
+                depth,
+                &rendered,
+                &self.config.slam.densify,
+                &mut self.rng,
+            );
+        }
+
+        let thresh_n = self.config.thresh_n_pixels(camera.width, camera.height);
+        // Keyframe images are Arc-shared: the window clones reference
+        // counts, never pixels.
+        let window = self.keyframes.mapping_window(self.config.slam.mapping_window, &mut self.rng);
+        let window_data: Vec<(Se3, Arc<RgbImage>, Arc<DepthImage>)> =
+            window.iter().map(|kf| (kf.pose, Arc::clone(&kf.rgb), Arc::clone(&kf.depth))).collect();
+        drop(window);
+
+        let skip = if is_keyframe { None } else { self.contribution.skip_set(cloud.len()) };
+        if let Some(s) = &skip {
+            out.skipped_gaussians = s.count();
+            // Reading the skipping table from DRAM (hardware: GS skipping
+            // table fetch, Fig. 12).
+            out.mapping.table_bytes += self.contribution.table_bytes();
+        }
+
+        let sample_tiles = self.config.slam.tile_work_interval > 0
+            && frame_index % self.config.slam.tile_work_interval == 0;
+
+        for iter in 0..self.config.slam.mapping_iterations {
+            let slot = iter as usize % (window_data.len() + 1);
+            let (p, r, d) = if slot == 0 {
+                (pose, None, None)
+            } else {
+                let (kp, ref kr, ref kd) = window_data[slot - 1];
+                (kp, Some(kr.as_ref()), Some(kd.as_ref()))
+            };
+            // Contribution recording on the key frame's last current-frame
+            // iteration (the hardware records while rendering; once per key
+            // frame is enough to refresh the table).
+            let record_contrib =
+                is_keyframe && slot == 0 && iter + 1 >= self.config.slam.mapping_iterations;
+            let collect = sample_tiles && iter == 0;
+            let (loss, stats, contributions) = self.map_step(
+                cloud,
+                camera,
+                &p,
+                r.unwrap_or(rgb),
+                d.unwrap_or(depth),
+                skip.as_ref(),
+                record_contrib,
+                collect,
+            );
+            let _ = loss;
+            out.mapping.merge(&stats);
+            out.mapping.iterations += 1;
+            if let Some(c) = contributions {
+                self.contribution.record(&c, thresh_n);
+                // Writing the logging table back to DRAM (Fig. 11).
+                out.mapping.table_bytes += self.contribution.table_bytes();
+            }
+            if collect {
+                out.tile_work = self.last_tile_work.take().unwrap_or_default();
+            }
+        }
+
+        // --- FP audit (optional, §6.2): compare prediction vs actual. ---
+        if self.config.audit_false_positives && !is_keyframe && skip.is_some() {
+            let audit = ags_splat::render::render(
+                cloud,
+                camera,
+                &pose,
+                &RenderOptions {
+                    record_contributions: true,
+                    parallelism: self.config.parallelism,
+                    ..Default::default()
+                },
+            );
+            if let Some(stats) = audit.contributions {
+                out.fp_rate = Some(self.contribution.false_positive_rate(&stats, thresh_n));
+            }
+        }
+
+        // --- Keyframe bookkeeping (FC-side marking lives in `FcStage`). ---
+        if is_keyframe {
+            let (rgb_arc, depth_arc) = input.images.to_shared();
+            self.keyframes.push(StoredKeyframe {
+                frame_index,
+                pose,
+                rgb: rgb_arc,
+                depth: depth_arc,
+            });
+            self.keyframe_count += 1;
+        }
+        out
+    }
+
+    /// One (selective) mapping iteration. Returns the loss, the phase work
+    /// and optionally the recorded contribution statistics.
+    #[allow(clippy::too_many_arguments)]
+    fn map_step(
+        &mut self,
+        cloud: &mut GaussianCloud,
+        camera: &PinholeCamera,
+        pose: &Se3,
+        rgb: &RgbImage,
+        depth: &DepthImage,
+        skip: Option<&IdSet>,
+        record_contributions: bool,
+        collect_tile_work: bool,
+    ) -> (f32, WorkUnits, Option<ags_splat::render::ContributionStats>) {
+        let options = RenderOptions {
+            skip: skip.cloned(),
+            record_contributions,
+            collect_tile_work,
+            parallelism: self.config.parallelism,
+        };
+        let projection = project_gaussians(cloud, camera, pose);
+        let tables = GaussianTables::build_with(&projection, camera, &self.config.parallelism);
+        let render = rasterize(cloud, &projection, &tables, camera, &options);
+        let loss = compute_loss(&render, rgb, depth, &self.config.slam.mapping_loss);
+        let mut back = backward(
+            cloud,
+            &projection,
+            &tables,
+            camera,
+            &loss,
+            GradMode::Map,
+            skip,
+            &self.config.parallelism,
+        );
+        if let Some(grads) = back.grads.as_mut() {
+            for id in 0..self.trainable_from.min(grads.touched.len()) {
+                grads.touched[id] = false;
+            }
+            self.adam.step(cloud, grads);
+        }
+        if self.config.slam.scale_regularisation > 0.0 {
+            let lambda = self.config.slam.scale_regularisation;
+            for g in cloud.gaussians_mut()[self.trainable_from..].iter_mut() {
+                let mean = (g.log_scale.x + g.log_scale.y + g.log_scale.z) / 3.0;
+                g.log_scale = g.log_scale * (1.0 - lambda) + ags_math::Vec3::splat(mean * lambda);
+            }
+        }
+        let mut work = WorkUnits::default();
+        work.add_render(&render.stats);
+        work.grad_ops = back.stats.grad_ops;
+        if collect_tile_work {
+            self.last_tile_work = Some(render.stats.tile_work.clone());
+        }
+        (loss.total, work, render.contributions)
+    }
+}

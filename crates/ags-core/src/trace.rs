@@ -4,6 +4,36 @@ use ags_slam::baseline::FrameRecord;
 use ags_slam::WorkUnits;
 use ags_splat::render::TileWork;
 
+/// Measured wall-clock seconds per pipeline stage for one frame.
+///
+/// Purely observational: stage times depend on the machine and on whether
+/// the FC stage ran overlapped, so they are **excluded** from
+/// [`WorkloadTrace::canonical_bytes`] — serial and overlapped runs of the
+/// same stream compare equal on everything semantic.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StageTimes {
+    /// CODEC FC detection (push + covisibility + keyframe marking).
+    pub fc_s: f64,
+    /// Movement-adaptive tracking (coarse + conditional refinement).
+    pub track_s: f64,
+    /// Mapping (densify + selective mapping + contribution/audit).
+    pub map_s: f64,
+}
+
+impl StageTimes {
+    /// Sum of all stage times.
+    pub fn total_s(&self) -> f64 {
+        self.fc_s + self.track_s + self.map_s
+    }
+
+    /// Accumulates another frame's stage times.
+    pub fn merge(&mut self, other: &StageTimes) {
+        self.fc_s += other.fc_s;
+        self.track_s += other.track_s;
+        self.map_s += other.map_s;
+    }
+}
+
 /// Per-frame workload and covisibility record.
 #[derive(Debug, Clone, Default)]
 pub struct TraceFrame {
@@ -31,6 +61,9 @@ pub struct TraceFrame {
     pub tile_work: Vec<TileWork>,
     /// Measured false-positive rate of the skip prediction, when audited.
     pub fp_rate: Option<f32>,
+    /// Measured per-stage wall time (observational; not part of the
+    /// canonical byte encoding).
+    pub stage_times: StageTimes,
 }
 
 impl TraceFrame {
@@ -89,9 +122,88 @@ impl WorkloadTrace {
                 num_gaussians: r.num_gaussians,
                 tile_work: r.tile_work.clone(),
                 fp_rate: None,
+                stage_times: StageTimes::default(),
             })
             .collect();
         Self { width, height, frames }
+    }
+
+    /// Canonical byte encoding of everything *semantic* in the trace: frame
+    /// decisions, workload counters, covisibility values, tile work and map
+    /// sizes — but **not** the measured [`StageTimes`], which legitimately
+    /// vary between runs and between the serial and overlapped drivers.
+    ///
+    /// Two runs of the same frame stream are equivalent iff their canonical
+    /// bytes are equal; the pipelined-driver determinism tests assert exactly
+    /// this.
+    pub fn canonical_bytes(&self) -> Vec<u8> {
+        fn push_u64(out: &mut Vec<u8>, v: u64) {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        fn push_opt_f32(out: &mut Vec<u8>, v: Option<f32>) {
+            match v {
+                Some(x) => {
+                    out.push(1);
+                    out.extend_from_slice(&x.to_bits().to_le_bytes());
+                }
+                None => out.push(0),
+            }
+        }
+        fn push_work(out: &mut Vec<u8>, w: &WorkUnits) {
+            for v in [
+                w.render_alpha,
+                w.render_blend,
+                w.pairs,
+                w.skipped_pairs,
+                w.grad_ops,
+                w.nn_macs,
+                w.sad_evals,
+                w.gn_rows,
+                w.iterations as u64,
+                w.param_bytes,
+                w.table_bytes,
+            ] {
+                push_u64(out, v);
+            }
+        }
+        let mut out = Vec::new();
+        push_u64(&mut out, self.width as u64);
+        push_u64(&mut out, self.height as u64);
+        push_u64(&mut out, self.frames.len() as u64);
+        for f in &self.frames {
+            push_u64(&mut out, f.frame_index as u64);
+            push_opt_f32(&mut out, f.fc_prev);
+            push_opt_f32(&mut out, f.fc_keyframe);
+            out.push(f.refined as u8);
+            out.push(f.is_keyframe as u8);
+            push_work(&mut out, &f.codec);
+            push_work(&mut out, &f.coarse);
+            push_work(&mut out, &f.refine);
+            push_work(&mut out, &f.mapping);
+            push_u64(&mut out, f.num_gaussians as u64);
+            push_u64(&mut out, f.tile_work.len() as u64);
+            for t in &f.tile_work {
+                push_u64(&mut out, t.tile as u64);
+                push_u64(&mut out, t.per_pixel_evals.len() as u64);
+                for &e in &t.per_pixel_evals {
+                    out.extend_from_slice(&e.to_le_bytes());
+                }
+                for &b in &t.per_pixel_blends {
+                    out.extend_from_slice(&b.to_le_bytes());
+                }
+            }
+            push_opt_f32(&mut out, f.fp_rate);
+        }
+        out
+    }
+
+    /// Sum of the measured per-stage wall times across all frames.
+    pub fn stage_time_totals(&self) -> StageTimes {
+        let mut total = StageTimes::default();
+        for f in &self.frames {
+            total.merge(&f.stage_times);
+        }
+        total
     }
 
     /// Sum of all frames' work.
@@ -183,5 +295,40 @@ mod tests {
         let trace = WorkloadTrace::new(8, 8);
         assert_eq!(trace.refinement_skip_rate(), 0.0);
         assert_eq!(trace.pair_skip_rate(), 0.0);
+    }
+
+    #[test]
+    fn canonical_bytes_ignore_stage_times_but_catch_semantic_changes() {
+        let mut a = WorkloadTrace::new(64, 48);
+        a.frames.push(frame(true, true, 100, 0));
+        let mut b = a.clone();
+        // Different wall times: still canonically equal.
+        b.frames[0].stage_times = StageTimes { fc_s: 1.0, track_s: 2.0, map_s: 3.0 };
+        assert_eq!(a.canonical_bytes(), b.canonical_bytes());
+        // Any semantic change shows up.
+        b.frames[0].mapping.pairs += 1;
+        assert_ne!(a.canonical_bytes(), b.canonical_bytes());
+        let mut c = a.clone();
+        c.frames[0].fc_prev = Some(0.5);
+        assert_ne!(a.canonical_bytes(), c.canonical_bytes());
+        let mut d = a.clone();
+        d.frames[0].is_keyframe = false;
+        assert_ne!(a.canonical_bytes(), d.canonical_bytes());
+    }
+
+    #[test]
+    fn stage_time_totals_accumulate() {
+        let mut trace = WorkloadTrace::new(8, 8);
+        let mut f0 = frame(true, true, 1, 0);
+        f0.stage_times = StageTimes { fc_s: 0.5, track_s: 1.0, map_s: 2.0 };
+        let mut f1 = frame(false, false, 1, 0);
+        f1.stage_times = StageTimes { fc_s: 0.25, track_s: 0.5, map_s: 1.0 };
+        trace.frames.push(f0);
+        trace.frames.push(f1);
+        let total = trace.stage_time_totals();
+        assert_eq!(total.fc_s, 0.75);
+        assert_eq!(total.track_s, 1.5);
+        assert_eq!(total.map_s, 3.0);
+        assert_eq!(total.total_s(), 5.25);
     }
 }

@@ -1,0 +1,109 @@
+//! Determinism of the pipelined driver: `PipelinedAgsSlam` in `Overlapped`
+//! mode must produce **byte-identical** traces (canonical encoding),
+//! trajectories and final Gaussian clouds to the serial `AgsSlam` driver —
+//! the FC stage only moves off the critical path, it never changes results.
+
+use ags_core::config::PipelineConfig;
+use ags_core::{AgsConfig, AgsSlam, PipelinedAgsSlam};
+use ags_scene::dataset::{Dataset, DatasetConfig, SceneId};
+use std::sync::Arc;
+
+fn dataset(scene: SceneId, frames: usize) -> Dataset {
+    let dconfig =
+        DatasetConfig { width: 64, height: 48, num_frames: frames * 4, ..DatasetConfig::tiny() };
+    let mut data = Dataset::generate(scene, &dconfig);
+    data.truncate(frames);
+    data
+}
+
+fn run_serial(config: AgsConfig, data: &Dataset) -> AgsSlam {
+    let mut slam = AgsSlam::new(config);
+    for frame in &data.frames {
+        slam.process_frame(&data.camera, &frame.rgb, &frame.depth);
+    }
+    slam
+}
+
+fn run_overlapped(mut config: AgsConfig, data: &Dataset, depth: usize) -> PipelinedAgsSlam {
+    config.pipeline = PipelineConfig { depth, ..PipelineConfig::overlapped(depth) };
+    let mut slam = PipelinedAgsSlam::new(config);
+    // Pre-share the images once, as a zero-copy producer would.
+    let shared: Vec<_> =
+        data.frames.iter().map(|f| (Arc::new(f.rgb.clone()), Arc::new(f.depth.clone()))).collect();
+    for (rgb, depth_img) in &shared {
+        slam.push_frame(&data.camera, Arc::clone(rgb), Arc::clone(depth_img));
+    }
+    slam.finish();
+    slam
+}
+
+fn assert_bit_identical(serial: &AgsSlam, overlapped: &PipelinedAgsSlam, label: &str) {
+    assert_eq!(serial.trajectory(), overlapped.trajectory(), "{label}: trajectory");
+    assert_eq!(
+        serial.cloud().gaussians(),
+        overlapped.cloud().gaussians(),
+        "{label}: final Gaussian cloud"
+    );
+    assert_eq!(
+        serial.trace().canonical_bytes(),
+        overlapped.trace().canonical_bytes(),
+        "{label}: canonical trace bytes"
+    );
+}
+
+#[test]
+fn overlapped_is_bit_identical_to_serial_across_scenes() {
+    for scene in [SceneId::Xyz, SceneId::Desk2] {
+        let data = dataset(scene, 8);
+        let serial = run_serial(AgsConfig::tiny(), &data);
+        for depth in [1usize, 2] {
+            let overlapped = run_overlapped(AgsConfig::tiny(), &data, depth);
+            assert_bit_identical(&serial, &overlapped, &format!("{scene:?} depth {depth}"));
+        }
+    }
+}
+
+#[test]
+fn overlapped_matches_serial_with_audit_and_tile_work() {
+    // Exercise the optional trace payloads (FP audit renders, sampled tile
+    // work) through both drivers.
+    let mut config = AgsConfig::tiny();
+    config.audit_false_positives = true;
+    config.slam.tile_work_interval = 2;
+    let data = dataset(SceneId::Xyz, 6);
+    let serial = run_serial(config.clone(), &data);
+    let overlapped = run_overlapped(config, &data, 2);
+    assert_bit_identical(&serial, &overlapped, "audit+tile-work");
+    // The payloads must actually be present, or this test checks nothing.
+    assert!(serial.trace().frames.iter().any(|f| f.fp_rate.is_some()));
+    assert!(serial.trace().frames.iter().any(|f| !f.tile_work.is_empty()));
+}
+
+#[test]
+fn depth_one_with_slow_map_stage_stays_correct_under_backpressure() {
+    // Stress: a deliberately stalled map stage makes the FC worker run ahead
+    // and block on the bounded depth-1 channel. The run must neither
+    // deadlock nor diverge from the serial reference.
+    let mut config = AgsConfig::tiny();
+    config.pipeline.stress_map_stall_ms = 5;
+    let data = dataset(SceneId::Xyz, 6);
+    let serial = run_serial(config.clone(), &data);
+    let overlapped = run_overlapped(config, &data, 1);
+    assert_bit_identical(&serial, &overlapped, "slow map stage, depth 1");
+}
+
+#[test]
+fn serial_pipelined_driver_matches_monolithic_driver() {
+    // PipelineMode::Serial in the pipelined driver is the degenerate stage
+    // graph — it must also reproduce the monolithic AgsSlam exactly.
+    let data = dataset(SceneId::Xyz, 5);
+    let serial = run_serial(AgsConfig::tiny(), &data);
+    let mut inline = PipelinedAgsSlam::new(AgsConfig::tiny());
+    for frame in &data.frames {
+        let record = inline.push_frame_cloned(&data.camera, &frame.rgb, &frame.depth);
+        assert!(record.is_some());
+    }
+    assert_eq!(serial.trajectory(), inline.trajectory());
+    assert_eq!(serial.trace().canonical_bytes(), inline.trace().canonical_bytes());
+    assert_eq!(serial.cloud().gaussians(), inline.cloud().gaussians());
+}

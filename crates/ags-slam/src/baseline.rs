@@ -16,6 +16,7 @@ use ags_splat::tiles::GaussianTables;
 use ags_splat::train::StepReport;
 use ags_splat::GaussianCloud;
 use ags_track::fine::{GsPoseRefiner, RefineConfig};
+use std::sync::Arc;
 
 /// Per-frame processing record: pose, workloads and map size.
 #[derive(Debug, Clone)]
@@ -68,6 +69,7 @@ impl BaselineSlam {
             learning_rate: config.tracking_lr,
             loss: config.tracking_loss,
             convergence_eps: 1e-4,
+            ..RefineConfig::default()
         });
         Self {
             config,
@@ -160,9 +162,11 @@ impl BaselineSlam {
         }
 
         // --- Mapping: N_M iterations over the window (current + keyframes). ---
+        // Keyframe images are Arc-shared: the window clones reference counts,
+        // never pixels.
         let window = self.keyframes.mapping_window(self.config.mapping_window, &mut self.rng);
-        let window_data: Vec<(Se3, RgbImage, DepthImage)> =
-            window.iter().map(|kf| (kf.pose, kf.rgb.clone(), kf.depth.clone())).collect();
+        let window_data: Vec<(Se3, Arc<RgbImage>, Arc<DepthImage>)> =
+            window.iter().map(|kf| (kf.pose, Arc::clone(&kf.rgb), Arc::clone(&kf.depth))).collect();
         drop(window);
 
         let mut mapping_loss = 0.0;
@@ -176,7 +180,7 @@ impl BaselineSlam {
                 (pose, None, None)
             } else {
                 let (kp, ref kr, ref kd) = window_data[slot - 1];
-                (kp, Some(kr), Some(kd))
+                (kp, Some(kr.as_ref()), Some(kd.as_ref()))
             };
             let collect = sample_tiles && iter == 0;
             let report = self.map_step(camera, &p, r.unwrap_or(rgb), d.unwrap_or(depth), collect);
@@ -211,8 +215,8 @@ impl BaselineSlam {
             self.keyframes.push(StoredKeyframe {
                 frame_index,
                 pose,
-                rgb: rgb.clone(),
-                depth: depth.clone(),
+                rgb: Arc::new(rgb.clone()),
+                depth: Arc::new(depth.clone()),
             });
             self.keyframe_count += 1;
         }
@@ -245,8 +249,16 @@ impl BaselineSlam {
         let tables = GaussianTables::build(&projection, camera);
         let render = rasterize(&self.cloud, &projection, &tables, camera, &options);
         let loss = compute_loss(&render, rgb, depth, &self.config.mapping_loss);
-        let mut back =
-            backward(&self.cloud, &projection, &tables, camera, &loss, GradMode::Map, None);
+        let mut back = backward(
+            &self.cloud,
+            &projection,
+            &tables,
+            camera,
+            &loss,
+            GradMode::Map,
+            None,
+            &options.parallelism,
+        );
         if let Some(grads) = back.grads.as_mut() {
             // Freeze sub-map Gaussians (Gaussian-SLAM).
             for id in 0..self.trainable_from.min(grads.touched.len()) {

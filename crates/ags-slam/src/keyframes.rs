@@ -2,18 +2,23 @@
 
 use ags_image::{DepthImage, RgbImage};
 use ags_math::{Pcg32, Se3};
+use std::sync::Arc;
 
 /// A stored keyframe with its estimated pose.
+///
+/// Images sit behind [`Arc`] so mapping windows (and the pipelined driver's
+/// FC worker thread) share them by reference count instead of deep-copying
+/// the whole window every frame.
 #[derive(Debug, Clone)]
 pub struct StoredKeyframe {
     /// Stream index of the frame.
     pub frame_index: usize,
     /// Estimated camera-to-world pose at storage time.
     pub pose: Se3,
-    /// Color image.
-    pub rgb: RgbImage,
-    /// Depth image.
-    pub depth: DepthImage,
+    /// Color image (shared, immutable once stored).
+    pub rgb: Arc<RgbImage>,
+    /// Depth image (shared, immutable once stored).
+    pub depth: Arc<DepthImage>,
 }
 
 /// The keyframe database used by mapping.
@@ -86,9 +91,22 @@ mod tests {
         StoredKeyframe {
             frame_index: i,
             pose: Se3::from_translation(Vec3::splat(i as f32)),
-            rgb: RgbImage::filled(2, 2, Vec3::ZERO),
-            depth: DepthImage::filled(2, 2, 1.0),
+            rgb: Arc::new(RgbImage::filled(2, 2, Vec3::ZERO)),
+            depth: Arc::new(DepthImage::filled(2, 2, 1.0)),
         }
+    }
+
+    #[test]
+    fn window_shares_images_without_copying() {
+        let mut store = KeyframeStore::new();
+        store.push(kf(0));
+        let before = Arc::strong_count(&store.frames()[0].rgb);
+        let mut rng = Pcg32::seeded(1);
+        let window = store.mapping_window(1, &mut rng);
+        // Borrowed references: no new Arc handles, no pixel copies.
+        assert_eq!(Arc::strong_count(&window[0].rgb), before);
+        let cloned = Arc::clone(&window[0].rgb);
+        assert_eq!(Arc::strong_count(&cloned), before + 1);
     }
 
     #[test]

@@ -28,6 +28,7 @@ use crate::loss::LossResult;
 use crate::project::{falloff, projection_jacobian, Projection};
 use crate::tiles::GaussianTables;
 use crate::{ALPHA_THRESHOLD, TRANSMITTANCE_MIN};
+use ags_math::parallel::{par_map, Parallelism};
 use ags_math::{Mat2, Mat3, Quat, Se3, Vec2, Vec3};
 use ags_scene::PinholeCamera;
 
@@ -116,33 +117,120 @@ struct Contribution {
     clamped: bool,
 }
 
-/// Runs the backward pass over pre-projected splats.
-///
-/// `projection` and `tables` must come from the same cloud/camera/pose as the
-/// forward pass that produced `loss` (the renderer's
-/// [`crate::render::rasterize`] makes this easy to guarantee).
-pub fn backward(
-    cloud: &GaussianCloud,
+/// Tiles per fork-join work chunk. The partition is a **fixed** function of
+/// the tile count — never of the thread budget — so every `Parallelism`
+/// (including serial) walks identical chunks and merges them in identical
+/// order, keeping gradients bit-identical across thread counts.
+const TILES_PER_CHUNK: usize = 4;
+
+/// Screen-space gradient of one splat accumulated within one tile chunk.
+#[derive(Clone, Copy)]
+struct ScreenGrad {
+    d_mean: Vec2,
+    d_conic: [f32; 3],
+    d_z: f32,
+    d_color: Vec3,
+    d_opacity: f32,
+}
+
+impl ScreenGrad {
+    const ZERO: Self = Self {
+        d_mean: Vec2::ZERO,
+        d_conic: [0.0; 3],
+        d_z: 0.0,
+        d_color: Vec3::ZERO,
+        d_opacity: 0.0,
+    };
+}
+
+/// Per-chunk sparse gradient buffer: splats in first-touch order plus their
+/// accumulated screen-space gradients.
+struct ChunkGrads {
+    splats: Vec<u32>,
+    grads: Vec<ScreenGrad>,
+    stats: BackwardStats,
+}
+
+/// Looks up (or allocates) the chunk-local slot of splat `si`.
+#[inline]
+fn chunk_slot(
+    si: u32,
+    slot_of: &mut [u32],
+    splats: &mut Vec<u32>,
+    grads: &mut Vec<ScreenGrad>,
+) -> usize {
+    let s = slot_of[si as usize];
+    if s != u32::MAX {
+        return s as usize;
+    }
+    let new = splats.len() as u32;
+    slot_of[si as usize] = new;
+    splats.push(si);
+    grads.push(ScreenGrad::ZERO);
+    new as usize
+}
+
+std::thread_local! {
+    /// Per-worker splat→slot lookup table, reused across chunks (and across
+    /// backward passes on long-lived threads). Invariant outside an active
+    /// chunk: every entry is `u32::MAX` — each chunk resets exactly the
+    /// entries it touched, so reuse costs O(touched) instead of an
+    /// O(n_splats) allocation + fill per 4-tile chunk.
+    static SLOT_SCRATCH: std::cell::RefCell<Vec<u32>> = const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// Accumulates the screen-space gradients of one chunk of tiles.
+fn backward_tile_chunk(
     projection: &Projection,
     tables: &GaussianTables,
     camera: &PinholeCamera,
     loss: &LossResult,
-    mode: GradMode,
     skip: Option<&crate::idset::IdSet>,
-) -> BackwardOutput {
+    tile_range: std::ops::Range<usize>,
+) -> ChunkGrads {
     let n_splats = projection.splats.len();
-    // Screen-space gradient accumulators per splat.
-    let mut d_mean = vec![Vec2::ZERO; n_splats];
-    let mut d_conic = vec![[0.0f32; 3]; n_splats];
-    let mut d_z = vec![0.0f32; n_splats];
-    let mut d_color = vec![Vec3::ZERO; n_splats];
-    let mut d_opacity = vec![0.0f32; n_splats];
-    let mut stats = BackwardStats::default();
+    SLOT_SCRATCH.with(|cell| {
+        let mut slot_of = cell.borrow_mut();
+        if slot_of.len() < n_splats {
+            slot_of.resize(n_splats, u32::MAX);
+        }
+        let out = backward_tile_chunk_with(
+            projection,
+            tables,
+            camera,
+            loss,
+            skip,
+            tile_range,
+            &mut slot_of,
+        );
+        // Restore the all-MAX invariant, touching only what this chunk used.
+        for &si in &out.splats {
+            slot_of[si as usize] = u32::MAX;
+        }
+        out
+    })
+}
 
+/// [`backward_tile_chunk`] body operating on a caller-provided slot table
+/// whose entries are all `u32::MAX` on entry.
+#[allow(clippy::too_many_arguments)]
+fn backward_tile_chunk_with(
+    projection: &Projection,
+    tables: &GaussianTables,
+    camera: &PinholeCamera,
+    loss: &LossResult,
+    skip: Option<&crate::idset::IdSet>,
+    tile_range: std::ops::Range<usize>,
+    slot_of: &mut [u32],
+) -> ChunkGrads {
+    let mut splats: Vec<u32> = Vec::new();
+    let mut grads: Vec<ScreenGrad> = Vec::new();
+    let mut stats = BackwardStats::default();
     let width = camera.width;
     let mut scratch: Vec<Contribution> = Vec::with_capacity(64);
 
-    for (tile_idx, table) in tables.tables.iter().enumerate() {
+    for tile_idx in tile_range {
+        let table = &tables.tables[tile_idx];
         if table.is_empty() {
             continue;
         }
@@ -195,9 +283,11 @@ pub fn backward(
                     let splat = &projection.splats[si];
                     let w = contrib.t_before * contrib.alpha;
                     let one_minus = (1.0 - contrib.alpha).max(1e-6);
+                    let slot = chunk_slot(contrib.splat_index, slot_of, &mut splats, &mut grads);
+                    let acc = &mut grads[slot];
 
                     // Color gradient.
-                    d_color[si] += dl_dc * w;
+                    acc.d_color += dl_dc * w;
 
                     // Alpha gradient through color and depth channels.
                     let dc_dalpha = splat.color * contrib.t_before - accum_c / one_minus;
@@ -205,11 +295,11 @@ pub fn backward(
                     let dl_dalpha = dl_dc.dot(dc_dalpha) + dl_dd * dd_dalpha;
 
                     // Depth gradient (z enters blending linearly).
-                    d_z[si] += dl_dd * w;
+                    acc.d_z += dl_dd * w;
 
                     if !contrib.clamped {
                         // α = o·g: ∂α/∂o = g ; ∂α/∂q = -½α.
-                        d_opacity[si] += dl_dalpha * contrib.weight;
+                        acc.d_opacity += dl_dalpha * contrib.weight;
                         let dl_dq = dl_dalpha * (-0.5 * contrib.alpha);
 
                         // q = dᵀ K d.
@@ -217,11 +307,11 @@ pub fn backward(
                         let (ka, kb, kc) = splat.conic;
                         let kd = Vec2::new(ka * d.x + kb * d.y, kb * d.x + kc * d.y);
                         // ∂q/∂mean = -2 K d.
-                        d_mean[si] += kd * (-2.0 * dl_dq);
+                        acc.d_mean += kd * (-2.0 * dl_dq);
                         // ∂q/∂K = d dᵀ (symmetric; off-diagonal doubled).
-                        d_conic[si][0] += dl_dq * d.x * d.x;
-                        d_conic[si][1] += dl_dq * 2.0 * d.x * d.y;
-                        d_conic[si][2] += dl_dq * d.y * d.y;
+                        acc.d_conic[0] += dl_dq * d.x * d.x;
+                        acc.d_conic[1] += dl_dq * 2.0 * d.x * d.y;
+                        acc.d_conic[2] += dl_dq * d.y * d.y;
                     }
 
                     accum_c += splat.color * w;
@@ -229,6 +319,65 @@ pub fn backward(
                     stats.grad_ops += 1;
                 }
             }
+        }
+    }
+    ChunkGrads { splats, grads, stats }
+}
+
+/// Runs the backward pass over pre-projected splats.
+///
+/// `projection` and `tables` must come from the same cloud/camera/pose as the
+/// forward pass that produced `loss` (the renderer's
+/// [`crate::render::rasterize`] makes this easy to guarantee).
+///
+/// Tiles ride the same fork-join `par` knob as the forward rasterizer: the
+/// tile list is cut into fixed-size chunks, each chunk accumulates private
+/// per-splat gradient buffers, and the chunks are merged back in chunk order
+/// — so the result is bit-identical for every thread count.
+#[allow(clippy::too_many_arguments)]
+pub fn backward(
+    cloud: &GaussianCloud,
+    projection: &Projection,
+    tables: &GaussianTables,
+    camera: &PinholeCamera,
+    loss: &LossResult,
+    mode: GradMode,
+    skip: Option<&crate::idset::IdSet>,
+    par: &Parallelism,
+) -> BackwardOutput {
+    let n_splats = projection.splats.len();
+    // Screen-space gradient accumulators per splat.
+    let mut d_mean = vec![Vec2::ZERO; n_splats];
+    let mut d_conic = vec![[0.0f32; 3]; n_splats];
+    let mut d_z = vec![0.0f32; n_splats];
+    let mut d_color = vec![Vec3::ZERO; n_splats];
+    let mut d_opacity = vec![0.0f32; n_splats];
+    let mut stats = BackwardStats::default();
+
+    let num_tiles = tables.tables.len();
+    let num_chunks = num_tiles.div_ceil(TILES_PER_CHUNK);
+    // Small frames carry too little gradient work to amortise thread spawns;
+    // auto mode drops to the serial path there (the chunk partition — and
+    // thus the numerics — is unchanged either way).
+    let par = par.for_workload(tables.total_pairs as usize, 1024);
+    let chunks = par_map(&par, num_chunks, 1, |ci| {
+        let start = ci * TILES_PER_CHUNK;
+        let end = (start + TILES_PER_CHUNK).min(num_tiles);
+        backward_tile_chunk(projection, tables, camera, loss, skip, start..end)
+    });
+    for chunk in chunks {
+        stats.grad_ops += chunk.stats.grad_ops;
+        stats.pixels += chunk.stats.pixels;
+        for (k, &si) in chunk.splats.iter().enumerate() {
+            let g = &chunk.grads[k];
+            let si = si as usize;
+            d_mean[si] += g.d_mean;
+            d_conic[si][0] += g.d_conic[0];
+            d_conic[si][1] += g.d_conic[1];
+            d_conic[si][2] += g.d_conic[2];
+            d_z[si] += g.d_z;
+            d_color[si] += g.d_color;
+            d_opacity[si] += g.d_opacity;
         }
     }
 
@@ -420,6 +569,78 @@ mod tests {
     use ags_image::{DepthImage, RgbImage};
     use ags_math::Pcg32;
 
+    #[test]
+    fn parallel_backward_is_bit_identical_to_serial() {
+        // Dense random scene with a skip set; both gradient modes; the chunked
+        // fork-join path must match the serial path bit-for-bit at every
+        // thread count.
+        let mut cloud = GaussianCloud::new();
+        let mut rng = Pcg32::seeded(77);
+        for _ in 0..250 {
+            cloud.push(Gaussian::isotropic(
+                Vec3::new(
+                    rng.range_f32(-0.8, 0.8),
+                    rng.range_f32(-0.6, 0.6),
+                    rng.range_f32(1.0, 4.0),
+                ),
+                rng.range_f32(0.03, 0.25),
+                Vec3::new(rng.next_f32(), rng.next_f32(), rng.next_f32()),
+                rng.range_f32(0.2, 0.95),
+            ));
+        }
+        let mut skip = crate::idset::IdSet::with_capacity(cloud.len());
+        for id in (0..cloud.len()).step_by(5) {
+            skip.insert(id);
+        }
+        let cam = PinholeCamera::from_fov(64, 48, 1.2);
+        let projection = project_gaussians(&cloud, &cam, &Se3::IDENTITY);
+        let tables = GaussianTables::build(&projection, &cam);
+        let out = rasterize(&cloud, &projection, &tables, &cam, &RenderOptions::default());
+        let mut gt_rng = Pcg32::seeded(5);
+        let gt_rgb = RgbImage::from_vec(
+            cam.width,
+            cam.height,
+            (0..cam.num_pixels()).map(|_| Vec3::splat(gt_rng.next_f32())).collect(),
+        );
+        let gt_depth = DepthImage::filled(cam.width, cam.height, 2.0);
+        let loss = compute_loss(&out, &gt_rgb, &gt_depth, &l2_config());
+
+        let serial = backward(
+            &cloud,
+            &projection,
+            &tables,
+            &cam,
+            &loss,
+            GradMode::Both,
+            Some(&skip),
+            &Parallelism::serial(),
+        );
+        let sg = serial.grads.as_ref().unwrap();
+        assert!(sg.touched_count() > 0, "fixture must produce gradients");
+        for threads in [2, 4, 7] {
+            let parallel = backward(
+                &cloud,
+                &projection,
+                &tables,
+                &cam,
+                &loss,
+                GradMode::Both,
+                Some(&skip),
+                &Parallelism::with_threads(threads),
+            );
+            let pg = parallel.grads.as_ref().unwrap();
+            assert_eq!(sg.position, pg.position, "{threads} threads");
+            assert_eq!(sg.log_scale, pg.log_scale);
+            assert_eq!(sg.rotation, pg.rotation);
+            assert_eq!(sg.color, pg.color);
+            assert_eq!(sg.opacity_logit, pg.opacity_logit);
+            assert_eq!(sg.touched, pg.touched);
+            assert_eq!(serial.pose.unwrap().twist, parallel.pose.unwrap().twist);
+            assert_eq!(serial.stats.grad_ops, parallel.stats.grad_ops);
+            assert_eq!(serial.stats.pixels, parallel.stats.pixels);
+        }
+    }
+
     fn camera() -> PinholeCamera {
         PinholeCamera::from_fov(24, 24, 1.2)
     }
@@ -447,7 +668,8 @@ mod tests {
         let tables = GaussianTables::build(&projection, &cam);
         let out = rasterize(cloud, &projection, &tables, &cam, &RenderOptions::default());
         let loss = compute_loss(&out, gt_rgb, gt_depth, &l2_config());
-        let back = backward(cloud, &projection, &tables, &cam, &loss, mode, None);
+        let back =
+            backward(cloud, &projection, &tables, &cam, &loss, mode, None, &Parallelism::serial());
         (loss.total, back)
     }
 

@@ -9,6 +9,7 @@ use crate::project::project_gaussians;
 use crate::render::{rasterize, RenderOptions, RenderOutput};
 use crate::tiles::GaussianTables;
 use ags_image::{DepthImage, RgbImage};
+use ags_math::parallel::Parallelism;
 use ags_math::Se3;
 use ags_scene::PinholeCamera;
 
@@ -45,10 +46,19 @@ pub fn mapping_step(
     let mut options = render_options.clone();
     options.skip = skip.cloned();
     let projection = project_gaussians(cloud, camera, pose);
-    let tables = GaussianTables::build(&projection, camera);
+    let tables = GaussianTables::build_with(&projection, camera, &options.parallelism);
     let render = rasterize(cloud, &projection, &tables, camera, &options);
     let loss = compute_loss(&render, gt_rgb, gt_depth, loss_config);
-    let back = backward(cloud, &projection, &tables, camera, &loss, GradMode::Map, skip);
+    let back = backward(
+        cloud,
+        &projection,
+        &tables,
+        camera,
+        &loss,
+        GradMode::Map,
+        skip,
+        &options.parallelism,
+    );
     if let Some(grads) = &back.grads {
         adam.step(cloud, grads);
     }
@@ -57,7 +67,8 @@ pub fn mapping_step(
 
 /// Runs one *tracking* gradient evaluation: render → loss → pose gradient.
 /// Gaussians are left untouched; the caller applies the pose update (see
-/// [`crate::optim::PoseAdam`]).
+/// [`crate::optim::PoseAdam`]). `par` drives both the forward rasterizer and
+/// the backward tile walk.
 pub fn tracking_gradient(
     cloud: &GaussianCloud,
     camera: &PinholeCamera,
@@ -65,12 +76,14 @@ pub fn tracking_gradient(
     gt_rgb: &RgbImage,
     gt_depth: &DepthImage,
     loss_config: &LossConfig,
+    par: &Parallelism,
 ) -> (LossResult, BackwardOutput, RenderOutput) {
+    let options = RenderOptions { parallelism: *par, ..RenderOptions::default() };
     let projection = project_gaussians(cloud, camera, pose);
-    let tables = GaussianTables::build(&projection, camera);
-    let render = rasterize(cloud, &projection, &tables, camera, &RenderOptions::default());
+    let tables = GaussianTables::build_with(&projection, camera, par);
+    let render = rasterize(cloud, &projection, &tables, camera, &options);
     let loss = compute_loss(&render, gt_rgb, gt_depth, loss_config);
-    let back = backward(cloud, &projection, &tables, camera, &loss, GradMode::Track, None);
+    let back = backward(cloud, &projection, &tables, camera, &loss, GradMode::Track, None, par);
     (loss, back, render)
 }
 
@@ -226,6 +239,7 @@ mod tests {
             &gt_rgb,
             &gt_depth,
             &LossConfig::tracking(),
+            &Parallelism::default(),
         );
         let pg = back.pose.unwrap();
         let norm: f32 = pg.twist.iter().map(|t| t * t).sum::<f32>();

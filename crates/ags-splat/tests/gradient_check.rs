@@ -2,6 +2,7 @@
 //! render → loss → backward chain for camera-pose gradients.
 
 use ags_image::{DepthImage, RgbImage};
+use ags_math::parallel::Parallelism;
 use ags_math::{Pcg32, Se3, Vec3};
 use ags_scene::PinholeCamera;
 use ags_splat::backward::{backward, GradMode};
@@ -85,7 +86,16 @@ fn pose_gradient_descends_on_dense_scenes() {
         let tables = GaussianTables::build(&projection, &cam);
         let out = rasterize(&cloud, &projection, &tables, &cam, &RenderOptions::default());
         let loss = compute_loss(&out, &gt_rgb, &gt_depth, &l2());
-        let back = backward(&cloud, &projection, &tables, &cam, &loss, GradMode::Track, None);
+        let back = backward(
+            &cloud,
+            &projection,
+            &tables,
+            &cam,
+            &loss,
+            GradMode::Track,
+            None,
+            &Parallelism::serial(),
+        );
         let pg = back.pose.expect("track mode produces pose grads");
 
         let norm_sq: f32 = pg.twist.iter().map(|v| v * v).sum();
@@ -118,7 +128,16 @@ fn parameter_gradient_matches_fd_directional() {
     let tables = GaussianTables::build(&projection, &cam);
     let out = rasterize(&cloud, &projection, &tables, &cam, &RenderOptions::default());
     let loss = compute_loss(&out, &gt_rgb, &gt_depth, &l2());
-    let back = backward(&cloud, &projection, &tables, &cam, &loss, GradMode::Map, None);
+    let back = backward(
+        &cloud,
+        &projection,
+        &tables,
+        &cam,
+        &loss,
+        GradMode::Map,
+        None,
+        &Parallelism::serial(),
+    );
     let grads = back.grads.expect("map mode produces parameter grads");
 
     // Random direction over (position, log_scale, color, opacity) of every

@@ -6,6 +6,7 @@
 //! it on low-covisibility frames, with far fewer iterations.
 
 use ags_image::{DepthImage, RgbImage};
+use ags_math::parallel::Parallelism;
 use ags_math::Se3;
 use ags_scene::PinholeCamera;
 use ags_splat::loss::LossConfig;
@@ -25,6 +26,9 @@ pub struct RefineConfig {
     pub loss: LossConfig,
     /// Stop early when the loss improves by less than this fraction.
     pub convergence_eps: f32,
+    /// Thread-level parallelism of the per-iteration render + backward
+    /// kernels (bit-identical to serial at any thread count).
+    pub parallelism: Parallelism,
 }
 
 impl Default for RefineConfig {
@@ -34,6 +38,7 @@ impl Default for RefineConfig {
             learning_rate: 2e-3,
             loss: LossConfig::tracking(),
             convergence_eps: 1e-4,
+            parallelism: Parallelism::default(),
         }
     }
 }
@@ -118,8 +123,15 @@ impl GsPoseRefiner {
         let mut prev_loss = f32::INFINITY;
 
         for iter in 0..iterations {
-            let (loss, back, render) =
-                tracking_gradient(cloud, camera, &pose, gt_rgb, gt_depth, &self.config.loss);
+            let (loss, back, render) = tracking_gradient(
+                cloud,
+                camera,
+                &pose,
+                gt_rgb,
+                gt_depth,
+                &self.config.loss,
+                &self.config.parallelism,
+            );
             accumulate_stats(&mut workload.render, &render.stats);
             workload.grad_ops += back.stats.grad_ops;
             workload.iterations += 1;
