@@ -13,7 +13,7 @@
 //! Run: `cargo bench -p ags-bench --bench kernels`
 //! Env: `AGS_BENCH_THREADS=<n>` overrides the parallel worker count.
 
-use ags_codec::{CodecConfig, LumaPlane, MotionEstimator, SearchKind};
+use ags_codec::{sad_kernel_name, CodecConfig, LumaPlane, MotionEstimator, SearchKind};
 use ags_core::config::PipelineConfig;
 use ags_core::{AgsConfig, AgsSlam, PipelinedAgsSlam};
 use ags_math::parallel::Parallelism;
@@ -94,6 +94,81 @@ fn bench_motion_estimation(search: SearchKind, parallel: Parallelism) -> MeResul
     }
 }
 
+struct BatchedMeResult {
+    pairs: usize,
+    looped_pairs_per_s: f64,
+    batched_pairs_per_s: f64,
+    speedup: f64,
+}
+
+/// Times one frame's mapping-FC workload — ME of the current frame against
+/// an 8-keyframe window — as 8 sequential `estimate` calls (8 executor
+/// round-trips with a join barrier between pairs) versus one
+/// `estimate_batch` submission scheduling all rows of all pairs at once.
+///
+/// Sized at SLAM frame scale (the resolution the mapping-FC stage actually
+/// pushes per frame), where per-call setup and scheduling are a real
+/// fraction of a pair's search work — the cost the batch amortises 8×.
+/// Runs on a dedicated worker pool so the submission/join path is exercised
+/// also on hosts where the auto knob would fall back to the pure serial
+/// path. Interleaved min-of-N timing.
+fn bench_batched_me(parallel: &Parallelism) -> BatchedMeResult {
+    let (w, h, pairs) = (128usize, 96usize, 8usize);
+    let current = LumaPlane::from_fn(w, h, |x, y| (((x * 13 + y * 7) ^ (x * y / 5)) % 251) as u8);
+    let references: Vec<LumaPlane> = (1..=pairs)
+        .map(|s| {
+            LumaPlane::from_fn(w, h, |x, y| {
+                ((((x + s) * 13 + y * 7) ^ ((x + s) * y / 5)) % 251) as u8
+            })
+        })
+        .collect();
+    let refs: Vec<&LumaPlane> = references.iter().collect();
+    let threads = parallel.effective_threads().max(2);
+    let pool = Arc::new(ags_math::WorkerPool::new(threads - 1));
+    let est = MotionEstimator::new(CodecConfig {
+        parallelism: Parallelism::with_threads(threads).on_pool(pool),
+        ..CodecConfig::default()
+    });
+
+    // Bit-identity between the two schedules (and the serial reference)
+    // before trusting any timing.
+    let serial = MotionEstimator::new(CodecConfig {
+        parallelism: Parallelism::serial(),
+        ..CodecConfig::default()
+    });
+    let expect: Vec<_> = refs.iter().map(|r| serial.estimate(&current, r)).collect();
+    let looped: Vec<_> = refs.iter().map(|r| est.estimate(&current, r)).collect();
+    let batched = est.estimate_batch(&current, &refs);
+    assert_eq!(expect, looped, "pooled per-pair ME must match serial");
+    assert_eq!(expect, batched, "batched ME must match the per-pair loop");
+
+    let (samples, iters) = (9usize, 16usize);
+    let mut looped_times = Vec::with_capacity(samples);
+    let mut batched_times = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let start = Instant::now();
+        for _ in 0..iters {
+            for r in &refs {
+                black_box(est.estimate(black_box(&current), black_box(r)));
+            }
+        }
+        looped_times.push(start.elapsed().as_secs_f64() / iters as f64);
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(est.estimate_batch(black_box(&current), black_box(&refs)));
+        }
+        batched_times.push(start.elapsed().as_secs_f64() / iters as f64);
+    }
+    let min = |times: &[f64]| times.iter().copied().fold(f64::INFINITY, f64::min);
+    let (t_looped, t_batched) = (min(&looped_times), min(&batched_times));
+    BatchedMeResult {
+        pairs,
+        looped_pairs_per_s: pairs as f64 / t_looped,
+        batched_pairs_per_s: pairs as f64 / t_batched,
+        speedup: t_looped / t_batched,
+    }
+}
+
 struct RasterResult {
     tiles: usize,
     serial_tiles_per_s: f64,
@@ -136,13 +211,15 @@ fn bench_rasterization(parallel: Parallelism) -> RasterResult {
 }
 
 struct SadResult {
+    kernel: &'static str,
     scalar_mpix_per_s: f64,
-    chunked_mpix_per_s: f64,
+    simd_mpix_per_s: f64,
     speedup: f64,
 }
 
-/// Times the chunked SAD row kernel against the scalar reference over a
-/// dense grid of block comparisons (the exact shape the ME search issues).
+/// Times the dispatched SIMD SAD row kernel (SSE2/NEON, portable chunked
+/// fallback) against the scalar reference over a dense grid of block
+/// comparisons (the exact shape the ME search issues).
 fn bench_sad_kernel() -> SadResult {
     let (w, h, block) = (512usize, 384usize, 8usize);
     let a = LumaPlane::from_fn(w, h, |x, y| (((x * 31 + y * 17) ^ (x / 3 + y)) % 253) as u8);
@@ -159,13 +236,13 @@ fn bench_sad_kernel() -> SadResult {
         })
         .collect();
     // Bit-identity before trusting timings (integer sums: must match exactly).
-    let chunked_sum: u64 =
+    let simd_sum: u64 =
         positions.iter().map(|&(x, y, rx, ry)| a.block_sad(x, y, &b, rx, ry, block) as u64).sum();
     let scalar_sum: u64 = positions
         .iter()
         .map(|&(x, y, rx, ry)| a.block_sad_scalar(x, y, &b, rx, ry, block) as u64)
         .sum();
-    assert_eq!(chunked_sum, scalar_sum, "chunked SAD kernel must match the scalar reference");
+    assert_eq!(simd_sum, scalar_sum, "SIMD SAD kernel must match the scalar reference");
 
     let pixels = (positions.len() * block * block) as f64;
     let t_scalar = time_it(5, 20, || {
@@ -175,7 +252,7 @@ fn bench_sad_kernel() -> SadResult {
         }
         black_box(acc);
     });
-    let t_chunked = time_it(5, 20, || {
+    let t_simd = time_it(5, 20, || {
         let mut acc = 0u64;
         for &(x, y, rx, ry) in &positions {
             acc += a.block_sad(x, y, black_box(&b), rx, ry, block) as u64;
@@ -183,9 +260,10 @@ fn bench_sad_kernel() -> SadResult {
         black_box(acc);
     });
     SadResult {
+        kernel: sad_kernel_name(),
         scalar_mpix_per_s: pixels / t_scalar / 1e6,
-        chunked_mpix_per_s: pixels / t_chunked / 1e6,
-        speedup: t_scalar / t_chunked,
+        simd_mpix_per_s: pixels / t_simd / 1e6,
+        speedup: t_scalar / t_simd,
     }
 }
 
@@ -213,6 +291,9 @@ fn e2e_config() -> AgsConfig {
     config.slam.tile_work_interval = 0;
     config.codec.search = SearchKind::FullSearch;
     config.codec.search_range = 16;
+    // Mapping-side FC over a keyframe window: every frame's references go
+    // through one estimate_batch submission (the batched FC path).
+    config.codec.keyframe_window = 4;
     config.parallelism = Parallelism::serial();
     config
 }
@@ -329,20 +410,25 @@ fn main() {
 
     let sad = bench_sad_kernel();
     println!(
-        "sad row kernel 8x8 blocks      512x384: scalar {:>10.1} Mpix/s   chunked  {:>10.1} Mpix/s   speedup {:.2}x",
-        sad.scalar_mpix_per_s, sad.chunked_mpix_per_s, sad.speedup
+        "sad row kernel 8x8 blocks      512x384: scalar {:>10.1} Mpix/s   {:<8} {:>10.1} Mpix/s   speedup {:.2}x",
+        sad.scalar_mpix_per_s, sad.kernel, sad.simd_mpix_per_s, sad.speedup
     );
-    let diamond = bench_motion_estimation(SearchKind::Diamond, parallel);
+    let diamond = bench_motion_estimation(SearchKind::Diamond, parallel.clone());
     println!(
         "motion estimation / diamond    512x384: serial {:>12.0} blocks/s  parallel {:>12.0} blocks/s  speedup {:.2}x",
         diamond.serial_blocks_per_s, diamond.parallel_blocks_per_s, diamond.speedup
     );
-    let full = bench_motion_estimation(SearchKind::FullSearch, parallel);
+    let full = bench_motion_estimation(SearchKind::FullSearch, parallel.clone());
     println!(
         "motion estimation / full       512x384: serial {:>12.0} blocks/s  parallel {:>12.0} blocks/s  speedup {:.2}x",
         full.serial_blocks_per_s, full.parallel_blocks_per_s, full.speedup
     );
-    let raster = bench_rasterization(parallel);
+    let batched = bench_batched_me(&parallel);
+    println!(
+        "batched window ME / diamond    128x96:  looped {:>12.2} pairs/s   batched  {:>12.2} pairs/s   speedup {:.2}x ({} pairs)",
+        batched.looped_pairs_per_s, batched.batched_pairs_per_s, batched.speedup, batched.pairs
+    );
+    let raster = bench_rasterization(parallel.clone());
     println!(
         "rasterization 4k gaussians     256x192: serial {:>12.0} tiles/s   parallel {:>12.0} tiles/s   speedup {:.2}x",
         raster.serial_tiles_per_s, raster.parallel_tiles_per_s, raster.speedup
@@ -366,8 +452,9 @@ fn main() {
   "sad_kernel": {{
     "frame": [512, 384],
     "block": 8,
+    "kernel": "{}",
     "scalar_mpix_per_s": {:.1},
-    "chunked_mpix_per_s": {:.1},
+    "simd_mpix_per_s": {:.1},
     "speedup": {:.3}
   }},
   "motion_estimation": {{
@@ -384,6 +471,13 @@ fn main() {
       "parallel_blocks_per_s": {:.1},
       "speedup": {:.3},
       "sad_evaluations": {}
+    }},
+    "batched_window": {{
+      "frame": [128, 96],
+      "pairs": {},
+      "looped_pairs_per_s": {:.2},
+      "batched_pairs_per_s": {:.2},
+      "speedup": {:.3}
     }}
   }},
   "rasterization": {{
@@ -411,8 +505,9 @@ fn main() {
   }}
 }}
 "#,
+        sad.kernel,
         sad.scalar_mpix_per_s,
-        sad.chunked_mpix_per_s,
+        sad.simd_mpix_per_s,
         sad.speedup,
         diamond.serial_blocks_per_s,
         diamond.parallel_blocks_per_s,
@@ -422,6 +517,10 @@ fn main() {
         full.parallel_blocks_per_s,
         full.speedup,
         full.sad_evaluations,
+        batched.pairs,
+        batched.looped_pairs_per_s,
+        batched.batched_pairs_per_s,
+        batched.speedup,
         raster.tiles,
         raster.serial_tiles_per_s,
         raster.parallel_tiles_per_s,

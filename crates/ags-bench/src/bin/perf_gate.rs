@@ -7,11 +7,13 @@
 //! `max-regression` is a fraction (default `0.25`): the gate fails when any
 //! gated metric of the current run falls below
 //! `baseline * (1 - max_regression)`. Gated metrics are the end-to-end
-//! `process_frame` frame rates — the numbers the ROADMAP tracks per PR:
+//! `process_frame` frame rates plus the batched window-ME throughput — the
+//! numbers the ROADMAP tracks per PR:
 //!
 //! * `serial_frames_per_s`
 //! * `parallel_frames_per_s`
 //! * `overlapped_frames_per_s`
+//! * `batched_pairs_per_s` (the one-submission keyframe-window ME path)
 //!
 //! Improvements and new metrics never fail the gate; a metric missing from
 //! the *current* file does (the bench must keep emitting what the gate
@@ -26,9 +28,14 @@
 
 use std::process::ExitCode;
 
-/// The gated metrics: end-to-end frames/s (higher is better).
-const GATED_KEYS: [&str; 3] =
-    ["serial_frames_per_s", "parallel_frames_per_s", "overlapped_frames_per_s"];
+/// The gated metrics: end-to-end frames/s and batched-ME pairs/s (higher is
+/// better).
+const GATED_KEYS: [&str; 4] = [
+    "serial_frames_per_s",
+    "parallel_frames_per_s",
+    "overlapped_frames_per_s",
+    "batched_pairs_per_s",
+];
 
 /// Extracts the first `"key": <number>` value from a JSON document.
 ///
@@ -107,7 +114,8 @@ mod tests {
 
     fn doc(serial: f64, parallel: f64, overlapped: f64) -> String {
         format!(
-            r#"{{ "end_to_end": {{ "serial_frames_per_s": {serial},
+            r#"{{ "batched_window": {{ "batched_pairs_per_s": 100.0 }},
+                 "end_to_end": {{ "serial_frames_per_s": {serial},
                  "parallel_frames_per_s": {parallel},
                  "overlapped_frames_per_s": {overlapped} }} }}"#
         )

@@ -26,7 +26,7 @@
 //! use ags_codec::{CodecConfig, LumaPlane, MotionEstimator};
 //!
 //! let config = CodecConfig::default();
-//! let estimator = MotionEstimator::new(config);
+//! let estimator = MotionEstimator::new(config.clone());
 //! let a = LumaPlane::from_fn(32, 32, |x, y| ((x + y) % 17 * 15) as u8);
 //! let b = a.clone();
 //! let result = estimator.estimate(&b, &a);
@@ -43,5 +43,5 @@ pub mod stream;
 
 pub use covisibility::{Covisibility, CovisibilityBand, CovisibilityLevel};
 pub use me::{CodecConfig, MbMatch, MotionEstimator, MotionField, MotionResult, SearchKind};
-pub use plane::LumaPlane;
-pub use stream::{CodecFrameReport, VideoCodec};
+pub use plane::{sad_kernel_name, LumaPlane};
+pub use stream::{CodecFrameReport, VideoCodec, WindowCovisibility};

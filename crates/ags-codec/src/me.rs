@@ -17,7 +17,7 @@ pub enum SearchKind {
 }
 
 /// Static configuration of the CODEC's motion-estimation stage.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CodecConfig {
     /// Macro-block edge length in pixels (paper uses 8×8).
     pub mb_size: usize,
@@ -31,9 +31,16 @@ pub struct CodecConfig {
     /// the paper's `ThreshT = 0.9` and fast-motion bursts (MAD ≥ 15) fall
     /// below it.
     pub norm_mad: f32,
-    /// Thread-level parallelism of [`MotionEstimator::estimate`]. The
-    /// parallel path distributes macro-block rows across workers and is
-    /// bit-identical to `Parallelism::serial()`.
+    /// How many recent key-frame reference pictures the streaming codec
+    /// retains. `1` reproduces the classic single key-frame reference; a
+    /// larger window makes `VideoCodec` report per-keyframe covisibility for
+    /// the whole mapping window, estimated as **one batch** per frame
+    /// (see [`MotionEstimator::estimate_batch`]).
+    pub keyframe_window: usize,
+    /// Thread-level parallelism of [`MotionEstimator::estimate`] /
+    /// [`MotionEstimator::estimate_batch`]. The parallel path distributes
+    /// macro-block rows (of all frame pairs, for a batch) across the pool's
+    /// workers and is bit-identical to `Parallelism::serial()`.
     pub parallelism: Parallelism,
 }
 
@@ -44,6 +51,7 @@ impl Default for CodecConfig {
             search_range: 8,
             search: SearchKind::Diamond,
             norm_mad: 80.0,
+            keyframe_window: 1,
             parallelism: Parallelism::default(),
         }
     }
@@ -116,7 +124,7 @@ impl MotionResult {
 }
 
 /// Software model of the CODEC motion-estimation engine.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct MotionEstimator {
     config: CodecConfig,
 }
@@ -134,7 +142,7 @@ impl MotionEstimator {
 
     /// Runs motion estimation of `current` against `reference`.
     ///
-    /// Macro-block rows are distributed across worker threads according to
+    /// Macro-block rows are distributed across the worker pool according to
     /// `config.parallelism`; per-MB results are merged back in row-major
     /// order, so the output is bit-identical to the serial path.
     ///
@@ -142,22 +150,60 @@ impl MotionEstimator {
     ///
     /// Panics when plane dimensions differ or are smaller than one MB.
     pub fn estimate(&self, current: &LumaPlane, reference: &LumaPlane) -> MotionResult {
-        assert_eq!(current.width(), reference.width(), "plane width mismatch");
-        assert_eq!(current.height(), reference.height(), "plane height mismatch");
+        self.estimate_batch(current, &[reference]).pop().expect("one pair in, one result out")
+    }
+
+    /// Runs motion estimation of `current` against **every** reference in
+    /// one executor submission — the mapping-side FC pattern, where a frame
+    /// is compared against the whole key-frame window at once.
+    ///
+    /// All macro-block rows of all pairs are scheduled as a single
+    /// chunk-ordered batch: scheduling cost is paid once instead of once per
+    /// pair, and the shared current-frame luma plane stays cache-resident
+    /// across pairs. Results come back in reference order, and each is
+    /// **bit-identical** to the corresponding [`estimate`](Self::estimate)
+    /// call (which the batched-ME tests enforce at several thread counts).
+    ///
+    /// # Panics
+    ///
+    /// Panics when any plane dimension differs from `current` or is smaller
+    /// than one MB.
+    pub fn estimate_batch(
+        &self,
+        current: &LumaPlane,
+        references: &[&LumaPlane],
+    ) -> Vec<MotionResult> {
+        if references.is_empty() {
+            return Vec::new();
+        }
+        for reference in references {
+            assert_eq!(current.width(), reference.width(), "plane width mismatch");
+            assert_eq!(current.height(), reference.height(), "plane height mismatch");
+        }
         let mb = self.config.mb_size;
         assert!(mb > 0 && current.width() >= mb && current.height() >= mb, "plane smaller than MB");
 
         let mb_cols = current.width() / mb;
         let mb_rows = current.height() / mb;
+        let pairs = references.len();
+        // One job per (MB row, pair), **row-interleaved**: all pairs of MB
+        // row `r` are scheduled back-to-back, so the current-frame rows a
+        // search reads stay L1-resident while every reference is matched
+        // against them — the cache-sharing half of the batch win. Per-MB
+        // searches are independent, so the order never changes results.
+        let jobs = pairs * mb_rows;
 
-        // Below ~512 MBs (tiny SLAM frames) thread-spawn cost dominates the
-        // search work; auto mode drops to the serial path there.
-        let par = self.config.parallelism.for_workload(mb_cols * mb_rows, 512);
-        let row_chunks = par_map_ranges(&par, mb_rows, 1, |rows| {
-            let mut entries = Vec::with_capacity(rows.len() * mb_cols);
-            let mut evals = 0u64;
+        // Below ~512 MBs of total work (tiny SLAM frames) scheduling cost
+        // dominates the search work; auto mode drops to the serial path.
+        let par = self.config.parallelism.for_workload(pairs * mb_cols * mb_rows, 512);
+        let chunks = par_map_ranges(&par, jobs, 1, |job_range| {
+            let mut entries = Vec::with_capacity(job_range.len() * mb_cols);
+            let mut row_evals = Vec::with_capacity(job_range.len());
             let mut scratch = SearchScratch::new(self.config.search_range);
-            for row in rows {
+            for job in job_range {
+                let reference = references[job % pairs];
+                let row = job / pairs;
+                let mut evals = 0u64;
                 for col in 0..mb_cols {
                     let x = col * mb;
                     let y = row * mb;
@@ -170,22 +216,38 @@ impl MotionEstimator {
                     evals += e;
                     entries.push(m);
                 }
+                row_evals.push(evals);
             }
-            (entries, evals)
+            (entries, row_evals)
         });
 
-        let mut entries = Vec::with_capacity(mb_cols * mb_rows);
-        let mut evals = 0u64;
-        for (chunk_entries, chunk_evals) in row_chunks {
-            entries.extend(chunk_entries);
-            evals += chunk_evals;
+        // Re-gather the row-interleaved job stream into per-pair row-major
+        // motion fields: job `j` is (row `j / pairs`, pair `j % pairs`), and
+        // rows of a pair appear in increasing order along the stream.
+        let mut results: Vec<MotionResult> = (0..pairs)
+            .map(|_| MotionResult {
+                field: MotionField {
+                    mb_cols,
+                    mb_rows,
+                    entries: Vec::with_capacity(mb_cols * mb_rows),
+                },
+                sad_evaluations: 0,
+                covered_pixels: (mb_cols * mb_rows * mb * mb) as u64,
+            })
+            .collect();
+        let mut job = 0usize;
+        for (entries, row_evals) in chunks {
+            let mut offset = 0usize;
+            for evals in row_evals {
+                let result = &mut results[job % pairs];
+                result.field.entries.extend_from_slice(&entries[offset..offset + mb_cols]);
+                result.sad_evaluations += evals;
+                offset += mb_cols;
+                job += 1;
+            }
         }
-
-        MotionResult {
-            field: MotionField { mb_cols, mb_rows, entries },
-            sad_evaluations: evals,
-            covered_pixels: (mb_cols * mb_rows * mb * mb) as u64,
-        }
+        debug_assert_eq!(job, jobs, "every (row, pair) job accounted for");
+        results
     }
 
     /// SAD of the candidate at displacement `(dx, dy)`, abandoned early once
@@ -451,6 +513,28 @@ mod tests {
     }
 
     #[test]
+    fn estimate_batch_matches_per_pair_estimates() {
+        let current = textured_plane(96, 72, 0);
+        let refs =
+            [textured_plane(96, 72, 1), textured_plane(96, 72, 3), textured_plane(96, 72, 6)];
+        let ref_list: Vec<&LumaPlane> = refs.iter().collect();
+        for search in [SearchKind::FullSearch, SearchKind::Diamond] {
+            let est = MotionEstimator::new(CodecConfig { search, ..CodecConfig::default() });
+            let looped: Vec<MotionResult> =
+                ref_list.iter().map(|r| est.estimate(&current, r)).collect();
+            let batched = est.estimate_batch(&current, &ref_list);
+            assert_eq!(looped, batched, "{search:?}");
+        }
+    }
+
+    #[test]
+    fn estimate_batch_empty_reference_list() {
+        let p = textured_plane(32, 32, 0);
+        let est = MotionEstimator::new(CodecConfig::default());
+        assert!(est.estimate_batch(&p, &[]).is_empty());
+    }
+
+    #[test]
     fn diamond_counts_each_candidate_once() {
         // On identical frames the first LDSP round terminates immediately:
         // 9 LDSP candidates, and the SDSP ring adds 4 fresh ones (its center
@@ -526,7 +610,7 @@ mod tests {
         let near = textured_plane(64, 64, 1);
         let far = LumaPlane::from_fn(64, 64, |x, y| ((x * 31 + y * 17 + 97) % 255) as u8);
         let config = CodecConfig::default();
-        let est = MotionEstimator::new(config);
+        let est = MotionEstimator::new(config.clone());
         let cov_same = est.estimate(&base, &base).covisibility(&config);
         let cov_near = est.estimate(&near, &base).covisibility(&config);
         let cov_far = est.estimate(&far, &base).covisibility(&config);
@@ -539,7 +623,7 @@ mod tests {
         let a = LumaPlane::from_fn(16, 16, |_, _| 0);
         let b = LumaPlane::from_fn(16, 16, |_, _| 255);
         let config = CodecConfig::default();
-        let cov = MotionEstimator::new(config).estimate(&a, &b).covisibility(&config);
+        let cov = MotionEstimator::new(config.clone()).estimate(&a, &b).covisibility(&config);
         assert!(cov.value() >= 0.0 && cov.value() <= 1.0);
         assert!(cov.value() < 0.05, "opposite planes should have ~0 covisibility");
     }

@@ -81,6 +81,14 @@ impl LumaPlane {
     ) -> u32 {
         debug_assert!(x + block <= self.width && y + block <= self.height);
         debug_assert!(rx + block <= reference.width && ry + block <= reference.height);
+        #[cfg(any(all(target_arch = "x86_64", target_feature = "sse2"), target_arch = "aarch64"))]
+        if block == 8 && self.block8_in_bounds(x, y) && reference.block8_in_bounds(rx, ry) {
+            // The codec's default MB size gets the whole-block kernel: two
+            // 8-px rows per SIMD op instead of one row per call. The bounds
+            // guard keeps this safe `pub fn` panicking (below, via slice
+            // indexing) instead of reading out of bounds on bad inputs.
+            return block_sad8_simd(self, x, y, reference, rx, ry, u32::MAX);
+        }
         let mut sad = 0u32;
         for row in 0..block {
             let a = &self.data[(y + row) * self.width + x..][..block];
@@ -113,6 +121,14 @@ impl LumaPlane {
     ) -> u32 {
         debug_assert!(x + block <= self.width && y + block <= self.height);
         debug_assert!(rx + block <= reference.width && ry + block <= reference.height);
+        #[cfg(any(all(target_arch = "x86_64", target_feature = "sse2"), target_arch = "aarch64"))]
+        if block == 8 && self.block8_in_bounds(x, y) && reference.block8_in_bounds(rx, ry) {
+            // Two-row bound-check granularity: the partial sums it exits on
+            // are still `> bound`, and any SAD `<= bound` is computed exactly
+            // — the same contract as the per-row early exit. Out-of-bounds
+            // inputs fall through to the panicking slice path.
+            return block_sad8_simd(self, x, y, reference, rx, ry, bound);
+        }
         let mut sad = 0u32;
         for row in 0..block {
             let a = &self.data[(y + row) * self.width + x..][..block];
@@ -123,6 +139,14 @@ impl LumaPlane {
             }
         }
         sad
+    }
+
+    /// Whether an 8×8 block at `(x, y)` lies fully inside the plane — the
+    /// safety precondition of the raw-pointer whole-block kernel.
+    #[cfg(any(all(target_arch = "x86_64", target_feature = "sse2"), target_arch = "aarch64"))]
+    #[inline]
+    fn block8_in_bounds(&self, x: usize, y: usize) -> bool {
+        x + 8 <= self.width && y + 8 <= self.height
     }
 
     /// Scalar reference SAD — the pre-vectorisation kernel, kept for
@@ -151,19 +175,202 @@ impl LumaPlane {
     }
 }
 
+/// Name of the row-SAD kernel selected at compile time for this target
+/// (`"sse2"`, `"neon"` or `"portable"`); reported by the kernel benchmarks.
+pub fn sad_kernel_name() -> &'static str {
+    #[cfg(all(target_arch = "x86_64", target_feature = "sse2"))]
+    {
+        "sse2"
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        "neon"
+    }
+    #[cfg(not(any(
+        all(target_arch = "x86_64", target_feature = "sse2"),
+        target_arch = "aarch64"
+    )))]
+    {
+        "portable"
+    }
+}
+
+/// SAD of one block row, dispatched to the best kernel the target offers:
+/// SSE2 `_mm_sad_epu8` on x86-64, NEON `vabdl_u8` on aarch64, and the
+/// portable chunked-lane kernel everywhere else. All three sum exact `u8`
+/// absolute differences into integers, so they are **bit-identical** for
+/// every input (the identity tests compare them against the scalar
+/// reference).
+#[inline]
+fn row_sad(a: &[u8], b: &[u8]) -> u32 {
+    #[cfg(all(target_arch = "x86_64", target_feature = "sse2"))]
+    {
+        row_sad_sse2(a, b)
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        row_sad_neon(a, b)
+    }
+    #[cfg(not(any(
+        all(target_arch = "x86_64", target_feature = "sse2"),
+        target_arch = "aarch64"
+    )))]
+    {
+        row_sad_portable(a, b)
+    }
+}
+
+/// Whole-block SAD for the default 8×8 macro-block, processing **two rows
+/// per SIMD op** with a bound check every row pair.
+///
+/// Exactness contract matches [`LumaPlane::block_sad_bounded`]: any return
+/// value `<= bound` is the exact block SAD (integer sums, bit-identical to
+/// scalar); early exits return a partial sum already `> bound`. Call with
+/// `bound = u32::MAX` for the unbounded kernel.
+#[cfg(any(all(target_arch = "x86_64", target_feature = "sse2"), target_arch = "aarch64"))]
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn block_sad8_simd(
+    current: &LumaPlane,
+    x: usize,
+    y: usize,
+    reference: &LumaPlane,
+    rx: usize,
+    ry: usize,
+    bound: u32,
+) -> u32 {
+    let a_stride = current.width;
+    let b_stride = reference.width;
+    let a_base = y * a_stride + x;
+    let b_base = ry * b_stride + rx;
+    debug_assert!(a_base + 7 * a_stride + 8 <= current.data.len());
+    debug_assert!(b_base + 7 * b_stride + 8 <= reference.data.len());
+    let a = current.data.as_ptr();
+    let b = reference.data.as_ptr();
+    let mut sad = 0u32;
+    for pair in 0..4usize {
+        let ao = a_base + 2 * pair * a_stride;
+        let bo = b_base + 2 * pair * b_stride;
+        // SAFETY: the debug-asserted block bounds (enforced by the callers,
+        // which clamp candidate MVs to the picture) keep every 8-byte row
+        // read inside the plane buffers, and the SIMD feature is statically
+        // enabled by the surrounding cfg.
+        let pair_sad = unsafe {
+            #[cfg(all(target_arch = "x86_64", target_feature = "sse2"))]
+            {
+                use std::arch::x86_64::{
+                    __m128i, _mm_cvtsi128_si64, _mm_loadl_epi64, _mm_sad_epu8, _mm_unpackhi_epi64,
+                    _mm_unpacklo_epi64,
+                };
+                // Pack rows r and r+1 of each block into one 16-byte vector;
+                // one _mm_sad_epu8 covers both rows (two u64 partial sums).
+                let va = _mm_unpacklo_epi64(
+                    _mm_loadl_epi64(a.add(ao).cast::<__m128i>()),
+                    _mm_loadl_epi64(a.add(ao + a_stride).cast::<__m128i>()),
+                );
+                let vb = _mm_unpacklo_epi64(
+                    _mm_loadl_epi64(b.add(bo).cast::<__m128i>()),
+                    _mm_loadl_epi64(b.add(bo + b_stride).cast::<__m128i>()),
+                );
+                let s = _mm_sad_epu8(va, vb);
+                (_mm_cvtsi128_si64(s) + _mm_cvtsi128_si64(_mm_unpackhi_epi64(s, s))) as u32
+            }
+            #[cfg(target_arch = "aarch64")]
+            {
+                use std::arch::aarch64::{vabdq_u8, vaddlvq_u8, vcombine_u8, vld1_u8};
+                let va = vcombine_u8(vld1_u8(a.add(ao)), vld1_u8(a.add(ao + a_stride)));
+                let vb = vcombine_u8(vld1_u8(b.add(bo)), vld1_u8(b.add(bo + b_stride)));
+                vaddlvq_u8(vabdq_u8(va, vb)) as u32
+            }
+        };
+        sad += pair_sad;
+        if sad > bound {
+            return sad;
+        }
+    }
+    sad
+}
+
+/// SSE2 row SAD: `_mm_sad_epu8` reduces 16 (or 8) byte lanes to packed
+/// 64-bit partial sums in one instruction — the same primitive hardware ME
+/// engines are built around.
+#[cfg(all(target_arch = "x86_64", target_feature = "sse2"))]
+#[inline]
+fn row_sad_sse2(a: &[u8], b: &[u8]) -> u32 {
+    use std::arch::x86_64::{
+        __m128i, _mm_add_epi64, _mm_cvtsi128_si64, _mm_loadl_epi64, _mm_loadu_si128, _mm_sad_epu8,
+        _mm_setzero_si128, _mm_unpackhi_epi64,
+    };
+    let n = a.len().min(b.len());
+    let mut i = 0usize;
+    // SAFETY: SSE2 is statically enabled (cfg above); every load reads at
+    // most 16 (resp. 8) bytes at `i`, and the loop conditions keep
+    // `i + 16 <= n` / `i + 8 <= n` within both slices.
+    let mut sad = unsafe {
+        let mut acc = _mm_setzero_si128();
+        while i + 16 <= n {
+            let va = _mm_loadu_si128(a.as_ptr().add(i).cast::<__m128i>());
+            let vb = _mm_loadu_si128(b.as_ptr().add(i).cast::<__m128i>());
+            acc = _mm_add_epi64(acc, _mm_sad_epu8(va, vb));
+            i += 16;
+        }
+        if i + 8 <= n {
+            let va = _mm_loadl_epi64(a.as_ptr().add(i).cast::<__m128i>());
+            let vb = _mm_loadl_epi64(b.as_ptr().add(i).cast::<__m128i>());
+            acc = _mm_add_epi64(acc, _mm_sad_epu8(va, vb));
+            i += 8;
+        }
+        (_mm_cvtsi128_si64(acc) + _mm_cvtsi128_si64(_mm_unpackhi_epi64(acc, acc))) as u32
+    };
+    for (pa, pb) in a[i..n].iter().zip(&b[i..n]) {
+        sad += pa.abs_diff(*pb) as u32;
+    }
+    sad
+}
+
+/// NEON row SAD: `vabdl_u8` widens eight absolute byte differences to
+/// `u16`, accumulated pairwise into `u32` lanes (`vpadalq_u16`) so rows of
+/// any length stay exact.
+#[cfg(target_arch = "aarch64")]
+#[inline]
+fn row_sad_neon(a: &[u8], b: &[u8]) -> u32 {
+    use std::arch::aarch64::{vabdl_u8, vaddvq_u32, vdupq_n_u32, vld1_u8, vpadalq_u16};
+    let n = a.len().min(b.len());
+    let mut i = 0usize;
+    // SAFETY: NEON is baseline on aarch64; each `vld1_u8` reads 8 bytes at
+    // `i` with `i + 8 <= n` inside both slices.
+    let mut sad = unsafe {
+        let mut acc = vdupq_n_u32(0);
+        while i + 8 <= n {
+            let va = vld1_u8(a.as_ptr().add(i));
+            let vb = vld1_u8(b.as_ptr().add(i));
+            acc = vpadalq_u16(acc, vabdl_u8(va, vb));
+            i += 8;
+        }
+        vaddvq_u32(acc)
+    };
+    for (pa, pb) in a[i..n].iter().zip(&b[i..n]) {
+        sad += pa.abs_diff(*pb) as u32;
+    }
+    sad
+}
+
 /// Width of the fixed SAD lane group. Eight `u8` lanes widened to `u32`
 /// accumulators compile to a single SIMD register on SSE2/NEON targets.
+#[allow(dead_code)] // only the fallback target dispatches to it
 const SAD_LANES: usize = 8;
 
-/// SAD of one block row: fixed-width lane accumulation over groups of
+/// Portable row SAD: fixed-width lane accumulation over groups of
 /// [`SAD_LANES`] pixels plus a scalar tail.
 ///
 /// The per-lane sums are integers, so any association is exact — this is
 /// bit-identical to the scalar reference for every input, while the
 /// branch-free fixed-width inner loop autovectorises (`u8`→`u32` widening
-/// absolute difference per lane, horizontal add once per row).
+/// absolute difference per lane, horizontal add once per row). Kept as the
+/// fallback for targets without an explicit `std::arch` kernel.
+#[allow(dead_code)]
 #[inline]
-fn row_sad(a: &[u8], b: &[u8]) -> u32 {
+fn row_sad_portable(a: &[u8], b: &[u8]) -> u32 {
     let mut lanes = [0u32; SAD_LANES];
     let mut chunks_a = a.chunks_exact(SAD_LANES);
     let mut chunks_b = b.chunks_exact(SAD_LANES);
@@ -235,19 +442,88 @@ mod tests {
     }
 
     #[test]
-    fn chunked_row_kernel_matches_scalar_reference() {
+    fn dispatched_row_kernel_matches_scalar_reference() {
         // Random-ish planes, block widths covering lane-exact (8, 16), sub-lane
-        // (5) and tail (17, 23) shapes; chunked and scalar sums are integers so
+        // (5) and tail (17, 23, 31) shapes; the dispatched SIMD kernel, the
+        // portable chunked kernel and the scalar reference all sum integers, so
         // they must agree bit-for-bit at every offset.
         let a = LumaPlane::from_fn(64, 48, |x, y| (((x * 37 + y * 101) ^ (x * y)) % 256) as u8);
         let b = LumaPlane::from_fn(64, 48, |x, y| (((x * 53 + y * 19) ^ (x + y * 7)) % 256) as u8);
-        for block in [5usize, 8, 16, 17, 23] {
+        for block in [5usize, 8, 16, 17, 23, 31] {
             for (x, y, rx, ry) in [(0, 0, 0, 0), (3, 7, 11, 2), (64 - block, 48 - block, 1, 5)] {
-                let chunked = a.block_sad(x, y, &b, rx, ry, block);
+                let dispatched = a.block_sad(x, y, &b, rx, ry, block);
                 let scalar = a.block_sad_scalar(x, y, &b, rx, ry, block);
-                assert_eq!(chunked, scalar, "block {block} at ({x},{y})/({rx},{ry})");
+                assert_eq!(dispatched, scalar, "block {block} at ({x},{y})/({rx},{ry})");
             }
         }
+    }
+
+    #[test]
+    fn block8_fast_path_matches_scalar_everywhere() {
+        // The 8×8 whole-block kernel on a dense grid of (current, reference)
+        // offsets, unbounded and bounded: exact whenever <= bound, and any
+        // early exit must report a partial sum above the bound.
+        let a = LumaPlane::from_fn(40, 40, |x, y| (((x * 41 + y * 23) ^ (x + y)) % 256) as u8);
+        let b = LumaPlane::from_fn(40, 40, |x, y| (((x * 17 + y * 71) ^ (x * 2 + y)) % 256) as u8);
+        for y in 0..8 {
+            for x in 0..8 {
+                for (rx, ry) in [(0usize, 0usize), (x + 1, y), (31, 31), (5, 17)] {
+                    let exact = a.block_sad_scalar(x, y, &b, rx, ry, 8);
+                    assert_eq!(a.block_sad(x, y, &b, rx, ry, 8), exact, "({x},{y})/({rx},{ry})");
+                    assert_eq!(a.block_sad_bounded(x, y, &b, rx, ry, 8, exact), exact);
+                    assert_eq!(a.block_sad_bounded(x, y, &b, rx, ry, 8, u32::MAX), exact);
+                    if exact > 0 {
+                        let early = a.block_sad_bounded(x, y, &b, rx, ry, 8, exact - 1);
+                        assert!(early > exact - 1, "must exit above the bound");
+                        assert!(early <= exact);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn simd_row_kernels_match_portable_on_every_length() {
+        // Row-level identity across all alignment/tail shapes 0..=40, with
+        // saturating-extreme values mixed in (0, 255 differences).
+        for len in 0..=40usize {
+            let a: Vec<u8> = (0..len).map(|i| ((i * 97 + 13) % 256) as u8).collect();
+            let b: Vec<u8> =
+                (0..len).map(|i| if i % 7 == 0 { 255 } else { ((i * 31) % 256) as u8 }).collect();
+            let expect = row_sad_portable(&a, &b);
+            assert_eq!(row_sad(&a, &b), expect, "len {len}");
+            #[cfg(all(target_arch = "x86_64", target_feature = "sse2"))]
+            assert_eq!(row_sad_sse2(&a, &b), expect, "sse2 len {len}");
+            #[cfg(target_arch = "aarch64")]
+            assert_eq!(row_sad_neon(&a, &b), expect, "neon len {len}");
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_bounds_block_sad_panics_not_ub() {
+        // The 8×8 SIMD fast path must never turn a bad coordinate into an
+        // out-of-bounds read: inputs that don't fit the plane fall through
+        // to the slice-indexing path, which panics (also in release).
+        let p = LumaPlane::new(16, 16);
+        let _ = p.block_sad(12, 12, &p, 0, 0, 8);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_bounds_bounded_block_sad_panics_not_ub() {
+        let p = LumaPlane::new(16, 16);
+        let _ = p.block_sad_bounded(0, 0, &p, 12, 12, 8, u32::MAX);
+    }
+
+    #[test]
+    fn sad_kernel_name_matches_target() {
+        let name = sad_kernel_name();
+        assert!(["sse2", "neon", "portable"].contains(&name), "{name}");
+        #[cfg(all(target_arch = "x86_64", target_feature = "sse2"))]
+        assert_eq!(name, "sse2");
+        #[cfg(target_arch = "aarch64")]
+        assert_eq!(name, "neon");
     }
 
     #[test]

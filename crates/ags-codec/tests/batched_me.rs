@@ -1,0 +1,124 @@
+//! Determinism of the batched motion-estimation path on the shared worker
+//! pool: `estimate_batch` must be bit-identical to the per-pair `estimate`
+//! loop and to the serial reference at every thread count — including while
+//! two pipeline stages submit to the same executor concurrently.
+
+use ags_codec::{CodecConfig, LumaPlane, MotionEstimator, MotionResult, SearchKind};
+use ags_math::{Parallelism, WorkerPool};
+use std::sync::Arc;
+
+fn textured_plane(w: usize, h: usize, shift: usize) -> LumaPlane {
+    LumaPlane::from_fn(w, h, |x, y| {
+        let xs = x + shift;
+        (((xs * 13 + y * 7) ^ (xs * y / 3 + 5)) % 251) as u8
+    })
+}
+
+fn window(w: usize, h: usize, pairs: usize) -> (LumaPlane, Vec<LumaPlane>) {
+    let current = textured_plane(w, h, 0);
+    let references = (0..pairs).map(|i| textured_plane(w, h, i + 1)).collect();
+    (current, references)
+}
+
+fn estimator(search: SearchKind, parallelism: Parallelism) -> MotionEstimator {
+    MotionEstimator::new(CodecConfig { search, parallelism, ..CodecConfig::default() })
+}
+
+#[test]
+fn batched_equals_looped_equals_serial_at_every_thread_count() {
+    let (current, references) = window(96, 72, 8);
+    let refs: Vec<&LumaPlane> = references.iter().collect();
+    for search in [SearchKind::Diamond, SearchKind::FullSearch] {
+        let serial = estimator(search, Parallelism::serial());
+        let expect: Vec<MotionResult> = refs.iter().map(|r| serial.estimate(&current, r)).collect();
+        assert_eq!(expect, serial.estimate_batch(&current, &refs), "{search:?} serial batch");
+        for threads in [1usize, 2, 8] {
+            let est = estimator(search, Parallelism::with_threads(threads));
+            let looped: Vec<MotionResult> =
+                refs.iter().map(|r| est.estimate(&current, r)).collect();
+            let batched = est.estimate_batch(&current, &refs);
+            assert_eq!(expect, looped, "{search:?} looped at {threads} threads");
+            assert_eq!(expect, batched, "{search:?} batched at {threads} threads");
+        }
+    }
+}
+
+#[test]
+fn batched_is_identical_on_dedicated_pools_of_any_size() {
+    let (current, references) = window(96, 72, 5);
+    let refs: Vec<&LumaPlane> = references.iter().collect();
+    let expect =
+        estimator(SearchKind::Diamond, Parallelism::serial()).estimate_batch(&current, &refs);
+    for workers in [0usize, 1, 3] {
+        let pool = Arc::new(WorkerPool::new(workers));
+        let par = Parallelism::with_threads(4).on_pool(pool);
+        let est = estimator(SearchKind::Diamond, par);
+        // Several submissions through the same persistent pool.
+        for round in 0..3 {
+            assert_eq!(expect, est.estimate_batch(&current, &refs), "{workers} workers, {round}");
+        }
+    }
+}
+
+#[test]
+fn concurrent_stage_submissions_stay_deterministic() {
+    // Model the pipelined driver's contention: an "FC stage" thread runs
+    // batched window ME while a "SLAM stage" thread runs single-pair ME,
+    // both submitting to one shared executor. Every result must match the
+    // serial reference computed up front.
+    let pool = Arc::new(WorkerPool::new(2));
+    let (current, references) = window(96, 72, 6);
+    let serial = estimator(SearchKind::Diamond, Parallelism::serial());
+    let refs: Vec<&LumaPlane> = references.iter().collect();
+    let expect_batch = serial.estimate_batch(&current, &refs);
+    let expect_single = serial.estimate(&current, &references[0]);
+
+    std::thread::scope(|s| {
+        let fc_pool = Arc::clone(&pool);
+        let (fc_current, fc_refs) = (&current, &references);
+        let expect_batch = &expect_batch;
+        s.spawn(move || {
+            let est = estimator(SearchKind::Diamond, Parallelism::with_threads(4).on_pool(fc_pool));
+            let refs: Vec<&LumaPlane> = fc_refs.iter().collect();
+            for round in 0..10 {
+                assert_eq!(
+                    *expect_batch,
+                    est.estimate_batch(fc_current, &refs),
+                    "fc stage round {round}"
+                );
+            }
+        });
+        let slam_pool = Arc::clone(&pool);
+        let (slam_current, slam_ref) = (&current, &references[0]);
+        let expect_single = &expect_single;
+        s.spawn(move || {
+            let est =
+                estimator(SearchKind::Diamond, Parallelism::with_threads(4).on_pool(slam_pool));
+            for round in 0..10 {
+                assert_eq!(
+                    *expect_single,
+                    est.estimate(slam_current, slam_ref),
+                    "slam stage round {round}"
+                );
+            }
+        });
+    });
+}
+
+#[test]
+fn batch_shares_the_current_frame_across_pairs() {
+    // Covisibility ordering across a batch: nearer references score higher,
+    // and each batch entry reproduces its standalone covisibility.
+    let config = CodecConfig::default();
+    let (current, references) = window(64, 48, 4);
+    let refs: Vec<&LumaPlane> = references.iter().collect();
+    let est = MotionEstimator::new(config.clone());
+    let batched = est.estimate_batch(&current, &refs);
+    for (i, (reference, result)) in refs.iter().zip(&batched).enumerate() {
+        let standalone = est.estimate(&current, reference);
+        assert_eq!(standalone.covisibility(&config), result.covisibility(&config), "pair {i}");
+    }
+    let first = batched.first().unwrap().covisibility(&config).value();
+    let last = batched.last().unwrap().covisibility(&config).value();
+    assert!(first > last, "shift-1 reference must beat shift-4: {first} vs {last}");
+}

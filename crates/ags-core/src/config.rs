@@ -1,9 +1,10 @@
 //! AGS hyper-parameters (paper §4.3 and §6.6).
 
 use ags_codec::CodecConfig;
-use ags_math::Parallelism;
+use ags_math::{Parallelism, WorkerPool};
 use ags_slam::SlamConfig;
 use ags_track::coarse::CoarseConfig;
+use std::sync::Arc;
 
 /// Execution strategy of the assembled pipeline (paper Fig. 9).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -122,13 +123,47 @@ impl AgsConfig {
         ((width * height) as f32 * self.thresh_n_fraction).round().max(1.0) as u32
     }
 
-    /// Resolves derived settings: one knob rules the whole pipeline — the
-    /// CODEC inherits the system-level parallelism setting unless the caller
-    /// configured the codec's own knob away from its default. Both pipeline
-    /// drivers call this on construction.
+    /// Resolves derived settings. Both pipeline drivers call this on
+    /// construction:
+    ///
+    /// * One knob rules the whole pipeline — the CODEC inherits the
+    ///   system-level parallelism setting unless the caller configured the
+    ///   codec's own knob away from its default.
+    /// * One **executor** rules the whole pipeline — a single shared
+    ///   [`WorkerPool`] handle is installed into every stage's knob, so the
+    ///   FC worker thread and the SLAM stages of
+    ///   [`crate::pipelined::PipelinedAgsSlam`] submit to the same set of
+    ///   threads instead of oversubscribing the machine. A caller-installed
+    ///   pool handle (multi-stream servers share one pool across streams)
+    ///   is respected and propagated.
+    /// * Covisibility-guided mapping ([`SlamConfig::covis_window`]) needs
+    ///   per-keyframe FC for the whole mapping window, so the codec's
+    ///   key-frame reference window is widened to cover it.
     pub fn resolve(mut self) -> Self {
-        if self.codec.parallelism == Parallelism::default() {
-            self.codec.parallelism = self.parallelism;
+        if self.codec.parallelism == Parallelism::default()
+            && self.codec.parallelism.pool().is_none()
+        {
+            self.codec.parallelism = self.parallelism.clone();
+        }
+        if self.slam.covis_window {
+            self.codec.keyframe_window = self.codec.keyframe_window.max(self.slam.mapping_window);
+        }
+        let stages_need_pool = self.parallelism.enabled && self.parallelism.pool().is_none();
+        let codec_needs_pool =
+            self.codec.parallelism.enabled && self.codec.parallelism.pool().is_none();
+        if stages_need_pool || codec_needs_pool {
+            // Materialised lazily: a fully serial configuration must not
+            // spawn the global pool's worker threads.
+            let pool: Arc<WorkerPool> = match self.parallelism.pool() {
+                Some(pool) => Arc::clone(pool),
+                None => Arc::clone(WorkerPool::global()),
+            };
+            if stages_need_pool {
+                self.parallelism = self.parallelism.on_pool(Arc::clone(&pool));
+            }
+            if codec_needs_pool {
+                self.codec.parallelism = self.codec.parallelism.on_pool(pool);
+            }
         }
         self
     }
@@ -153,6 +188,41 @@ mod tests {
         let small = c.thresh_n_pixels(128, 96);
         assert!((17..=19).contains(&small), "128x96 -> ~18 px, got {small}");
         assert!(c.thresh_n_pixels(64, 48) >= 1);
+    }
+
+    #[test]
+    fn resolve_installs_one_shared_pool_across_stages() {
+        let config = AgsConfig::tiny().resolve();
+        let stage_pool = config.parallelism.pool().expect("stage pool installed");
+        let codec_pool = config.codec.parallelism.pool().expect("codec pool installed");
+        assert!(Arc::ptr_eq(stage_pool, codec_pool), "FC and SLAM stages share one executor");
+
+        // A caller-provided pool is respected and propagated to the codec.
+        let custom = Arc::new(WorkerPool::new(1));
+        let mut config = AgsConfig::tiny();
+        config.parallelism = Parallelism::with_pool(Arc::clone(&custom));
+        let config = config.resolve();
+        assert!(Arc::ptr_eq(config.parallelism.pool().unwrap(), &custom));
+        assert!(Arc::ptr_eq(config.codec.parallelism.pool().unwrap(), &custom));
+
+        // Serial mode installs no executor anywhere.
+        let mut config = AgsConfig::tiny();
+        config.parallelism = Parallelism::serial();
+        let config = config.resolve();
+        assert!(config.parallelism.pool().is_none());
+        assert!(config.codec.parallelism.pool().is_none());
+    }
+
+    #[test]
+    fn resolve_widens_codec_window_for_covis_mapping() {
+        let mut config = AgsConfig::tiny();
+        config.slam.covis_window = true;
+        config.slam.mapping_window = 5;
+        let resolved = config.resolve();
+        assert!(resolved.codec.keyframe_window >= 5);
+        // Without the flag the codec keeps its classic single reference.
+        let classic = AgsConfig::tiny().resolve();
+        assert_eq!(classic.codec.keyframe_window, 1);
     }
 
     #[test]

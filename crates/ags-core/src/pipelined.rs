@@ -15,6 +15,12 @@
 //! bytes), trajectories and the final Gaussian cloud are **bit-identical**
 //! to [`crate::pipeline::AgsSlam`] — a property the
 //! `pipeline_determinism` integration tests enforce.
+//!
+//! Kernel parallelism: [`crate::config::AgsConfig::resolve`] installs one
+//! shared `WorkerPool` handle into every stage's `Parallelism` knob, so the
+//! FC worker's (batched) motion estimation and the SLAM thread's
+//! rasterization/backward kernels submit to the **same** executor instead
+//! of spawning competing thread sets.
 
 use crate::config::{AgsConfig, PipelineMode};
 use crate::fc::FcDecision;

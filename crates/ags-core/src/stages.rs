@@ -113,7 +113,7 @@ pub struct FcStage {
 impl FcStage {
     /// Builds the stage from a resolved [`AgsConfig`].
     pub fn new(config: &AgsConfig) -> Self {
-        Self { detector: FcDetector::new(config.codec, config.thresh_t, config.thresh_m) }
+        Self { detector: FcDetector::new(config.codec.clone(), config.thresh_t, config.thresh_m) }
     }
 
     /// Pushes one frame: covisibility decisions plus key-frame marking.
@@ -157,7 +157,7 @@ impl TrackStage {
             learning_rate: config.slam.tracking_lr,
             loss: config.slam.tracking_loss,
             convergence_eps: 1e-4,
-            parallelism: config.parallelism,
+            parallelism: config.parallelism.clone(),
         });
         let coarse = CoarseTracker::new(config.coarse);
         Self { coarse, refiner }
@@ -274,8 +274,10 @@ impl MapStage {
         // skips *computation* on recorded Gaussians, it does not stop the map
         // from growing where new content appears.
         if frame_index % self.config.slam.densify_interval.max(1) == 0 {
-            let options =
-                RenderOptions { parallelism: self.config.parallelism, ..RenderOptions::default() };
+            let options = RenderOptions {
+                parallelism: self.config.parallelism.clone(),
+                ..RenderOptions::default()
+            };
             let rendered = ags_splat::render::render(cloud, camera, &pose, &options);
             out.mapping.add_render(&rendered.stats);
             if self.config.slam.backbone == Backbone::GaussianSlam
@@ -299,8 +301,14 @@ impl MapStage {
 
         let thresh_n = self.config.thresh_n_pixels(camera.width, camera.height);
         // Keyframe images are Arc-shared: the window clones reference
-        // counts, never pixels.
-        let window = self.keyframes.mapping_window(self.config.slam.mapping_window, &mut self.rng);
+        // counts, never pixels. With covisibility-guided selection the
+        // window is the most covisible keyframes under the CODEC's batched
+        // per-keyframe FC instead of SplaTAM's random pick.
+        let window = if self.config.slam.covis_window && !decision.fc_window.is_empty() {
+            self.keyframes.covisibility_window(self.config.slam.mapping_window, &decision.fc_window)
+        } else {
+            self.keyframes.mapping_window(self.config.slam.mapping_window, &mut self.rng)
+        };
         let window_data: Vec<(Se3, Arc<RgbImage>, Arc<DepthImage>)> =
             window.iter().map(|kf| (kf.pose, Arc::clone(&kf.rgb), Arc::clone(&kf.depth))).collect();
         drop(window);
@@ -361,7 +369,7 @@ impl MapStage {
                 &pose,
                 &RenderOptions {
                     record_contributions: true,
-                    parallelism: self.config.parallelism,
+                    parallelism: self.config.parallelism.clone(),
                     ..Default::default()
                 },
             );
@@ -402,7 +410,7 @@ impl MapStage {
             skip: skip.cloned(),
             record_contributions,
             collect_tile_work,
-            parallelism: self.config.parallelism,
+            parallelism: self.config.parallelism.clone(),
         };
         let projection = project_gaussians(cloud, camera, pose);
         let tables = GaussianTables::build_with(&projection, camera, &self.config.parallelism);

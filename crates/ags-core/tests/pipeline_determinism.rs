@@ -93,6 +93,68 @@ fn depth_one_with_slow_map_stage_stays_correct_under_backpressure() {
 }
 
 #[test]
+fn batched_window_fc_is_bit_identical_across_drivers_and_thread_counts() {
+    // The batched mapping-FC path: the codec retains an 8-keyframe window,
+    // estimates it as one batch per frame, and mapping selects its window by
+    // covisibility. Serial driver ≡ overlapped driver ≡ any worker count —
+    // the full serial ≡ overlapped ≡ batched chain.
+    use ags_math::Parallelism;
+    let mut config = AgsConfig::tiny();
+    config.codec.keyframe_window = 8;
+    config.slam.covis_window = true;
+    config.slam.mapping_window = 2;
+    let data = dataset(SceneId::Desk2, 8);
+    let serial_exec = {
+        let mut c = config.clone();
+        c.parallelism = Parallelism::serial();
+        run_serial(c, &data)
+    };
+    for threads in [2usize, 8] {
+        let mut c = config.clone();
+        c.parallelism = Parallelism::with_threads(threads);
+        let parallel = run_serial(c, &data);
+        assert_eq!(serial_exec.trajectory(), parallel.trajectory(), "{threads} threads");
+        assert_eq!(
+            serial_exec.trace().canonical_bytes(),
+            parallel.trace().canonical_bytes(),
+            "{threads} threads"
+        );
+    }
+    for depth in [1usize, 2] {
+        let overlapped = run_overlapped(config.clone(), &data, depth);
+        assert_eq!(serial_exec.trajectory(), overlapped.trajectory(), "depth {depth}");
+        assert_eq!(
+            serial_exec.cloud().gaussians(),
+            overlapped.cloud().gaussians(),
+            "depth {depth}"
+        );
+        assert_eq!(
+            serial_exec.trace().canonical_bytes(),
+            overlapped.trace().canonical_bytes(),
+            "depth {depth}"
+        );
+    }
+}
+
+#[test]
+fn covis_window_changes_selection_but_not_decisions() {
+    // Covisibility-guided mapping reorders which keyframes train the map —
+    // the FC decision stream itself (refine/keyframe designation) must stay
+    // exactly the classic one, since it never depended on window selection.
+    let data = dataset(SceneId::Desk2, 8);
+    let classic = run_serial(AgsConfig::tiny(), &data);
+    let mut config = AgsConfig::tiny();
+    config.slam.covis_window = true;
+    config.slam.mapping_window = 2;
+    config.codec.keyframe_window = 4;
+    let covis = run_serial(config, &data);
+    let decisions = |slam: &AgsSlam| {
+        slam.trace().frames.iter().map(|f| (f.refined, f.is_keyframe)).collect::<Vec<_>>()
+    };
+    assert_eq!(decisions(&classic), decisions(&covis));
+}
+
+#[test]
 fn serial_pipelined_driver_matches_monolithic_driver() {
     // PipelineMode::Serial in the pipelined driver is the degenerate stage
     // graph — it must also reproduce the monolithic AgsSlam exactly.

@@ -15,9 +15,9 @@
 //!   depends on external RNG crate versions.
 //! * [`stats`] — means, geometric means and percentiles for the experiment
 //!   harness.
-//! * [`parallel`] — the [`Parallelism`] knob plus deterministic fork-join
-//!   helpers (`std::thread::scope` workers, chunk-ordered merges) used by the
-//!   motion-estimation and rasterization hot paths.
+//! * [`parallel`] — the persistent [`WorkerPool`] executor and the
+//!   [`Parallelism`] knob, plus deterministic chunk-ordered map helpers used
+//!   by the motion-estimation and rasterization hot paths.
 //!
 //! # Example
 //!
@@ -42,7 +42,7 @@ pub mod svd3;
 pub mod vec;
 
 pub use mat::{Mat2, Mat3, Mat4};
-pub use parallel::Parallelism;
+pub use parallel::{Parallelism, WorkerPool};
 pub use quat::Quat;
 pub use rng::Pcg32;
 pub use se3::Se3;

@@ -1,80 +1,392 @@
-//! Deterministic fork-join parallelism for the hot kernels.
+//! Deterministic parallelism for the hot kernels: a persistent worker-pool
+//! executor plus the [`Parallelism`] knob the pipelines thread through their
+//! configs.
 //!
-//! The workspace vendors no thread-pool crate; instead these helpers run
-//! `std::thread::scope` workers that pull contiguous index chunks off an
-//! atomic counter. Chunk *results* are always merged in chunk order, so every
-//! helper is **bit-identical** to its serial equivalent regardless of thread
-//! count or OS scheduling — the property the kernel tests enforce.
+//! The workspace vendors no thread-pool crate; instead [`WorkerPool`] spawns
+//! its workers **once** and every kernel invocation submits a *batch* of
+//! contiguous index chunks to it. Workers (and the submitting thread, which
+//! always participates) pull chunk indices off an atomic counter; chunk
+//! *results* land in per-chunk slots and are merged **in chunk order**, so
+//! every helper is **bit-identical** to its serial equivalent regardless of
+//! worker count or OS scheduling — the property the kernel tests enforce.
+//!
+//! Compared to the previous per-call `std::thread::scope` fork-join this
+//! removes the thread spawn/join cost from every kernel call (the dominant
+//! overhead for small SLAM frames) and lets *concurrent* pipeline stages —
+//! e.g. the FC worker and the SLAM thread of `PipelinedAgsSlam` — share one
+//! set of OS threads instead of oversubscribing the machine: submissions
+//! from different threads queue up and drain through the same workers.
 //!
 //! The scheduling knob is [`Parallelism`]: pipelines thread it from their
-//! config down to the motion-estimation and rasterization kernels, and
-//! `Parallelism::serial()` recovers the exact single-threaded execution.
+//! config down to the motion-estimation and rasterization kernels. It can
+//! carry an explicit pool handle ([`Parallelism::with_pool`]); without one,
+//! parallel work runs on the lazily created process-wide [`WorkerPool::global`]
+//! pool. `Parallelism::serial()` recovers the exact single-threaded execution.
 
+use std::any::Any;
+use std::cell::UnsafeCell;
+use std::collections::VecDeque;
 use std::ops::Range;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
 
 /// How many chunks to cut per worker thread. More chunks smooth out load
 /// imbalance (tiles and macro-block rows have skewed costs) at slightly
 /// higher scheduling overhead.
 const CHUNKS_PER_THREAD: usize = 4;
 
+// ---------------------------------------------------------------------------
+// Worker pool
+// ---------------------------------------------------------------------------
+
+/// Type-erased chunk runner shared with the workers for the duration of one
+/// batch. `data` points into the submitting thread's stack; the submitter
+/// blocks until every chunk completed, so the pointee outlives all calls.
+struct Task {
+    data: *const (),
+    call: unsafe fn(*const (), usize),
+}
+
+// SAFETY: `call` only dereferences `data` as the `Sync` closure it was
+// erased from, and the submitting thread keeps that closure alive (and
+// un-moved) until the batch completes.
+unsafe impl Send for Task {}
+unsafe impl Sync for Task {}
+
+/// One submitted job: `num_chunks` chunk indices executed exactly once each.
+struct Batch {
+    task: Task,
+    num_chunks: usize,
+    /// Next chunk index to claim.
+    next: AtomicUsize,
+    /// Chunks claimed but not yet completed + unclaimed chunks.
+    pending: AtomicUsize,
+    /// Set when any chunk panicked; claimers short-circuit remaining chunks.
+    poisoned: AtomicBool,
+    /// First panic payload, handed back to the submitter.
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+    done: Mutex<bool>,
+    done_cv: Condvar,
+}
+
+impl Batch {
+    /// Claims and runs chunks until none are left. Returns once this caller
+    /// can no longer contribute (the batch may still be running elsewhere).
+    fn run_chunks(&self) {
+        loop {
+            let i = self.next.fetch_add(1, Ordering::Relaxed);
+            if i >= self.num_chunks {
+                return;
+            }
+            if !self.poisoned.load(Ordering::Relaxed) {
+                // SAFETY: chunk `i` is claimed exactly once (fetch_add), and
+                // the submitter keeps the erased closure alive until done.
+                let result = catch_unwind(AssertUnwindSafe(|| unsafe {
+                    (self.task.call)(self.task.data, i)
+                }));
+                if let Err(payload) = result {
+                    self.poisoned.store(true, Ordering::Relaxed);
+                    let mut slot = self.panic.lock().unwrap();
+                    slot.get_or_insert(payload);
+                }
+            }
+            // AcqRel: the thread that observes `pending == 1` (and flips the
+            // done flag) acquires every other claimer's chunk writes, and the
+            // submitter acquires them through the `done` mutex.
+            if self.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+                let mut done = self.done.lock().unwrap();
+                *done = true;
+                self.done_cv.notify_all();
+            }
+        }
+    }
+
+    /// True once every chunk index has been claimed.
+    fn exhausted(&self) -> bool {
+        self.next.load(Ordering::Relaxed) >= self.num_chunks
+    }
+}
+
+/// Queue state shared between the pool handle and its workers.
+struct PoolQueue {
+    batches: VecDeque<Arc<Batch>>,
+    shutdown: bool,
+}
+
+struct PoolShared {
+    queue: Mutex<PoolQueue>,
+    available: Condvar,
+}
+
+/// A persistent pool of worker threads executing chunk-ordered batches.
+///
+/// Spawned once and shared across kernel calls — and across pipeline
+/// *stages*: any thread may submit concurrently; batches queue FIFO and
+/// every submitter helps drain its own batch, so submissions never deadlock
+/// (even nested ones from inside a worker). Results are merged in chunk
+/// order by the `par_*` helpers, which keeps parallel execution
+/// bit-identical to serial regardless of how many workers participate.
+pub struct WorkerPool {
+    shared: Arc<PoolShared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool").field("workers", &self.workers.len()).finish()
+    }
+}
+
+impl WorkerPool {
+    /// Spawns a pool with `workers` threads. `0` is allowed: submissions then
+    /// run entirely on the submitting thread (still through the batch path).
+    pub fn new(workers: usize) -> Self {
+        let shared = Arc::new(PoolShared {
+            queue: Mutex::new(PoolQueue { batches: VecDeque::new(), shutdown: false }),
+            available: Condvar::new(),
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("ags-pool-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        Self { shared, workers: handles }
+    }
+
+    /// The process-wide shared pool, lazily spawned with one worker per
+    /// available CPU minus one (the submitting thread always participates,
+    /// so total concurrency matches the core count).
+    pub fn global() -> &'static Arc<WorkerPool> {
+        static GLOBAL: OnceLock<Arc<WorkerPool>> = OnceLock::new();
+        GLOBAL.get_or_init(|| {
+            let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+            Arc::new(WorkerPool::new(cores.saturating_sub(1)))
+        })
+    }
+
+    /// Number of worker threads (the submitter adds one more executor).
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Runs `f(0) … f(num_chunks - 1)`, each exactly once, distributing the
+    /// calls across the pool's workers and the calling thread. Blocks until
+    /// every call completed; panics from `f` are resumed on the caller.
+    ///
+    /// This is the scoped building block the `par_*` helpers use: `f` may
+    /// borrow from the caller's stack because the call does not return until
+    /// the batch is fully drained.
+    pub fn run_scope(&self, num_chunks: usize, f: &(dyn Fn(usize) + Sync)) {
+        if num_chunks == 0 {
+            return;
+        }
+        /// Calls the erased closure for chunk `i`.
+        ///
+        /// SAFETY: `data` must be the `*const &dyn Fn` produced in
+        /// `run_scope` below, still alive (guaranteed: `run_scope` blocks).
+        unsafe fn call_erased(data: *const (), i: usize) {
+            let f = unsafe { *(data.cast::<&(dyn Fn(usize) + Sync)>()) };
+            f(i);
+        }
+        let batch = Arc::new(Batch {
+            task: Task { data: (&f as *const &(dyn Fn(usize) + Sync)).cast(), call: call_erased },
+            num_chunks,
+            next: AtomicUsize::new(0),
+            pending: AtomicUsize::new(num_chunks),
+            poisoned: AtomicBool::new(false),
+            panic: Mutex::new(None),
+            done: Mutex::new(false),
+            done_cv: Condvar::new(),
+        });
+        if num_chunks > 1 && self.workers() > 0 {
+            let mut queue = self.shared.queue.lock().unwrap();
+            queue.batches.push_back(Arc::clone(&batch));
+            drop(queue);
+            self.shared.available.notify_all();
+        }
+        // The submitter always helps drain its own batch — this is what makes
+        // nested/concurrent submissions deadlock-free: every batch has at
+        // least one thread guaranteed to be executing it.
+        batch.run_chunks();
+        let mut done = batch.done.lock().unwrap();
+        while !*done {
+            done = batch.done_cv.wait(done).unwrap();
+        }
+        drop(done);
+        let payload = batch.panic.lock().unwrap().take();
+        if let Some(payload) = payload {
+            resume_unwind(payload);
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut queue = self.shared.queue.lock().unwrap();
+            queue.shutdown = true;
+        }
+        self.shared.available.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &PoolShared) {
+    loop {
+        let batch = {
+            let mut queue = shared.queue.lock().unwrap();
+            loop {
+                if queue.shutdown {
+                    return;
+                }
+                // Drop fully claimed batches; their remaining chunks are
+                // being finished by the threads that claimed them.
+                while queue.batches.front().is_some_and(|b| b.exhausted()) {
+                    queue.batches.pop_front();
+                }
+                if let Some(front) = queue.batches.front() {
+                    break Arc::clone(front);
+                }
+                queue = shared.available.wait(queue).unwrap();
+            }
+        };
+        batch.run_chunks();
+    }
+}
+
+/// A per-chunk result slot written by exactly one claimer.
+struct Slot<T>(UnsafeCell<Option<T>>);
+
+// SAFETY: each slot index is written by the single thread that claimed the
+// chunk, and reads happen only after batch completion (synchronised through
+// `Batch::done`).
+unsafe impl<T: Send> Sync for Slot<T> {}
+
+// ---------------------------------------------------------------------------
+// Parallelism knob
+// ---------------------------------------------------------------------------
+
 /// Thread-level parallelism knob threaded through the kernel configs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+///
+/// Besides the on/off switch and the worker budget this carries an optional
+/// **pool handle**: the executor the kernel submits to. Pipelines install
+/// one shared handle across all their stages (see `AgsConfig::resolve`), so
+/// concurrent stages draw from one set of threads. Without a handle,
+/// parallel work uses [`WorkerPool::global`].
+///
+/// Equality intentionally ignores the pool handle — two configs asking for
+/// the same parallelism *policy* compare equal no matter which executor
+/// serves them.
+#[derive(Debug, Clone)]
 pub struct Parallelism {
     /// Whether the parallel path may be taken at all.
     pub enabled: bool,
-    /// Worker-thread budget; `0` means one worker per available CPU.
+    /// Worker-thread budget; `0` means one worker per available CPU. This
+    /// sizes the chunking; actual concurrency is additionally bounded by the
+    /// executing pool's worker count (+ the submitting thread).
     pub threads: usize,
+    /// Executor handle; `None` falls back to the global pool.
+    pool: Option<Arc<WorkerPool>>,
 }
+
+impl PartialEq for Parallelism {
+    fn eq(&self, other: &Self) -> bool {
+        self.enabled == other.enabled && self.threads == other.threads
+    }
+}
+
+impl Eq for Parallelism {}
 
 impl Default for Parallelism {
     fn default() -> Self {
-        Self { enabled: true, threads: 0 }
+        Self { enabled: true, threads: 0, pool: None }
     }
 }
 
 impl Parallelism {
     /// Forces the serial reference path.
     pub const fn serial() -> Self {
-        Self { enabled: false, threads: 1 }
+        Self { enabled: false, threads: 1, pool: None }
     }
 
     /// Parallel execution with an explicit worker budget.
     pub const fn with_threads(threads: usize) -> Self {
-        Self { enabled: true, threads }
+        Self { enabled: true, threads, pool: None }
+    }
+
+    /// Parallel execution on an explicit executor.
+    pub fn with_pool(pool: Arc<WorkerPool>) -> Self {
+        Self { enabled: true, threads: 0, pool: Some(pool) }
+    }
+
+    /// This knob re-targeted at an explicit executor (policy unchanged).
+    pub fn on_pool(mut self, pool: Arc<WorkerPool>) -> Self {
+        self.pool = Some(pool);
+        self
+    }
+
+    /// The installed executor handle, if any.
+    pub fn pool(&self) -> Option<&Arc<WorkerPool>> {
+        self.pool.as_ref()
+    }
+
+    /// The executor a kernel should submit to.
+    fn executor(&self) -> Arc<WorkerPool> {
+        match &self.pool {
+            Some(pool) => Arc::clone(pool),
+            None => Arc::clone(WorkerPool::global()),
+        }
     }
 
     /// Resolves the knob for a workload of `work_items`: in auto mode
     /// (`threads == 0`) workloads below `serial_below` fall back to the
-    /// serial path, because fork-join spawn cost would dominate the work.
+    /// serial path, because scheduling cost would dominate the work.
     /// An explicit thread count is always honored — callers (and tests)
     /// that pin `threads` get the parallel path regardless of size.
-    pub fn for_workload(self, work_items: usize, serial_below: usize) -> Self {
+    pub fn for_workload(&self, work_items: usize, serial_below: usize) -> Self {
         if self.enabled && self.threads == 0 && work_items < serial_below {
             Self::serial()
         } else {
-            self
+            self.clone()
         }
     }
 
-    /// The number of workers a kernel should actually use.
+    /// The number of concurrent executors a kernel should plan for: the
+    /// pinned budget if any, else the installed pool's workers plus the
+    /// submitting thread, else the machine's core count.
     pub fn effective_threads(&self) -> usize {
         if !self.enabled {
             return 1;
         }
         if self.threads > 0 {
             self.threads
+        } else if let Some(pool) = &self.pool {
+            // Size chunking for the executor that will actually run the
+            // batch, not for the whole machine.
+            pool.workers() + 1
         } else {
             std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
         }
     }
 }
 
+// ---------------------------------------------------------------------------
+// Deterministic helpers
+// ---------------------------------------------------------------------------
+
 /// Splits `0..n` into contiguous chunks of at least `min_chunk` indices, maps
-/// every chunk through `f` (possibly on worker threads) and returns the chunk
+/// every chunk through `f` (possibly on pool workers) and returns the chunk
 /// results **in chunk order**.
 ///
-/// Falls back to a plain sequential loop when one worker (or one chunk) is
+/// Falls back to a plain sequential loop when one executor (or one chunk) is
 /// all there is, so the serial path pays no synchronisation cost.
 pub fn par_map_ranges<T, F>(par: &Parallelism, n: usize, min_chunk: usize, f: F) -> Vec<T>
 where
@@ -92,28 +404,19 @@ where
         return (0..num_chunks).map(|i| f(range_of(i))).collect();
     }
 
-    let counter = AtomicUsize::new(0);
-    let workers = threads.min(num_chunks);
-    let mut tagged: Vec<(usize, T)> = std::thread::scope(|s| {
-        let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                s.spawn(|| {
-                    let mut local = Vec::new();
-                    loop {
-                        let i = counter.fetch_add(1, Ordering::Relaxed);
-                        if i >= num_chunks {
-                            break;
-                        }
-                        local.push((i, f(range_of(i))));
-                    }
-                    local
-                })
-            })
-            .collect();
-        handles.into_iter().flat_map(|h| h.join().expect("parallel worker panicked")).collect()
-    });
-    tagged.sort_unstable_by_key(|&(i, _)| i);
-    tagged.into_iter().map(|(_, t)| t).collect()
+    let slots: Vec<Slot<T>> = (0..num_chunks).map(|_| Slot(UnsafeCell::new(None))).collect();
+    let run = |i: usize| {
+        let value = f(range_of(i));
+        // SAFETY: chunk `i` is claimed by exactly one thread (see
+        // `Batch::run_chunks`), so this write is unaliased; reads happen
+        // after completion.
+        unsafe { *slots[i].0.get() = Some(value) };
+    };
+    par.executor().run_scope(num_chunks, &run);
+    slots
+        .into_iter()
+        .map(|s| s.0.into_inner().expect("completed batch left an empty chunk slot"))
+        .collect()
 }
 
 /// Computes `[f(0), f(1), …, f(n-1)]`, distributing contiguous index chunks
@@ -132,9 +435,9 @@ where
 }
 
 /// Applies `f(index, &mut item)` to every element, splitting the slice into
-/// one contiguous chunk per worker. Items are mutated in place; because each
-/// element is touched by exactly one worker the result is identical to the
-/// serial loop.
+/// one contiguous chunk per executor. Items are mutated in place; because
+/// each element is touched by exactly one claimer the result is identical to
+/// the serial loop.
 pub fn par_for_each_mut<T, F>(par: &Parallelism, items: &mut [T], min_chunk: usize, f: F)
 where
     T: Send,
@@ -150,16 +453,29 @@ where
         return;
     }
     let chunk = n.div_ceil(workers);
-    std::thread::scope(|s| {
-        for (ci, slice) in items.chunks_mut(chunk).enumerate() {
-            let f = &f;
-            s.spawn(move || {
-                for (j, item) in slice.iter_mut().enumerate() {
-                    f(ci * chunk + j, item);
-                }
-            });
+    let num_chunks = n.div_ceil(chunk);
+
+    struct SendPtr<T>(*mut T);
+    // SAFETY: disjoint index ranges per chunk; each element mutated by the
+    // single claimer of its chunk.
+    unsafe impl<T: Send> Sync for SendPtr<T> {}
+    impl<T> SendPtr<T> {
+        fn at(&self, j: usize) -> *mut T {
+            // Method access keeps the closure capturing `&SendPtr` (Sync)
+            // rather than the raw pointer field itself.
+            unsafe { self.0.add(j) }
         }
-    });
+    }
+    let base = SendPtr(items.as_mut_ptr());
+    let run = |ci: usize| {
+        let start = ci * chunk;
+        let end = ((ci + 1) * chunk).min(n);
+        for j in start..end {
+            // SAFETY: `j` lies in this chunk's exclusive range, in bounds.
+            f(j, unsafe { &mut *base.at(j) });
+        }
+    };
+    par.executor().run_scope(num_chunks, &run);
 }
 
 #[cfg(test)]
@@ -186,6 +502,25 @@ mod tests {
     }
 
     #[test]
+    fn equality_ignores_the_pool_handle() {
+        let pool = Arc::new(WorkerPool::new(1));
+        assert_eq!(Parallelism::with_pool(Arc::clone(&pool)), Parallelism::default());
+        assert_eq!(Parallelism::default().on_pool(pool), Parallelism::default());
+        assert_ne!(Parallelism::default(), Parallelism::serial());
+    }
+
+    #[test]
+    fn auto_mode_sizes_chunking_for_the_installed_pool() {
+        // Auto (threads == 0) with an explicit pool: plan for that executor
+        // (workers + submitter), not for the machine's core count.
+        let par = Parallelism::with_pool(Arc::new(WorkerPool::new(3)));
+        assert_eq!(par.effective_threads(), 4);
+        // A pinned budget still wins over the pool size.
+        let par = Parallelism::with_threads(2).on_pool(Arc::new(WorkerPool::new(7)));
+        assert_eq!(par.effective_threads(), 2);
+    }
+
+    #[test]
     fn par_map_matches_serial_map_for_any_thread_count() {
         let f = |i: usize| (i * 7 + 3) as u64;
         let expect: Vec<u64> = (0..1000).map(f).collect();
@@ -196,6 +531,20 @@ mod tests {
             Parallelism::with_threads(64),
         ] {
             assert_eq!(par_map(&par, 1000, 1, f), expect, "{par:?}");
+        }
+    }
+
+    #[test]
+    fn par_map_on_explicit_pools_of_any_size() {
+        let f = |i: usize| i as u64 * 31;
+        let expect: Vec<u64> = (0..500).map(f).collect();
+        for workers in [0usize, 1, 2, 8] {
+            let pool = Arc::new(WorkerPool::new(workers));
+            let par = Parallelism::with_threads(4).on_pool(Arc::clone(&pool));
+            // Reuse the same pool across several submissions.
+            for _ in 0..3 {
+                assert_eq!(par_map(&par, 500, 1, f), expect, "{workers} workers");
+            }
         }
     }
 
@@ -228,5 +577,66 @@ mod tests {
                 assert_eq!(*v, i as u32 + 1, "{par:?}");
             }
         }
+    }
+
+    #[test]
+    fn concurrent_submissions_share_one_pool() {
+        // Two "stages" hammer the same executor from their own threads; every
+        // submission must come back bit-identical to the serial map.
+        let pool = Arc::new(WorkerPool::new(2));
+        let stages: Vec<_> = (0..2)
+            .map(|stage| {
+                let pool = Arc::clone(&pool);
+                std::thread::spawn(move || {
+                    let par = Parallelism::with_threads(4).on_pool(pool);
+                    let f = move |i: usize| (i * 13 + stage * 7) as u64;
+                    let expect: Vec<u64> = (0..800).map(f).collect();
+                    for _ in 0..50 {
+                        assert_eq!(par_map(&par, 800, 1, f), expect, "stage {stage}");
+                    }
+                })
+            })
+            .collect();
+        for handle in stages {
+            handle.join().expect("stage thread");
+        }
+    }
+
+    #[test]
+    fn nested_submission_does_not_deadlock() {
+        let pool = Arc::new(WorkerPool::new(2));
+        let par = Parallelism::with_threads(2).on_pool(Arc::clone(&pool));
+        let inner_par = Parallelism::with_threads(2).on_pool(Arc::clone(&pool));
+        let out = par_map(&par, 8, 1, |i| {
+            par_map(&inner_par, 4, 1, |j| (i * 10 + j) as u64).iter().sum::<u64>()
+        });
+        let expect: Vec<u64> = (0..8).map(|i| (0..4).map(|j| (i * 10 + j) as u64).sum()).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn worker_panic_propagates_to_the_submitter() {
+        let pool = Arc::new(WorkerPool::new(2));
+        let par = Parallelism::with_threads(4).on_pool(Arc::clone(&pool));
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            par_map(&par, 100, 1, |i| {
+                assert!(i != 57, "intentional chunk failure");
+                i
+            })
+        }));
+        assert!(result.is_err(), "panic must reach the submitter");
+        // The pool survives a poisoned batch and keeps serving.
+        let f = |i: usize| i * 2;
+        assert_eq!(par_map(&par, 10, 1, f), (0..10).map(f).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn dropping_a_pool_joins_its_workers() {
+        let pool = Arc::new(WorkerPool::new(3));
+        assert_eq!(pool.workers(), 3);
+        let par = Parallelism::with_threads(3).on_pool(Arc::clone(&pool));
+        let _ = par_map(&par, 64, 1, |i| i);
+        drop(par);
+        drop(pool); // last handle: Drop joins the workers without hanging
     }
 }

@@ -44,6 +44,11 @@ pub struct SlamConfig {
     /// Size of the mapping window (key frames re-trained with the current
     /// frame, SplaTAM-style).
     pub mapping_window: usize,
+    /// Select the mapping window by CODEC covisibility instead of randomly:
+    /// the most recent key frame plus the highest-covisibility earlier ones
+    /// (requires the pipeline to feed per-keyframe FC, which AGS derives for
+    /// free from the batched window motion estimation).
+    pub covis_window: bool,
     /// Densify every `densify_interval` frames.
     pub densify_interval: usize,
     /// Prune transparent Gaussians every `prune_interval` frames (0 = never).
@@ -70,6 +75,7 @@ impl Default for SlamConfig {
             mapping_loss: LossConfig::mapping(),
             keyframe_interval: 4,
             mapping_window: 2,
+            covis_window: false,
             densify_interval: 1,
             prune_interval: 0,
             submap_interval: 4,

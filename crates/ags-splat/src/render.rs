@@ -115,6 +115,10 @@ pub struct RenderStats {
     pub skipped_pairs: u64,
     /// Pixels that terminated early (T below threshold).
     pub early_terminated_pixels: u64,
+    /// Tile pixel rows whose blending loop stopped before exhausting the
+    /// tile's Gaussian table because **every** pixel of the row saturated
+    /// (`T` below threshold) — the per-tile T-saturation early-out.
+    pub saturated_rows: u64,
     /// Per-tile workload detail (only when requested).
     pub tile_work: Vec<TileWork>,
 }
@@ -155,6 +159,7 @@ struct TileRaster {
     alpha_evals: u64,
     blend_ops: u64,
     early_terminated: u64,
+    saturated_rows: u64,
     skipped_pairs: u64,
     work: Option<TileWork>,
     /// `(gaussian id, touched pixels, negligible pixels)` per table entry.
@@ -162,6 +167,16 @@ struct TileRaster {
 }
 
 /// Rasterizes one tile into tile-local buffers (row-major within the tile).
+///
+/// Pixel rows are processed **entry-major**: per row, the tile's Gaussian
+/// table is walked once while an active-pixel list tracks which pixels still
+/// accumulate. A pixel leaves the list when its transmittance saturates
+/// (`T < `[`TRANSMITTANCE_MIN`]), and once the list empties the remaining
+/// table entries are skipped for the whole row — the per-tile T-saturation
+/// early-out, counted in [`RenderStats::saturated_rows`]. Each pixel still
+/// sees the same entries in the same order as the classic pixel-major loop,
+/// so outputs and workload counters are bit-identical to it (enforced by
+/// `row_kernel_matches_pixel_major_reference`).
 fn rasterize_tile(
     projection: &Projection,
     table: &[TableEntry],
@@ -184,6 +199,7 @@ fn rasterize_tile(
         alpha_evals: 0,
         blend_ops: 0,
         early_terminated: 0,
+        saturated_rows: 0,
         skipped_pairs: 0,
         work,
         contributions: Vec::new(),
@@ -199,27 +215,44 @@ fn rasterize_tile(
             table.iter().map(|e| (projection.splats[e.splat_index as usize].id, 0, 0)).collect();
     }
 
-    for py in y0..y1 {
-        for px in x0..x1 {
-            let pixel = Vec2::new(px as f32, py as f32);
-            let mut t = 1.0f32;
-            let mut c = Vec3::ZERO;
-            let mut d = 0.0f32;
-            let mut evals = 0u32;
-            let mut blends = 0u32;
+    // Row-local accumulators, reused across rows.
+    let mut row_t = vec![1.0f32; tile_w];
+    let mut row_c = vec![Vec3::ZERO; tile_w];
+    let mut row_d = vec![0.0f32; tile_w];
+    let mut row_evals = vec![0u32; tile_w];
+    let mut row_blends = vec![0u32; tile_w];
+    let mut active: Vec<u32> = Vec::with_capacity(tile_w);
 
-            for (k, entry) in table.iter().enumerate() {
-                let splat = &projection.splats[entry.splat_index as usize];
-                if let Some(skip) = &options.skip {
-                    if skip.contains(splat.id as usize) {
-                        continue;
-                    }
+    for py in y0..y1 {
+        row_t.fill(1.0);
+        row_c.fill(Vec3::ZERO);
+        row_d.fill(0.0);
+        row_evals.fill(0);
+        row_blends.fill(0);
+        active.clear();
+        active.extend(0..tile_w as u32);
+        let fy = py as f32;
+
+        for (k, entry) in table.iter().enumerate() {
+            // Splat data and the skip decision are hoisted per (entry, row)
+            // instead of per (entry, pixel) — the cache-residency half of
+            // the row kernel's win.
+            let splat = &projection.splats[entry.splat_index as usize];
+            if let Some(skip) = &options.skip {
+                if skip.contains(splat.id as usize) {
+                    continue;
                 }
-                evals += 1;
+            }
+            let record = options.record_contributions;
+            let mut i = 0usize;
+            while i < active.len() {
+                let px_off = active[i] as usize;
+                let pixel = Vec2::new((x0 + px_off) as f32, fy);
+                row_evals[px_off] += 1;
                 let g = falloff(splat.conic, pixel - splat.mean);
                 let alpha = (splat.opacity * g).min(0.99);
 
-                if options.record_contributions {
+                if record {
                     let entry_stats = &mut out.contributions[k];
                     entry_stats.1 += 1;
                     if alpha < ALPHA_THRESHOLD {
@@ -227,29 +260,43 @@ fn rasterize_tile(
                     }
                 }
                 if alpha < ALPHA_THRESHOLD {
+                    i += 1;
                     continue;
                 }
-                blends += 1;
-                c += splat.color * (t * alpha);
-                d += splat.depth * (t * alpha);
-                t *= 1.0 - alpha;
+                row_blends[px_off] += 1;
+                let t = row_t[px_off];
+                row_c[px_off] += splat.color * (t * alpha);
+                row_d[px_off] += splat.depth * (t * alpha);
+                let t = t * (1.0 - alpha);
+                row_t[px_off] = t;
                 if t < TRANSMITTANCE_MIN {
                     out.early_terminated += 1;
-                    break;
+                    active.swap_remove(i);
+                } else {
+                    i += 1;
                 }
             }
+            if active.is_empty() {
+                if k + 1 < table.len() {
+                    out.saturated_rows += 1;
+                }
+                break;
+            }
+        }
 
-            out.alpha_evals += evals as u64;
-            out.blend_ops += blends as u64;
-            let i = (py - y0) * tile_w + (px - x0);
-            out.color[i] = c;
-            out.depth[i] = d;
-            out.silhouette[i] = 1.0 - t;
+        let row_base = (py - y0) * tile_w;
+        for px_off in 0..tile_w {
+            out.alpha_evals += row_evals[px_off] as u64;
+            out.blend_ops += row_blends[px_off] as u64;
+            let i = row_base + px_off;
+            out.color[i] = row_c[px_off];
+            out.depth[i] = row_d[px_off];
+            out.silhouette[i] = 1.0 - row_t[px_off];
             if let Some(w) = out.work.as_mut() {
                 // The cycle model's per-pixel counters are u16; tables deeper
                 // than 65535 entries saturate instead of wrapping.
-                w.per_pixel_evals[i] = evals.min(u16::MAX as u32) as u16;
-                w.per_pixel_blends[i] = blends.min(u16::MAX as u32) as u16;
+                w.per_pixel_evals[i] = row_evals[px_off].min(u16::MAX as u32) as u16;
+                w.per_pixel_blends[i] = row_blends[px_off].min(u16::MAX as u32) as u16;
             }
         }
     }
@@ -306,6 +353,7 @@ pub fn rasterize(
         stats.alpha_evals += outcome.alpha_evals;
         stats.blend_ops += outcome.blend_ops;
         stats.early_terminated_pixels += outcome.early_terminated;
+        stats.saturated_rows += outcome.saturated_rows;
         stats.skipped_pairs += outcome.skipped_pairs;
         if let Some(w) = outcome.work {
             stats.tile_work.push(w);
@@ -433,6 +481,172 @@ mod tests {
     }
 
     #[test]
+    fn saturated_rows_cut_the_table_walk_on_opaque_scenes() {
+        // Frame-filling opaque Gaussians: every pixel of the interior tile
+        // rows saturates with table entries to spare, so the row-level
+        // T-saturation early-out must fire and be counted.
+        let mut cloud = GaussianCloud::new();
+        for i in 0..12 {
+            cloud.push(Gaussian::isotropic(
+                Vec3::new(0.0, 0.0, 2.0 + i as f32 * 0.1),
+                3.0,
+                Vec3::ONE,
+                0.99,
+            ));
+        }
+        let out = render(&cloud, &camera(), &Se3::IDENTITY, &RenderOptions::default());
+        assert!(out.stats.saturated_rows > 0, "opaque rows should cut the table walk short");
+        assert!(out.stats.early_terminated_pixels > 0);
+        // A transparent scene never saturates a row.
+        let mut faint = GaussianCloud::new();
+        faint.push(Gaussian::isotropic(Vec3::new(0.0, 0.0, 2.0), 3.0, Vec3::ONE, 0.1));
+        let out = render(&faint, &camera(), &Se3::IDENTITY, &RenderOptions::default());
+        assert_eq!(out.stats.saturated_rows, 0);
+    }
+
+    /// The classic pixel-major blending loop, kept as the reference the
+    /// row-major active-list kernel must reproduce bit for bit.
+    fn reference_pixel_major(
+        cloud: &GaussianCloud,
+        cam: &PinholeCamera,
+        options: &RenderOptions,
+    ) -> RenderOutput {
+        let projection = project_gaussians(cloud, cam, &Se3::IDENTITY);
+        let tables = GaussianTables::build_with(&projection, cam, &Parallelism::serial());
+        let mut color = RgbImage::filled(cam.width, cam.height, Vec3::ZERO);
+        let mut depth = DepthImage::new(cam.width, cam.height);
+        let mut silhouette = GrayImage::new(cam.width, cam.height);
+        let mut stats = RenderStats {
+            pairs: tables.total_pairs,
+            visible_splats: projection.splats.len() as u64,
+            culled: projection.culled as u64,
+            ..RenderStats::default()
+        };
+        let mut contributions =
+            options.record_contributions.then(|| ContributionStats::new(cloud.len()));
+        for tile_idx in 0..tables.tables.len() {
+            let table = &tables.tables[tile_idx];
+            let (x0, y0, x1, y1) = tables.grid.tile_bounds(tile_idx);
+            let mut per_entry = vec![(0u32, 0u32); table.len()];
+            let mut work = options.collect_tile_work.then(|| TileWork {
+                tile: tile_idx as u32,
+                per_pixel_evals: vec![0; (x1 - x0) * (y1 - y0)],
+                per_pixel_blends: vec![0; (x1 - x0) * (y1 - y0)],
+            });
+            for py in y0..y1 {
+                for px in x0..x1 {
+                    let pixel = Vec2::new(px as f32, py as f32);
+                    let (mut t, mut c, mut d) = (1.0f32, Vec3::ZERO, 0.0f32);
+                    let (mut evals, mut blends) = (0u32, 0u32);
+                    for (k, entry) in table.iter().enumerate() {
+                        let splat = &projection.splats[entry.splat_index as usize];
+                        if options.skip.as_ref().is_some_and(|s| s.contains(splat.id as usize)) {
+                            continue;
+                        }
+                        evals += 1;
+                        let alpha =
+                            (splat.opacity * falloff(splat.conic, pixel - splat.mean)).min(0.99);
+                        if options.record_contributions {
+                            per_entry[k].0 += 1;
+                            if alpha < ALPHA_THRESHOLD {
+                                per_entry[k].1 += 1;
+                            }
+                        }
+                        if alpha < ALPHA_THRESHOLD {
+                            continue;
+                        }
+                        blends += 1;
+                        c += splat.color * (t * alpha);
+                        d += splat.depth * (t * alpha);
+                        t *= 1.0 - alpha;
+                        if t < TRANSMITTANCE_MIN {
+                            stats.early_terminated_pixels += 1;
+                            break;
+                        }
+                    }
+                    stats.alpha_evals += evals as u64;
+                    stats.blend_ops += blends as u64;
+                    color.set(px, py, c);
+                    depth.set(px, py, d);
+                    silhouette.set(px, py, 1.0 - t);
+                    if let Some(w) = work.as_mut() {
+                        let i = (py - y0) * (x1 - x0) + (px - x0);
+                        w.per_pixel_evals[i] = evals.min(u16::MAX as u32) as u16;
+                        w.per_pixel_blends[i] = blends.min(u16::MAX as u32) as u16;
+                    }
+                }
+            }
+            if let Some(skip) = &options.skip {
+                stats.skipped_pairs += table
+                    .iter()
+                    .filter(|e| {
+                        skip.contains(projection.splats[e.splat_index as usize].id as usize)
+                    })
+                    .count() as u64;
+            }
+            if let Some(c) = contributions.as_mut() {
+                for (entry, &(touched, negligible)) in table.iter().zip(&per_entry) {
+                    let id = projection.splats[entry.splat_index as usize].id as usize;
+                    c.touched[id] += touched;
+                    c.negligible[id] += negligible;
+                }
+            }
+            if let Some(w) = work.take() {
+                stats.tile_work.push(w);
+            }
+        }
+        RenderOutput { color, depth, silhouette, stats, contributions }
+    }
+
+    #[test]
+    fn row_kernel_matches_pixel_major_reference() {
+        use ags_math::Pcg32;
+        let mut cloud = GaussianCloud::new();
+        let mut rng = Pcg32::seeded(7);
+        for _ in 0..400 {
+            cloud.push(Gaussian::isotropic(
+                Vec3::new(
+                    rng.range_f32(-1.0, 1.0),
+                    rng.range_f32(-1.0, 1.0),
+                    rng.range_f32(0.5, 5.0),
+                ),
+                rng.range_f32(0.02, 0.4),
+                Vec3::new(rng.next_f32(), rng.next_f32(), rng.next_f32()),
+                rng.range_f32(0.1, 0.995),
+            ));
+        }
+        let mut skip = IdSet::with_capacity(cloud.len());
+        for id in (0..cloud.len()).step_by(5) {
+            skip.insert(id);
+        }
+        let cam = PinholeCamera::from_fov(64, 48, 1.2);
+        let options = RenderOptions {
+            skip: Some(skip),
+            record_contributions: true,
+            collect_tile_work: true,
+            parallelism: Parallelism::serial(),
+        };
+        let expect = reference_pixel_major(&cloud, &cam, &options);
+        let got = render(&cloud, &cam, &Se3::IDENTITY, &options);
+        assert_eq!(expect.color.pixels(), got.color.pixels());
+        assert_eq!(expect.depth.pixels(), got.depth.pixels());
+        assert_eq!(expect.silhouette.pixels(), got.silhouette.pixels());
+        assert_eq!(expect.stats.alpha_evals, got.stats.alpha_evals);
+        assert_eq!(expect.stats.blend_ops, got.stats.blend_ops);
+        assert_eq!(expect.stats.skipped_pairs, got.stats.skipped_pairs);
+        assert_eq!(expect.stats.early_terminated_pixels, got.stats.early_terminated_pixels);
+        assert_eq!(expect.stats.tile_work.len(), got.stats.tile_work.len());
+        for (a, b) in expect.stats.tile_work.iter().zip(&got.stats.tile_work) {
+            assert_eq!(a.tile, b.tile);
+            assert_eq!(a.per_pixel_evals, b.per_pixel_evals);
+            assert_eq!(a.per_pixel_blends, b.per_pixel_blends);
+        }
+        let (ec, gc) = (expect.contributions.unwrap(), got.contributions.unwrap());
+        assert_eq!(ec.touched, gc.touched);
+        assert_eq!(ec.negligible, gc.negligible);
+    }
+
+    #[test]
     fn contribution_recording_flags_faint_gaussians() {
         let mut cloud = GaussianCloud::new();
         // Strong central Gaussian and an extremely faint one.
@@ -511,6 +725,7 @@ mod tests {
                 serial.stats.early_terminated_pixels,
                 parallel.stats.early_terminated_pixels
             );
+            assert_eq!(serial.stats.saturated_rows, parallel.stats.saturated_rows);
             assert_eq!(serial.stats.tile_work.len(), parallel.stats.tile_work.len());
             for (a, b) in serial.stats.tile_work.iter().zip(&parallel.stats.tile_work) {
                 assert_eq!(a.tile, b.tile);

@@ -78,7 +78,7 @@ pub fn tracking_gradient(
     loss_config: &LossConfig,
     par: &Parallelism,
 ) -> (LossResult, BackwardOutput, RenderOutput) {
-    let options = RenderOptions { parallelism: *par, ..RenderOptions::default() };
+    let options = RenderOptions { parallelism: par.clone(), ..RenderOptions::default() };
     let projection = project_gaussians(cloud, camera, pose);
     let tables = GaussianTables::build_with(&projection, camera, par);
     let render = rasterize(cloud, &projection, &tables, camera, &options);

@@ -16,7 +16,7 @@ use ags_splat::train::tracking_gradient;
 use ags_splat::GaussianCloud;
 
 /// Configuration of the 3DGS pose refiner.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RefineConfig {
     /// Training iterations per invocation.
     pub iterations: u32,

@@ -43,7 +43,7 @@ pub mod prelude {
     pub use ags_codec::{CodecConfig, Covisibility, LumaPlane, MotionEstimator, VideoCodec};
     pub use ags_core::{AgsConfig, AgsSlam, WorkloadTrace};
     pub use ags_image::{DepthImage, GrayImage, RgbImage};
-    pub use ags_math::{Parallelism, Pcg32, Quat, Se3, Vec2, Vec3};
+    pub use ags_math::{Parallelism, Pcg32, Quat, Se3, Vec2, Vec3, WorkerPool};
     pub use ags_scene::dataset::{Dataset, DatasetConfig, SceneId};
     pub use ags_scene::PinholeCamera;
     pub use ags_sim::{AgsModel, AgsVariant, GpuModel, GsCoreModel};

@@ -105,7 +105,7 @@ fn covisibility_bounds_and_ordering() {
         let mut rng2 = Pcg32::seeded(seed ^ 0xffff);
         let noisy = LumaPlane::from_fn(32, 32, |_, _| rng2.range_u32(250) as u8);
         let config = CodecConfig::default();
-        let est = MotionEstimator::new(config);
+        let est = MotionEstimator::new(config.clone());
         let same = est.estimate(&base, &base).covisibility(&config).value();
         let diff = est.estimate(&noisy, &base).covisibility(&config).value();
         assert!((0.0..=1.0).contains(&same), "seed {seed}");
