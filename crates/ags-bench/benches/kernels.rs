@@ -217,11 +217,12 @@ struct SadResult {
     speedup: f64,
 }
 
-/// Times the dispatched SIMD SAD row kernel (SSE2/NEON, portable chunked
-/// fallback) against the scalar reference over a dense grid of block
-/// comparisons (the exact shape the ME search issues).
-fn bench_sad_kernel() -> SadResult {
-    let (w, h, block) = (512usize, 384usize, 8usize);
+/// Times the dispatched SIMD SAD kernel (SSE2/NEON whole-block kernels for
+/// 8×8 and 16×16 macro-blocks, portable chunked fallback) against the
+/// scalar reference over a dense grid of block comparisons (the exact shape
+/// the ME search issues).
+fn bench_sad_kernel(block: usize) -> SadResult {
+    let (w, h) = (512usize, 384usize);
     let a = LumaPlane::from_fn(w, h, |x, y| (((x * 31 + y * 17) ^ (x / 3 + y)) % 253) as u8);
     let b = LumaPlane::from_fn(w, h, |x, y| (((x * 29 + y * 23) ^ (x + y / 2 + 7)) % 253) as u8);
     let positions: Vec<(usize, usize, usize, usize)> = (0..h - block)
@@ -387,6 +388,104 @@ fn bench_end_to_end(parallel: Parallelism) -> E2eResult {
     }
 }
 
+struct MapHeavyResult {
+    frames: usize,
+    width: usize,
+    height: usize,
+    mapping_iterations: u32,
+    map_slack: usize,
+    overlapped_fps: f64,
+    map_overlapped_fps: f64,
+    speedup: f64,
+    stall_ms_per_frame: f64,
+}
+
+fn run_map_overlapped_driver(
+    config: &AgsConfig,
+    data: &Dataset,
+    shared: &[(Arc<ags_image::RgbImage>, Arc<ags_image::DepthImage>)],
+) -> (f64, ags_core::WorkloadTrace) {
+    let mut config = config.clone();
+    config.pipeline = PipelineConfig::map_overlapped(1, 1);
+    let start = Instant::now();
+    let mut slam = PipelinedAgsSlam::new(config);
+    for (rgb, depth) in shared {
+        black_box(slam.push_frame(&data.camera, Arc::clone(rgb), Arc::clone(depth)));
+    }
+    black_box(slam.finish());
+    let elapsed = start.elapsed().as_secs_f64();
+    (elapsed, slam.take_trace())
+}
+
+/// The Track ‖ Map axis on a map-heavy configuration (mapping ≥ 2× the
+/// tracking time): the FC-overlapped driver still serialises Track(N+1)
+/// after Map(N), while `PipelineMode::MapOverlapped` runs them concurrently
+/// under the one-epoch-stale snapshot contract.
+///
+/// The workload is the S2 handheld-scan stand-in, whose motion keeps FC
+/// below `ThreshT` so 3DGS refinement runs on every frame — the regime the
+/// Track ‖ Map axis targets. On multi-core hosts the overlap can hide the
+/// whole tracking stage (up to `1 + track/map` ≈ 1.4× here); on a single
+/// core the drivers time-share and the measured win reduces to the
+/// stale-read savings the one-epoch-stale contract buys tracking (warmup
+/// refinements are structurally skipped and every refinement reads the
+/// previous, smaller epoch).
+fn bench_map_heavy_overlap() -> MapHeavyResult {
+    let (frames, width, height) = (8usize, 96usize, 72usize);
+    // Full S2 trajectory compressed into the bench frames: handheld-jerky
+    // inter-frame motion, low FC, refinement on every frame.
+    let dconfig = DatasetConfig { width, height, num_frames: frames, ..DatasetConfig::tiny() };
+    let data = Dataset::generate(SceneId::S2, &dconfig);
+    let mut config = e2e_config();
+    // Map-heavy: grow the tiny mapping budget until map ≥ 2× track, the
+    // paper's full-scale stage balance.
+    config.slam.mapping_iterations = 10;
+    let shared: Vec<_> =
+        data.frames.iter().map(|f| (Arc::new(f.rgb.clone()), Arc::new(f.depth.clone()))).collect();
+
+    // Determinism before timing: the threaded Track ‖ Map driver must match
+    // the serial deferred-map reference on this exact configuration.
+    let reference_trace = {
+        let mut c = config.clone();
+        c.pipeline = PipelineConfig::map_overlapped(1, 1);
+        let mut slam = AgsSlam::new(c);
+        for frame in &data.frames {
+            black_box(slam.process_frame(&data.camera, &frame.rgb, &frame.depth));
+        }
+        slam.into_trace()
+    };
+    let (_, overlapped_trace) = run_map_overlapped_driver(&config, &data, &shared);
+    assert_eq!(
+        reference_trace.canonical_bytes(),
+        overlapped_trace.canonical_bytes(),
+        "Track ‖ Map must be bit-identical to the deferred-serial reference"
+    );
+
+    let samples = 5usize;
+    let mut fc_times = Vec::new();
+    let mut map_times = Vec::new();
+    let mut last_trace = overlapped_trace;
+    for _ in 0..samples {
+        fc_times.push(run_overlapped_driver(&config, &data, &shared).0);
+        let (t, trace) = run_map_overlapped_driver(&config, &data, &shared);
+        map_times.push(t);
+        last_trace = trace;
+    }
+    let min = |times: &[f64]| times.iter().copied().fold(f64::INFINITY, f64::min);
+    let (t_fc, t_map) = (min(&fc_times), min(&map_times));
+    MapHeavyResult {
+        frames,
+        width,
+        height,
+        mapping_iterations: config.slam.mapping_iterations,
+        map_slack: 1,
+        overlapped_fps: frames as f64 / t_fc,
+        map_overlapped_fps: frames as f64 / t_map,
+        speedup: t_fc / t_map,
+        stall_ms_per_frame: last_trace.stage_time_totals().stall_s / frames as f64 * 1e3,
+    }
+}
+
 fn bench_gpe_sim() -> f64 {
     let sim = GpeArraySim::new(GpeArrayConfig::default());
     let evals: Vec<u16> = (0..256).map(|i| 10 + (i % 37) as u16).collect();
@@ -408,10 +507,15 @@ fn main() {
     let workers = parallel.effective_threads();
     println!("kernel benchmarks — {workers} parallel worker(s)\n");
 
-    let sad = bench_sad_kernel();
+    let sad = bench_sad_kernel(8);
     println!(
-        "sad row kernel 8x8 blocks      512x384: scalar {:>10.1} Mpix/s   {:<8} {:>10.1} Mpix/s   speedup {:.2}x",
+        "sad kernel 8x8 blocks          512x384: scalar {:>10.1} Mpix/s   {:<8} {:>10.1} Mpix/s   speedup {:.2}x",
         sad.scalar_mpix_per_s, sad.kernel, sad.simd_mpix_per_s, sad.speedup
+    );
+    let sad16 = bench_sad_kernel(16);
+    println!(
+        "sad kernel 16x16 blocks        512x384: scalar {:>10.1} Mpix/s   {:<8} {:>10.1} Mpix/s   speedup {:.2}x",
+        sad16.scalar_mpix_per_s, sad16.kernel, sad16.simd_mpix_per_s, sad16.speedup
     );
     let diamond = bench_motion_estimation(SearchKind::Diamond, parallel.clone());
     println!(
@@ -444,6 +548,12 @@ fn main() {
         "  stage breakdown (serial, per frame): fc {:.2} ms | track {:.2} ms | map {:.2} ms",
         e2e.fc_ms, e2e.track_ms, e2e.map_ms
     );
+    let heavy = bench_map_heavy_overlap();
+    println!(
+        "map-heavy Track ‖ Map overlap  {}x{}:  fc-overlapped {:>8.2} frames/s  map-overlapped {:>8.2} frames/s ({:.2}x, stall {:.2} ms/frame)",
+        heavy.width, heavy.height, heavy.overlapped_fps, heavy.map_overlapped_fps, heavy.speedup,
+        heavy.stall_ms_per_frame
+    );
 
     let json = format!(
         r#"{{
@@ -452,6 +562,14 @@ fn main() {
   "sad_kernel": {{
     "frame": [512, 384],
     "block": 8,
+    "kernel": "{}",
+    "scalar_mpix_per_s": {:.1},
+    "simd_mpix_per_s": {:.1},
+    "speedup": {:.3}
+  }},
+  "sad_kernel_16": {{
+    "frame": [512, 384],
+    "block": 16,
     "kernel": "{}",
     "scalar_mpix_per_s": {:.1},
     "simd_mpix_per_s": {:.1},
@@ -501,6 +619,16 @@ fn main() {
       "fc": {:.3},
       "track": {:.3},
       "map": {:.3}
+    }},
+    "map_heavy": {{
+      "frame": [{}, {}],
+      "frames": {},
+      "mapping_iterations": {},
+      "map_slack": {},
+      "overlapped_frames_per_s": {:.3},
+      "map_overlapped_frames_per_s": {:.3},
+      "map_overlap_speedup": {:.3},
+      "track_stall_ms_per_frame": {:.3}
     }}
   }}
 }}
@@ -509,6 +637,10 @@ fn main() {
         sad.scalar_mpix_per_s,
         sad.simd_mpix_per_s,
         sad.speedup,
+        sad16.kernel,
+        sad16.scalar_mpix_per_s,
+        sad16.simd_mpix_per_s,
+        sad16.speedup,
         diamond.serial_blocks_per_s,
         diamond.parallel_blocks_per_s,
         diamond.speedup,
@@ -536,6 +668,15 @@ fn main() {
         e2e.fc_ms,
         e2e.track_ms,
         e2e.map_ms,
+        heavy.width,
+        heavy.height,
+        heavy.frames,
+        heavy.mapping_iterations,
+        heavy.map_slack,
+        heavy.overlapped_fps,
+        heavy.map_overlapped_fps,
+        heavy.speedup,
+        heavy.stall_ms_per_frame,
     );
     let path = out_path();
     match std::fs::write(&path, &json) {

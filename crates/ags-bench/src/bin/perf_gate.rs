@@ -14,6 +14,8 @@
 //! * `parallel_frames_per_s`
 //! * `overlapped_frames_per_s`
 //! * `batched_pairs_per_s` (the one-submission keyframe-window ME path)
+//! * `map_overlapped_frames_per_s` (the Track ‖ Map axis on the map-heavy
+//!   configuration)
 //!
 //! Improvements and new metrics never fail the gate; a metric missing from
 //! the *current* file does (the bench must keep emitting what the gate
@@ -29,12 +31,14 @@
 use std::process::ExitCode;
 
 /// The gated metrics: end-to-end frames/s and batched-ME pairs/s (higher is
-/// better).
-const GATED_KEYS: [&str; 4] = [
+/// better). Note `overlapped_frames_per_s` resolves to its **first**
+/// occurrence — the main `end_to_end` entry, not `map_heavy`'s nested copy.
+const GATED_KEYS: [&str; 5] = [
     "serial_frames_per_s",
     "parallel_frames_per_s",
     "overlapped_frames_per_s",
     "batched_pairs_per_s",
+    "map_overlapped_frames_per_s",
 ];
 
 /// Extracts the first `"key": <number>` value from a JSON document.
@@ -117,8 +121,32 @@ mod tests {
             r#"{{ "batched_window": {{ "batched_pairs_per_s": 100.0 }},
                  "end_to_end": {{ "serial_frames_per_s": {serial},
                  "parallel_frames_per_s": {parallel},
-                 "overlapped_frames_per_s": {overlapped} }} }}"#
+                 "overlapped_frames_per_s": {overlapped},
+                 "map_heavy": {{ "overlapped_frames_per_s": 1.0,
+                 "map_overlapped_frames_per_s": 50.0 }} }} }}"#
         )
+    }
+
+    #[test]
+    fn overlapped_key_resolves_to_main_entry_not_map_heavy() {
+        // `map_heavy` nests its own `overlapped_frames_per_s`; the gated key
+        // must keep reading the first (main end-to-end) occurrence, and the
+        // map-overlap key must find the nested metric.
+        let json = doc(7.0, 8.0, 9.0);
+        assert_eq!(extract_metric(&json, "overlapped_frames_per_s"), Some(9.0));
+        assert_eq!(extract_metric(&json, "map_overlapped_frames_per_s"), Some(50.0));
+    }
+
+    #[test]
+    fn gates_map_overlapped_regressions() {
+        let baseline = doc(10.0, 10.0, 10.0);
+        let mut current = doc(10.0, 10.0, 10.0);
+        current = current.replace(
+            "\"map_overlapped_frames_per_s\": 50.0",
+            "\"map_overlapped_frames_per_s\": 10.0",
+        );
+        let err = run(&baseline, &current, 0.25).unwrap_err();
+        assert!(err.contains("map_overlapped_frames_per_s"), "{err}");
     }
 
     #[test]

@@ -82,12 +82,22 @@ impl LumaPlane {
         debug_assert!(x + block <= self.width && y + block <= self.height);
         debug_assert!(rx + block <= reference.width && ry + block <= reference.height);
         #[cfg(any(all(target_arch = "x86_64", target_feature = "sse2"), target_arch = "aarch64"))]
-        if block == 8 && self.block8_in_bounds(x, y) && reference.block8_in_bounds(rx, ry) {
-            // The codec's default MB size gets the whole-block kernel: two
-            // 8-px rows per SIMD op instead of one row per call. The bounds
-            // guard keeps this safe `pub fn` panicking (below, via slice
-            // indexing) instead of reading out of bounds on bad inputs.
-            return block_sad8_simd(self, x, y, reference, rx, ry, u32::MAX);
+        {
+            if block == 8 && self.block8_in_bounds(x, y) && reference.block8_in_bounds(rx, ry) {
+                // The codec's default MB size gets the whole-block kernel:
+                // two 8-px rows per SIMD op instead of one row per call. The
+                // bounds guard keeps this safe `pub fn` panicking (below,
+                // via slice indexing) instead of reading out of bounds on
+                // bad inputs.
+                return block_sad8_simd(self, x, y, reference, rx, ry, u32::MAX);
+            }
+            if block == 16
+                && self.block_in_bounds(x, y, 16)
+                && reference.block_in_bounds(rx, ry, 16)
+            {
+                // 16×16 macro-blocks: one 16-byte load pair + SAD per row.
+                return block_sad16_simd(self, x, y, reference, rx, ry, u32::MAX);
+            }
         }
         let mut sad = 0u32;
         for row in 0..block {
@@ -122,12 +132,21 @@ impl LumaPlane {
         debug_assert!(x + block <= self.width && y + block <= self.height);
         debug_assert!(rx + block <= reference.width && ry + block <= reference.height);
         #[cfg(any(all(target_arch = "x86_64", target_feature = "sse2"), target_arch = "aarch64"))]
-        if block == 8 && self.block8_in_bounds(x, y) && reference.block8_in_bounds(rx, ry) {
-            // Two-row bound-check granularity: the partial sums it exits on
-            // are still `> bound`, and any SAD `<= bound` is computed exactly
-            // — the same contract as the per-row early exit. Out-of-bounds
-            // inputs fall through to the panicking slice path.
-            return block_sad8_simd(self, x, y, reference, rx, ry, bound);
+        {
+            if block == 8 && self.block8_in_bounds(x, y) && reference.block8_in_bounds(rx, ry) {
+                // Two-row bound-check granularity: the partial sums it exits
+                // on are still `> bound`, and any SAD `<= bound` is computed
+                // exactly — the same contract as the per-row early exit.
+                // Out-of-bounds inputs fall through to the panicking slice
+                // path.
+                return block_sad8_simd(self, x, y, reference, rx, ry, bound);
+            }
+            if block == 16
+                && self.block_in_bounds(x, y, 16)
+                && reference.block_in_bounds(rx, ry, 16)
+            {
+                return block_sad16_simd(self, x, y, reference, rx, ry, bound);
+            }
         }
         let mut sad = 0u32;
         for row in 0..block {
@@ -147,6 +166,15 @@ impl LumaPlane {
     #[inline]
     fn block8_in_bounds(&self, x: usize, y: usize) -> bool {
         x + 8 <= self.width && y + 8 <= self.height
+    }
+
+    /// Whether a `block`×`block` block at `(x, y)` lies fully inside the
+    /// plane — the safety precondition of the raw-pointer whole-block
+    /// kernels.
+    #[cfg(any(all(target_arch = "x86_64", target_feature = "sse2"), target_arch = "aarch64"))]
+    #[inline]
+    fn block_in_bounds(&self, x: usize, y: usize, block: usize) -> bool {
+        x + block <= self.width && y + block <= self.height
     }
 
     /// Scalar reference SAD — the pre-vectorisation kernel, kept for
@@ -281,6 +309,74 @@ fn block_sad8_simd(
                 let va = vcombine_u8(vld1_u8(a.add(ao)), vld1_u8(a.add(ao + a_stride)));
                 let vb = vcombine_u8(vld1_u8(b.add(bo)), vld1_u8(b.add(bo + b_stride)));
                 vaddlvq_u8(vabdq_u8(va, vb)) as u32
+            }
+        };
+        sad += pair_sad;
+        if sad > bound {
+            return sad;
+        }
+    }
+    sad
+}
+
+/// Whole-block SAD for 16×16 macro-blocks: one 16-byte load pair + SAD per
+/// row (SSE2 `_mm_loadu_si128` → `_mm_sad_epu8`; NEON `vld1q_u8` →
+/// `vabdq_u8`), with a bound check every two rows.
+///
+/// Exactness contract matches [`LumaPlane::block_sad_bounded`]: any return
+/// value `<= bound` is the exact block SAD (integer sums, bit-identical to
+/// scalar); early exits return a partial sum already `> bound`. Call with
+/// `bound = u32::MAX` for the unbounded kernel.
+#[cfg(any(all(target_arch = "x86_64", target_feature = "sse2"), target_arch = "aarch64"))]
+#[inline]
+fn block_sad16_simd(
+    current: &LumaPlane,
+    x: usize,
+    y: usize,
+    reference: &LumaPlane,
+    rx: usize,
+    ry: usize,
+    bound: u32,
+) -> u32 {
+    let a_stride = current.width;
+    let b_stride = reference.width;
+    let a_base = y * a_stride + x;
+    let b_base = ry * b_stride + rx;
+    debug_assert!(a_base + 15 * a_stride + 16 <= current.data.len());
+    debug_assert!(b_base + 15 * b_stride + 16 <= reference.data.len());
+    let a = current.data.as_ptr();
+    let b = reference.data.as_ptr();
+    let mut sad = 0u32;
+    for pair in 0..8usize {
+        let ao = a_base + 2 * pair * a_stride;
+        let bo = b_base + 2 * pair * b_stride;
+        // SAFETY: the debug-asserted block bounds (enforced by the callers,
+        // which clamp candidate MVs to the picture) keep every 16-byte row
+        // read inside the plane buffers, and the SIMD feature is statically
+        // enabled by the surrounding cfg.
+        let pair_sad = unsafe {
+            #[cfg(all(target_arch = "x86_64", target_feature = "sse2"))]
+            {
+                use std::arch::x86_64::{
+                    __m128i, _mm_add_epi64, _mm_cvtsi128_si64, _mm_loadu_si128, _mm_sad_epu8,
+                    _mm_unpackhi_epi64,
+                };
+                let row = |off: usize, roff: usize| {
+                    _mm_sad_epu8(
+                        _mm_loadu_si128(a.add(off).cast::<__m128i>()),
+                        _mm_loadu_si128(b.add(roff).cast::<__m128i>()),
+                    )
+                };
+                let s = _mm_add_epi64(row(ao, bo), row(ao + a_stride, bo + b_stride));
+                (_mm_cvtsi128_si64(s) + _mm_cvtsi128_si64(_mm_unpackhi_epi64(s, s))) as u32
+            }
+            #[cfg(target_arch = "aarch64")]
+            {
+                use std::arch::aarch64::{vabdq_u8, vaddlvq_u8, vld1q_u8};
+                let row = |off: usize, roff: usize| {
+                    vaddlvq_u8(vabdq_u8(vld1q_u8(a.add(off)), vld1q_u8(b.add(roff)))) as u32
+                };
+                row(ao, bo) + row(ao + a_stride, bo + b_stride)
             }
         };
         sad += pair_sad;
@@ -496,6 +592,67 @@ mod tests {
             assert_eq!(row_sad_sse2(&a, &b), expect, "sse2 len {len}");
             #[cfg(target_arch = "aarch64")]
             assert_eq!(row_sad_neon(&a, &b), expect, "neon len {len}");
+        }
+    }
+
+    #[test]
+    fn block16_fast_path_matches_scalar_everywhere() {
+        // The 16×16 whole-block kernel (one 16-byte load pair per row) on a
+        // dense grid of (current, reference) offsets, unbounded and bounded:
+        // exact whenever <= bound, and any early exit must report a partial
+        // sum above the bound. Saturating-extreme content included.
+        let a = LumaPlane::from_fn(56, 56, |x, y| {
+            if (x + y) % 11 == 0 {
+                255
+            } else {
+                (((x * 41 + y * 23) ^ (x + y)) % 256) as u8
+            }
+        });
+        let b = LumaPlane::from_fn(56, 56, |x, y| {
+            if (x * y) % 13 == 0 {
+                0
+            } else {
+                (((x * 17 + y * 71) ^ (x * 2 + y)) % 256) as u8
+            }
+        });
+        for y in (0..8).step_by(3) {
+            for x in (0..8).step_by(3) {
+                for (rx, ry) in [(0usize, 0usize), (x + 1, y), (39, 39), (5, 17)] {
+                    let exact = a.block_sad_scalar(x, y, &b, rx, ry, 16);
+                    assert_eq!(a.block_sad(x, y, &b, rx, ry, 16), exact, "({x},{y})/({rx},{ry})");
+                    assert_eq!(a.block_sad_bounded(x, y, &b, rx, ry, 16, exact), exact);
+                    assert_eq!(a.block_sad_bounded(x, y, &b, rx, ry, 16, u32::MAX), exact);
+                    if exact > 0 {
+                        let early = a.block_sad_bounded(x, y, &b, rx, ry, 16, exact - 1);
+                        assert!(early > exact - 1, "must exit above the bound");
+                        assert!(early <= exact);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn motion_estimation_with_16px_macroblocks_matches_scalar_search() {
+        // End-to-end through the ME search: an mb_size = 16 configuration
+        // must land on the same motion field whichever SAD kernel backs it.
+        use crate::me::{CodecConfig, MotionEstimator, SearchKind};
+        let reference = LumaPlane::from_fn(64, 48, |x, y| {
+            let xs = x + 2;
+            (((xs * 13 + y * 7) ^ (xs * y / 3 + 5)) % 251) as u8
+        });
+        let current =
+            LumaPlane::from_fn(64, 48, |x, y| (((x * 13 + y * 7) ^ (x * y / 3 + 5)) % 251) as u8);
+        for search in [SearchKind::FullSearch, SearchKind::Diamond] {
+            let est =
+                MotionEstimator::new(CodecConfig { mb_size: 16, search, ..CodecConfig::default() });
+            let result = est.estimate(&current, &reference);
+            assert_eq!(result.field.mb_cols, 4);
+            assert_eq!(result.field.mb_rows, 3);
+            // Interior macro-blocks find the exact 2-px shift with zero SAD
+            // (the bounded SIMD kernel must not mis-rank any candidate).
+            assert_eq!(result.field.at(1, 1).min_sad, 0, "{search:?}");
+            assert_eq!(result.field.at(1, 1).mv, (-2, 0), "{search:?}");
         }
     }
 

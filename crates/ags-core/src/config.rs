@@ -16,6 +16,14 @@ pub enum PipelineMode {
     /// bounded channel, overlapping frame `N+1`'s FC work with frame `N`'s
     /// tracking/mapping (Fig. 9b). Bit-identical to [`PipelineMode::Serial`].
     Overlapped,
+    /// The second pipeline axis on top of [`PipelineMode::Overlapped`]:
+    /// mapping also moves to its own worker thread, so Track(N+1) overlaps
+    /// Map(N). Tracking reads an epoch-stale map snapshot — Track(N+1)
+    /// always sees the map published by Map(N − [`PipelineConfig::map_slack`]),
+    /// **independent of thread timing** — so the mode is bit-identical to
+    /// the serial *deferred-map* reference ([`crate::pipeline::AgsSlam`]
+    /// constructed with this same mode), not to [`PipelineMode::Serial`].
+    MapOverlapped,
 }
 
 /// How the stage graph is driven (see `ags_core::pipelined`).
@@ -23,11 +31,18 @@ pub enum PipelineMode {
 pub struct PipelineConfig {
     /// Serial or overlapped execution.
     pub mode: PipelineMode,
-    /// Frames of FC lookahead in [`PipelineMode::Overlapped`]: the bounded
-    /// stage channel buffers at most this many frames ahead of the SLAM
-    /// stage (clamped to `1..=8` by the driver). The paper's Fig. 9(b)
-    /// corresponds to a depth of 1.
+    /// Frames of FC lookahead in [`PipelineMode::Overlapped`] and
+    /// [`PipelineMode::MapOverlapped`]: the bounded stage channel buffers at
+    /// most this many frames ahead of the SLAM stage (clamped to `1..=8` by
+    /// the driver). The paper's Fig. 9(b) corresponds to a depth of 1.
     pub depth: usize,
+    /// Staleness of the map snapshot tracking reads in
+    /// [`PipelineMode::MapOverlapped`], in epochs: Track(N+1) reads the
+    /// snapshot published by Map(N − `map_slack`). `1` (the default) is the
+    /// minimum that lets Track(N+1) run while Map(N) is still in flight;
+    /// `0` degenerates to the classic serial read-after-map semantics (no
+    /// overlap, but still two threads). Ignored in the other modes.
+    pub map_slack: usize,
     /// Test-only backpressure knob: stalls every map-stage invocation by
     /// this many milliseconds so stress tests can force the FC worker to
     /// run ahead and block on the bounded channel. Keep `0` in production.
@@ -36,7 +51,7 @@ pub struct PipelineConfig {
 
 impl Default for PipelineConfig {
     fn default() -> Self {
-        Self { mode: PipelineMode::Serial, depth: 1, stress_map_stall_ms: 0 }
+        Self { mode: PipelineMode::Serial, depth: 1, map_slack: 1, stress_map_stall_ms: 0 }
     }
 }
 
@@ -46,9 +61,27 @@ impl PipelineConfig {
         Self { mode: PipelineMode::Overlapped, depth, ..Self::default() }
     }
 
+    /// Two-axis overlapped execution (FC ‖ Track ‖ Map) with the given FC
+    /// lookahead depth and map-snapshot staleness.
+    pub fn map_overlapped(depth: usize, map_slack: usize) -> Self {
+        Self { mode: PipelineMode::MapOverlapped, depth, map_slack, ..Self::default() }
+    }
+
     /// The lookahead depth clamped to the supported range.
     pub fn clamped_depth(&self) -> usize {
         self.depth.clamp(1, 8)
+    }
+
+    /// The map staleness the configured mode actually uses: `map_slack`
+    /// (clamped to `0..=8`) under [`PipelineMode::MapOverlapped`], `0` —
+    /// tracking always reads the freshest map — otherwise. Both drivers
+    /// derive their semantics from this one value, which is what makes the
+    /// serial deferred-map reference and the threaded driver comparable.
+    pub fn effective_map_slack(&self) -> usize {
+        match self.mode {
+            PipelineMode::MapOverlapped => self.map_slack.min(8),
+            _ => 0,
+        }
     }
 }
 
@@ -223,6 +256,17 @@ mod tests {
         // Without the flag the codec keeps its classic single reference.
         let classic = AgsConfig::tiny().resolve();
         assert_eq!(classic.codec.keyframe_window, 1);
+    }
+
+    #[test]
+    fn map_slack_only_applies_in_map_overlapped_mode() {
+        let mut c = PipelineConfig::default();
+        assert_eq!(c.effective_map_slack(), 0, "serial mode reads the freshest map");
+        c.mode = PipelineMode::Overlapped;
+        assert_eq!(c.effective_map_slack(), 0, "FC overlap alone changes nothing");
+        assert_eq!(PipelineConfig::map_overlapped(1, 2).effective_map_slack(), 2);
+        assert_eq!(PipelineConfig::map_overlapped(2, 0).effective_map_slack(), 0);
+        assert_eq!(PipelineConfig::map_overlapped(1, 99).effective_map_slack(), 8, "clamped");
     }
 
     #[test]

@@ -21,8 +21,13 @@
 //!   emitting a [`trace::WorkloadTrace`] the `ags-sim` hardware models
 //!   consume.
 //! * [`pipelined::PipelinedAgsSlam`] — the execution flow of Fig. 9(b) with
-//!   real threads: FC detection of frame `N+1` overlaps tracking/mapping of
-//!   frame `N` over a bounded channel, bit-identical to the serial driver.
+//!   real threads, on two axes: FC detection of frame `N+1` overlaps
+//!   tracking/mapping of frame `N` over a bounded channel
+//!   ([`config::PipelineMode::Overlapped`], bit-identical to the serial
+//!   driver), and mapping runs on its own worker so Track(N+1) ‖ Map(N)
+//!   over an epoch-snapshotted copy-on-write map
+//!   ([`config::PipelineMode::MapOverlapped`], bit-identical to the serial
+//!   deferred-map reference under the same `map_slack`).
 //!
 //! # Example
 //!

@@ -14,18 +14,24 @@
 //!    other frames run selective mapping that skips the predicted
 //!    non-contributory Gaussians.
 //!
-//! [`AgsSlam`] drives the three stages serially on the calling thread.
-//! [`crate::pipelined::PipelinedAgsSlam`] runs the FC stage on a worker
-//! thread instead, overlapping frame `N+1`'s CODEC work with frame `N`'s
-//! tracking/mapping — with bit-identical results.
+//! [`AgsSlam`] drives the three stages serially on the calling thread —
+//! including, under [`crate::config::PipelineMode::MapOverlapped`], the
+//! serial *deferred-map reference* semantics where tracking reads a
+//! `map_slack`-stale snapshot of the map. [`crate::pipelined::PipelinedAgsSlam`]
+//! runs the same stage graph with real threads (FC worker, and a map worker
+//! in `MapOverlapped`) — with bit-identical results to this driver under
+//! the matching mode.
 
 use crate::config::AgsConfig;
 use crate::fc::FcDecision;
-use crate::stages::{FcStage, FrameImages, FrameInput, MapStage, TrackStage};
+use crate::stages::{
+    FcStage, FrameImages, FrameInput, MapOutput, MapStage, TrackOutput, TrackStage,
+};
 use crate::trace::{StageTimes, TraceFrame, WorkloadTrace};
 use ags_image::{DepthImage, RgbImage};
 use ags_math::Se3;
 use ags_scene::PinholeCamera;
+use ags_splat::snapshot::{SharedCloud, SnapshotWindow};
 use ags_splat::GaussianCloud;
 use std::time::Instant;
 
@@ -40,15 +46,51 @@ pub struct AgsFrameRecord {
     pub skipped_gaussians: usize,
 }
 
+/// Starts a frame's trace record from its FC decision. Shared by both
+/// drivers so their records are constructed field-for-field identically.
+pub(crate) fn begin_trace_frame(frame_index: usize, decision: &FcDecision) -> TraceFrame {
+    let mut record = TraceFrame { frame_index, ..TraceFrame::default() };
+    record.fc_prev = decision.fc_prev.map(|c| c.value());
+    record.fc_keyframe = decision.fc_keyframe.map(|c| c.value());
+    record.codec.sad_evals = decision.sad_evals;
+    record.is_keyframe = decision.is_keyframe;
+    record
+}
+
+/// Copies a tracking result into the frame's trace record.
+pub(crate) fn apply_track_output(record: &mut TraceFrame, tracked: &TrackOutput) {
+    record.coarse = tracked.coarse;
+    record.refine = tracked.refine;
+    record.refined = tracked.refined;
+}
+
+/// Moves a mapping result into the frame's trace record.
+pub(crate) fn apply_map_output(record: &mut TraceFrame, mapped: MapOutput, num_gaussians: usize) {
+    record.mapping = mapped.mapping;
+    record.tile_work = mapped.tile_work;
+    record.fp_rate = mapped.fp_rate;
+    record.num_gaussians = num_gaussians;
+}
+
 /// Everything downstream of FC detection: the tracking and mapping stages
-/// plus the state they share (map, trajectory, trace). Both pipeline drivers
-/// advance the same body, which is what makes them bit-identical.
+/// plus the state they share (map, trajectory, trace), executed serially.
+///
+/// The map lives behind a copy-on-write [`SharedCloud`]. With zero map
+/// slack (modes `Serial`/`Overlapped`) tracking peeks at the live map —
+/// classic read-after-map semantics, no snapshot is ever published and no
+/// copy is ever paid. With `MapOverlapped` slack this body becomes the
+/// **serial deferred-map reference**: after each frame's mapping the map is
+/// published into a [`SnapshotWindow`], and tracking reads the window's
+/// `slack`-stale epoch — byte-identical semantics to the threaded
+/// Track ‖ Map driver, enforced by the determinism suite.
 #[derive(Debug)]
 pub(crate) struct SlamBody {
     config: AgsConfig,
     track: TrackStage,
     map: MapStage,
-    cloud: GaussianCloud,
+    shared: SharedCloud,
+    window: SnapshotWindow,
+    slack: usize,
     trajectory: Vec<Se3>,
     frame_count: usize,
     trace: WorkloadTrace,
@@ -57,11 +99,14 @@ pub(crate) struct SlamBody {
 impl SlamBody {
     /// Builds the body from a **resolved** configuration.
     pub(crate) fn new(config: AgsConfig) -> Self {
+        let slack = config.pipeline.effective_map_slack();
         Self {
             track: TrackStage::new(&config),
             map: MapStage::new(&config),
             config,
-            cloud: GaussianCloud::new(),
+            shared: SharedCloud::new(),
+            window: SnapshotWindow::new(slack),
+            slack,
             trajectory: Vec::new(),
             frame_count: 0,
             trace: WorkloadTrace::default(),
@@ -73,7 +118,7 @@ impl SlamBody {
     }
 
     pub(crate) fn cloud(&self) -> &GaussianCloud {
-        &self.cloud
+        self.shared.read()
     }
 
     pub(crate) fn trajectory(&self) -> &[Se3] {
@@ -108,37 +153,34 @@ impl SlamBody {
         let frame_index = self.frame_count;
         self.frame_count += 1;
         let input = FrameInput { frame_index, camera, images };
-        let mut record = TraceFrame { frame_index, ..TraceFrame::default() };
-        record.fc_prev = decision.fc_prev.map(|c| c.value());
-        record.fc_keyframe = decision.fc_keyframe.map(|c| c.value());
-        record.codec.sad_evals = decision.sad_evals;
+        let mut record = begin_trace_frame(frame_index, &decision);
 
         let track_start = Instant::now();
-        let tracked = self.track.process(&input, &decision, &self.cloud);
+        // Zero slack: peek at the live map (dropped before mapping mutates,
+        // so the copy-on-write never triggers). Deferred reference: read the
+        // window's stale epoch — exactly what the threaded driver waits for.
+        let snapshot =
+            if self.slack == 0 { self.shared.peek() } else { self.window.stale().clone() };
+        let tracked = self.track.process(&input, &decision, &snapshot);
+        drop(snapshot);
         let track_s = track_start.elapsed().as_secs_f64();
-        record.coarse = tracked.coarse;
-        record.refine = tracked.refine;
-        record.refined = tracked.refined;
+        apply_track_output(&mut record, &tracked);
         let pose = tracked.pose;
         self.trajectory.push(pose);
 
-        record.is_keyframe = decision.is_keyframe;
         let map_start = Instant::now();
-        let mapped = self.map.process(&input, &decision, pose, &mut self.cloud);
+        let mapped = self.map.process(&input, &decision, pose, &mut self.shared);
         let map_s = map_start.elapsed().as_secs_f64();
-        record.mapping = mapped.mapping;
-        record.tile_work = mapped.tile_work;
-        record.fp_rate = mapped.fp_rate;
-        record.num_gaussians = self.cloud.len();
-        record.stage_times = StageTimes { fc_s, track_s, map_s };
+        if self.slack > 0 {
+            self.window.push(self.shared.publish());
+        }
+        let skipped_gaussians = mapped.skipped_gaussians;
+        apply_map_output(&mut record, mapped, self.shared.read().len());
+        record.stage_times = StageTimes { fc_s, track_s, map_s, stall_s: 0.0 };
 
         let trace_frame = record.clone();
         self.trace.frames.push(trace_frame);
-        AgsFrameRecord {
-            trace: record,
-            estimated_pose: pose,
-            skipped_gaussians: mapped.skipped_gaussians,
-        }
+        AgsFrameRecord { trace: record, estimated_pose: pose, skipped_gaussians }
     }
 }
 

@@ -1,38 +1,50 @@
-//! Pipelined AGS driver: CODEC FC detection overlapped with
-//! tracking/mapping (paper Fig. 9b) via real threads.
+//! Pipelined AGS driver: two overlap axes over the stage graph.
 //!
-//! The FC stream is computed purely from the RGB sequence and its own
-//! key-frame decisions ([`crate::stages::FcStage`] is self-contained), so it
-//! can legally run ahead of the SLAM stages: while the main thread tracks and
-//! maps frame `N`, a dedicated worker thread already computes frame `N+1`'s
-//! covisibility. A **bounded** channel (1–2 frames of lookahead,
-//! [`crate::config::PipelineConfig::depth`]) connects the stages, so the
-//! worker blocks — instead of buffering unboundedly — when the SLAM stage
-//! falls behind.
+//! **Axis 1 — FC ‖ SLAM** ([`crate::config::PipelineMode::Overlapped`],
+//! paper Fig. 9b): the FC stream is computed purely from the RGB sequence
+//! and its own key-frame decisions ([`crate::stages::FcStage`] is
+//! self-contained), so a dedicated worker thread computes frame `N+1`'s
+//! covisibility while the SLAM stages process frame `N`. A **bounded**
+//! channel (1–2 frames of lookahead, [`crate::config::PipelineConfig::depth`])
+//! connects the stages, so the worker blocks — instead of buffering
+//! unboundedly — when the SLAM stage falls behind. Bit-identical to the
+//! serial driver.
 //!
-//! Determinism: frames traverse both channels in FIFO order and the SLAM
-//! body consumes them in exactly the serial order, so traces (canonical
-//! bytes), trajectories and the final Gaussian cloud are **bit-identical**
-//! to [`crate::pipeline::AgsSlam`] — a property the
-//! `pipeline_determinism` integration tests enforce.
+//! **Axis 2 — Track ‖ Map** ([`crate::config::PipelineMode::MapOverlapped`]):
+//! mapping also moves to its own worker thread, which owns the
+//! copy-on-write map ([`ags_splat::SharedCloud`]) and publishes an
+//! epoch-tagged [`CloudSnapshot`] after every frame. Tracking never touches
+//! the live map; it reads **exactly** the snapshot published by
+//! Map(N − [`crate::config::PipelineConfig::map_slack`]) — the driver drains
+//! map results until that epoch has arrived and then stops, so the epoch a
+//! frame is tracked against is a function of the frame index alone,
+//! independent of thread timing. This makes the mode bit-identical to the
+//! serial *deferred-map* reference ([`crate::pipeline::AgsSlam`] under the
+//! same mode), which the determinism suite enforces across worker counts,
+//! depths and slow-map backpressure.
 //!
 //! Kernel parallelism: [`crate::config::AgsConfig::resolve`] installs one
 //! shared `WorkerPool` handle into every stage's `Parallelism` knob, so the
-//! FC worker's (batched) motion estimation and the SLAM thread's
-//! rasterization/backward kernels submit to the **same** executor instead
-//! of spawning competing thread sets.
+//! FC worker's (batched) motion estimation, the map worker's
+//! rasterization/backward kernels and the tracking thread's refinement all
+//! submit to the **same** executor instead of spawning competing thread
+//! sets.
 
 use crate::config::{AgsConfig, PipelineMode};
 use crate::fc::FcDecision;
-use crate::pipeline::{AgsFrameRecord, SlamBody};
-use crate::stages::{FcStage, FrameImages};
-use crate::trace::WorkloadTrace;
+use crate::pipeline::{
+    apply_map_output, apply_track_output, begin_trace_frame, AgsFrameRecord, SlamBody,
+};
+use crate::stages::{FcStage, FrameImages, FrameInput, MapOutput, MapStage, TrackStage};
+use crate::trace::{StageTimes, WorkloadTrace};
 use ags_image::{DepthImage, RgbImage};
 use ags_math::Se3;
 use ags_scene::PinholeCamera;
+use ags_splat::snapshot::{CloudSnapshot, SharedCloud};
 use ags_splat::GaussianCloud;
 use std::collections::VecDeque;
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
 
@@ -46,16 +58,16 @@ struct FcResult {
 #[derive(Debug)]
 struct PendingFrame {
     camera: PinholeCamera,
-    rgb: std::sync::Arc<RgbImage>,
-    depth: std::sync::Arc<DepthImage>,
+    rgb: Arc<RgbImage>,
+    depth: Arc<DepthImage>,
 }
 
 /// Front end of the stage graph: FC inline (serial mode) or on a worker
-/// thread behind bounded channels (overlapped mode).
+/// thread behind bounded channels (both overlapped modes).
 enum FcFrontEnd {
     Inline(FcStage),
     Worker {
-        frames_tx: Option<SyncSender<std::sync::Arc<RgbImage>>>,
+        frames_tx: Option<SyncSender<Arc<RgbImage>>>,
         results_rx: Receiver<FcResult>,
         handle: Option<JoinHandle<()>>,
     },
@@ -70,40 +82,310 @@ impl std::fmt::Debug for FcFrontEnd {
     }
 }
 
-/// AGS driver with an explicit stage graph: `FcStage ‖ (TrackStage →
+/// One frame's mapping work order, shipped to the map worker after tracking.
+struct MapJob {
+    frame_index: usize,
+    camera: PinholeCamera,
+    rgb: Arc<RgbImage>,
+    depth: Arc<DepthImage>,
+    decision: FcDecision,
+    pose: Se3,
+}
+
+/// One frame's mapping result, shipped back with the freshly published
+/// snapshot (a refcount bump — the slab itself stays on the worker until
+/// copy-on-write diverges it).
+struct MapDone {
+    mapped: MapOutput,
+    snapshot: CloudSnapshot,
+    num_gaussians: usize,
+    map_s: f64,
+}
+
+/// A frame whose tracking finished but whose mapping result is outstanding.
+struct PendingRecord {
+    record: crate::trace::TraceFrame,
+    pose: Se3,
+}
+
+/// The Track ‖ Map half of the stage graph: tracking state on the driver
+/// thread, the mapping stage (and the live map) on a worker thread.
+struct MapOverlapBody {
+    config: AgsConfig,
+    track: TrackStage,
+    slack: usize,
+    /// Newest drained snapshot. The drain loop advances it to **exactly**
+    /// the epoch frame `N` must read (`max(0, N − slack)`) — never further,
+    /// even when fresher results already sit in the channel.
+    latest: CloudSnapshot,
+    trajectory: Vec<Se3>,
+    frame_count: usize,
+    trace: WorkloadTrace,
+    awaiting: VecDeque<PendingRecord>,
+    completed: VecDeque<AgsFrameRecord>,
+    jobs_tx: Option<SyncSender<MapJob>>,
+    done_rx: Receiver<MapDone>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for MapOverlapBody {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MapOverlapBody")
+            .field("slack", &self.slack)
+            .field("frame_count", &self.frame_count)
+            .field("awaiting", &self.awaiting.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl MapOverlapBody {
+    fn new(config: AgsConfig) -> Self {
+        let slack = config.pipeline.effective_map_slack();
+        // Bounded result/job channels sized to the maximum in-flight frames
+        // (slack + 1 maps can be outstanding before tracking must wait);
+        // one extra slot keeps the worker off the send() edge.
+        let capacity = slack + 2;
+        let (jobs_tx, jobs_rx) = sync_channel::<MapJob>(capacity);
+        let (done_tx, done_rx) = sync_channel::<MapDone>(capacity);
+        let worker_config = config.clone();
+        let handle = std::thread::Builder::new()
+            .name("ags-map-stage".into())
+            .spawn(move || {
+                let mut map = MapStage::new(&worker_config);
+                let mut shared = SharedCloud::new();
+                while let Ok(job) = jobs_rx.recv() {
+                    let start = Instant::now();
+                    let input = FrameInput {
+                        frame_index: job.frame_index,
+                        camera: &job.camera,
+                        images: FrameImages::Shared { rgb: &job.rgb, depth: &job.depth },
+                    };
+                    let mapped = map.process(&input, &job.decision, job.pose, &mut shared);
+                    let snapshot = shared.publish();
+                    let map_s = start.elapsed().as_secs_f64();
+                    let num_gaussians = shared.read().len();
+                    if done_tx.send(MapDone { mapped, snapshot, num_gaussians, map_s }).is_err() {
+                        break; // driver dropped
+                    }
+                }
+            })
+            .expect("spawn map stage worker");
+        Self {
+            track: TrackStage::new(&config),
+            slack,
+            config,
+            latest: CloudSnapshot::empty(),
+            trajectory: Vec::new(),
+            frame_count: 0,
+            trace: WorkloadTrace::default(),
+            awaiting: VecDeque::new(),
+            completed: VecDeque::new(),
+            jobs_tx: Some(jobs_tx),
+            done_rx,
+            handle: Some(handle),
+        }
+    }
+
+    /// Receives one mapping result, completing the oldest awaiting record.
+    fn drain_one(&mut self) {
+        let done = self.done_rx.recv().expect("map stage worker alive");
+        debug_assert_eq!(done.snapshot.epoch(), self.latest.epoch() + 1, "epochs arrive in order");
+        self.latest = done.snapshot;
+        let pending = self.awaiting.pop_front().expect("one awaiting record per map job");
+        let mut record = pending.record;
+        record.stage_times.map_s = done.map_s;
+        let skipped_gaussians = done.mapped.skipped_gaussians;
+        apply_map_output(&mut record, done.mapped, done.num_gaussians);
+        self.trace.frames.push(record.clone());
+        self.completed.push_back(AgsFrameRecord {
+            trace: record,
+            estimated_pose: pending.pose,
+            skipped_gaussians,
+        });
+    }
+
+    /// Tracks one frame against its contractual snapshot epoch and submits
+    /// its mapping job; returns the oldest newly completed record, if any.
+    fn advance(
+        &mut self,
+        camera: &PinholeCamera,
+        rgb: &Arc<RgbImage>,
+        depth: &Arc<DepthImage>,
+        decision: FcDecision,
+        fc_s: f64,
+    ) -> Option<AgsFrameRecord> {
+        if self.frame_count == 0 {
+            self.trace.width = camera.width;
+            self.trace.height = camera.height;
+        }
+        let frame_index = self.frame_count;
+        self.frame_count += 1;
+
+        // The staleness contract: frame N reads epoch max(0, N − slack) —
+        // the map state published after Map(N − slack − 1). Drain exactly up
+        // to it — blocking if mapping is behind (backpressure), ignoring
+        // fresher results if it is ahead.
+        let needed_epoch = frame_index.saturating_sub(self.slack) as u64;
+        let wait_start = Instant::now();
+        while self.latest.epoch() < needed_epoch {
+            self.drain_one();
+        }
+        let stall_s = wait_start.elapsed().as_secs_f64();
+
+        let mut record = begin_trace_frame(frame_index, &decision);
+        let track_start = Instant::now();
+        let input = FrameInput { frame_index, camera, images: FrameImages::Shared { rgb, depth } };
+        let tracked = self.track.process(&input, &decision, &self.latest);
+        let track_s = track_start.elapsed().as_secs_f64();
+        apply_track_output(&mut record, &tracked);
+        record.stage_times = StageTimes { fc_s, track_s, map_s: 0.0, stall_s };
+        let pose = tracked.pose;
+        self.trajectory.push(pose);
+
+        self.jobs_tx
+            .as_ref()
+            .expect("jobs channel open")
+            .send(MapJob {
+                frame_index,
+                camera: *camera,
+                rgb: Arc::clone(rgb),
+                depth: Arc::clone(depth),
+                decision,
+                pose,
+            })
+            .expect("map stage worker alive");
+        self.awaiting.push_back(PendingRecord { record, pose });
+        self.completed.pop_front()
+    }
+
+    /// Drains every outstanding mapping result, returning the completed
+    /// records in stream order.
+    fn finish(&mut self) -> Vec<AgsFrameRecord> {
+        while !self.awaiting.is_empty() {
+            self.drain_one();
+        }
+        self.completed.drain(..).collect()
+    }
+}
+
+impl Drop for MapOverlapBody {
+    fn drop(&mut self) {
+        // Hang up the job channel so the worker's recv() loop ends, keep
+        // receiving so it is never blocked on send, then join.
+        drop(self.jobs_tx.take());
+        while self.done_rx.recv().is_ok() {}
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Back end of the stage graph: tracking + mapping inline on the calling
+/// thread, or mapping on its own worker (Track ‖ Map overlap).
+#[derive(Debug)]
+enum SlamBackEnd {
+    Inline(Box<SlamBody>),
+    MapWorker(Box<MapOverlapBody>),
+}
+
+impl SlamBackEnd {
+    fn advance(
+        &mut self,
+        camera: &PinholeCamera,
+        rgb: &Arc<RgbImage>,
+        depth: &Arc<DepthImage>,
+        decision: FcDecision,
+        fc_s: f64,
+    ) -> Option<AgsFrameRecord> {
+        match self {
+            SlamBackEnd::Inline(body) => {
+                Some(body.advance(camera, FrameImages::Shared { rgb, depth }, decision, fc_s))
+            }
+            SlamBackEnd::MapWorker(body) => body.advance(camera, rgb, depth, decision, fc_s),
+        }
+    }
+
+    fn finish(&mut self) -> Vec<AgsFrameRecord> {
+        match self {
+            SlamBackEnd::Inline(_) => Vec::new(),
+            SlamBackEnd::MapWorker(body) => body.finish(),
+        }
+    }
+
+    fn config(&self) -> &AgsConfig {
+        match self {
+            SlamBackEnd::Inline(body) => body.config(),
+            SlamBackEnd::MapWorker(body) => &body.config,
+        }
+    }
+
+    fn cloud(&self) -> &GaussianCloud {
+        match self {
+            SlamBackEnd::Inline(body) => body.cloud(),
+            // The newest *drained* map state; after `finish` this is the
+            // final map.
+            SlamBackEnd::MapWorker(body) => body.latest.cloud(),
+        }
+    }
+
+    fn trajectory(&self) -> &[Se3] {
+        match self {
+            SlamBackEnd::Inline(body) => body.trajectory(),
+            SlamBackEnd::MapWorker(body) => &body.trajectory,
+        }
+    }
+
+    fn trace(&self) -> &WorkloadTrace {
+        match self {
+            SlamBackEnd::Inline(body) => body.trace(),
+            SlamBackEnd::MapWorker(body) => &body.trace,
+        }
+    }
+
+    fn take_trace(&mut self) -> WorkloadTrace {
+        match self {
+            SlamBackEnd::Inline(body) => body.take_trace(),
+            SlamBackEnd::MapWorker(body) => std::mem::take(&mut body.trace),
+        }
+    }
+}
+
+/// AGS driver with an explicit stage graph: `FcStage ‖ (TrackStage ‖
 /// MapStage)`.
 ///
-/// In [`PipelineMode::Overlapped`] the FC stage runs on its own thread; in
-/// [`PipelineMode::Serial`] the same stages run inline and every
+/// [`PipelineMode::Serial`] runs all stages inline and every
 /// [`push_frame`](Self::push_frame) returns its record immediately.
+/// [`PipelineMode::Overlapped`] moves the FC stage to a worker thread.
+/// [`PipelineMode::MapOverlapped`] additionally moves the mapping stage to
+/// its own worker, so Track(N+1) overlaps Map(N) under the deterministic
+/// one-epoch-stale snapshot contract.
 ///
-/// Streaming protocol (overlapped): [`push_frame`](Self::push_frame) returns
-/// `None` for the first `depth` frames while the lookahead window fills,
-/// then one completed record per push (for the frame `depth` positions
-/// back). Call [`finish`](Self::finish) after the last frame to drain the
-/// window.
+/// Streaming protocol (overlapped modes): [`push_frame`](Self::push_frame)
+/// returns `None` while the lookahead window (and, under `MapOverlapped`,
+/// the map pipeline) fills, then one completed record per push. Call
+/// [`finish`](Self::finish) after the last frame to drain everything.
 #[derive(Debug)]
 pub struct PipelinedAgsSlam {
-    body: SlamBody,
+    back: SlamBackEnd,
     front: FcFrontEnd,
     pending: VecDeque<PendingFrame>,
     depth: usize,
 }
 
 impl PipelinedAgsSlam {
-    /// Creates a pipelined AGS system; `config.pipeline.mode` selects
-    /// overlapped or inline FC execution.
+    /// Creates a pipelined AGS system; `config.pipeline.mode` selects the
+    /// overlap axes.
     pub fn new(config: AgsConfig) -> Self {
         let config = config.resolve();
         let depth = config.pipeline.clamped_depth();
         let front = match config.pipeline.mode {
             PipelineMode::Serial => FcFrontEnd::Inline(FcStage::new(&config)),
-            PipelineMode::Overlapped => {
+            PipelineMode::Overlapped | PipelineMode::MapOverlapped => {
                 let mut fc = FcStage::new(&config);
                 // Bounded stage channels: at most `depth` undecoded frames
                 // plus `depth` undelivered decisions in flight, so the FC
                 // worker can run 1–2 frames ahead and no further.
-                let (frames_tx, frames_rx) = sync_channel::<std::sync::Arc<RgbImage>>(depth);
+                let (frames_tx, frames_rx) = sync_channel::<Arc<RgbImage>>(depth);
                 let (results_tx, results_rx) = sync_channel::<FcResult>(depth);
                 let handle = std::thread::Builder::new()
                     .name("ags-fc-stage".into())
@@ -121,117 +403,117 @@ impl PipelinedAgsSlam {
                 FcFrontEnd::Worker { frames_tx: Some(frames_tx), results_rx, handle: Some(handle) }
             }
         };
-        Self { body: SlamBody::new(config), front, pending: VecDeque::new(), depth }
+        let back = match config.pipeline.mode {
+            PipelineMode::MapOverlapped => {
+                SlamBackEnd::MapWorker(Box::new(MapOverlapBody::new(config)))
+            }
+            _ => SlamBackEnd::Inline(Box::new(SlamBody::new(config))),
+        };
+        Self { back, front, pending: VecDeque::new(), depth }
     }
 
     /// The configuration in use.
     pub fn config(&self) -> &AgsConfig {
-        self.body.config()
+        self.back.config()
     }
 
-    /// The current Gaussian map.
+    /// The current Gaussian map. Under [`PipelineMode::MapOverlapped`] this
+    /// is the newest snapshot the driver has consumed — the final map once
+    /// [`finish`](Self::finish) has run.
     pub fn cloud(&self) -> &GaussianCloud {
-        self.body.cloud()
+        self.back.cloud()
     }
 
-    /// Estimated trajectory of all *completed* frames.
+    /// Estimated trajectory of all *tracked* frames.
     pub fn trajectory(&self) -> &[Se3] {
-        self.body.trajectory()
+        self.back.trajectory()
     }
 
     /// The workload trace of all completed frames.
     pub fn trace(&self) -> &WorkloadTrace {
-        self.body.trace()
+        self.back.trace()
     }
 
     /// Takes the accumulated trace out of the driver, leaving an empty one.
     /// Call [`finish`](Self::finish) first so all pushed frames are in it.
     pub fn take_trace(&mut self) -> WorkloadTrace {
-        self.body.take_trace()
+        self.back.take_trace()
     }
 
-    /// Frames pushed but not yet tracked/mapped.
+    /// Frames pushed but not yet tracked.
     pub fn pending_frames(&self) -> usize {
         self.pending.len()
     }
 
     /// Submits the next RGB-D frame.
     ///
-    /// Serial mode returns the frame's record immediately. Overlapped mode
-    /// returns the record of the frame `depth` positions earlier — or `None`
-    /// while the lookahead window is still filling.
+    /// Serial mode returns the frame's record immediately. Overlapped modes
+    /// return the oldest newly completed record — or `None` while the
+    /// pipeline is still filling.
     pub fn push_frame(
         &mut self,
         camera: &PinholeCamera,
-        rgb: std::sync::Arc<RgbImage>,
-        depth: std::sync::Arc<DepthImage>,
+        rgb: Arc<RgbImage>,
+        depth: Arc<DepthImage>,
     ) -> Option<AgsFrameRecord> {
         match &mut self.front {
             FcFrontEnd::Inline(fc) => {
                 let start = Instant::now();
                 let decision = fc.process(&rgb);
                 let fc_s = start.elapsed().as_secs_f64();
-                Some(self.body.advance(
-                    camera,
-                    FrameImages::Shared { rgb: &rgb, depth: &depth },
-                    decision,
-                    fc_s,
-                ))
+                self.back.advance(camera, &rgb, &depth, decision, fc_s)
             }
             FcFrontEnd::Worker { frames_tx, .. } => {
                 frames_tx
                     .as_ref()
                     .expect("frames channel open")
-                    .send(std::sync::Arc::clone(&rgb))
+                    .send(Arc::clone(&rgb))
                     .expect("FC stage worker alive");
                 self.pending.push_back(PendingFrame { camera: *camera, rgb, depth });
-                (self.pending.len() > self.depth).then(|| self.complete_oldest())
+                if self.pending.len() > self.depth {
+                    self.complete_oldest()
+                } else {
+                    None
+                }
             }
         }
     }
 
     /// Convenience wrapper for borrowed images (pays one copy per frame to
-    /// share them with the FC worker; prefer [`push_frame`](Self::push_frame)
-    /// with pre-shared frames on the hot path).
+    /// share them with the worker threads; prefer
+    /// [`push_frame`](Self::push_frame) with pre-shared frames on the hot
+    /// path).
     pub fn push_frame_cloned(
         &mut self,
         camera: &PinholeCamera,
         rgb: &RgbImage,
         depth: &DepthImage,
     ) -> Option<AgsFrameRecord> {
-        self.push_frame(
-            camera,
-            std::sync::Arc::new(rgb.clone()),
-            std::sync::Arc::new(depth.clone()),
-        )
+        self.push_frame(camera, Arc::new(rgb.clone()), Arc::new(depth.clone()))
     }
 
-    /// Drains the lookahead window after the last
-    /// [`push_frame`](Self::push_frame), returning the remaining records in
-    /// stream order. A no-op in serial mode.
+    /// Drains the pipeline after the last [`push_frame`](Self::push_frame),
+    /// returning the remaining records in stream order. A no-op in serial
+    /// mode.
     pub fn finish(&mut self) -> Vec<AgsFrameRecord> {
         let mut records = Vec::with_capacity(self.pending.len());
         while !self.pending.is_empty() {
-            records.push(self.complete_oldest());
+            records.extend(self.complete_oldest());
         }
+        records.extend(self.back.finish());
         records
     }
 
-    /// Tracks + maps the oldest pending frame using its (possibly already
-    /// computed) FC decision.
-    fn complete_oldest(&mut self) -> AgsFrameRecord {
+    /// Tracks (and submits the mapping of) the oldest pending frame using
+    /// its (possibly already computed) FC decision.
+    fn complete_oldest(&mut self) -> Option<AgsFrameRecord> {
         let frame = self.pending.pop_front().expect("pending frame");
         let FcFrontEnd::Worker { results_rx, .. } = &self.front else {
-            unreachable!("pending frames only exist in overlapped mode");
+            unreachable!("pending frames only exist in overlapped modes");
         };
         // FIFO channels: this result belongs to exactly this frame.
         let result = results_rx.recv().expect("FC stage worker alive");
-        self.body.advance(
-            &frame.camera,
-            FrameImages::Shared { rgb: &frame.rgb, depth: &frame.depth },
-            result.decision,
-            result.fc_s,
-        )
+        self.back.advance(&frame.camera, &frame.rgb, &frame.depth, result.decision, result.fc_s)
     }
 }
 
@@ -240,7 +522,7 @@ impl Drop for PipelinedAgsSlam {
         if let FcFrontEnd::Worker { frames_tx, results_rx, handle } = &mut self.front {
             // Hang up the frame channel so the worker's recv() loop ends,
             // drain any in-flight results so it is not blocked on send, then
-            // join.
+            // join. (The map worker, if any, joins in MapOverlapBody::drop.)
             drop(frames_tx.take());
             while results_rx.try_recv().is_ok() {}
             if let Some(handle) = handle.take() {
@@ -256,7 +538,6 @@ mod tests {
     use crate::config::PipelineConfig;
     use crate::pipeline::AgsSlam;
     use ags_scene::dataset::{Dataset, DatasetConfig, SceneId};
-    use std::sync::Arc;
 
     fn tiny_dataset(frames: usize) -> Dataset {
         let dconfig = DatasetConfig {
@@ -311,6 +592,44 @@ mod tests {
     }
 
     #[test]
+    fn map_overlapped_mode_streams_all_records_in_order() {
+        let data = tiny_dataset(6);
+        let config =
+            AgsConfig { pipeline: PipelineConfig::map_overlapped(1, 1), ..AgsConfig::tiny() };
+        let mut slam = PipelinedAgsSlam::new(config);
+        let mut records = Vec::new();
+        for frame in &data.frames {
+            records.extend(slam.push_frame_cloned(&data.camera, &frame.rgb, &frame.depth));
+        }
+        assert!(records.len() < 6, "pipeline fill delays the first records");
+        records.extend(slam.finish());
+        assert_eq!(records.len(), 6, "every frame completes");
+        for (i, r) in records.iter().enumerate() {
+            assert_eq!(r.trace.frame_index, i, "records arrive in stream order");
+        }
+        assert_eq!(slam.trajectory().len(), 6);
+        assert_eq!(slam.trace().frames.len(), 6);
+        assert!(!slam.cloud().is_empty(), "finish leaves the final map visible");
+    }
+
+    #[test]
+    fn map_overlapped_records_map_time_and_stalls() {
+        let mut config = AgsConfig::tiny();
+        config.pipeline = PipelineConfig::map_overlapped(1, 1);
+        // A stalled map stage forces tracking to wait for its snapshot.
+        config.pipeline.stress_map_stall_ms = 3;
+        let data = tiny_dataset(5);
+        let mut slam = PipelinedAgsSlam::new(config);
+        for frame in &data.frames {
+            slam.push_frame_cloned(&data.camera, &frame.rgb, &frame.depth);
+        }
+        slam.finish();
+        let totals = slam.trace().stage_time_totals();
+        assert!(totals.map_s > 0.0, "worker-side map time must flow into the trace");
+        assert!(totals.stall_s > 0.0, "a stalled map must show up as tracking stall time");
+    }
+
+    #[test]
     fn overlapped_records_fc_wall_time_from_worker() {
         let data = tiny_dataset(3);
         let config = AgsConfig { pipeline: PipelineConfig::overlapped(1), ..AgsConfig::tiny() };
@@ -326,15 +645,17 @@ mod tests {
     }
 
     #[test]
-    fn dropping_mid_stream_joins_worker_cleanly() {
+    fn dropping_mid_stream_joins_workers_cleanly() {
         let data = tiny_dataset(3);
-        let config = AgsConfig { pipeline: PipelineConfig::overlapped(2), ..AgsConfig::tiny() };
-        let mut slam = PipelinedAgsSlam::new(config);
-        for frame in &data.frames {
-            slam.push_frame_cloned(&data.camera, &frame.rgb, &frame.depth);
+        for pipeline in [PipelineConfig::overlapped(2), PipelineConfig::map_overlapped(2, 1)] {
+            let config = AgsConfig { pipeline, ..AgsConfig::tiny() };
+            let mut slam = PipelinedAgsSlam::new(config);
+            for frame in &data.frames {
+                slam.push_frame_cloned(&data.camera, &frame.rgb, &frame.depth);
+            }
+            // Frames still pending; Drop must not deadlock or panic.
+            drop(slam);
         }
-        // Two frames still pending; Drop must not deadlock or panic.
-        drop(slam);
     }
 
     #[test]
@@ -357,6 +678,32 @@ mod tests {
             serial.trace().canonical_bytes(),
             overlapped.trace().canonical_bytes(),
             "overlapped trace must be canonically identical to serial"
+        );
+    }
+
+    #[test]
+    fn matches_deferred_serial_reference_quickly() {
+        // Smoke-level Track ‖ Map equivalence (full suite in
+        // tests/pipeline_determinism.rs): the threaded driver must match the
+        // serial deferred-map reference, not the classic serial driver.
+        let data = tiny_dataset(5);
+        let config =
+            AgsConfig { pipeline: PipelineConfig::map_overlapped(1, 1), ..AgsConfig::tiny() };
+        let mut reference = AgsSlam::new(config.clone());
+        for frame in &data.frames {
+            reference.process_frame(&data.camera, &frame.rgb, &frame.depth);
+        }
+        let mut overlapped = PipelinedAgsSlam::new(config);
+        for frame in &data.frames {
+            overlapped.push_frame_cloned(&data.camera, &frame.rgb, &frame.depth);
+        }
+        overlapped.finish();
+        assert_eq!(reference.trajectory(), overlapped.trajectory());
+        assert_eq!(reference.cloud().gaussians(), overlapped.cloud().gaussians());
+        assert_eq!(
+            reference.trace().canonical_bytes(),
+            overlapped.trace().canonical_bytes(),
+            "Track ‖ Map must be canonically identical to the deferred-serial reference"
         );
     }
 }

@@ -13,9 +13,13 @@
 //!   optional FP audit and key-frame storage.
 //!
 //! The two drivers ([`crate::pipeline::AgsSlam`] — serial — and
-//! [`crate::pipelined::PipelinedAgsSlam`] — FC overlapped) are thin
-//! compositions of these stages; both produce identical traces,
-//! trajectories and maps for the same frame stream.
+//! [`crate::pipelined::PipelinedAgsSlam`] — FC and optionally mapping on
+//! worker threads) are thin compositions of these stages; for the same
+//! frame stream and pipeline mode both produce identical traces,
+//! trajectories and maps. Tracking reads the map only through epoch-tagged
+//! [`CloudSnapshot`]s and mapping mutates it only through the
+//! copy-on-write [`SharedCloud`], which is what makes the Track ‖ Map
+//! overlap legal.
 
 use crate::config::AgsConfig;
 use crate::contribution::ContributionTracker;
@@ -31,6 +35,7 @@ use ags_splat::loss::compute_loss;
 use ags_splat::optim::Adam;
 use ags_splat::project::project_gaussians;
 use ags_splat::render::{rasterize, RenderOptions, TileWork};
+use ags_splat::snapshot::{CloudSnapshot, SharedCloud};
 use ags_splat::tiles::GaussianTables;
 use ags_splat::{GaussianCloud, IdSet};
 use ags_track::coarse::CoarseTracker;
@@ -163,12 +168,17 @@ impl TrackStage {
         Self { coarse, refiner }
     }
 
-    /// Estimates the frame's pose against the current map.
+    /// Estimates the frame's pose against an epoch-tagged snapshot of the
+    /// map. Which epoch the caller hands in is the pipeline's staleness
+    /// contract: the serial driver passes the live map (zero slack) or the
+    /// deferred window's stale epoch; the Track ‖ Map driver passes the
+    /// snapshot published by Map(N − `map_slack`) — never the live cloud the
+    /// map worker is mutating.
     pub fn process(
         &mut self,
         input: &FrameInput<'_>,
         decision: &FcDecision,
-        cloud: &GaussianCloud,
+        map: &CloudSnapshot,
     ) -> TrackOutput {
         let rgb = input.images.rgb();
         let depth = input.images.depth();
@@ -182,9 +192,9 @@ impl TrackStage {
         let mut pose = coarse_result.pose;
 
         let mut refine_work = WorkUnits::default();
-        let refine = input.frame_index > 0 && decision.needs_refinement && !cloud.is_empty();
+        let refine = input.frame_index > 0 && decision.needs_refinement && !map.cloud().is_empty();
         if refine {
-            let result = self.refiner.refine(cloud, input.camera, pose, rgb, depth);
+            let result = self.refiner.refine_snapshot(map, input.camera, pose, rgb, depth);
             refine_work.add_render(&result.workload.render);
             refine_work.grad_ops += result.workload.grad_ops;
             refine_work.iterations += result.workload.iterations;
@@ -223,6 +233,8 @@ pub struct MapStage {
     keyframes: KeyframeStore,
     rng: Pcg32,
     keyframe_count: usize,
+    /// Frames mapped so far — frame `f`'s update publishes as epoch `f + 1`.
+    frames_mapped: u64,
     trainable_from: usize,
     /// Scratch slot carrying sampled tile work out of `map_step`.
     last_tile_work: Option<Vec<TileWork>>,
@@ -238,19 +250,27 @@ impl MapStage {
             keyframes: KeyframeStore::new(),
             rng: Pcg32::seeded(0xa65),
             keyframe_count: 0,
+            frames_mapped: 0,
             trainable_from: 0,
             last_tile_work: None,
         }
     }
 
+    /// The key frames stored so far, with their poses and publish epochs.
+    pub fn keyframes(&self) -> &KeyframeStore {
+        &self.keyframes
+    }
+
     /// Runs densification + (selective) mapping for one frame, mutating the
-    /// map in place and storing the frame as a key frame when designated.
+    /// shared map through its copy-on-write handle and storing the frame as
+    /// a key frame when designated. The caller publishes the result
+    /// afterwards; key frames are stamped with that upcoming publish epoch.
     pub fn process(
         &mut self,
         input: &FrameInput<'_>,
         decision: &FcDecision,
         pose: Se3,
-        cloud: &mut GaussianCloud,
+        shared: &mut SharedCloud,
     ) -> MapOutput {
         if self.config.pipeline.stress_map_stall_ms > 0 {
             // Test-only backpressure: see `PipelineConfig::stress_map_stall_ms`.
@@ -258,6 +278,20 @@ impl MapStage {
                 self.config.pipeline.stress_map_stall_ms,
             ));
         }
+        // The epoch under which this frame's map update becomes visible to
+        // tracking: one epoch per mapped frame, counted by the stage itself
+        // so the stamp is identical whether or not the driver publishes
+        // snapshots (the zero-slack serial driver never does).
+        self.frames_mapped += 1;
+        let publish_epoch = self.frames_mapped;
+        debug_assert!(
+            shared.epoch() == 0 || publish_epoch == shared.next_epoch(),
+            "publishing drivers must publish exactly once per mapped frame"
+        );
+        // One copy-on-write resolution per frame: with snapshots outstanding
+        // this pays a single slab copy, after which every mapping iteration
+        // mutates in place.
+        let cloud = shared.make_mut();
         let camera = input.camera;
         let rgb = input.images.rgb();
         let depth = input.images.depth();
@@ -313,7 +347,10 @@ impl MapStage {
             window.iter().map(|kf| (kf.pose, Arc::clone(&kf.rgb), Arc::clone(&kf.depth))).collect();
         drop(window);
 
-        let skip = if is_keyframe { None } else { self.contribution.skip_set(cloud.len()) };
+        // Arc'd once per frame: each mapping iteration's `RenderOptions`
+        // shares the set by refcount instead of cloning the bitset.
+        let skip =
+            if is_keyframe { None } else { self.contribution.skip_set(cloud.len()).map(Arc::new) };
         if let Some(s) = &skip {
             out.skipped_gaussians = s.count();
             // Reading the skipping table from DRAM (hardware: GS skipping
@@ -384,6 +421,7 @@ impl MapStage {
             self.keyframes.push(StoredKeyframe {
                 frame_index,
                 pose,
+                epoch: publish_epoch,
                 rgb: rgb_arc,
                 depth: depth_arc,
             });
@@ -402,19 +440,20 @@ impl MapStage {
         pose: &Se3,
         rgb: &RgbImage,
         depth: &DepthImage,
-        skip: Option<&IdSet>,
+        skip: Option<&Arc<IdSet>>,
         record_contributions: bool,
         collect_tile_work: bool,
     ) -> (f32, WorkUnits, Option<ags_splat::render::ContributionStats>) {
         let options = RenderOptions {
-            skip: skip.cloned(),
+            // Refcount bump per iteration, not a bitset clone.
+            skip: skip.map(Arc::clone),
             record_contributions,
             collect_tile_work,
             parallelism: self.config.parallelism.clone(),
         };
         let projection = project_gaussians(cloud, camera, pose);
         let tables = GaussianTables::build_with(&projection, camera, &self.config.parallelism);
-        let render = rasterize(cloud, &projection, &tables, camera, &options);
+        let mut render = rasterize(cloud, &projection, &tables, camera, &options);
         let loss = compute_loss(&render, rgb, depth, &self.config.slam.mapping_loss);
         let mut back = backward(
             cloud,
@@ -423,7 +462,7 @@ impl MapStage {
             camera,
             &loss,
             GradMode::Map,
-            skip,
+            skip.map(Arc::as_ref),
             &self.config.parallelism,
         );
         if let Some(grads) = back.grads.as_mut() {
@@ -443,8 +482,55 @@ impl MapStage {
         work.add_render(&render.stats);
         work.grad_ops = back.stats.grad_ops;
         if collect_tile_work {
-            self.last_tile_work = Some(render.stats.tile_work.clone());
+            // The render is dropped on return: move the sampled tile work
+            // out instead of cloning it every iteration.
+            self.last_tile_work = Some(std::mem::take(&mut render.stats.tile_work));
         }
         (loss.total, work, render.contributions)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ags_scene::dataset::{Dataset, DatasetConfig, SceneId};
+
+    #[test]
+    fn keyframes_are_stamped_with_their_publish_epoch() {
+        // Drive the raw stage graph the way a publishing driver would: one
+        // publish per mapped frame. Every stored key frame must carry the
+        // epoch its map update became visible under (frame index + 1),
+        // regardless of which frames were key frames.
+        let dconfig =
+            DatasetConfig { width: 48, height: 36, num_frames: 6, ..DatasetConfig::tiny() };
+        let data = Dataset::generate(SceneId::Xyz, &dconfig);
+        let config = AgsConfig::tiny().resolve();
+        let mut fc = FcStage::new(&config);
+        let mut track = TrackStage::new(&config);
+        let mut map = MapStage::new(&config);
+        let mut shared = SharedCloud::new();
+        for (i, frame) in data.frames.iter().enumerate() {
+            let decision = fc.process(&frame.rgb);
+            let input = FrameInput {
+                frame_index: i,
+                camera: &data.camera,
+                images: FrameImages::Borrowed { rgb: &frame.rgb, depth: &frame.depth },
+            };
+            let snapshot = shared.peek();
+            let tracked = track.process(&input, &decision, &snapshot);
+            drop(snapshot);
+            map.process(&input, &decision, tracked.pose, &mut shared);
+            shared.publish();
+        }
+        let stored = map.keyframes();
+        assert!(!stored.is_empty(), "frame 0 is always a key frame");
+        for kf in stored.frames() {
+            assert_eq!(
+                kf.epoch,
+                kf.frame_index as u64 + 1,
+                "key frame {} must carry its publish epoch",
+                kf.frame_index
+            );
+        }
     }
 }

@@ -18,10 +18,15 @@ pub struct StageTimes {
     pub track_s: f64,
     /// Mapping (densify + selective mapping + contribution/audit).
     pub map_s: f64,
+    /// Time the tracking stage spent blocked waiting for its map snapshot
+    /// (Track ‖ Map overlap only; always `0` in the serial drivers). High
+    /// stall times mean mapping — not tracking — is the bottleneck frame.
+    pub stall_s: f64,
 }
 
 impl StageTimes {
-    /// Sum of all stage times.
+    /// Sum of the compute stage times (excludes [`StageTimes::stall_s`],
+    /// which is waiting, not work).
     pub fn total_s(&self) -> f64 {
         self.fc_s + self.track_s + self.map_s
     }
@@ -31,6 +36,7 @@ impl StageTimes {
         self.fc_s += other.fc_s;
         self.track_s += other.track_s;
         self.map_s += other.map_s;
+        self.stall_s += other.stall_s;
     }
 }
 
@@ -303,7 +309,7 @@ mod tests {
         a.frames.push(frame(true, true, 100, 0));
         let mut b = a.clone();
         // Different wall times: still canonically equal.
-        b.frames[0].stage_times = StageTimes { fc_s: 1.0, track_s: 2.0, map_s: 3.0 };
+        b.frames[0].stage_times = StageTimes { fc_s: 1.0, track_s: 2.0, map_s: 3.0, stall_s: 0.5 };
         assert_eq!(a.canonical_bytes(), b.canonical_bytes());
         // Any semantic change shows up.
         b.frames[0].mapping.pairs += 1;
@@ -320,15 +326,16 @@ mod tests {
     fn stage_time_totals_accumulate() {
         let mut trace = WorkloadTrace::new(8, 8);
         let mut f0 = frame(true, true, 1, 0);
-        f0.stage_times = StageTimes { fc_s: 0.5, track_s: 1.0, map_s: 2.0 };
+        f0.stage_times = StageTimes { fc_s: 0.5, track_s: 1.0, map_s: 2.0, stall_s: 0.25 };
         let mut f1 = frame(false, false, 1, 0);
-        f1.stage_times = StageTimes { fc_s: 0.25, track_s: 0.5, map_s: 1.0 };
+        f1.stage_times = StageTimes { fc_s: 0.25, track_s: 0.5, map_s: 1.0, stall_s: 0.25 };
         trace.frames.push(f0);
         trace.frames.push(f1);
         let total = trace.stage_time_totals();
         assert_eq!(total.fc_s, 0.75);
         assert_eq!(total.track_s, 1.5);
         assert_eq!(total.map_s, 3.0);
-        assert_eq!(total.total_s(), 5.25);
+        assert_eq!(total.stall_s, 0.5);
+        assert_eq!(total.total_s(), 5.25, "stall time is waiting, not work");
     }
 }

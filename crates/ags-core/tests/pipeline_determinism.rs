@@ -154,6 +154,137 @@ fn covis_window_changes_selection_but_not_decisions() {
     assert_eq!(decisions(&classic), decisions(&covis));
 }
 
+// ---------------------------------------------------------------------------
+// Track ‖ Map overlap (PipelineMode::MapOverlapped): the threaded driver must
+// be bit-identical to the serial *deferred-map* reference — AgsSlam under the
+// same mode, where tracking reads the snapshot window's slack-stale epoch —
+// independent of worker counts, FC lookahead depth, map slack and map-stage
+// timing.
+// ---------------------------------------------------------------------------
+
+fn run_map_overlapped(mut config: AgsConfig, data: &Dataset, depth: usize) -> PipelinedAgsSlam {
+    config.pipeline.mode = ags_core::PipelineMode::MapOverlapped;
+    config.pipeline.depth = depth;
+    let mut slam = PipelinedAgsSlam::new(config);
+    let shared: Vec<_> =
+        data.frames.iter().map(|f| (Arc::new(f.rgb.clone()), Arc::new(f.depth.clone()))).collect();
+    for (rgb, depth_img) in &shared {
+        slam.push_frame(&data.camera, Arc::clone(rgb), Arc::clone(depth_img));
+    }
+    slam.finish();
+    slam
+}
+
+fn assert_matches_reference(reference: &AgsSlam, overlapped: &PipelinedAgsSlam, label: &str) {
+    assert_eq!(reference.trajectory(), overlapped.trajectory(), "{label}: trajectory");
+    assert_eq!(
+        reference.cloud().gaussians(),
+        overlapped.cloud().gaussians(),
+        "{label}: final Gaussian cloud"
+    );
+    assert_eq!(
+        reference.trace().canonical_bytes(),
+        overlapped.trace().canonical_bytes(),
+        "{label}: canonical trace bytes"
+    );
+}
+
+#[test]
+fn map_overlapped_matches_deferred_serial_across_workers_depths_and_slack() {
+    use ags_math::Parallelism;
+    let data = dataset(SceneId::Xyz, 6);
+    for slack in [1usize, 2] {
+        let mut config = AgsConfig::tiny();
+        config.pipeline = PipelineConfig::map_overlapped(1, slack);
+        // One serial deferred-map reference per slack, serial kernels.
+        let reference = {
+            let mut c = config.clone();
+            c.parallelism = Parallelism::serial();
+            run_serial(c, &data)
+        };
+        for depth in [1usize, 2] {
+            for threads in [1usize, 2, 8] {
+                let mut c = config.clone();
+                c.parallelism = if threads == 1 {
+                    Parallelism::serial()
+                } else {
+                    Parallelism::with_threads(threads)
+                };
+                let overlapped = run_map_overlapped(c, &data, depth);
+                assert_matches_reference(
+                    &reference,
+                    &overlapped,
+                    &format!("slack {slack} depth {depth} workers {threads}"),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn map_overlapped_survives_slow_map_backpressure() {
+    // Stress: a deliberately stalled map stage forces tracking to block on
+    // its contractual snapshot epoch while the FC worker saturates the
+    // depth-1 channel. No deadlock, no divergence from the reference.
+    let mut config = AgsConfig::tiny();
+    config.pipeline = PipelineConfig::map_overlapped(1, 1);
+    config.pipeline.stress_map_stall_ms = 5;
+    let data = dataset(SceneId::Xyz, 6);
+    let reference = run_serial(config.clone(), &data);
+    let overlapped = run_map_overlapped(config, &data, 1);
+    assert_matches_reference(&reference, &overlapped, "slow map stage, slack 1, depth 1");
+}
+
+#[test]
+fn map_overlapped_matches_reference_with_audit_tile_work_and_covis_window() {
+    // The optional trace payloads (FP audit, sampled tile work) and the
+    // batched covisibility-window mapping path through the Track ‖ Map
+    // driver.
+    let mut config = AgsConfig::tiny();
+    config.audit_false_positives = true;
+    config.slam.tile_work_interval = 2;
+    config.codec.keyframe_window = 4;
+    config.slam.covis_window = true;
+    config.slam.mapping_window = 2;
+    config.pipeline = PipelineConfig::map_overlapped(2, 1);
+    let data = dataset(SceneId::Desk2, 6);
+    let reference = run_serial(config.clone(), &data);
+    let overlapped = run_map_overlapped(config, &data, 2);
+    assert_matches_reference(&reference, &overlapped, "audit+tile-work+covis window");
+    assert!(reference.trace().frames.iter().any(|f| f.fp_rate.is_some()));
+    assert!(reference.trace().frames.iter().any(|f| !f.tile_work.is_empty()));
+}
+
+#[test]
+fn map_slack_defers_refinement_by_exactly_slack_epochs() {
+    // White-box staleness semantics: force every frame to want refinement
+    // (thresh_t > 1). With slack s, frames 1..=s still read the initial
+    // empty snapshot — their refinement is structurally skipped — and frame
+    // s+1 is the first to refine against Map(0)'s output. The classic
+    // serial driver (slack 0) refines from frame 1 on.
+    let data = dataset(SceneId::Xyz, 6);
+    let refined =
+        |slam: &AgsSlam| -> Vec<bool> { slam.trace().frames.iter().map(|f| f.refined).collect() };
+    let mut classic = AgsConfig::tiny();
+    classic.thresh_t = 1.01;
+    let classic_run = run_serial(classic.clone(), &data);
+    assert!(refined(&classic_run)[1..].iter().all(|&r| r), "slack 0 refines every frame");
+    for slack in [1usize, 2] {
+        let mut config = classic.clone();
+        config.pipeline = PipelineConfig::map_overlapped(1, slack);
+        let deferred = run_serial(config.clone(), &data);
+        let flags = refined(&deferred);
+        assert!(flags[0], "frame 0 anchors the trajectory");
+        for (f, &flag) in flags.iter().enumerate().take(slack + 1).skip(1) {
+            assert!(!flag, "slack {slack}: frame {f} sees the empty epoch-0 map");
+        }
+        assert!(flags[slack + 1..].iter().all(|&r| r), "slack {slack}: later frames refine");
+        // And the threaded driver implements the same contract.
+        let overlapped = run_map_overlapped(config, &data, 1);
+        assert_eq!(flags, overlapped.trace().frames.iter().map(|f| f.refined).collect::<Vec<_>>());
+    }
+}
+
 #[test]
 fn serial_pipelined_driver_matches_monolithic_driver() {
     // PipelineMode::Serial in the pipelined driver is the degenerate stage

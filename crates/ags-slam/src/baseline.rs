@@ -215,6 +215,7 @@ impl BaselineSlam {
             self.keyframes.push(StoredKeyframe {
                 frame_index,
                 pose,
+                epoch: 0, // the baseline publishes no map snapshots
                 rgb: Arc::new(rgb.clone()),
                 depth: Arc::new(depth.clone()),
             });

@@ -15,6 +15,10 @@ pub struct StoredKeyframe {
     pub frame_index: usize,
     /// Estimated camera-to-world pose at storage time.
     pub pose: Se3,
+    /// Map epoch under which this keyframe's mapping update is published —
+    /// the id tracking uses to reason about snapshot staleness. Pipelines
+    /// without snapshot publishing (the baseline) store `0`.
+    pub epoch: u64,
     /// Color image (shared, immutable once stored).
     pub rgb: Arc<RgbImage>,
     /// Depth image (shared, immutable once stored).
@@ -126,6 +130,7 @@ mod tests {
         StoredKeyframe {
             frame_index: i,
             pose: Se3::from_translation(Vec3::splat(i as f32)),
+            epoch: i as u64 + 1,
             rgb: Arc::new(RgbImage::filled(2, 2, Vec3::ZERO)),
             depth: Arc::new(DepthImage::filled(2, 2, 1.0)),
         }

@@ -44,12 +44,14 @@ pub mod loss;
 pub mod optim;
 pub mod project;
 pub mod render;
+pub mod snapshot;
 pub mod tiles;
 pub mod train;
 
 pub use gaussian::{Gaussian, GaussianCloud};
 pub use idset::IdSet;
 pub use render::{RenderOptions, RenderOutput};
+pub use snapshot::{CloudSnapshot, SharedCloud, SnapshotWindow};
 
 /// The α threshold below which a Gaussian's contribution to a pixel is
 /// negligible (`Threshα = 1/255` in the paper).

@@ -10,19 +10,22 @@
 
 use crate::gaussian::GaussianCloud;
 use crate::idset::IdSet;
-use crate::project::{falloff, project_gaussians, Projection};
+use crate::project::{falloff, project_gaussians, Projection, Splat2d};
 use crate::tiles::{GaussianTables, TableEntry};
 use crate::{ALPHA_THRESHOLD, TRANSMITTANCE_MIN};
 use ags_image::{DepthImage, GrayImage, RgbImage};
 use ags_math::parallel::{par_map, Parallelism};
 use ags_math::{Se3, Vec2, Vec3};
 use ags_scene::PinholeCamera;
+use std::sync::Arc;
 
 /// Options controlling a render pass.
 #[derive(Debug, Clone, Default)]
 pub struct RenderOptions {
     /// Gaussian ids to exclude entirely (selective mapping's skip set).
-    pub skip: Option<IdSet>,
+    /// `Arc`'d so per-iteration mapping renders share one set by refcount
+    /// instead of cloning the bitset every call.
+    pub skip: Option<Arc<IdSet>>,
     /// Record per-Gaussian contribution statistics (key-frame full mapping).
     pub record_contributions: bool,
     /// Collect per-tile per-pixel Gaussian counts for the cycle-level
@@ -119,6 +122,11 @@ pub struct RenderStats {
     /// tile's Gaussian table because **every** pixel of the row saturated
     /// (`T` below threshold) — the per-tile T-saturation early-out.
     pub saturated_rows: u64,
+    /// (splat, tile) pairs that took the tile-interior fast path: the
+    /// splat's α provably stays at or above [`ALPHA_THRESHOLD`] on every
+    /// pixel of the tile, so the per-pixel falloff bound check before the
+    /// blend stage is skipped (bit-identical to the checked path).
+    pub interior_pairs: u64,
     /// Per-tile workload detail (only when requested).
     pub tile_work: Vec<TileWork>,
 }
@@ -160,10 +168,111 @@ struct TileRaster {
     blend_ops: u64,
     early_terminated: u64,
     saturated_rows: u64,
+    interior_pairs: u64,
     skipped_pairs: u64,
     work: Option<TileWork>,
     /// `(gaussian id, touched pixels, negligible pixels)` per table entry.
     contributions: Vec<(u32, u32, u32)>,
+}
+
+/// Conservative tile-interior test: `true` only when the splat's α provably
+/// stays at or above [`ALPHA_THRESHOLD`] on **every** pixel of the tile, so
+/// the per-pixel `alpha < ALPHA_THRESHOLD` bound check is dead and the
+/// blending loop may skip it.
+///
+/// The quadratic `q = dᵀ K d` is convex, so its maximum over the tile's
+/// pixel rectangle sits at one of the four corners. Two guards keep the
+/// decision sound under f32 rounding, so skipping the check stays
+/// bit-identical to evaluating it:
+///
+/// * `b² < 0.998·ac` bounds the conic away from degeneracy, which
+///   guarantees the three-term quadratic cannot round to a negative value
+///   at any pixel (the falloff kernel maps `q < 0` to α = 0);
+/// * the corner maximum is inflated by 1 % and the threshold by 5 % —
+///   orders of magnitude beyond the ~1e-5 relative error between the corner
+///   bound and any per-pixel evaluation.
+fn splat_covers_tile(splat: &Splat2d, bounds: (usize, usize, usize, usize)) -> bool {
+    let (a, b, c) = splat.conic;
+    if !(a > 0.0 && c > 0.0 && b * b < 0.998 * a * c) {
+        return false;
+    }
+    let (x0, y0, x1, y1) = bounds;
+    let corners = [
+        Vec2::new(x0 as f32, y0 as f32),
+        Vec2::new((x1 - 1) as f32, y0 as f32),
+        Vec2::new(x0 as f32, (y1 - 1) as f32),
+        Vec2::new((x1 - 1) as f32, (y1 - 1) as f32),
+    ];
+    let mut q_max = 0.0f32;
+    for corner in corners {
+        let d = corner - splat.mean;
+        let q = a * d.x * d.x + 2.0 * b * d.x * d.y + c * d.y * d.y;
+        if !q.is_finite() {
+            return false;
+        }
+        q_max = q_max.max(q);
+    }
+    splat.opacity * (-0.5 * q_max * 1.01).exp() >= ALPHA_THRESHOLD * 1.05
+}
+
+/// One table entry's walk over a pixel row: the splat plus the row-local
+/// accumulators it blends into.
+struct RowPass<'a> {
+    splat: &'a Splat2d,
+    /// `(id, touched, negligible)` counters of this entry, when recording.
+    contrib: Option<&'a mut (u32, u32, u32)>,
+    x0: usize,
+    fy: f32,
+    active: &'a mut Vec<u32>,
+    row_t: &'a mut [f32],
+    row_c: &'a mut [Vec3],
+    row_d: &'a mut [f32],
+    row_evals: &'a mut [u32],
+    row_blends: &'a mut [u32],
+    early_terminated: &'a mut u64,
+}
+
+/// Blends one table entry across a row's active pixels. The single source
+/// of truth for the blending arithmetic: `INTERIOR = true` monomorphises
+/// away the α-threshold branch (and the negligible counter it guards) that
+/// `splat_covers_tile` proved dead, everything else is byte-for-byte the
+/// checked path.
+#[inline(always)]
+fn blend_entry_row<const INTERIOR: bool>(pass: &mut RowPass<'_>) {
+    let splat = pass.splat;
+    let mut i = 0usize;
+    while i < pass.active.len() {
+        let px_off = pass.active[i] as usize;
+        let pixel = Vec2::new((pass.x0 + px_off) as f32, pass.fy);
+        pass.row_evals[px_off] += 1;
+        let g = falloff(splat.conic, pixel - splat.mean);
+        let alpha = (splat.opacity * g).min(0.99);
+        if INTERIOR {
+            debug_assert!(alpha >= ALPHA_THRESHOLD, "interior test must be conservative");
+        }
+        if let Some(entry_stats) = pass.contrib.as_deref_mut() {
+            entry_stats.1 += 1;
+            if !INTERIOR && alpha < ALPHA_THRESHOLD {
+                entry_stats.2 += 1;
+            }
+        }
+        if !INTERIOR && alpha < ALPHA_THRESHOLD {
+            i += 1;
+            continue;
+        }
+        pass.row_blends[px_off] += 1;
+        let t = pass.row_t[px_off];
+        pass.row_c[px_off] += splat.color * (t * alpha);
+        pass.row_d[px_off] += splat.depth * (t * alpha);
+        let t = t * (1.0 - alpha);
+        pass.row_t[px_off] = t;
+        if t < TRANSMITTANCE_MIN {
+            *pass.early_terminated += 1;
+            pass.active.swap_remove(i);
+        } else {
+            i += 1;
+        }
+    }
 }
 
 /// Rasterizes one tile into tile-local buffers (row-major within the tile).
@@ -200,6 +309,7 @@ fn rasterize_tile(
         blend_ops: 0,
         early_terminated: 0,
         saturated_rows: 0,
+        interior_pairs: 0,
         skipped_pairs: 0,
         work,
         contributions: Vec::new(),
@@ -214,6 +324,20 @@ fn rasterize_tile(
         out.contributions =
             table.iter().map(|e| (projection.splats[e.splat_index as usize].id, 0, 0)).collect();
     }
+
+    // Tile-interior classification, once per (entry, tile) instead of a
+    // bound check per (entry, pixel). Skipped splats are never classified
+    // (nor counted) — the row loop drops them before either path runs.
+    let interior: Vec<bool> = table
+        .iter()
+        .map(|entry| {
+            let splat = &projection.splats[entry.splat_index as usize];
+            let skipped =
+                options.skip.as_ref().is_some_and(|skip| skip.contains(splat.id as usize));
+            !skipped && splat_covers_tile(splat, bounds)
+        })
+        .collect();
+    out.interior_pairs = interior.iter().filter(|&&fast| fast).count() as u64;
 
     // Row-local accumulators, reused across rows.
     let mut row_t = vec![1.0f32; tile_w];
@@ -243,38 +367,41 @@ fn rasterize_tile(
                     continue;
                 }
             }
-            let record = options.record_contributions;
-            let mut i = 0usize;
-            while i < active.len() {
-                let px_off = active[i] as usize;
-                let pixel = Vec2::new((x0 + px_off) as f32, fy);
-                row_evals[px_off] += 1;
-                let g = falloff(splat.conic, pixel - splat.mean);
-                let alpha = (splat.opacity * g).min(0.99);
-
-                if record {
-                    let entry_stats = &mut out.contributions[k];
-                    entry_stats.1 += 1;
-                    if alpha < ALPHA_THRESHOLD {
-                        entry_stats.2 += 1;
-                    }
-                }
-                if alpha < ALPHA_THRESHOLD {
-                    i += 1;
-                    continue;
-                }
-                row_blends[px_off] += 1;
-                let t = row_t[px_off];
-                row_c[px_off] += splat.color * (t * alpha);
-                row_d[px_off] += splat.depth * (t * alpha);
-                let t = t * (1.0 - alpha);
-                row_t[px_off] = t;
-                if t < TRANSMITTANCE_MIN {
-                    out.early_terminated += 1;
-                    active.swap_remove(i);
-                } else {
-                    i += 1;
-                }
+            let contrib =
+                options.record_contributions.then(|| out.contributions.get_mut(k)).flatten();
+            if interior[k] {
+                // Interior fast path: every pixel's α is provably at or
+                // above the threshold (`splat_covers_tile`), so the bound
+                // check — and the negligible counter it guards — compiles
+                // out of the monomorphised row kernel. α itself is computed
+                // with the identical arithmetic.
+                blend_entry_row::<true>(&mut RowPass {
+                    splat,
+                    contrib,
+                    x0,
+                    fy,
+                    active: &mut active,
+                    row_t: &mut row_t,
+                    row_c: &mut row_c,
+                    row_d: &mut row_d,
+                    row_evals: &mut row_evals,
+                    row_blends: &mut row_blends,
+                    early_terminated: &mut out.early_terminated,
+                });
+            } else {
+                blend_entry_row::<false>(&mut RowPass {
+                    splat,
+                    contrib,
+                    x0,
+                    fy,
+                    active: &mut active,
+                    row_t: &mut row_t,
+                    row_c: &mut row_c,
+                    row_d: &mut row_d,
+                    row_evals: &mut row_evals,
+                    row_blends: &mut row_blends,
+                    early_terminated: &mut out.early_terminated,
+                });
             }
             if active.is_empty() {
                 if k + 1 < table.len() {
@@ -354,6 +481,7 @@ pub fn rasterize(
         stats.blend_ops += outcome.blend_ops;
         stats.early_terminated_pixels += outcome.early_terminated;
         stats.saturated_rows += outcome.saturated_rows;
+        stats.interior_pairs += outcome.interior_pairs;
         stats.skipped_pairs += outcome.skipped_pairs;
         if let Some(w) = outcome.work {
             stats.tile_work.push(w);
@@ -435,7 +563,7 @@ mod tests {
         let cloud = single_gaussian_cloud(0.9);
         let mut skip = IdSet::with_capacity(cloud.len());
         skip.insert(0);
-        let options = RenderOptions { skip: Some(skip), ..Default::default() };
+        let options = RenderOptions { skip: Some(Arc::new(skip)), ..Default::default() };
         let out = render(&cloud, &camera(), &Se3::IDENTITY, &options);
         assert_eq!(out.color.at(15, 15), Vec3::ZERO);
         assert!(out.stats.skipped_pairs > 0);
@@ -621,7 +749,7 @@ mod tests {
         }
         let cam = PinholeCamera::from_fov(64, 48, 1.2);
         let options = RenderOptions {
-            skip: Some(skip),
+            skip: Some(Arc::new(skip)),
             record_contributions: true,
             collect_tile_work: true,
             parallelism: Parallelism::serial(),
@@ -644,6 +772,86 @@ mod tests {
         let (ec, gc) = (expect.contributions.unwrap(), got.contributions.unwrap());
         assert_eq!(ec.touched, gc.touched);
         assert_eq!(ec.negligible, gc.negligible);
+    }
+
+    #[test]
+    fn interior_fast_path_fires_and_matches_reference() {
+        use ags_math::Pcg32;
+        // Frame-filling opaque splats trigger the tile-interior fast path on
+        // interior tiles; a mix of small faint splats keeps the checked path
+        // busy too. Output and every counter must match the pixel-major
+        // reference bit for bit.
+        let mut cloud = GaussianCloud::new();
+        let mut rng = Pcg32::seeded(21);
+        for i in 0..4 {
+            cloud.push(Gaussian::isotropic(
+                Vec3::new(0.0, 0.0, 2.0 + i as f32 * 0.5),
+                2.5,
+                Vec3::new(rng.next_f32(), rng.next_f32(), rng.next_f32()),
+                0.6,
+            ));
+        }
+        for _ in 0..80 {
+            cloud.push(Gaussian::isotropic(
+                Vec3::new(
+                    rng.range_f32(-1.0, 1.0),
+                    rng.range_f32(-1.0, 1.0),
+                    rng.range_f32(0.5, 5.0),
+                ),
+                rng.range_f32(0.02, 0.2),
+                Vec3::new(rng.next_f32(), rng.next_f32(), rng.next_f32()),
+                rng.range_f32(0.005, 0.9),
+            ));
+        }
+        let mut skip = IdSet::with_capacity(cloud.len());
+        for id in (0..cloud.len()).step_by(7) {
+            skip.insert(id);
+        }
+        let cam = PinholeCamera::from_fov(64, 48, 1.2);
+        let options = RenderOptions {
+            skip: Some(Arc::new(skip)),
+            record_contributions: true,
+            collect_tile_work: true,
+            parallelism: Parallelism::serial(),
+        };
+        let got = render(&cloud, &cam, &Se3::IDENTITY, &options);
+        assert!(got.stats.interior_pairs > 0, "frame-filling splats must take the fast path");
+        let expect = reference_pixel_major(&cloud, &cam, &options);
+        assert_eq!(expect.color.pixels(), got.color.pixels());
+        assert_eq!(expect.depth.pixels(), got.depth.pixels());
+        assert_eq!(expect.silhouette.pixels(), got.silhouette.pixels());
+        assert_eq!(expect.stats.alpha_evals, got.stats.alpha_evals);
+        assert_eq!(expect.stats.blend_ops, got.stats.blend_ops);
+        assert_eq!(expect.stats.skipped_pairs, got.stats.skipped_pairs);
+        assert_eq!(expect.stats.early_terminated_pixels, got.stats.early_terminated_pixels);
+        for (a, b) in expect.stats.tile_work.iter().zip(&got.stats.tile_work) {
+            assert_eq!(a.per_pixel_evals, b.per_pixel_evals);
+            assert_eq!(a.per_pixel_blends, b.per_pixel_blends);
+        }
+        let (ec, gc) = (expect.contributions.unwrap(), got.contributions.unwrap());
+        assert_eq!(ec.touched, gc.touched);
+        assert_eq!(ec.negligible, gc.negligible);
+    }
+
+    #[test]
+    fn faint_splats_never_take_the_interior_path() {
+        // A frame-filling but nearly transparent splat: its α sits below the
+        // threshold everywhere, so the conservative test must reject it.
+        let mut faint = GaussianCloud::new();
+        faint.push(Gaussian::isotropic(Vec3::new(0.0, 0.0, 2.0), 3.0, Vec3::ONE, 0.003));
+        let out = render(&faint, &camera(), &Se3::IDENTITY, &RenderOptions::default());
+        assert_eq!(out.stats.interior_pairs, 0);
+        // Skipped splats are excluded from the count even when they would
+        // qualify geometrically.
+        let mut opaque = GaussianCloud::new();
+        opaque.push(Gaussian::isotropic(Vec3::new(0.0, 0.0, 2.0), 3.0, Vec3::ONE, 0.9));
+        let covered = render(&opaque, &camera(), &Se3::IDENTITY, &RenderOptions::default());
+        assert!(covered.stats.interior_pairs > 0);
+        let mut skip = IdSet::with_capacity(1);
+        skip.insert(0);
+        let options = RenderOptions { skip: Some(Arc::new(skip)), ..Default::default() };
+        let skipped = render(&opaque, &camera(), &Se3::IDENTITY, &options);
+        assert_eq!(skipped.stats.interior_pairs, 0);
     }
 
     #[test]
@@ -705,7 +913,7 @@ mod tests {
         }
         let cam = PinholeCamera::from_fov(64, 48, 1.2);
         let base = RenderOptions {
-            skip: Some(skip),
+            skip: Some(Arc::new(skip)),
             record_contributions: true,
             collect_tile_work: true,
             parallelism: Parallelism::serial(),
@@ -726,6 +934,7 @@ mod tests {
                 parallel.stats.early_terminated_pixels
             );
             assert_eq!(serial.stats.saturated_rows, parallel.stats.saturated_rows);
+            assert_eq!(serial.stats.interior_pairs, parallel.stats.interior_pairs);
             assert_eq!(serial.stats.tile_work.len(), parallel.stats.tile_work.len());
             for (a, b) in serial.stats.tile_work.iter().zip(&parallel.stats.tile_work) {
                 assert_eq!(a.tile, b.tile);

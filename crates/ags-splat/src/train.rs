@@ -44,7 +44,7 @@ pub fn mapping_step(
     render_options: &RenderOptions,
 ) -> StepReport {
     let mut options = render_options.clone();
-    options.skip = skip.cloned();
+    options.skip = skip.map(|s| std::sync::Arc::new(s.clone()));
     let projection = project_gaussians(cloud, camera, pose);
     let tables = GaussianTables::build_with(&projection, camera, &options.parallelism);
     let render = rasterize(cloud, &projection, &tables, camera, &options);

@@ -13,7 +13,7 @@ use ags_splat::loss::LossConfig;
 use ags_splat::optim::PoseAdam;
 use ags_splat::render::RenderStats;
 use ags_splat::train::tracking_gradient;
-use ags_splat::GaussianCloud;
+use ags_splat::{CloudSnapshot, GaussianCloud};
 
 /// Configuration of the 3DGS pose refiner.
 #[derive(Debug, Clone, PartialEq)]
@@ -101,6 +101,21 @@ impl GsPoseRefiner {
             gt_depth,
             self.config.iterations,
         )
+    }
+
+    /// Refines against an epoch-tagged [`CloudSnapshot`] of the map — the
+    /// form the Track ‖ Map pipeline hands tracking, which must never read
+    /// the live (concurrently mutated) cloud. The refinement itself is
+    /// identical to [`refine`](Self::refine) on the snapshotted cloud.
+    pub fn refine_snapshot(
+        &self,
+        map: &CloudSnapshot,
+        camera: &PinholeCamera,
+        initial_pose: Se3,
+        gt_rgb: &RgbImage,
+        gt_depth: &DepthImage,
+    ) -> RefineResult {
+        self.refine(map.cloud(), camera, initial_pose, gt_rgb, gt_depth)
     }
 
     /// Runs up to `iterations` pose-only training iterations (used by the
@@ -223,6 +238,24 @@ mod tests {
         assert!(result.final_loss <= result.initial_loss);
         assert!(result.workload.iterations > 0);
         assert!(result.workload.render.alpha_evals > 0);
+    }
+
+    #[test]
+    fn snapshot_refinement_matches_direct_cloud_refinement() {
+        use ags_splat::SharedCloud;
+        let cloud = wall_cloud();
+        let cam = camera();
+        let gt = render(&cloud, &cam, &Se3::IDENTITY, &RenderOptions::default());
+        let off = Se3::from_translation(Vec3::new(0.02, -0.01, 0.0));
+        let refiner = GsPoseRefiner::new(RefineConfig { iterations: 6, ..Default::default() });
+        let direct = refiner.refine(&cloud, &cam, off, &gt.color, &gt.depth);
+        let mut shared = SharedCloud::new();
+        shared.make_mut().extend(cloud.gaussians().iter().copied());
+        let snap = shared.publish();
+        let via_snapshot = refiner.refine_snapshot(&snap, &cam, off, &gt.color, &gt.depth);
+        assert_eq!(direct.pose, via_snapshot.pose);
+        assert_eq!(direct.final_loss, via_snapshot.final_loss);
+        assert_eq!(direct.workload.iterations, via_snapshot.workload.iterations);
     }
 
     #[test]

@@ -136,7 +136,7 @@ fn render_invariants() {
             &cloud,
             &camera,
             &Se3::IDENTITY,
-            &RenderOptions { skip: Some(skip), ..Default::default() },
+            &RenderOptions { skip: Some(std::sync::Arc::new(skip)), ..Default::default() },
         );
         assert!(partial.stats.alpha_evals <= full.stats.alpha_evals, "seed {seed}");
     }
