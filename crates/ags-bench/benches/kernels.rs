@@ -76,16 +76,39 @@ fn bench_motion_estimation(search: SearchKind, parallel: Parallelism) -> MeResul
     );
     let blocks = (expect.field.mb_cols * expect.field.mb_rows) as f64;
 
+    // Interleaved min-of-N with alternating leg order: the minimum is the
+    // least noise-sensitive statistic for a fixed workload, interleaving
+    // decorrelates slow drift from the serial/parallel comparison, and
+    // alternating which estimator is timed first removes ordering bias
+    // (cache warmth, frequency ramps). With the small-work serial fallback,
+    // a host whose pool would be starved runs both knobs through the
+    // identical inline path — the ratio then measures noise only and must
+    // sit at ~1.0.
     let (samples, iters) = match search {
-        SearchKind::Diamond => (5, 20),
-        SearchKind::FullSearch => (3, 2),
+        SearchKind::Diamond => (10, 20),
+        SearchKind::FullSearch => (6, 2),
     };
-    let t_serial = time_it(samples, iters, || {
-        black_box(serial_est.estimate(black_box(&current), black_box(&reference)));
-    });
-    let t_parallel = time_it(samples, iters, || {
-        black_box(parallel_est.estimate(black_box(&current), black_box(&reference)));
-    });
+    black_box(serial_est.estimate(&current, &reference)); // warm-up
+    let mut serial_times = Vec::with_capacity(samples);
+    let mut parallel_times = Vec::with_capacity(samples);
+    let time_leg = |est: &MotionEstimator| {
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(est.estimate(black_box(&current), black_box(&reference)));
+        }
+        start.elapsed().as_secs_f64() / iters as f64
+    };
+    for sample in 0..samples {
+        if sample % 2 == 0 {
+            serial_times.push(time_leg(&serial_est));
+            parallel_times.push(time_leg(&parallel_est));
+        } else {
+            parallel_times.push(time_leg(&parallel_est));
+            serial_times.push(time_leg(&serial_est));
+        }
+    }
+    let min = |times: &[f64]| times.iter().copied().fold(f64::INFINITY, f64::min);
+    let (t_serial, t_parallel) = (min(&serial_times), min(&parallel_times));
     MeResult {
         serial_blocks_per_s: blocks / t_serial,
         parallel_blocks_per_s: blocks / t_parallel,
@@ -109,9 +132,11 @@ struct BatchedMeResult {
 /// Sized at SLAM frame scale (the resolution the mapping-FC stage actually
 /// pushes per frame), where per-call setup and scheduling are a real
 /// fraction of a pair's search work — the cost the batch amortises 8×.
-/// Runs on a dedicated worker pool so the submission/join path is exercised
-/// also on hosts where the auto knob would fall back to the pure serial
-/// path. Interleaved min-of-N timing.
+/// With the small-work serial fallback this window is below the
+/// `min_items_per_worker` floor for the two planned executors, so both
+/// schedules run inline: the entry now tracks the *per-call overhead* the
+/// batch amortises (and would regress if a change started paying the pool
+/// on small work again). Interleaved min-of-N timing.
 fn bench_batched_me(parallel: &Parallelism) -> BatchedMeResult {
     let (w, h, pairs) = (128usize, 96usize, 8usize);
     let current = LumaPlane::from_fn(w, h, |x, y| (((x * 13 + y * 7) ^ (x * y / 5)) % 251) as u8);
@@ -142,22 +167,34 @@ fn bench_batched_me(parallel: &Parallelism) -> BatchedMeResult {
     assert_eq!(expect, looped, "pooled per-pair ME must match serial");
     assert_eq!(expect, batched, "batched ME must match the per-pair loop");
 
-    let (samples, iters) = (9usize, 16usize);
+    let (samples, iters) = (10usize, 16usize);
     let mut looped_times = Vec::with_capacity(samples);
     let mut batched_times = Vec::with_capacity(samples);
-    for _ in 0..samples {
+    let time_looped = || {
         let start = Instant::now();
         for _ in 0..iters {
             for r in &refs {
                 black_box(est.estimate(black_box(&current), black_box(r)));
             }
         }
-        looped_times.push(start.elapsed().as_secs_f64() / iters as f64);
+        start.elapsed().as_secs_f64() / iters as f64
+    };
+    let time_batched = || {
         let start = Instant::now();
         for _ in 0..iters {
             black_box(est.estimate_batch(black_box(&current), black_box(&refs)));
         }
-        batched_times.push(start.elapsed().as_secs_f64() / iters as f64);
+        start.elapsed().as_secs_f64() / iters as f64
+    };
+    // Alternate which schedule is timed first (see bench_motion_estimation).
+    for sample in 0..samples {
+        if sample % 2 == 0 {
+            looped_times.push(time_looped());
+            batched_times.push(time_batched());
+        } else {
+            batched_times.push(time_batched());
+            looped_times.push(time_looped());
+        }
     }
     let min = |times: &[f64]| times.iter().copied().fold(f64::INFINITY, f64::min);
     let (t_looped, t_batched) = (min(&looped_times), min(&batched_times));
@@ -486,6 +523,107 @@ fn bench_map_heavy_overlap() -> MapHeavyResult {
     }
 }
 
+struct MultiStreamScale {
+    streams: usize,
+    aggregate_fps: f64,
+    stall_ms_per_frame: f64,
+}
+
+struct MultiStreamResult {
+    frames: usize,
+    width: usize,
+    height: usize,
+    pool_workers: usize,
+    scales: Vec<MultiStreamScale>,
+    s2_scaling_vs_s1: f64,
+}
+
+/// The multi-stream server: S identical `MapOverlapped` streams (three
+/// threads each) over **one** stream-tagged worker pool, driven round-robin
+/// as a capture mux would. `aggregate_frames_per_s` is total frames
+/// completed across streams per wall second; per-stream results are
+/// asserted bit-identical to the solo serial reference before any timing
+/// is trusted. On multi-core hosts S=2 should land well above S=1 (each
+/// stream's stage threads fill the other's idle cycles); on a single core
+/// the streams time-share and the aggregate stays at parity — the entry
+/// then tracks scheduling overhead and the per-stream stall profile.
+fn bench_multi_stream() -> MultiStreamResult {
+    use ags_core::{MultiStreamServer, ServerConfig};
+    let (frames, width, height) = (6usize, 96usize, 72usize);
+    let dconfig = DatasetConfig { width, height, num_frames: frames, ..DatasetConfig::tiny() };
+    let data = Dataset::generate(SceneId::S2, &dconfig);
+    let shared: Vec<_> =
+        data.frames.iter().map(|f| (Arc::new(f.rgb.clone()), Arc::new(f.depth.clone()))).collect();
+    let mut base = e2e_config();
+    base.parallelism = Parallelism::default();
+    base.pipeline = PipelineConfig::map_overlapped(1, 1);
+
+    let server_config = |streams: usize| ServerConfig::uniform(streams, base.clone());
+    let run_server = |streams: usize| -> (f64, MultiStreamServer) {
+        let mut server = MultiStreamServer::new(server_config(streams));
+        let start = Instant::now();
+        for (rgb, depth) in &shared {
+            for s in 0..streams {
+                black_box(
+                    server
+                        .push_frame(s, &data.camera, Arc::clone(rgb), Arc::clone(depth))
+                        .expect("healthy stream"),
+                );
+            }
+        }
+        black_box(server.finish_all());
+        (start.elapsed().as_secs_f64(), server)
+    };
+
+    // Determinism before timing: every stream of a two-stream server must be
+    // bit-identical to the stream run alone serially (deferred-map
+    // reference).
+    let reference_trace = {
+        let mut c = base.clone();
+        c.parallelism = Parallelism::serial();
+        let mut slam = AgsSlam::new(c);
+        for frame in &data.frames {
+            black_box(slam.process_frame(&data.camera, &frame.rgb, &frame.depth));
+        }
+        slam.into_trace()
+    };
+    let (_, check) = run_server(2);
+    for s in 0..2 {
+        assert_eq!(
+            reference_trace.canonical_bytes(),
+            check.stream(s).unwrap().trace().canonical_bytes(),
+            "stream {s} on the shared pool must match its solo serial reference"
+        );
+    }
+    let pool_workers = check.pool().workers();
+    drop(check);
+
+    let samples = 3usize;
+    let mut scales = Vec::new();
+    for &streams in &[1usize, 2, 4] {
+        // Keep the stall profile paired with the run whose wall time is
+        // reported, so the entry never mixes best-case throughput with
+        // another run's stall behaviour.
+        let mut best_t = f64::INFINITY;
+        let mut best_stall = 0.0;
+        for _ in 0..samples {
+            let (t, server) = run_server(streams);
+            if t < best_t {
+                best_t = t;
+                best_stall = server.stats().total.stall_s;
+            }
+        }
+        let total_frames = (streams * frames) as f64;
+        scales.push(MultiStreamScale {
+            streams,
+            aggregate_fps: total_frames / best_t,
+            stall_ms_per_frame: best_stall / total_frames * 1e3,
+        });
+    }
+    let s2_scaling_vs_s1 = scales[1].aggregate_fps / scales[0].aggregate_fps;
+    MultiStreamResult { frames, width, height, pool_workers, scales, s2_scaling_vs_s1 }
+}
+
 fn bench_gpe_sim() -> f64 {
     let sim = GpeArraySim::new(GpeArrayConfig::default());
     let evals: Vec<u16> = (0..256).map(|i| 10 + (i % 37) as u16).collect();
@@ -554,6 +692,24 @@ fn main() {
         heavy.width, heavy.height, heavy.overlapped_fps, heavy.map_overlapped_fps, heavy.speedup,
         heavy.stall_ms_per_frame
     );
+    let multi = bench_multi_stream();
+    println!(
+        "multi-stream server            {}x{}:  S=1 {:>7.2} fps  S=2 {:>7.2} fps  S=4 {:>7.2} fps  aggregate (S=2 scaling {:.2}x, {} pool workers)",
+        multi.width,
+        multi.height,
+        multi.scales[0].aggregate_fps,
+        multi.scales[1].aggregate_fps,
+        multi.scales[2].aggregate_fps,
+        multi.s2_scaling_vs_s1,
+        multi.pool_workers
+    );
+    let stall_line = multi
+        .scales
+        .iter()
+        .map(|s| format!("S={} {:.2} ms", s.streams, s.stall_ms_per_frame))
+        .collect::<Vec<_>>()
+        .join(" | ");
+    println!("  per-frame stall: {stall_line}");
 
     let json = format!(
         r#"{{
@@ -630,6 +786,19 @@ fn main() {
       "map_overlap_speedup": {:.3},
       "track_stall_ms_per_frame": {:.3}
     }}
+  }},
+  "multi_stream": {{
+    "frame": [{}, {}],
+    "frames_per_stream": {},
+    "pool_workers": {},
+    "pipeline": "map_overlapped(1, 1)",
+    "s1_aggregate_frames_per_s": {:.3},
+    "s1_stall_ms_per_frame": {:.3},
+    "s2_aggregate_frames_per_s": {:.3},
+    "s2_stall_ms_per_frame": {:.3},
+    "s4_aggregate_frames_per_s": {:.3},
+    "s4_stall_ms_per_frame": {:.3},
+    "s2_scaling_vs_s1": {:.3}
   }}
 }}
 "#,
@@ -677,6 +846,17 @@ fn main() {
         heavy.map_overlapped_fps,
         heavy.speedup,
         heavy.stall_ms_per_frame,
+        multi.width,
+        multi.height,
+        multi.frames,
+        multi.pool_workers,
+        multi.scales[0].aggregate_fps,
+        multi.scales[0].stall_ms_per_frame,
+        multi.scales[1].aggregate_fps,
+        multi.scales[1].stall_ms_per_frame,
+        multi.scales[2].aggregate_fps,
+        multi.scales[2].stall_ms_per_frame,
+        multi.s2_scaling_vs_s1,
     );
     let path = out_path();
     match std::fs::write(&path, &json) {

@@ -16,6 +16,8 @@
 //! * `batched_pairs_per_s` (the one-submission keyframe-window ME path)
 //! * `map_overlapped_frames_per_s` (the Track ‖ Map axis on the map-heavy
 //!   configuration)
+//! * `s2_aggregate_frames_per_s` (the two-stream `MultiStreamServer`
+//!   aggregate on the shared worker pool)
 //!
 //! Improvements and new metrics never fail the gate; a metric missing from
 //! the *current* file does (the bench must keep emitting what the gate
@@ -33,12 +35,13 @@ use std::process::ExitCode;
 /// The gated metrics: end-to-end frames/s and batched-ME pairs/s (higher is
 /// better). Note `overlapped_frames_per_s` resolves to its **first**
 /// occurrence — the main `end_to_end` entry, not `map_heavy`'s nested copy.
-const GATED_KEYS: [&str; 5] = [
+const GATED_KEYS: [&str; 6] = [
     "serial_frames_per_s",
     "parallel_frames_per_s",
     "overlapped_frames_per_s",
     "batched_pairs_per_s",
     "map_overlapped_frames_per_s",
+    "s2_aggregate_frames_per_s",
 ];
 
 /// Extracts the first `"key": <number>` value from a JSON document.
@@ -123,7 +126,9 @@ mod tests {
                  "parallel_frames_per_s": {parallel},
                  "overlapped_frames_per_s": {overlapped},
                  "map_heavy": {{ "overlapped_frames_per_s": 1.0,
-                 "map_overlapped_frames_per_s": 50.0 }} }} }}"#
+                 "map_overlapped_frames_per_s": 50.0 }} }},
+                 "multi_stream": {{ "s1_aggregate_frames_per_s": 10.0,
+                 "s2_aggregate_frames_per_s": 20.0 }} }}"#
         )
     }
 
@@ -147,6 +152,19 @@ mod tests {
         );
         let err = run(&baseline, &current, 0.25).unwrap_err();
         assert!(err.contains("map_overlapped_frames_per_s"), "{err}");
+    }
+
+    #[test]
+    fn gates_multi_stream_aggregate_regressions() {
+        // Only the S=2 aggregate is gated; the S=1 sibling key must not
+        // shadow it in the scanner.
+        let json = doc(1.0, 1.0, 1.0);
+        assert_eq!(extract_metric(&json, "s2_aggregate_frames_per_s"), Some(20.0));
+        let baseline = doc(10.0, 10.0, 10.0);
+        let current = doc(10.0, 10.0, 10.0)
+            .replace("\"s2_aggregate_frames_per_s\": 20.0", "\"s2_aggregate_frames_per_s\": 5.0");
+        let err = run(&baseline, &current, 0.25).unwrap_err();
+        assert!(err.contains("s2_aggregate_frames_per_s"), "{err}");
     }
 
     #[test]

@@ -193,9 +193,23 @@ impl MotionEstimator {
         // searches are independent, so the order never changes results.
         let jobs = pairs * mb_rows;
 
-        // Below ~512 MBs of total work (tiny SLAM frames) scheduling cost
-        // dominates the search work; auto mode drops to the serial path.
-        let par = self.config.parallelism.for_workload(pairs * mb_cols * mb_rows, 512);
+        // The serial-fallback workload estimate counts SAD evaluations, not
+        // macro-blocks: a full-search MB probes the whole (2r+1)² window
+        // while a diamond MB visits ~20 candidates, so equally sized frames
+        // differ by ~50× in work. Submissions too small to feed every pool
+        // executor `min_items_per_worker` evaluations (and, in auto mode,
+        // anything under ~512 diamond MBs) run inline — bit-identical, and
+        // no queue round-trip on tiny SLAM frames.
+        const DIAMOND_EVALS_PER_MB: usize = 20;
+        let evals_per_mb = match self.config.search {
+            SearchKind::FullSearch => {
+                let side = (2 * self.config.search_range + 1).max(1) as usize;
+                side * side
+            }
+            SearchKind::Diamond => DIAMOND_EVALS_PER_MB,
+        };
+        let work = pairs * mb_cols * mb_rows * evals_per_mb;
+        let par = self.config.parallelism.for_workload(work, 512 * DIAMOND_EVALS_PER_MB);
         let chunks = par_map_ranges(&par, jobs, 1, |job_range| {
             let mut entries = Vec::with_capacity(job_range.len() * mb_cols);
             let mut row_evals = Vec::with_capacity(job_range.len());
@@ -501,9 +515,11 @@ mod tests {
             })
             .estimate(&current, &reference);
             for threads in [2, 4, 7] {
+                // min_items(0): this frame is below the small-work floor;
+                // the test must still exercise the executor path.
                 let parallel = MotionEstimator::new(CodecConfig {
                     search,
-                    parallelism: Parallelism::with_threads(threads),
+                    parallelism: Parallelism::with_threads(threads).min_items(0),
                     ..CodecConfig::default()
                 })
                 .estimate(&current, &reference);

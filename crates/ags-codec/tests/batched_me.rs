@@ -33,7 +33,8 @@ fn batched_equals_looped_equals_serial_at_every_thread_count() {
         let expect: Vec<MotionResult> = refs.iter().map(|r| serial.estimate(&current, r)).collect();
         assert_eq!(expect, serial.estimate_batch(&current, &refs), "{search:?} serial batch");
         for threads in [1usize, 2, 8] {
-            let est = estimator(search, Parallelism::with_threads(threads));
+            // min_items(0): force the executor path on this tiny window.
+            let est = estimator(search, Parallelism::with_threads(threads).min_items(0));
             let looped: Vec<MotionResult> =
                 refs.iter().map(|r| est.estimate(&current, r)).collect();
             let batched = est.estimate_batch(&current, &refs);
@@ -51,7 +52,7 @@ fn batched_is_identical_on_dedicated_pools_of_any_size() {
         estimator(SearchKind::Diamond, Parallelism::serial()).estimate_batch(&current, &refs);
     for workers in [0usize, 1, 3] {
         let pool = Arc::new(WorkerPool::new(workers));
-        let par = Parallelism::with_threads(4).on_pool(pool);
+        let par = Parallelism::with_threads(4).min_items(0).on_pool(pool);
         let est = estimator(SearchKind::Diamond, par);
         // Several submissions through the same persistent pool.
         for round in 0..3 {
@@ -78,7 +79,12 @@ fn concurrent_stage_submissions_stay_deterministic() {
         let (fc_current, fc_refs) = (&current, &references);
         let expect_batch = &expect_batch;
         s.spawn(move || {
-            let est = estimator(SearchKind::Diamond, Parallelism::with_threads(4).on_pool(fc_pool));
+            // Tagged + min_items(0): exercise the fairness lanes under
+            // contention on a window the fallback would otherwise inline.
+            let est = estimator(
+                SearchKind::Diamond,
+                Parallelism::with_threads(4).min_items(0).on_pool(fc_pool).tagged(0),
+            );
             let refs: Vec<&LumaPlane> = fc_refs.iter().collect();
             for round in 0..10 {
                 assert_eq!(
@@ -92,8 +98,10 @@ fn concurrent_stage_submissions_stay_deterministic() {
         let (slam_current, slam_ref) = (&current, &references[0]);
         let expect_single = &expect_single;
         s.spawn(move || {
-            let est =
-                estimator(SearchKind::Diamond, Parallelism::with_threads(4).on_pool(slam_pool));
+            let est = estimator(
+                SearchKind::Diamond,
+                Parallelism::with_threads(4).min_items(0).on_pool(slam_pool).tagged(1),
+            );
             for round in 0..10 {
                 assert_eq!(
                     *expect_single,

@@ -26,6 +26,32 @@ pub enum PipelineMode {
     MapOverlapped,
 }
 
+/// Optional adaptive `map_slack` policy for
+/// [`PipelineMode::MapOverlapped`] (see [`PipelineConfig::adaptive_slack`]).
+///
+/// Every [`window`](Self::window) frames the driver looks at the rolling
+/// mean of tracking's snapshot-wait time
+/// (`StageTimes::stall_s`, map wait only): above
+/// [`stall_threshold_s`](Self::stall_threshold_s) the effective slack is
+/// bumped by 1, **clamped to [`PipelineConfig::map_slack`]** — slack starts
+/// at `min(1, map_slack)` and only ever grows. Trading staleness for
+/// latency this way is how an oversubscribed host keeps tracking off the
+/// map worker's critical path.
+///
+/// Because the decision input is measured wall time, a mid-range threshold
+/// makes the slack schedule — and therefore the results — depend on machine
+/// timing, unlike every other pipeline mode. The degenerate thresholds are
+/// still fully deterministic: a negative threshold bumps on every window
+/// (fixed schedule), `f64::INFINITY` never bumps; the determinism tests pin
+/// those.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptiveSlackConfig {
+    /// Rolling mean stall per frame (seconds) above which slack bumps by 1.
+    pub stall_threshold_s: f64,
+    /// Frames per bump decision (clamped to at least 1 by the driver).
+    pub window: usize,
+}
+
 /// How the stage graph is driven (see `ags_core::pipelined`).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PipelineConfig {
@@ -41,17 +67,35 @@ pub struct PipelineConfig {
     /// snapshot published by Map(N − `map_slack`). `1` (the default) is the
     /// minimum that lets Track(N+1) run while Map(N) is still in flight;
     /// `0` degenerates to the classic serial read-after-map semantics (no
-    /// overlap, but still two threads). Ignored in the other modes.
+    /// overlap, but still two threads). Ignored in the other modes. Under
+    /// [`PipelineConfig::adaptive_slack`] this is the *cap* the adaptive
+    /// policy may grow slack up to.
     pub map_slack: usize,
+    /// Optional adaptive slack policy (`None` — the default — keeps the
+    /// fixed `map_slack`). Only meaningful in
+    /// [`PipelineMode::MapOverlapped`].
+    pub adaptive_slack: Option<AdaptiveSlackConfig>,
     /// Test-only backpressure knob: stalls every map-stage invocation by
     /// this many milliseconds so stress tests can force the FC worker to
     /// run ahead and block on the bounded channel. Keep `0` in production.
     pub stress_map_stall_ms: u64,
+    /// Test-only backpressure knob: stalls the FC worker by this many
+    /// milliseconds per frame so tests can force the driver to wait on the
+    /// FC result channel (counted in `StageTimes::stall_s`). Never changes
+    /// decisions. Keep `0` in production.
+    pub stress_fc_stall_ms: u64,
 }
 
 impl Default for PipelineConfig {
     fn default() -> Self {
-        Self { mode: PipelineMode::Serial, depth: 1, map_slack: 1, stress_map_stall_ms: 0 }
+        Self {
+            mode: PipelineMode::Serial,
+            depth: 1,
+            map_slack: 1,
+            adaptive_slack: None,
+            stress_map_stall_ms: 0,
+            stress_fc_stall_ms: 0,
+        }
     }
 }
 
@@ -81,6 +125,24 @@ impl PipelineConfig {
         match self.mode {
             PipelineMode::MapOverlapped => self.map_slack.min(8),
             _ => 0,
+        }
+    }
+
+    /// This config with an adaptive slack policy installed (the fixed
+    /// `map_slack` becomes the policy's cap).
+    pub fn adaptive(mut self, policy: AdaptiveSlackConfig) -> Self {
+        self.adaptive_slack = Some(policy);
+        self
+    }
+
+    /// The slack the `MapOverlapped` driver starts at: the full
+    /// [`effective_map_slack`](Self::effective_map_slack) when fixed, or
+    /// `min(1, cap)` when an adaptive policy may still grow it.
+    pub fn initial_map_slack(&self) -> usize {
+        let cap = self.effective_map_slack();
+        match self.adaptive_slack {
+            Some(_) => cap.min(1),
+            None => cap,
         }
     }
 }
@@ -267,6 +329,21 @@ mod tests {
         assert_eq!(PipelineConfig::map_overlapped(1, 2).effective_map_slack(), 2);
         assert_eq!(PipelineConfig::map_overlapped(2, 0).effective_map_slack(), 0);
         assert_eq!(PipelineConfig::map_overlapped(1, 99).effective_map_slack(), 8, "clamped");
+    }
+
+    #[test]
+    fn adaptive_slack_starts_low_and_caps_at_map_slack() {
+        let fixed = PipelineConfig::map_overlapped(1, 3);
+        assert_eq!(fixed.initial_map_slack(), 3, "fixed slack starts at the configured value");
+        let policy = AdaptiveSlackConfig { stall_threshold_s: 0.01, window: 4 };
+        let adaptive = PipelineConfig::map_overlapped(1, 3).adaptive(policy);
+        assert_eq!(adaptive.initial_map_slack(), 1, "adaptive slack starts at 1");
+        assert_eq!(adaptive.effective_map_slack(), 3, "map_slack is the adaptive cap");
+        let zero = PipelineConfig::map_overlapped(1, 0).adaptive(policy);
+        assert_eq!(zero.initial_map_slack(), 0, "a zero cap leaves nothing to adapt");
+        // Outside MapOverlapped the policy is inert.
+        let serial = PipelineConfig { adaptive_slack: Some(policy), ..PipelineConfig::default() };
+        assert_eq!(serial.initial_map_slack(), 0);
     }
 
     #[test]

@@ -28,6 +28,11 @@
 //!   over an epoch-snapshotted copy-on-write map
 //!   ([`config::PipelineMode::MapOverlapped`], bit-identical to the serial
 //!   deferred-map reference under the same `map_slack`).
+//! * [`server::MultiStreamServer`] — `S` concurrent streams, one
+//!   [`PipelinedAgsSlam`] each with a per-stream pipeline policy, all
+//!   sharing a single stream-tagged worker pool with round-robin fairness
+//!   lanes; per-stream results stay bit-identical to running the stream
+//!   alone.
 //!
 //! # Example
 //!
@@ -50,13 +55,15 @@ pub mod contribution;
 pub mod fc;
 pub mod pipeline;
 pub mod pipelined;
+pub mod server;
 pub mod stages;
 pub mod trace;
 
-pub use config::{AgsConfig, PipelineConfig, PipelineMode};
+pub use config::{AdaptiveSlackConfig, AgsConfig, PipelineConfig, PipelineMode};
 pub use contribution::ContributionTracker;
 pub use fc::FcDetector;
 pub use pipeline::{AgsFrameRecord, AgsSlam};
 pub use pipelined::PipelinedAgsSlam;
+pub use server::{MultiStreamServer, ServerConfig, ServerStats, StreamError, StreamPolicy};
 pub use stages::{FcStage, FrameImages, FrameInput, MapStage, TrackStage};
 pub use trace::{StageTimes, TraceFrame, WorkloadTrace};

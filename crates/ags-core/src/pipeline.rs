@@ -138,13 +138,16 @@ impl SlamBody {
     }
 
     /// Runs tracking + mapping for one frame whose FC decision is already
-    /// available, recording the trace entry.
+    /// available, recording the trace entry. `stall_s` is backpressure wait
+    /// the driver already paid for this frame (FC-channel wait in the
+    /// pipelined driver; `0` in the serial one).
     pub(crate) fn advance(
         &mut self,
         camera: &PinholeCamera,
         images: FrameImages<'_>,
         decision: FcDecision,
         fc_s: f64,
+        stall_s: f64,
     ) -> AgsFrameRecord {
         if self.trace.frames.is_empty() {
             self.trace.width = camera.width;
@@ -176,7 +179,7 @@ impl SlamBody {
         }
         let skipped_gaussians = mapped.skipped_gaussians;
         apply_map_output(&mut record, mapped, self.shared.read().len());
-        record.stage_times = StageTimes { fc_s, track_s, map_s, stall_s: 0.0 };
+        record.stage_times = StageTimes { fc_s, track_s, map_s, stall_s };
 
         let trace_frame = record.clone();
         self.trace.frames.push(trace_frame);
@@ -233,7 +236,7 @@ impl AgsSlam {
         let fc_start = Instant::now();
         let decision = self.fc.process(rgb);
         let fc_s = fc_start.elapsed().as_secs_f64();
-        self.body.advance(camera, FrameImages::Borrowed { rgb, depth }, decision, fc_s)
+        self.body.advance(camera, FrameImages::Borrowed { rgb, depth }, decision, fc_s, 0.0)
     }
 }
 

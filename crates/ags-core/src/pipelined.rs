@@ -113,7 +113,16 @@ struct PendingRecord {
 struct MapOverlapBody {
     config: AgsConfig,
     track: TrackStage,
+    /// Current snapshot staleness. Fixed at
+    /// `PipelineConfig::effective_map_slack` — unless an adaptive policy is
+    /// installed, in which case it starts at `min(1, cap)` and may grow.
     slack: usize,
+    /// Upper bound the adaptive policy may grow [`Self::slack`] to.
+    slack_cap: usize,
+    /// Adaptive slack policy, if any.
+    adaptive: Option<crate::config::AdaptiveSlackConfig>,
+    /// Rolling snapshot-wait samples since the last adaptive decision.
+    stall_window: Vec<f64>,
     /// Newest drained snapshot. The drain loop advances it to **exactly**
     /// the epoch frame `N` must read (`max(0, N − slack)`) — never further,
     /// even when fresher results already sit in the channel.
@@ -140,11 +149,14 @@ impl std::fmt::Debug for MapOverlapBody {
 
 impl MapOverlapBody {
     fn new(config: AgsConfig) -> Self {
-        let slack = config.pipeline.effective_map_slack();
+        let slack = config.pipeline.initial_map_slack();
+        let slack_cap = config.pipeline.effective_map_slack();
+        let adaptive = config.pipeline.adaptive_slack;
         // Bounded result/job channels sized to the maximum in-flight frames
-        // (slack + 1 maps can be outstanding before tracking must wait);
-        // one extra slot keeps the worker off the send() edge.
-        let capacity = slack + 2;
+        // (slack + 1 maps can be outstanding before tracking must wait, and
+        // adaptive slack may grow to its cap); one extra slot keeps the
+        // worker off the send() edge.
+        let capacity = slack_cap + 2;
         let (jobs_tx, jobs_rx) = sync_channel::<MapJob>(capacity);
         let (done_tx, done_rx) = sync_channel::<MapDone>(capacity);
         let worker_config = config.clone();
@@ -173,6 +185,9 @@ impl MapOverlapBody {
         Self {
             track: TrackStage::new(&config),
             slack,
+            slack_cap,
+            adaptive,
+            stall_window: Vec::new(),
             config,
             latest: CloudSnapshot::empty(),
             trajectory: Vec::new(),
@@ -206,6 +221,9 @@ impl MapOverlapBody {
 
     /// Tracks one frame against its contractual snapshot epoch and submits
     /// its mapping job; returns the oldest newly completed record, if any.
+    /// `fc_wait_s` is the time the driver already spent blocked on the FC
+    /// result channel for this frame — it lands in the frame's `stall_s`
+    /// alongside the snapshot wait measured here.
     fn advance(
         &mut self,
         camera: &PinholeCamera,
@@ -213,6 +231,7 @@ impl MapOverlapBody {
         depth: &Arc<DepthImage>,
         decision: FcDecision,
         fc_s: f64,
+        fc_wait_s: f64,
     ) -> Option<AgsFrameRecord> {
         if self.frame_count == 0 {
             self.trace.width = camera.width;
@@ -230,7 +249,9 @@ impl MapOverlapBody {
         while self.latest.epoch() < needed_epoch {
             self.drain_one();
         }
-        let stall_s = wait_start.elapsed().as_secs_f64();
+        let map_wait_s = wait_start.elapsed().as_secs_f64();
+        self.update_adaptive_slack(map_wait_s);
+        let stall_s = fc_wait_s + map_wait_s;
 
         let mut record = begin_trace_frame(frame_index, &decision);
         let track_start = Instant::now();
@@ -256,6 +277,29 @@ impl MapOverlapBody {
             .expect("map stage worker alive");
         self.awaiting.push_back(PendingRecord { record, pose });
         self.completed.pop_front()
+    }
+
+    /// Feeds one frame's snapshot-wait time to the adaptive slack policy:
+    /// every `window` frames, a rolling mean above the threshold bumps the
+    /// slack by 1, clamped to the configured `map_slack` cap. Growing the
+    /// slack only relaxes the drain condition (`needed_epoch` stays
+    /// monotonic in the frame index), so in-flight jobs are unaffected.
+    fn update_adaptive_slack(&mut self, map_wait_s: f64) {
+        let Some(policy) = self.adaptive else {
+            return;
+        };
+        if self.slack >= self.slack_cap {
+            return;
+        }
+        self.stall_window.push(map_wait_s);
+        if self.stall_window.len() < policy.window.max(1) {
+            return;
+        }
+        let mean = self.stall_window.iter().sum::<f64>() / self.stall_window.len() as f64;
+        if mean > policy.stall_threshold_s {
+            self.slack += 1;
+        }
+        self.stall_window.clear();
     }
 
     /// Drains every outstanding mapping result, returning the completed
@@ -296,12 +340,19 @@ impl SlamBackEnd {
         depth: &Arc<DepthImage>,
         decision: FcDecision,
         fc_s: f64,
+        fc_wait_s: f64,
     ) -> Option<AgsFrameRecord> {
         match self {
-            SlamBackEnd::Inline(body) => {
-                Some(body.advance(camera, FrameImages::Shared { rgb, depth }, decision, fc_s))
+            SlamBackEnd::Inline(body) => Some(body.advance(
+                camera,
+                FrameImages::Shared { rgb, depth },
+                decision,
+                fc_s,
+                fc_wait_s,
+            )),
+            SlamBackEnd::MapWorker(body) => {
+                body.advance(camera, rgb, depth, decision, fc_s, fc_wait_s)
             }
-            SlamBackEnd::MapWorker(body) => body.advance(camera, rgb, depth, decision, fc_s),
         }
     }
 
@@ -382,6 +433,7 @@ impl PipelinedAgsSlam {
             PipelineMode::Serial => FcFrontEnd::Inline(FcStage::new(&config)),
             PipelineMode::Overlapped | PipelineMode::MapOverlapped => {
                 let mut fc = FcStage::new(&config);
+                let stress_fc_stall_ms = config.pipeline.stress_fc_stall_ms;
                 // Bounded stage channels: at most `depth` undecoded frames
                 // plus `depth` undelivered decisions in flight, so the FC
                 // worker can run 1–2 frames ahead and no further.
@@ -391,6 +443,13 @@ impl PipelinedAgsSlam {
                     .name("ags-fc-stage".into())
                     .spawn(move || {
                         while let Ok(rgb) = frames_rx.recv() {
+                            if stress_fc_stall_ms > 0 {
+                                // Test-only backpressure: see
+                                // `PipelineConfig::stress_fc_stall_ms`.
+                                std::thread::sleep(std::time::Duration::from_millis(
+                                    stress_fc_stall_ms,
+                                ));
+                            }
                             let start = Instant::now();
                             let decision = fc.process(&rgb);
                             let fc_s = start.elapsed().as_secs_f64();
@@ -461,7 +520,7 @@ impl PipelinedAgsSlam {
                 let start = Instant::now();
                 let decision = fc.process(&rgb);
                 let fc_s = start.elapsed().as_secs_f64();
-                self.back.advance(camera, &rgb, &depth, decision, fc_s)
+                self.back.advance(camera, &rgb, &depth, decision, fc_s, 0.0)
             }
             FcFrontEnd::Worker { frames_tx, .. } => {
                 frames_tx
@@ -511,9 +570,21 @@ impl PipelinedAgsSlam {
         let FcFrontEnd::Worker { results_rx, .. } = &self.front else {
             unreachable!("pending frames only exist in overlapped modes");
         };
-        // FIFO channels: this result belongs to exactly this frame.
+        // FIFO channels: this result belongs to exactly this frame. Time
+        // blocked here is FC-channel backpressure — the FC worker, not the
+        // SLAM stages, is the bottleneck — and counts toward the frame's
+        // `stall_s`.
+        let wait_start = Instant::now();
         let result = results_rx.recv().expect("FC stage worker alive");
-        self.back.advance(&frame.camera, &frame.rgb, &frame.depth, result.decision, result.fc_s)
+        let fc_wait_s = wait_start.elapsed().as_secs_f64();
+        self.back.advance(
+            &frame.camera,
+            &frame.rgb,
+            &frame.depth,
+            result.decision,
+            result.fc_s,
+            fc_wait_s,
+        )
     }
 }
 
@@ -642,6 +713,72 @@ mod tests {
         // so their FC stage spends measurable time on the worker.
         let fc_total = slam.trace().stage_time_totals().fc_s;
         assert!(fc_total > 0.0, "worker-side FC time must flow into the trace");
+    }
+
+    #[test]
+    fn fc_backpressure_counts_toward_stall_time() {
+        // A deliberately slow FC worker makes the driver block on the FC
+        // result channel; that wait must land in stall_s (it used to count
+        // only the map-snapshot wait).
+        let mut config = AgsConfig::tiny();
+        config.pipeline = PipelineConfig::overlapped(1);
+        config.pipeline.stress_fc_stall_ms = 4;
+        let data = tiny_dataset(4);
+        let mut slam = PipelinedAgsSlam::new(config);
+        for frame in &data.frames {
+            slam.push_frame_cloned(&data.camera, &frame.rgb, &frame.depth);
+        }
+        slam.finish();
+        let totals = slam.trace().stage_time_totals();
+        assert!(totals.stall_s > 0.0, "FC-channel wait must show up as stall time");
+    }
+
+    #[test]
+    fn adaptive_slack_is_deterministic_at_degenerate_thresholds() {
+        use crate::config::AdaptiveSlackConfig;
+        // Force refinement on every frame so the snapshot epoch a frame
+        // reads is visible in its refine workload (and the canonical trace).
+        let mut base = AgsConfig::tiny();
+        base.thresh_t = 1.01;
+        let data = tiny_dataset(6);
+        let run_pipeline = |pipeline: PipelineConfig| {
+            let config = AgsConfig { pipeline, ..base.clone() };
+            let mut slam = PipelinedAgsSlam::new(config);
+            for frame in &data.frames {
+                slam.push_frame_cloned(&data.camera, &frame.rgb, &frame.depth);
+            }
+            slam.finish();
+            (slam.trajectory().to_vec(), slam.trace().canonical_bytes())
+        };
+
+        // Never-bump (threshold ∞): identical to the fixed starting slack 1,
+        // even though the cap is 2 — timing cannot leak into results.
+        let never = AdaptiveSlackConfig { stall_threshold_s: f64::INFINITY, window: 2 };
+        assert_eq!(
+            run_pipeline(PipelineConfig::map_overlapped(1, 2).adaptive(never)),
+            run_pipeline(PipelineConfig::map_overlapped(1, 1)),
+            "an infinite threshold must behave exactly like fixed slack 1"
+        );
+
+        // Always-bump (negative threshold): slack grows 1 → 2 after the
+        // first window — a fixed, timing-independent schedule. Two runs are
+        // bit-identical, and the schedule differs from both fixed slacks
+        // (the bump lands mid-stream, after epochs stopped clamping to 0).
+        let always = AdaptiveSlackConfig { stall_threshold_s: -1.0, window: 4 };
+        let adaptive = PipelineConfig::map_overlapped(1, 2).adaptive(always);
+        let first = run_pipeline(adaptive);
+        let second = run_pipeline(adaptive);
+        assert_eq!(first, second, "adaptive runs at a degenerate threshold are reproducible");
+        assert_ne!(
+            first.1,
+            run_pipeline(PipelineConfig::map_overlapped(1, 1)).1,
+            "the mid-stream bump must actually change the staleness schedule"
+        );
+        assert_ne!(
+            first.1,
+            run_pipeline(PipelineConfig::map_overlapped(1, 2)).1,
+            "starting at slack 1 must differ from running at the cap throughout"
+        );
     }
 
     #[test]

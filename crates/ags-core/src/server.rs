@@ -1,0 +1,467 @@
+//! Multi-stream SLAM server: `S × PipelinedAgsSlam` on one shared
+//! [`WorkerPool`].
+//!
+//! The paper's end-game is serving many concurrent capture streams per
+//! host — CODEC-assisted FC detection exists to free CPU budget so more
+//! SLAM instances fit per machine. [`MultiStreamServer`] is that driver:
+//! it owns one [`PipelinedAgsSlam`] per stream, all constructed over a
+//! **single** worker pool (one `Parallelism::with_pool` handle, tagged per
+//! stream), so `S` streams × up to three stage threads each (FC / track /
+//! map) never oversubscribe the machine with competing kernel thread sets.
+//!
+//! Three properties make the shared pool safe and useful:
+//!
+//! * **Isolation** — streams share only the executor. Each stream's
+//!   trajectory, map and trace are bit-identical to running that stream
+//!   alone under the same pipeline mode (the multi-stream determinism
+//!   suite enforces this at several pool sizes and stream mixes): the
+//!   pool's chunk-order merge makes kernel results independent of which
+//!   threads — or whose submissions — share the workers. A panicking
+//!   stream is caught at the server boundary and marked
+//!   [poisoned](MultiStreamServer::is_poisoned); the pool and the other
+//!   streams keep running.
+//! * **Fairness** — every stream's kernel submissions carry its stream tag
+//!   ([`ags_math::Parallelism::tagged`]), and the pool queue serves tags
+//!   round-robin, so one stream's mapping burst cannot starve another
+//!   stream's batch (see `ags_math::parallel`).
+//! * **Policy** — [`StreamPolicy`] picks the pipeline mode per stream
+//!   (`Serial` / `Overlapped` / `MapOverlapped` + `map_slack`, optionally
+//!   adaptive): a latency-critical stream can run serially while
+//!   throughput streams overlap their stages, on the same pool.
+//!
+//! [`MultiStreamServer::stats`] aggregates per-stream [`StageTimes`]
+//! (sums and per-stage maxima, including the backpressure `stall_s`) so a
+//! deployment can see *where* shared-pool contention lands.
+
+use crate::config::{AgsConfig, PipelineConfig};
+use crate::pipeline::AgsFrameRecord;
+use crate::pipelined::PipelinedAgsSlam;
+use crate::trace::StageTimes;
+use ags_image::{DepthImage, RgbImage};
+use ags_math::{Parallelism, WorkerPool};
+use ags_scene::PinholeCamera;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+/// Per-stream execution policy.
+///
+/// Today this is the stage-graph configuration (pipeline mode, FC lookahead
+/// depth, map slack and the optional adaptive-slack policy); the struct
+/// exists so per-stream knobs can grow without touching [`ServerConfig`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct StreamPolicy {
+    /// Stage-graph execution of this stream.
+    pub pipeline: PipelineConfig,
+}
+
+impl StreamPolicy {
+    /// All stages inline on the pushing thread (lowest latency).
+    pub fn serial() -> Self {
+        Self { pipeline: PipelineConfig::default() }
+    }
+
+    /// FC on a worker thread with the given lookahead depth.
+    pub fn overlapped(depth: usize) -> Self {
+        Self { pipeline: PipelineConfig::overlapped(depth) }
+    }
+
+    /// FC and mapping on worker threads (three threads per stream).
+    pub fn map_overlapped(depth: usize, map_slack: usize) -> Self {
+        Self { pipeline: PipelineConfig::map_overlapped(depth, map_slack) }
+    }
+}
+
+/// Configuration of a [`MultiStreamServer`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Number of concurrent streams (`S`).
+    pub streams: usize,
+    /// Base AGS configuration every stream starts from. Its `pipeline`
+    /// field is the default policy for streams without an explicit entry in
+    /// [`per_stream`](Self::per_stream); its `parallelism` policy (thread
+    /// budget, fallback threshold) applies to every stream — the server
+    /// re-targets it at the shared pool and tags it per stream.
+    pub base: AgsConfig,
+    /// Per-stream policy overrides: entry `i` applies to stream `i`.
+    /// Streams beyond the vector's length use the base pipeline config.
+    pub per_stream: Vec<StreamPolicy>,
+    /// Worker threads of the shared pool. `None` sizes it for the machine
+    /// (cores − 1, so pool workers + one driving thread match the core
+    /// count).
+    pub pool_workers: Option<usize>,
+}
+
+impl ServerConfig {
+    /// `streams` identical streams over `base` (the base pipeline config is
+    /// every stream's policy).
+    pub fn uniform(streams: usize, base: AgsConfig) -> Self {
+        Self { streams, base, per_stream: Vec::new(), pool_workers: None }
+    }
+
+    /// The policy of stream `s`.
+    fn policy(&self, s: usize) -> StreamPolicy {
+        self.per_stream.get(s).copied().unwrap_or(StreamPolicy { pipeline: self.base.pipeline })
+    }
+}
+
+/// Why a stream operation was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamError {
+    /// The stream index is outside `0..streams`.
+    UnknownStream(usize),
+    /// The stream panicked earlier (bad input, poisoned stage) and was
+    /// isolated; the other streams and the shared pool are unaffected.
+    Poisoned(usize),
+}
+
+impl std::fmt::Display for StreamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StreamError::UnknownStream(s) => write!(f, "unknown stream {s}"),
+            StreamError::Poisoned(s) => write!(f, "stream {s} is poisoned"),
+        }
+    }
+}
+
+impl std::error::Error for StreamError {}
+
+/// One stream slot: its pipelined SLAM instance plus server-side health and
+/// progress bookkeeping.
+#[derive(Debug)]
+struct StreamSlot {
+    slam: PipelinedAgsSlam,
+    poisoned: bool,
+    pushed: usize,
+    completed: usize,
+}
+
+/// Per-stream slice of [`ServerStats`].
+#[derive(Debug, Clone, Copy)]
+pub struct StreamStats {
+    /// Frames pushed into the stream so far.
+    pub pushed: usize,
+    /// Frames whose records have been returned so far.
+    pub completed: usize,
+    /// Summed stage wall-times of the stream's completed frames.
+    pub stage_totals: StageTimes,
+    /// Whether the stream has been isolated after a panic.
+    pub poisoned: bool,
+}
+
+/// Aggregated execution statistics across all streams.
+#[derive(Debug, Clone)]
+pub struct ServerStats {
+    /// One entry per stream, in stream order.
+    pub per_stream: Vec<StreamStats>,
+    /// Field-wise **sum** of the per-stream stage totals: the machine-wide
+    /// wall time spent per stage (and, via `stall_s`, blocked on
+    /// backpressure).
+    pub total: StageTimes,
+    /// Field-wise **max** of the per-stream stage totals: the worst-off
+    /// stream per stage — where shared-pool contention lands hardest.
+    pub max: StageTimes,
+}
+
+impl ServerStats {
+    /// Total completed frames across all streams.
+    pub fn completed_frames(&self) -> usize {
+        self.per_stream.iter().map(|s| s.completed).sum()
+    }
+}
+
+/// `S` independent SLAM streams over one shared worker pool.
+///
+/// Streams are driven by the caller: [`push_frame`](Self::push_frame) feeds
+/// stream `s` (any interleaving across streams is fine; frames within a
+/// stream are ordered), [`finish_stream`](Self::finish_stream) /
+/// [`finish_all`](Self::finish_all) drain the per-stream pipelines. The
+/// concurrency comes from each stream's stage threads — up to `S × 3`
+/// threads — whose kernel submissions all flow through the one pool.
+#[derive(Debug)]
+pub struct MultiStreamServer {
+    pool: Arc<WorkerPool>,
+    streams: Vec<StreamSlot>,
+}
+
+impl MultiStreamServer {
+    /// Builds the server: spawns the shared pool and one
+    /// [`PipelinedAgsSlam`] per stream, each with the pool handle and its
+    /// stream tag installed into every stage's `Parallelism` knob.
+    pub fn new(config: ServerConfig) -> Self {
+        let workers = config
+            .pool_workers
+            .unwrap_or_else(|| ags_math::parallel::machine_parallelism().saturating_sub(1));
+        let pool = Arc::new(WorkerPool::new(workers));
+        let streams = (0..config.streams)
+            .map(|s| {
+                let mut cfg = config.base.clone();
+                cfg.pipeline = config.policy(s).pipeline;
+                let tag = s as u64;
+                // A default codec knob inherits the tagged stream knob —
+                // pool, tag, fallback threshold and all — in `resolve`;
+                // leave it alone so that inheritance applies.
+                let codec_is_default = cfg.codec.parallelism == Parallelism::default()
+                    && cfg.codec.parallelism.pool().is_none()
+                    && cfg.codec.parallelism.stream() == 0;
+                cfg.parallelism = cfg.parallelism.on_pool(Arc::clone(&pool)).tagged(tag);
+                if !codec_is_default && cfg.codec.parallelism.enabled {
+                    // An explicitly configured codec knob would not inherit
+                    // the stream knob in `resolve`; give it the shared pool
+                    // and the tag directly.
+                    cfg.codec.parallelism =
+                        cfg.codec.parallelism.on_pool(Arc::clone(&pool)).tagged(tag);
+                }
+                StreamSlot {
+                    slam: PipelinedAgsSlam::new(cfg),
+                    poisoned: false,
+                    pushed: 0,
+                    completed: 0,
+                }
+            })
+            .collect();
+        Self { pool, streams }
+    }
+
+    /// Number of streams (poisoned ones included).
+    pub fn streams(&self) -> usize {
+        self.streams.len()
+    }
+
+    /// The shared executor all streams submit kernel work to.
+    pub fn pool(&self) -> &Arc<WorkerPool> {
+        &self.pool
+    }
+
+    /// Whether stream `s` has been isolated after a panic.
+    pub fn is_poisoned(&self, stream: usize) -> bool {
+        self.streams.get(stream).is_some_and(|s| s.poisoned)
+    }
+
+    /// Submits the next RGB-D frame of stream `stream`. Semantics per
+    /// stream match [`PipelinedAgsSlam::push_frame`]: serial-mode streams
+    /// return their record immediately, overlapped streams stream records
+    /// once their pipeline has filled.
+    ///
+    /// A panic inside the stream (malformed input, poisoned stage thread)
+    /// is caught here: the stream is marked poisoned and every further
+    /// operation on it returns [`StreamError::Poisoned`], while the other
+    /// streams — and the shared pool, which survives submitter panics by
+    /// design — continue unaffected.
+    pub fn push_frame(
+        &mut self,
+        stream: usize,
+        camera: &PinholeCamera,
+        rgb: Arc<RgbImage>,
+        depth: Arc<DepthImage>,
+    ) -> Result<Option<AgsFrameRecord>, StreamError> {
+        let slot = self.slot(stream)?;
+        slot.pushed += 1;
+        let outcome = catch_unwind(AssertUnwindSafe(|| slot.slam.push_frame(camera, rgb, depth)));
+        match outcome {
+            Ok(record) => {
+                slot.completed += record.is_some() as usize;
+                Ok(record)
+            }
+            Err(_) => {
+                slot.poisoned = true;
+                Err(StreamError::Poisoned(stream))
+            }
+        }
+    }
+
+    /// Drains stream `stream` after its last frame, returning the remaining
+    /// records in stream order.
+    pub fn finish_stream(&mut self, stream: usize) -> Result<Vec<AgsFrameRecord>, StreamError> {
+        let slot = self.slot(stream)?;
+        match catch_unwind(AssertUnwindSafe(|| slot.slam.finish())) {
+            Ok(records) => {
+                slot.completed += records.len();
+                Ok(records)
+            }
+            Err(_) => {
+                slot.poisoned = true;
+                Err(StreamError::Poisoned(stream))
+            }
+        }
+    }
+
+    /// Drains every healthy stream; entry `s` holds stream `s`'s remaining
+    /// records (empty for poisoned streams).
+    pub fn finish_all(&mut self) -> Vec<Vec<AgsFrameRecord>> {
+        (0..self.streams.len()).map(|s| self.finish_stream(s).unwrap_or_default()).collect()
+    }
+
+    /// Read access to stream `s`'s SLAM instance (trajectory, cloud,
+    /// trace). `None` for out-of-range indices; poisoned streams are
+    /// readable (their state is whatever completed before the panic).
+    pub fn stream(&self, stream: usize) -> Option<&PipelinedAgsSlam> {
+        self.streams.get(stream).map(|s| &s.slam)
+    }
+
+    /// Aggregated per-stream stage times: the sum locates machine-wide
+    /// cost, the max locates the most contended stream, and `stall_s`
+    /// (snapshot wait + FC-channel wait) shows how much of either is
+    /// backpressure rather than work.
+    pub fn stats(&self) -> ServerStats {
+        let per_stream: Vec<StreamStats> = self
+            .streams
+            .iter()
+            .map(|slot| StreamStats {
+                pushed: slot.pushed,
+                completed: slot.completed,
+                stage_totals: slot.slam.trace().stage_time_totals(),
+                poisoned: slot.poisoned,
+            })
+            .collect();
+        let mut total = StageTimes::default();
+        let mut max = StageTimes::default();
+        for s in &per_stream {
+            total.merge(&s.stage_totals);
+            max.merge_max(&s.stage_totals);
+        }
+        ServerStats { per_stream, total, max }
+    }
+
+    fn slot(&mut self, stream: usize) -> Result<&mut StreamSlot, StreamError> {
+        let slot = self.streams.get_mut(stream).ok_or(StreamError::UnknownStream(stream))?;
+        if slot.poisoned {
+            return Err(StreamError::Poisoned(stream));
+        }
+        Ok(slot)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ags_scene::dataset::{Dataset, DatasetConfig, SceneId};
+
+    fn tiny_dataset(frames: usize) -> Dataset {
+        let dconfig = DatasetConfig {
+            width: 64,
+            height: 48,
+            num_frames: frames * 4,
+            ..DatasetConfig::tiny()
+        };
+        let mut data = Dataset::generate(SceneId::Xyz, &dconfig);
+        data.truncate(frames);
+        data
+    }
+
+    fn push_all(server: &mut MultiStreamServer, stream: usize, data: &Dataset) {
+        for frame in &data.frames {
+            server
+                .push_frame(
+                    stream,
+                    &data.camera,
+                    Arc::new(frame.rgb.clone()),
+                    Arc::new(frame.depth.clone()),
+                )
+                .expect("healthy stream");
+        }
+    }
+
+    #[test]
+    fn uniform_server_runs_streams_to_completion() {
+        let data = tiny_dataset(4);
+        let config =
+            ServerConfig { pool_workers: Some(1), ..ServerConfig::uniform(2, AgsConfig::tiny()) };
+        let mut server = MultiStreamServer::new(config);
+        assert_eq!(server.streams(), 2);
+        for s in 0..2 {
+            push_all(&mut server, s, &data);
+        }
+        server.finish_all();
+        for s in 0..2 {
+            let slam = server.stream(s).unwrap();
+            assert_eq!(slam.trajectory().len(), 4, "stream {s}");
+            assert!(!slam.cloud().is_empty(), "stream {s}");
+        }
+        let stats = server.stats();
+        assert_eq!(stats.completed_frames(), 8);
+        assert!(stats.total.track_s >= stats.max.track_s);
+    }
+
+    #[test]
+    fn per_stream_policies_apply() {
+        let config = ServerConfig {
+            streams: 3,
+            base: AgsConfig::tiny(),
+            per_stream: vec![
+                StreamPolicy::serial(),
+                StreamPolicy::overlapped(2),
+                StreamPolicy::map_overlapped(1, 2),
+            ],
+            pool_workers: Some(1),
+        };
+        let mut server = MultiStreamServer::new(config);
+        let data = tiny_dataset(3);
+        // Serial stream: synchronous records.
+        for frame in &data.frames {
+            let record = server
+                .push_frame(
+                    0,
+                    &data.camera,
+                    Arc::new(frame.rgb.clone()),
+                    Arc::new(frame.depth.clone()),
+                )
+                .unwrap();
+            assert!(record.is_some(), "serial stream is synchronous");
+        }
+        // Overlapped streams: the pipeline fills first.
+        for s in [1usize, 2] {
+            let first = server
+                .push_frame(
+                    s,
+                    &data.camera,
+                    Arc::new(data.frames[0].rgb.clone()),
+                    Arc::new(data.frames[0].depth.clone()),
+                )
+                .unwrap();
+            assert!(first.is_none(), "stream {s} fills its pipeline first");
+        }
+        server.finish_all();
+        assert_eq!(server.stream(0).unwrap().config().pipeline, PipelineConfig::default());
+        assert_eq!(
+            server.stream(2).unwrap().config().pipeline,
+            PipelineConfig::map_overlapped(1, 2)
+        );
+    }
+
+    #[test]
+    fn unknown_stream_is_rejected() {
+        let data = tiny_dataset(1);
+        let mut server = MultiStreamServer::new(ServerConfig {
+            pool_workers: Some(0),
+            ..ServerConfig::uniform(1, AgsConfig::tiny())
+        });
+        let err = server
+            .push_frame(
+                5,
+                &data.camera,
+                Arc::new(data.frames[0].rgb.clone()),
+                Arc::new(data.frames[0].depth.clone()),
+            )
+            .unwrap_err();
+        assert_eq!(err, StreamError::UnknownStream(5));
+        assert!(server.finish_stream(5).is_err());
+        assert!(server.stream(5).is_none());
+    }
+
+    #[test]
+    fn streams_share_one_pool_handle() {
+        let server = MultiStreamServer::new(ServerConfig {
+            pool_workers: Some(1),
+            ..ServerConfig::uniform(2, AgsConfig::tiny())
+        });
+        for s in 0..2 {
+            let config = server.stream(s).unwrap().config();
+            let stage_pool = config.parallelism.pool().expect("stage pool installed");
+            assert!(Arc::ptr_eq(stage_pool, server.pool()), "stream {s} stage knob");
+            let codec_pool = config.codec.parallelism.pool().expect("codec pool installed");
+            assert!(Arc::ptr_eq(codec_pool, server.pool()), "stream {s} codec knob");
+            assert_eq!(config.parallelism.stream(), s as u64, "stream tag");
+            assert_eq!(config.codec.parallelism.stream(), s as u64, "codec stream tag");
+        }
+    }
+}

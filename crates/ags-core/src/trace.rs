@@ -18,9 +18,13 @@ pub struct StageTimes {
     pub track_s: f64,
     /// Mapping (densify + selective mapping + contribution/audit).
     pub map_s: f64,
-    /// Time the tracking stage spent blocked waiting for its map snapshot
-    /// (Track ‖ Map overlap only; always `0` in the serial drivers). High
-    /// stall times mean mapping — not tracking — is the bottleneck frame.
+    /// Time the driver spent blocked on pipeline backpressure for this
+    /// frame: waiting for the contractual map snapshot (Track ‖ Map
+    /// overlap) **plus** waiting on the FC result channel (both overlapped
+    /// modes). Always `0` in the serial drivers. High stall times mean an
+    /// upstream stage — mapping or FC — is the bottleneck, which is what
+    /// the multi-stream server's stats aggregate to locate shared-pool
+    /// contention.
     pub stall_s: f64,
 }
 
@@ -37,6 +41,15 @@ impl StageTimes {
         self.track_s += other.track_s;
         self.map_s += other.map_s;
         self.stall_s += other.stall_s;
+    }
+
+    /// Keeps the field-wise maximum of `self` and `other` — the per-stage
+    /// worst case across a set of streams.
+    pub fn merge_max(&mut self, other: &StageTimes) {
+        self.fc_s = self.fc_s.max(other.fc_s);
+        self.track_s = self.track_s.max(other.track_s);
+        self.map_s = self.map_s.max(other.map_s);
+        self.stall_s = self.stall_s.max(other.stall_s);
     }
 }
 

@@ -111,7 +111,8 @@ fn batched_window_fc_is_bit_identical_across_drivers_and_thread_counts() {
     };
     for threads in [2usize, 8] {
         let mut c = config.clone();
-        c.parallelism = Parallelism::with_threads(threads);
+        // min_items(0): tiny test frames must still exercise the executor.
+        c.parallelism = Parallelism::with_threads(threads).min_items(0);
         let parallel = run_serial(c, &data);
         assert_eq!(serial_exec.trajectory(), parallel.trajectory(), "{threads} threads");
         assert_eq!(
@@ -208,7 +209,8 @@ fn map_overlapped_matches_deferred_serial_across_workers_depths_and_slack() {
                 c.parallelism = if threads == 1 {
                     Parallelism::serial()
                 } else {
-                    Parallelism::with_threads(threads)
+                    // min_items(0): keep the executor path on tiny frames.
+                    Parallelism::with_threads(threads).min_items(0)
                 };
                 let overlapped = run_map_overlapped(c, &data, depth);
                 assert_matches_reference(

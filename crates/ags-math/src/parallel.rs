@@ -22,6 +22,23 @@
 //! carry an explicit pool handle ([`Parallelism::with_pool`]); without one,
 //! parallel work runs on the lazily created process-wide [`WorkerPool::global`]
 //! pool. `Parallelism::serial()` recovers the exact single-threaded execution.
+//!
+//! Two multi-tenant properties make one pool safely shareable by many SLAM
+//! streams (see `ags_core::server`):
+//!
+//! * **Fairness** — every submission carries a *stream tag*
+//!   ([`Parallelism::tagged`]). The pool queue keeps one FIFO lane per tag
+//!   and hands batches to idle workers **round-robin across lanes**, so one
+//!   stream's burst of submissions can no longer monopolise the workers
+//!   while another stream's batch sits queued. Within a lane batches stay
+//!   FIFO, and all idle workers still pile onto the same batch when only
+//!   one stream is active — single-stream throughput is unchanged.
+//! * **Small-work serial fallback** — [`Parallelism::min_items_per_worker`]
+//!   bounds the scheduling overhead: a submission too small to give every
+//!   planned executor that many work items runs inline on the caller
+//!   instead of paying the queue round-trip (and, on a loaded server,
+//!   instead of interfering with other streams' batches). The fallback is
+//!   bit-identical by construction — it runs the exact serial path.
 
 use std::any::Any;
 use std::cell::UnsafeCell;
@@ -109,10 +126,58 @@ impl Batch {
     }
 }
 
-/// Queue state shared between the pool handle and its workers.
-struct PoolQueue {
+/// One stream's FIFO of submitted batches.
+struct Lane {
+    stream: u64,
     batches: VecDeque<Arc<Batch>>,
+}
+
+/// Queue state shared between the pool handle and its workers: one FIFO
+/// lane per stream tag, scanned round-robin so no stream's submissions can
+/// starve another stream's queued batch.
+struct PoolQueue {
+    lanes: Vec<Lane>,
+    /// Lane index the next scan starts at (round-robin cursor).
+    cursor: usize,
     shutdown: bool,
+}
+
+impl PoolQueue {
+    /// Enqueues a batch on its stream's lane (created on first use).
+    fn push(&mut self, stream: u64, batch: Arc<Batch>) {
+        match self.lanes.iter_mut().find(|l| l.stream == stream) {
+            Some(lane) => lane.batches.push_back(batch),
+            None => self.lanes.push(Lane { stream, batches: VecDeque::from([batch]) }),
+        }
+    }
+
+    /// The next batch a worker should help with: lanes are scanned
+    /// round-robin from the cursor, FIFO within a lane. Fully claimed
+    /// batches are dropped on the way (their remaining chunks are being
+    /// finished by the threads that claimed them). The returned batch stays
+    /// at its lane front, so further idle workers keep piling onto it until
+    /// it is exhausted — the cursor only decides *which stream's* front
+    /// batch the next worker joins.
+    fn take_next(&mut self) -> Option<Arc<Batch>> {
+        let lanes = self.lanes.len();
+        for probe in 0..lanes {
+            let i = (self.cursor + probe) % lanes;
+            let lane = &mut self.lanes[i];
+            while lane.batches.front().is_some_and(|b| b.exhausted()) {
+                lane.batches.pop_front();
+            }
+            if let Some(front) = lane.batches.front() {
+                let batch = Arc::clone(front);
+                self.cursor = (i + 1) % lanes;
+                return Some(batch);
+            }
+        }
+        // Idle: every lane is drained. Drop them so finished stream tags do
+        // not accumulate over a server's lifetime.
+        self.lanes.clear();
+        self.cursor = 0;
+        None
+    }
 }
 
 struct PoolShared {
@@ -144,7 +209,7 @@ impl WorkerPool {
     /// run entirely on the submitting thread (still through the batch path).
     pub fn new(workers: usize) -> Self {
         let shared = Arc::new(PoolShared {
-            queue: Mutex::new(PoolQueue { batches: VecDeque::new(), shutdown: false }),
+            queue: Mutex::new(PoolQueue { lanes: Vec::new(), cursor: 0, shutdown: false }),
             available: Condvar::new(),
         });
         let handles = (0..workers)
@@ -164,10 +229,7 @@ impl WorkerPool {
     /// so total concurrency matches the core count).
     pub fn global() -> &'static Arc<WorkerPool> {
         static GLOBAL: OnceLock<Arc<WorkerPool>> = OnceLock::new();
-        GLOBAL.get_or_init(|| {
-            let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-            Arc::new(WorkerPool::new(cores.saturating_sub(1)))
-        })
+        GLOBAL.get_or_init(|| Arc::new(WorkerPool::new(machine_parallelism().saturating_sub(1))))
     }
 
     /// Number of worker threads (the submitter adds one more executor).
@@ -181,8 +243,18 @@ impl WorkerPool {
     ///
     /// This is the scoped building block the `par_*` helpers use: `f` may
     /// borrow from the caller's stack because the call does not return until
-    /// the batch is fully drained.
+    /// the batch is fully drained. Submissions join stream lane `0`; see
+    /// [`run_scope_stream`](Self::run_scope_stream) for the tagged variant.
     pub fn run_scope(&self, num_chunks: usize, f: &(dyn Fn(usize) + Sync)) {
+        self.run_scope_stream(0, num_chunks, f);
+    }
+
+    /// [`run_scope`](Self::run_scope) with an explicit stream tag: the batch
+    /// joins the tag's FIFO lane, and idle workers pick lanes round-robin —
+    /// the fairness layer multi-stream servers rely on. The tag never
+    /// affects *results* (chunk order is preserved regardless), only which
+    /// queued batch idle workers help first.
+    pub fn run_scope_stream(&self, stream: u64, num_chunks: usize, f: &(dyn Fn(usize) + Sync)) {
         if num_chunks == 0 {
             return;
         }
@@ -206,7 +278,7 @@ impl WorkerPool {
         });
         if num_chunks > 1 && self.workers() > 0 {
             let mut queue = self.shared.queue.lock().unwrap();
-            queue.batches.push_back(Arc::clone(&batch));
+            queue.push(stream, Arc::clone(&batch));
             drop(queue);
             self.shared.available.notify_all();
         }
@@ -247,13 +319,8 @@ fn worker_loop(shared: &PoolShared) {
                 if queue.shutdown {
                     return;
                 }
-                // Drop fully claimed batches; their remaining chunks are
-                // being finished by the threads that claimed them.
-                while queue.batches.front().is_some_and(|b| b.exhausted()) {
-                    queue.batches.pop_front();
-                }
-                if let Some(front) = queue.batches.front() {
-                    break Arc::clone(front);
+                if let Some(batch) = queue.take_next() {
+                    break batch;
                 }
                 queue = shared.available.wait(queue).unwrap();
             }
@@ -274,17 +341,39 @@ unsafe impl<T: Send> Sync for Slot<T> {}
 // Parallelism knob
 // ---------------------------------------------------------------------------
 
+/// The machine's available CPU count, queried once and cached.
+///
+/// `std::thread::available_parallelism` re-reads affinity masks and cgroup
+/// quota files on every call — measurable (a few percent) on millisecond
+/// kernels that consult the knob per submission. The cgroup quota of a
+/// long-running process is effectively static, so one read serves the
+/// process lifetime.
+pub fn machine_parallelism() -> usize {
+    static CORES: OnceLock<usize> = OnceLock::new();
+    *CORES.get_or_init(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
+}
+
+/// Default [`Parallelism::min_items_per_worker`]: roughly the elementary-op
+/// count (one bounded SAD evaluation, one splat-pixel blend) below which a
+/// worker's share of a submission is cheaper than the queue round-trip that
+/// delivers it. Conservative on purpose: on a multi-tenant pool an
+/// under-sized submission not only loses time itself, it also interferes
+/// with other streams' batches.
+pub const DEFAULT_MIN_ITEMS_PER_WORKER: usize = 16_384;
+
 /// Thread-level parallelism knob threaded through the kernel configs.
 ///
 /// Besides the on/off switch and the worker budget this carries an optional
 /// **pool handle**: the executor the kernel submits to. Pipelines install
 /// one shared handle across all their stages (see `AgsConfig::resolve`), so
 /// concurrent stages draw from one set of threads. Without a handle,
-/// parallel work uses [`WorkerPool::global`].
+/// parallel work uses [`WorkerPool::global`]. Multi-stream servers
+/// additionally [`tag`](Self::tagged) each stream's knob so the shared
+/// pool's fairness lanes can tell submitters apart.
 ///
-/// Equality intentionally ignores the pool handle — two configs asking for
-/// the same parallelism *policy* compare equal no matter which executor
-/// serves them.
+/// Equality intentionally ignores the pool handle and the stream tag — two
+/// configs asking for the same parallelism *policy* compare equal no matter
+/// which executor serves them or which fairness lane they join.
 #[derive(Debug, Clone)]
 pub struct Parallelism {
     /// Whether the parallel path may be taken at all.
@@ -293,13 +382,25 @@ pub struct Parallelism {
     /// sizes the chunking; actual concurrency is additionally bounded by the
     /// executing pool's worker count (+ the submitting thread).
     pub threads: usize,
+    /// Small-work serial fallback threshold: a kernel submission whose
+    /// estimated work-item count cannot give every planned executor at
+    /// least this many items runs inline on the caller instead (see
+    /// [`Parallelism::for_workload`]) — bit-identical by construction, it
+    /// is the exact serial path. `0` disables the fallback (tests that must
+    /// exercise the executor on tiny inputs pin it to `0` via
+    /// [`Parallelism::min_items`]).
+    pub min_items_per_worker: usize,
     /// Executor handle; `None` falls back to the global pool.
     pool: Option<Arc<WorkerPool>>,
+    /// Fairness-lane tag attached to every submission.
+    stream: u64,
 }
 
 impl PartialEq for Parallelism {
     fn eq(&self, other: &Self) -> bool {
-        self.enabled == other.enabled && self.threads == other.threads
+        self.enabled == other.enabled
+            && self.threads == other.threads
+            && self.min_items_per_worker == other.min_items_per_worker
     }
 }
 
@@ -307,30 +408,68 @@ impl Eq for Parallelism {}
 
 impl Default for Parallelism {
     fn default() -> Self {
-        Self { enabled: true, threads: 0, pool: None }
+        Self {
+            enabled: true,
+            threads: 0,
+            min_items_per_worker: DEFAULT_MIN_ITEMS_PER_WORKER,
+            pool: None,
+            stream: 0,
+        }
     }
 }
 
 impl Parallelism {
     /// Forces the serial reference path.
     pub const fn serial() -> Self {
-        Self { enabled: false, threads: 1, pool: None }
+        Self {
+            enabled: false,
+            threads: 1,
+            min_items_per_worker: DEFAULT_MIN_ITEMS_PER_WORKER,
+            pool: None,
+            stream: 0,
+        }
     }
 
     /// Parallel execution with an explicit worker budget.
     pub const fn with_threads(threads: usize) -> Self {
-        Self { enabled: true, threads, pool: None }
+        Self {
+            enabled: true,
+            threads,
+            min_items_per_worker: DEFAULT_MIN_ITEMS_PER_WORKER,
+            pool: None,
+            stream: 0,
+        }
     }
 
     /// Parallel execution on an explicit executor.
     pub fn with_pool(pool: Arc<WorkerPool>) -> Self {
-        Self { enabled: true, threads: 0, pool: Some(pool) }
+        Self { pool: Some(pool), ..Self::default() }
     }
 
     /// This knob re-targeted at an explicit executor (policy unchanged).
     pub fn on_pool(mut self, pool: Arc<WorkerPool>) -> Self {
         self.pool = Some(pool);
         self
+    }
+
+    /// This knob with a different small-work fallback threshold (`0`
+    /// disables the fallback entirely).
+    pub fn min_items(mut self, min_items_per_worker: usize) -> Self {
+        self.min_items_per_worker = min_items_per_worker;
+        self
+    }
+
+    /// This knob tagged with a fairness-lane stream id. All submissions
+    /// through the returned knob join lane `stream` of the executing pool's
+    /// queue; lanes are served round-robin. Tags never change results.
+    pub fn tagged(mut self, stream: u64) -> Self {
+        self.stream = stream;
+        self
+    }
+
+    /// The fairness-lane tag submissions carry (default `0`).
+    pub fn stream(&self) -> u64 {
+        self.stream
     }
 
     /// The installed executor handle, if any.
@@ -346,13 +485,26 @@ impl Parallelism {
         }
     }
 
-    /// Resolves the knob for a workload of `work_items`: in auto mode
-    /// (`threads == 0`) workloads below `serial_below` fall back to the
-    /// serial path, because scheduling cost would dominate the work.
-    /// An explicit thread count is always honored — callers (and tests)
-    /// that pin `threads` get the parallel path regardless of size.
+    /// Resolves the knob for a workload of `work_items` (in the call site's
+    /// elementary-op units). Two fallbacks apply, both bit-identical by
+    /// construction (the serial path is the reference the parallel path is
+    /// tested against):
+    ///
+    /// * in auto mode (`threads == 0`) workloads below `serial_below` run
+    ///   serially, because scheduling cost would dominate the work;
+    /// * in any mode, a submission that cannot give every planned executor
+    ///   at least [`min_items_per_worker`](Self::min_items_per_worker)
+    ///   items runs inline — pinned thread counts are honored only above
+    ///   that floor (pin `min_items(0)` to force the executor path on tiny
+    ///   inputs).
     pub fn for_workload(&self, work_items: usize, serial_below: usize) -> Self {
-        if self.enabled && self.threads == 0 && work_items < serial_below {
+        if !self.enabled {
+            return self.clone();
+        }
+        let auto_small = self.threads == 0 && work_items < serial_below;
+        let starves_workers = self.min_items_per_worker > 0
+            && work_items < self.min_items_per_worker.saturating_mul(self.effective_threads());
+        if auto_small || starves_workers {
             Self::serial()
         } else {
             self.clone()
@@ -373,7 +525,7 @@ impl Parallelism {
             // batch, not for the whole machine.
             pool.workers() + 1
         } else {
-            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+            machine_parallelism()
         }
     }
 }
@@ -412,7 +564,7 @@ where
         // after completion.
         unsafe { *slots[i].0.get() = Some(value) };
     };
-    par.executor().run_scope(num_chunks, &run);
+    par.executor().run_scope_stream(par.stream, num_chunks, &run);
     slots
         .into_iter()
         .map(|s| s.0.into_inner().expect("completed batch left an empty chunk slot"))
@@ -475,7 +627,7 @@ where
             f(j, unsafe { &mut *base.at(j) });
         }
     };
-    par.executor().run_scope(num_chunks, &run);
+    par.executor().run_scope_stream(par.stream, num_chunks, &run);
 }
 
 #[cfg(test)]
@@ -490,23 +642,43 @@ mod tests {
     }
 
     #[test]
-    fn for_workload_falls_back_to_serial_only_in_auto_mode() {
-        let auto = Parallelism::default();
+    fn for_workload_auto_mode_falls_back_below_serial_threshold() {
+        let auto = Parallelism::default().min_items(0);
         assert_eq!(auto.for_workload(10, 100), Parallelism::serial());
         assert_eq!(auto.for_workload(100, 100), auto);
-        // Explicit thread counts are always honored.
-        let pinned = Parallelism::with_threads(4);
+        // With the fallback disabled, explicit thread counts are honored at
+        // any workload size.
+        let pinned = Parallelism::with_threads(4).min_items(0);
         assert_eq!(pinned.for_workload(10, 100), pinned);
         // Serial stays serial.
         assert_eq!(Parallelism::serial().for_workload(1000, 100), Parallelism::serial());
     }
 
     #[test]
-    fn equality_ignores_the_pool_handle() {
+    fn for_workload_runs_starved_submissions_inline() {
+        // A submission must give every planned executor at least
+        // `min_items_per_worker` items, pinned thread count or not.
+        let pinned = Parallelism::with_threads(4).min_items(100);
+        assert_eq!(pinned.for_workload(399, 0), Parallelism::serial());
+        assert_eq!(pinned.for_workload(400, 0), pinned);
+        // Auto mode plans for the installed pool (workers + submitter).
+        let pooled = Parallelism::with_pool(Arc::new(WorkerPool::new(1))).min_items(100);
+        assert_eq!(pooled.for_workload(199, 0), Parallelism::serial());
+        assert_eq!(pooled.for_workload(200, 0), pooled);
+        // The default threshold is live (not zero): tiny work stays inline
+        // even under a pinned thread count.
+        assert_eq!(Parallelism::with_threads(8).for_workload(64, 0), Parallelism::serial());
+    }
+
+    #[test]
+    fn equality_ignores_the_pool_handle_and_stream_tag() {
         let pool = Arc::new(WorkerPool::new(1));
         assert_eq!(Parallelism::with_pool(Arc::clone(&pool)), Parallelism::default());
         assert_eq!(Parallelism::default().on_pool(pool), Parallelism::default());
+        assert_eq!(Parallelism::default().tagged(7), Parallelism::default());
         assert_ne!(Parallelism::default(), Parallelism::serial());
+        // The fallback threshold is policy, not plumbing.
+        assert_ne!(Parallelism::default().min_items(0), Parallelism::default());
     }
 
     #[test]
@@ -628,6 +800,71 @@ mod tests {
         // The pool survives a poisoned batch and keeps serving.
         let f = |i: usize| i * 2;
         assert_eq!(par_map(&par, 10, 1, f), (0..10).map(f).collect::<Vec<_>>());
+    }
+
+    /// A queue-only batch stub: `chunks` chunk indices, none claimed yet.
+    fn stub_batch(chunks: usize) -> Arc<Batch> {
+        unsafe fn noop(_data: *const (), _i: usize) {}
+        Arc::new(Batch {
+            task: Task { data: std::ptr::null(), call: noop },
+            num_chunks: chunks,
+            next: AtomicUsize::new(0),
+            pending: AtomicUsize::new(chunks),
+            poisoned: AtomicBool::new(false),
+            panic: Mutex::new(None),
+            done: Mutex::new(false),
+            done_cv: Condvar::new(),
+        })
+    }
+
+    #[test]
+    fn queue_serves_stream_lanes_round_robin() {
+        let mut queue = PoolQueue { lanes: Vec::new(), cursor: 0, shutdown: false };
+        let (a1, a2, b1) = (stub_batch(4), stub_batch(4), stub_batch(4));
+        queue.push(0, Arc::clone(&a1));
+        queue.push(0, Arc::clone(&a2));
+        queue.push(1, Arc::clone(&b1));
+        // Stream 0 submitted first, but consecutive takes alternate lanes —
+        // stream 0's backlog cannot monopolise the workers.
+        assert!(Arc::ptr_eq(&queue.take_next().unwrap(), &a1));
+        assert!(Arc::ptr_eq(&queue.take_next().unwrap(), &b1));
+        // Un-exhausted front batches keep collecting workers.
+        assert!(Arc::ptr_eq(&queue.take_next().unwrap(), &a1));
+        assert!(Arc::ptr_eq(&queue.take_next().unwrap(), &b1));
+        // Exhausted batches are dropped in favor of the lane's next one.
+        a1.next.store(4, Ordering::Relaxed);
+        assert!(Arc::ptr_eq(&queue.take_next().unwrap(), &a2));
+        // A fully exhausted queue reports idle and resets its lanes.
+        a2.next.store(4, Ordering::Relaxed);
+        b1.next.store(4, Ordering::Relaxed);
+        assert!(queue.take_next().is_none());
+        assert!(queue.lanes.is_empty(), "idle queue drops finished stream lanes");
+        assert!(queue.take_next().is_none(), "idle queue stays well-formed");
+    }
+
+    #[test]
+    fn tagged_streams_share_one_pool_without_changing_results() {
+        // Four tagged "streams" hammer one two-worker pool; fairness lanes
+        // must never change what a submission computes.
+        let pool = Arc::new(WorkerPool::new(2));
+        let streams: Vec<_> = (0..4u64)
+            .map(|stream| {
+                let pool = Arc::clone(&pool);
+                std::thread::spawn(move || {
+                    let par =
+                        Parallelism::with_threads(4).min_items(0).on_pool(pool).tagged(stream);
+                    assert_eq!(par.stream(), stream);
+                    let f = move |i: usize| (i as u64 * 11) ^ (stream * 31);
+                    let expect: Vec<u64> = (0..600).map(f).collect();
+                    for _ in 0..25 {
+                        assert_eq!(par_map(&par, 600, 1, f), expect, "stream {stream}");
+                    }
+                })
+            })
+            .collect();
+        for handle in streams {
+            handle.join().expect("stream thread");
+        }
     }
 
     #[test]

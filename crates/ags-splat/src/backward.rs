@@ -358,8 +358,11 @@ pub fn backward(
     let num_chunks = num_tiles.div_ceil(TILES_PER_CHUNK);
     // Small frames carry too little gradient work to amortise thread spawns;
     // auto mode drops to the serial path there (the chunk partition — and
-    // thus the numerics — is unchanged either way).
-    let par = par.for_workload(tables.total_pairs as usize, 1024);
+    // thus the numerics — is unchanged either way). Pairs are weighted by
+    // the tile's pixel count, as in the forward rasterizer: one pair is up
+    // to a full tile of gradient work.
+    let pair_work = crate::TILE_SIZE * crate::TILE_SIZE;
+    let par = par.for_workload(tables.total_pairs as usize * pair_work, 1024 * pair_work);
     let chunks = par_map(&par, num_chunks, 1, |ci| {
         let start = ci * TILES_PER_CHUNK;
         let end = (start + TILES_PER_CHUNK).min(num_tiles);
@@ -626,7 +629,7 @@ mod tests {
                 &loss,
                 GradMode::Both,
                 Some(&skip),
-                &Parallelism::with_threads(threads),
+                &Parallelism::with_threads(threads).min_items(0),
             );
             let pg = parallel.grads.as_ref().unwrap();
             assert_eq!(sg.position, pg.position, "{threads} threads");

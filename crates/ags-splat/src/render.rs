@@ -465,7 +465,13 @@ pub fn rasterize(
 
     // Small frames on the SLAM hot path carry too little blending work to
     // amortise thread spawns; auto mode drops to serial below ~1k pairs.
-    let par = options.parallelism.for_workload(tables.total_pairs as usize, 1024);
+    // The workload estimate weights each (splat, tile) pair by the tile's
+    // pixel count — a pair is up to a full tile of α/blend work, hundreds
+    // of elementary ops, so pair counts alone would starve the
+    // `min_items_per_worker` floor on frames that parallelise well.
+    let pair_work = crate::TILE_SIZE * crate::TILE_SIZE;
+    let par =
+        options.parallelism.for_workload(tables.total_pairs as usize * pair_work, 1024 * pair_work);
     let outcomes = par_map(&par, tables.tables.len(), 1, |tile_idx| {
         rasterize_tile(
             projection,
@@ -920,8 +926,10 @@ mod tests {
         };
         let serial = render(&cloud, &cam, &Se3::IDENTITY, &base);
         for threads in [2, 4, 7] {
-            let options =
-                RenderOptions { parallelism: Parallelism::with_threads(threads), ..base.clone() };
+            let options = RenderOptions {
+                parallelism: Parallelism::with_threads(threads).min_items(0),
+                ..base.clone()
+            };
             let parallel = render(&cloud, &cam, &Se3::IDENTITY, &options);
             assert_eq!(serial.color.pixels(), parallel.color.pixels(), "{threads} threads");
             assert_eq!(serial.depth.pixels(), parallel.depth.pixels());

@@ -101,7 +101,12 @@ impl GaussianTables {
         let grid = TileGrid::for_camera(camera);
         let num_tiles = grid.num_tiles();
         // Auto mode bins small clouds serially — one chunk, no spawns.
-        let parallelism = &parallelism.for_workload(projection.splats.len(), 2 * BIN_CHUNK);
+        // Binning one splat is a bounding box plus an entry push per
+        // overlapped tile — a handful of elementary ops; weight it so the
+        // min-work floor compares like units with the other kernels.
+        const SPLAT_BIN_WORK: usize = 8;
+        let parallelism = &parallelism
+            .for_workload(projection.splats.len() * SPLAT_BIN_WORK, 2 * BIN_CHUNK * SPLAT_BIN_WORK);
 
         let bin_chunk = |splats: std::ops::Range<usize>| {
             let mut local: Vec<Vec<TableEntry>> = vec![Vec::new(); num_tiles];
@@ -262,8 +267,11 @@ mod tests {
         let proj = project_gaussians(&cloud, &cam, &Se3::IDENTITY);
         let serial = GaussianTables::build_with(&proj, &cam, &Parallelism::serial());
         for threads in [2, 4, 7] {
-            let parallel =
-                GaussianTables::build_with(&proj, &cam, &Parallelism::with_threads(threads));
+            let parallel = GaussianTables::build_with(
+                &proj,
+                &cam,
+                &Parallelism::with_threads(threads).min_items(0),
+            );
             assert_eq!(serial.total_pairs, parallel.total_pairs);
             assert_eq!(serial.grid, parallel.grid);
             for (t, (a, b)) in serial.tables.iter().zip(&parallel.tables).enumerate() {

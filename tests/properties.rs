@@ -240,9 +240,10 @@ fn parallel_estimate_matches_serial() {
             })
             .estimate(&current, &reference);
             for threads in [2usize, 5] {
+                // min_items(0): tiny frames must still exercise the executor.
                 let parallel = MotionEstimator::new(CodecConfig {
                     search,
-                    parallelism: Parallelism::with_threads(threads),
+                    parallelism: Parallelism::with_threads(threads).min_items(0),
                     ..CodecConfig::default()
                 })
                 .estimate(&current, &reference);
@@ -265,8 +266,11 @@ fn parallel_rasterize_matches_serial() {
         let projection = project_gaussians(&cloud, &camera, &pose);
         let serial_tables =
             GaussianTables::build_with(&projection, &camera, &Parallelism::serial());
-        let parallel_tables =
-            GaussianTables::build_with(&projection, &camera, &Parallelism::with_threads(4));
+        let parallel_tables = GaussianTables::build_with(
+            &projection,
+            &camera,
+            &Parallelism::with_threads(4).min_items(0),
+        );
         assert_eq!(serial_tables.total_pairs, parallel_tables.total_pairs, "seed {seed}");
         for (a, b) in serial_tables.tables.iter().zip(&parallel_tables.tables) {
             assert_eq!(a, b, "seed {seed}");
@@ -282,7 +286,10 @@ fn parallel_rasterize_matches_serial() {
             &cloud,
             &camera,
             &pose,
-            &RenderOptions { parallelism: Parallelism::with_threads(4), ..Default::default() },
+            &RenderOptions {
+                parallelism: Parallelism::with_threads(4).min_items(0),
+                ..Default::default()
+            },
         );
         assert_eq!(serial.color.pixels(), parallel.color.pixels(), "seed {seed}");
         assert_eq!(serial.depth.pixels(), parallel.depth.pixels(), "seed {seed}");
