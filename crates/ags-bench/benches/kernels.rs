@@ -624,6 +624,146 @@ fn bench_multi_stream() -> MultiStreamResult {
     MultiStreamResult { frames, width, height, pool_workers, scales, s2_scaling_vs_s1 }
 }
 
+struct CheckpointResult {
+    frames: usize,
+    width: usize,
+    height: usize,
+    plain_fps: f64,
+    durable_fps: f64,
+    overhead_pct: f64,
+    delta_bytes_per_epoch: f64,
+    full_snapshot_bytes: f64,
+}
+
+/// The durability layer on the Track ‖ Map hot path: with a store attached,
+/// every published map epoch is offered to the async checkpoint writer (a
+/// bounded `try_send` of an `Arc` clone — the delta encode runs on the
+/// writer's own thread), so the stream's frame rate must be unaffected.
+/// `checkpoint_overhead_pct` is the durable-vs-plain slowdown of the
+/// map-overlapped driver and is gated in CI as an **absolute** ceiling
+/// (≤ 5 %), not a baseline ratio; `delta_bytes_per_epoch` and
+/// `full_snapshot_bytes` size the epoch-delta log itself. Restore fidelity
+/// is asserted before any timing: a crash mid-sequence, restored into a
+/// fresh server, must finish bit-identical to the uninterrupted run.
+fn bench_checkpoint() -> CheckpointResult {
+    use ags_core::{MultiStreamServer, ServerConfig};
+    use ags_store::{CheckpointConfig, MemoryStore};
+    let (frames, width, height) = (8usize, 96usize, 72usize);
+    let dconfig = DatasetConfig { width, height, num_frames: frames, ..DatasetConfig::tiny() };
+    let data = Dataset::generate(SceneId::S2, &dconfig);
+    let shared: Vec<_> =
+        data.frames.iter().map(|f| (Arc::new(f.rgb.clone()), Arc::new(f.depth.clone()))).collect();
+    let mut base = e2e_config();
+    base.parallelism = Parallelism::default();
+    base.pipeline = PipelineConfig::map_overlapped(1, 1);
+    base.slam.mapping_iterations = 10;
+
+    let result_of = |server: &MultiStreamServer| {
+        let slam = server.stream(0).unwrap();
+        (
+            slam.trajectory().to_vec(),
+            slam.cloud().gaussians().to_vec(),
+            slam.trace().canonical_bytes(),
+        )
+    };
+    let push_range = |server: &mut MultiStreamServer, range: std::ops::Range<usize>| {
+        for f in range {
+            let (rgb, depth) = &shared[f];
+            black_box(
+                server
+                    .push_frame(0, &data.camera, Arc::clone(rgb), Arc::clone(depth))
+                    .expect("healthy stream"),
+            );
+        }
+    };
+
+    // Restore fidelity before any timing: checkpoint at the cut, crash with
+    // later frames unpersisted, restore into a fresh server, finish.
+    let reference = {
+        let mut server = MultiStreamServer::new(ServerConfig::uniform(1, base.clone()));
+        push_range(&mut server, 0..frames);
+        server.finish_all();
+        result_of(&server)
+    };
+    let cut = frames / 2;
+    let backing = MemoryStore::new();
+    {
+        let mut crashed = MultiStreamServer::new(ServerConfig::uniform(1, base.clone()));
+        crashed.attach_store(0, Box::new(backing.clone()), CheckpointConfig::default()).unwrap();
+        push_range(&mut crashed, 0..cut);
+        crashed.checkpoint_stream(0).unwrap();
+        push_range(&mut crashed, cut..frames - 1);
+    }
+    let mut restored = MultiStreamServer::new(ServerConfig::uniform(1, base.clone()));
+    restored.attach_store(0, Box::new(backing), CheckpointConfig::default()).unwrap();
+    restored.restore_stream(0).unwrap();
+    push_range(&mut restored, cut..frames);
+    restored.finish_all();
+    assert_eq!(
+        reference,
+        result_of(&restored),
+        "restored stream must be bit-identical to the uninterrupted run"
+    );
+    drop(restored);
+
+    // Interleaved min-of-N: the plain map-overlapped driver vs the same
+    // driver with the async checkpoint sink streaming every epoch.
+    let run_plain = || {
+        let mut server = MultiStreamServer::new(ServerConfig::uniform(1, base.clone()));
+        let start = Instant::now();
+        push_range(&mut server, 0..frames);
+        black_box(server.finish_all());
+        start.elapsed().as_secs_f64()
+    };
+    let run_durable = || {
+        let mut server = MultiStreamServer::new(ServerConfig::uniform(1, base.clone()));
+        server.attach_store(0, Box::new(MemoryStore::new()), CheckpointConfig::default()).unwrap();
+        let start = Instant::now();
+        push_range(&mut server, 0..frames);
+        black_box(server.finish_all());
+        start.elapsed().as_secs_f64()
+    };
+    let samples = 5usize;
+    let mut plain_times = Vec::with_capacity(samples);
+    let mut durable_times = Vec::with_capacity(samples);
+    for sample in 0..samples {
+        if sample % 2 == 0 {
+            plain_times.push(run_plain());
+            durable_times.push(run_durable());
+        } else {
+            durable_times.push(run_durable());
+            plain_times.push(run_plain());
+        }
+    }
+    let min = |times: &[f64]| times.iter().copied().fold(f64::INFINITY, f64::min);
+    let (t_plain, t_durable) = (min(&plain_times), min(&durable_times));
+
+    // Size the epoch-delta log: one durable run whose epochs all persisted
+    // (the synchronous commit tops up anything the bounded queue dropped).
+    let mut server = MultiStreamServer::new(ServerConfig::uniform(1, base.clone()));
+    server.attach_store(0, Box::new(MemoryStore::new()), CheckpointConfig::default()).unwrap();
+    push_range(&mut server, 0..frames);
+    server.finish_all();
+    server.checkpoint_stream(0).unwrap();
+    let stats = server.store_stats(0).unwrap();
+    let full_snapshot_bytes = if stats.base_records == 0 {
+        0.0
+    } else {
+        stats.base_bytes as f64 / stats.base_records as f64
+    };
+
+    CheckpointResult {
+        frames,
+        width,
+        height,
+        plain_fps: frames as f64 / t_plain,
+        durable_fps: frames as f64 / t_durable,
+        overhead_pct: (t_durable / t_plain - 1.0) * 100.0,
+        delta_bytes_per_epoch: stats.delta_bytes_per_record(),
+        full_snapshot_bytes,
+    }
+}
+
 fn bench_gpe_sim() -> f64 {
     let sim = GpeArraySim::new(GpeArrayConfig::default());
     let evals: Vec<u16> = (0..256).map(|i| 10 + (i % 37) as u16).collect();
@@ -710,6 +850,17 @@ fn main() {
         .collect::<Vec<_>>()
         .join(" | ");
     println!("  per-frame stall: {stall_line}");
+    let ckpt = bench_checkpoint();
+    println!(
+        "durable checkpoint sink        {}x{}:  plain {:>8.2} frames/s  durable {:>8.2} frames/s  (overhead {:+.2}%, delta {:.0} B/epoch, base {:.0} B)",
+        ckpt.width,
+        ckpt.height,
+        ckpt.plain_fps,
+        ckpt.durable_fps,
+        ckpt.overhead_pct,
+        ckpt.delta_bytes_per_epoch,
+        ckpt.full_snapshot_bytes
+    );
 
     let json = format!(
         r#"{{
@@ -799,6 +950,16 @@ fn main() {
     "s4_aggregate_frames_per_s": {:.3},
     "s4_stall_ms_per_frame": {:.3},
     "s2_scaling_vs_s1": {:.3}
+  }},
+  "checkpoint": {{
+    "frame": [{}, {}],
+    "frames": {},
+    "pipeline": "map_overlapped(1, 1)",
+    "plain_frames_per_s": {:.3},
+    "durable_frames_per_s": {:.3},
+    "checkpoint_overhead_pct": {:.3},
+    "delta_bytes_per_epoch": {:.1},
+    "full_snapshot_bytes": {:.1}
   }}
 }}
 "#,
@@ -857,6 +1018,14 @@ fn main() {
         multi.scales[2].aggregate_fps,
         multi.scales[2].stall_ms_per_frame,
         multi.s2_scaling_vs_s1,
+        ckpt.width,
+        ckpt.height,
+        ckpt.frames,
+        ckpt.plain_fps,
+        ckpt.durable_fps,
+        ckpt.overhead_pct,
+        ckpt.delta_bytes_per_epoch,
+        ckpt.full_snapshot_bytes,
     );
     let path = out_path();
     match std::fs::write(&path, &json) {

@@ -19,6 +19,11 @@
 //! * `s2_aggregate_frames_per_s` (the two-stream `MultiStreamServer`
 //!   aggregate on the shared worker pool)
 //!
+//! One metric is gated against an **absolute ceiling** instead of the
+//! baseline: `checkpoint_overhead_pct` (the slowdown the async durability
+//! sink imposes on the map-overlapped driver) must stay ≤ 5 % on any
+//! hardware — the committed baseline is irrelevant to that contract.
+//!
 //! Improvements and new metrics never fail the gate; a metric missing from
 //! the *current* file does (the bench must keep emitting what the gate
 //! checks).
@@ -43,6 +48,13 @@ const GATED_KEYS: [&str; 6] = [
     "map_overlapped_frames_per_s",
     "s2_aggregate_frames_per_s",
 ];
+
+/// Metrics with a hardware-independent ceiling (lower is better): the gate
+/// fails when the *current* value exceeds the ceiling, no baseline needed.
+/// A key absent from both files is skipped (pre-metric baselines and
+/// current files predating the bench entry); absent from the current file
+/// only, it fails like any dropped gated metric.
+const CEILING_KEYS: [(&str, f64); 1] = [("checkpoint_overhead_pct", 5.0)];
 
 /// Extracts the first `"key": <number>` value from a JSON document.
 ///
@@ -84,6 +96,23 @@ fn run(
             ));
         }
         report.push(format!("{key}: {current:.3} vs baseline {base:.3} ({delta:+.1}%) ok"));
+    }
+    for (key, ceiling) in CEILING_KEYS {
+        let current = match (extract_metric(current_json, key), extract_metric(baseline_json, key))
+        {
+            (Some(current), _) => current,
+            (None, None) => {
+                report.push(format!("{key}: not emitted, skipped"));
+                continue;
+            }
+            (None, Some(_)) => {
+                return Err(format!("{key}: missing from the current bench output"));
+            }
+        };
+        if current > ceiling {
+            return Err(format!("{key}: {current:.3} exceeds the absolute ceiling {ceiling:.3}"));
+        }
+        report.push(format!("{key}: {current:.3} within ceiling {ceiling:.3} ok"));
     }
     Ok(report)
 }
@@ -205,6 +234,27 @@ mod tests {
         let current = doc(1.0, 1.0, 1.0);
         let report = run(baseline, &current, 0.25).unwrap();
         assert!(report.iter().all(|l| l.contains("skipped")));
+    }
+
+    #[test]
+    fn gates_checkpoint_overhead_against_the_absolute_ceiling() {
+        let with_overhead = |pct: f64| {
+            format!(r#"{}, "checkpoint": {{ "checkpoint_overhead_pct": {pct} }} }}"#, {
+                let d = doc(10.0, 10.0, 10.0);
+                d[..d.rfind('}').unwrap()].to_string()
+            })
+        };
+        // Within the ceiling: passes regardless of the baseline's value.
+        let baseline = with_overhead(0.5);
+        assert!(run(&baseline, &with_overhead(4.9), 0.25).is_ok());
+        // Negative overhead (durable faster in this sample) passes too.
+        assert!(run(&baseline, &with_overhead(-1.2), 0.25).is_ok());
+        // Above the ceiling: fails even though it never regressed vs base.
+        let err = run(&with_overhead(6.0), &with_overhead(5.1), 0.25).unwrap_err();
+        assert!(err.contains("checkpoint_overhead_pct"), "{err}");
+        // Dropped from the current output while the baseline had it: fails.
+        let err = run(&baseline, &doc(10.0, 10.0, 10.0), 0.25).unwrap_err();
+        assert!(err.contains("missing"), "{err}");
     }
 
     #[test]

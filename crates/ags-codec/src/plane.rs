@@ -16,6 +16,17 @@ impl LumaPlane {
         Self { width, height, data: vec![0; width * height] }
     }
 
+    /// Reassembles a plane from raw row-major bytes — deserialization
+    /// support for checkpointed reference pictures.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `data.len() != width * height`.
+    pub fn from_raw(width: usize, height: usize, data: Vec<u8>) -> Self {
+        assert_eq!(data.len(), width * height, "plane data length mismatch");
+        Self { width, height, data }
+    }
+
     /// Creates a plane from a generator function.
     pub fn from_fn(width: usize, height: usize, mut f: impl FnMut(usize, usize) -> u8) -> Self {
         let mut data = Vec::with_capacity(width * height);

@@ -56,6 +56,21 @@ pub struct CodecFrameReport {
     pub sad_evaluations: u64,
 }
 
+/// Serializable reference-picture state of a [`VideoCodec`] — everything a
+/// restored codec needs to keep emitting bit-identical covisibility reports
+/// mid-stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VideoCodecState {
+    /// The previous-frame reference plane.
+    pub previous: Option<LumaPlane>,
+    /// Retained key-frame references, oldest → newest.
+    pub keyframes: Vec<(usize, LumaPlane)>,
+    /// Frames pushed so far.
+    pub frame_index: usize,
+    /// Cumulative SAD block evaluations.
+    pub total_sad_evaluations: u64,
+}
+
 /// Streaming CODEC model holding the previous-frame reference and a bounded
 /// window of key-frame references.
 #[derive(Debug)]
@@ -163,6 +178,29 @@ impl VideoCodec {
     /// Stream indices of the retained key-frame references, oldest → newest.
     pub fn keyframe_indices(&self) -> Vec<usize> {
         self.keyframes.iter().map(|(i, _)| *i).collect()
+    }
+
+    /// Snapshots the reference-picture state for checkpointing. The motion
+    /// estimator itself is configuration-only and is rebuilt on restore.
+    pub fn export_state(&self) -> VideoCodecState {
+        VideoCodecState {
+            previous: self.previous.clone(),
+            keyframes: self.keyframes.iter().cloned().collect(),
+            frame_index: self.frame_index,
+            total_sad_evaluations: self.total_sad_evaluations,
+        }
+    }
+
+    /// Rebuilds a codec mid-stream from a checkpointed state.
+    pub fn from_state(config: CodecConfig, state: VideoCodecState) -> Self {
+        Self {
+            estimator: MotionEstimator::new(config.clone()),
+            config,
+            previous: state.previous,
+            keyframes: state.keyframes.into(),
+            frame_index: state.frame_index,
+            total_sad_evaluations: state.total_sad_evaluations,
+        }
     }
 
     /// Number of frames pushed so far.
@@ -282,6 +320,37 @@ mod tests {
     #[should_panic(expected = "before any frame")]
     fn mark_keyframe_without_frames_panics() {
         VideoCodec::new(CodecConfig::default()).mark_keyframe();
+    }
+
+    #[test]
+    fn export_restore_continues_bit_identically() {
+        let config = windowed_config(3);
+        let mut reference = VideoCodec::new(config.clone());
+        let mut interrupted = VideoCodec::new(config.clone());
+        for shift in 0..4 {
+            reference.push_plane(plane(shift * 3));
+            interrupted.push_plane(plane(shift * 3));
+            if shift % 2 == 0 {
+                reference.mark_keyframe();
+                interrupted.mark_keyframe();
+            }
+        }
+        // "Crash" and restore mid-stream.
+        let mut restored = VideoCodec::from_state(config, interrupted.export_state());
+        drop(interrupted);
+        for shift in 4..8 {
+            let a = reference.push_plane(plane(shift * 3));
+            let b = restored.push_plane(plane(shift * 3));
+            assert_eq!(a.fc_prev, b.fc_prev);
+            assert_eq!(a.fc_keyframe, b.fc_keyframe);
+            assert_eq!(a.sad_evaluations, b.sad_evaluations);
+            if shift % 2 == 0 {
+                reference.mark_keyframe();
+                restored.mark_keyframe();
+            }
+        }
+        assert_eq!(reference.keyframe_indices(), restored.keyframe_indices());
+        assert_eq!(reference.total_sad_evaluations(), restored.total_sad_evaluations());
     }
 
     #[test]

@@ -22,10 +22,37 @@ pub struct ContributionTracker {
     recorded_len: usize,
 }
 
+/// Serializable snapshot of a [`ContributionTracker`] — checkpointing
+/// support. The skip set and counts are copied verbatim, so a restored
+/// tracker makes bit-identical skip decisions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ContributionState {
+    /// Skip set from the last key frame (`None` before one was recorded).
+    pub skip: Option<IdSet>,
+    /// Negligible-pixel counts from the last key frame.
+    pub counts: Vec<u32>,
+    /// Map size at recording time.
+    pub recorded_len: usize,
+}
+
 impl ContributionTracker {
     /// Creates an empty tracker.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Exports the tracker state for checkpointing.
+    pub fn export_state(&self) -> ContributionState {
+        ContributionState {
+            skip: self.skip.clone(),
+            counts: self.counts.clone(),
+            recorded_len: self.recorded_len,
+        }
+    }
+
+    /// Rebuilds a tracker from [`Self::export_state`].
+    pub fn from_state(state: ContributionState) -> Self {
+        Self { skip: state.skip, counts: state.counts, recorded_len: state.recorded_len }
     }
 
     /// Records contribution statistics from a key frame's full mapping.

@@ -4,7 +4,7 @@
 //! per-MB min-SADs into the covisibility metric, and converts the two
 //! covisibility signals into the tracking/mapping decisions of §4.
 
-use ags_codec::{Covisibility, VideoCodec};
+use ags_codec::{Covisibility, VideoCodec, VideoCodecState};
 use ags_image::RgbImage;
 
 /// Decisions derived from one frame's covisibility signals.
@@ -81,6 +81,29 @@ impl FcDetector {
     pub fn total_sad_evals(&self) -> u64 {
         self.codec.total_sad_evaluations()
     }
+
+    /// Exports the codec-side state for checkpointing (the thresholds come
+    /// back from the config on restore).
+    pub fn export_state(&self) -> FcDetectorState {
+        FcDetectorState { codec: self.codec.export_state() }
+    }
+
+    /// Rebuilds a detector from a configuration and [`Self::export_state`].
+    pub fn from_state(
+        codec_config: ags_codec::CodecConfig,
+        thresh_t: f32,
+        thresh_m: f32,
+        state: FcDetectorState,
+    ) -> Self {
+        Self { codec: VideoCodec::from_state(codec_config, state.codec), thresh_t, thresh_m }
+    }
+}
+
+/// Serializable snapshot of an [`FcDetector`] — checkpointing support.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FcDetectorState {
+    /// Reference pictures and counters of the underlying CODEC.
+    pub codec: VideoCodecState,
 }
 
 #[cfg(test)]

@@ -50,6 +50,7 @@
 
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod config;
 pub mod contribution;
 pub mod fc;
@@ -59,9 +60,10 @@ pub mod server;
 pub mod stages;
 pub mod trace;
 
+pub use checkpoint::{decode_aux, encode_aux, StreamState};
 pub use config::{AdaptiveSlackConfig, AgsConfig, PipelineConfig, PipelineMode};
-pub use contribution::ContributionTracker;
-pub use fc::FcDetector;
+pub use contribution::{ContributionState, ContributionTracker};
+pub use fc::{FcDetector, FcDetectorState};
 pub use pipeline::{AgsFrameRecord, AgsSlam};
 pub use pipelined::PipelinedAgsSlam;
 pub use server::{MultiStreamServer, ServerConfig, ServerStats, StreamError, StreamPolicy};

@@ -22,8 +22,9 @@
 //! in `MapOverlapped`) — with bit-identical results to this driver under
 //! the matching mode.
 
+use crate::checkpoint::StreamState;
 use crate::config::AgsConfig;
-use crate::fc::FcDecision;
+use crate::fc::{FcDecision, FcDetectorState};
 use crate::stages::{
     FcStage, FrameImages, FrameInput, MapOutput, MapStage, TrackOutput, TrackStage,
 };
@@ -31,8 +32,9 @@ use crate::trace::{StageTimes, TraceFrame, WorkloadTrace};
 use ags_image::{DepthImage, RgbImage};
 use ags_math::Se3;
 use ags_scene::PinholeCamera;
-use ags_splat::snapshot::{SharedCloud, SnapshotWindow};
+use ags_splat::snapshot::{CloudSnapshot, SharedCloud, SnapshotWindow};
 use ags_splat::GaussianCloud;
+use ags_store::CheckpointSink;
 use std::time::Instant;
 
 /// Per-frame AGS processing record.
@@ -94,6 +96,9 @@ pub(crate) struct SlamBody {
     trajectory: Vec<Se3>,
     frame_count: usize,
     trace: WorkloadTrace,
+    /// Durability tap: each frame's map state is offered to the checkpoint
+    /// writer (non-blocking; drops under backpressure).
+    sink: Option<CheckpointSink>,
 }
 
 impl SlamBody {
@@ -110,7 +115,66 @@ impl SlamBody {
             trajectory: Vec::new(),
             frame_count: 0,
             trace: WorkloadTrace::default(),
+            sink: None,
         }
+    }
+
+    /// Rebuilds the body from a checkpoint (`state.fc` is the front end's
+    /// share and is ignored here). The map clouds come back as the restored
+    /// snapshots' slabs — refcount bumps, not copies; normal copy-on-write
+    /// diverges them on the first post-restore mutation.
+    pub(crate) fn from_state(config: AgsConfig, state: StreamState) -> Self {
+        let slack = config.pipeline.effective_map_slack();
+        let head = state.window.last().expect("checkpoint window is never empty");
+        let (shared, window) = if slack == 0 {
+            // Zero-slack drivers never publish: the writer handle stays at
+            // epoch 0 (see `MapStage::process`'s publish contract).
+            (SharedCloud::from_parts(head.cloud_arc(), 0), SnapshotWindow::new(0))
+        } else {
+            let shared = SharedCloud::from_parts(head.cloud_arc(), head.epoch());
+            (shared, SnapshotWindow::from_snapshots(slack, state.window))
+        };
+        let mut track = TrackStage::new(&config);
+        track.restore_state(&state.track);
+        Self {
+            track,
+            map: MapStage::from_state(&config, state.map),
+            config,
+            shared,
+            window,
+            slack,
+            trajectory: state.trajectory,
+            frame_count: state.frame_count,
+            trace: state.trace,
+            sink: None,
+        }
+    }
+
+    /// Captures the body's half of a [`StreamState`]; the caller supplies
+    /// the FC front end's share.
+    pub(crate) fn export_state(&self, fc: FcDetectorState) -> StreamState {
+        let window: Vec<CloudSnapshot> = if self.slack == 0 {
+            // Never-published live map: stamp it with its frame count so the
+            // epoch-delta log has a monotonic id.
+            vec![self.shared.snapshot_at(self.frame_count as u64)]
+        } else {
+            self.window.snapshots().cloned().collect()
+        };
+        StreamState {
+            frame_count: self.frame_count,
+            trajectory: self.trajectory.clone(),
+            trace: self.trace.clone(),
+            fc,
+            track: self.track.export_state(),
+            map: self.map.export_state(),
+            slack: self.slack,
+            stall_window: Vec::new(),
+            window,
+        }
+    }
+
+    pub(crate) fn set_sink(&mut self, sink: Option<CheckpointSink>) {
+        self.sink = sink;
     }
 
     pub(crate) fn config(&self) -> &AgsConfig {
@@ -175,7 +239,17 @@ impl SlamBody {
         let mapped = self.map.process(&input, &decision, pose, &mut self.shared);
         let map_s = map_start.elapsed().as_secs_f64();
         if self.slack > 0 {
-            self.window.push(self.shared.publish());
+            let snapshot = self.shared.publish();
+            if let Some(sink) = &self.sink {
+                sink.offer(&snapshot);
+            }
+            self.window.push(snapshot);
+        } else if let Some(sink) = &self.sink {
+            // Zero-slack drivers never publish; stamp the live map with its
+            // frame count for the epoch-delta log. The writer briefly holds
+            // the slab, so the next mutation pays one copy-on-write — the
+            // price of checkpointing without stalling the pipeline.
+            sink.offer(&self.shared.snapshot_at(self.frame_count as u64));
         }
         let skipped_gaussians = mapped.skipped_gaussians;
         apply_map_output(&mut record, mapped, self.shared.read().len());

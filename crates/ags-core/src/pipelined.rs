@@ -30,8 +30,9 @@
 //! submit to the **same** executor instead of spawning competing thread
 //! sets.
 
+use crate::checkpoint::StreamState;
 use crate::config::{AgsConfig, PipelineMode};
-use crate::fc::FcDecision;
+use crate::fc::{FcDecision, FcDetectorState};
 use crate::pipeline::{
     apply_map_output, apply_track_output, begin_trace_frame, AgsFrameRecord, SlamBody,
 };
@@ -40,8 +41,9 @@ use crate::trace::{StageTimes, WorkloadTrace};
 use ags_image::{DepthImage, RgbImage};
 use ags_math::Se3;
 use ags_scene::PinholeCamera;
-use ags_splat::snapshot::{CloudSnapshot, SharedCloud};
+use ags_splat::snapshot::{CloudSnapshot, SharedCloud, SnapshotWindow};
 use ags_splat::GaussianCloud;
+use ags_store::CheckpointSink;
 use std::collections::VecDeque;
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::sync::Arc;
@@ -63,14 +65,47 @@ struct PendingFrame {
 }
 
 /// Front end of the stage graph: FC inline (serial mode) or on a worker
-/// thread behind bounded channels (both overlapped modes).
+/// thread behind bounded channels (both overlapped modes). The worker
+/// returns its [`FcStage`] when its frame channel hangs up, so a checkpoint
+/// can stop it, read the detector state, and respawn around the same stage.
 enum FcFrontEnd {
     Inline(FcStage),
     Worker {
         frames_tx: Option<SyncSender<Arc<RgbImage>>>,
         results_rx: Receiver<FcResult>,
-        handle: Option<JoinHandle<()>>,
+        handle: Option<JoinHandle<FcStage>>,
     },
+}
+
+/// Spawns the FC worker thread around an existing stage (fresh on startup,
+/// carried over on checkpoint/restore).
+fn spawn_fc_worker(config: &AgsConfig, depth: usize, mut fc: FcStage) -> FcFrontEnd {
+    let stress_fc_stall_ms = config.pipeline.stress_fc_stall_ms;
+    // Bounded stage channels: at most `depth` undecoded frames plus `depth`
+    // undelivered decisions in flight, so the FC worker can run 1–2 frames
+    // ahead and no further.
+    let (frames_tx, frames_rx) = sync_channel::<Arc<RgbImage>>(depth);
+    let (results_tx, results_rx) = sync_channel::<FcResult>(depth);
+    let handle = std::thread::Builder::new()
+        .name("ags-fc-stage".into())
+        .spawn(move || {
+            while let Ok(rgb) = frames_rx.recv() {
+                if stress_fc_stall_ms > 0 {
+                    // Test-only backpressure: see
+                    // `PipelineConfig::stress_fc_stall_ms`.
+                    std::thread::sleep(std::time::Duration::from_millis(stress_fc_stall_ms));
+                }
+                let start = Instant::now();
+                let decision = fc.process(&rgb);
+                let fc_s = start.elapsed().as_secs_f64();
+                if results_tx.send(FcResult { decision, fc_s }).is_err() {
+                    break; // driver dropped
+                }
+            }
+            fc
+        })
+        .expect("spawn FC stage worker");
+    FcFrontEnd::Worker { frames_tx: Some(frames_tx), results_rx, handle: Some(handle) }
 }
 
 impl std::fmt::Debug for FcFrontEnd {
@@ -108,6 +143,42 @@ struct PendingRecord {
     pose: Se3,
 }
 
+/// Spawns the map worker thread around an existing stage and live map
+/// (fresh on startup, carried over on checkpoint/restore). The worker
+/// returns both when its job channel hangs up, so a checkpoint can stop it,
+/// export the stage state, and respawn without cloning either.
+#[allow(clippy::type_complexity)]
+fn spawn_map_worker(
+    capacity: usize,
+    mut map: MapStage,
+    mut shared: SharedCloud,
+) -> (SyncSender<MapJob>, Receiver<MapDone>, JoinHandle<(MapStage, SharedCloud)>) {
+    let (jobs_tx, jobs_rx) = sync_channel::<MapJob>(capacity);
+    let (done_tx, done_rx) = sync_channel::<MapDone>(capacity);
+    let handle = std::thread::Builder::new()
+        .name("ags-map-stage".into())
+        .spawn(move || {
+            while let Ok(job) = jobs_rx.recv() {
+                let start = Instant::now();
+                let input = FrameInput {
+                    frame_index: job.frame_index,
+                    camera: &job.camera,
+                    images: FrameImages::Shared { rgb: &job.rgb, depth: &job.depth },
+                };
+                let mapped = map.process(&input, &job.decision, job.pose, &mut shared);
+                let snapshot = shared.publish();
+                let map_s = start.elapsed().as_secs_f64();
+                let num_gaussians = shared.read().len();
+                if done_tx.send(MapDone { mapped, snapshot, num_gaussians, map_s }).is_err() {
+                    break; // driver dropped
+                }
+            }
+            (map, shared)
+        })
+        .expect("spawn map stage worker");
+    (jobs_tx, done_rx, handle)
+}
+
 /// The Track ‖ Map half of the stage graph: tracking state on the driver
 /// thread, the mapping stage (and the live map) on a worker thread.
 struct MapOverlapBody {
@@ -132,9 +203,21 @@ struct MapOverlapBody {
     trace: WorkloadTrace,
     awaiting: VecDeque<PendingRecord>,
     completed: VecDeque<AgsFrameRecord>,
+    /// Checkpoint snapshots fresher than the contractual epoch a restored
+    /// run resumes at. Their frames completed before the checkpoint, so the
+    /// pump consumes them *without* record side effects — they only advance
+    /// `latest` along the exact epoch schedule the original run followed.
+    replay: VecDeque<CloudSnapshot>,
+    /// The last `slack_cap + 1` drained snapshots — exactly the window a
+    /// checkpoint must capture so a restored run can replay the staleness
+    /// schedule bit-identically.
+    retained: SnapshotWindow,
+    /// Durability sink: every drained snapshot is offered (non-blocking;
+    /// dropped offers are topped up by the next synchronous commit).
+    sink: Option<CheckpointSink>,
     jobs_tx: Option<SyncSender<MapJob>>,
     done_rx: Receiver<MapDone>,
-    handle: Option<JoinHandle<()>>,
+    handle: Option<JoinHandle<(MapStage, SharedCloud)>>,
 }
 
 impl std::fmt::Debug for MapOverlapBody {
@@ -157,31 +240,8 @@ impl MapOverlapBody {
         // adaptive slack may grow to its cap); one extra slot keeps the
         // worker off the send() edge.
         let capacity = slack_cap + 2;
-        let (jobs_tx, jobs_rx) = sync_channel::<MapJob>(capacity);
-        let (done_tx, done_rx) = sync_channel::<MapDone>(capacity);
-        let worker_config = config.clone();
-        let handle = std::thread::Builder::new()
-            .name("ags-map-stage".into())
-            .spawn(move || {
-                let mut map = MapStage::new(&worker_config);
-                let mut shared = SharedCloud::new();
-                while let Ok(job) = jobs_rx.recv() {
-                    let start = Instant::now();
-                    let input = FrameInput {
-                        frame_index: job.frame_index,
-                        camera: &job.camera,
-                        images: FrameImages::Shared { rgb: &job.rgb, depth: &job.depth },
-                    };
-                    let mapped = map.process(&input, &job.decision, job.pose, &mut shared);
-                    let snapshot = shared.publish();
-                    let map_s = start.elapsed().as_secs_f64();
-                    let num_gaussians = shared.read().len();
-                    if done_tx.send(MapDone { mapped, snapshot, num_gaussians, map_s }).is_err() {
-                        break; // driver dropped
-                    }
-                }
-            })
-            .expect("spawn map stage worker");
+        let (jobs_tx, done_rx, handle) =
+            spawn_map_worker(capacity, MapStage::new(&config), SharedCloud::new());
         Self {
             track: TrackStage::new(&config),
             slack,
@@ -195,28 +255,138 @@ impl MapOverlapBody {
             trace: WorkloadTrace::default(),
             awaiting: VecDeque::new(),
             completed: VecDeque::new(),
+            replay: VecDeque::new(),
+            retained: SnapshotWindow::new(slack_cap),
+            sink: None,
             jobs_tx: Some(jobs_tx),
             done_rx,
             handle: Some(handle),
         }
     }
 
-    /// Receives one mapping result, completing the oldest awaiting record.
-    fn drain_one(&mut self) {
-        let done = self.done_rx.recv().expect("map stage worker alive");
-        debug_assert_eq!(done.snapshot.epoch(), self.latest.epoch() + 1, "epochs arrive in order");
-        self.latest = done.snapshot;
-        let pending = self.awaiting.pop_front().expect("one awaiting record per map job");
-        let mut record = pending.record;
-        record.stage_times.map_s = done.map_s;
-        let skipped_gaussians = done.mapped.skipped_gaussians;
-        apply_map_output(&mut record, done.mapped, done.num_gaussians);
-        self.trace.frames.push(record.clone());
-        self.completed.push_back(AgsFrameRecord {
-            trace: record,
-            estimated_pose: pending.pose,
-            skipped_gaussians,
-        });
+    /// Rebuilds a body from a checkpoint. The captured window is split
+    /// around the contractual epoch the next frame must read
+    /// (`frame_count − slack`): that entry becomes `latest`, older entries
+    /// re-seed the retained window, and *fresher* entries — published by the
+    /// original run while tracking lagged behind — queue as replay so the
+    /// restored run walks the identical staleness schedule instead of
+    /// seeing the head early.
+    fn from_state(config: AgsConfig, state: StreamState) -> Self {
+        let slack_cap = config.pipeline.effective_map_slack();
+        let adaptive = config.pipeline.adaptive_slack;
+        let slack = state.slack;
+        let needed = state.frame_count.saturating_sub(slack) as u64;
+        let mut retained_snaps = Vec::new();
+        let mut replay = VecDeque::new();
+        let mut latest = None;
+        for snap in state.window {
+            if snap.epoch() <= needed {
+                if snap.epoch() == needed {
+                    latest = Some(snap.clone());
+                }
+                retained_snaps.push(snap);
+            } else {
+                replay.push_back(snap);
+            }
+        }
+        let latest = latest.expect("checkpoint window covers the contractual epoch");
+        let head = replay.back().cloned().unwrap_or_else(|| latest.clone());
+        let retained = SnapshotWindow::from_snapshots(slack_cap, retained_snaps);
+        let mut track = TrackStage::new(&config);
+        track.restore_state(&state.track);
+        let map = MapStage::from_state(&config, state.map);
+        // The worker resumes from the checkpoint head: its first live
+        // publish is epoch head + 1, contiguous with the replay queue.
+        let shared = SharedCloud::from_parts(head.cloud_arc(), head.epoch());
+        let capacity = slack_cap + 2;
+        let (jobs_tx, done_rx, handle) = spawn_map_worker(capacity, map, shared);
+        Self {
+            track,
+            slack,
+            slack_cap,
+            adaptive,
+            stall_window: state.stall_window,
+            config,
+            latest,
+            trajectory: state.trajectory,
+            frame_count: state.frame_count,
+            trace: state.trace,
+            awaiting: VecDeque::new(),
+            completed: VecDeque::new(),
+            replay,
+            retained,
+            sink: None,
+            jobs_tx: Some(jobs_tx),
+            done_rx,
+            handle: Some(handle),
+        }
+    }
+
+    /// Advances `latest` by exactly one epoch: replayed checkpoint
+    /// snapshots first (their records were delivered before the
+    /// checkpoint), then live results — each of which completes the oldest
+    /// awaiting record.
+    fn pump_one(&mut self) {
+        let snapshot = if let Some(snapshot) = self.replay.pop_front() {
+            snapshot
+        } else {
+            let done = self.done_rx.recv().expect("map stage worker alive");
+            let pending = self.awaiting.pop_front().expect("one awaiting record per map job");
+            let mut record = pending.record;
+            record.stage_times.map_s = done.map_s;
+            let skipped_gaussians = done.mapped.skipped_gaussians;
+            apply_map_output(&mut record, done.mapped, done.num_gaussians);
+            self.trace.frames.push(record.clone());
+            self.completed.push_back(AgsFrameRecord {
+                trace: record,
+                estimated_pose: pending.pose,
+                skipped_gaussians,
+            });
+            done.snapshot
+        };
+        debug_assert_eq!(snapshot.epoch(), self.latest.epoch() + 1, "epochs arrive in order");
+        if let Some(sink) = &self.sink {
+            sink.offer(&snapshot);
+        }
+        self.retained.push(snapshot.clone());
+        self.latest = snapshot;
+    }
+
+    /// Stops the map worker and takes back its stage and live map. Only
+    /// callable with no jobs in flight (i.e. after [`Self::finish`]).
+    fn stop_worker(&mut self) -> (MapStage, SharedCloud) {
+        drop(self.jobs_tx.take());
+        while self.done_rx.recv().is_ok() {} // empty after finish; drain defensively
+        self.handle.take().expect("map worker handle").join().expect("map stage worker joins")
+    }
+
+    /// Restarts the map worker around the stage and map returned by
+    /// [`Self::stop_worker`].
+    fn respawn_worker(&mut self, map: MapStage, shared: SharedCloud) {
+        let (jobs_tx, done_rx, handle) = spawn_map_worker(self.slack_cap + 2, map, shared);
+        self.jobs_tx = Some(jobs_tx);
+        self.done_rx = done_rx;
+        self.handle = Some(handle);
+    }
+
+    /// Captures the full stream state (call after [`Self::finish`]). Stops
+    /// the map worker to export its stage, then respawns it around the same
+    /// stage so the stream can keep running.
+    fn export_state(&mut self, fc: FcDetectorState) -> StreamState {
+        let (map, shared) = self.stop_worker();
+        let state = StreamState {
+            frame_count: self.frame_count,
+            trajectory: self.trajectory.clone(),
+            trace: self.trace.clone(),
+            fc,
+            track: self.track.export_state(),
+            map: map.export_state(),
+            slack: self.slack,
+            stall_window: self.stall_window.clone(),
+            window: self.retained.snapshots().cloned().collect(),
+        };
+        self.respawn_worker(map, shared);
+        state
     }
 
     /// Tracks one frame against its contractual snapshot epoch and submits
@@ -247,7 +417,7 @@ impl MapOverlapBody {
         let needed_epoch = frame_index.saturating_sub(self.slack) as u64;
         let wait_start = Instant::now();
         while self.latest.epoch() < needed_epoch {
-            self.drain_one();
+            self.pump_one();
         }
         let map_wait_s = wait_start.elapsed().as_secs_f64();
         self.update_adaptive_slack(map_wait_s);
@@ -302,11 +472,12 @@ impl MapOverlapBody {
         self.stall_window.clear();
     }
 
-    /// Drains every outstanding mapping result, returning the completed
-    /// records in stream order.
+    /// Drains every outstanding mapping result — and any un-replayed
+    /// checkpoint snapshots, so `latest` lands on the true head — returning
+    /// the completed records in stream order.
     fn finish(&mut self) -> Vec<AgsFrameRecord> {
-        while !self.awaiting.is_empty() {
-            self.drain_one();
+        while !self.awaiting.is_empty() || !self.replay.is_empty() {
+            self.pump_one();
         }
         self.completed.drain(..).collect()
     }
@@ -399,6 +570,20 @@ impl SlamBackEnd {
             SlamBackEnd::MapWorker(body) => std::mem::take(&mut body.trace),
         }
     }
+
+    fn set_sink(&mut self, sink: Option<CheckpointSink>) {
+        match self {
+            SlamBackEnd::Inline(body) => body.set_sink(sink),
+            SlamBackEnd::MapWorker(body) => body.sink = sink,
+        }
+    }
+
+    fn export_state(&mut self, fc: FcDetectorState) -> StreamState {
+        match self {
+            SlamBackEnd::Inline(body) => body.export_state(fc),
+            SlamBackEnd::MapWorker(body) => body.export_state(fc),
+        }
+    }
 }
 
 /// AGS driver with an explicit stage graph: `FcStage ‖ (TrackStage ‖
@@ -432,34 +617,7 @@ impl PipelinedAgsSlam {
         let front = match config.pipeline.mode {
             PipelineMode::Serial => FcFrontEnd::Inline(FcStage::new(&config)),
             PipelineMode::Overlapped | PipelineMode::MapOverlapped => {
-                let mut fc = FcStage::new(&config);
-                let stress_fc_stall_ms = config.pipeline.stress_fc_stall_ms;
-                // Bounded stage channels: at most `depth` undecoded frames
-                // plus `depth` undelivered decisions in flight, so the FC
-                // worker can run 1–2 frames ahead and no further.
-                let (frames_tx, frames_rx) = sync_channel::<Arc<RgbImage>>(depth);
-                let (results_tx, results_rx) = sync_channel::<FcResult>(depth);
-                let handle = std::thread::Builder::new()
-                    .name("ags-fc-stage".into())
-                    .spawn(move || {
-                        while let Ok(rgb) = frames_rx.recv() {
-                            if stress_fc_stall_ms > 0 {
-                                // Test-only backpressure: see
-                                // `PipelineConfig::stress_fc_stall_ms`.
-                                std::thread::sleep(std::time::Duration::from_millis(
-                                    stress_fc_stall_ms,
-                                ));
-                            }
-                            let start = Instant::now();
-                            let decision = fc.process(&rgb);
-                            let fc_s = start.elapsed().as_secs_f64();
-                            if results_tx.send(FcResult { decision, fc_s }).is_err() {
-                                break; // driver dropped
-                            }
-                        }
-                    })
-                    .expect("spawn FC stage worker");
-                FcFrontEnd::Worker { frames_tx: Some(frames_tx), results_rx, handle: Some(handle) }
+                spawn_fc_worker(&config, depth, FcStage::new(&config))
             }
         };
         let back = match config.pipeline.mode {
@@ -469,6 +627,74 @@ impl PipelinedAgsSlam {
             _ => SlamBackEnd::Inline(Box::new(SlamBody::new(config))),
         };
         Self { back, front, pending: VecDeque::new(), depth }
+    }
+
+    /// Rebuilds a driver from a [`StreamState`] captured by
+    /// [`checkpoint`](Self::checkpoint) (typically decoded from a
+    /// [`MapStore`](ags_store::MapStore) after a crash). The restored driver
+    /// continues the stream bit-identically to one that was never
+    /// interrupted — across pipeline modes and worker counts, as long as
+    /// `config` matches the checkpointing run's.
+    pub fn restore(config: AgsConfig, state: StreamState) -> Self {
+        let config = config.resolve();
+        let depth = config.pipeline.clamped_depth();
+        let fc = FcStage::from_state(&config, state.fc.clone());
+        let front = match config.pipeline.mode {
+            PipelineMode::Serial => FcFrontEnd::Inline(fc),
+            PipelineMode::Overlapped | PipelineMode::MapOverlapped => {
+                spawn_fc_worker(&config, depth, fc)
+            }
+        };
+        let back = match config.pipeline.mode {
+            PipelineMode::MapOverlapped => {
+                SlamBackEnd::MapWorker(Box::new(MapOverlapBody::from_state(config, state)))
+            }
+            _ => SlamBackEnd::Inline(Box::new(SlamBody::from_state(config, state))),
+        };
+        Self { back, front, pending: VecDeque::new(), depth }
+    }
+
+    /// Quiesces the pipeline and captures a restorable [`StreamState`].
+    ///
+    /// Equivalent to [`finish`](Self::finish) — the drained records are
+    /// returned — followed by a state capture; the worker threads are
+    /// stopped to read their stage state and respawned around the same
+    /// stages, so the stream keeps accepting frames afterwards. Not a
+    /// hot-path operation: call it at checkpoint cadence, not per frame
+    /// (per-frame durability is the [`CheckpointSink`]'s job).
+    pub fn checkpoint(&mut self) -> (Vec<AgsFrameRecord>, StreamState) {
+        let records = self.finish();
+        let config = self.config().clone();
+        // Swap in a throwaway inline front end so the worker variant can be
+        // consumed by value (FcStage::new is cheap).
+        let front = std::mem::replace(&mut self.front, FcFrontEnd::Inline(FcStage::new(&config)));
+        let fc = match front {
+            FcFrontEnd::Inline(fc) => fc,
+            FcFrontEnd::Worker { frames_tx, results_rx, handle } => {
+                // After finish() every submitted frame's result was
+                // consumed, so hanging up the frame channel ends the worker
+                // immediately and no results are in flight.
+                drop(frames_tx);
+                while results_rx.try_recv().is_ok() {}
+                handle.expect("FC worker handle").join().expect("FC stage worker joins")
+            }
+        };
+        let fc_state = fc.export_state();
+        self.front = match config.pipeline.mode {
+            PipelineMode::Serial => FcFrontEnd::Inline(fc),
+            PipelineMode::Overlapped | PipelineMode::MapOverlapped => {
+                spawn_fc_worker(&config, self.depth, fc)
+            }
+        };
+        (records, self.back.export_state(fc_state))
+    }
+
+    /// Installs (or removes) the non-blocking durability sink that receives
+    /// every published map epoch. Offers are `try_send`-cheap and never
+    /// stall tracking; a dropped offer is topped up by the next synchronous
+    /// commit ([`ags_store::CheckpointWriter::commit`]).
+    pub fn set_checkpoint_sink(&mut self, sink: Option<CheckpointSink>) {
+        self.back.set_sink(sink);
     }
 
     /// The configuration in use.

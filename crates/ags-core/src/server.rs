@@ -33,6 +33,7 @@
 //! (sums and per-stage maxima, including the backpressure `stall_s`) so a
 //! deployment can see *where* shared-pool contention lands.
 
+use crate::checkpoint::{decode_aux, encode_aux};
 use crate::config::{AgsConfig, PipelineConfig};
 use crate::pipeline::AgsFrameRecord;
 use crate::pipelined::PipelinedAgsSlam;
@@ -40,6 +41,7 @@ use crate::trace::StageTimes;
 use ags_image::{DepthImage, RgbImage};
 use ags_math::{Parallelism, WorkerPool};
 use ags_scene::PinholeCamera;
+use ags_store::{CheckpointConfig, CheckpointWriter, EpochStore, MapStore, StoreError, StoreStats};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
@@ -105,34 +107,88 @@ impl ServerConfig {
 }
 
 /// Why a stream operation was rejected.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum StreamError {
     /// The stream index is outside `0..streams`.
     UnknownStream(usize),
-    /// The stream panicked earlier (bad input, poisoned stage) and was
-    /// isolated; the other streams and the shared pool are unaffected.
-    Poisoned(usize),
+    /// The stream panicked (bad input, poisoned stage) and was isolated;
+    /// the other streams and the shared pool are unaffected. The original
+    /// panic payload message is carried on every rejection — including
+    /// operations attempted long after the poisoning push.
+    Poisoned {
+        /// The poisoned stream's index.
+        stream: usize,
+        /// The panic payload message captured when the stream poisoned.
+        panic: String,
+    },
+    /// A durability operation against the stream's attached
+    /// [`MapStore`] failed (or no store was attached).
+    Storage {
+        /// The stream whose storage operation failed.
+        stream: usize,
+        /// The underlying store error.
+        source: StoreError,
+    },
 }
 
 impl std::fmt::Display for StreamError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             StreamError::UnknownStream(s) => write!(f, "unknown stream {s}"),
-            StreamError::Poisoned(s) => write!(f, "stream {s} is poisoned"),
+            StreamError::Poisoned { stream, panic } => {
+                write!(f, "stream {stream} is poisoned: {panic}")
+            }
+            StreamError::Storage { stream, source } => {
+                write!(f, "stream {stream} storage failure: {source}")
+            }
         }
     }
 }
 
-impl std::error::Error for StreamError {}
+impl std::error::Error for StreamError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StreamError::Storage { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+/// Renders a caught panic payload (the `Box<dyn Any>` from `catch_unwind`)
+/// as the human-readable message `panic!` produced, so the poison reason
+/// survives past the unwound stack.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 /// One stream slot: its pipelined SLAM instance plus server-side health and
-/// progress bookkeeping.
+/// progress bookkeeping — and, when a store is attached, the async
+/// checkpoint writer that makes the stream durable.
 #[derive(Debug)]
 struct StreamSlot {
     slam: PipelinedAgsSlam,
     poisoned: bool,
+    /// The panic payload message stashed when the stream poisoned, replayed
+    /// into every subsequent [`StreamError::Poisoned`].
+    panic_msg: Option<String>,
+    writer: Option<CheckpointWriter>,
     pushed: usize,
     completed: usize,
+}
+
+impl StreamSlot {
+    fn poison(&mut self, stream: usize, payload: Box<dyn std::any::Any + Send>) -> StreamError {
+        let panic = panic_message(payload.as_ref());
+        self.poisoned = true;
+        self.panic_msg = Some(panic.clone());
+        StreamError::Poisoned { stream, panic }
+    }
 }
 
 /// Per-stream slice of [`ServerStats`].
@@ -214,6 +270,8 @@ impl MultiStreamServer {
                 StreamSlot {
                     slam: PipelinedAgsSlam::new(cfg),
                     poisoned: false,
+                    panic_msg: None,
+                    writer: None,
                     pushed: 0,
                     completed: 0,
                 }
@@ -262,10 +320,7 @@ impl MultiStreamServer {
                 slot.completed += record.is_some() as usize;
                 Ok(record)
             }
-            Err(_) => {
-                slot.poisoned = true;
-                Err(StreamError::Poisoned(stream))
-            }
+            Err(payload) => Err(slot.poison(stream, payload)),
         }
     }
 
@@ -278,10 +333,7 @@ impl MultiStreamServer {
                 slot.completed += records.len();
                 Ok(records)
             }
-            Err(_) => {
-                slot.poisoned = true;
-                Err(StreamError::Poisoned(stream))
-            }
+            Err(payload) => Err(slot.poison(stream, payload)),
         }
     }
 
@@ -296,6 +348,132 @@ impl MultiStreamServer {
     /// readable (their state is whatever completed before the panic).
     pub fn stream(&self, stream: usize) -> Option<&PipelinedAgsSlam> {
         self.streams.get(stream).map(|s| &s.slam)
+    }
+
+    /// Attaches a durability store to stream `stream` under the key prefix
+    /// `s{stream}` (so many streams can share one backing store). An async
+    /// [`CheckpointWriter`] is spawned around it and its non-blocking sink
+    /// is installed into the stream's pipeline: every published map epoch
+    /// is offered for incremental persistence off the hot path, and
+    /// [`checkpoint_stream`](Self::checkpoint_stream) commits durable
+    /// generations.
+    pub fn attach_store(
+        &mut self,
+        stream: usize,
+        store: Box<dyn MapStore>,
+        config: CheckpointConfig,
+    ) -> Result<(), StreamError> {
+        let slot = self.slot(stream)?;
+        let prefix = format!("s{stream}");
+        let epoch_store = EpochStore::open(store, &prefix, config)
+            .map_err(|source| StreamError::Storage { stream, source })?;
+        let writer = CheckpointWriter::spawn(epoch_store);
+        slot.slam.set_checkpoint_sink(Some(writer.sink()));
+        slot.writer = Some(writer);
+        Ok(())
+    }
+
+    /// Quiesces stream `stream` and commits a durable checkpoint generation
+    /// (snapshot window + full pipeline state) to its attached store,
+    /// returning the records drained while quiescing. The stream keeps
+    /// accepting frames afterwards.
+    ///
+    /// Fails with [`StreamError::Storage`] when no store is attached or the
+    /// commit could not be persisted (after the store's bounded retries) —
+    /// the stream itself stays healthy either way.
+    pub fn checkpoint_stream(&mut self, stream: usize) -> Result<Vec<AgsFrameRecord>, StreamError> {
+        let slot = self.slot(stream)?;
+        if slot.writer.is_none() {
+            return Err(StreamError::Storage {
+                stream,
+                source: StoreError::Missing("no store attached to stream".into()),
+            });
+        }
+        let (records, state) = match catch_unwind(AssertUnwindSafe(|| slot.slam.checkpoint())) {
+            Ok(pair) => pair,
+            Err(payload) => return Err(slot.poison(stream, payload)),
+        };
+        slot.completed += records.len();
+        let aux = encode_aux(&state);
+        slot.writer
+            .as_ref()
+            .expect("writer checked above")
+            .commit(state.window.clone(), aux)
+            .map_err(|source| StreamError::Storage { stream, source })?;
+        Ok(records)
+    }
+
+    /// Rebuilds stream `stream` from the newest fully-valid checkpoint
+    /// generation in its attached store. This is the recovery path for
+    /// poisoned streams — a slot killed by a panic is re-spawned from its
+    /// last durable state and un-poisoned — but it works on healthy streams
+    /// too (e.g. after a process restart, on a server whose streams were
+    /// just constructed).
+    ///
+    /// Torn or corrupted generations are skipped (newest-first) rather than
+    /// loaded; if no valid generation exists the slot is left untouched and
+    /// [`StreamError::Storage`] is returned.
+    pub fn restore_stream(&mut self, stream: usize) -> Result<(), StreamError> {
+        let slot = self.streams.get_mut(stream).ok_or(StreamError::UnknownStream(stream))?;
+        let storage = |source| StreamError::Storage { stream, source };
+        let writer = slot
+            .writer
+            .take()
+            .ok_or_else(|| storage(StoreError::Missing("no store attached to stream".into())))?;
+        // The writer owns the store; stop it for synchronous read access.
+        let mut store = writer.stop();
+        let restored = match store.restore_latest() {
+            Ok(Some(restored)) => restored,
+            Ok(None) => {
+                // Nothing durable yet: hand the store back and report.
+                slot.writer = Some(CheckpointWriter::spawn(store));
+                return Err(storage(StoreError::Missing(
+                    "no checkpoint generation to restore".into(),
+                )));
+            }
+            Err(source) => {
+                slot.writer = Some(CheckpointWriter::spawn(store));
+                return Err(storage(source));
+            }
+        };
+        let state = match decode_aux(&restored.aux, restored.window) {
+            Ok(state) => state,
+            Err(source) => {
+                slot.writer = Some(CheckpointWriter::spawn(store));
+                return Err(storage(source));
+            }
+        };
+        let frame_count = state.frame_count;
+        // The old instance's config already carries the shared pool handle
+        // and stream tag; `restore` re-resolves it, which is idempotent.
+        let mut slam = PipelinedAgsSlam::restore(slot.slam.config().clone(), state);
+        let writer = CheckpointWriter::spawn(store);
+        slam.set_checkpoint_sink(Some(writer.sink()));
+        slot.slam = slam;
+        slot.writer = Some(writer);
+        slot.poisoned = false;
+        slot.panic_msg = None;
+        slot.pushed = frame_count;
+        slot.completed = frame_count;
+        Ok(())
+    }
+
+    /// Byte/record counters of stream `stream`'s attached store — what the
+    /// durability layer actually wrote (full bases, deltas, retries). Pauses
+    /// the stream's checkpoint writer to read them, then respawns it; the
+    /// stream itself is not interrupted.
+    pub fn store_stats(&mut self, stream: usize) -> Result<StoreStats, StreamError> {
+        let slot = self.slot(stream)?;
+        let writer = slot.writer.take().ok_or(StreamError::Storage {
+            stream,
+            source: StoreError::Missing("no store attached to stream".into()),
+        })?;
+        let store = writer.stop();
+        let stats = store.stats();
+        let writer = CheckpointWriter::spawn(store);
+        slot.slam.set_checkpoint_sink(Some(writer.sink()));
+        slot.writer = Some(writer);
+        Ok(stats)
     }
 
     /// Aggregated per-stream stage times: the sum locates machine-wide
@@ -325,7 +503,10 @@ impl MultiStreamServer {
     fn slot(&mut self, stream: usize) -> Result<&mut StreamSlot, StreamError> {
         let slot = self.streams.get_mut(stream).ok_or(StreamError::UnknownStream(stream))?;
         if slot.poisoned {
-            return Err(StreamError::Poisoned(stream));
+            return Err(StreamError::Poisoned {
+                stream,
+                panic: slot.panic_msg.clone().unwrap_or_default(),
+            });
         }
         Ok(slot)
     }

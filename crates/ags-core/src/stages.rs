@@ -22,8 +22,8 @@
 //! overlap legal.
 
 use crate::config::AgsConfig;
-use crate::contribution::ContributionTracker;
-use crate::fc::{FcDecision, FcDetector};
+use crate::contribution::{ContributionState, ContributionTracker};
+use crate::fc::{FcDecision, FcDetector, FcDetectorState};
 use ags_image::{DepthImage, RgbImage};
 use ags_math::{Pcg32, Se3};
 use ags_scene::PinholeCamera;
@@ -32,13 +32,13 @@ use ags_slam::{Backbone, WorkUnits};
 use ags_splat::backward::{backward, GradMode};
 use ags_splat::densify::densify_from_frame;
 use ags_splat::loss::compute_loss;
-use ags_splat::optim::Adam;
+use ags_splat::optim::{Adam, AdamState};
 use ags_splat::project::project_gaussians;
 use ags_splat::render::{rasterize, RenderOptions, TileWork};
 use ags_splat::snapshot::{CloudSnapshot, SharedCloud};
 use ags_splat::tiles::GaussianTables;
 use ags_splat::{GaussianCloud, IdSet};
-use ags_track::coarse::CoarseTracker;
+use ags_track::coarse::{CoarseTracker, CoarseTrackerState};
 use ags_track::fine::{GsPoseRefiner, RefineConfig};
 use std::sync::Arc;
 
@@ -132,6 +132,24 @@ impl FcStage {
         }
         decision
     }
+
+    /// Exports the stage state (CODEC reference pictures and counters) for
+    /// checkpointing.
+    pub fn export_state(&self) -> FcDetectorState {
+        self.detector.export_state()
+    }
+
+    /// Rebuilds the stage from a resolved config and [`Self::export_state`].
+    pub fn from_state(config: &AgsConfig, state: FcDetectorState) -> Self {
+        Self {
+            detector: FcDetector::from_state(
+                config.codec.clone(),
+                config.thresh_t,
+                config.thresh_m,
+                state,
+            ),
+        }
+    }
 }
 
 /// Output of the tracking stage.
@@ -209,6 +227,18 @@ impl TrackStage {
         }
         TrackOutput { pose, coarse, refine: refine_work, refined }
     }
+
+    /// Exports the coarse-tracker state for checkpointing. The refiner is
+    /// stateless (pure function of config + inputs), so nothing else needs
+    /// to be captured.
+    pub fn export_state(&self) -> CoarseTrackerState {
+        self.coarse.export_state()
+    }
+
+    /// Restores the coarse-tracker state from [`Self::export_state`].
+    pub fn restore_state(&mut self, state: &CoarseTrackerState) {
+        self.coarse.restore_state(state);
+    }
 }
 
 /// Output of the mapping stage.
@@ -222,6 +252,32 @@ pub struct MapOutput {
     pub tile_work: Vec<TileWork>,
     /// Measured false-positive rate of the skip prediction, when audited.
     pub fp_rate: Option<f32>,
+}
+
+/// Serializable snapshot of a [`MapStage`] — checkpointing support.
+///
+/// Everything except the map cloud itself (which travels through the
+/// epoch-delta store) and the resolved config (which the restoring driver
+/// supplies): contribution tables, Adam moments, stored key frames, the RNG
+/// position and the stage counters.
+#[derive(Debug, Clone)]
+pub struct MapStageState {
+    /// Contribution tracker tables (skip set, counts, recorded length).
+    pub contribution: ContributionState,
+    /// Adam moment vectors and step count.
+    pub adam: AdamState,
+    /// Stored key frames (poses, epochs and `Arc`-shared images).
+    pub keyframes: Vec<StoredKeyframe>,
+    /// PCG32 state word.
+    pub rng_state: u64,
+    /// PCG32 increment word.
+    pub rng_inc: u64,
+    /// Key frames stored so far.
+    pub keyframe_count: usize,
+    /// Frames mapped so far (the epoch counter).
+    pub frames_mapped: u64,
+    /// First trainable Gaussian id (submap freezing).
+    pub trainable_from: usize,
 }
 
 /// Stage ③: Gaussian contribution-aware mapping.
@@ -259,6 +315,43 @@ impl MapStage {
     /// The key frames stored so far, with their poses and publish epochs.
     pub fn keyframes(&self) -> &KeyframeStore {
         &self.keyframes
+    }
+
+    /// Exports the full mapping state for checkpointing: contribution
+    /// tables, optimizer moments, stored key frames, RNG position and
+    /// counters. Together with the map cloud this pins every input the
+    /// stage's future decisions depend on.
+    pub fn export_state(&self) -> MapStageState {
+        let (rng_state, rng_inc) = self.rng.state_parts();
+        MapStageState {
+            contribution: self.contribution.export_state(),
+            adam: self.adam.export_state(),
+            keyframes: self.keyframes.frames().to_vec(),
+            rng_state,
+            rng_inc,
+            keyframe_count: self.keyframe_count,
+            frames_mapped: self.frames_mapped,
+            trainable_from: self.trainable_from,
+        }
+    }
+
+    /// Rebuilds the stage from a resolved config and [`Self::export_state`].
+    pub fn from_state(config: &AgsConfig, state: MapStageState) -> Self {
+        let mut keyframes = KeyframeStore::new();
+        for kf in state.keyframes {
+            keyframes.push(kf);
+        }
+        Self {
+            config: config.clone(),
+            contribution: ContributionTracker::from_state(state.contribution),
+            adam: Adam::from_state(Default::default(), state.adam),
+            keyframes,
+            rng: Pcg32::from_state_parts(state.rng_state, state.rng_inc),
+            keyframe_count: state.keyframe_count,
+            frames_mapped: state.frames_mapped,
+            trainable_from: state.trainable_from,
+            last_tile_work: None,
+        }
     }
 
     /// Runs densification + (selective) mapping for one frame, mutating the

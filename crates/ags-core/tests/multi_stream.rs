@@ -209,21 +209,23 @@ fn a_panicking_stream_does_not_poison_the_pool_or_its_neighbours() {
     let err = server
         .push_frame(0, &bad.camera, bad_rgb, Arc::new(bad.frames[0].depth.clone()))
         .unwrap_err();
-    assert_eq!(err, StreamError::Poisoned(0));
+    let StreamError::Poisoned { stream: 0, panic } = err else {
+        panic!("expected stream 0 poisoned, got {err:?}");
+    };
+    assert!(!panic.is_empty(), "the panic payload message is captured");
     assert!(server.is_poisoned(0));
     assert!(!server.is_poisoned(1));
-    // Every further use of stream 0 stays rejected…
-    assert_eq!(
-        server
-            .push_frame(
-                0,
-                &good_data.camera,
-                Arc::new(good_data.frames[1].rgb.clone()),
-                Arc::new(good_data.frames[1].depth.clone()),
-            )
-            .unwrap_err(),
-        StreamError::Poisoned(0)
-    );
+    // Every further use of stream 0 stays rejected — and still carries the
+    // original panic context, not a bare index.
+    let later = server
+        .push_frame(
+            0,
+            &good_data.camera,
+            Arc::new(good_data.frames[1].rgb.clone()),
+            Arc::new(good_data.frames[1].depth.clone()),
+        )
+        .unwrap_err();
+    assert_eq!(later, StreamError::Poisoned { stream: 0, panic: panic.clone() });
     // …while stream 1 — submitting to the same pool — runs to completion
     // bit-identically to its solo reference.
     for f in 1..frames {

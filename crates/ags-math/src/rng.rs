@@ -26,6 +26,16 @@ impl Pcg32 {
         Self::new(seed, 0xda3e_39cb_94b9_5bdb)
     }
 
+    /// The raw `(state, increment)` pair — checkpointing support.
+    pub fn state_parts(&self) -> (u64, u64) {
+        (self.state, self.inc)
+    }
+
+    /// Rebuilds a generator mid-sequence from [`Self::state_parts`].
+    pub fn from_state_parts(state: u64, inc: u64) -> Self {
+        Self { state, inc }
+    }
+
     /// Next raw 32-bit output.
     #[inline]
     pub fn next_u32(&mut self) -> u32 {
@@ -118,6 +128,19 @@ mod tests {
     fn deterministic_for_same_seed() {
         let mut a = Pcg32::seeded(42);
         let mut b = Pcg32::seeded(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u32(), b.next_u32());
+        }
+    }
+
+    #[test]
+    fn state_parts_resume_mid_sequence() {
+        let mut a = Pcg32::seeded(99);
+        for _ in 0..17 {
+            a.next_u32();
+        }
+        let (state, inc) = a.state_parts();
+        let mut b = Pcg32::from_state_parts(state, inc);
         for _ in 0..100 {
             assert_eq!(a.next_u32(), b.next_u32());
         }

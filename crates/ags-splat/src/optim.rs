@@ -73,6 +73,33 @@ pub struct Adam {
     opacity: Moments,
 }
 
+/// Serializable snapshot of one moment pair.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MomentState {
+    /// First moments.
+    pub m: Vec<f32>,
+    /// Second moments.
+    pub v: Vec<f32>,
+}
+
+/// Serializable snapshot of the full optimizer state — what a stream
+/// checkpoint captures so a restored run continues bit-identically.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AdamState {
+    /// Steps taken so far (drives bias correction).
+    pub step_count: u64,
+    /// Position moments.
+    pub position: MomentState,
+    /// Log-scale moments.
+    pub log_scale: MomentState,
+    /// Rotation moments.
+    pub rotation: MomentState,
+    /// Color moments.
+    pub color: MomentState,
+    /// Opacity moments.
+    pub opacity: MomentState,
+}
+
 impl Adam {
     /// Creates an optimizer with the given configuration.
     pub fn new(config: AdamConfig) -> Self {
@@ -82,6 +109,33 @@ impl Adam {
     /// Number of steps taken.
     pub fn step_count(&self) -> u64 {
         self.step_count
+    }
+
+    /// Snapshots the optimizer state for checkpointing.
+    pub fn export_state(&self) -> AdamState {
+        let export = |mo: &Moments| MomentState { m: mo.m.clone(), v: mo.v.clone() };
+        AdamState {
+            step_count: self.step_count,
+            position: export(&self.position),
+            log_scale: export(&self.log_scale),
+            rotation: export(&self.rotation),
+            color: export(&self.color),
+            opacity: export(&self.opacity),
+        }
+    }
+
+    /// Rebuilds an optimizer from a checkpointed state.
+    pub fn from_state(config: AdamConfig, state: AdamState) -> Self {
+        let import = |ms: MomentState| Moments { m: ms.m, v: ms.v };
+        Self {
+            config,
+            step_count: state.step_count,
+            position: import(state.position),
+            log_scale: import(state.log_scale),
+            rotation: import(state.rotation),
+            color: import(state.color),
+            opacity: import(state.opacity),
+        }
     }
 
     /// Clears all moments (call after pruning).

@@ -38,10 +38,22 @@ impl CloudSnapshot {
         Self { cloud: Arc::new(GaussianCloud::new()), epoch: 0 }
     }
 
+    /// Reassembles a snapshot from a cloud and an explicit epoch id — the
+    /// checkpoint/restore path materializing a persisted epoch.
+    pub fn from_parts(cloud: Arc<GaussianCloud>, epoch: u64) -> Self {
+        Self { cloud, epoch }
+    }
+
     /// The snapshotted map.
     #[inline]
     pub fn cloud(&self) -> &GaussianCloud {
         &self.cloud
+    }
+
+    /// The shared slab handle itself (a refcount bump, never a copy) — what
+    /// the restore path seeds a fresh [`SharedCloud`] writer from.
+    pub fn cloud_arc(&self) -> Arc<GaussianCloud> {
+        Arc::clone(&self.cloud)
     }
 
     /// Number of published map steps this snapshot reflects.
@@ -73,6 +85,20 @@ impl SharedCloud {
     /// An empty map at epoch `0`.
     pub fn new() -> Self {
         Self { cloud: Arc::new(GaussianCloud::new()), epoch: 0 }
+    }
+
+    /// Rebuilds a writer handle at an arbitrary epoch — restoring a stream
+    /// from a checkpoint. The slab is shared with the snapshot it came from
+    /// until the first mutation diverges it (normal copy-on-write).
+    pub fn from_parts(cloud: Arc<GaussianCloud>, epoch: u64) -> Self {
+        Self { cloud, epoch }
+    }
+
+    /// An unpublished snapshot of the live map stamped with an explicit
+    /// epoch id. The zero-slack drivers never publish (their epoch counter
+    /// stays 0), so the checkpoint path stamps the frame count instead.
+    pub fn snapshot_at(&self, epoch: u64) -> CloudSnapshot {
+        CloudSnapshot { cloud: Arc::clone(&self.cloud), epoch }
     }
 
     /// Read access to the live map (the state mapping last left it in,
@@ -149,9 +175,38 @@ impl SnapshotWindow {
         Self { slack, window }
     }
 
+    /// Re-seeds a window from persisted snapshots (ascending by epoch),
+    /// keeping at most the newest `slack + 1` — the restore path.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `snapshots` is empty (the window invariant is that it is
+    /// never empty).
+    pub fn from_snapshots(slack: usize, snapshots: Vec<CloudSnapshot>) -> Self {
+        assert!(!snapshots.is_empty(), "snapshot window cannot be restored empty");
+        debug_assert!(
+            snapshots.windows(2).all(|p| p[0].epoch() < p[1].epoch()),
+            "restored snapshots must ascend in epoch"
+        );
+        let mut window = Self { slack, window: VecDeque::with_capacity(slack + 2) };
+        for snap in snapshots {
+            window.window.push_back(snap);
+            while window.window.len() > slack + 1 {
+                window.window.pop_front();
+            }
+        }
+        window
+    }
+
     /// The configured staleness in epochs.
     pub fn slack(&self) -> usize {
         self.slack
+    }
+
+    /// Iterates the held snapshots oldest → newest — what a checkpoint
+    /// persists so a restored run can replay the exact staleness state.
+    pub fn snapshots(&self) -> impl Iterator<Item = &CloudSnapshot> {
+        self.window.iter()
     }
 
     /// Records a freshly published snapshot, dropping history older than

@@ -1,0 +1,258 @@
+//! Key/value backends for checkpoint records.
+
+use crate::error::StoreError;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+/// A flat key/value store for checkpoint records.
+///
+/// Keys are `/`-separated ASCII paths (e.g. `s0/delta/…`); values are
+/// opaque framed records. Implementations only need atomic-enough puts at
+/// the granularity of a whole key — the epoch log writes its manifest
+/// *last*, so a crash mid-checkpoint leaves the previous generation intact.
+pub trait MapStore: Send {
+    /// Stores `value` under `key`, overwriting any previous value.
+    fn put(&mut self, key: &str, value: Vec<u8>) -> Result<(), StoreError>;
+
+    /// Fetches the value stored under `key`, `None` when absent.
+    fn get(&self, key: &str) -> Result<Option<Vec<u8>>, StoreError>;
+
+    /// Removes `key` (absent keys are a no-op).
+    fn delete(&mut self, key: &str) -> Result<(), StoreError>;
+
+    /// All keys starting with `prefix`, in ascending lexicographic order.
+    fn keys(&self, prefix: &str) -> Result<Vec<String>, StoreError>;
+}
+
+/// In-memory backend.
+///
+/// Cloning shares the underlying map, so a test can hand one handle to a
+/// server, drop the server, and restore a fresh server from the surviving
+/// handle — the moral equivalent of a process restart over tmpfs.
+#[derive(Debug, Clone, Default)]
+pub struct MemoryStore {
+    entries: Arc<Mutex<BTreeMap<String, Vec<u8>>>>,
+}
+
+impl MemoryStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of stored keys.
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("store lock").len()
+    }
+
+    /// True when no keys are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total payload bytes across all keys.
+    pub fn total_bytes(&self) -> u64 {
+        self.entries.lock().expect("store lock").values().map(|v| v.len() as u64).sum()
+    }
+
+    /// Mutates the raw bytes stored under `key` in place — the test hook for
+    /// simulating torn writes and bit rot after the fact. Returns `false`
+    /// when the key is absent.
+    pub fn tamper(&self, key: &str, f: impl FnOnce(&mut Vec<u8>)) -> bool {
+        let mut entries = self.entries.lock().expect("store lock");
+        match entries.get_mut(key) {
+            Some(v) => {
+                f(v);
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+impl MapStore for MemoryStore {
+    fn put(&mut self, key: &str, value: Vec<u8>) -> Result<(), StoreError> {
+        self.entries.lock().expect("store lock").insert(key.to_string(), value);
+        Ok(())
+    }
+
+    fn get(&self, key: &str) -> Result<Option<Vec<u8>>, StoreError> {
+        Ok(self.entries.lock().expect("store lock").get(key).cloned())
+    }
+
+    fn delete(&mut self, key: &str) -> Result<(), StoreError> {
+        self.entries.lock().expect("store lock").remove(key);
+        Ok(())
+    }
+
+    fn keys(&self, prefix: &str) -> Result<Vec<String>, StoreError> {
+        let entries = self.entries.lock().expect("store lock");
+        Ok(entries.keys().filter(|k| k.starts_with(prefix)).cloned().collect())
+    }
+}
+
+/// File-backed backend: one file per key under a root directory, with `/` in
+/// keys mapping to subdirectories. Re-opening the same directory sees all
+/// previously persisted records, so it survives process restarts.
+#[derive(Debug)]
+pub struct FileStore {
+    root: PathBuf,
+}
+
+impl FileStore {
+    /// Opens (creating if needed) a store rooted at `root`.
+    pub fn new(root: impl Into<PathBuf>) -> Result<Self, StoreError> {
+        let root = root.into();
+        std::fs::create_dir_all(&root).map_err(io_err)?;
+        Ok(Self { root })
+    }
+
+    /// The root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn path_for(&self, key: &str) -> Result<PathBuf, StoreError> {
+        // Keys are generated internally; reject anything that could escape
+        // the root rather than trying to sanitise it.
+        let ok = !key.is_empty()
+            && key.split('/').all(|seg| {
+                !seg.is_empty()
+                    && seg != "."
+                    && seg != ".."
+                    && seg.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+            });
+        if !ok {
+            return Err(StoreError::Io(format!("invalid key {key:?}")));
+        }
+        Ok(self.root.join(key))
+    }
+
+    fn collect_keys(dir: &Path, rel: &str, out: &mut Vec<String>) -> Result<(), StoreError> {
+        for entry in std::fs::read_dir(dir).map_err(io_err)? {
+            let entry = entry.map_err(io_err)?;
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            let key = if rel.is_empty() { name.to_string() } else { format!("{rel}/{name}") };
+            let ty = entry.file_type().map_err(io_err)?;
+            if ty.is_dir() {
+                Self::collect_keys(&entry.path(), &key, out)?;
+            } else {
+                out.push(key);
+            }
+        }
+        Ok(())
+    }
+}
+
+fn io_err(e: std::io::Error) -> StoreError {
+    StoreError::Io(e.to_string())
+}
+
+impl MapStore for FileStore {
+    fn put(&mut self, key: &str, value: Vec<u8>) -> Result<(), StoreError> {
+        let path = self.path_for(key)?;
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent).map_err(io_err)?;
+        }
+        std::fs::write(path, value).map_err(io_err)
+    }
+
+    fn get(&self, key: &str) -> Result<Option<Vec<u8>>, StoreError> {
+        let path = self.path_for(key)?;
+        match std::fs::read(path) {
+            Ok(bytes) => Ok(Some(bytes)),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(io_err(e)),
+        }
+    }
+
+    fn delete(&mut self, key: &str) -> Result<(), StoreError> {
+        let path = self.path_for(key)?;
+        match std::fs::remove_file(path) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(io_err(e)),
+        }
+    }
+
+    fn keys(&self, prefix: &str) -> Result<Vec<String>, StoreError> {
+        let mut out = Vec::new();
+        Self::collect_keys(&self.root, "", &mut out)?;
+        out.retain(|k| k.starts_with(prefix));
+        out.sort();
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise(store: &mut dyn MapStore) {
+        store.put("s0/base/1", vec![1, 2, 3]).unwrap();
+        store.put("s0/delta/2", vec![4]).unwrap();
+        store.put("s1/base/1", vec![9]).unwrap();
+        assert_eq!(store.get("s0/base/1").unwrap(), Some(vec![1, 2, 3]));
+        assert_eq!(store.get("s0/nope").unwrap(), None);
+        assert_eq!(store.keys("s0/").unwrap(), vec!["s0/base/1", "s0/delta/2"]);
+        store.put("s0/base/1", vec![7]).unwrap();
+        assert_eq!(store.get("s0/base/1").unwrap(), Some(vec![7]));
+        store.delete("s0/delta/2").unwrap();
+        store.delete("s0/delta/2").unwrap(); // idempotent
+        assert_eq!(store.keys("s0/").unwrap(), vec!["s0/base/1"]);
+        assert_eq!(store.keys("s1/").unwrap(), vec!["s1/base/1"]);
+    }
+
+    #[test]
+    fn memory_store_basics() {
+        let mut store = MemoryStore::new();
+        exercise(&mut store);
+        assert_eq!(store.len(), 2);
+    }
+
+    #[test]
+    fn memory_store_clones_share_entries() {
+        let a = MemoryStore::new();
+        let mut b = a.clone();
+        b.put("k", vec![1]).unwrap();
+        assert_eq!(a.get("k").unwrap(), Some(vec![1]));
+    }
+
+    #[test]
+    fn memory_store_tamper_mutates_in_place() {
+        let mut store = MemoryStore::new();
+        store.put("k", vec![0, 0]).unwrap();
+        assert!(store.tamper("k", |v| v[1] = 9));
+        assert!(!store.tamper("absent", |_| unreachable!()));
+        assert_eq!(store.get("k").unwrap(), Some(vec![0, 9]));
+    }
+
+    fn temp_dir(name: &str) -> PathBuf {
+        // CARGO_TARGET_TMPDIR only exists for integration tests; unit tests
+        // use the system temp dir, made unique per process.
+        std::env::temp_dir().join(format!("ags-store-{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn file_store_basics_and_reopen() {
+        let dir = temp_dir("basics");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut store = FileStore::new(&dir).unwrap();
+        exercise(&mut store);
+        // A fresh handle over the same directory sees the same records.
+        let reopened = FileStore::new(&dir).unwrap();
+        assert_eq!(reopened.get("s0/base/1").unwrap(), Some(vec![7]));
+        assert_eq!(reopened.keys("s").unwrap(), vec!["s0/base/1", "s1/base/1"]);
+    }
+
+    #[test]
+    fn file_store_rejects_escaping_keys() {
+        let dir = temp_dir("keys");
+        let mut store = FileStore::new(&dir).unwrap();
+        for bad in ["../evil", "a//b", "", "/abs", "a/./b", "sp ace"] {
+            assert!(store.put(bad, vec![1]).is_err(), "key {bad:?} should be rejected");
+        }
+    }
+}

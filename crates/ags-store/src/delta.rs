@@ -1,0 +1,277 @@
+//! Gaussian-cloud serialization: full snapshots and per-epoch deltas.
+//!
+//! The mapping stage mutates a small working set per frame (the Adam step
+//! touches trainable splats, densify appends, prune drops), so persisting
+//! only the diff against the last persisted epoch keeps checkpoint traffic
+//! far below a full snapshot. [`CloudDelta::diff`] compares two clouds
+//! positionally — Gaussian ids are slab indices and mapping only ever
+//! rewrites in place, appends at the tail, or compacts via `retain`, so a
+//! positional diff plus the new length captures all three.
+
+use crate::error::StoreError;
+use crate::wire::{ByteReader, ByteWriter};
+use ags_math::{Quat, Vec3};
+use ags_splat::{Gaussian, GaussianCloud};
+
+fn put_vec3(w: &mut ByteWriter, v: Vec3) {
+    w.put_f32(v.x);
+    w.put_f32(v.y);
+    w.put_f32(v.z);
+}
+
+fn get_vec3(r: &mut ByteReader) -> Result<Vec3, StoreError> {
+    Ok(Vec3::new(r.get_f32()?, r.get_f32()?, r.get_f32()?))
+}
+
+/// Encodes one Gaussian as its 14 parameter floats (bit-exact).
+pub(crate) fn put_gaussian(w: &mut ByteWriter, g: &Gaussian) {
+    put_vec3(w, g.position);
+    put_vec3(w, g.log_scale);
+    w.put_f32(g.rotation.w);
+    w.put_f32(g.rotation.x);
+    w.put_f32(g.rotation.y);
+    w.put_f32(g.rotation.z);
+    put_vec3(w, g.color);
+    w.put_f32(g.opacity_logit);
+}
+
+/// Decodes one Gaussian.
+pub(crate) fn get_gaussian(r: &mut ByteReader) -> Result<Gaussian, StoreError> {
+    let position = get_vec3(r)?;
+    let log_scale = get_vec3(r)?;
+    let rotation = Quat::new(r.get_f32()?, r.get_f32()?, r.get_f32()?, r.get_f32()?);
+    let color = get_vec3(r)?;
+    let opacity_logit = r.get_f32()?;
+    Ok(Gaussian { position, log_scale, rotation, color, opacity_logit })
+}
+
+/// Bytes one Gaussian occupies on the wire.
+pub(crate) const GAUSSIAN_BYTES: usize = 14 * 4;
+
+/// Appends a full cloud (length-prefixed) to `w`.
+pub fn encode_cloud_payload(w: &mut ByteWriter, cloud: &GaussianCloud) {
+    w.put_usize(cloud.len());
+    for g in cloud.gaussians() {
+        put_gaussian(w, g);
+    }
+}
+
+/// Reads a full cloud written by [`encode_cloud_payload`].
+pub fn decode_cloud_payload(r: &mut ByteReader) -> Result<GaussianCloud, StoreError> {
+    let n = r.get_count(GAUSSIAN_BYTES)?;
+    let mut cloud = GaussianCloud::new();
+    for _ in 0..n {
+        cloud.push(get_gaussian(r)?);
+    }
+    Ok(cloud)
+}
+
+/// The diff between two persisted epochs of one cloud.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CloudDelta {
+    /// Epoch this delta applies on top of.
+    pub parent_epoch: u64,
+    /// Epoch this delta produces.
+    pub epoch: u64,
+    /// Length of the parent cloud (validated on apply so a delta can never
+    /// be applied to the wrong base).
+    pub parent_len: u64,
+    /// Length of the resulting cloud; shorter than `parent_len` means the
+    /// tail was pruned.
+    pub new_len: u64,
+    /// In-place parameter changes at surviving indices.
+    pub changed: Vec<(u32, Gaussian)>,
+    /// Splats appended beyond the parent length.
+    pub added: Vec<Gaussian>,
+}
+
+impl CloudDelta {
+    /// Diffs `child` (at `epoch`) against `parent` (at `parent_epoch`).
+    pub fn diff(
+        parent: &GaussianCloud,
+        parent_epoch: u64,
+        child: &GaussianCloud,
+        epoch: u64,
+    ) -> Self {
+        let p = parent.gaussians();
+        let c = child.gaussians();
+        let common = p.len().min(c.len());
+        let mut changed = Vec::new();
+        for i in 0..common {
+            if p[i] != c[i] {
+                changed.push((i as u32, c[i]));
+            }
+        }
+        let added = c[common..].to_vec();
+        Self {
+            parent_epoch,
+            epoch,
+            parent_len: p.len() as u64,
+            new_len: c.len() as u64,
+            changed,
+            added,
+        }
+    }
+
+    /// Applies the delta to `parent`, reconstructing the child cloud.
+    pub fn apply(&self, parent: &GaussianCloud) -> Result<GaussianCloud, StoreError> {
+        if parent.len() as u64 != self.parent_len {
+            return Err(StoreError::Corrupt(format!(
+                "delta for epoch {} expects parent of {} splats, got {}",
+                self.epoch,
+                self.parent_len,
+                parent.len()
+            )));
+        }
+        let new_len = usize::try_from(self.new_len)
+            .map_err(|_| StoreError::Corrupt("delta new_len overflows usize".into()))?;
+        let mut out: Vec<Gaussian> = parent.gaussians().to_vec();
+        out.truncate(new_len);
+        let survivors = out.len();
+        for &(idx, g) in &self.changed {
+            let idx = idx as usize;
+            if idx >= survivors {
+                return Err(StoreError::Corrupt(format!(
+                    "delta changed index {idx} out of bounds ({survivors} survivors)"
+                )));
+            }
+            out[idx] = g;
+        }
+        out.extend_from_slice(&self.added);
+        if out.len() != new_len {
+            return Err(StoreError::Corrupt(format!(
+                "delta for epoch {} reconstructs {} splats, header says {new_len}",
+                self.epoch,
+                out.len()
+            )));
+        }
+        Ok(out.into_iter().collect())
+    }
+
+    /// Serializes the delta payload (framing is applied by the epoch log).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.put_u64(self.parent_epoch);
+        w.put_u64(self.epoch);
+        w.put_u64(self.parent_len);
+        w.put_u64(self.new_len);
+        w.put_usize(self.changed.len());
+        for &(idx, ref g) in &self.changed {
+            w.put_u32(idx);
+            put_gaussian(&mut w, g);
+        }
+        w.put_usize(self.added.len());
+        for g in &self.added {
+            put_gaussian(&mut w, g);
+        }
+        w.into_bytes()
+    }
+
+    /// Deserializes a delta payload written by [`CloudDelta::encode`].
+    pub fn decode(payload: &[u8]) -> Result<Self, StoreError> {
+        let mut r = ByteReader::new(payload);
+        let parent_epoch = r.get_u64()?;
+        let epoch = r.get_u64()?;
+        let parent_len = r.get_u64()?;
+        let new_len = r.get_u64()?;
+        let n_changed = r.get_count(4 + GAUSSIAN_BYTES)?;
+        let mut changed = Vec::with_capacity(n_changed);
+        for _ in 0..n_changed {
+            let idx = r.get_u32()?;
+            changed.push((idx, get_gaussian(&mut r)?));
+        }
+        let n_added = r.get_count(GAUSSIAN_BYTES)?;
+        let mut added = Vec::with_capacity(n_added);
+        for _ in 0..n_added {
+            added.push(get_gaussian(&mut r)?);
+        }
+        r.finish()?;
+        Ok(Self { parent_epoch, epoch, parent_len, new_len, changed, added })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gaussian(seed: f32) -> Gaussian {
+        Gaussian::isotropic(
+            Vec3::new(seed, seed * 2.0, -seed),
+            0.1 + seed.abs() * 0.01,
+            Vec3::splat(0.5),
+            0.6,
+        )
+    }
+
+    fn cloud(n: usize) -> GaussianCloud {
+        (0..n).map(|i| gaussian(i as f32)).collect()
+    }
+
+    #[test]
+    fn cloud_payload_roundtrips_bit_exactly() {
+        let c = cloud(17);
+        let mut w = ByteWriter::new();
+        encode_cloud_payload(&mut w, &c);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        let back = decode_cloud_payload(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(back, c);
+    }
+
+    #[test]
+    fn diff_apply_roundtrips_change_add_prune() {
+        let parent = cloud(10);
+        // Child: mutate two, append three, via normal cloud ops.
+        let mut child = parent.clone();
+        child.gaussians_mut()[3].opacity_logit = 2.5;
+        child.gaussians_mut()[7].position.x += 1.0;
+        for i in 0..3 {
+            child.push(gaussian(100.0 + i as f32));
+        }
+        let d = CloudDelta::diff(&parent, 4, &child, 5);
+        assert_eq!(d.changed.len(), 2);
+        assert_eq!(d.added.len(), 3);
+        assert_eq!(d.apply(&parent).unwrap(), child);
+
+        // Prune: retain compacts the slab, which positionally is a big
+        // rewrite plus a shorter length — still exactly reconstructed.
+        let mut pruned = child.clone();
+        pruned.retain(|i, _| i % 2 == 0);
+        let d2 = CloudDelta::diff(&child, 5, &pruned, 6);
+        assert!(d2.new_len < d2.parent_len);
+        assert_eq!(d2.apply(&child).unwrap(), pruned);
+    }
+
+    #[test]
+    fn delta_encoding_roundtrips() {
+        let parent = cloud(6);
+        let mut child = parent.clone();
+        child.gaussians_mut()[0].color = Vec3::new(0.1, 0.2, 0.3);
+        child.push(gaussian(42.0));
+        let d = CloudDelta::diff(&parent, 1, &child, 2);
+        let back = CloudDelta::decode(&d.encode()).unwrap();
+        assert_eq!(back, d);
+        assert_eq!(back.apply(&parent).unwrap(), child);
+    }
+
+    #[test]
+    fn apply_rejects_wrong_parent() {
+        let parent = cloud(5);
+        let child = cloud(6);
+        let d = CloudDelta::diff(&parent, 1, &child, 2);
+        let wrong = cloud(4);
+        assert!(matches!(d.apply(&wrong), Err(StoreError::Corrupt(_))));
+    }
+
+    #[test]
+    fn empty_to_empty_and_empty_to_full() {
+        let empty = GaussianCloud::new();
+        let d = CloudDelta::diff(&empty, 0, &empty, 1);
+        assert_eq!(d.apply(&empty).unwrap(), empty);
+        let full = cloud(4);
+        let d2 = CloudDelta::diff(&empty, 0, &full, 1);
+        assert_eq!(d2.added.len(), 4);
+        assert_eq!(d2.apply(&empty).unwrap(), full);
+    }
+}

@@ -1,0 +1,31 @@
+//! Store error type.
+
+use std::fmt;
+
+/// Errors raised by map stores and the checkpoint layers above them.
+///
+/// `Clone + PartialEq` so the error can ride inside `ags-core`'s
+/// `StreamError` (which tests compare structurally).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// Backend I/O failure (possibly transient; the write path retries these
+    /// with bounded backoff).
+    Io(String),
+    /// A record failed validation: bad magic, wrong version, checksum
+    /// mismatch, truncated payload, or an inconsistent delta chain.
+    Corrupt(String),
+    /// A referenced record or checkpoint does not exist.
+    Missing(String),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(msg) => write!(f, "store I/O error: {msg}"),
+            StoreError::Corrupt(msg) => write!(f, "corrupt store record: {msg}"),
+            StoreError::Missing(msg) => write!(f, "missing store record: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}

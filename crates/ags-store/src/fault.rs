@@ -1,0 +1,150 @@
+//! Fault injection for crash testing the checkpoint path.
+
+use crate::backend::MapStore;
+use crate::error::StoreError;
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Which store operations misbehave, by 0-based operation index.
+///
+/// Write indices count `put` calls; read indices count `get` calls. One
+/// index can appear in at most one write set (corruption wins over failure
+/// if both are given).
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    /// `put` calls that fail with an I/O error; the write is dropped.
+    pub fail_writes: BTreeSet<usize>,
+    /// `put` calls whose bytes are silently corrupted before storing — the
+    /// write "succeeds" but the record is garbage (torn-write model).
+    pub corrupt_writes: BTreeSet<usize>,
+    /// `get` calls that fail with an I/O error.
+    pub fail_reads: BTreeSet<usize>,
+}
+
+impl FaultPlan {
+    /// A plan that injects no faults.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Adds a failing write at `index`.
+    pub fn fail_write(mut self, index: usize) -> Self {
+        self.fail_writes.insert(index);
+        self
+    }
+
+    /// Adds failing writes at every index in `indices`.
+    pub fn fail_writes(mut self, indices: impl IntoIterator<Item = usize>) -> Self {
+        self.fail_writes.extend(indices);
+        self
+    }
+
+    /// Adds a corrupting write at `index`.
+    pub fn corrupt_write(mut self, index: usize) -> Self {
+        self.corrupt_writes.insert(index);
+        self
+    }
+
+    /// Adds a failing read at `index`.
+    pub fn fail_read(mut self, index: usize) -> Self {
+        self.fail_reads.insert(index);
+        self
+    }
+}
+
+/// A [`MapStore`] wrapper executing a [`FaultPlan`] against its inner store.
+#[derive(Debug)]
+pub struct FaultStore<S> {
+    inner: S,
+    plan: FaultPlan,
+    writes: AtomicUsize,
+    reads: AtomicUsize,
+}
+
+impl<S: MapStore> FaultStore<S> {
+    /// Wraps `inner`, injecting the faults in `plan`.
+    pub fn new(inner: S, plan: FaultPlan) -> Self {
+        Self { inner, plan, writes: AtomicUsize::new(0), reads: AtomicUsize::new(0) }
+    }
+
+    /// Number of `put` calls attempted so far (including failed ones).
+    pub fn writes_attempted(&self) -> usize {
+        self.writes.load(Ordering::Relaxed)
+    }
+
+    /// Number of `get` calls attempted so far (including failed ones).
+    pub fn reads_attempted(&self) -> usize {
+        self.reads.load(Ordering::Relaxed)
+    }
+
+    /// The wrapped store.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+}
+
+impl<S: MapStore> MapStore for FaultStore<S> {
+    fn put(&mut self, key: &str, mut value: Vec<u8>) -> Result<(), StoreError> {
+        let op = self.writes.fetch_add(1, Ordering::Relaxed);
+        if self.plan.corrupt_writes.contains(&op) {
+            // Model a torn write: drop the tail and flip a byte in what is
+            // left, so both length and checksum validation get exercised.
+            let keep = value.len() / 2;
+            value.truncate(keep.max(1));
+            if let Some(b) = value.last_mut() {
+                *b ^= 0x5a;
+            }
+            return self.inner.put(key, value);
+        }
+        if self.plan.fail_writes.contains(&op) {
+            return Err(StoreError::Io(format!("injected write failure at op {op}")));
+        }
+        self.inner.put(key, value)
+    }
+
+    fn get(&self, key: &str) -> Result<Option<Vec<u8>>, StoreError> {
+        let op = self.reads.fetch_add(1, Ordering::Relaxed);
+        if self.plan.fail_reads.contains(&op) {
+            return Err(StoreError::Io(format!("injected read failure at op {op}")));
+        }
+        self.inner.get(key)
+    }
+
+    fn delete(&mut self, key: &str) -> Result<(), StoreError> {
+        self.inner.delete(key)
+    }
+
+    fn keys(&self, prefix: &str) -> Result<Vec<String>, StoreError> {
+        self.inner.keys(prefix)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::MemoryStore;
+
+    #[test]
+    fn planned_write_faults_fire_by_operation_index() {
+        let plan = FaultPlan::none().fail_write(1).corrupt_write(2);
+        let mut store = FaultStore::new(MemoryStore::new(), plan);
+        store.put("a", vec![1; 8]).unwrap(); // op 0: clean
+        let err = store.put("b", vec![2; 8]).unwrap_err(); // op 1: fails
+        assert!(matches!(err, StoreError::Io(_)));
+        assert_eq!(store.get("b").unwrap(), None, "failed write must not land");
+        store.put("c", vec![3; 8]).unwrap(); // op 2: corrupted
+        let stored = store.get("c").unwrap().unwrap();
+        assert_ne!(stored, vec![3; 8]);
+        assert_eq!(store.writes_attempted(), 3);
+    }
+
+    #[test]
+    fn planned_read_faults_fire_by_operation_index() {
+        let mut store = FaultStore::new(MemoryStore::new(), FaultPlan::none().fail_read(1));
+        store.put("a", vec![1]).unwrap();
+        assert_eq!(store.get("a").unwrap(), Some(vec![1])); // op 0
+        assert!(store.get("a").is_err()); // op 1
+        assert_eq!(store.get("a").unwrap(), Some(vec![1])); // op 2
+        assert_eq!(store.reads_attempted(), 3);
+    }
+}

@@ -1,0 +1,43 @@
+//! Durable storage for the Gaussian map — epoch-delta checkpoints.
+//!
+//! A SLAM stream's map evolves as a sequence of *epochs* (one published map
+//! step per mapped frame, see `ags_splat::SharedCloud`). This crate persists
+//! that sequence incrementally:
+//!
+//! - [`MapStore`] is the key/value backend abstraction, with an in-memory
+//!   backend ([`MemoryStore`]) and a file-backed one ([`FileStore`]).
+//! - Every record is wrapped in checksummed, versioned framing
+//!   ([`framing`]): a torn or corrupted write is *detected* on read and the
+//!   reader falls back to the previous good checkpoint generation instead of
+//!   silently loading garbage.
+//! - [`EpochStore`] lays out one epoch log per stream: a full **base**
+//!   snapshot plus per-epoch [`CloudDelta`]s (changed / added / pruned
+//!   splats diffed against the last persisted epoch), a **manifest** written
+//!   last as the atomicity point of each checkpoint generation, and GC of
+//!   superseded generations.
+//! - [`CheckpointWriter`] runs the store on its own thread behind a bounded
+//!   channel: the mapping hot path *offers* snapshots ([`CheckpointSink`])
+//!   without ever blocking, and an explicit commit synchronously tops up
+//!   whatever backpressure dropped.
+//! - [`FaultPlan`] / [`FaultStore`] inject write failures, corruption and
+//!   read errors for crash testing; transient I/O errors are retried with
+//!   bounded backoff on the write path.
+
+#![warn(missing_docs)]
+
+mod backend;
+mod delta;
+mod epoch;
+mod error;
+mod fault;
+pub mod framing;
+mod wire;
+mod writer;
+
+pub use backend::{FileStore, MapStore, MemoryStore};
+pub use delta::{decode_cloud_payload, encode_cloud_payload, CloudDelta};
+pub use epoch::{CheckpointConfig, CommitReport, EpochStore, RestoredCheckpoint, StoreStats};
+pub use error::StoreError;
+pub use fault::{FaultPlan, FaultStore};
+pub use wire::{ByteReader, ByteWriter};
+pub use writer::{CheckpointSink, CheckpointWriter};

@@ -1,0 +1,214 @@
+//! The async checkpoint writer — durability off the mapping hot path.
+//!
+//! The mapping stage publishes an epoch per frame; persisting one must
+//! never stall tracking. [`CheckpointWriter`] owns the [`EpochStore`] on a
+//! dedicated thread behind a bounded channel: the pipeline *offers* each
+//! published snapshot via a [`CheckpointSink`] (`try_send`, O(1), drops
+//! under backpressure — safe because offers are an optimisation), and an
+//! explicit [`CheckpointWriter::commit`] synchronously persists the full
+//! snapshot window plus auxiliary state, topping up anything dropped.
+
+use crate::epoch::{CommitReport, EpochStore};
+use crate::error::StoreError;
+use ags_splat::CloudSnapshot;
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::thread::JoinHandle;
+
+enum Cmd {
+    Epoch(CloudSnapshot),
+    Commit {
+        window: Vec<CloudSnapshot>,
+        aux: Vec<u8>,
+        reply: SyncSender<Result<CommitReport, StoreError>>,
+    },
+    /// Explicit shutdown. The writer loop must not rely on sender hangup
+    /// alone: [`CheckpointSink`] clones live inside pipeline stages, so the
+    /// channel can stay open long after the writer's owner wants it joined.
+    Stop,
+}
+
+/// Non-blocking handle the pipeline uses to offer published epochs to the
+/// writer thread. Cloning shares the same bounded queue.
+#[derive(Clone)]
+pub struct CheckpointSink {
+    tx: SyncSender<Cmd>,
+}
+
+impl CheckpointSink {
+    /// Offers a published snapshot for incremental persistence. Returns
+    /// `false` when the queue is full (or the writer is gone) and the offer
+    /// was dropped — the next commit re-persists whatever is missing.
+    pub fn offer(&self, snapshot: &CloudSnapshot) -> bool {
+        self.tx.try_send(Cmd::Epoch(snapshot.clone())).is_ok()
+    }
+}
+
+impl std::fmt::Debug for CheckpointSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("CheckpointSink")
+    }
+}
+
+/// Owns the [`EpochStore`] on a dedicated writer thread.
+#[derive(Debug)]
+pub struct CheckpointWriter {
+    tx: Option<SyncSender<Cmd>>,
+    handle: Option<JoinHandle<EpochStore>>,
+}
+
+impl CheckpointWriter {
+    /// Spawns the writer thread around `store`. `queue_depth` (from the
+    /// store's [`CheckpointConfig`](crate::CheckpointConfig)) bounds the
+    /// offer queue.
+    pub fn spawn(store: EpochStore) -> Self {
+        let depth = store.config_queue_depth().max(1);
+        let (tx, rx): (SyncSender<Cmd>, Receiver<Cmd>) = sync_channel(depth);
+        let handle = std::thread::Builder::new()
+            .name("ags-checkpointer".into())
+            .spawn(move || run_writer(store, rx))
+            .expect("spawn checkpoint writer thread");
+        Self { tx: Some(tx), handle: Some(handle) }
+    }
+
+    /// A non-blocking offer handle for the pipeline hot path.
+    pub fn sink(&self) -> CheckpointSink {
+        CheckpointSink { tx: self.tx.clone().expect("writer running") }
+    }
+
+    /// Synchronously commits a checkpoint generation (see
+    /// [`EpochStore::commit`]). Queued offers are drained first, so the
+    /// committed generation reflects everything published before this call.
+    pub fn commit(
+        &self,
+        window: Vec<CloudSnapshot>,
+        aux: Vec<u8>,
+    ) -> Result<CommitReport, StoreError> {
+        let (reply_tx, reply_rx) = sync_channel(1);
+        let gone = || StoreError::Io("checkpoint writer thread is gone".into());
+        self.tx
+            .as_ref()
+            .expect("writer running")
+            .send(Cmd::Commit { window, aux, reply: reply_tx })
+            .map_err(|_| gone())?;
+        reply_rx.recv().map_err(|_| gone())?
+    }
+
+    /// Stops the writer thread and returns the store (used by restore,
+    /// which needs synchronous read access). Offers queued before the stop
+    /// are drained first; sinks outliving the writer see their offers
+    /// rejected.
+    pub fn stop(mut self) -> EpochStore {
+        let tx = self.tx.take().expect("writer running");
+        let _ = tx.send(Cmd::Stop);
+        drop(tx);
+        self.handle.take().expect("writer running").join().expect("checkpoint writer panicked")
+    }
+}
+
+impl Drop for CheckpointWriter {
+    fn drop(&mut self) {
+        if let Some(tx) = self.tx.take() {
+            let _ = tx.send(Cmd::Stop);
+        }
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn run_writer(mut store: EpochStore, rx: Receiver<Cmd>) -> EpochStore {
+    while let Ok(cmd) = rx.recv() {
+        match cmd {
+            Cmd::Epoch(snapshot) => {
+                if store.persist_epoch(&snapshot).is_err() {
+                    store.note_async_error();
+                }
+            }
+            Cmd::Commit { window, aux, reply } => {
+                let _ = reply.send(store.commit(&window, &aux));
+            }
+            Cmd::Stop => break,
+        }
+    }
+    store
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{MapStore, MemoryStore};
+    use crate::epoch::CheckpointConfig;
+    use ags_math::Vec3;
+    use ags_splat::{Gaussian, SharedCloud};
+
+    fn store_over(backing: MemoryStore) -> EpochStore {
+        let config = CheckpointConfig { retry_backoff_ms: 0, ..CheckpointConfig::default() };
+        EpochStore::open(Box::new(backing), "s0", config).unwrap()
+    }
+
+    #[test]
+    fn offers_plus_commit_produce_a_restorable_generation() {
+        let backing = MemoryStore::new();
+        let writer = CheckpointWriter::spawn(store_over(backing.clone()));
+        let sink = writer.sink();
+        let mut shared = SharedCloud::new();
+        let mut window = vec![shared.peek()];
+        for i in 0..4 {
+            shared.make_mut().push(Gaussian::isotropic(Vec3::splat(i as f32), 0.1, Vec3::ONE, 0.5));
+            let snap = shared.publish();
+            sink.offer(&snap); // may drop under backpressure: that is fine
+            window.push(snap);
+        }
+        let report = writer.commit(window[2..].to_vec(), b"aux".to_vec()).unwrap();
+        assert_eq!(report.seq, 0);
+        let mut store = writer.stop();
+        let restored = store.restore_latest().unwrap().unwrap();
+        assert_eq!(restored.aux, b"aux");
+        let epochs: Vec<u64> = restored.window.iter().map(|s| s.epoch()).collect();
+        assert_eq!(epochs, vec![2, 3, 4]);
+        assert_eq!(restored.window.last().unwrap().cloud().len(), 4);
+    }
+
+    #[test]
+    fn overflowing_offers_are_dropped_not_blocking() {
+        let backing = MemoryStore::new();
+        // Stall the writer behind a slow first write? Simpler: just verify
+        // try_send semantics by flooding far past the queue depth — offer
+        // never blocks regardless of how fast the writer drains.
+        let writer = CheckpointWriter::spawn(store_over(backing));
+        let sink = writer.sink();
+        let mut shared = SharedCloud::new();
+        let mut dropped = 0;
+        for i in 0..256 {
+            shared.make_mut().push(Gaussian::isotropic(Vec3::splat(i as f32), 0.1, Vec3::ONE, 0.5));
+            if !sink.offer(&shared.publish()) {
+                dropped += 1;
+            }
+        }
+        // Whatever was dropped, the final commit recovers a full generation.
+        let head = shared.peek();
+        let window = vec![CloudSnapshot::from_parts(
+            std::sync::Arc::new(head.cloud().clone()),
+            head.epoch(),
+        )];
+        writer.commit(window, Vec::new()).unwrap();
+        let mut store = writer.stop();
+        let restored = store.restore_latest().unwrap().unwrap();
+        assert_eq!(restored.window.last().unwrap().epoch(), 256);
+        assert_eq!(restored.window.last().unwrap().cloud().len(), 256);
+        let _ = dropped; // informational only — timing dependent
+    }
+
+    #[test]
+    fn stop_returns_the_store_and_backing_survives() {
+        let backing = MemoryStore::new();
+        let writer = CheckpointWriter::spawn(store_over(backing.clone()));
+        let mut shared = SharedCloud::new();
+        shared.make_mut().push(Gaussian::isotropic(Vec3::ZERO, 0.1, Vec3::ONE, 0.5));
+        let snap = shared.publish();
+        writer.commit(vec![snap], b"x".to_vec()).unwrap();
+        let store = writer.stop();
+        drop(store);
+        assert!(backing.keys("s0/manifest/").unwrap().len() == 1);
+    }
+}

@@ -87,6 +87,31 @@ struct PreviousFrame {
     gray: GrayImage,
 }
 
+/// Serializable snapshot of the previous-frame reference.
+///
+/// Only full-resolution images are stored; the pyramid is rebuilt
+/// deterministically on restore from the same inputs `track` built it from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PreviousFrameState {
+    /// Full-resolution luminance of the previous frame.
+    pub gray: GrayImage,
+    /// Full-resolution depth of the previous frame.
+    pub depth: DepthImage,
+    /// Stored (possibly refinement-corrected) pose of the previous frame.
+    pub pose: Se3,
+}
+
+/// Serializable tracker state — what a stream checkpoint captures. The
+/// neural backbone is seeded from configuration and `run` is pure, so it
+/// carries no state of its own.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoarseTrackerState {
+    /// Previous-frame reference, `None` before the first frame.
+    pub previous: Option<PreviousFrameState>,
+    /// Constant-velocity motion-model state.
+    pub velocity: Se3,
+}
+
 impl CoarseTracker {
     /// Creates a tracker.
     pub fn new(config: CoarseConfig) -> Self {
@@ -184,6 +209,34 @@ impl CoarseTracker {
             backbone: backbone_report,
             gn_rows,
         }
+    }
+
+    /// Snapshots the tracker state for checkpointing. The pyramid is not
+    /// serialized — level 0 holds the full-resolution inputs it was built
+    /// from, so restore rebuilds it bit-identically.
+    pub fn export_state(&self) -> CoarseTrackerState {
+        CoarseTrackerState {
+            previous: self.previous.as_ref().map(|prev| PreviousFrameState {
+                gray: prev.gray.clone(),
+                depth: prev.pyramid.depth[0].clone(),
+                pose: prev.pose,
+            }),
+            velocity: self.velocity,
+        }
+    }
+
+    /// Restores the tracker mid-stream from a checkpointed state.
+    pub fn restore_state(&mut self, state: &CoarseTrackerState) {
+        self.previous = state.previous.as_ref().map(|prev| PreviousFrame {
+            pyramid: RgbdPyramid::build(
+                prev.gray.clone(),
+                prev.depth.clone(),
+                self.config.pyramid_levels,
+            ),
+            pose: prev.pose,
+            gray: prev.gray.clone(),
+        });
+        self.velocity = state.velocity;
     }
 
     /// Overrides the stored pose of the previous frame (called after fine
