@@ -764,6 +764,162 @@ fn bench_checkpoint() -> CheckpointResult {
     }
 }
 
+struct CompactionResult {
+    frames: usize,
+    width: usize,
+    height: usize,
+    full_map_bytes: u64,
+    compacted_map_bytes: u64,
+    reduction_pct: f64,
+    pruned_splats: usize,
+    quantized_splats: usize,
+    uncompacted_fps: f64,
+    compacted_fps: f64,
+    ate_uncompacted: f64,
+    ate_compacted: f64,
+    delta_bytes_per_epoch: f64,
+}
+
+/// Map compaction on the map-heavy configuration: contribution-driven
+/// pruning, cold-splat quantization and the byte budget together against the
+/// same run uncompacted. The entry reports the steady-state resident map
+/// bytes of both runs (the budget is set to 60 % of the measured uncompacted
+/// footprint), the frame rates (compaction must not cost throughput — the
+/// prune work is repaid by smaller maps everywhere downstream), ATE for both
+/// (compaction must not wreck tracking) and the epoch-delta wire bytes of
+/// the compacted run — snapping rewrites cold chunks through the delta log,
+/// so the gate tracks that churn cost against the committed baseline, while
+/// snapped splats themselves ride the ~4× chunked wire encoding in base
+/// snapshots and `added` runs. Compaction decisions are asserted
+/// bit-identical in the threaded Track ‖ Map driver before anything is
+/// timed.
+fn bench_compaction() -> CompactionResult {
+    use ags_track::ate::ate_rmse;
+    let (frames, width, height) = (8usize, 96usize, 72usize);
+    let dconfig = DatasetConfig { width, height, num_frames: frames, ..DatasetConfig::tiny() };
+    let data = Dataset::generate(SceneId::S2, &dconfig);
+    let mut full_config = e2e_config();
+    full_config.slam.mapping_iterations = 10;
+
+    let run = |config: &AgsConfig| -> (f64, AgsSlam) {
+        let start = Instant::now();
+        let mut slam = AgsSlam::new(config.clone());
+        for frame in &data.frames {
+            black_box(slam.process_frame(&data.camera, &frame.rgb, &frame.depth));
+        }
+        (start.elapsed().as_secs_f64(), slam)
+    };
+
+    let (_, full_slam) = run(&full_config);
+    let full_bytes = full_slam.trace().frames.last().expect("frames ran").map_bytes;
+
+    let mut compact_config = full_config.clone();
+    compact_config.slam.compaction = ags_splat::CompactionConfig {
+        prune_interval: 1,
+        prune_contribution_opacity: 0.9,
+        quantize_cold_after: 1,
+        // 60 % of the uncompacted footprint. Quantization alone clears this
+        // budget, which is the intended steady state: pressure pruning
+        // un-snaps every chunk past the first removed id (the remap shifts
+        // them), so a budget tight enough to force pruning on a
+        // well-quantized map *costs* bytes. The prune paths are exercised
+        // and gated bit-identical by the determinism and durability tests.
+        map_bytes_budget: full_bytes * 3 / 5,
+    };
+
+    // Determinism before timing: the compacted map (pruned ids, snapped
+    // bits, byte accounting) must be identical in the threaded driver.
+    let reference_trace = {
+        let mut c = compact_config.clone();
+        c.pipeline = PipelineConfig::map_overlapped(1, 1);
+        let mut slam = AgsSlam::new(c);
+        for frame in &data.frames {
+            black_box(slam.process_frame(&data.camera, &frame.rgb, &frame.depth));
+        }
+        slam.into_trace()
+    };
+    let shared: Vec<_> =
+        data.frames.iter().map(|f| (Arc::new(f.rgb.clone()), Arc::new(f.depth.clone()))).collect();
+    let (_, threaded_trace) = run_map_overlapped_driver(&compact_config, &data, &shared);
+    assert_eq!(
+        reference_trace.canonical_bytes(),
+        threaded_trace.canonical_bytes(),
+        "compaction must be bit-identical across drivers"
+    );
+
+    let (_, compact_slam) = run(&compact_config);
+    let compact_trace = compact_slam.trace();
+    let compacted_bytes = compact_trace.frames.last().expect("frames ran").map_bytes;
+    let pruned_splats: usize = compact_trace.frames.iter().map(|f| f.pruned).sum();
+    let quantized_splats = compact_trace.frames.last().expect("frames ran").quantized_splats;
+    assert!(
+        compacted_bytes * 10 <= full_bytes * 7,
+        "compaction must shed >= 30% of the steady-state map: {compacted_bytes} vs {full_bytes}"
+    );
+    let gt = data.gt_trajectory();
+    let ate_uncompacted = ate_rmse(full_slam.trajectory(), &gt);
+    let ate_compacted = ate_rmse(compact_slam.trajectory(), &gt);
+    assert!(
+        ate_compacted <= ate_uncompacted + 0.05,
+        "compaction must not wreck tracking: {ate_compacted} vs {ate_uncompacted}"
+    );
+
+    // Interleaved min-of-N timing of the serial driver with and without
+    // compaction (see bench_motion_estimation for the discipline).
+    let samples = 5usize;
+    let mut full_times = Vec::with_capacity(samples);
+    let mut compact_times = Vec::with_capacity(samples);
+    for sample in 0..samples {
+        if sample % 2 == 0 {
+            full_times.push(run(&full_config).0);
+            compact_times.push(run(&compact_config).0);
+        } else {
+            compact_times.push(run(&compact_config).0);
+            full_times.push(run(&full_config).0);
+        }
+    }
+    let min = |times: &[f64]| times.iter().copied().fold(f64::INFINITY, f64::min);
+    let (t_full, t_compact) = (min(&full_times), min(&compact_times));
+
+    // Size the epoch-delta log under compaction: snapped cold chunks ride
+    // the quantized wire encoding, pruned splats shrink the base snapshots.
+    let delta_bytes_per_epoch = {
+        use ags_core::{MultiStreamServer, ServerConfig};
+        use ags_store::{CheckpointConfig, MemoryStore};
+        let mut durable_base = compact_config.clone();
+        durable_base.parallelism = Parallelism::default();
+        durable_base.pipeline = PipelineConfig::map_overlapped(1, 1);
+        let mut server = MultiStreamServer::new(ServerConfig::uniform(1, durable_base));
+        server.attach_store(0, Box::new(MemoryStore::new()), CheckpointConfig::default()).unwrap();
+        for (rgb, depth) in &shared {
+            black_box(
+                server
+                    .push_frame(0, &data.camera, Arc::clone(rgb), Arc::clone(depth))
+                    .expect("healthy stream"),
+            );
+        }
+        server.finish_all();
+        server.checkpoint_stream(0).unwrap();
+        server.store_stats(0).unwrap().delta_bytes_per_record()
+    };
+
+    CompactionResult {
+        frames,
+        width,
+        height,
+        full_map_bytes: full_bytes,
+        compacted_map_bytes: compacted_bytes,
+        reduction_pct: (1.0 - compacted_bytes as f64 / full_bytes as f64) * 100.0,
+        pruned_splats,
+        quantized_splats,
+        uncompacted_fps: frames as f64 / t_full,
+        compacted_fps: frames as f64 / t_compact,
+        ate_uncompacted: f64::from(ate_uncompacted),
+        ate_compacted: f64::from(ate_compacted),
+        delta_bytes_per_epoch,
+    }
+}
+
 fn bench_gpe_sim() -> f64 {
     let sim = GpeArraySim::new(GpeArrayConfig::default());
     let evals: Vec<u16> = (0..256).map(|i| 10 + (i % 37) as u16).collect();
@@ -860,6 +1016,22 @@ fn main() {
         ckpt.overhead_pct,
         ckpt.delta_bytes_per_epoch,
         ckpt.full_snapshot_bytes
+    );
+    let compaction = bench_compaction();
+    println!(
+        "map compaction                 {}x{}:  full {:>8} B  compacted {:>8} B (-{:.1}%, pruned {}, quantized {})  fps {:.2} -> {:.2}  ate {:.4} -> {:.4}  delta {:.0} B/epoch",
+        compaction.width,
+        compaction.height,
+        compaction.full_map_bytes,
+        compaction.compacted_map_bytes,
+        compaction.reduction_pct,
+        compaction.pruned_splats,
+        compaction.quantized_splats,
+        compaction.uncompacted_fps,
+        compaction.compacted_fps,
+        compaction.ate_uncompacted,
+        compaction.ate_compacted,
+        compaction.delta_bytes_per_epoch
     );
 
     let json = format!(
@@ -960,6 +1132,21 @@ fn main() {
     "checkpoint_overhead_pct": {:.3},
     "delta_bytes_per_epoch": {:.1},
     "full_snapshot_bytes": {:.1}
+  }},
+  "compaction": {{
+    "frame": [{}, {}],
+    "frames": {},
+    "mapping_iterations": 10,
+    "full_map_bytes": {},
+    "compacted_map_bytes": {},
+    "map_bytes_reduction_pct": {:.1},
+    "compaction_pruned_splats": {},
+    "compaction_quantized_splats": {},
+    "uncompacted_frames_per_s": {:.3},
+    "compacted_frames_per_s": {:.3},
+    "ate_uncompacted": {:.5},
+    "ate_compacted": {:.5},
+    "compaction_delta_bytes_per_epoch": {:.1}
   }}
 }}
 "#,
@@ -1026,6 +1213,19 @@ fn main() {
         ckpt.overhead_pct,
         ckpt.delta_bytes_per_epoch,
         ckpt.full_snapshot_bytes,
+        compaction.width,
+        compaction.height,
+        compaction.frames,
+        compaction.full_map_bytes,
+        compaction.compacted_map_bytes,
+        compaction.reduction_pct,
+        compaction.pruned_splats,
+        compaction.quantized_splats,
+        compaction.uncompacted_fps,
+        compaction.compacted_fps,
+        compaction.ate_uncompacted,
+        compaction.ate_compacted,
+        compaction.delta_bytes_per_epoch,
     );
     let path = out_path();
     match std::fs::write(&path, &json) {

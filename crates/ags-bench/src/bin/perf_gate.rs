@@ -18,11 +18,22 @@
 //!   configuration)
 //! * `s2_aggregate_frames_per_s` (the two-stream `MultiStreamServer`
 //!   aggregate on the shared worker pool)
+//! * `compacted_frames_per_s` (the map-heavy serial driver with compaction
+//!   on — pruning and quantization must not cost throughput)
 //!
-//! One metric is gated against an **absolute ceiling** instead of the
+//! Two metrics are gated against an **absolute ceiling** instead of the
 //! baseline: `checkpoint_overhead_pct` (the slowdown the async durability
 //! sink imposes on the map-overlapped driver) must stay ≤ 5 % on any
-//! hardware — the committed baseline is irrelevant to that contract.
+//! hardware — the committed baseline is irrelevant to that contract — and
+//! `compacted_map_bytes` (the steady-state resident map of the compacted
+//! map-heavy run, deterministic on any hardware) must stay under its
+//! ceiling so compaction never quietly stops pulling its weight.
+//!
+//! One metric is gated as a **lower-is-better regression** against the
+//! baseline: `compaction_delta_bytes_per_epoch` (the epoch-delta log bytes
+//! of the compacted run — quantization churn rewrites snapped chunks
+//! through the delta log) fails when the current value exceeds
+//! `baseline * (1 + max_regression)`.
 //!
 //! Improvements and new metrics never fail the gate; a metric missing from
 //! the *current* file does (the bench must keep emitting what the gate
@@ -40,21 +51,32 @@ use std::process::ExitCode;
 /// The gated metrics: end-to-end frames/s and batched-ME pairs/s (higher is
 /// better). Note `overlapped_frames_per_s` resolves to its **first**
 /// occurrence — the main `end_to_end` entry, not `map_heavy`'s nested copy.
-const GATED_KEYS: [&str; 6] = [
+const GATED_KEYS: [&str; 7] = [
     "serial_frames_per_s",
     "parallel_frames_per_s",
     "overlapped_frames_per_s",
     "batched_pairs_per_s",
     "map_overlapped_frames_per_s",
     "s2_aggregate_frames_per_s",
+    "compacted_frames_per_s",
 ];
 
 /// Metrics with a hardware-independent ceiling (lower is better): the gate
 /// fails when the *current* value exceeds the ceiling, no baseline needed.
 /// A key absent from both files is skipped (pre-metric baselines and
 /// current files predating the bench entry); absent from the current file
-/// only, it fails like any dropped gated metric.
-const CEILING_KEYS: [(&str, f64); 1] = [("checkpoint_overhead_pct", 5.0)];
+/// only, it fails like any dropped gated metric. The `compacted_map_bytes`
+/// ceiling sits ~20 % above the deterministic steady-state value of the
+/// compacted map-heavy bench run (351 960 B at the time of writing) —
+/// map growth past it means compaction stopped earning its keep.
+const CEILING_KEYS: [(&str, f64); 2] =
+    [("checkpoint_overhead_pct", 5.0), ("compacted_map_bytes", 420_000.0)];
+
+/// Lower-is-better metrics gated against the baseline: the gate fails when
+/// the current value exceeds `baseline * (1 + max_regression)`. Same
+/// missing-key rules as the floors: no baseline skips, a dropped current
+/// value fails.
+const REGRESSION_CEILING_KEYS: [&str; 1] = ["compaction_delta_bytes_per_epoch"];
 
 /// Extracts the first `"key": <number>` value from a JSON document.
 ///
@@ -113,6 +135,24 @@ fn run(
             return Err(format!("{key}: {current:.3} exceeds the absolute ceiling {ceiling:.3}"));
         }
         report.push(format!("{key}: {current:.3} within ceiling {ceiling:.3} ok"));
+    }
+    for key in REGRESSION_CEILING_KEYS {
+        let Some(base) = extract_metric(baseline_json, key) else {
+            report.push(format!("{key}: no baseline, skipped"));
+            continue;
+        };
+        let Some(current) = extract_metric(current_json, key) else {
+            return Err(format!("{key}: missing from the current bench output"));
+        };
+        let ceiling = base * (1.0 + max_regression);
+        let delta = (current / base - 1.0) * 100.0;
+        if current > ceiling {
+            return Err(format!(
+                "{key}: {current:.3} is above the allowed ceiling {ceiling:.3} \
+                 (baseline {base:.3}, {delta:+.1}%)"
+            ));
+        }
+        report.push(format!("{key}: {current:.3} vs baseline {base:.3} ({delta:+.1}%) ok"));
     }
     Ok(report)
 }
@@ -254,6 +294,75 @@ mod tests {
         assert!(err.contains("checkpoint_overhead_pct"), "{err}");
         // Dropped from the current output while the baseline had it: fails.
         let err = run(&baseline, &doc(10.0, 10.0, 10.0), 0.25).unwrap_err();
+        assert!(err.contains("missing"), "{err}");
+    }
+
+    /// Appends a `compaction` entry to a `doc()` document the way
+    /// `with_overhead` appends `checkpoint`.
+    fn with_compaction(fps: f64, map_bytes: f64, delta: f64) -> String {
+        let d = doc(10.0, 10.0, 10.0);
+        format!(
+            r#"{}, "compaction": {{ "uncompacted_frames_per_s": 99.0,
+               "compacted_frames_per_s": {fps},
+               "compacted_map_bytes": {map_bytes},
+               "compaction_delta_bytes_per_epoch": {delta} }} }}"#,
+            &d[..d.rfind('}').unwrap()]
+        )
+    }
+
+    #[test]
+    fn compaction_keys_do_not_alias_their_longer_siblings() {
+        // `"compacted_frames_per_s"` must skip past `uncompacted_frames_per_s`
+        // (listed first in the real bench JSON), and the checkpoint entry's
+        // `delta_bytes_per_epoch` must not match inside
+        // `compaction_delta_bytes_per_epoch` or vice versa.
+        let json = format!(
+            r#"{{ "delta_bytes_per_epoch": 1.0, {} "#,
+            &with_compaction(42.0, 300000.0, 7.0)[1..]
+        );
+        assert_eq!(extract_metric(&json, "compacted_frames_per_s"), Some(42.0));
+        assert_eq!(extract_metric(&json, "uncompacted_frames_per_s"), Some(99.0));
+        assert_eq!(extract_metric(&json, "delta_bytes_per_epoch"), Some(1.0));
+        assert_eq!(extract_metric(&json, "compaction_delta_bytes_per_epoch"), Some(7.0));
+    }
+
+    #[test]
+    fn gates_compacted_throughput_regressions() {
+        let baseline = with_compaction(10.0, 300000.0, 1000.0);
+        // -20% is inside the budget.
+        assert!(run(&baseline, &with_compaction(8.0, 300000.0, 1000.0), 0.25).is_ok());
+        let err = run(&baseline, &with_compaction(7.0, 300000.0, 1000.0), 0.25).unwrap_err();
+        assert!(err.contains("compacted_frames_per_s"), "{err}");
+    }
+
+    #[test]
+    fn gates_compacted_map_bytes_against_the_absolute_ceiling() {
+        let baseline = with_compaction(10.0, 300000.0, 1000.0);
+        assert!(run(&baseline, &with_compaction(10.0, 419999.0, 1000.0), 0.25).is_ok());
+        // Above the ceiling fails even though the baseline never saw it.
+        let err = run(&baseline, &with_compaction(10.0, 500000.0, 1000.0), 0.25).unwrap_err();
+        assert!(err.contains("compacted_map_bytes"), "{err}");
+    }
+
+    #[test]
+    fn gates_compaction_delta_bytes_lower_is_better() {
+        let baseline = with_compaction(10.0, 300000.0, 1000.0);
+        // Shrinking the delta log always passes; +20% is inside the budget.
+        assert!(run(&baseline, &with_compaction(10.0, 300000.0, 500.0), 0.25).is_ok());
+        assert!(run(&baseline, &with_compaction(10.0, 300000.0, 1200.0), 0.25).is_ok());
+        // +30% churn fails.
+        let err = run(&baseline, &with_compaction(10.0, 300000.0, 1300.0), 0.25).unwrap_err();
+        assert!(err.contains("compaction_delta_bytes_per_epoch"), "{err}");
+        assert!(err.contains("above the allowed ceiling"), "{err}");
+        // Dropped from the current output while the baseline had it: fails.
+        let d = doc(10.0, 10.0, 10.0);
+        let no_delta = format!(
+            r#"{}, "compaction": {{ "compacted_frames_per_s": 10.0,
+               "compacted_map_bytes": 300000.0 }} }}"#,
+            &d[..d.rfind('}').unwrap()]
+        );
+        let err = run(&baseline, &no_delta, 0.25).unwrap_err();
+        assert!(err.contains("compaction_delta_bytes_per_epoch"), "{err}");
         assert!(err.contains("missing"), "{err}");
     }
 

@@ -34,8 +34,10 @@ use ags_store::{ByteReader, ByteWriter, StoreError};
 use ags_track::coarse::{CoarseTrackerState, PreviousFrameState};
 use std::sync::Arc;
 
-/// Version tag of the auxiliary payload layout.
-const AUX_VERSION: u16 = 1;
+/// Version tag of the auxiliary payload layout. Version 2 added the
+/// compaction tracking (per-splat touch epochs and cold-tier chunk flags)
+/// to the mapping-stage state.
+const AUX_VERSION: u16 = 2;
 
 /// Complete per-stream checkpoint state minus the map clouds (those travel
 /// through the epoch-delta store; the window here holds the same snapshots
@@ -197,6 +199,9 @@ fn put_trace_frame(w: &mut ByteWriter, f: &TraceFrame) {
     put_work(w, &f.refine);
     put_work(w, &f.mapping);
     w.put_usize(f.num_gaussians);
+    w.put_usize(f.pruned);
+    w.put_usize(f.quantized_splats);
+    w.put_u64(f.map_bytes);
     w.put_usize(f.tile_work.len());
     for t in &f.tile_work {
         w.put_u32(t.tile);
@@ -230,6 +235,9 @@ fn get_trace_frame(r: &mut ByteReader<'_>) -> Result<TraceFrame, StoreError> {
     let refine = get_work(r)?;
     let mapping = get_work(r)?;
     let num_gaussians = r.get_usize()?;
+    let pruned = r.get_usize()?;
+    let quantized_splats = r.get_usize()?;
+    let map_bytes = r.get_u64()?;
     let n_tiles = r.get_count(4)?;
     let mut tile_work = Vec::with_capacity(n_tiles);
     for _ in 0..n_tiles {
@@ -264,6 +272,9 @@ fn get_trace_frame(r: &mut ByteReader<'_>) -> Result<TraceFrame, StoreError> {
         refine,
         mapping,
         num_gaussians,
+        pruned,
+        quantized_splats,
+        map_bytes,
         tile_work,
         fp_rate,
         stage_times,
@@ -415,6 +426,15 @@ fn put_map(w: &mut ByteWriter, map: &MapStageState) {
     w.put_usize(map.keyframe_count);
     w.put_u64(map.frames_mapped);
     w.put_usize(map.trainable_from);
+
+    w.put_usize(map.last_touched.len());
+    for &epoch in &map.last_touched {
+        w.put_u64(epoch);
+    }
+    w.put_usize(map.quantized_chunks.len());
+    for &snapped in &map.quantized_chunks {
+        w.put_u8(snapped as u8);
+    }
 }
 
 fn get_map(r: &mut ByteReader<'_>) -> Result<MapStageState, StoreError> {
@@ -459,15 +479,38 @@ fn get_map(r: &mut ByteReader<'_>) -> Result<MapStageState, StoreError> {
         keyframes.push(StoredKeyframe { frame_index, pose, epoch, rgb, depth });
     }
 
+    let rng_state = r.get_u64()?;
+    let rng_inc = r.get_u64()?;
+    let keyframe_count = r.get_usize()?;
+    let frames_mapped = r.get_u64()?;
+    let trainable_from = r.get_usize()?;
+
+    let n_touched = r.get_count(8)?;
+    let mut last_touched = Vec::with_capacity(n_touched);
+    for _ in 0..n_touched {
+        last_touched.push(r.get_u64()?);
+    }
+    let n_chunks = r.get_count(1)?;
+    let mut quantized_chunks = Vec::with_capacity(n_chunks);
+    for _ in 0..n_chunks {
+        quantized_chunks.push(match r.get_u8()? {
+            0 => false,
+            1 => true,
+            b => return Err(StoreError::Corrupt(format!("invalid chunk flag {b}"))),
+        });
+    }
+
     Ok(MapStageState {
         contribution,
         adam,
         keyframes,
-        rng_state: r.get_u64()?,
-        rng_inc: r.get_u64()?,
-        keyframe_count: r.get_usize()?,
-        frames_mapped: r.get_u64()?,
-        trainable_from: r.get_usize()?,
+        rng_state,
+        rng_inc,
+        keyframe_count,
+        frames_mapped,
+        trainable_from,
+        last_touched,
+        quantized_chunks,
     })
 }
 
@@ -597,6 +640,9 @@ mod tests {
             refine: WorkUnits { iterations: 3, ..Default::default() },
             mapping: WorkUnits { pairs: 7, skipped_pairs: 2, ..Default::default() },
             num_gaussians: 42,
+            pruned: 3,
+            quantized_splats: 64,
+            map_bytes: 42 * 56,
             tile_work: vec![TileWork {
                 tile: 9,
                 per_pixel_evals: vec![1, 2, 3],
@@ -645,6 +691,8 @@ mod tests {
                 keyframe_count: 1,
                 frames_mapped: 4,
                 trainable_from: 2,
+                last_touched: vec![3, 4, 4],
+                quantized_chunks: vec![true, false],
             },
             slack: 2,
             stall_window: vec![0.001, 0.5],
@@ -672,6 +720,8 @@ mod tests {
             (restored.map.rng_state, restored.map.rng_inc),
             (state.map.rng_state, state.map.rng_inc)
         );
+        assert_eq!(restored.map.last_touched, state.map.last_touched);
+        assert_eq!(restored.map.quantized_chunks, state.map.quantized_chunks);
         assert_eq!(restored.slack, state.slack);
         assert_eq!(restored.stall_window, state.stall_window);
         assert_eq!(restored.window.len(), 1);

@@ -77,6 +77,25 @@ impl ContributionTracker {
         Some(grown)
     }
 
+    /// Negligible-pixel counts from the last key frame (indexed by Gaussian
+    /// id, empty before one was recorded). The compaction pass consults these
+    /// to rank prune candidates by recorded negligibility.
+    pub fn counts(&self) -> &[u32] {
+        &self.counts
+    }
+
+    /// Compacts the recorded tables after a prune so surviving Gaussians keep
+    /// their recorded negligibility under their new ids. This replaces
+    /// [`Self::invalidate`] when the caller has the prune's remap: the skip
+    /// set stays live instead of costing a key-frame re-record.
+    pub fn remap(&mut self, remap: &ags_splat::Remap) {
+        if let Some(skip) = &self.skip {
+            self.skip = Some(remap.rebuild_idset(skip));
+        }
+        self.counts = remap.gather(&self.counts);
+        self.recorded_len = remap.survivors_below(self.recorded_len);
+    }
+
     /// Invalidates recorded information (call after pruning — ids shift).
     pub fn invalidate(&mut self) {
         self.skip = None;
@@ -151,6 +170,20 @@ mod tests {
         assert_eq!(skip.capacity(), 5);
         assert!(skip.contains(0) && skip.contains(1));
         assert!(!skip.contains(2) && !skip.contains(4));
+    }
+
+    #[test]
+    fn remap_compacts_tables() {
+        let mut tracker = ContributionTracker::new();
+        // Ids 1 and 3 negligible; prune ids 1 and 2.
+        tracker.record(&stats(&[0, 10, 1, 9], &[12, 10, 12, 9]), 5);
+        let remap = ags_splat::Remap::from_keep(&[true, false, false, true]);
+        tracker.remap(&remap);
+        assert_eq!(tracker.counts(), &[0, 9]);
+        let skip = tracker.skip_set(2).unwrap();
+        assert!(!skip.contains(0), "id 0 stays contributory");
+        assert!(skip.contains(1), "old id 3 is new id 1 and stays skipped");
+        assert_eq!(tracker.table_bytes(), 16, "recorded_len follows survivors");
     }
 
     #[test]

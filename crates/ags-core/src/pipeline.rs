@@ -72,6 +72,9 @@ pub(crate) fn apply_map_output(record: &mut TraceFrame, mapped: MapOutput, num_g
     record.tile_work = mapped.tile_work;
     record.fp_rate = mapped.fp_rate;
     record.num_gaussians = num_gaussians;
+    record.pruned = mapped.pruned;
+    record.quantized_splats = mapped.quantized_splats;
+    record.map_bytes = mapped.map_bytes;
 }
 
 /// Everything downstream of FC detection: the tracking and mapping stages

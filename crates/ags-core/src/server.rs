@@ -54,22 +54,34 @@ use std::sync::Arc;
 pub struct StreamPolicy {
     /// Stage-graph execution of this stream.
     pub pipeline: PipelineConfig,
+    /// Per-stream soft ceiling on resident map bytes, enforced by the
+    /// stream's mapping stage at every epoch publish (quantize-cold →
+    /// prune-negligible escalation; see
+    /// `ags_splat::compact::CompactionConfig::map_bytes_budget`). `0`
+    /// inherits the base config's budget.
+    pub map_bytes_budget: u64,
 }
 
 impl StreamPolicy {
     /// All stages inline on the pushing thread (lowest latency).
     pub fn serial() -> Self {
-        Self { pipeline: PipelineConfig::default() }
+        Self { pipeline: PipelineConfig::default(), ..Self::default() }
     }
 
     /// FC on a worker thread with the given lookahead depth.
     pub fn overlapped(depth: usize) -> Self {
-        Self { pipeline: PipelineConfig::overlapped(depth) }
+        Self { pipeline: PipelineConfig::overlapped(depth), ..Self::default() }
     }
 
     /// FC and mapping on worker threads (three threads per stream).
     pub fn map_overlapped(depth: usize, map_slack: usize) -> Self {
-        Self { pipeline: PipelineConfig::map_overlapped(depth, map_slack) }
+        Self { pipeline: PipelineConfig::map_overlapped(depth, map_slack), ..Self::default() }
+    }
+
+    /// This policy with a per-stream map memory ceiling.
+    pub fn with_map_bytes_budget(mut self, bytes: u64) -> Self {
+        self.map_bytes_budget = bytes;
+        self
     }
 }
 
@@ -102,7 +114,10 @@ impl ServerConfig {
 
     /// The policy of stream `s`.
     fn policy(&self, s: usize) -> StreamPolicy {
-        self.per_stream.get(s).copied().unwrap_or(StreamPolicy { pipeline: self.base.pipeline })
+        self.per_stream
+            .get(s)
+            .copied()
+            .unwrap_or(StreamPolicy { pipeline: self.base.pipeline, ..StreamPolicy::default() })
     }
 }
 
@@ -202,6 +217,14 @@ pub struct StreamStats {
     pub stage_totals: StageTimes,
     /// Whether the stream has been isolated after a panic.
     pub poisoned: bool,
+    /// Splats in the stream's map after its newest completed frame.
+    pub map_splats: usize,
+    /// Of those, splats resident in the cold quantized tier.
+    pub quantized_splats: usize,
+    /// Estimated resident map parameter bytes (full-precision splats plus
+    /// the quantized tier) — the quantity
+    /// [`StreamPolicy::map_bytes_budget`] bounds.
+    pub map_bytes: u64,
 }
 
 /// Aggregated execution statistics across all streams.
@@ -222,6 +245,12 @@ impl ServerStats {
     /// Total completed frames across all streams.
     pub fn completed_frames(&self) -> usize {
         self.per_stream.iter().map(|s| s.completed).sum()
+    }
+
+    /// Total resident map bytes across all streams — the host-level memory
+    /// figure per-stream budgets exist to bound.
+    pub fn map_bytes_total(&self) -> u64 {
+        self.per_stream.iter().map(|s| s.map_bytes).sum()
     }
 }
 
@@ -251,7 +280,11 @@ impl MultiStreamServer {
         let streams = (0..config.streams)
             .map(|s| {
                 let mut cfg = config.base.clone();
-                cfg.pipeline = config.policy(s).pipeline;
+                let policy = config.policy(s);
+                cfg.pipeline = policy.pipeline;
+                if policy.map_bytes_budget > 0 {
+                    cfg.slam.compaction.map_bytes_budget = policy.map_bytes_budget;
+                }
                 let tag = s as u64;
                 // A default codec knob inherits the tagged stream knob —
                 // pool, tag, fallback threshold and all — in `resolve`;
@@ -484,11 +517,18 @@ impl MultiStreamServer {
         let per_stream: Vec<StreamStats> = self
             .streams
             .iter()
-            .map(|slot| StreamStats {
-                pushed: slot.pushed,
-                completed: slot.completed,
-                stage_totals: slot.slam.trace().stage_time_totals(),
-                poisoned: slot.poisoned,
+            .map(|slot| {
+                let trace = slot.slam.trace();
+                let newest = trace.frames.last();
+                StreamStats {
+                    pushed: slot.pushed,
+                    completed: slot.completed,
+                    stage_totals: trace.stage_time_totals(),
+                    poisoned: slot.poisoned,
+                    map_splats: newest.map_or(0, |f| f.num_gaussians),
+                    quantized_splats: newest.map_or(0, |f| f.quantized_splats),
+                    map_bytes: newest.map_or(0, |f| f.map_bytes),
+                }
             })
             .collect();
         let mut total = StageTimes::default();

@@ -30,6 +30,7 @@ use ags_scene::PinholeCamera;
 use ags_slam::keyframes::{KeyframeStore, StoredKeyframe};
 use ags_slam::{Backbone, WorkUnits};
 use ags_splat::backward::{backward, GradMode};
+use ags_splat::compact::{prune_cloud, quantize_chunk_in_place, FULL_SPLAT_BYTES, QUANT_CHUNK};
 use ags_splat::densify::densify_from_frame;
 use ags_splat::loss::compute_loss;
 use ags_splat::optim::{Adam, AdamState};
@@ -37,7 +38,7 @@ use ags_splat::project::project_gaussians;
 use ags_splat::render::{rasterize, RenderOptions, TileWork};
 use ags_splat::snapshot::{CloudSnapshot, SharedCloud};
 use ags_splat::tiles::GaussianTables;
-use ags_splat::{GaussianCloud, IdSet};
+use ags_splat::{GaussianCloud, IdSet, Remap};
 use ags_track::coarse::{CoarseTracker, CoarseTrackerState};
 use ags_track::fine::{GsPoseRefiner, RefineConfig};
 use std::sync::Arc;
@@ -252,6 +253,15 @@ pub struct MapOutput {
     pub tile_work: Vec<TileWork>,
     /// Measured false-positive rate of the skip prediction, when audited.
     pub fp_rate: Option<f32>,
+    /// Splats removed by compaction this frame (scheduled prune plus any
+    /// budget-pressure prune).
+    pub pruned: usize,
+    /// Splats currently resident in the cold quantized tier.
+    pub quantized_splats: usize,
+    /// Estimated resident map parameter bytes after this frame's update
+    /// (full-precision splats plus the quantized tier) — the quantity
+    /// `CompactionConfig::map_bytes_budget` bounds.
+    pub map_bytes: u64,
 }
 
 /// Serializable snapshot of a [`MapStage`] — checkpointing support.
@@ -278,6 +288,10 @@ pub struct MapStageState {
     pub frames_mapped: u64,
     /// First trainable Gaussian id (submap freezing).
     pub trainable_from: usize,
+    /// Per-splat epoch of the last parameter change (compaction coldness).
+    pub last_touched: Vec<u64>,
+    /// Per 64-splat chunk: resident in the cold quantized tier.
+    pub quantized_chunks: Vec<bool>,
 }
 
 /// Stage ③: Gaussian contribution-aware mapping.
@@ -294,6 +308,14 @@ pub struct MapStage {
     trainable_from: usize,
     /// Scratch slot carrying sampled tile work out of `map_step`.
     last_tile_work: Option<Vec<TileWork>>,
+    /// Per-splat epoch of the last parameter change (Adam touch, scale
+    /// regularisation or densify birth). Drives cold detection; only
+    /// maintained while compaction is enabled.
+    last_touched: Vec<u64>,
+    /// Per id-aligned 64-splat chunk: currently snapped onto its 8-bit
+    /// affine grid. Any later touch or boundary-shifting prune evicts the
+    /// chunk from the tier (it re-qualifies once cold again).
+    quantized_chunks: Vec<bool>,
 }
 
 impl MapStage {
@@ -309,6 +331,8 @@ impl MapStage {
             frames_mapped: 0,
             trainable_from: 0,
             last_tile_work: None,
+            last_touched: Vec::new(),
+            quantized_chunks: Vec::new(),
         }
     }
 
@@ -332,6 +356,8 @@ impl MapStage {
             keyframe_count: self.keyframe_count,
             frames_mapped: self.frames_mapped,
             trainable_from: self.trainable_from,
+            last_touched: self.last_touched.clone(),
+            quantized_chunks: self.quantized_chunks.clone(),
         }
     }
 
@@ -351,6 +377,8 @@ impl MapStage {
             frames_mapped: state.frames_mapped,
             trainable_from: state.trainable_from,
             last_tile_work: None,
+            last_touched: state.last_touched,
+            quantized_chunks: state.quantized_chunks,
         }
     }
 
@@ -395,7 +423,16 @@ impl MapStage {
             skipped_gaussians: 0,
             tile_work: Vec::new(),
             fp_rate: None,
+            pruned: 0,
+            quantized_splats: 0,
+            map_bytes: 0,
         };
+        let compaction = self.config.slam.compaction;
+        if compaction.enabled() {
+            // Splats unseen by the tracker (first frame after a restore from
+            // a pre-compaction checkpoint) are stamped hot at this epoch.
+            self.sync_splat_tracking(cloud.len(), publish_epoch);
+        }
 
         // Densification follows the baseline schedule: selective mapping
         // skips *computation* on recorded Gaussians, it does not stop the map
@@ -424,6 +461,10 @@ impl MapStage {
                 &self.config.slam.densify,
                 &mut self.rng,
             );
+            if compaction.enabled() {
+                // Newborn splats are hot: stamped with this publish epoch.
+                self.sync_splat_tracking(cloud.len(), publish_epoch);
+            }
         }
 
         let thresh_n = self.config.thresh_n_pixels(camera.width, camera.height);
@@ -520,7 +561,151 @@ impl MapStage {
             });
             self.keyframe_count += 1;
         }
+
+        // --- Compaction: scheduled prune → cold-tier quantization → budget
+        // escalation. Pure functions of stage state and the frame stream, so
+        // every driver (serial, overlapped, map-overlapped, any worker
+        // count) reproduces the decisions bit-identically.
+        if compaction.enabled() {
+            if compaction.prune_interval > 0
+                && is_keyframe
+                && self.keyframe_count > 1
+                && (self.keyframe_count - 1) % compaction.prune_interval == 0
+            {
+                // Every `prune_interval`-th key frame, right after this
+                // frame's mapping refreshed the contribution tables: drop
+                // splats below the transparency floor, plus recorded
+                // non-contributors below the (laxer) contribution floor.
+                let floor = self.config.slam.densify.prune_opacity;
+                let cfloor = compaction.prune_contribution_opacity;
+                let skip = self.contribution.skip_set(cloud.len());
+                let remap = prune_cloud(cloud, |id, g| {
+                    let opacity = g.opacity();
+                    let negligible = cfloor > 0.0
+                        && opacity < cfloor
+                        && skip.as_ref().is_some_and(|s| s.contains(id));
+                    opacity >= floor && !negligible
+                });
+                out.pruned += self.apply_remap(&remap);
+            }
+            if compaction.quantize_cold_after > 0 {
+                self.quantize_cold_chunks(cloud, publish_epoch, compaction.quantize_cold_after);
+            }
+            if compaction.map_bytes_budget > 0
+                && self.resident_bytes(cloud.len()) > compaction.map_bytes_budget
+            {
+                // Escalation 1: snap everything cold for even one epoch.
+                self.quantize_cold_chunks(cloud, publish_epoch, 1);
+                let over =
+                    self.resident_bytes(cloud.len()).saturating_sub(compaction.map_bytes_budget);
+                if over > 0 {
+                    // Escalation 2: prune the most-negligible recorded
+                    // splats. The ceiling is soft — candidates can run out,
+                    // and evicted chunks count full-precision until the next
+                    // pass re-snaps them.
+                    let need = over.div_ceil(FULL_SPLAT_BYTES) as usize;
+                    let victims = self.negligibility_victims(cloud.len(), need);
+                    let remap = prune_cloud(cloud, |id, _| !victims[id]);
+                    out.pruned += self.apply_remap(&remap);
+                }
+            }
+            out.quantized_splats = self.quantized_splat_count();
+        }
+        out.map_bytes = ags_splat::compact::map_bytes(cloud.len(), out.quantized_splats);
         out
+    }
+
+    /// Grows the per-splat compaction tracking to `len`, stamping unseen
+    /// splats as touched at `epoch`.
+    fn sync_splat_tracking(&mut self, len: usize, epoch: u64) {
+        if self.last_touched.len() < len {
+            self.last_touched.resize(len, epoch);
+        }
+        self.quantized_chunks.resize(len / QUANT_CHUNK, false);
+    }
+
+    /// Records that splat `id`'s parameters changed at `epoch`, evicting its
+    /// chunk from the cold quantized tier.
+    fn mark_touched(&mut self, id: usize, epoch: u64) {
+        if let Some(t) = self.last_touched.get_mut(id) {
+            *t = epoch;
+        }
+        if let Some(q) = self.quantized_chunks.get_mut(id / QUANT_CHUNK) {
+            *q = false;
+        }
+    }
+
+    /// Threads a prune's id remap through every id-indexed side structure:
+    /// optimizer moments, contribution tables, the sub-map freeze boundary
+    /// and the compaction tracking itself. Returns the number removed.
+    fn apply_remap(&mut self, remap: &Remap) -> usize {
+        if remap.is_identity() {
+            return 0;
+        }
+        self.adam.remap(remap);
+        self.contribution.remap(remap);
+        self.trainable_from = remap.survivors_below(self.trainable_from);
+        self.last_touched = remap.gather(&self.last_touched);
+        // Chunks wholly below the first removed id keep their alignment and
+        // stay snapped; everything above shifts and must re-qualify (and
+        // re-snap chunk-aligned) on a later pass.
+        let stable = remap.first_removed().map_or(0, |id| id / QUANT_CHUNK);
+        let new_chunks = remap.new_len() / QUANT_CHUNK;
+        self.quantized_chunks.truncate(stable.min(new_chunks));
+        self.quantized_chunks.resize(new_chunks, false);
+        remap.removed()
+    }
+
+    /// Snaps every fully-cold, not-yet-snapped id-aligned chunk onto its
+    /// 8-bit affine grid (see `ags_splat::compact`). The snapped values are
+    /// the canonical parameters from here on — every driver, snapshot and
+    /// the wire codec see identical bits.
+    fn quantize_cold_chunks(&mut self, cloud: &mut GaussianCloud, epoch: u64, cold_after: u64) {
+        let chunks = cloud.len() / QUANT_CHUNK;
+        self.quantized_chunks.resize(chunks, false);
+        let splats = cloud.gaussians_mut();
+        for c in 0..chunks {
+            if self.quantized_chunks[c] {
+                continue;
+            }
+            let lo = c * QUANT_CHUNK;
+            let hi = lo + QUANT_CHUNK;
+            let cold =
+                self.last_touched[lo..hi].iter().all(|&t| t.saturating_add(cold_after) <= epoch);
+            if cold && quantize_chunk_in_place(&mut splats[lo..hi]) {
+                self.quantized_chunks[c] = true;
+            }
+        }
+    }
+
+    /// Splats currently resident in the cold quantized tier.
+    fn quantized_splat_count(&self) -> usize {
+        self.quantized_chunks.iter().filter(|&&q| q).count() * QUANT_CHUNK
+    }
+
+    /// Estimated resident map bytes given the current tier occupancy.
+    fn resident_bytes(&self, len: usize) -> u64 {
+        ags_splat::compact::map_bytes(len, self.quantized_splat_count())
+    }
+
+    /// Keep-mask complement for a budget-pressure prune: the `need` splats
+    /// with the highest recorded negligible-pixel counts (ties to the lower
+    /// id). Splats without a recorded count are never pressure-pruned.
+    fn negligibility_victims(&self, len: usize, need: usize) -> Vec<bool> {
+        let counts = self.contribution.counts();
+        let mut candidates: Vec<(u32, usize)> = counts
+            .iter()
+            .take(len)
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(id, &c)| (c, id))
+            .collect();
+        candidates.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        let mut victims = vec![false; len];
+        for &(_, id) in candidates.iter().take(need) {
+            victims[id] = true;
+        }
+        victims
     }
 
     /// One (selective) mapping iteration. Returns the loss, the phase work
@@ -558,17 +743,31 @@ impl MapStage {
             skip.map(Arc::as_ref),
             &self.config.parallelism,
         );
+        let track_touches = self.config.slam.compaction.enabled();
+        let epoch = self.frames_mapped;
         if let Some(grads) = back.grads.as_mut() {
             for id in 0..self.trainable_from.min(grads.touched.len()) {
                 grads.touched[id] = false;
             }
             self.adam.step(cloud, grads);
+            if track_touches {
+                for (id, &touched) in grads.touched.iter().enumerate() {
+                    if touched {
+                        self.mark_touched(id, epoch);
+                    }
+                }
+            }
         }
         if self.config.slam.scale_regularisation > 0.0 {
             let lambda = self.config.slam.scale_regularisation;
             for g in cloud.gaussians_mut()[self.trainable_from..].iter_mut() {
                 let mean = (g.log_scale.x + g.log_scale.y + g.log_scale.z) / 3.0;
                 g.log_scale = g.log_scale * (1.0 - lambda) + ags_math::Vec3::splat(mean * lambda);
+            }
+            if track_touches {
+                for id in self.trainable_from..cloud.len() {
+                    self.mark_touched(id, epoch);
+                }
             }
         }
         let mut work = WorkUnits::default();

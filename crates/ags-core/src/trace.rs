@@ -76,6 +76,12 @@ pub struct TraceFrame {
     pub mapping: WorkUnits,
     /// Map size after the frame.
     pub num_gaussians: usize,
+    /// Splats removed by compaction this frame.
+    pub pruned: usize,
+    /// Splats resident in the cold quantized tier after the frame.
+    pub quantized_splats: usize,
+    /// Estimated resident map parameter bytes after the frame.
+    pub map_bytes: u64,
     /// Sampled per-tile rasterization workload (empty unless sampled).
     pub tile_work: Vec<TileWork>,
     /// Measured false-positive rate of the skip prediction, when audited.
@@ -139,6 +145,9 @@ impl WorkloadTrace {
                 refine: r.tracking,
                 mapping: r.mapping,
                 num_gaussians: r.num_gaussians,
+                pruned: 0,
+                quantized_splats: 0,
+                map_bytes: r.num_gaussians as u64 * ags_splat::compact::FULL_SPLAT_BYTES,
                 tile_work: r.tile_work.clone(),
                 fp_rate: None,
                 stage_times: StageTimes::default(),
@@ -200,6 +209,9 @@ impl WorkloadTrace {
             push_work(&mut out, &f.refine);
             push_work(&mut out, &f.mapping);
             push_u64(&mut out, f.num_gaussians as u64);
+            push_u64(&mut out, f.pruned as u64);
+            push_u64(&mut out, f.quantized_splats as u64);
+            push_u64(&mut out, f.map_bytes);
             push_u64(&mut out, f.tile_work.len() as u64);
             for t in &f.tile_work {
                 push_u64(&mut out, t.tile as u64);

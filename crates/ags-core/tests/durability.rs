@@ -42,13 +42,12 @@ fn pooled_base() -> AgsConfig {
     base
 }
 
+fn server_config_with(base: AgsConfig, policy: StreamPolicy, workers: usize) -> ServerConfig {
+    ServerConfig { streams: 1, base, per_stream: vec![policy], pool_workers: Some(workers) }
+}
+
 fn server_config(policy: StreamPolicy, workers: usize) -> ServerConfig {
-    ServerConfig {
-        streams: 1,
-        base: pooled_base(),
-        per_stream: vec![policy],
-        pool_workers: Some(workers),
-    }
+    server_config_with(pooled_base(), policy, workers)
 }
 
 fn fast_store_config() -> CheckpointConfig {
@@ -367,6 +366,81 @@ fn slack_larger_than_persisted_epochs_restores() {
     let reference = uninterrupted(policy, 2, &data);
     let recovered = crash_and_recover(policy, 2, &data, cut);
     assert_eq!(reference, recovered);
+}
+
+#[test]
+fn compaction_state_survives_restore_bit_identical() {
+    // The compaction bookkeeping (per-splat touch epochs, quantized-chunk
+    // flags, compacted contribution tables) rides the Aux record. A run
+    // recovered mid-sequence must make the exact same prune and quantize
+    // decisions as the uninterrupted one — down to identical snapped bits
+    // and identical byte accounting in the trace.
+    let frames = 8;
+    let cut = 4;
+    let data = dataset(SceneId::Xyz, frames);
+
+    let prune_base = {
+        let mut base = pooled_base();
+        // Every frame is a key frame: contribution tables stay fresh and
+        // the prune schedule fires often.
+        base.thresh_m = 1.01;
+        base.slam.compaction = ags_splat::CompactionConfig {
+            prune_interval: 2,
+            prune_contribution_opacity: 0.9,
+            quantize_cold_after: 1,
+            map_bytes_budget: 48 * 1024,
+        };
+        base
+    };
+    let quantize_base = {
+        let mut base = pooled_base();
+        base.slam.compaction =
+            ags_splat::CompactionConfig { quantize_cold_after: 1, ..Default::default() };
+        base
+    };
+
+    let cases = [
+        ("prune+budget", &prune_base, StreamPolicy::serial()),
+        ("prune+budget", &prune_base, StreamPolicy::overlapped(2)),
+        ("prune+budget", &prune_base, StreamPolicy::map_overlapped(1, 2)),
+        ("quantize-cold", &quantize_base, StreamPolicy::map_overlapped(1, 2)),
+    ];
+    for (label, base, policy) in cases {
+        let workers = 2;
+        let mut server = MultiStreamServer::new(server_config_with(base.clone(), policy, workers));
+        for f in 0..frames {
+            push(&mut server, 0, &data, f);
+        }
+        server.finish_all();
+        {
+            // Compaction must have acted both before and after the cut, or
+            // recovery would never exercise the restored bookkeeping.
+            let trace = server.stream(0).unwrap().trace();
+            let active = |f: &ags_core::TraceFrame| f.pruned > 0 || f.quantized_splats > 0;
+            assert!(trace.frames[..cut].iter().any(active), "{label}: idle before the cut");
+            assert!(trace.frames[cut..].iter().any(active), "{label}: idle after the cut");
+        }
+        let reference = result_of(&server, 0);
+
+        let backing = MemoryStore::new();
+        let mut crashed = MultiStreamServer::new(server_config_with(base.clone(), policy, workers));
+        crashed.attach_store(0, Box::new(backing.clone()), fast_store_config()).unwrap();
+        for f in 0..cut {
+            push(&mut crashed, 0, &data, f);
+        }
+        crashed.checkpoint_stream(0).expect("checkpoint commits");
+        drop(crashed);
+
+        let mut recovered =
+            MultiStreamServer::new(server_config_with(base.clone(), policy, workers));
+        recovered.attach_store(0, Box::new(backing), fast_store_config()).unwrap();
+        recovered.restore_stream(0).expect("restore succeeds");
+        for f in cut..frames {
+            push(&mut recovered, 0, &data, f);
+        }
+        recovered.finish_all();
+        assert_eq!(reference, result_of(&recovered, 0), "{label}: {policy:?}");
+    }
 }
 
 #[test]

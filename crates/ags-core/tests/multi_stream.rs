@@ -245,6 +245,58 @@ fn a_panicking_stream_does_not_poison_the_pool_or_its_neighbours() {
 }
 
 #[test]
+fn per_stream_byte_budgets_cap_maps_and_surface_in_stats() {
+    // Stream 0 carries a map-byte budget through its policy; stream 1 runs
+    // the same scene uncapped. The budget must engage compaction on stream 0
+    // only, and the per-stream memory footprint must be visible in stats().
+    let frames = 8;
+    let data = dataset(SceneId::Xyz, frames);
+    let config = ServerConfig {
+        streams: 2,
+        base: pooled_base(),
+        per_stream: vec![
+            StreamPolicy::map_overlapped(1, 1).with_map_bytes_budget(48 * 1024),
+            StreamPolicy::map_overlapped(1, 1),
+        ],
+        pool_workers: Some(2),
+    };
+    let mut server = MultiStreamServer::new(config);
+    for f in 0..frames {
+        for s in 0..2 {
+            server
+                .push_frame(
+                    s,
+                    &data.camera,
+                    Arc::new(data.frames[f].rgb.clone()),
+                    Arc::new(data.frames[f].depth.clone()),
+                )
+                .expect("healthy stream");
+        }
+    }
+    server.finish_all();
+
+    let pruned_total = |s: usize| -> usize {
+        server.stream(s).unwrap().trace().frames.iter().map(|f| f.pruned).sum()
+    };
+    assert!(pruned_total(0) > 0, "budget pressure must prune the capped stream");
+    assert_eq!(pruned_total(1), 0, "the uncapped stream is never compacted");
+
+    let stats = server.stats();
+    let (capped, free) = (&stats.per_stream[0], &stats.per_stream[1]);
+    assert!(
+        capped.map_bytes < free.map_bytes,
+        "same scene, budgeted stream must be smaller: {} vs {}",
+        capped.map_bytes,
+        free.map_bytes
+    );
+    // The stats mirror the live streams exactly.
+    assert_eq!(capped.map_splats, server.stream(0).unwrap().cloud().len());
+    assert_eq!(free.map_splats, server.stream(1).unwrap().cloud().len());
+    assert_eq!(free.map_bytes, free.map_splats as u64 * 56, "uncapped stream stays full precision");
+    assert_eq!(stats.map_bytes_total(), capped.map_bytes + free.map_bytes);
+}
+
+#[test]
 fn stats_aggregate_sums_and_maxima_across_streams() {
     let frames = 4;
     let mix = stream_mix(3);

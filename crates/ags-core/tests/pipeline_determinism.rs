@@ -287,6 +287,143 @@ fn map_slack_defers_refinement_by_exactly_slack_epochs() {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Map compaction (contribution-driven pruning, cold-splat quantization and
+// the per-stream byte budget) runs inside the map stage, so its decisions
+// must be part of the same bit-identity contract: every driver, worker count
+// and lookahead depth sees the exact same prunes, the exact same snapped
+// parameters and the exact same byte accounting. The compaction trace fields
+// are covered by `canonical_bytes()`, so the assertions below check them for
+// free.
+// ---------------------------------------------------------------------------
+
+/// Aggressive compaction: every frame is a key frame (`thresh_m` > 1), so
+/// contribution-driven pruning is scheduled often, and a tight byte budget
+/// keeps the pressure path hot.
+fn compaction_prune_config() -> AgsConfig {
+    let mut config = AgsConfig::tiny();
+    config.thresh_m = 1.01;
+    config.slam.compaction = ags_splat::CompactionConfig {
+        prune_interval: 2,
+        prune_contribution_opacity: 0.9,
+        quantize_cold_after: 1,
+        map_bytes_budget: 48 * 1024,
+    };
+    config
+}
+
+/// Quantization-only compaction: chunks untouched for one published epoch
+/// are snapped onto their 8-bit grids; nothing is ever pruned.
+fn compaction_quantize_config() -> AgsConfig {
+    let mut config = AgsConfig::tiny();
+    config.slam.compaction =
+        ags_splat::CompactionConfig { quantize_cold_after: 1, ..Default::default() };
+    config
+}
+
+#[test]
+fn compaction_is_bit_identical_across_drivers_and_worker_counts() {
+    use ags_math::Parallelism;
+    let data = dataset(SceneId::Xyz, 8);
+    for (label, config, engages_prune) in [
+        ("prune+budget", compaction_prune_config(), true),
+        ("quantize-cold", compaction_quantize_config(), false),
+    ] {
+        let reference = {
+            let mut c = config.clone();
+            c.parallelism = Parallelism::serial();
+            run_serial(c, &data)
+        };
+        // The compaction paths must actually fire, or the identity below
+        // proves nothing about them.
+        let frames = &reference.trace().frames;
+        if engages_prune {
+            assert!(frames.iter().any(|f| f.pruned > 0), "{label}: prune never fired");
+        } else {
+            assert!(
+                frames.iter().any(|f| f.quantized_splats > 0),
+                "{label}: quantizer never fired"
+            );
+        }
+        for threads in [2usize, 8] {
+            let mut c = config.clone();
+            c.parallelism = Parallelism::with_threads(threads).min_items(0);
+            let parallel = run_serial(c, &data);
+            assert_eq!(
+                reference.cloud().gaussians(),
+                parallel.cloud().gaussians(),
+                "{label}: cloud, {threads} threads"
+            );
+            assert_eq!(
+                reference.trace().canonical_bytes(),
+                parallel.trace().canonical_bytes(),
+                "{label}: trace, {threads} threads"
+            );
+        }
+        for depth in [1usize, 2] {
+            let overlapped = run_overlapped(config.clone(), &data, depth);
+            assert_bit_identical(&reference, &overlapped, &format!("{label} depth {depth}"));
+        }
+    }
+}
+
+#[test]
+fn compaction_map_overlapped_matches_deferred_serial() {
+    use ags_math::Parallelism;
+    let data = dataset(SceneId::Xyz, 6);
+    for (label, mut config) in [
+        ("prune+budget", compaction_prune_config()),
+        ("quantize-cold", compaction_quantize_config()),
+    ] {
+        config.pipeline = PipelineConfig::map_overlapped(1, 1);
+        let reference = {
+            let mut c = config.clone();
+            c.parallelism = Parallelism::serial();
+            run_serial(c, &data)
+        };
+        for depth in [1usize, 2] {
+            for threads in [2usize, 8] {
+                let mut c = config.clone();
+                c.parallelism = Parallelism::with_threads(threads).min_items(0);
+                let overlapped = run_map_overlapped(c, &data, depth);
+                assert_matches_reference(
+                    &reference,
+                    &overlapped,
+                    &format!("{label} depth {depth} workers {threads}"),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn compaction_shrinks_the_map_within_ate_tolerance() {
+    use ags_track::ate::ate_rmse;
+    let data = dataset(SceneId::Xyz, 8);
+    let full = run_serial(AgsConfig::tiny(), &data);
+    let mut config = AgsConfig::tiny();
+    config.slam.compaction = ags_splat::CompactionConfig {
+        prune_interval: 1,
+        prune_contribution_opacity: 0.9,
+        quantize_cold_after: 1,
+        map_bytes_budget: 32 * 1024,
+    };
+    let compacted = run_serial(config, &data);
+    let gt = data.gt_trajectory();
+    let (ate_full, ate_compact) =
+        (ate_rmse(full.trajectory(), &gt), ate_rmse(compacted.trajectory(), &gt));
+    assert!(
+        ate_compact <= ate_full + 0.02,
+        "compaction must not wreck tracking: {ate_compact} vs {ate_full}"
+    );
+    let resident = |slam: &AgsSlam| slam.trace().frames.last().unwrap().map_bytes;
+    let (full_bytes, compact_bytes) = (resident(&full), resident(&compacted));
+    assert!(
+        compact_bytes * 10 <= full_bytes * 8,
+        "steady-state map at least 20% smaller: {compact_bytes} vs {full_bytes} bytes"
+    );
+}
+
 #[test]
 fn serial_pipelined_driver_matches_monolithic_driver() {
     // PipelineMode::Serial in the pipelined driver is the degenerate stage

@@ -7,7 +7,8 @@ use ags_image::{DepthImage, RgbImage};
 use ags_math::{Pcg32, Se3};
 use ags_scene::PinholeCamera;
 use ags_splat::backward::{backward, GradMode};
-use ags_splat::densify::{densify_from_frame, prune_transparent};
+use ags_splat::compact::prune_cloud;
+use ags_splat::densify::densify_from_frame;
 use ags_splat::loss::compute_loss;
 use ags_splat::optim::Adam;
 use ags_splat::project::project_gaussians;
@@ -195,17 +196,18 @@ impl BaselineSlam {
             }
         }
 
-        // --- Pruning. ---
-        if self.config.prune_interval > 0
+        // --- Pruning (shared compaction pass, see `ags_splat::compact`). ---
+        if self.config.compaction.prune_interval > 0
             && frame_index > 0
-            && frame_index % self.config.prune_interval == 0
+            && frame_index % self.config.compaction.prune_interval == 0
         {
-            let removed = prune_transparent(&mut self.cloud, &self.config.densify);
-            if removed > 0 {
-                self.adam.reset();
-                // Sub-map freezing indexes shift unpredictably; conservatively
-                // unfreeze (pruning removes mostly-dead Gaussians anyway).
-                self.trainable_from = 0;
+            let floor = self.config.densify.prune_opacity;
+            let remap = prune_cloud(&mut self.cloud, |_, g| g.opacity() >= floor);
+            if !remap.is_identity() {
+                // Survivors keep their Adam momentum and the sub-map freeze
+                // boundary shifts with them.
+                self.adam.remap(&remap);
+                self.trainable_from = remap.survivors_below(self.trainable_from);
             }
         }
 
@@ -361,6 +363,29 @@ mod tests {
         );
         let coverage = out.silhouette.pixels().iter().filter(|&&s| s > 0.5).count();
         assert!(coverage > out.silhouette.len() / 2, "coverage {coverage}");
+    }
+
+    #[test]
+    fn scheduled_prune_keeps_tracking_bounded() {
+        let compaction =
+            ags_splat::compact::CompactionConfig { prune_interval: 2, ..Default::default() };
+        // Floor just above the densify init opacity (0.8): splats whose
+        // opacity mapping did not actively raise get pruned, forcing real
+        // remaps every scheduled pass.
+        let densify =
+            ags_splat::densify::DensifyConfig { prune_opacity: 0.81, ..Default::default() };
+        let config = SlamConfig { compaction, densify, ..SlamConfig::tiny() };
+        let (slam, data, _) = run_slam(config.clone(), 6);
+        let (unpruned, _, _) = run_slam(SlamConfig { compaction: Default::default(), ..config }, 6);
+        assert!(!slam.cloud().is_empty());
+        assert!(
+            slam.cloud().len() < unpruned.cloud().len(),
+            "prune should shrink the map: {} vs {} unpruned",
+            slam.cloud().len(),
+            unpruned.cloud().len()
+        );
+        let ate = ate_rmse(slam.trajectory(), &data.gt_trajectory());
+        assert!(ate < 0.1, "pruned baseline ATE {ate}");
     }
 
     #[test]

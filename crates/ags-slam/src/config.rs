@@ -1,5 +1,6 @@
 //! SLAM pipeline configuration.
 
+use ags_splat::compact::CompactionConfig;
 use ags_splat::densify::DensifyConfig;
 use ags_splat::loss::LossConfig;
 use ags_splat::optim::AdamConfig;
@@ -51,8 +52,9 @@ pub struct SlamConfig {
     pub covis_window: bool,
     /// Densify every `densify_interval` frames.
     pub densify_interval: usize,
-    /// Prune transparent Gaussians every `prune_interval` frames (0 = never).
-    pub prune_interval: usize,
+    /// Map compaction policy: scheduled pruning, cold-splat quantization and
+    /// the per-stream memory budget. Disabled by default.
+    pub compaction: CompactionConfig,
     /// Start a new sub-map every this many key frames (Gaussian-SLAM only).
     pub submap_interval: usize,
     /// Scale-regularisation strength (Gaussian-SLAM only).
@@ -77,7 +79,7 @@ impl Default for SlamConfig {
             mapping_window: 2,
             covis_window: false,
             densify_interval: 1,
-            prune_interval: 0,
+            compaction: CompactionConfig::default(),
             submap_interval: 4,
             scale_regularisation: 0.0,
             tile_work_interval: 8,

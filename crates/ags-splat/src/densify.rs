@@ -128,10 +128,12 @@ pub fn densify_from_frame(
 }
 
 /// Removes Gaussians whose opacity fell below the prune threshold, returning
-/// how many were removed. Callers must reset Adam state afterwards (ids
-/// shift).
+/// how many were removed. Thin wrapper over [`crate::compact::prune_cloud`];
+/// callers holding id-indexed state should call that directly and apply the
+/// returned [`crate::compact::Remap`] (e.g. via [`crate::optim::Adam::remap`])
+/// instead of resetting it.
 pub fn prune_transparent(cloud: &mut GaussianCloud, config: &DensifyConfig) -> usize {
-    cloud.retain(|_, g| g.opacity() >= config.prune_opacity)
+    crate::compact::prune_cloud(cloud, |_, g| g.opacity() >= config.prune_opacity).removed()
 }
 
 #[cfg(test)]

@@ -37,6 +37,7 @@
 
 pub mod audit;
 pub mod backward;
+pub mod compact;
 pub mod densify;
 pub mod gaussian;
 pub mod idset;
@@ -48,6 +49,7 @@ pub mod snapshot;
 pub mod tiles;
 pub mod train;
 
+pub use compact::{CompactionConfig, Remap};
 pub use gaussian::{Gaussian, GaussianCloud};
 pub use idset::IdSet;
 pub use render::{RenderOptions, RenderOutput};

@@ -1,6 +1,7 @@
 //! Adam optimizers for Gaussian parameters and camera poses.
 
 use crate::backward::{GradBuffers, PoseGrad};
+use crate::compact::Remap;
 use crate::gaussian::GaussianCloud;
 use ags_math::{Se3, Vec3};
 
@@ -54,14 +55,20 @@ impl Moments {
             self.v.resize(n, 0.0);
         }
     }
+
+    fn remap(&mut self, remap: &Remap, stride: usize) {
+        self.m = remap.gather_strided(&self.m, stride);
+        self.v = remap.gather_strided(&self.v, stride);
+    }
 }
 
 /// Adam state over a Gaussian cloud's parameter arrays.
 ///
 /// The state resizes automatically as the cloud grows (densification); newly
 /// added Gaussians start with zero moments. When Gaussians are *removed*
-/// (pruning) the caller must [`Adam::reset`] — ids shift, so stale moments
-/// would be applied to the wrong parameters.
+/// (pruning) the caller must [`Adam::remap`] with the prune's remap table
+/// (or [`Adam::reset`]) — ids shift, so stale moments would otherwise be
+/// applied to the wrong parameters.
 #[derive(Debug, Clone, Default)]
 pub struct Adam {
     config: AdamConfig,
@@ -138,10 +145,22 @@ impl Adam {
         }
     }
 
-    /// Clears all moments (call after pruning).
+    /// Clears all moments (legacy alternative to [`Adam::remap`] after a
+    /// prune; loses the survivors' momentum).
     pub fn reset(&mut self) {
         let config = self.config;
         *self = Self::new(config);
+    }
+
+    /// Compacts the moment arrays after a prune so every surviving Gaussian
+    /// keeps its momentum under its new id. `step_count` (and with it the
+    /// bias correction schedule) is preserved.
+    pub fn remap(&mut self, remap: &Remap) {
+        self.position.remap(remap, 3);
+        self.log_scale.remap(remap, 3);
+        self.rotation.remap(remap, 4);
+        self.color.remap(remap, 3);
+        self.opacity.remap(remap, 1);
     }
 
     /// Applies one Adam step to every *touched* Gaussian.
@@ -369,6 +388,28 @@ mod tests {
             adam.step(&mut cloud, &grads_with_color_x(1, 0, 2.0 * (x - 0.9)));
         }
         assert!((cloud.gaussians()[0].color.x - 0.9).abs() < 0.05);
+    }
+
+    #[test]
+    fn remap_keeps_survivor_moments_under_new_ids() {
+        let mut cloud = one_gaussian_cloud();
+        cloud.push(Gaussian::isotropic(Vec3::new(1.0, 0.0, 2.0), 0.2, Vec3::splat(0.5), 0.5));
+        cloud.push(Gaussian::isotropic(Vec3::new(2.0, 0.0, 2.0), 0.2, Vec3::splat(0.5), 0.5));
+        let mut adam = Adam::new(AdamConfig::default());
+        // Give id 2 distinctive momentum, id 0 some other momentum.
+        adam.step(&mut cloud, &grads_with_color_x(3, 2, 0.7));
+        adam.step(&mut cloud, &grads_with_color_x(3, 0, 0.3));
+        let before = adam.export_state();
+        // Prune id 1: id 2 becomes id 1.
+        let remap = Remap::from_keep(&[true, false, true]);
+        adam.remap(&remap);
+        let after = adam.export_state();
+        assert_eq!(after.step_count, before.step_count);
+        assert_eq!(after.color.m[0], before.color.m[0]);
+        assert_eq!(after.color.m[3], before.color.m[6]);
+        assert_eq!(after.color.v[3], before.color.v[6]);
+        assert_eq!(after.opacity.m.len(), 2);
+        assert_eq!(after.rotation.m.len(), 8);
     }
 
     #[test]

@@ -7,10 +7,22 @@
 //! positionally — Gaussian ids are slab indices and mapping only ever
 //! rewrites in place, appends at the tail, or compacts via `retain`, so a
 //! positional diff plus the new length captures all three.
+//!
+//! ## Chunked quantized encoding
+//!
+//! Splat runs (full snapshots and delta `added` tails) are written in
+//! [`QUANT_CHUNK`]-splat chunks. Each chunk carries a one-byte tag: either
+//! the 14 raw `f32` lanes per splat, or — when the chunk's values are
+//! *verified* to reconstruct bit-exactly from a per-lane affine grid — the
+//! 14 grid headers plus one `u8` code per lane per splat (~4× smaller).
+//! Chunks snapped by the in-map cold-splat quantizer qualify by
+//! construction (the snap is grid-idempotent); everything else falls back
+//! to raw floats, so the wire format is always lossless.
 
 use crate::error::StoreError;
 use crate::wire::{ByteReader, ByteWriter};
 use ags_math::{Quat, Vec3};
+use ags_splat::compact::{lane_value, set_lane_value, Grid, GAUSSIAN_LANES, QUANT_CHUNK};
 use ags_splat::{Gaussian, GaussianCloud};
 
 fn put_vec3(w: &mut ByteWriter, v: Vec3) {
@@ -48,22 +60,118 @@ pub(crate) fn get_gaussian(r: &mut ByteReader) -> Result<Gaussian, StoreError> {
 /// Bytes one Gaussian occupies on the wire.
 pub(crate) const GAUSSIAN_BYTES: usize = 14 * 4;
 
-/// Appends a full cloud (length-prefixed) to `w`.
+/// Chunk tag: splats follow as raw `f32` lanes.
+const TAG_FULL: u8 = 0;
+
+/// Chunk tag: splats follow as per-lane grids plus `u8` codes.
+const TAG_QUANTIZED: u8 = 1;
+
+/// Smallest possible wire footprint per splat (one code byte per lane in a
+/// quantized chunk) — used to guard length prefixes before allocation.
+const MIN_SPLAT_WIRE_BYTES: usize = GAUSSIAN_LANES;
+
+/// Derives per-lane grids for `splats` and returns the code stream iff every
+/// lane of every splat dequantizes back to its input bit-exactly.
+fn try_quantized_chunk(splats: &[Gaussian]) -> Option<([Grid; GAUSSIAN_LANES], Vec<u8>)> {
+    let mut grids = [Grid { min: 0.0, max: 0.0 }; GAUSSIAN_LANES];
+    for (lane, grid) in grids.iter_mut().enumerate() {
+        *grid = Grid::from_values(splats.iter().map(|g| lane_value(g, lane)))?;
+    }
+    let mut codes = Vec::with_capacity(splats.len() * GAUSSIAN_LANES);
+    for g in splats {
+        for (lane, grid) in grids.iter().enumerate() {
+            let v = lane_value(g, lane);
+            let code = grid.quantize(v);
+            if grid.dequantize(code).to_bits() != v.to_bits() {
+                return None;
+            }
+            codes.push(code);
+        }
+    }
+    Some((grids, codes))
+}
+
+/// Writes `splats` as tagged [`QUANT_CHUNK`]-splat chunks (the final partial
+/// chunk, if any, is always raw). The splat count is *not* prefixed.
+fn encode_splats_chunked(w: &mut ByteWriter, splats: &[Gaussian]) {
+    for chunk in splats.chunks(QUANT_CHUNK) {
+        if chunk.len() == QUANT_CHUNK {
+            if let Some((grids, codes)) = try_quantized_chunk(chunk) {
+                w.put_u8(TAG_QUANTIZED);
+                for grid in &grids {
+                    w.put_f32(grid.min);
+                    w.put_f32(grid.max);
+                }
+                w.put_bytes(&codes);
+                continue;
+            }
+        }
+        w.put_u8(TAG_FULL);
+        for g in chunk {
+            put_gaussian(w, g);
+        }
+    }
+}
+
+/// Reads `n` splats written by [`encode_splats_chunked`].
+fn decode_splats_chunked(r: &mut ByteReader, n: usize) -> Result<Vec<Gaussian>, StoreError> {
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        let k = QUANT_CHUNK.min(n - out.len());
+        match r.get_u8()? {
+            TAG_FULL => {
+                for _ in 0..k {
+                    out.push(get_gaussian(r)?);
+                }
+            }
+            TAG_QUANTIZED => {
+                if k != QUANT_CHUNK {
+                    return Err(StoreError::Corrupt(format!(
+                        "quantized chunk in a {k}-splat tail"
+                    )));
+                }
+                let mut grids = [Grid { min: 0.0, max: 0.0 }; GAUSSIAN_LANES];
+                for grid in grids.iter_mut() {
+                    grid.min = r.get_f32()?;
+                    grid.max = r.get_f32()?;
+                }
+                let codes = r.get_bytes(QUANT_CHUNK * GAUSSIAN_LANES)?;
+                for s in 0..QUANT_CHUNK {
+                    let mut g = Gaussian {
+                        position: Vec3::new(0.0, 0.0, 0.0),
+                        log_scale: Vec3::new(0.0, 0.0, 0.0),
+                        rotation: Quat::new(1.0, 0.0, 0.0, 0.0),
+                        color: Vec3::new(0.0, 0.0, 0.0),
+                        opacity_logit: 0.0,
+                    };
+                    for (lane, grid) in grids.iter().enumerate() {
+                        set_lane_value(
+                            &mut g,
+                            lane,
+                            grid.dequantize(codes[s * GAUSSIAN_LANES + lane]),
+                        );
+                    }
+                    out.push(g);
+                }
+            }
+            other => {
+                return Err(StoreError::Corrupt(format!("unknown splat chunk tag {other}")));
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Appends a full cloud (length-prefixed, chunk-encoded) to `w`.
 pub fn encode_cloud_payload(w: &mut ByteWriter, cloud: &GaussianCloud) {
     w.put_usize(cloud.len());
-    for g in cloud.gaussians() {
-        put_gaussian(w, g);
-    }
+    encode_splats_chunked(w, cloud.gaussians());
 }
 
 /// Reads a full cloud written by [`encode_cloud_payload`].
 pub fn decode_cloud_payload(r: &mut ByteReader) -> Result<GaussianCloud, StoreError> {
-    let n = r.get_count(GAUSSIAN_BYTES)?;
-    let mut cloud = GaussianCloud::new();
-    for _ in 0..n {
-        cloud.push(get_gaussian(r)?);
-    }
-    Ok(cloud)
+    let n = r.get_count(MIN_SPLAT_WIRE_BYTES)?;
+    Ok(decode_splats_chunked(r, n)?.into_iter().collect())
 }
 
 /// The diff between two persisted epochs of one cloud.
@@ -161,9 +269,7 @@ impl CloudDelta {
             put_gaussian(&mut w, g);
         }
         w.put_usize(self.added.len());
-        for g in &self.added {
-            put_gaussian(&mut w, g);
-        }
+        encode_splats_chunked(&mut w, &self.added);
         w.into_bytes()
     }
 
@@ -180,11 +286,8 @@ impl CloudDelta {
             let idx = r.get_u32()?;
             changed.push((idx, get_gaussian(&mut r)?));
         }
-        let n_added = r.get_count(GAUSSIAN_BYTES)?;
-        let mut added = Vec::with_capacity(n_added);
-        for _ in 0..n_added {
-            added.push(get_gaussian(&mut r)?);
-        }
+        let n_added = r.get_count(MIN_SPLAT_WIRE_BYTES)?;
+        let added = decode_splats_chunked(&mut r, n_added)?;
         r.finish()?;
         Ok(Self { parent_epoch, epoch, parent_len, new_len, changed, added })
     }
@@ -217,6 +320,71 @@ mod tests {
         let back = decode_cloud_payload(&mut r).unwrap();
         r.finish().unwrap();
         assert_eq!(back, c);
+    }
+
+    #[test]
+    fn snapped_chunks_encode_quantized_and_roundtrip_bit_exactly() {
+        // 2 full chunks + a 17-splat tail; snap the first two so they take
+        // the quantized wire path, leave the tail raw.
+        let mut c = cloud(2 * QUANT_CHUNK + 17);
+        for lo in [0, QUANT_CHUNK] {
+            assert!(ags_splat::compact::quantize_chunk_in_place(
+                &mut c.gaussians_mut()[lo..lo + QUANT_CHUNK]
+            ));
+        }
+        let mut w = ByteWriter::new();
+        encode_cloud_payload(&mut w, &c);
+        let bytes = w.into_bytes();
+
+        // Both snapped chunks must actually compress: 8 (len) + 2 quantized
+        // chunks + 1 raw tail chunk.
+        let quantized_chunk = 1 + GAUSSIAN_LANES * 8 + QUANT_CHUNK * GAUSSIAN_LANES;
+        let raw_tail = 1 + 17 * GAUSSIAN_BYTES;
+        assert_eq!(bytes.len(), 8 + 2 * quantized_chunk + raw_tail);
+        assert!(bytes.len() < 8 + c.len() * GAUSSIAN_BYTES, "snapped cloud should shrink");
+
+        let mut r = ByteReader::new(&bytes);
+        let back = decode_cloud_payload(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(back, c);
+    }
+
+    #[test]
+    fn unsnapped_chunks_fall_back_to_raw_and_stay_lossless() {
+        // Irrational-ish spread values do not sit on any 256-level grid, so
+        // every chunk must take the raw path and still roundtrip bit-exact.
+        let c = cloud(QUANT_CHUNK + 3);
+        let mut w = ByteWriter::new();
+        encode_cloud_payload(&mut w, &c);
+        let bytes = w.into_bytes();
+        assert_eq!(bytes.len(), 8 + 2 + c.len() * GAUSSIAN_BYTES);
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(decode_cloud_payload(&mut r).unwrap(), c);
+    }
+
+    #[test]
+    fn bad_chunk_tag_is_rejected() {
+        let c = cloud(3);
+        let mut w = ByteWriter::new();
+        encode_cloud_payload(&mut w, &c);
+        let mut bytes = w.into_bytes();
+        bytes[8] = 7; // first chunk tag
+        let mut r = ByteReader::new(&bytes);
+        assert!(matches!(decode_cloud_payload(&mut r), Err(StoreError::Corrupt(_))));
+    }
+
+    #[test]
+    fn delta_added_tail_uses_chunked_encoding() {
+        let parent = cloud(2);
+        let mut child = parent.clone();
+        for i in 0..QUANT_CHUNK + 5 {
+            child.push(gaussian(50.0 + i as f32));
+        }
+        let d = CloudDelta::diff(&parent, 1, &child, 2);
+        assert_eq!(d.added.len(), QUANT_CHUNK + 5);
+        let back = CloudDelta::decode(&d.encode()).unwrap();
+        assert_eq!(back, d);
+        assert_eq!(back.apply(&parent).unwrap(), child);
     }
 
     #[test]

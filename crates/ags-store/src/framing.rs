@@ -21,7 +21,11 @@ use crate::wire::{ByteReader, ByteWriter};
 pub const MAGIC: [u8; 4] = *b"AGSK";
 
 /// Current framing format version.
-pub const VERSION: u16 = 1;
+///
+/// v2 introduced the chunked quantized splat encoding inside Base and Delta
+/// payloads (see `delta::encode_cloud_payload`); v1 records are rejected
+/// rather than misdecoded.
+pub const VERSION: u16 = 2;
 
 /// Record kinds stored by the epoch log.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -150,6 +154,12 @@ mod tests {
         let mut wrong_version = framed.clone();
         wrong_version[4] = 99;
         assert!(matches!(unframe(RecordKind::Base, &wrong_version), Err(StoreError::Corrupt(_))));
+        // Records written before the chunked splat encoding (v1) must be
+        // rejected up front — the payload layout changed.
+        let mut v1 = framed.clone();
+        v1[4] = 1;
+        v1[5] = 0;
+        assert!(matches!(unframe(RecordKind::Base, &v1), Err(StoreError::Corrupt(_))));
         let mut wrong_magic = framed;
         wrong_magic[0] = b'Z';
         assert!(matches!(unframe(RecordKind::Base, &wrong_magic), Err(StoreError::Corrupt(_))));
