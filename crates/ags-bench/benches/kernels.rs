@@ -22,7 +22,7 @@ use ags_scene::dataset::{Dataset, DatasetConfig, SceneId};
 use ags_scene::PinholeCamera;
 use ags_sim::{GpeArrayConfig, GpeArraySim};
 use ags_splat::render::{render, RenderOptions};
-use ags_splat::{Gaussian, GaussianCloud};
+use ags_splat::{BackendKind, Gaussian, GaussianCloud};
 use std::hint::black_box;
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -316,6 +316,8 @@ struct E2eResult {
     fc_ms: f64,
     track_ms: f64,
     map_ms: f64,
+    vectorized_map_ms: f64,
+    vectorized_map_speedup: f64,
 }
 
 /// End-to-end `process_frame` workload: a short synthetic stream through the
@@ -387,6 +389,19 @@ fn bench_end_to_end(parallel: Parallelism) -> E2eResult {
         "overlapped pipeline must be bit-identical to serial"
     );
 
+    // The vectorized backend plus the epoch-delta projection cache must
+    // reproduce the reference trajectory and map to the bit: the canonical
+    // trace comparison covers both before the speedup is published.
+    let mut vectorized_config = e2e_config();
+    vectorized_config.backend = BackendKind::Vectorized;
+    vectorized_config.projection_cache = true;
+    let (_, vectorized_trace) = run_serial_driver(&vectorized_config, &data);
+    assert_eq!(
+        serial_trace.canonical_bytes(),
+        vectorized_trace.canonical_bytes(),
+        "vectorized backend + projection cache must be bit-identical to the reference backend"
+    );
+
     // Interleaved min-of-N timing: the minimum is the least noise-sensitive
     // statistic for a fixed workload, and interleaving decorrelates slow
     // drift (thermal, background load) from the driver comparison.
@@ -396,11 +411,16 @@ fn bench_end_to_end(parallel: Parallelism) -> E2eResult {
     let mut serial_times = Vec::new();
     let mut parallel_times = Vec::new();
     let mut overlapped_times = Vec::new();
+    let mut map_times = Vec::new();
+    let mut vectorized_map_times = Vec::new();
     let mut last_serial_trace = serial_trace;
     for _ in 0..samples {
         let (t, trace) = run_serial_driver(&config, &data);
         serial_times.push(t);
+        map_times.push(trace.stage_time_totals().map_s);
         last_serial_trace = trace;
+        let (_, trace) = run_serial_driver(&vectorized_config, &data);
+        vectorized_map_times.push(trace.stage_time_totals().map_s);
         overlapped_times.push(run_overlapped_driver(&config, &data, &shared).0);
         parallel_times.push(run_serial_driver(&parallel_config, &data).0);
     }
@@ -408,6 +428,8 @@ fn bench_end_to_end(parallel: Parallelism) -> E2eResult {
     let t_serial = min(&serial_times);
     let t_parallel = min(&parallel_times);
     let t_overlapped = min(&overlapped_times);
+    let t_map = min(&map_times);
+    let t_vectorized_map = min(&vectorized_map_times);
 
     let stage = last_serial_trace.stage_time_totals();
     let per_frame = |s: f64| s / frames as f64 * 1e3;
@@ -421,7 +443,9 @@ fn bench_end_to_end(parallel: Parallelism) -> E2eResult {
         overlap_speedup: t_serial / t_overlapped,
         fc_ms: per_frame(stage.fc_s),
         track_ms: per_frame(stage.track_s),
-        map_ms: per_frame(stage.map_s),
+        map_ms: per_frame(t_map),
+        vectorized_map_ms: per_frame(t_vectorized_map),
+        vectorized_map_speedup: t_map / t_vectorized_map,
     }
 }
 
@@ -956,6 +980,14 @@ fn main() {
         "motion estimation / diamond    512x384: serial {:>12.0} blocks/s  parallel {:>12.0} blocks/s  speedup {:.2}x",
         diamond.serial_blocks_per_s, diamond.parallel_blocks_per_s, diamond.speedup
     );
+    // Diamond frames this size must never pay the pool: the workload
+    // heuristic routes them inline, so the "parallel" knob times the same
+    // code path and the ratio may only wobble with measurement noise.
+    assert!(
+        diamond.speedup >= 0.95,
+        "parallel diamond ME regressed below serial: {:.3}x",
+        diamond.speedup
+    );
     let full = bench_motion_estimation(SearchKind::FullSearch, parallel.clone());
     println!(
         "motion estimation / full       512x384: serial {:>12.0} blocks/s  parallel {:>12.0} blocks/s  speedup {:.2}x",
@@ -981,6 +1013,10 @@ fn main() {
     println!(
         "  stage breakdown (serial, per frame): fc {:.2} ms | track {:.2} ms | map {:.2} ms",
         e2e.fc_ms, e2e.track_ms, e2e.map_ms
+    );
+    println!(
+        "  map stage by backend: reference {:.2} ms | vectorized+cache {:.2} ms  speedup {:.2}x",
+        e2e.map_ms, e2e.vectorized_map_ms, e2e.vectorized_map_speedup
     );
     let heavy = bench_map_heavy_overlap();
     println!(
@@ -1097,8 +1133,10 @@ fn main() {
     "stage_ms": {{
       "fc": {:.3},
       "track": {:.3},
-      "map": {:.3}
+      "map": {:.3},
+      "map_vectorized": {:.3}
     }},
+    "vectorized_map_speedup": {:.3},
     "map_heavy": {{
       "frame": [{}, {}],
       "frames": {},
@@ -1185,6 +1223,8 @@ fn main() {
         e2e.fc_ms,
         e2e.track_ms,
         e2e.map_ms,
+        e2e.vectorized_map_ms,
+        e2e.vectorized_map_speedup,
         heavy.width,
         heavy.height,
         heavy.frames,

@@ -35,6 +35,13 @@
 //! through the delta log) fails when the current value exceeds
 //! `baseline * (1 + max_regression)`.
 //!
+//! One metric is gated against an **absolute floor** (higher is better, no
+//! baseline needed): `vectorized_map_speedup` — the map-stage speedup of
+//! the vectorized backend plus projection cache over the scalar reference,
+//! measured on the same host in the same bench run, so it is a ratio the
+//! hardware class mostly cancels out of. It must stay ≥ 1.10: below that
+//! the SoA kernels or the cache stopped earning their keep.
+//!
 //! Improvements and new metrics never fail the gate; a metric missing from
 //! the *current* file does (the bench must keep emitting what the gate
 //! checks).
@@ -77,6 +84,15 @@ const CEILING_KEYS: [(&str, f64); 2] =
 /// missing-key rules as the floors: no baseline skips, a dropped current
 /// value fails.
 const REGRESSION_CEILING_KEYS: [&str; 1] = ["compaction_delta_bytes_per_epoch"];
+
+/// Metrics with a hardware-independent floor (higher is better): the gate
+/// fails when the *current* value falls below the floor. Same missing-key
+/// rules as [`CEILING_KEYS`]: absent from both files is skipped, dropped
+/// from the current file only fails. `vectorized_map_speedup` is a
+/// same-host ratio (vectorized + projection-cache map stage vs the scalar
+/// reference within one bench run), so the floor travels across hardware
+/// classes.
+const FLOOR_KEYS: [(&str, f64); 1] = [("vectorized_map_speedup", 1.10)];
 
 /// Extracts the first `"key": <number>` value from a JSON document.
 ///
@@ -135,6 +151,23 @@ fn run(
             return Err(format!("{key}: {current:.3} exceeds the absolute ceiling {ceiling:.3}"));
         }
         report.push(format!("{key}: {current:.3} within ceiling {ceiling:.3} ok"));
+    }
+    for (key, floor) in FLOOR_KEYS {
+        let current = match (extract_metric(current_json, key), extract_metric(baseline_json, key))
+        {
+            (Some(current), _) => current,
+            (None, None) => {
+                report.push(format!("{key}: not emitted, skipped"));
+                continue;
+            }
+            (None, Some(_)) => {
+                return Err(format!("{key}: missing from the current bench output"));
+            }
+        };
+        if current < floor {
+            return Err(format!("{key}: {current:.3} is below the absolute floor {floor:.3}"));
+        }
+        report.push(format!("{key}: {current:.3} above floor {floor:.3} ok"));
     }
     for key in REGRESSION_CEILING_KEYS {
         let Some(base) = extract_metric(baseline_json, key) else {
@@ -363,6 +396,35 @@ mod tests {
         );
         let err = run(&baseline, &no_delta, 0.25).unwrap_err();
         assert!(err.contains("compaction_delta_bytes_per_epoch"), "{err}");
+        assert!(err.contains("missing"), "{err}");
+    }
+
+    /// Appends a `vectorized_map_speedup` entry to a `doc()` document the
+    /// way `with_overhead` appends `checkpoint`.
+    fn with_vectorized_speedup(speedup: f64) -> String {
+        let d = doc(10.0, 10.0, 10.0);
+        format!(r#"{}, "vectorized_map_speedup": {speedup} }}"#, &d[..d.rfind('}').unwrap()])
+    }
+
+    #[test]
+    fn gates_vectorized_map_speedup_against_the_absolute_floor() {
+        let baseline = with_vectorized_speedup(1.5);
+        // Above the floor passes regardless of the baseline's value.
+        assert!(run(&baseline, &with_vectorized_speedup(1.11), 0.25).is_ok());
+        assert!(run(&with_vectorized_speedup(2.0), &with_vectorized_speedup(1.2), 0.25).is_ok());
+        // Below the floor fails even when it beats the baseline.
+        let err =
+            run(&with_vectorized_speedup(0.9), &with_vectorized_speedup(1.05), 0.25).unwrap_err();
+        assert!(err.contains("vectorized_map_speedup"), "{err}");
+        assert!(err.contains("below the absolute floor"), "{err}");
+        // Absent from both files: skipped (pre-metric baselines).
+        let report = run(&doc(10.0, 10.0, 10.0), &doc(10.0, 10.0, 10.0), 0.25).unwrap();
+        assert!(report
+            .iter()
+            .any(|l| l.contains("vectorized_map_speedup") && l.contains("skipped")));
+        // Dropped from the current output while the baseline had it: fails.
+        let err = run(&baseline, &doc(10.0, 10.0, 10.0), 0.25).unwrap_err();
+        assert!(err.contains("vectorized_map_speedup"), "{err}");
         assert!(err.contains("missing"), "{err}");
     }
 

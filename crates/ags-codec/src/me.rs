@@ -195,12 +195,15 @@ impl MotionEstimator {
 
         // The serial-fallback workload estimate counts SAD evaluations, not
         // macro-blocks: a full-search MB probes the whole (2r+1)² window
-        // while a diamond MB visits ~20 candidates, so equally sized frames
-        // differ by ~50× in work. Submissions too small to feed every pool
-        // executor `min_items_per_worker` evaluations (and, in auto mode,
-        // anything under ~512 diamond MBs) run inline — bit-identical, and
-        // no queue round-trip on tiny SLAM frames.
-        const DIAMOND_EVALS_PER_MB: usize = 20;
+        // while a diamond MB converges in ~13 candidates — and each diamond
+        // SAD is cheap (bounded, early-exit against the running best), so
+        // its *effective* weight is ~6 full-cost evaluations. Weighting it
+        // higher made mid-size diamond frames fan out across the pool even
+        // though the per-row work couldn't amortize the queue round-trip
+        // (0.79× speedup on a 512×384 plane). Submissions too small to feed
+        // every pool executor `min_items_per_worker` evaluations run inline
+        // — bit-identical, and no queue overhead on tiny SLAM frames.
+        const DIAMOND_EVALS_PER_MB: usize = 6;
         let evals_per_mb = match self.config.search {
             SearchKind::FullSearch => {
                 let side = (2 * self.config.search_range + 1).max(1) as usize;

@@ -29,7 +29,7 @@ use ags_slam::keyframes::StoredKeyframe;
 use ags_slam::WorkUnits;
 use ags_splat::render::TileWork;
 use ags_splat::snapshot::CloudSnapshot;
-use ags_splat::IdSet;
+use ags_splat::{BackendKind, IdSet};
 use ags_store::{ByteReader, ByteWriter, StoreError};
 use ags_track::coarse::{CoarseTrackerState, PreviousFrameState};
 use std::sync::Arc;
@@ -222,6 +222,15 @@ fn put_trace_frame(w: &mut ByteWriter, f: &TraceFrame) {
     w.put_f64(f.stage_times.track_s);
     w.put_f64(f.stage_times.map_s);
     w.put_f64(f.stage_times.stall_s);
+    // Backend identity and cache counters are observational too, but kept
+    // across restores for the same reason.
+    w.put_u8(match BackendKind::from_name(f.backend) {
+        Some(BackendKind::Reference) => 1,
+        Some(BackendKind::Vectorized) => 2,
+        None => 0,
+    });
+    w.put_u64(f.projection_cache_hits);
+    w.put_u64(f.projection_cache_misses);
 }
 
 fn get_trace_frame(r: &mut ByteReader<'_>) -> Result<TraceFrame, StoreError> {
@@ -261,6 +270,13 @@ fn get_trace_frame(r: &mut ByteReader<'_>) -> Result<TraceFrame, StoreError> {
         map_s: r.get_f64()?,
         stall_s: r.get_f64()?,
     };
+    let backend = match r.get_u8()? {
+        1 => BackendKind::Reference.name(),
+        2 => BackendKind::Vectorized.name(),
+        _ => "",
+    };
+    let projection_cache_hits = r.get_u64()?;
+    let projection_cache_misses = r.get_u64()?;
     Ok(TraceFrame {
         frame_index,
         fc_prev,
@@ -278,6 +294,9 @@ fn get_trace_frame(r: &mut ByteReader<'_>) -> Result<TraceFrame, StoreError> {
         tile_work,
         fp_rate,
         stage_times,
+        backend,
+        projection_cache_hits,
+        projection_cache_misses,
     })
 }
 
@@ -650,6 +669,9 @@ mod tests {
             }],
             fp_rate: Some(0.125),
             stage_times: StageTimes { fc_s: 0.5, track_s: 1.5, map_s: 2.5, stall_s: 0.25 },
+            backend: BackendKind::Vectorized.name(),
+            projection_cache_hits: 17,
+            projection_cache_misses: 4,
         });
         StreamState {
             frame_count: 4,

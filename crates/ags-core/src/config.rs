@@ -3,6 +3,7 @@
 use ags_codec::CodecConfig;
 use ags_math::{Parallelism, WorkerPool};
 use ags_slam::SlamConfig;
+use ags_splat::BackendKind;
 use ags_track::coarse::CoarseConfig;
 use std::sync::Arc;
 
@@ -187,6 +188,16 @@ pub struct AgsConfig {
     /// Stage-graph execution strategy: serial, or FC overlapped with
     /// tracking/mapping on a worker thread (Fig. 9b).
     pub pipeline: PipelineConfig,
+    /// Render backend the splat kernels (projection, rasterization,
+    /// backward) execute on. Every backend is bit-identical to the scalar
+    /// reference; the knob trades nothing but speed. The default follows
+    /// the `AGS_RENDER_BACKEND` environment variable.
+    pub backend: BackendKind,
+    /// Reuse per-splat projections across mapping iterations and frames
+    /// whose pose and splat parameters are unchanged
+    /// (`ags_splat::ProjectionCache`). Result-identical to recomputing —
+    /// only wall time and the observational hit counters change.
+    pub projection_cache: bool,
 }
 
 impl Default for AgsConfig {
@@ -202,6 +213,8 @@ impl Default for AgsConfig {
             audit_false_positives: false,
             parallelism: Parallelism::default(),
             pipeline: PipelineConfig::default(),
+            backend: BackendKind::default(),
+            projection_cache: false,
         }
     }
 }

@@ -75,6 +75,9 @@ pub(crate) fn apply_map_output(record: &mut TraceFrame, mapped: MapOutput, num_g
     record.pruned = mapped.pruned;
     record.quantized_splats = mapped.quantized_splats;
     record.map_bytes = mapped.map_bytes;
+    record.backend = mapped.backend;
+    record.projection_cache_hits = mapped.projection_cache_hits;
+    record.projection_cache_misses = mapped.projection_cache_misses;
 }
 
 /// Everything downstream of FC detection: the tracking and mapping stages
@@ -431,6 +434,33 @@ mod tests {
         for r in &rates {
             assert!((0.0..=1.0).contains(r));
         }
+    }
+
+    #[test]
+    fn projection_cache_is_result_identical() {
+        // Same stream, cache off vs on, with compaction active so the
+        // harder dirty sites (quantize snapping, prune remaps) are
+        // exercised. The trajectory, map and full canonical trace must be
+        // bit-identical — the cache may only change wall time and the
+        // observational hit counters.
+        let mut config = AgsConfig::tiny();
+        config.audit_false_positives = true;
+        config.slam.compaction = ags_splat::compact::CompactionConfig {
+            prune_interval: 2,
+            quantize_cold_after: 1,
+            ..Default::default()
+        };
+        let (plain, _) = run_ags(config.clone(), 8);
+        config.projection_cache = true;
+        let (cached, _) = run_ags(config, 8);
+        assert_eq!(plain.trajectory(), cached.trajectory());
+        assert_eq!(plain.cloud().gaussians(), cached.cloud().gaussians());
+        assert_eq!(plain.trace().canonical_bytes(), cached.trace().canonical_bytes());
+        let last = cached.trace().frames.last().unwrap();
+        assert!(last.projection_cache_hits > 0, "the cache must actually hit");
+        assert!(last.projection_cache_misses > 0, "dirty splats must recompute");
+        let plain_last = plain.trace().frames.last().unwrap();
+        assert_eq!(plain_last.projection_cache_hits, 0, "disabled cache never hits");
     }
 
     #[test]

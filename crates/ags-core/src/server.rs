@@ -41,6 +41,7 @@ use crate::trace::StageTimes;
 use ags_image::{DepthImage, RgbImage};
 use ags_math::{Parallelism, WorkerPool};
 use ags_scene::PinholeCamera;
+use ags_splat::BackendKind;
 use ags_store::{CheckpointConfig, CheckpointWriter, EpochStore, MapStore, StoreError, StoreStats};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
@@ -60,6 +61,12 @@ pub struct StreamPolicy {
     /// `ags_splat::compact::CompactionConfig::map_bytes_budget`). `0`
     /// inherits the base config's budget.
     pub map_bytes_budget: u64,
+    /// Per-stream render backend override (`None` inherits the base
+    /// config's backend). Backends are bit-identical, so a server can mix
+    /// them freely across streams — e.g. vectorized for throughput streams,
+    /// reference for a stream under numerical audit — without any stream's
+    /// results depending on the mix.
+    pub backend: Option<BackendKind>,
 }
 
 impl StreamPolicy {
@@ -81,6 +88,12 @@ impl StreamPolicy {
     /// This policy with a per-stream map memory ceiling.
     pub fn with_map_bytes_budget(mut self, bytes: u64) -> Self {
         self.map_bytes_budget = bytes;
+        self
+    }
+
+    /// This policy with an explicit render backend for the stream.
+    pub fn with_backend(mut self, backend: BackendKind) -> Self {
+        self.backend = Some(backend);
         self
     }
 }
@@ -225,6 +238,14 @@ pub struct StreamStats {
     /// the quantized tier) — the quantity
     /// [`StreamPolicy::map_bytes_budget`] bounds.
     pub map_bytes: u64,
+    /// Name of the render backend the stream's kernels run on.
+    pub backend: &'static str,
+    /// Cumulative projection-cache hits after the stream's newest completed
+    /// frame (zero with the cache disabled).
+    pub projection_cache_hits: u64,
+    /// Cumulative projection-cache misses after the stream's newest
+    /// completed frame.
+    pub projection_cache_misses: u64,
 }
 
 /// Aggregated execution statistics across all streams.
@@ -284,6 +305,9 @@ impl MultiStreamServer {
                 cfg.pipeline = policy.pipeline;
                 if policy.map_bytes_budget > 0 {
                     cfg.slam.compaction.map_bytes_budget = policy.map_bytes_budget;
+                }
+                if let Some(backend) = policy.backend {
+                    cfg.backend = backend;
                 }
                 let tag = s as u64;
                 // A default codec knob inherits the tagged stream knob —
@@ -528,6 +552,9 @@ impl MultiStreamServer {
                     map_splats: newest.map_or(0, |f| f.num_gaussians),
                     quantized_splats: newest.map_or(0, |f| f.quantized_splats),
                     map_bytes: newest.map_or(0, |f| f.map_bytes),
+                    backend: slot.slam.config().backend.name(),
+                    projection_cache_hits: newest.map_or(0, |f| f.projection_cache_hits),
+                    projection_cache_misses: newest.map_or(0, |f| f.projection_cache_misses),
                 }
             })
             .collect();
@@ -601,6 +628,46 @@ mod tests {
         let stats = server.stats();
         assert_eq!(stats.completed_frames(), 8);
         assert!(stats.total.track_s >= stats.max.track_s);
+    }
+
+    #[test]
+    fn per_stream_backend_mix_is_bit_identical() {
+        // One stream on the reference scalar backend, one forced onto the
+        // vectorized backend with the projection cache on: identical
+        // trajectories and canonical traces, because backends only trade
+        // speed. The stats must still report who ran what.
+        let data = tiny_dataset(4);
+        let mut base = AgsConfig::tiny();
+        base.backend = BackendKind::Reference;
+        base.projection_cache = true;
+        let config = ServerConfig {
+            streams: 2,
+            base,
+            per_stream: vec![
+                StreamPolicy::serial(),
+                StreamPolicy::serial().with_backend(BackendKind::Vectorized),
+            ],
+            pool_workers: Some(1),
+        };
+        let mut server = MultiStreamServer::new(config);
+        for s in 0..2 {
+            push_all(&mut server, s, &data);
+        }
+        server.finish_all();
+        let reference = server.stream(0).unwrap();
+        let vectorized = server.stream(1).unwrap();
+        assert_eq!(reference.trajectory(), vectorized.trajectory());
+        assert_eq!(
+            reference.trace().canonical_bytes(),
+            vectorized.trace().canonical_bytes(),
+            "backend mix must not change any semantic output"
+        );
+        let stats = server.stats();
+        assert_eq!(stats.per_stream[0].backend, "reference");
+        assert_eq!(stats.per_stream[1].backend, "vectorized");
+        for s in &stats.per_stream {
+            assert!(s.projection_cache_hits > 0, "cache-enabled streams must hit");
+        }
     }
 
     #[test]

@@ -29,15 +29,15 @@ use ags_math::{Pcg32, Se3};
 use ags_scene::PinholeCamera;
 use ags_slam::keyframes::{KeyframeStore, StoredKeyframe};
 use ags_slam::{Backbone, WorkUnits};
-use ags_splat::backward::{backward, GradMode};
+use ags_splat::backward::{backward_with, GradMode};
+use ags_splat::cache::ProjectionCache;
 use ags_splat::compact::{prune_cloud, quantize_chunk_in_place, FULL_SPLAT_BYTES, QUANT_CHUNK};
 use ags_splat::densify::densify_from_frame;
 use ags_splat::loss::compute_loss;
 use ags_splat::optim::{Adam, AdamState};
-use ags_splat::project::project_gaussians;
-use ags_splat::render::{rasterize, RenderOptions, TileWork};
+use ags_splat::project::Projection;
+use ags_splat::render::{rasterize, RenderOptions, RenderOutput, TileWork};
 use ags_splat::snapshot::{CloudSnapshot, SharedCloud};
-use ags_splat::tiles::GaussianTables;
 use ags_splat::{GaussianCloud, IdSet, Remap};
 use ags_track::coarse::{CoarseTracker, CoarseTrackerState};
 use ags_track::fine::{GsPoseRefiner, RefineConfig};
@@ -182,6 +182,7 @@ impl TrackStage {
             loss: config.slam.tracking_loss,
             convergence_eps: 1e-4,
             parallelism: config.parallelism.clone(),
+            backend: config.backend,
         });
         let coarse = CoarseTracker::new(config.coarse);
         Self { coarse, refiner }
@@ -262,6 +263,15 @@ pub struct MapOutput {
     /// (full-precision splats plus the quantized tier) — the quantity
     /// `CompactionConfig::map_bytes_budget` bounds.
     pub map_bytes: u64,
+    /// Name of the render backend the stage's kernels ran on
+    /// (observational; every backend is bit-identical).
+    pub backend: &'static str,
+    /// Cumulative projection-cache hits over the stage's lifetime
+    /// (observational; zero with the cache disabled).
+    pub projection_cache_hits: u64,
+    /// Cumulative projection-cache misses over the stage's lifetime
+    /// (observational; zero with the cache disabled).
+    pub projection_cache_misses: u64,
 }
 
 /// Serializable snapshot of a [`MapStage`] — checkpointing support.
@@ -316,6 +326,12 @@ pub struct MapStage {
     /// affine grid. Any later touch or boundary-shifting prune evicts the
     /// chunk from the tier (it re-qualifies once cold again).
     quantized_chunks: Vec<bool>,
+    /// Epoch-delta projection cache (only consulted when
+    /// `AgsConfig::projection_cache` is set). Deliberately **transient** —
+    /// not part of [`MapStageState`] — because a restored stage producing
+    /// identical results from a cold cache is exactly the cache's
+    /// correctness contract; only the observational hit counters differ.
+    cache: ProjectionCache,
 }
 
 impl MapStage {
@@ -333,6 +349,9 @@ impl MapStage {
             last_tile_work: None,
             last_touched: Vec::new(),
             quantized_chunks: Vec::new(),
+            // Enough pose slots for the mapping-window rotation (current
+            // frame + window key frames) plus the densify/audit renders.
+            cache: ProjectionCache::with_capacity(config.slam.mapping_window + 2),
         }
     }
 
@@ -379,6 +398,7 @@ impl MapStage {
             last_tile_work: None,
             last_touched: state.last_touched,
             quantized_chunks: state.quantized_chunks,
+            cache: ProjectionCache::with_capacity(config.slam.mapping_window + 2),
         }
     }
 
@@ -426,6 +446,9 @@ impl MapStage {
             pruned: 0,
             quantized_splats: 0,
             map_bytes: 0,
+            backend: self.config.backend.name(),
+            projection_cache_hits: 0,
+            projection_cache_misses: 0,
         };
         let compaction = self.config.slam.compaction;
         if compaction.enabled() {
@@ -440,9 +463,10 @@ impl MapStage {
         if frame_index % self.config.slam.densify_interval.max(1) == 0 {
             let options = RenderOptions {
                 parallelism: self.config.parallelism.clone(),
+                backend: self.config.backend,
                 ..RenderOptions::default()
             };
-            let rendered = ags_splat::render::render(cloud, camera, &pose, &options);
+            let rendered = self.render_full(cloud, camera, &pose, &options);
             out.mapping.add_render(&rendered.stats);
             if self.config.slam.backbone == Backbone::GaussianSlam
                 && is_keyframe
@@ -534,13 +558,14 @@ impl MapStage {
 
         // --- FP audit (optional, §6.2): compare prediction vs actual. ---
         if self.config.audit_false_positives && !is_keyframe && skip.is_some() {
-            let audit = ags_splat::render::render(
+            let audit = self.render_full(
                 cloud,
                 camera,
                 &pose,
                 &RenderOptions {
                     record_contributions: true,
                     parallelism: self.config.parallelism.clone(),
+                    backend: self.config.backend,
                     ..Default::default()
                 },
             );
@@ -586,7 +611,7 @@ impl MapStage {
                         && skip.as_ref().is_some_and(|s| s.contains(id));
                     opacity >= floor && !negligible
                 });
-                out.pruned += self.apply_remap(&remap);
+                out.pruned += self.apply_remap(cloud, &remap);
             }
             if compaction.quantize_cold_after > 0 {
                 self.quantize_cold_chunks(cloud, publish_epoch, compaction.quantize_cold_after);
@@ -606,13 +631,43 @@ impl MapStage {
                     let need = over.div_ceil(FULL_SPLAT_BYTES) as usize;
                     let victims = self.negligibility_victims(cloud.len(), need);
                     let remap = prune_cloud(cloud, |id, _| !victims[id]);
-                    out.pruned += self.apply_remap(&remap);
+                    out.pruned += self.apply_remap(cloud, &remap);
                 }
             }
             out.quantized_splats = self.quantized_splat_count();
         }
         out.map_bytes = ags_splat::compact::map_bytes(cloud.len(), out.quantized_splats);
+        let (hits, misses) = self.cache.stats();
+        out.projection_cache_hits = hits;
+        out.projection_cache_misses = misses;
         out
+    }
+
+    /// Projects the cloud through the epoch-delta cache when enabled, else
+    /// straight through the configured backend.
+    fn project(&mut self, cloud: &GaussianCloud, camera: &PinholeCamera, pose: &Se3) -> Projection {
+        if self.config.projection_cache {
+            self.cache.project(cloud, camera, pose)
+        } else {
+            self.config.backend.backend().project(cloud, camera, pose)
+        }
+    }
+
+    /// One full forward render routed through the configured backend and
+    /// the projection cache — the densify pre-render and the FP audit share
+    /// this path with `map_step`, so every projection in the stage is
+    /// cache-eligible.
+    fn render_full(
+        &mut self,
+        cloud: &GaussianCloud,
+        camera: &PinholeCamera,
+        pose: &Se3,
+        options: &RenderOptions,
+    ) -> RenderOutput {
+        let projection = self.project(cloud, camera, pose);
+        let backend = self.config.backend.backend();
+        let tables = backend.build_tables(&projection, camera, &options.parallelism);
+        rasterize(cloud, &projection, &tables, camera, options)
     }
 
     /// Grows the per-splat compaction tracking to `len`, stamping unseen
@@ -638,7 +693,7 @@ impl MapStage {
     /// Threads a prune's id remap through every id-indexed side structure:
     /// optimizer moments, contribution tables, the sub-map freeze boundary
     /// and the compaction tracking itself. Returns the number removed.
-    fn apply_remap(&mut self, remap: &Remap) -> usize {
+    fn apply_remap(&mut self, cloud: &mut GaussianCloud, remap: &Remap) -> usize {
         if remap.is_identity() {
             return 0;
         }
@@ -646,13 +701,35 @@ impl MapStage {
         self.contribution.remap(remap);
         self.trainable_from = remap.survivors_below(self.trainable_from);
         self.last_touched = remap.gather(&self.last_touched);
+        // Ids shift under a remap and the cache keys by id, so every cached
+        // projection is invalid; the cache restarts cold.
+        self.cache.invalidate_all();
         // Chunks wholly below the first removed id keep their alignment and
-        // stay snapped; everything above shifts and must re-qualify (and
-        // re-snap chunk-aligned) on a later pass.
+        // stay snapped. Chunks at or past it shift — but where every
+        // survivor came out of a snapped (hence cold) chunk, the chunk
+        // re-snaps eagerly onto its new grid instead of silently dropping
+        // to the full-precision tier until a later cold pass re-qualifies
+        // it, so a prune never deflates the quantized tier beyond the
+        // unavoidable tail-alignment loss.
+        let was_quantized = std::mem::take(&mut self.quantized_chunks);
+        let old_ids: Vec<u32> = (0..remap.old_len() as u32).collect();
+        let old_of = remap.gather(&old_ids);
         let stable = remap.first_removed().map_or(0, |id| id / QUANT_CHUNK);
         let new_chunks = remap.new_len() / QUANT_CHUNK;
-        self.quantized_chunks.truncate(stable.min(new_chunks));
-        self.quantized_chunks.resize(new_chunks, false);
+        let splats = cloud.gaussians_mut();
+        self.quantized_chunks = (0..new_chunks)
+            .map(|c| {
+                if c < stable {
+                    return was_quantized.get(c).copied().unwrap_or(false);
+                }
+                let lo = c * QUANT_CHUNK;
+                let hi = lo + QUANT_CHUNK;
+                let all_cold = old_of[lo..hi].iter().all(|&old| {
+                    was_quantized.get(old as usize / QUANT_CHUNK).copied().unwrap_or(false)
+                });
+                all_cold && quantize_chunk_in_place(&mut splats[lo..hi])
+            })
+            .collect();
         remap.removed()
     }
 
@@ -674,6 +751,12 @@ impl MapStage {
                 self.last_touched[lo..hi].iter().all(|&t| t.saturating_add(cold_after) <= epoch);
             if cold && quantize_chunk_in_place(&mut splats[lo..hi]) {
                 self.quantized_chunks[c] = true;
+                if self.config.projection_cache {
+                    // Snapping rewrites the chunk's parameters.
+                    for id in lo..hi {
+                        self.cache.mark_dirty(id);
+                    }
+                }
             }
         }
     }
@@ -728,12 +811,15 @@ impl MapStage {
             record_contributions,
             collect_tile_work,
             parallelism: self.config.parallelism.clone(),
+            backend: self.config.backend,
         };
-        let projection = project_gaussians(cloud, camera, pose);
-        let tables = GaussianTables::build_with(&projection, camera, &self.config.parallelism);
+        let projection = self.project(cloud, camera, pose);
+        let backend = self.config.backend.backend();
+        let tables = backend.build_tables(&projection, camera, &self.config.parallelism);
         let mut render = rasterize(cloud, &projection, &tables, camera, &options);
         let loss = compute_loss(&render, rgb, depth, &self.config.slam.mapping_loss);
-        let mut back = backward(
+        let mut back = backward_with(
+            self.config.backend,
             cloud,
             &projection,
             &tables,
@@ -744,16 +830,22 @@ impl MapStage {
             &self.config.parallelism,
         );
         let track_touches = self.config.slam.compaction.enabled();
+        let use_cache = self.config.projection_cache;
         let epoch = self.frames_mapped;
         if let Some(grads) = back.grads.as_mut() {
             for id in 0..self.trainable_from.min(grads.touched.len()) {
                 grads.touched[id] = false;
             }
             self.adam.step(cloud, grads);
-            if track_touches {
+            if track_touches || use_cache {
                 for (id, &touched) in grads.touched.iter().enumerate() {
                     if touched {
-                        self.mark_touched(id, epoch);
+                        if track_touches {
+                            self.mark_touched(id, epoch);
+                        }
+                        if use_cache {
+                            self.cache.mark_dirty(id);
+                        }
                     }
                 }
             }
@@ -764,9 +856,14 @@ impl MapStage {
                 let mean = (g.log_scale.x + g.log_scale.y + g.log_scale.z) / 3.0;
                 g.log_scale = g.log_scale * (1.0 - lambda) + ags_math::Vec3::splat(mean * lambda);
             }
-            if track_touches {
+            if track_touches || use_cache {
                 for id in self.trainable_from..cloud.len() {
-                    self.mark_touched(id, epoch);
+                    if track_touches {
+                        self.mark_touched(id, epoch);
+                    }
+                    if use_cache {
+                        self.cache.mark_dirty(id);
+                    }
                 }
             }
         }
@@ -824,5 +921,43 @@ mod tests {
                 kf.frame_index
             );
         }
+    }
+
+    #[test]
+    fn prune_remap_is_chunk_stable_for_cold_quantized_chunks() {
+        // Three fully cold, snapped chunks; removing one early splat shifts
+        // every later id. The shifted survivors are still cold and still
+        // quantized data, so the remap must re-snap them chunk-aligned —
+        // before this, every chunk past the first removal silently fell out
+        // of the quantized tier.
+        let config = AgsConfig::tiny().resolve();
+        let mut map = MapStage::new(&config);
+        let mut cloud = GaussianCloud::new();
+        let mut rng = Pcg32::seeded(11);
+        for _ in 0..3 * QUANT_CHUNK {
+            cloud.push(ags_splat::Gaussian::isotropic(
+                ags_math::Vec3::new(
+                    rng.range_f32(-1.0, 1.0),
+                    rng.range_f32(-1.0, 1.0),
+                    rng.range_f32(1.5, 3.0),
+                ),
+                0.1,
+                ags_math::Vec3::new(rng.next_f32(), rng.next_f32(), rng.next_f32()),
+                0.9,
+            ));
+        }
+        map.last_touched = vec![0; cloud.len()];
+        map.quantize_cold_chunks(&mut cloud, 10, 1);
+        assert_eq!(map.quantized_splat_count(), 3 * QUANT_CHUNK, "all chunks snap");
+
+        let remap = prune_cloud(&mut cloud, |id, _| id != 5);
+        map.apply_remap(&mut cloud, &remap);
+        let full_chunks = cloud.len() / QUANT_CHUNK;
+        assert_eq!(
+            map.quantized_splat_count(),
+            full_chunks * QUANT_CHUNK,
+            "quantized_splats must not collapse across a prune: every \
+             surviving full chunk stays resident in the quantized tier"
+        );
     }
 }

@@ -89,6 +89,14 @@ pub struct TraceFrame {
     /// Measured per-stage wall time (observational; not part of the
     /// canonical byte encoding).
     pub stage_times: StageTimes,
+    /// Render backend the frame's kernels ran on (observational, like
+    /// [`StageTimes`]: every backend is bit-identical, so the canonical
+    /// bytes ignore it).
+    pub backend: &'static str,
+    /// Cumulative projection-cache hits after this frame (observational).
+    pub projection_cache_hits: u64,
+    /// Cumulative projection-cache misses after this frame (observational).
+    pub projection_cache_misses: u64,
 }
 
 impl TraceFrame {
@@ -151,6 +159,9 @@ impl WorkloadTrace {
                 tile_work: r.tile_work.clone(),
                 fp_rate: None,
                 stage_times: StageTimes::default(),
+                backend: "",
+                projection_cache_hits: 0,
+                projection_cache_misses: 0,
             })
             .collect();
         Self { width, height, frames }
@@ -335,6 +346,13 @@ mod tests {
         let mut b = a.clone();
         // Different wall times: still canonically equal.
         b.frames[0].stage_times = StageTimes { fc_s: 1.0, track_s: 2.0, map_s: 3.0, stall_s: 0.5 };
+        assert_eq!(a.canonical_bytes(), b.canonical_bytes());
+        // Backend identity and cache hit rates are observational too: a
+        // vectorized + cached run must compare canonically equal to the
+        // scalar reference.
+        b.frames[0].backend = "vectorized";
+        b.frames[0].projection_cache_hits = 99;
+        b.frames[0].projection_cache_misses = 7;
         assert_eq!(a.canonical_bytes(), b.canonical_bytes());
         // Any semantic change shows up.
         b.frames[0].mapping.pairs += 1;

@@ -6,14 +6,12 @@ use crate::work::WorkUnits;
 use ags_image::{DepthImage, RgbImage};
 use ags_math::{Pcg32, Se3};
 use ags_scene::PinholeCamera;
-use ags_splat::backward::{backward, GradMode};
+use ags_splat::backward::{backward_with, GradMode};
 use ags_splat::compact::prune_cloud;
 use ags_splat::densify::densify_from_frame;
 use ags_splat::loss::compute_loss;
 use ags_splat::optim::Adam;
-use ags_splat::project::project_gaussians;
 use ags_splat::render::{rasterize, RenderOptions, TileWork};
-use ags_splat::tiles::GaussianTables;
 use ags_splat::train::StepReport;
 use ags_splat::GaussianCloud;
 use ags_track::fine::{GsPoseRefiner, RefineConfig};
@@ -70,6 +68,7 @@ impl BaselineSlam {
             learning_rate: config.tracking_lr,
             loss: config.tracking_loss,
             convergence_eps: 1e-4,
+            backend: config.backend,
             ..RefineConfig::default()
         });
         Self {
@@ -139,8 +138,12 @@ impl BaselineSlam {
         // --- Densification. ---
         let mut mapping = WorkUnits::default();
         if frame_index % self.config.densify_interval.max(1) == 0 {
-            let rendered =
-                ags_splat::render::render(&self.cloud, camera, &pose, &RenderOptions::default());
+            let rendered = ags_splat::render::render(
+                &self.cloud,
+                camera,
+                &pose,
+                &RenderOptions { backend: self.config.backend, ..RenderOptions::default() },
+            );
             mapping.add_render(&rendered.stats);
             if self.config.backbone == Backbone::GaussianSlam
                 && self.keyframe_count > 0
@@ -247,12 +250,15 @@ impl BaselineSlam {
         depth: &DepthImage,
         collect_tile_work: bool,
     ) -> StepReport {
-        let options = RenderOptions { collect_tile_work, ..Default::default() };
-        let projection = project_gaussians(&self.cloud, camera, pose);
-        let tables = GaussianTables::build(&projection, camera);
+        let options =
+            RenderOptions { collect_tile_work, backend: self.config.backend, ..Default::default() };
+        let backend = self.config.backend.backend();
+        let projection = backend.project(&self.cloud, camera, pose);
+        let tables = backend.build_tables(&projection, camera, &options.parallelism);
         let render = rasterize(&self.cloud, &projection, &tables, camera, &options);
         let loss = compute_loss(&render, rgb, depth, &self.config.mapping_loss);
-        let mut back = backward(
+        let mut back = backward_with(
+            self.config.backend,
             &self.cloud,
             &projection,
             &tables,

@@ -4,6 +4,7 @@ use ags_splat::compact::CompactionConfig;
 use ags_splat::densify::DensifyConfig;
 use ags_splat::loss::LossConfig;
 use ags_splat::optim::AdamConfig;
+use ags_splat::BackendKind;
 
 /// Which 3DGS-SLAM backbone to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -62,6 +63,10 @@ pub struct SlamConfig {
     /// Collect per-tile workload samples every `tile_work_interval` frames
     /// (0 = never) for the cycle-level simulator.
     pub tile_work_interval: usize,
+    /// Render backend for the splat kernels (tracking refinement and
+    /// mapping). Bit-identical across backends; defaults follow the
+    /// `AGS_RENDER_BACKEND` environment variable.
+    pub backend: BackendKind,
 }
 
 impl Default for SlamConfig {
@@ -83,6 +88,7 @@ impl Default for SlamConfig {
             submap_interval: 4,
             scale_regularisation: 0.0,
             tile_work_interval: 8,
+            backend: BackendKind::default(),
         }
     }
 }

@@ -23,6 +23,7 @@
 //! fixtures; the integration test bounds error on dense random scenes, where
 //! the piecewise-smooth rasterizer makes finite differences noisier).
 
+use crate::backend::BackendKind;
 use crate::gaussian::GaussianCloud;
 use crate::loss::LossResult;
 use crate::project::{falloff, projection_jacobian, Projection};
@@ -109,12 +110,12 @@ pub struct BackwardOutput {
 
 /// Scratch entry for one pixel's forward replay.
 #[derive(Clone, Copy)]
-struct Contribution {
-    splat_index: u32,
-    alpha: f32,
-    weight: f32, // falloff g
-    t_before: f32,
-    clamped: bool,
+pub(crate) struct Contribution {
+    pub(crate) splat_index: u32,
+    pub(crate) alpha: f32,
+    pub(crate) weight: f32, // falloff g
+    pub(crate) t_before: f32,
+    pub(crate) clamped: bool,
 }
 
 /// Tiles per fork-join work chunk. The partition is a **fixed** function of
@@ -125,7 +126,7 @@ const TILES_PER_CHUNK: usize = 4;
 
 /// Screen-space gradient of one splat accumulated within one tile chunk.
 #[derive(Clone, Copy)]
-struct ScreenGrad {
+pub(crate) struct ScreenGrad {
     d_mean: Vec2,
     d_conic: [f32; 3],
     d_z: f32,
@@ -144,11 +145,12 @@ impl ScreenGrad {
 }
 
 /// Per-chunk sparse gradient buffer: splats in first-touch order plus their
-/// accumulated screen-space gradients.
-struct ChunkGrads {
-    splats: Vec<u32>,
-    grads: Vec<ScreenGrad>,
-    stats: BackwardStats,
+/// accumulated screen-space gradients. Returned by
+/// [`crate::backend::RenderBackend::backward_chunk`].
+pub struct ChunkGrads {
+    pub(crate) splats: Vec<u32>,
+    pub(crate) grads: Vec<ScreenGrad>,
+    pub(crate) stats: BackwardStats,
 }
 
 /// Looks up (or allocates) the chunk-local slot of splat `si`.
@@ -179,8 +181,29 @@ std::thread_local! {
     static SLOT_SCRATCH: std::cell::RefCell<Vec<u32>> = const { std::cell::RefCell::new(Vec::new()) };
 }
 
+/// Runs a chunk body against the thread-local splat→slot scratch table,
+/// restoring the all-`u32::MAX` invariant afterwards. Shared by every
+/// backend's [`crate::backend::RenderBackend::backward_chunk`].
+pub(crate) fn chunk_with_scratch<F>(n_splats: usize, body: F) -> ChunkGrads
+where
+    F: FnOnce(&mut [u32]) -> ChunkGrads,
+{
+    SLOT_SCRATCH.with(|cell| {
+        let mut slot_of = cell.borrow_mut();
+        if slot_of.len() < n_splats {
+            slot_of.resize(n_splats, u32::MAX);
+        }
+        let out = body(&mut slot_of);
+        // Restore the all-MAX invariant, touching only what this chunk used.
+        for &si in &out.splats {
+            slot_of[si as usize] = u32::MAX;
+        }
+        out
+    })
+}
+
 /// Accumulates the screen-space gradients of one chunk of tiles.
-fn backward_tile_chunk(
+pub(crate) fn backward_tile_chunk(
     projection: &Projection,
     tables: &GaussianTables,
     camera: &PinholeCamera,
@@ -188,26 +211,8 @@ fn backward_tile_chunk(
     skip: Option<&crate::idset::IdSet>,
     tile_range: std::ops::Range<usize>,
 ) -> ChunkGrads {
-    let n_splats = projection.splats.len();
-    SLOT_SCRATCH.with(|cell| {
-        let mut slot_of = cell.borrow_mut();
-        if slot_of.len() < n_splats {
-            slot_of.resize(n_splats, u32::MAX);
-        }
-        let out = backward_tile_chunk_with(
-            projection,
-            tables,
-            camera,
-            loss,
-            skip,
-            tile_range,
-            &mut slot_of,
-        );
-        // Restore the all-MAX invariant, touching only what this chunk used.
-        for &si in &out.splats {
-            slot_of[si as usize] = u32::MAX;
-        }
-        out
+    chunk_with_scratch(projection.splats.len(), |slot_of| {
+        backward_tile_chunk_with(projection, tables, camera, loss, skip, tile_range, slot_of)
     })
 }
 
@@ -275,53 +280,82 @@ fn backward_tile_chunk_with(
                     }
                 }
 
-                // Reverse traversal with suffix accumulators.
-                let mut accum_c = Vec3::ZERO;
-                let mut accum_z = 0.0f32;
-                for contrib in scratch.iter().rev() {
-                    let si = contrib.splat_index as usize;
-                    let splat = &projection.splats[si];
-                    let w = contrib.t_before * contrib.alpha;
-                    let one_minus = (1.0 - contrib.alpha).max(1e-6);
-                    let slot = chunk_slot(contrib.splat_index, slot_of, &mut splats, &mut grads);
-                    let acc = &mut grads[slot];
-
-                    // Color gradient.
-                    acc.d_color += dl_dc * w;
-
-                    // Alpha gradient through color and depth channels.
-                    let dc_dalpha = splat.color * contrib.t_before - accum_c / one_minus;
-                    let dd_dalpha = splat.depth * contrib.t_before - accum_z / one_minus;
-                    let dl_dalpha = dl_dc.dot(dc_dalpha) + dl_dd * dd_dalpha;
-
-                    // Depth gradient (z enters blending linearly).
-                    acc.d_z += dl_dd * w;
-
-                    if !contrib.clamped {
-                        // α = o·g: ∂α/∂o = g ; ∂α/∂q = -½α.
-                        acc.d_opacity += dl_dalpha * contrib.weight;
-                        let dl_dq = dl_dalpha * (-0.5 * contrib.alpha);
-
-                        // q = dᵀ K d.
-                        let d = pixel - splat.mean;
-                        let (ka, kb, kc) = splat.conic;
-                        let kd = Vec2::new(ka * d.x + kb * d.y, kb * d.x + kc * d.y);
-                        // ∂q/∂mean = -2 K d.
-                        acc.d_mean += kd * (-2.0 * dl_dq);
-                        // ∂q/∂K = d dᵀ (symmetric; off-diagonal doubled).
-                        acc.d_conic[0] += dl_dq * d.x * d.x;
-                        acc.d_conic[1] += dl_dq * 2.0 * d.x * d.y;
-                        acc.d_conic[2] += dl_dq * d.y * d.y;
-                    }
-
-                    accum_c += splat.color * w;
-                    accum_z += splat.depth * w;
-                    stats.grad_ops += 1;
-                }
+                reverse_blend_pixel(
+                    projection,
+                    pixel,
+                    dl_dc,
+                    dl_dd,
+                    &scratch,
+                    slot_of,
+                    &mut splats,
+                    &mut grads,
+                    &mut stats,
+                );
             }
         }
     }
     ChunkGrads { splats, grads, stats }
+}
+
+/// Reverse traversal of one pixel's recorded contributions with suffix
+/// accumulators — the single source of truth for the gradient-accumulation
+/// arithmetic. Both backends call it with contributions recorded in forward
+/// blend order, so the accumulation (and the chunk's first-touch slot order)
+/// is bit-identical between them.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn reverse_blend_pixel(
+    projection: &Projection,
+    pixel: Vec2,
+    dl_dc: Vec3,
+    dl_dd: f32,
+    scratch: &[Contribution],
+    slot_of: &mut [u32],
+    splats: &mut Vec<u32>,
+    grads: &mut Vec<ScreenGrad>,
+    stats: &mut BackwardStats,
+) {
+    let mut accum_c = Vec3::ZERO;
+    let mut accum_z = 0.0f32;
+    for contrib in scratch.iter().rev() {
+        let si = contrib.splat_index as usize;
+        let splat = &projection.splats[si];
+        let w = contrib.t_before * contrib.alpha;
+        let one_minus = (1.0 - contrib.alpha).max(1e-6);
+        let slot = chunk_slot(contrib.splat_index, slot_of, splats, grads);
+        let acc = &mut grads[slot];
+
+        // Color gradient.
+        acc.d_color += dl_dc * w;
+
+        // Alpha gradient through color and depth channels.
+        let dc_dalpha = splat.color * contrib.t_before - accum_c / one_minus;
+        let dd_dalpha = splat.depth * contrib.t_before - accum_z / one_minus;
+        let dl_dalpha = dl_dc.dot(dc_dalpha) + dl_dd * dd_dalpha;
+
+        // Depth gradient (z enters blending linearly).
+        acc.d_z += dl_dd * w;
+
+        if !contrib.clamped {
+            // α = o·g: ∂α/∂o = g ; ∂α/∂q = -½α.
+            acc.d_opacity += dl_dalpha * contrib.weight;
+            let dl_dq = dl_dalpha * (-0.5 * contrib.alpha);
+
+            // q = dᵀ K d.
+            let d = pixel - splat.mean;
+            let (ka, kb, kc) = splat.conic;
+            let kd = Vec2::new(ka * d.x + kb * d.y, kb * d.x + kc * d.y);
+            // ∂q/∂mean = -2 K d.
+            acc.d_mean += kd * (-2.0 * dl_dq);
+            // ∂q/∂K = d dᵀ (symmetric; off-diagonal doubled).
+            acc.d_conic[0] += dl_dq * d.x * d.x;
+            acc.d_conic[1] += dl_dq * 2.0 * d.x * d.y;
+            acc.d_conic[2] += dl_dq * d.y * d.y;
+        }
+
+        accum_c += splat.color * w;
+        accum_z += splat.depth * w;
+        stats.grad_ops += 1;
+    }
 }
 
 /// Runs the backward pass over pre-projected splats.
@@ -336,6 +370,24 @@ fn backward_tile_chunk_with(
 /// — so the result is bit-identical for every thread count.
 #[allow(clippy::too_many_arguments)]
 pub fn backward(
+    cloud: &GaussianCloud,
+    projection: &Projection,
+    tables: &GaussianTables,
+    camera: &PinholeCamera,
+    loss: &LossResult,
+    mode: GradMode,
+    skip: Option<&crate::idset::IdSet>,
+    par: &Parallelism,
+) -> BackwardOutput {
+    backward_with(BackendKind::default(), cloud, projection, tables, camera, loss, mode, skip, par)
+}
+
+/// [`backward`] with an explicit [`BackendKind`] — the vectorized backend's
+/// gradient chunks are bit-identical to the reference, so the choice only
+/// affects speed.
+#[allow(clippy::too_many_arguments)]
+pub fn backward_with(
+    backend: BackendKind,
     cloud: &GaussianCloud,
     projection: &Projection,
     tables: &GaussianTables,
@@ -363,10 +415,11 @@ pub fn backward(
     // to a full tile of gradient work.
     let pair_work = crate::TILE_SIZE * crate::TILE_SIZE;
     let par = par.for_workload(tables.total_pairs as usize * pair_work, 1024 * pair_work);
+    let backend = backend.backend();
     let chunks = par_map(&par, num_chunks, 1, |ci| {
         let start = ci * TILES_PER_CHUNK;
         let end = (start + TILES_PER_CHUNK).min(num_tiles);
-        backward_tile_chunk(projection, tables, camera, loss, skip, start..end)
+        backend.backward_chunk(projection, tables, camera, loss, skip, start..end)
     });
     for chunk in chunks {
         stats.grad_ops += chunk.stats.grad_ops;

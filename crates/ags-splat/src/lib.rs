@@ -36,7 +36,9 @@
 #![warn(missing_docs)]
 
 pub mod audit;
+pub mod backend;
 pub mod backward;
+pub mod cache;
 pub mod compact;
 pub mod densify;
 pub mod gaussian;
@@ -49,6 +51,8 @@ pub mod snapshot;
 pub mod tiles;
 pub mod train;
 
+pub use backend::{BackendKind, RenderBackend};
+pub use cache::ProjectionCache;
 pub use compact::{CompactionConfig, Remap};
 pub use gaussian::{Gaussian, GaussianCloud};
 pub use idset::IdSet;

@@ -6,7 +6,7 @@
 //! (EWA splatting), and a conservative screen-space radius is derived for
 //! tile binning.
 
-use crate::gaussian::GaussianCloud;
+use crate::gaussian::{Gaussian, GaussianCloud};
 use ags_math::{Mat2, Mat3, Se3, Vec2, Vec3};
 use ags_scene::PinholeCamera;
 
@@ -58,62 +58,71 @@ pub fn project_gaussians(cloud: &GaussianCloud, camera: &PinholeCamera, pose: &S
     let mut culled = 0usize;
 
     for (id, g) in cloud.gaussians().iter().enumerate() {
-        let p_cam = world_to_cam.transform_point(g.position);
-        if p_cam.z < 0.05 {
-            culled += 1;
-            continue;
+        match project_one(g, id as u32, camera, &world_to_cam, &rot_wc) {
+            Some(splat) => splats.push(splat),
+            None => culled += 1,
         }
-        let mean = match camera.project(p_cam) {
-            Some(m) => m,
-            None => {
-                culled += 1;
-                continue;
-            }
-        };
-
-        // EWA: Σ2 = J W Σ3 Wᵀ Jᵀ with J the projection Jacobian at p_cam.
-        let (jw, _) = projection_jacobian(camera, p_cam, &rot_wc);
-        let cov3 = g.covariance();
-        let cov2 = project_cov(&jw, &cov3);
-        let (a, b, c) = (cov2.cols[0].x + COV2D_BLUR, cov2.cols[1].x, cov2.cols[1].y + COV2D_BLUR);
-
-        let det = a * c - b * b;
-        if det <= 1e-12 {
-            culled += 1;
-            continue;
-        }
-        let inv = 1.0 / det;
-        let conic = (c * inv, -b * inv, a * inv);
-
-        // 3σ radius from the larger eigenvalue of Σ2.
-        let mid = 0.5 * (a + c);
-        let disc = (mid * mid - det).max(0.0).sqrt();
-        let lambda_max = mid + disc;
-        let radius = (3.0 * lambda_max.sqrt()).ceil();
-
-        // Frustum cull with the splat's own extent as margin.
-        if mean.x + radius < -0.5
-            || mean.y + radius < -0.5
-            || mean.x - radius > camera.width as f32 - 0.5
-            || mean.y - radius > camera.height as f32 - 0.5
-        {
-            culled += 1;
-            continue;
-        }
-
-        splats.push(Splat2d {
-            id: id as u32,
-            mean,
-            depth: p_cam.z,
-            conic,
-            radius,
-            color: g.color,
-            opacity: g.opacity(),
-            p_cam,
-        });
     }
 
     Projection { splats, culled, world_to_cam }
+}
+
+/// Projects a single Gaussian, returning `None` when it is culled.
+///
+/// The per-splat body of [`project_gaussians`], extracted so the
+/// [`crate::cache::ProjectionCache`] can refresh individual splats with
+/// arithmetic identical to a full projection pass.
+pub fn project_one(
+    g: &Gaussian,
+    id: u32,
+    camera: &PinholeCamera,
+    world_to_cam: &Se3,
+    rot_wc: &Mat3,
+) -> Option<Splat2d> {
+    let p_cam = world_to_cam.transform_point(g.position);
+    if p_cam.z < 0.05 {
+        return None;
+    }
+    let mean = camera.project(p_cam)?;
+
+    // EWA: Σ2 = J W Σ3 Wᵀ Jᵀ with J the projection Jacobian at p_cam.
+    let (jw, _) = projection_jacobian(camera, p_cam, rot_wc);
+    let cov3 = g.covariance();
+    let cov2 = project_cov(&jw, &cov3);
+    let (a, b, c) = (cov2.cols[0].x + COV2D_BLUR, cov2.cols[1].x, cov2.cols[1].y + COV2D_BLUR);
+
+    let det = a * c - b * b;
+    if det <= 1e-12 {
+        return None;
+    }
+    let inv = 1.0 / det;
+    let conic = (c * inv, -b * inv, a * inv);
+
+    // 3σ radius from the larger eigenvalue of Σ2.
+    let mid = 0.5 * (a + c);
+    let disc = (mid * mid - det).max(0.0).sqrt();
+    let lambda_max = mid + disc;
+    let radius = (3.0 * lambda_max.sqrt()).ceil();
+
+    // Frustum cull with the splat's own extent as margin.
+    if mean.x + radius < -0.5
+        || mean.y + radius < -0.5
+        || mean.x - radius > camera.width as f32 - 0.5
+        || mean.y - radius > camera.height as f32 - 0.5
+    {
+        return None;
+    }
+
+    Some(Splat2d {
+        id,
+        mean,
+        depth: p_cam.z,
+        conic,
+        radius,
+        color: g.color,
+        opacity: g.opacity(),
+        p_cam,
+    })
 }
 
 /// Returns `(A, J)` where `A = J · W` is the 2×3 affine projection used for

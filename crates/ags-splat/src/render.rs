@@ -8,9 +8,10 @@
 //! contribution-aware mapping), and pixels terminate early once
 //! `T < `[`crate::TRANSMITTANCE_MIN`].
 
+use crate::backend::BackendKind;
 use crate::gaussian::GaussianCloud;
 use crate::idset::IdSet;
-use crate::project::{falloff, project_gaussians, Projection, Splat2d};
+use crate::project::{falloff, Projection, Splat2d};
 use crate::tiles::{GaussianTables, TableEntry};
 use crate::{ALPHA_THRESHOLD, TRANSMITTANCE_MIN};
 use ags_image::{DepthImage, GrayImage, RgbImage};
@@ -35,6 +36,9 @@ pub struct RenderOptions {
     /// rasterized independently and merged in tile order, so the parallel
     /// path is bit-identical to [`Parallelism::serial()`].
     pub parallelism: Parallelism,
+    /// Which kernel implementation renders the tiles (both produce
+    /// bit-identical output; see [`crate::backend`]).
+    pub backend: BackendKind,
 }
 
 /// Per-Gaussian contribution statistics from one render.
@@ -153,26 +157,57 @@ pub fn render(
     pose: &Se3,
     options: &RenderOptions,
 ) -> RenderOutput {
-    let projection = project_gaussians(cloud, camera, pose);
-    let tables = GaussianTables::build_with(&projection, camera, &options.parallelism);
+    let backend = options.backend.backend();
+    let projection = backend.project(cloud, camera, pose);
+    let tables = backend.build_tables(&projection, camera, &options.parallelism);
     rasterize(cloud, &projection, &tables, camera, options)
 }
 
 /// Everything one tile produces: local framebuffers plus workload counters,
-/// merged into the frame-level output in tile order.
-struct TileRaster {
-    color: Vec<Vec3>,
-    depth: Vec<f32>,
-    silhouette: Vec<f32>,
-    alpha_evals: u64,
-    blend_ops: u64,
-    early_terminated: u64,
-    saturated_rows: u64,
-    interior_pairs: u64,
-    skipped_pairs: u64,
-    work: Option<TileWork>,
+/// merged into the frame-level output in tile order. Returned by
+/// [`crate::backend::RenderBackend::rasterize_tile`].
+pub struct TileRaster {
+    pub(crate) color: Vec<Vec3>,
+    pub(crate) depth: Vec<f32>,
+    pub(crate) silhouette: Vec<f32>,
+    pub(crate) alpha_evals: u64,
+    pub(crate) blend_ops: u64,
+    pub(crate) early_terminated: u64,
+    pub(crate) saturated_rows: u64,
+    pub(crate) interior_pairs: u64,
+    pub(crate) skipped_pairs: u64,
+    pub(crate) work: Option<TileWork>,
     /// `(gaussian id, touched pixels, negligible pixels)` per table entry.
-    contributions: Vec<(u32, u32, u32)>,
+    pub(crate) contributions: Vec<(u32, u32, u32)>,
+}
+
+impl TileRaster {
+    /// Empty tile-local buffers, optionally carrying a tile-work collector.
+    pub(crate) fn empty(
+        tile_idx: usize,
+        tile_w: usize,
+        tile_h: usize,
+        options: &RenderOptions,
+    ) -> Self {
+        let work = options.collect_tile_work.then(|| TileWork {
+            tile: tile_idx as u32,
+            per_pixel_evals: vec![0; tile_w * tile_h],
+            per_pixel_blends: vec![0; tile_w * tile_h],
+        });
+        Self {
+            color: Vec::new(),
+            depth: Vec::new(),
+            silhouette: Vec::new(),
+            alpha_evals: 0,
+            blend_ops: 0,
+            early_terminated: 0,
+            saturated_rows: 0,
+            interior_pairs: 0,
+            skipped_pairs: 0,
+            work,
+            contributions: Vec::new(),
+        }
+    }
 }
 
 /// Conservative tile-interior test: `true` only when the splat's α provably
@@ -191,7 +226,7 @@ struct TileRaster {
 /// * the corner maximum is inflated by 1 % and the threshold by 5 % —
 ///   orders of magnitude beyond the ~1e-5 relative error between the corner
 ///   bound and any per-pixel evaluation.
-fn splat_covers_tile(splat: &Splat2d, bounds: (usize, usize, usize, usize)) -> bool {
+pub(crate) fn splat_covers_tile(splat: &Splat2d, bounds: (usize, usize, usize, usize)) -> bool {
     let (a, b, c) = splat.conic;
     if !(a > 0.0 && c > 0.0 && b * b < 0.998 * a * c) {
         return false;
@@ -286,7 +321,7 @@ fn blend_entry_row<const INTERIOR: bool>(pass: &mut RowPass<'_>) {
 /// sees the same entries in the same order as the classic pixel-major loop,
 /// so outputs and workload counters are bit-identical to it (enforced by
 /// `row_kernel_matches_pixel_major_reference`).
-fn rasterize_tile(
+pub(crate) fn rasterize_tile(
     projection: &Projection,
     table: &[TableEntry],
     bounds: (usize, usize, usize, usize),
@@ -296,24 +331,7 @@ fn rasterize_tile(
     let (x0, y0, x1, y1) = bounds;
     let tile_w = x1 - x0;
     let tile_h = y1 - y0;
-    let work = options.collect_tile_work.then(|| TileWork {
-        tile: tile_idx as u32,
-        per_pixel_evals: vec![0; tile_w * tile_h],
-        per_pixel_blends: vec![0; tile_w * tile_h],
-    });
-    let mut out = TileRaster {
-        color: Vec::new(),
-        depth: Vec::new(),
-        silhouette: Vec::new(),
-        alpha_evals: 0,
-        blend_ops: 0,
-        early_terminated: 0,
-        saturated_rows: 0,
-        interior_pairs: 0,
-        skipped_pairs: 0,
-        work,
-        contributions: Vec::new(),
-    };
+    let mut out = TileRaster::empty(tile_idx, tile_w, tile_h, options);
     if table.is_empty() {
         return out;
     }
@@ -472,8 +490,9 @@ pub fn rasterize(
     let pair_work = crate::TILE_SIZE * crate::TILE_SIZE;
     let par =
         options.parallelism.for_workload(tables.total_pairs as usize * pair_work, 1024 * pair_work);
+    let backend = options.backend.backend();
     let outcomes = par_map(&par, tables.tables.len(), 1, |tile_idx| {
-        rasterize_tile(
+        backend.rasterize_tile(
             projection,
             &tables.tables[tile_idx],
             tables.grid.tile_bounds(tile_idx),
@@ -522,6 +541,7 @@ pub fn rasterize(
 mod tests {
     use super::*;
     use crate::gaussian::Gaussian;
+    use crate::project::project_gaussians;
     use ags_math::Parallelism;
 
     fn camera() -> PinholeCamera {
@@ -759,6 +779,7 @@ mod tests {
             record_contributions: true,
             collect_tile_work: true,
             parallelism: Parallelism::serial(),
+            backend: BackendKind::default(),
         };
         let expect = reference_pixel_major(&cloud, &cam, &options);
         let got = render(&cloud, &cam, &Se3::IDENTITY, &options);
@@ -819,6 +840,7 @@ mod tests {
             record_contributions: true,
             collect_tile_work: true,
             parallelism: Parallelism::serial(),
+            backend: BackendKind::default(),
         };
         let got = render(&cloud, &cam, &Se3::IDENTITY, &options);
         assert!(got.stats.interior_pairs > 0, "frame-filling splats must take the fast path");
@@ -923,6 +945,7 @@ mod tests {
             record_contributions: true,
             collect_tile_work: true,
             parallelism: Parallelism::serial(),
+            backend: BackendKind::default(),
         };
         let serial = render(&cloud, &cam, &Se3::IDENTITY, &base);
         for threads in [2, 4, 7] {

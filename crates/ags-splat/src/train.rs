@@ -1,13 +1,12 @@
 //! One-call training steps combining forward, loss, backward and update.
 
-use crate::backward::{backward, BackwardOutput, GradMode};
+use crate::backend::BackendKind;
+use crate::backward::{backward_with, BackwardOutput, GradMode};
 use crate::gaussian::GaussianCloud;
 use crate::idset::IdSet;
 use crate::loss::{compute_loss, LossConfig, LossResult};
 use crate::optim::Adam;
-use crate::project::project_gaussians;
 use crate::render::{rasterize, RenderOptions, RenderOutput};
-use crate::tiles::GaussianTables;
 use ags_image::{DepthImage, RgbImage};
 use ags_math::parallel::Parallelism;
 use ags_math::Se3;
@@ -45,11 +44,13 @@ pub fn mapping_step(
 ) -> StepReport {
     let mut options = render_options.clone();
     options.skip = skip.map(|s| std::sync::Arc::new(s.clone()));
-    let projection = project_gaussians(cloud, camera, pose);
-    let tables = GaussianTables::build_with(&projection, camera, &options.parallelism);
+    let backend = options.backend.backend();
+    let projection = backend.project(cloud, camera, pose);
+    let tables = backend.build_tables(&projection, camera, &options.parallelism);
     let render = rasterize(cloud, &projection, &tables, camera, &options);
     let loss = compute_loss(&render, gt_rgb, gt_depth, loss_config);
-    let back = backward(
+    let back = backward_with(
+        options.backend,
         cloud,
         &projection,
         &tables,
@@ -78,12 +79,47 @@ pub fn tracking_gradient(
     loss_config: &LossConfig,
     par: &Parallelism,
 ) -> (LossResult, BackwardOutput, RenderOutput) {
-    let options = RenderOptions { parallelism: par.clone(), ..RenderOptions::default() };
-    let projection = project_gaussians(cloud, camera, pose);
-    let tables = GaussianTables::build_with(&projection, camera, par);
+    tracking_gradient_with(
+        BackendKind::default(),
+        cloud,
+        camera,
+        pose,
+        gt_rgb,
+        gt_depth,
+        loss_config,
+        par,
+    )
+}
+
+/// [`tracking_gradient`] with an explicit render backend.
+#[allow(clippy::too_many_arguments)]
+pub fn tracking_gradient_with(
+    backend: BackendKind,
+    cloud: &GaussianCloud,
+    camera: &PinholeCamera,
+    pose: &Se3,
+    gt_rgb: &RgbImage,
+    gt_depth: &DepthImage,
+    loss_config: &LossConfig,
+    par: &Parallelism,
+) -> (LossResult, BackwardOutput, RenderOutput) {
+    let options = RenderOptions { parallelism: par.clone(), backend, ..RenderOptions::default() };
+    let be = backend.backend();
+    let projection = be.project(cloud, camera, pose);
+    let tables = be.build_tables(&projection, camera, par);
     let render = rasterize(cloud, &projection, &tables, camera, &options);
     let loss = compute_loss(&render, gt_rgb, gt_depth, loss_config);
-    let back = backward(cloud, &projection, &tables, camera, &loss, GradMode::Track, None, par);
+    let back = backward_with(
+        backend,
+        cloud,
+        &projection,
+        &tables,
+        camera,
+        &loss,
+        GradMode::Track,
+        None,
+        par,
+    );
     (loss, back, render)
 }
 

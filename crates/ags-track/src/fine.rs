@@ -12,8 +12,8 @@ use ags_scene::PinholeCamera;
 use ags_splat::loss::LossConfig;
 use ags_splat::optim::PoseAdam;
 use ags_splat::render::RenderStats;
-use ags_splat::train::tracking_gradient;
-use ags_splat::{CloudSnapshot, GaussianCloud};
+use ags_splat::train::tracking_gradient_with;
+use ags_splat::{BackendKind, CloudSnapshot, GaussianCloud};
 
 /// Configuration of the 3DGS pose refiner.
 #[derive(Debug, Clone, PartialEq)]
@@ -29,6 +29,9 @@ pub struct RefineConfig {
     /// Thread-level parallelism of the per-iteration render + backward
     /// kernels (bit-identical to serial at any thread count).
     pub parallelism: Parallelism,
+    /// Render backend the per-iteration kernels execute on (bit-identical
+    /// across backends).
+    pub backend: BackendKind,
 }
 
 impl Default for RefineConfig {
@@ -39,6 +42,7 @@ impl Default for RefineConfig {
             loss: LossConfig::tracking(),
             convergence_eps: 1e-4,
             parallelism: Parallelism::default(),
+            backend: BackendKind::default(),
         }
     }
 }
@@ -138,7 +142,8 @@ impl GsPoseRefiner {
         let mut prev_loss = f32::INFINITY;
 
         for iter in 0..iterations {
-            let (loss, back, render) = tracking_gradient(
+            let (loss, back, render) = tracking_gradient_with(
+                self.config.backend,
                 cloud,
                 camera,
                 &pose,
