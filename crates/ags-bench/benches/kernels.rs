@@ -788,6 +788,102 @@ fn bench_checkpoint() -> CheckpointResult {
     }
 }
 
+struct OverloadResult {
+    frames: usize,
+    width: usize,
+    height: usize,
+    plain_fps: f64,
+    qos_fps: f64,
+    shed_overhead_pct: f64,
+}
+
+/// The overload-control machinery on the hot path: a stream with a QoS
+/// controller installed but never pressured (budgets far above any real
+/// stage time, so the ladder never leaves `Full`) vs the same stream with
+/// no controller at all. The per-frame cost is one stage-time
+/// classification per completed record plus a shed-level check per frame;
+/// `shed_overhead_pct` is gated in CI as an **absolute** ceiling (≤ 5 %).
+/// An idle controller must also be semantically invisible — canonical
+/// traces are asserted identical before any timing (the shed-level stamps
+/// are `Full` either way).
+fn bench_overload() -> OverloadResult {
+    use ags_core::{MultiStreamServer, QosConfig, ServerConfig, ShedLevel, StreamPolicy};
+    let (frames, width, height) = (8usize, 96usize, 72usize);
+    let dconfig = DatasetConfig { width, height, num_frames: frames, ..DatasetConfig::tiny() };
+    let data = Dataset::generate(SceneId::S2, &dconfig);
+    let shared: Vec<_> =
+        data.frames.iter().map(|f| (Arc::new(f.rgb.clone()), Arc::new(f.depth.clone()))).collect();
+    let mut base = e2e_config();
+    base.parallelism = Parallelism::default();
+    base.pipeline = PipelineConfig::map_overlapped(1, 1);
+    base.slam.mapping_iterations = 10;
+
+    let idle_qos = QosConfig {
+        stall_budget_s: 1e9,
+        stage_budget_s: 1e9,
+        window: 4,
+        escalate_at: 2,
+        decay_after: 2,
+        max_level: ShedLevel::RejectAdmission,
+    };
+    let server_with = |qos: Option<QosConfig>| {
+        let mut policy = StreamPolicy::map_overlapped(1, 1);
+        if let Some(qos) = qos {
+            policy = policy.with_qos(qos);
+        }
+        MultiStreamServer::new(ServerConfig {
+            streams: 1,
+            base: base.clone(),
+            per_stream: vec![policy],
+            pool_workers: None,
+        })
+    };
+    let run = |qos: Option<QosConfig>| -> (f64, Vec<u8>) {
+        let mut server = server_with(qos);
+        let start = Instant::now();
+        for (rgb, depth) in &shared {
+            black_box(
+                server
+                    .push_frame(0, &data.camera, Arc::clone(rgb), Arc::clone(depth))
+                    .expect("healthy stream"),
+            );
+        }
+        black_box(server.finish_all());
+        let t = start.elapsed().as_secs_f64();
+        (t, server.stream(0).unwrap().trace().canonical_bytes())
+    };
+
+    // Invisibility before timing: an idle controller must not perturb the
+    // canonical trace.
+    let (_, plain_bytes) = run(None);
+    let (_, qos_bytes) = run(Some(idle_qos));
+    assert_eq!(plain_bytes, qos_bytes, "an idle QoS controller must be semantically invisible");
+
+    // Interleaved min-of-N, as in the checkpoint bench.
+    let samples = 5usize;
+    let mut plain_times = Vec::with_capacity(samples);
+    let mut qos_times = Vec::with_capacity(samples);
+    for sample in 0..samples {
+        if sample % 2 == 0 {
+            plain_times.push(run(None).0);
+            qos_times.push(run(Some(idle_qos)).0);
+        } else {
+            qos_times.push(run(Some(idle_qos)).0);
+            plain_times.push(run(None).0);
+        }
+    }
+    let min = |times: &[f64]| times.iter().copied().fold(f64::INFINITY, f64::min);
+    let (t_plain, t_qos) = (min(&plain_times), min(&qos_times));
+    OverloadResult {
+        frames,
+        width,
+        height,
+        plain_fps: frames as f64 / t_plain,
+        qos_fps: frames as f64 / t_qos,
+        shed_overhead_pct: (t_qos / t_plain - 1.0) * 100.0,
+    }
+}
+
 struct CompactionResult {
     frames: usize,
     width: usize,
@@ -1053,6 +1149,12 @@ fn main() {
         ckpt.delta_bytes_per_epoch,
         ckpt.full_snapshot_bytes
     );
+    let overload = bench_overload();
+    println!(
+        "overload control (idle QoS)    {}x{}:  plain {:>8.2} frames/s  qos {:>8.2} frames/s  (shed overhead {:+.2}%)",
+        overload.width, overload.height, overload.plain_fps, overload.qos_fps,
+        overload.shed_overhead_pct
+    );
     let compaction = bench_compaction();
     println!(
         "map compaction                 {}x{}:  full {:>8} B  compacted {:>8} B (-{:.1}%, pruned {}, quantized {})  fps {:.2} -> {:.2}  ate {:.4} -> {:.4}  delta {:.0} B/epoch",
@@ -1171,6 +1273,14 @@ fn main() {
     "delta_bytes_per_epoch": {:.1},
     "full_snapshot_bytes": {:.1}
   }},
+  "overload": {{
+    "frame": [{}, {}],
+    "frames": {},
+    "pipeline": "map_overlapped(1, 1)",
+    "plain_frames_per_s": {:.3},
+    "qos_frames_per_s": {:.3},
+    "shed_overhead_pct": {:.3}
+  }},
   "compaction": {{
     "frame": [{}, {}],
     "frames": {},
@@ -1253,6 +1363,12 @@ fn main() {
         ckpt.overhead_pct,
         ckpt.delta_bytes_per_epoch,
         ckpt.full_snapshot_bytes,
+        overload.width,
+        overload.height,
+        overload.frames,
+        overload.plain_fps,
+        overload.qos_fps,
+        overload.shed_overhead_pct,
         compaction.width,
         compaction.height,
         compaction.frames,

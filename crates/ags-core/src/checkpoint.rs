@@ -36,8 +36,9 @@ use std::sync::Arc;
 
 /// Version tag of the auxiliary payload layout. Version 2 added the
 /// compaction tracking (per-splat touch epochs and cold-tier chunk flags)
-/// to the mapping-stage state.
-const AUX_VERSION: u16 = 2;
+/// to the mapping-stage state; version 3 added the per-frame load-shedding
+/// fields (`shed_level`, `dropped`) to the trace codec.
+const AUX_VERSION: u16 = 3;
 
 /// Complete per-stream checkpoint state minus the map clouds (those travel
 /// through the epoch-delta store; the window here holds the same snapshots
@@ -215,6 +216,8 @@ fn put_trace_frame(w: &mut ByteWriter, f: &TraceFrame) {
         }
     }
     w.put_opt_f32(f.fp_rate);
+    w.put_u8(f.shed_level);
+    w.put_u8(f.dropped as u8);
     // Stage times are observational (excluded from canonical_bytes), but
     // dropping them across a restore would make the restored trace's timing
     // totals lie about work that did happen — keep them.
@@ -264,6 +267,8 @@ fn get_trace_frame(r: &mut ByteReader<'_>) -> Result<TraceFrame, StoreError> {
         tile_work.push(TileWork { tile, per_pixel_evals, per_pixel_blends });
     }
     let fp_rate = r.get_opt_f32()?;
+    let shed_level = r.get_u8()?;
+    let dropped = r.get_u8()? != 0;
     let stage_times = StageTimes {
         fc_s: r.get_f64()?,
         track_s: r.get_f64()?,
@@ -293,6 +298,8 @@ fn get_trace_frame(r: &mut ByteReader<'_>) -> Result<TraceFrame, StoreError> {
         map_bytes,
         tile_work,
         fp_rate,
+        shed_level,
+        dropped,
         stage_times,
         backend,
         projection_cache_hits,
@@ -668,6 +675,8 @@ mod tests {
                 per_pixel_blends: vec![0, 1, 1],
             }],
             fp_rate: Some(0.125),
+            shed_level: 1,
+            dropped: true,
             stage_times: StageTimes { fc_s: 0.5, track_s: 1.5, map_s: 2.5, stall_s: 0.25 },
             backend: BackendKind::Vectorized.name(),
             projection_cache_hits: 17,

@@ -61,11 +61,16 @@ pub mod stages;
 pub mod trace;
 
 pub use checkpoint::{decode_aux, encode_aux, StreamState};
-pub use config::{AdaptiveSlackConfig, AgsConfig, PipelineConfig, PipelineMode};
+pub use config::{
+    AdaptiveSlackConfig, AgsConfig, CheckpointPolicy, PipelineConfig, PipelineMode, QosConfig,
+    ShedLevel,
+};
 pub use contribution::{ContributionState, ContributionTracker};
 pub use fc::{FcDetector, FcDetectorState};
 pub use pipeline::{AgsFrameRecord, AgsSlam};
 pub use pipelined::PipelinedAgsSlam;
-pub use server::{MultiStreamServer, ServerConfig, ServerStats, StreamError, StreamPolicy};
+pub use server::{
+    MultiStreamServer, ServerConfig, ServerStats, StreamError, StreamPolicy, StreamStats,
+};
 pub use stages::{FcStage, FrameImages, FrameInput, MapStage, TrackStage};
 pub use trace::{StageTimes, TraceFrame, WorkloadTrace};

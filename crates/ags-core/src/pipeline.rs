@@ -23,7 +23,7 @@
 //! the matching mode.
 
 use crate::checkpoint::StreamState;
-use crate::config::AgsConfig;
+use crate::config::{AgsConfig, ShedLevel};
 use crate::fc::{FcDecision, FcDetectorState};
 use crate::stages::{
     FcStage, FrameImages, FrameInput, MapOutput, MapStage, TrackOutput, TrackStage,
@@ -105,6 +105,12 @@ pub(crate) struct SlamBody {
     /// Durability tap: each frame's map state is offered to the checkpoint
     /// writer (non-blocking; drops under backpressure).
     sink: Option<CheckpointSink>,
+    /// Current QoS shed level (server-driven; `Full` outside a server).
+    /// `ForceSerial`+ reads the live map regardless of the configured
+    /// slack; `DropNonKey`+ sheds non-key frames entirely. Not part of the
+    /// checkpoint state: the server re-derives and re-applies it on restore
+    /// from the persisted trace.
+    shed: ShedLevel,
 }
 
 impl SlamBody {
@@ -122,6 +128,7 @@ impl SlamBody {
             frame_count: 0,
             trace: WorkloadTrace::default(),
             sink: None,
+            shed: ShedLevel::Full,
         }
     }
 
@@ -153,6 +160,7 @@ impl SlamBody {
             frame_count: state.frame_count,
             trace: state.trace,
             sink: None,
+            shed: ShedLevel::Full,
         }
     }
 
@@ -181,6 +189,14 @@ impl SlamBody {
 
     pub(crate) fn set_sink(&mut self, sink: Option<CheckpointSink>) {
         self.sink = sink;
+    }
+
+    pub(crate) fn set_shed(&mut self, level: ShedLevel) {
+        self.shed = level;
+    }
+
+    pub(crate) fn map_slack(&self) -> usize {
+        self.slack
     }
 
     pub(crate) fn config(&self) -> &AgsConfig {
@@ -227,13 +243,34 @@ impl SlamBody {
         self.frame_count += 1;
         let input = FrameInput { frame_index, camera, images };
         let mut record = begin_trace_frame(frame_index, &decision);
+        record.shed_level = self.shed as u8;
+
+        if self.shed >= ShedLevel::DropNonKey && !decision.is_keyframe {
+            // Shed: after the (cheap) FC decision the frame does no
+            // tracking or mapping — it repeats the last pose and publishes
+            // an unchanged map epoch so the frame↔epoch contract holds.
+            // Frame 0 is always a key frame, so a previous pose exists.
+            record.dropped = true;
+            let pose = self.trajectory.last().copied().unwrap_or(Se3::IDENTITY);
+            self.trajectory.push(pose);
+            let map_start = Instant::now();
+            let mapped = self.map.process_dropped(&self.shared);
+            let map_s = map_start.elapsed().as_secs_f64();
+            self.publish_epoch();
+            apply_map_output(&mut record, mapped, self.shared.read().len());
+            record.stage_times = StageTimes { fc_s, track_s: 0.0, map_s, stall_s };
+            self.trace.frames.push(record.clone());
+            return AgsFrameRecord { trace: record, estimated_pose: pose, skipped_gaussians: 0 };
+        }
 
         let track_start = Instant::now();
         // Zero slack: peek at the live map (dropped before mapping mutates,
         // so the copy-on-write never triggers). Deferred reference: read the
         // window's stale epoch — exactly what the threaded driver waits for.
-        let snapshot =
-            if self.slack == 0 { self.shared.peek() } else { self.window.stale().clone() };
+        // A shed level of `ForceSerial`+ reads the live map even when the
+        // configured slack keeps a window (serial read-after-map semantics).
+        let serial_read = self.slack == 0 || self.shed >= ShedLevel::ForceSerial;
+        let snapshot = if serial_read { self.shared.peek() } else { self.window.stale().clone() };
         let tracked = self.track.process(&input, &decision, &snapshot);
         drop(snapshot);
         let track_s = track_start.elapsed().as_secs_f64();
@@ -244,19 +281,7 @@ impl SlamBody {
         let map_start = Instant::now();
         let mapped = self.map.process(&input, &decision, pose, &mut self.shared);
         let map_s = map_start.elapsed().as_secs_f64();
-        if self.slack > 0 {
-            let snapshot = self.shared.publish();
-            if let Some(sink) = &self.sink {
-                sink.offer(&snapshot);
-            }
-            self.window.push(snapshot);
-        } else if let Some(sink) = &self.sink {
-            // Zero-slack drivers never publish; stamp the live map with its
-            // frame count for the epoch-delta log. The writer briefly holds
-            // the slab, so the next mutation pays one copy-on-write — the
-            // price of checkpointing without stalling the pipeline.
-            sink.offer(&self.shared.snapshot_at(self.frame_count as u64));
-        }
+        self.publish_epoch();
         let skipped_gaussians = mapped.skipped_gaussians;
         apply_map_output(&mut record, mapped, self.shared.read().len());
         record.stage_times = StageTimes { fc_s, track_s, map_s, stall_s };
@@ -264,6 +289,25 @@ impl SlamBody {
         let trace_frame = record.clone();
         self.trace.frames.push(trace_frame);
         AgsFrameRecord { trace: record, estimated_pose: pose, skipped_gaussians }
+    }
+
+    /// Publishes this frame's map epoch. With a snapshot window the new
+    /// epoch lands in the window (and is offered to the checkpoint sink);
+    /// zero-slack drivers never publish — they stamp the live map with its
+    /// frame count for the epoch-delta log instead. The writer briefly
+    /// holds the slab either way, so the next mutation pays one
+    /// copy-on-write — the price of checkpointing without stalling the
+    /// pipeline.
+    fn publish_epoch(&mut self) {
+        if self.slack > 0 {
+            let snapshot = self.shared.publish();
+            if let Some(sink) = &self.sink {
+                sink.offer(&snapshot);
+            }
+            self.window.push(snapshot);
+        } else if let Some(sink) = &self.sink {
+            sink.offer(&self.shared.snapshot_at(self.frame_count as u64));
+        }
     }
 }
 

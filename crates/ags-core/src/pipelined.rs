@@ -31,7 +31,7 @@
 //! sets.
 
 use crate::checkpoint::StreamState;
-use crate::config::{AgsConfig, PipelineMode};
+use crate::config::{AgsConfig, PipelineMode, ShedLevel};
 use crate::fc::{FcDecision, FcDetectorState};
 use crate::pipeline::{
     apply_map_output, apply_track_output, begin_trace_frame, AgsFrameRecord, SlamBody,
@@ -125,6 +125,9 @@ struct MapJob {
     depth: Arc<DepthImage>,
     decision: FcDecision,
     pose: Se3,
+    /// Load-shedding: the frame was dropped before tracking, so mapping
+    /// publishes an unchanged epoch instead of integrating the frame.
+    dropped: bool,
 }
 
 /// One frame's mapping result, shipped back with the freshly published
@@ -160,12 +163,16 @@ fn spawn_map_worker(
         .spawn(move || {
             while let Ok(job) = jobs_rx.recv() {
                 let start = Instant::now();
-                let input = FrameInput {
-                    frame_index: job.frame_index,
-                    camera: &job.camera,
-                    images: FrameImages::Shared { rgb: &job.rgb, depth: &job.depth },
+                let mapped = if job.dropped {
+                    map.process_dropped(&shared)
+                } else {
+                    let input = FrameInput {
+                        frame_index: job.frame_index,
+                        camera: &job.camera,
+                        images: FrameImages::Shared { rgb: &job.rgb, depth: &job.depth },
+                    };
+                    map.process(&input, &job.decision, job.pose, &mut shared)
                 };
-                let mapped = map.process(&input, &job.decision, job.pose, &mut shared);
                 let snapshot = shared.publish();
                 let map_s = start.elapsed().as_secs_f64();
                 let num_gaussians = shared.read().len();
@@ -194,6 +201,12 @@ struct MapOverlapBody {
     adaptive: Option<crate::config::AdaptiveSlackConfig>,
     /// Rolling snapshot-wait samples since the last adaptive decision.
     stall_window: Vec<f64>,
+    /// Current load-shedding level. `ForceSerial`+ collapses the effective
+    /// slack to 0 (serial read-after-map semantics on the existing worker);
+    /// `DropNonKey`+ sheds non-key frames entirely. Not part of the
+    /// checkpoint state — the server re-derives it from the persisted trace
+    /// on restore and re-applies it.
+    shed: ShedLevel,
     /// Newest drained snapshot. The drain loop advances it to **exactly**
     /// the epoch frame `N` must read (`max(0, N − slack)`) — never further,
     /// even when fresher results already sit in the channel.
@@ -248,6 +261,7 @@ impl MapOverlapBody {
             slack_cap,
             adaptive,
             stall_window: Vec::new(),
+            shed: ShedLevel::Full,
             config,
             latest: CloudSnapshot::empty(),
             trajectory: Vec::new(),
@@ -306,6 +320,7 @@ impl MapOverlapBody {
             slack_cap,
             adaptive,
             stall_window: state.stall_window,
+            shed: ShedLevel::Full,
             config,
             latest,
             trajectory: state.trajectory,
@@ -413,8 +428,13 @@ impl MapOverlapBody {
         // The staleness contract: frame N reads epoch max(0, N − slack) —
         // the map state published after Map(N − slack − 1). Drain exactly up
         // to it — blocking if mapping is behind (backpressure), ignoring
-        // fresher results if it is ahead.
-        let needed_epoch = frame_index.saturating_sub(self.slack) as u64;
+        // fresher results if it is ahead. `ForceSerial` shedding collapses
+        // the effective slack to 0: the frame reads the epoch published by
+        // its own predecessor, i.e. serial read-after-map semantics. Dropped
+        // frames drain too — the pump cadence keeps the bounded channels
+        // from filling during a long shed episode.
+        let effective_slack = if self.shed >= ShedLevel::ForceSerial { 0 } else { self.slack };
+        let needed_epoch = frame_index.saturating_sub(effective_slack) as u64;
         let wait_start = Instant::now();
         while self.latest.epoch() < needed_epoch {
             self.pump_one();
@@ -424,6 +444,22 @@ impl MapOverlapBody {
         let stall_s = fc_wait_s + map_wait_s;
 
         let mut record = begin_trace_frame(frame_index, &decision);
+        record.shed_level = self.shed as u8;
+
+        if self.shed >= ShedLevel::DropNonKey && !decision.is_keyframe {
+            // Shed the frame: no tracking, no map integration. The pose
+            // repeats the last estimate and the map worker publishes an
+            // unchanged epoch so the one-epoch-per-frame contract (and every
+            // downstream epoch consumer) is undisturbed.
+            record.dropped = true;
+            let pose = self.trajectory.last().copied().unwrap_or(Se3::IDENTITY);
+            self.trajectory.push(pose);
+            record.stage_times = StageTimes { fc_s, track_s: 0.0, map_s: 0.0, stall_s };
+            self.submit_map_job(frame_index, camera, rgb, depth, decision, pose, true);
+            self.awaiting.push_back(PendingRecord { record, pose });
+            return self.completed.pop_front();
+        }
+
         let track_start = Instant::now();
         let input = FrameInput { frame_index, camera, images: FrameImages::Shared { rgb, depth } };
         let tracked = self.track.process(&input, &decision, &self.latest);
@@ -433,6 +469,22 @@ impl MapOverlapBody {
         let pose = tracked.pose;
         self.trajectory.push(pose);
 
+        self.submit_map_job(frame_index, camera, rgb, depth, decision, pose, false);
+        self.awaiting.push_back(PendingRecord { record, pose });
+        self.completed.pop_front()
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn submit_map_job(
+        &mut self,
+        frame_index: usize,
+        camera: &PinholeCamera,
+        rgb: &Arc<RgbImage>,
+        depth: &Arc<DepthImage>,
+        decision: FcDecision,
+        pose: Se3,
+        dropped: bool,
+    ) {
         self.jobs_tx
             .as_ref()
             .expect("jobs channel open")
@@ -443,22 +495,26 @@ impl MapOverlapBody {
                 depth: Arc::clone(depth),
                 decision,
                 pose,
+                dropped,
             })
             .expect("map stage worker alive");
-        self.awaiting.push_back(PendingRecord { record, pose });
-        self.completed.pop_front()
     }
 
     /// Feeds one frame's snapshot-wait time to the adaptive slack policy:
-    /// every `window` frames, a rolling mean above the threshold bumps the
-    /// slack by 1, clamped to the configured `map_slack` cap. Growing the
-    /// slack only relaxes the drain condition (`needed_epoch` stays
-    /// monotonic in the frame index), so in-flight jobs are unaffected.
+    /// every `window` frames the rolling mean is compared against both
+    /// thresholds — above `stall_threshold_s` bumps the slack by 1 (clamped
+    /// to the configured `map_slack` cap), below `decay_threshold_s` decays
+    /// it by 1 (floored at the starting slack). Either direction only moves
+    /// the drain condition between frames (`needed_epoch` stays a pure
+    /// function of the frame index), so in-flight jobs are unaffected.
+    /// Frozen while load shedding is active: shed levels already override
+    /// the effective slack, and freezing keeps the sample stream — and thus
+    /// the slack schedule after recovery — independent of shed timing.
     fn update_adaptive_slack(&mut self, map_wait_s: f64) {
         let Some(policy) = self.adaptive else {
             return;
         };
-        if self.slack >= self.slack_cap {
+        if self.shed != ShedLevel::Full {
             return;
         }
         self.stall_window.push(map_wait_s);
@@ -466,8 +522,12 @@ impl MapOverlapBody {
             return;
         }
         let mean = self.stall_window.iter().sum::<f64>() / self.stall_window.len() as f64;
-        if mean > policy.stall_threshold_s {
+        if mean > policy.stall_threshold_s && self.slack < self.slack_cap {
             self.slack += 1;
+        } else if mean < policy.decay_threshold_s
+            && self.slack > self.config.pipeline.initial_map_slack()
+        {
+            self.slack -= 1;
         }
         self.stall_window.clear();
     }
@@ -575,6 +635,20 @@ impl SlamBackEnd {
         match self {
             SlamBackEnd::Inline(body) => body.set_sink(sink),
             SlamBackEnd::MapWorker(body) => body.sink = sink,
+        }
+    }
+
+    fn set_shed(&mut self, level: ShedLevel) {
+        match self {
+            SlamBackEnd::Inline(body) => body.set_shed(level),
+            SlamBackEnd::MapWorker(body) => body.shed = level,
+        }
+    }
+
+    fn map_slack(&self) -> usize {
+        match self {
+            SlamBackEnd::Inline(body) => body.map_slack(),
+            SlamBackEnd::MapWorker(body) => body.slack,
         }
     }
 
@@ -695,6 +769,33 @@ impl PipelinedAgsSlam {
     /// commit ([`ags_store::CheckpointWriter::commit`]).
     pub fn set_checkpoint_sink(&mut self, sink: Option<CheckpointSink>) {
         self.back.set_sink(sink);
+    }
+
+    /// Sets the load-shedding level applied to frames pushed from now on.
+    ///
+    /// Shedding is a *dynamic* overlay on the configured pipeline mode — no
+    /// threads are stopped or respawned, so escalating and decaying are both
+    /// cheap and cannot disturb in-flight frames. [`ShedLevel::ForceSerial`]
+    /// collapses the effective snapshot slack to 0 (serial read-after-map
+    /// semantics); [`ShedLevel::DropNonKey`] additionally sheds non-key
+    /// frames — their pose repeats the last estimate and the map publishes
+    /// an unchanged epoch, keeping the frame↔epoch contract intact.
+    /// [`ShedLevel::RejectAdmission`] is enforced by the caller (the server
+    /// rejects pushes before they reach the driver); inside the driver it
+    /// behaves like `DropNonKey`.
+    ///
+    /// The level is stamped into every frame's
+    /// [`TraceFrame::shed_level`](crate::trace::TraceFrame::shed_level), so
+    /// a shed schedule is part of the canonical trace and must replay
+    /// bit-identically.
+    pub fn set_shed_level(&mut self, level: ShedLevel) {
+        self.back.set_shed(level);
+    }
+
+    /// The current snapshot staleness (fixed, or the adaptive policy's
+    /// latest value). Shedding overrides are not reflected here.
+    pub fn map_slack(&self) -> usize {
+        self.back.map_slack()
     }
 
     /// The configuration in use.
@@ -979,7 +1080,11 @@ mod tests {
 
         // Never-bump (threshold ∞): identical to the fixed starting slack 1,
         // even though the cap is 2 — timing cannot leak into results.
-        let never = AdaptiveSlackConfig { stall_threshold_s: f64::INFINITY, window: 2 };
+        let never = AdaptiveSlackConfig {
+            stall_threshold_s: f64::INFINITY,
+            decay_threshold_s: 0.0,
+            window: 2,
+        };
         assert_eq!(
             run_pipeline(PipelineConfig::map_overlapped(1, 2).adaptive(never)),
             run_pipeline(PipelineConfig::map_overlapped(1, 1)),
@@ -990,7 +1095,8 @@ mod tests {
         // first window — a fixed, timing-independent schedule. Two runs are
         // bit-identical, and the schedule differs from both fixed slacks
         // (the bump lands mid-stream, after epochs stopped clamping to 0).
-        let always = AdaptiveSlackConfig { stall_threshold_s: -1.0, window: 4 };
+        let always =
+            AdaptiveSlackConfig { stall_threshold_s: -1.0, decay_threshold_s: 0.0, window: 4 };
         let adaptive = PipelineConfig::map_overlapped(1, 2).adaptive(always);
         let first = run_pipeline(adaptive);
         let second = run_pipeline(adaptive);
@@ -1005,6 +1111,100 @@ mod tests {
             run_pipeline(PipelineConfig::map_overlapped(1, 2)).1,
             "starting at slack 1 must differ from running at the cap throughout"
         );
+    }
+
+    #[test]
+    fn adaptive_slack_decay_is_deterministic_at_degenerate_thresholds() {
+        use crate::config::AdaptiveSlackConfig;
+        // The decay twin of the bump test above: stall threshold −1 bumps
+        // at every window boundary while below the cap, decay threshold ∞
+        // decays at every boundary while above the initial slack — so the
+        // slack oscillates 1 → 2 → 1 → … on a fixed, timing-independent
+        // schedule. Two runs are bit-identical, and the oscillation differs
+        // from both fixed slacks *and* from bump-only (decay disabled),
+        // proving the decay branch itself shapes the canonical trace.
+        let mut base = AgsConfig::tiny();
+        base.thresh_t = 1.01;
+        let data = tiny_dataset(8);
+        let run_pipeline = |pipeline: PipelineConfig| {
+            let config = AgsConfig { pipeline, ..base.clone() };
+            let mut slam = PipelinedAgsSlam::new(config);
+            for frame in &data.frames {
+                slam.push_frame_cloned(&data.camera, &frame.rgb, &frame.depth);
+            }
+            slam.finish();
+            (slam.trajectory().to_vec(), slam.trace().canonical_bytes())
+        };
+
+        let oscillate = AdaptiveSlackConfig {
+            stall_threshold_s: -1.0,
+            decay_threshold_s: f64::INFINITY,
+            window: 2,
+        };
+        let adaptive = PipelineConfig::map_overlapped(1, 2).adaptive(oscillate);
+        let first = run_pipeline(adaptive);
+        let second = run_pipeline(adaptive);
+        assert_eq!(first, second, "degenerate decay runs are reproducible");
+        let bump_only =
+            AdaptiveSlackConfig { stall_threshold_s: -1.0, decay_threshold_s: 0.0, window: 2 };
+        assert_ne!(
+            first.1,
+            run_pipeline(PipelineConfig::map_overlapped(1, 2).adaptive(bump_only)).1,
+            "decaying back down must change the staleness schedule vs bump-only"
+        );
+        assert_ne!(
+            first.1,
+            run_pipeline(PipelineConfig::map_overlapped(1, 1)).1,
+            "the oscillation must differ from fixed slack 1"
+        );
+        assert_ne!(
+            first.1,
+            run_pipeline(PipelineConfig::map_overlapped(1, 2)).1,
+            "the oscillation must differ from fixed slack 2"
+        );
+    }
+
+    #[test]
+    fn drop_non_key_repeats_pose_and_keeps_the_epoch_contract() {
+        use crate::config::ShedLevel;
+        // Inline driver under DropNonKey: non-key frames skip track+map,
+        // repeat the previous pose and still publish their (unchanged)
+        // epoch — one epoch per frame survives shedding.
+        let data = tiny_dataset(8);
+        let mut slam = PipelinedAgsSlam::new(AgsConfig::tiny());
+        for (i, frame) in data.frames.iter().enumerate() {
+            if i == 2 {
+                slam.set_shed_level(ShedLevel::DropNonKey);
+            }
+            if i == 6 {
+                slam.set_shed_level(ShedLevel::Full);
+            }
+            slam.push_frame_cloned(&data.camera, &frame.rgb, &frame.depth);
+        }
+        slam.finish();
+        let trace = slam.trace();
+        assert_eq!(trace.frames.len(), 8);
+        assert!(
+            trace.frames.iter().any(|f| f.dropped),
+            "the shed window must drop at least one non-key frame"
+        );
+        for (i, frame) in trace.frames.iter().enumerate() {
+            if frame.dropped {
+                assert!((2..6).contains(&i), "drops only inside the shed window");
+                assert_eq!(frame.shed_level, ShedLevel::DropNonKey as u8);
+                assert_eq!(
+                    slam.trajectory()[i],
+                    slam.trajectory()[i - 1],
+                    "a dropped frame repeats the previous pose"
+                );
+                assert_eq!(frame.stage_times.track_s, 0.0);
+                // `map_s` is the measured `process_dropped` bookkeeping —
+                // O(1), nowhere near a real mapping pass.
+                assert!(frame.stage_times.map_s < 0.01);
+            }
+        }
+        assert!(!trace.frames[7].dropped, "full service resumes after the window");
+        assert_eq!(trace.frames[7].shed_level, ShedLevel::Full as u8);
     }
 
     #[test]

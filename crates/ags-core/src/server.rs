@@ -32,17 +32,39 @@
 //! [`MultiStreamServer::stats`] aggregates per-stream [`StageTimes`]
 //! (sums and per-stage maxima, including the backpressure `stall_s`) so a
 //! deployment can see *where* shared-pool contention lands.
+//!
+//! # Lifecycle & overload control
+//!
+//! Streams are not fixed at construction: [`attach_stream`] adds a slot at
+//! runtime (its `PipelinedAgsSlam` spawns lazily on the first frame) and
+//! [`detach_stream`] drains it, optionally commits a final checkpoint, and
+//! retires its fairness lane in the shared pool — lanes are reclaimed, not
+//! leaked, so attach/detach churn is unbounded. A per-stream QoS
+//! controller ([`QosConfig`] via [`StreamPolicy::with_qos`]) watches each
+//! completed frame's recorded stage times and walks the deterministic
+//! [`ShedLevel`] ladder — full service → forced-serial slack → dropping
+//! non-key frames → rejecting admission ([`StreamError::Overloaded`]) —
+//! with hysteresis on the way down. Shed levels are stamped into the
+//! canonical trace, so a shed schedule is part of the stream's semantic
+//! output and replays bit-identically at any worker count. A
+//! [`CheckpointPolicy`] can additionally drive the attached store
+//! automatically (every N epochs, on slack bumps, or on shed
+//! transitions) — checkpoint-on-pressure without caller involvement.
+//!
+//! [`attach_stream`]: MultiStreamServer::attach_stream
+//! [`detach_stream`]: MultiStreamServer::detach_stream
 
 use crate::checkpoint::{decode_aux, encode_aux};
-use crate::config::{AgsConfig, PipelineConfig};
+use crate::config::{AgsConfig, CheckpointPolicy, PipelineConfig, QosConfig, ShedLevel};
 use crate::pipeline::AgsFrameRecord;
 use crate::pipelined::PipelinedAgsSlam;
-use crate::trace::StageTimes;
+use crate::trace::{StageTimes, WorkloadTrace};
 use ags_image::{DepthImage, RgbImage};
 use ags_math::{Parallelism, WorkerPool};
 use ags_scene::PinholeCamera;
 use ags_splat::BackendKind;
 use ags_store::{CheckpointConfig, CheckpointWriter, EpochStore, MapStore, StoreError, StoreStats};
+use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
@@ -55,6 +77,14 @@ use std::sync::Arc;
 pub struct StreamPolicy {
     /// Stage-graph execution of this stream.
     pub pipeline: PipelineConfig,
+    /// Admission/overload controller for this stream. `None` (the default)
+    /// disables shedding entirely — the stream always runs at
+    /// [`ShedLevel::Full`].
+    pub qos: Option<QosConfig>,
+    /// When the server commits checkpoint generations to this stream's
+    /// attached store on its own. [`CheckpointPolicy::Manual`] (the
+    /// default) keeps commits caller-driven.
+    pub checkpoint_policy: CheckpointPolicy,
     /// Per-stream soft ceiling on resident map bytes, enforced by the
     /// stream's mapping stage at every epoch publish (quantize-cold →
     /// prune-negligible escalation; see
@@ -94,6 +124,18 @@ impl StreamPolicy {
     /// This policy with an explicit render backend for the stream.
     pub fn with_backend(mut self, backend: BackendKind) -> Self {
         self.backend = Some(backend);
+        self
+    }
+
+    /// This policy with an overload controller installed.
+    pub fn with_qos(mut self, qos: QosConfig) -> Self {
+        self.qos = Some(qos);
+        self
+    }
+
+    /// This policy with an automatic checkpoint policy installed.
+    pub fn with_checkpoint_policy(mut self, policy: CheckpointPolicy) -> Self {
+        self.checkpoint_policy = policy;
         self
     }
 }
@@ -157,6 +199,17 @@ pub enum StreamError {
         /// The underlying store error.
         source: StoreError,
     },
+    /// The stream's QoS controller is at [`ShedLevel::RejectAdmission`] and
+    /// the frame was not admitted. Unlike poisoning this is **not
+    /// sticky** — rejected pushes count toward the controller's recovery
+    /// probation, so retrying later succeeds once pressure clears.
+    Overloaded {
+        /// The overloaded stream's index.
+        stream: usize,
+    },
+    /// The stream was detached ([`MultiStreamServer::detach_stream`]); only
+    /// its final stats remain.
+    Detached(usize),
 }
 
 impl std::fmt::Display for StreamError {
@@ -169,6 +222,10 @@ impl std::fmt::Display for StreamError {
             StreamError::Storage { stream, source } => {
                 write!(f, "stream {stream} storage failure: {source}")
             }
+            StreamError::Overloaded { stream } => {
+                write!(f, "stream {stream} is overloaded: admission rejected")
+            }
+            StreamError::Detached(s) => write!(f, "stream {s} was detached"),
         }
     }
 }
@@ -195,12 +252,131 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
-/// One stream slot: its pipelined SLAM instance plus server-side health and
-/// progress bookkeeping — and, when a store is attached, the async
-/// checkpoint writer that makes the stream durable.
+/// Per-stream overload controller: a deterministic state machine over the
+/// stream's *recorded* stage times. Each completed frame is classified as
+/// pressured or not against fixed budgets; every `window` frames the
+/// controller makes one ladder decision (escalate / hold / decay with
+/// hysteresis). Because the inputs are the trace's own `StageTimes` — which
+/// a checkpoint persists verbatim — a restored stream can rebuild the
+/// controller by re-feeding the persisted trace and land in the exact same
+/// state (`rejected` probation is the one exception: rejected pushes leave
+/// no trace record, so that counter restarts at zero after a restore).
+#[derive(Debug, Clone)]
+struct QosController {
+    config: Option<QosConfig>,
+    level: ShedLevel,
+    /// Frames classified in the current window.
+    seen: usize,
+    /// Of those, frames over a budget.
+    pressured: usize,
+    /// Consecutive fully-quiet windows (hysteresis for decay).
+    quiet_windows: usize,
+    /// Rejected pushes since the last decision (recovery probation while at
+    /// `RejectAdmission` — no frames complete there, so rejections must
+    /// tick the clock or the stream could never recover).
+    rejected_run: usize,
+    /// Frames whose map or track stage exceeded the watchdog budget.
+    watchdog_flags: u64,
+    /// Ladder escalations (not decays).
+    sheds: u64,
+}
+
+impl QosController {
+    fn new(config: Option<QosConfig>) -> Self {
+        Self {
+            config,
+            level: ShedLevel::Full,
+            seen: 0,
+            pressured: 0,
+            quiet_windows: 0,
+            rejected_run: 0,
+            watchdog_flags: 0,
+            sheds: 0,
+        }
+    }
+
+    fn level(&self) -> ShedLevel {
+        self.level
+    }
+
+    /// Classifies one completed frame (in stream order) and, at window
+    /// boundaries, makes a ladder decision. Returns the new level if it
+    /// changed.
+    fn feed(&mut self, times: &StageTimes) -> Option<ShedLevel> {
+        let config = self.config?;
+        let flagged = times.map_s > config.stage_budget_s || times.track_s > config.stage_budget_s;
+        if flagged {
+            self.watchdog_flags += 1;
+        }
+        let pressured = flagged || times.stall_s > config.stall_budget_s;
+        self.seen += 1;
+        self.pressured += pressured as usize;
+        if self.seen < config.window.max(1) {
+            return None;
+        }
+        let pressured_frames = self.pressured;
+        self.seen = 0;
+        self.pressured = 0;
+        if pressured_frames >= config.escalate_at.max(1) {
+            self.quiet_windows = 0;
+            let next = self.level.escalate().min(config.max_level);
+            return self.shift(next, true);
+        }
+        if pressured_frames == 0 {
+            self.quiet_windows += 1;
+            if self.quiet_windows >= config.decay_after.max(1) {
+                self.quiet_windows = 0;
+                return self.shift(self.level.decay(), false);
+            }
+        } else {
+            self.quiet_windows = 0;
+        }
+        None
+    }
+
+    /// A rejected push at `RejectAdmission`: every `window` rejections
+    /// count as one quiet window, so sustained rejected demand decays the
+    /// stream back toward admission once nothing else reports pressure.
+    fn note_rejected(&mut self) -> Option<ShedLevel> {
+        let config = self.config?;
+        self.rejected_run += 1;
+        if self.rejected_run < config.window.max(1) {
+            return None;
+        }
+        self.rejected_run = 0;
+        self.quiet_windows += 1;
+        if self.quiet_windows >= config.decay_after.max(1) {
+            self.quiet_windows = 0;
+            return self.shift(self.level.decay(), false);
+        }
+        None
+    }
+
+    fn shift(&mut self, next: ShedLevel, escalation: bool) -> Option<ShedLevel> {
+        if next == self.level {
+            return None;
+        }
+        self.level = next;
+        if escalation {
+            self.sheds += 1;
+        }
+        Some(next)
+    }
+}
+
+/// One stream slot: its pipelined SLAM instance plus server-side health,
+/// progress and overload bookkeeping — and, when a store is attached, the
+/// async checkpoint writer that makes the stream durable.
 #[derive(Debug)]
 struct StreamSlot {
-    slam: PipelinedAgsSlam,
+    /// The stream's resolved config (shared pool handle + tag installed) —
+    /// kept so the SLAM instance can be (re)spawned lazily, and restored
+    /// after a detach.
+    cfg: AgsConfig,
+    policy: StreamPolicy,
+    /// `None` before the first frame of a lazily attached stream, and after
+    /// a detach.
+    slam: Option<PipelinedAgsSlam>,
     poisoned: bool,
     /// The panic payload message stashed when the stream poisoned, replayed
     /// into every subsequent [`StreamError::Poisoned`].
@@ -208,14 +384,128 @@ struct StreamSlot {
     writer: Option<CheckpointWriter>,
     pushed: usize,
     completed: usize,
+    qos: QosController,
+    /// Completed records not yet handed to the caller. Normally at most one
+    /// deep; automatic checkpoints quiesce the pipeline mid-stream and park
+    /// the drained records here, to be returned by subsequent pushes.
+    buffered: VecDeque<AgsFrameRecord>,
+    /// Final stats snapshot of a detached stream (`Some` ⇒ retired).
+    retired: Option<StreamStats>,
+    /// Rejected pushes ([`StreamError::Overloaded`]).
+    rejected: u64,
+    /// Automatic checkpoint commits that succeeded / failed.
+    auto_checkpoints: u64,
+    checkpoint_errors: u64,
+    /// Window epochs commits persisted synchronously (dropped-offer heal).
+    checkpoint_top_ups: u64,
+    /// Completed frames since the last commit (for `EveryNEpochs`).
+    epochs_since_commit: usize,
+    /// Map slack at the last commit decision (for `OnSlackBump`); `None`
+    /// adopts the current value without committing.
+    last_slack: Option<usize>,
+    /// A shed transition happened since the last commit (for `OnShed`).
+    shed_transition: bool,
 }
 
 impl StreamSlot {
+    fn new(cfg: AgsConfig, policy: StreamPolicy, eager: bool) -> Self {
+        let slam = eager.then(|| PipelinedAgsSlam::new(cfg.clone()));
+        Self {
+            cfg,
+            slam,
+            poisoned: false,
+            panic_msg: None,
+            writer: None,
+            pushed: 0,
+            completed: 0,
+            qos: QosController::new(policy.qos),
+            policy,
+            buffered: VecDeque::new(),
+            retired: None,
+            rejected: 0,
+            auto_checkpoints: 0,
+            checkpoint_errors: 0,
+            checkpoint_top_ups: 0,
+            epochs_since_commit: 0,
+            last_slack: None,
+            shed_transition: false,
+        }
+    }
+
     fn poison(&mut self, stream: usize, payload: Box<dyn std::any::Any + Send>) -> StreamError {
         let panic = panic_message(payload.as_ref());
         self.poisoned = true;
         self.panic_msg = Some(panic.clone());
         StreamError::Poisoned { stream, panic }
+    }
+
+    /// The slot's SLAM instance, spawned on first use for lazily attached
+    /// streams (with the checkpoint sink installed if a store is already
+    /// attached).
+    fn slam_mut(&mut self) -> &mut PipelinedAgsSlam {
+        if self.slam.is_none() {
+            let mut slam = PipelinedAgsSlam::new(self.cfg.clone());
+            if let Some(writer) = &self.writer {
+                slam.set_checkpoint_sink(Some(writer.sink()));
+            }
+            self.slam = Some(slam);
+        }
+        self.slam.as_mut().expect("just spawned")
+    }
+
+    /// Absorbs one completed record in stream order: feeds the QoS
+    /// controller, applies any ladder transition to the pipeline, and parks
+    /// the record for the caller.
+    fn absorb(&mut self, record: AgsFrameRecord) {
+        self.completed += 1;
+        self.epochs_since_commit += 1;
+        if let Some(next) = self.qos.feed(&record.trace.stage_times) {
+            self.shed_transition = true;
+            if let Some(slam) = self.slam.as_mut() {
+                slam.set_shed_level(next);
+            }
+        }
+        self.buffered.push_back(record);
+    }
+
+    /// Whether the automatic checkpoint policy wants a commit now.
+    fn auto_commit_due(&mut self) -> bool {
+        if self.writer.is_none() || self.slam.is_none() || self.poisoned {
+            return false;
+        }
+        match self.policy.checkpoint_policy {
+            CheckpointPolicy::Manual => false,
+            CheckpointPolicy::EveryNEpochs(n) => self.epochs_since_commit >= n.max(1),
+            CheckpointPolicy::OnSlackBump => {
+                let current = self.slam.as_ref().expect("checked above").map_slack();
+                match self.last_slack {
+                    None => {
+                        self.last_slack = Some(current);
+                        false
+                    }
+                    Some(previous) => current != previous,
+                }
+            }
+            CheckpointPolicy::OnShed => self.shed_transition,
+        }
+    }
+
+    /// Commits `state` (already captured by a quiesce) to the attached
+    /// store. Automatic-path errors are counted, never fatal — the stream
+    /// stays healthy and the policy simply retries at its next trigger.
+    fn commit_captured(&mut self, state: &crate::checkpoint::StreamState) {
+        let writer = self.writer.as_ref().expect("auto commit requires a writer");
+        let aux = encode_aux(state);
+        match writer.commit(state.window.clone(), aux) {
+            Ok(report) => {
+                self.auto_checkpoints += 1;
+                self.checkpoint_top_ups += report.topped_up as u64;
+            }
+            Err(_) => self.checkpoint_errors += 1,
+        }
+        self.epochs_since_commit = 0;
+        self.shed_transition = false;
+        self.last_slack = self.slam.as_ref().map(|s| s.map_slack());
     }
 }
 
@@ -246,6 +536,32 @@ pub struct StreamStats {
     /// Cumulative projection-cache misses after the stream's newest
     /// completed frame.
     pub projection_cache_misses: u64,
+    /// Whether the stream was detached; if so, every other field is the
+    /// final snapshot taken at detach time (so aggregate counters stay
+    /// monotonic across churn).
+    pub retired: bool,
+    /// The stream's current shed level.
+    pub shed_level: ShedLevel,
+    /// QoS ladder escalations so far.
+    pub sheds: u64,
+    /// Frames whose map or track stage tripped the watchdog budget.
+    pub watchdog_flags: u64,
+    /// Pushes rejected while at [`ShedLevel::RejectAdmission`].
+    pub rejected: u64,
+    /// Snapshot offers the stream's checkpoint sink made (accepted +
+    /// dropped); zero without an attached store.
+    pub checkpoint_offers: u64,
+    /// Of those, offers dropped under queue backpressure (healed by commit
+    /// top-ups).
+    pub checkpoint_offers_dropped: u64,
+    /// Window epochs that commits had to persist synchronously because the
+    /// async path never delivered them.
+    pub checkpoint_top_ups: u64,
+    /// Automatic checkpoint commits ([`CheckpointPolicy`]) that succeeded.
+    pub auto_checkpoints: u64,
+    /// Checkpoint commits (automatic path) that failed; the stream stays
+    /// healthy and retries at the policy's next trigger.
+    pub checkpoint_errors: u64,
 }
 
 /// Aggregated execution statistics across all streams.
@@ -263,9 +579,16 @@ pub struct ServerStats {
 }
 
 impl ServerStats {
-    /// Total completed frames across all streams.
+    /// Total completed frames across all streams — **including** detached
+    /// ones, whose final snapshots stay in [`per_stream`](Self::per_stream),
+    /// so this aggregate is monotonic across attach/detach churn.
     pub fn completed_frames(&self) -> usize {
         self.per_stream.iter().map(|s| s.completed).sum()
+    }
+
+    /// Streams that have been detached (their stats are final snapshots).
+    pub fn retired_streams(&self) -> usize {
+        self.per_stream.iter().filter(|s| s.retired).count()
     }
 
     /// Total resident map bytes across all streams — the host-level memory
@@ -286,7 +609,41 @@ impl ServerStats {
 #[derive(Debug)]
 pub struct MultiStreamServer {
     pool: Arc<WorkerPool>,
+    /// Base config new streams start from ([`Self::attach_stream`]).
+    base: AgsConfig,
     streams: Vec<StreamSlot>,
+}
+
+/// Resolves a stream's effective config: policy overlaid on the base, the
+/// shared pool handle and the stream tag installed into every stage's
+/// `Parallelism` knob.
+fn stream_config(
+    base: &AgsConfig,
+    policy: &StreamPolicy,
+    pool: &Arc<WorkerPool>,
+    tag: u64,
+) -> AgsConfig {
+    let mut cfg = base.clone();
+    cfg.pipeline = policy.pipeline;
+    if policy.map_bytes_budget > 0 {
+        cfg.slam.compaction.map_bytes_budget = policy.map_bytes_budget;
+    }
+    if let Some(backend) = policy.backend {
+        cfg.backend = backend;
+    }
+    // A default codec knob inherits the tagged stream knob — pool, tag,
+    // fallback threshold and all — in `resolve`; leave it alone so that
+    // inheritance applies.
+    let codec_is_default = cfg.codec.parallelism == Parallelism::default()
+        && cfg.codec.parallelism.pool().is_none()
+        && cfg.codec.parallelism.stream() == 0;
+    cfg.parallelism = cfg.parallelism.on_pool(Arc::clone(pool)).tagged(tag);
+    if !codec_is_default && cfg.codec.parallelism.enabled {
+        // An explicitly configured codec knob would not inherit the stream
+        // knob in `resolve`; give it the shared pool and the tag directly.
+        cfg.codec.parallelism = cfg.codec.parallelism.on_pool(Arc::clone(pool)).tagged(tag);
+    }
+    cfg
 }
 
 impl MultiStreamServer {
@@ -300,41 +657,105 @@ impl MultiStreamServer {
         let pool = Arc::new(WorkerPool::new(workers));
         let streams = (0..config.streams)
             .map(|s| {
-                let mut cfg = config.base.clone();
                 let policy = config.policy(s);
-                cfg.pipeline = policy.pipeline;
-                if policy.map_bytes_budget > 0 {
-                    cfg.slam.compaction.map_bytes_budget = policy.map_bytes_budget;
-                }
-                if let Some(backend) = policy.backend {
-                    cfg.backend = backend;
-                }
-                let tag = s as u64;
-                // A default codec knob inherits the tagged stream knob —
-                // pool, tag, fallback threshold and all — in `resolve`;
-                // leave it alone so that inheritance applies.
-                let codec_is_default = cfg.codec.parallelism == Parallelism::default()
-                    && cfg.codec.parallelism.pool().is_none()
-                    && cfg.codec.parallelism.stream() == 0;
-                cfg.parallelism = cfg.parallelism.on_pool(Arc::clone(&pool)).tagged(tag);
-                if !codec_is_default && cfg.codec.parallelism.enabled {
-                    // An explicitly configured codec knob would not inherit
-                    // the stream knob in `resolve`; give it the shared pool
-                    // and the tag directly.
-                    cfg.codec.parallelism =
-                        cfg.codec.parallelism.on_pool(Arc::clone(&pool)).tagged(tag);
-                }
-                StreamSlot {
-                    slam: PipelinedAgsSlam::new(cfg),
-                    poisoned: false,
-                    panic_msg: None,
-                    writer: None,
-                    pushed: 0,
-                    completed: 0,
-                }
+                let cfg = stream_config(&config.base, &policy, &pool, s as u64);
+                StreamSlot::new(cfg, policy, true)
             })
             .collect();
-        Self { pool, streams }
+        Self { pool, base: config.base, streams }
+    }
+
+    /// Attaches a new stream at runtime and returns its id. The slot is
+    /// registered immediately, but its [`PipelinedAgsSlam`] (and stage
+    /// threads) spawn lazily on the first frame — attaching is cheap and
+    /// an attached-but-idle stream costs nothing.
+    ///
+    /// Ids are never reused: a detached stream's id stays retired, so
+    /// store prefixes (`s{id}`) and pool lane tags remain unambiguous for
+    /// the server's lifetime.
+    pub fn attach_stream(&mut self, policy: StreamPolicy) -> usize {
+        let stream = self.streams.len();
+        let cfg = stream_config(&self.base, &policy, &self.pool, stream as u64);
+        self.streams.push(StreamSlot::new(cfg, policy, false));
+        stream
+    }
+
+    /// Detaches stream `stream`: drains its pipeline, optionally commits a
+    /// final checkpoint generation to the attached store, stops the
+    /// checkpoint writer, joins the stage threads and **retires the
+    /// stream's fairness lane** in the shared pool — after this the lane
+    /// slot is reclaimed, so attach/detach churn never accumulates pool
+    /// state. Returns the drained records.
+    ///
+    /// The slot itself stays, holding a final [`StreamStats`] snapshot
+    /// (`retired: true`), so [`ServerStats::completed_frames`] is monotonic
+    /// across churn. A retired stream rejects every operation with
+    /// [`StreamError::Detached`] except [`restore_stream`]
+    /// (re-attach a store first), which revives it from its last durable
+    /// checkpoint — a detached-then-restored stream finishes bit-identical
+    /// to one that never detached.
+    ///
+    /// With `final_checkpoint` but no valid store attached (or a failing
+    /// commit) the stream is left attached and drained, and the error is
+    /// returned — so a caller can fall back to `detach_stream(s, false)`.
+    ///
+    /// [`restore_stream`]: Self::restore_stream
+    pub fn detach_stream(
+        &mut self,
+        stream: usize,
+        final_checkpoint: bool,
+    ) -> Result<Vec<AgsFrameRecord>, StreamError> {
+        let slot = self.streams.get_mut(stream).ok_or(StreamError::UnknownStream(stream))?;
+        if slot.retired.is_some() {
+            return Err(StreamError::Detached(stream));
+        }
+        if !slot.poisoned && slot.slam.is_some() {
+            if final_checkpoint {
+                if slot.writer.is_none() {
+                    return Err(StreamError::Storage {
+                        stream,
+                        source: StoreError::Missing("no store attached to stream".into()),
+                    });
+                }
+                let slam = slot.slam.as_mut().expect("checked above");
+                let (records, state) = match catch_unwind(AssertUnwindSafe(|| slam.checkpoint())) {
+                    Ok(pair) => pair,
+                    Err(payload) => return Err(slot.poison(stream, payload)),
+                };
+                for record in records {
+                    slot.absorb(record);
+                }
+                let aux = encode_aux(&state);
+                if let Err(source) =
+                    slot.writer.as_ref().expect("checked above").commit(state.window, aux)
+                {
+                    return Err(StreamError::Storage { stream, source });
+                }
+            } else {
+                let slam = slot.slam.as_mut().expect("checked above");
+                let records = match catch_unwind(AssertUnwindSafe(|| slam.finish())) {
+                    Ok(records) => records,
+                    Err(payload) => return Err(slot.poison(stream, payload)),
+                };
+                for record in records {
+                    slot.absorb(record);
+                }
+            }
+        }
+        // Snapshot the final stats while the pipeline and writer are still
+        // alive (the trace and offer counters die with them).
+        let mut final_stats = Self::slot_stats(slot);
+        final_stats.retired = true;
+        if let Some(writer) = slot.writer.take() {
+            drop(writer.stop());
+        }
+        // Dropping the instance joins its stage threads; the pipeline was
+        // just drained, so this does not discard frames.
+        slot.slam = None;
+        slot.retired = Some(final_stats);
+        self.pool.retire_stream(stream as u64);
+        let slot = &mut self.streams[stream];
+        Ok(slot.buffered.drain(..).collect())
     }
 
     /// Number of streams (poisoned ones included).
@@ -362,6 +783,12 @@ impl MultiStreamServer {
     /// operation on it returns [`StreamError::Poisoned`], while the other
     /// streams — and the shared pool, which survives submitter panics by
     /// design — continue unaffected.
+    /// A frame rejected at [`ShedLevel::RejectAdmission`] returns
+    /// [`StreamError::Overloaded`] — non-sticky; rejected pushes count
+    /// toward the QoS controller's recovery probation, so pushing again
+    /// after pressure clears is admitted. Records drained by automatic
+    /// checkpoints are buffered and returned (in stream order) by
+    /// subsequent pushes.
     pub fn push_frame(
         &mut self,
         stream: usize,
@@ -370,28 +797,58 @@ impl MultiStreamServer {
         depth: Arc<DepthImage>,
     ) -> Result<Option<AgsFrameRecord>, StreamError> {
         let slot = self.slot(stream)?;
+        if slot.qos.level() == ShedLevel::RejectAdmission {
+            slot.rejected += 1;
+            if let Some(next) = slot.qos.note_rejected() {
+                slot.shed_transition = true;
+                if let Some(slam) = slot.slam.as_mut() {
+                    slam.set_shed_level(next);
+                }
+            }
+            return Err(StreamError::Overloaded { stream });
+        }
         slot.pushed += 1;
-        let outcome = catch_unwind(AssertUnwindSafe(|| slot.slam.push_frame(camera, rgb, depth)));
+        slot.slam_mut(); // lazy spawn outside the catch: construction panics are config bugs
+        let slam = slot.slam.as_mut().expect("just spawned");
+        let outcome = catch_unwind(AssertUnwindSafe(|| slam.push_frame(camera, rgb, depth)));
         match outcome {
             Ok(record) => {
-                slot.completed += record.is_some() as usize;
-                Ok(record)
+                if let Some(record) = record {
+                    slot.absorb(record);
+                }
             }
-            Err(payload) => Err(slot.poison(stream, payload)),
+            Err(payload) => return Err(slot.poison(stream, payload)),
         }
+        if slot.auto_commit_due() {
+            let slam = slot.slam.as_mut().expect("active stream");
+            match catch_unwind(AssertUnwindSafe(|| slam.checkpoint())) {
+                Ok((records, state)) => {
+                    for record in records {
+                        slot.absorb(record);
+                    }
+                    slot.commit_captured(&state);
+                }
+                Err(payload) => return Err(slot.poison(stream, payload)),
+            }
+        }
+        Ok(slot.buffered.pop_front())
     }
 
     /// Drains stream `stream` after its last frame, returning the remaining
-    /// records in stream order.
+    /// records (buffered ones included) in stream order.
     pub fn finish_stream(&mut self, stream: usize) -> Result<Vec<AgsFrameRecord>, StreamError> {
         let slot = self.slot(stream)?;
-        match catch_unwind(AssertUnwindSafe(|| slot.slam.finish())) {
-            Ok(records) => {
-                slot.completed += records.len();
-                Ok(records)
+        if let Some(slam) = slot.slam.as_mut() {
+            match catch_unwind(AssertUnwindSafe(|| slam.finish())) {
+                Ok(records) => {
+                    for record in records {
+                        slot.absorb(record);
+                    }
+                }
+                Err(payload) => return Err(slot.poison(stream, payload)),
             }
-            Err(payload) => Err(slot.poison(stream, payload)),
         }
+        Ok(slot.buffered.drain(..).collect())
     }
 
     /// Drains every healthy stream; entry `s` holds stream `s`'s remaining
@@ -401,10 +858,22 @@ impl MultiStreamServer {
     }
 
     /// Read access to stream `s`'s SLAM instance (trajectory, cloud,
-    /// trace). `None` for out-of-range indices; poisoned streams are
-    /// readable (their state is whatever completed before the panic).
+    /// trace). `None` for out-of-range indices, detached streams and
+    /// lazily attached streams that have not seen a frame; poisoned streams
+    /// are readable (their state is whatever completed before the panic).
     pub fn stream(&self, stream: usize) -> Option<&PipelinedAgsSlam> {
-        self.streams.get(stream).map(|s| &s.slam)
+        self.streams.get(stream).and_then(|s| s.slam.as_ref())
+    }
+
+    /// Whether stream `s` has been detached.
+    pub fn is_retired(&self, stream: usize) -> bool {
+        self.streams.get(stream).is_some_and(|s| s.retired.is_some())
+    }
+
+    /// The current shed level of stream `s` (`None` for unknown streams).
+    /// [`ShedLevel::Full`] for streams without a QoS controller.
+    pub fn shed_level(&self, stream: usize) -> Option<ShedLevel> {
+        self.streams.get(stream).map(|s| s.qos.level())
     }
 
     /// Attaches a durability store to stream `stream` under the key prefix
@@ -420,12 +889,14 @@ impl MultiStreamServer {
         store: Box<dyn MapStore>,
         config: CheckpointConfig,
     ) -> Result<(), StreamError> {
-        let slot = self.slot(stream)?;
+        let slot = self.streams.get_mut(stream).ok_or(StreamError::UnknownStream(stream))?;
         let prefix = format!("s{stream}");
         let epoch_store = EpochStore::open(store, &prefix, config)
             .map_err(|source| StreamError::Storage { stream, source })?;
         let writer = CheckpointWriter::spawn(epoch_store);
-        slot.slam.set_checkpoint_sink(Some(writer.sink()));
+        if let Some(slam) = slot.slam.as_mut() {
+            slam.set_checkpoint_sink(Some(writer.sink()));
+        }
         slot.writer = Some(writer);
         Ok(())
     }
@@ -446,26 +917,42 @@ impl MultiStreamServer {
                 source: StoreError::Missing("no store attached to stream".into()),
             });
         }
-        let (records, state) = match catch_unwind(AssertUnwindSafe(|| slot.slam.checkpoint())) {
+        let slam = slot.slam_mut();
+        let (records, state) = match catch_unwind(AssertUnwindSafe(|| slam.checkpoint())) {
             Ok(pair) => pair,
             Err(payload) => return Err(slot.poison(stream, payload)),
         };
-        slot.completed += records.len();
+        for record in records {
+            slot.absorb(record);
+        }
         let aux = encode_aux(&state);
-        slot.writer
+        let report = slot
+            .writer
             .as_ref()
             .expect("writer checked above")
             .commit(state.window.clone(), aux)
             .map_err(|source| StreamError::Storage { stream, source })?;
-        Ok(records)
+        slot.checkpoint_top_ups += report.topped_up as u64;
+        slot.epochs_since_commit = 0;
+        slot.shed_transition = false;
+        slot.last_slack = slot.slam.as_ref().map(|s| s.map_slack());
+        Ok(slot.buffered.drain(..).collect())
     }
 
     /// Rebuilds stream `stream` from the newest fully-valid checkpoint
     /// generation in its attached store. This is the recovery path for
     /// poisoned streams — a slot killed by a panic is re-spawned from its
-    /// last durable state and un-poisoned — but it works on healthy streams
-    /// too (e.g. after a process restart, on a server whose streams were
-    /// just constructed).
+    /// last durable state and un-poisoned — and for **detached** streams,
+    /// which are revived into active service (re-attach a store first if
+    /// the detach stopped the writer). It works on healthy streams too
+    /// (e.g. after a process restart, on a server whose streams were just
+    /// constructed).
+    ///
+    /// The stream's QoS controller is rebuilt deterministically by
+    /// re-feeding the persisted trace's recorded stage times, and the
+    /// resulting shed level is re-applied to the revived pipeline — a shed
+    /// schedule survives a restore bit-identically. (Rejection probation is
+    /// the one piece that resets: rejected pushes leave no trace record.)
     ///
     /// Torn or corrupted generations are skipped (newest-first) rather than
     /// loaded; if no valid generation exists the slot is left untouched and
@@ -501,18 +988,39 @@ impl MultiStreamServer {
             }
         };
         let frame_count = state.frame_count;
-        // The old instance's config already carries the shared pool handle
+        // Replay the persisted trace through a fresh controller: shed state
+        // is a pure function of the recorded stage times, so this lands in
+        // exactly the state the checkpointing run was in.
+        let qos = Self::rebuild_qos(slot.policy.qos, &state.trace);
+        // The slot's stored config already carries the shared pool handle
         // and stream tag; `restore` re-resolves it, which is idempotent.
-        let mut slam = PipelinedAgsSlam::restore(slot.slam.config().clone(), state);
+        let mut slam = PipelinedAgsSlam::restore(slot.cfg.clone(), state);
+        slam.set_shed_level(qos.level());
         let writer = CheckpointWriter::spawn(store);
         slam.set_checkpoint_sink(Some(writer.sink()));
-        slot.slam = slam;
+        slot.slam = Some(slam);
         slot.writer = Some(writer);
+        slot.qos = qos;
         slot.poisoned = false;
         slot.panic_msg = None;
+        slot.retired = None;
+        slot.buffered.clear();
         slot.pushed = frame_count;
         slot.completed = frame_count;
+        slot.epochs_since_commit = 0;
+        slot.shed_transition = false;
+        slot.last_slack = None;
         Ok(())
+    }
+
+    /// Folds a persisted trace through a fresh [`QosController`] — the
+    /// deterministic state rebuild used by [`restore_stream`](Self::restore_stream).
+    fn rebuild_qos(config: Option<QosConfig>, trace: &WorkloadTrace) -> QosController {
+        let mut qos = QosController::new(config);
+        for frame in &trace.frames {
+            qos.feed(&frame.stage_times);
+        }
+        qos
     }
 
     /// Byte/record counters of stream `stream`'s attached store — what the
@@ -528,7 +1036,9 @@ impl MultiStreamServer {
         let store = writer.stop();
         let stats = store.stats();
         let writer = CheckpointWriter::spawn(store);
-        slot.slam.set_checkpoint_sink(Some(writer.sink()));
+        if let Some(slam) = slot.slam.as_mut() {
+            slam.set_checkpoint_sink(Some(writer.sink()));
+        }
         slot.writer = Some(writer);
         Ok(stats)
     }
@@ -538,26 +1048,7 @@ impl MultiStreamServer {
     /// (snapshot wait + FC-channel wait) shows how much of either is
     /// backpressure rather than work.
     pub fn stats(&self) -> ServerStats {
-        let per_stream: Vec<StreamStats> = self
-            .streams
-            .iter()
-            .map(|slot| {
-                let trace = slot.slam.trace();
-                let newest = trace.frames.last();
-                StreamStats {
-                    pushed: slot.pushed,
-                    completed: slot.completed,
-                    stage_totals: trace.stage_time_totals(),
-                    poisoned: slot.poisoned,
-                    map_splats: newest.map_or(0, |f| f.num_gaussians),
-                    quantized_splats: newest.map_or(0, |f| f.quantized_splats),
-                    map_bytes: newest.map_or(0, |f| f.map_bytes),
-                    backend: slot.slam.config().backend.name(),
-                    projection_cache_hits: newest.map_or(0, |f| f.projection_cache_hits),
-                    projection_cache_misses: newest.map_or(0, |f| f.projection_cache_misses),
-                }
-            })
-            .collect();
+        let per_stream: Vec<StreamStats> = self.streams.iter().map(Self::slot_stats).collect();
         let mut total = StageTimes::default();
         let mut max = StageTimes::default();
         for s in &per_stream {
@@ -567,8 +1058,45 @@ impl MultiStreamServer {
         ServerStats { per_stream, total, max }
     }
 
+    /// The stats of one slot: the live view for active streams, the frozen
+    /// final snapshot for retired ones.
+    fn slot_stats(slot: &StreamSlot) -> StreamStats {
+        if let Some(final_stats) = &slot.retired {
+            return *final_stats;
+        }
+        let empty = WorkloadTrace::default();
+        let trace = slot.slam.as_ref().map_or(&empty, |s| s.trace());
+        let newest = trace.frames.last();
+        let (offers, offers_dropped) = slot.writer.as_ref().map_or((0, 0), |w| w.offer_counts());
+        StreamStats {
+            pushed: slot.pushed,
+            completed: slot.completed,
+            stage_totals: trace.stage_time_totals(),
+            poisoned: slot.poisoned,
+            map_splats: newest.map_or(0, |f| f.num_gaussians),
+            quantized_splats: newest.map_or(0, |f| f.quantized_splats),
+            map_bytes: newest.map_or(0, |f| f.map_bytes),
+            backend: slot.cfg.backend.name(),
+            projection_cache_hits: newest.map_or(0, |f| f.projection_cache_hits),
+            projection_cache_misses: newest.map_or(0, |f| f.projection_cache_misses),
+            retired: false,
+            shed_level: slot.qos.level(),
+            sheds: slot.qos.sheds,
+            watchdog_flags: slot.qos.watchdog_flags,
+            rejected: slot.rejected,
+            checkpoint_offers: offers,
+            checkpoint_offers_dropped: offers_dropped,
+            checkpoint_top_ups: slot.checkpoint_top_ups,
+            auto_checkpoints: slot.auto_checkpoints,
+            checkpoint_errors: slot.checkpoint_errors,
+        }
+    }
+
     fn slot(&mut self, stream: usize) -> Result<&mut StreamSlot, StreamError> {
         let slot = self.streams.get_mut(stream).ok_or(StreamError::UnknownStream(stream))?;
+        if slot.retired.is_some() {
+            return Err(StreamError::Detached(stream));
+        }
         if slot.poisoned {
             return Err(StreamError::Poisoned {
                 stream,

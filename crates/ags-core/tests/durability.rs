@@ -449,7 +449,7 @@ fn adaptive_slack_state_survives_restore_deterministically() {
     // function of the frame count. Checkpointing mid-window (3 of 4 stall
     // samples collected) must carry the rolling samples so the restored run
     // bumps its slack at exactly the same frame as the uninterrupted one.
-    let always = AdaptiveSlackConfig { stall_threshold_s: -1.0, window: 4 };
+    let always = AdaptiveSlackConfig { stall_threshold_s: -1.0, decay_threshold_s: 0.0, window: 4 };
     let mut policy = StreamPolicy::map_overlapped(1, 2);
     policy.pipeline = policy.pipeline.adaptive(always);
     let frames = 7;

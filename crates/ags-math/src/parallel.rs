@@ -178,6 +178,25 @@ impl PoolQueue {
         self.cursor = 0;
         None
     }
+
+    /// Removes stream `stream`'s lane outright. The idle path above only
+    /// reclaims lanes when *every* lane is drained, so on a server that never
+    /// goes fully idle a detached stream's empty lane would linger in every
+    /// scan forever. Any batch still queued on the lane keeps completing —
+    /// its submitter always helps drain it — the pool's workers just stop
+    /// volunteering for it.
+    fn retire(&mut self, stream: u64) {
+        let Some(i) = self.lanes.iter().position(|l| l.stream == stream) else {
+            return;
+        };
+        self.lanes.remove(i);
+        if i < self.cursor {
+            self.cursor -= 1;
+        }
+        if self.cursor >= self.lanes.len() {
+            self.cursor = 0;
+        }
+    }
 }
 
 struct PoolShared {
@@ -235,6 +254,21 @@ impl WorkerPool {
     /// Number of worker threads (the submitter adds one more executor).
     pub fn workers(&self) -> usize {
         self.workers.len()
+    }
+
+    /// Retires stream `stream`'s fairness lane. Call after the stream's last
+    /// submission drained (detach quiesces first); see [`PoolQueue::retire`].
+    /// Retiring an unknown or already-reclaimed tag is a no-op, and the tag
+    /// may be reused later — `push` recreates lanes on first use.
+    pub fn retire_stream(&self, stream: u64) {
+        self.shared.queue.lock().expect("pool queue poisoned").retire(stream);
+    }
+
+    /// Number of live fairness lanes — white-box observability for the
+    /// lane-leak tests (and debugging). Transiently nonzero while batches
+    /// are queued; a quiescent pool with every stream retired reports 0.
+    pub fn lane_count(&self) -> usize {
+        self.shared.queue.lock().expect("pool queue poisoned").lanes.len()
     }
 
     /// Runs `f(0) … f(num_chunks - 1)`, each exactly once, distributing the
@@ -840,6 +874,48 @@ mod tests {
         assert!(queue.take_next().is_none());
         assert!(queue.lanes.is_empty(), "idle queue drops finished stream lanes");
         assert!(queue.take_next().is_none(), "idle queue stays well-formed");
+    }
+
+    #[test]
+    fn retired_lanes_are_reclaimed_even_while_the_queue_is_busy() {
+        // The idle-path cleanup in `take_next` never fires on a queue that
+        // always has work somewhere; `retire` must reclaim lanes anyway.
+        let mut queue = PoolQueue { lanes: Vec::new(), cursor: 0, shutdown: false };
+        let busy = stub_batch(1_000_000);
+        queue.push(7, Arc::clone(&busy));
+        for stream in 0..100u64 {
+            let batch = stub_batch(4);
+            queue.push(stream + 100, Arc::clone(&batch));
+            // The churned stream's batch finishes…
+            batch.next.store(4, Ordering::Relaxed);
+            // …and detach retires its lane while stream 7 keeps the queue
+            // busy (so no idle reset can mask a leak).
+            queue.retire(stream + 100);
+        }
+        assert_eq!(queue.lanes.len(), 1, "only the live stream's lane remains");
+        assert!(Arc::ptr_eq(&queue.take_next().unwrap(), &busy));
+        // Retiring mid-rotation keeps the cursor in range.
+        queue.push(8, stub_batch(4));
+        queue.push(9, stub_batch(4));
+        let _ = queue.take_next(); // cursor now past lane 0
+        queue.retire(7);
+        queue.retire(42); // unknown tag: no-op
+        assert_eq!(queue.lanes.len(), 2);
+        for _ in 0..6 {
+            assert!(queue.take_next().is_some(), "remaining lanes still serve");
+        }
+    }
+
+    #[test]
+    fn pool_retire_stream_is_exposed_and_tags_are_reusable() {
+        let pool = WorkerPool::new(1);
+        pool.run_scope_stream(3, 8, &|_| {});
+        pool.retire_stream(3);
+        assert_eq!(pool.lane_count(), 0);
+        // A retired tag coming back simply gets a fresh lane.
+        pool.run_scope_stream(3, 8, &|_| {});
+        pool.retire_stream(3);
+        assert_eq!(pool.lane_count(), 0);
     }
 
     #[test]

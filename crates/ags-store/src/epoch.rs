@@ -76,6 +76,15 @@ pub struct StoreStats {
     pub async_write_errors: u64,
     /// Checkpoint generations committed.
     pub commits: u64,
+    /// Window epochs commits had to persist synchronously because the async
+    /// path never delivered them (dropped offers, async errors). A high
+    /// rate means the offer queue is undersized for the publish cadence.
+    pub commit_top_ups: u64,
+    /// Snapshot offers made to the async sink (accepted + dropped). Read
+    /// live from the shared [`OfferCounters`].
+    pub sink_offers: u64,
+    /// Of those, offers dropped because the bounded queue was full.
+    pub sink_dropped: u64,
 }
 
 impl StoreStats {
@@ -89,6 +98,37 @@ impl StoreStats {
     }
 }
 
+/// Shared counters for the async offer path. The sink side (pipeline
+/// threads) increments them lock-free; they live in the [`EpochStore`] so
+/// they survive writer stop/respawn cycles (restore, stats reads) and show
+/// up in [`StoreStats`].
+#[derive(Debug, Clone, Default)]
+pub struct OfferCounters {
+    offered: Arc<std::sync::atomic::AtomicU64>,
+    dropped: Arc<std::sync::atomic::AtomicU64>,
+}
+
+impl OfferCounters {
+    /// Total snapshot offers made (accepted + dropped).
+    pub fn offered(&self) -> u64 {
+        self.offered.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Offers dropped because the bounded queue was full (or the writer was
+    /// gone). Each one is healed by the next synchronous commit's top-up.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Records one offer and its outcome.
+    pub fn note(&self, accepted: bool) {
+        self.offered.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        if !accepted {
+            self.dropped.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        }
+    }
+}
+
 /// Outcome of a committed checkpoint generation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CommitReport {
@@ -98,6 +138,9 @@ pub struct CommitReport {
     pub rebased: bool,
     /// Records in the generation's chain (base + deltas).
     pub chain_len: usize,
+    /// Window epochs this commit persisted synchronously because the async
+    /// offer path had not already written them.
+    pub topped_up: usize,
 }
 
 /// A checkpoint generation read back from the store.
@@ -133,6 +176,7 @@ pub struct EpochStore {
     last: Option<CloudSnapshot>,
     next_seq: u64,
     stats: StoreStats,
+    offers: OfferCounters,
 }
 
 impl EpochStore {
@@ -151,6 +195,7 @@ impl EpochStore {
             last: None,
             next_seq: 0,
             stats: StoreStats::default(),
+            offers: OfferCounters::default(),
         };
         let manifests = log.manifest_keys()?;
         // Never reuse a sequence number, even of a corrupt generation.
@@ -173,9 +218,19 @@ impl EpochStore {
         self.config.queue_depth
     }
 
-    /// Write/retry counters.
+    /// Write/retry counters, with the live sink-offer counters folded in.
     pub fn stats(&self) -> StoreStats {
-        self.stats
+        let mut stats = self.stats;
+        stats.sink_offers = self.offers.offered();
+        stats.sink_dropped = self.offers.dropped();
+        stats
+    }
+
+    /// A handle to the shared offer counters (the
+    /// [`CheckpointWriter`](crate::CheckpointWriter) wires it into every
+    /// sink it hands out).
+    pub fn offer_counters(&self) -> OfferCounters {
+        self.offers.clone()
     }
 
     /// Records that an async (off-hot-path) persist failed; the next commit
@@ -307,9 +362,13 @@ impl EpochStore {
             "checkpoint window must be ascending in epoch"
         );
         // Top up epochs the async path never saw (newer than the chain head).
+        let mut topped_up = 0usize;
         for snap in window {
-            self.persist_epoch(snap)?;
+            if self.persist_epoch(snap)? {
+                topped_up += 1;
+            }
         }
+        self.stats.commit_top_ups += topped_up as u64;
         // The restore path replays the chain from its base; every window
         // epoch must sit on it. Dropped offers leave holes *inside* the
         // window range, and long runs grow unbounded chains — both are
@@ -341,7 +400,7 @@ impl EpochStore {
         // GC is best-effort: the generation is already durable, and a
         // failed delete only leaves unreferenced records behind.
         let _ = self.gc();
-        Ok(CommitReport { seq, rebased, chain_len: self.chain.len() })
+        Ok(CommitReport { seq, rebased, chain_len: self.chain.len(), topped_up })
     }
 
     /// Keys referenced by the manifest stored at `key` (chain + aux), or an

@@ -36,7 +36,9 @@ mod writer;
 
 pub use backend::{FileStore, MapStore, MemoryStore};
 pub use delta::{decode_cloud_payload, encode_cloud_payload, CloudDelta};
-pub use epoch::{CheckpointConfig, CommitReport, EpochStore, RestoredCheckpoint, StoreStats};
+pub use epoch::{
+    CheckpointConfig, CommitReport, EpochStore, OfferCounters, RestoredCheckpoint, StoreStats,
+};
 pub use error::StoreError;
 pub use fault::{FaultPlan, FaultStore};
 pub use wire::{ByteReader, ByteWriter};

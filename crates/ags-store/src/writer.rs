@@ -8,7 +8,7 @@
 //! explicit [`CheckpointWriter::commit`] synchronously persists the full
 //! snapshot window plus auxiliary state, topping up anything dropped.
 
-use crate::epoch::{CommitReport, EpochStore};
+use crate::epoch::{CommitReport, EpochStore, OfferCounters};
 use crate::error::StoreError;
 use ags_splat::CloudSnapshot;
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
@@ -32,14 +32,18 @@ enum Cmd {
 #[derive(Clone)]
 pub struct CheckpointSink {
     tx: SyncSender<Cmd>,
+    counters: OfferCounters,
 }
 
 impl CheckpointSink {
     /// Offers a published snapshot for incremental persistence. Returns
     /// `false` when the queue is full (or the writer is gone) and the offer
     /// was dropped — the next commit re-persists whatever is missing.
+    /// Either way the outcome lands in the store's shared [`OfferCounters`].
     pub fn offer(&self, snapshot: &CloudSnapshot) -> bool {
-        self.tx.try_send(Cmd::Epoch(snapshot.clone())).is_ok()
+        let accepted = self.tx.try_send(Cmd::Epoch(snapshot.clone())).is_ok();
+        self.counters.note(accepted);
+        accepted
     }
 }
 
@@ -54,6 +58,7 @@ impl std::fmt::Debug for CheckpointSink {
 pub struct CheckpointWriter {
     tx: Option<SyncSender<Cmd>>,
     handle: Option<JoinHandle<EpochStore>>,
+    counters: OfferCounters,
 }
 
 impl CheckpointWriter {
@@ -62,17 +67,28 @@ impl CheckpointWriter {
     /// offer queue.
     pub fn spawn(store: EpochStore) -> Self {
         let depth = store.config_queue_depth().max(1);
+        let counters = store.offer_counters();
         let (tx, rx): (SyncSender<Cmd>, Receiver<Cmd>) = sync_channel(depth);
         let handle = std::thread::Builder::new()
             .name("ags-checkpointer".into())
             .spawn(move || run_writer(store, rx))
             .expect("spawn checkpoint writer thread");
-        Self { tx: Some(tx), handle: Some(handle) }
+        Self { tx: Some(tx), handle: Some(handle), counters }
     }
 
     /// A non-blocking offer handle for the pipeline hot path.
     pub fn sink(&self) -> CheckpointSink {
-        CheckpointSink { tx: self.tx.clone().expect("writer running") }
+        CheckpointSink {
+            tx: self.tx.clone().expect("writer running"),
+            counters: self.counters.clone(),
+        }
+    }
+
+    /// Live `(offered, dropped)` counts across every sink handed out by
+    /// this writer — and, because the counters live in the store, across
+    /// earlier writer incarnations over the same [`EpochStore`].
+    pub fn offer_counts(&self) -> (u64, u64) {
+        (self.counters.offered(), self.counters.dropped())
     }
 
     /// Synchronously commits a checkpoint generation (see
