@@ -788,6 +788,174 @@ fn bench_checkpoint() -> CheckpointResult {
     }
 }
 
+struct MigrationResult {
+    frames: usize,
+    width: usize,
+    height: usize,
+    migration_gap_ms: f64,
+    eager_restore_bytes: u64,
+    lazy_restore_bytes: u64,
+}
+
+/// Elastic stream migration: the cut-over gap of a live cross-server
+/// hand-off through a loopback remote store (`StoreServer` + `RemoteStore`
+/// over real TCP), and the store bytes a restore fetches eagerly vs lazily.
+/// `migration_gap_ms` — final source checkpoint → destination restored and
+/// accepting frames — is gated in CI as an **absolute** ceiling;
+/// `lazy_restore_bytes` must stay strictly below `eager_restore_bytes`
+/// (the lazy path fetches the delta chain once instead of twice) and is
+/// gated as a lower-is-better baseline regression. Hand-off fidelity is
+/// asserted before any timing: the migrated stream must finish
+/// bit-identical to checkpointing and continuing in place.
+fn bench_migration() -> MigrationResult {
+    use ags_core::{
+        migrate_stream, MultiStreamServer, ServerConfig, StoreAttachOptions, StreamPolicy,
+    };
+    use ags_store::{
+        CheckpointConfig, MapStore, MemoryStore, RemoteStore, RetryPolicy, StoreError, StoreServer,
+    };
+    use std::time::Duration;
+    let (frames, width, height) = (8usize, 96usize, 72usize);
+    let dconfig = DatasetConfig { width, height, num_frames: frames, ..DatasetConfig::tiny() };
+    let data = Dataset::generate(SceneId::S2, &dconfig);
+    let shared: Vec<_> =
+        data.frames.iter().map(|f| (Arc::new(f.rgb.clone()), Arc::new(f.depth.clone()))).collect();
+    let mut base = e2e_config();
+    base.parallelism = Parallelism::default();
+    base.pipeline = PipelineConfig::map_overlapped(1, 1);
+    base.slam.mapping_iterations = 10;
+    let policy = StreamPolicy { pipeline: base.pipeline, ..StreamPolicy::default() };
+    let retry = RetryPolicy::new(4, Duration::from_millis(1000), Duration::from_millis(1));
+    let cut = frames / 2;
+
+    let result_of = |server: &MultiStreamServer, stream: usize| {
+        let slam = server.stream(stream).unwrap();
+        (
+            slam.trajectory().to_vec(),
+            slam.cloud().gaussians().to_vec(),
+            slam.trace().canonical_bytes(),
+        )
+    };
+    let push_range =
+        |server: &mut MultiStreamServer, stream: usize, range: std::ops::Range<usize>| {
+            for f in range {
+                let (rgb, depth) = &shared[f];
+                black_box(
+                    server
+                        .push_frame(stream, &data.camera, Arc::clone(rgb), Arc::clone(depth))
+                        .expect("healthy stream"),
+                );
+            }
+        };
+
+    // The migration reference: checkpoint at the cut and keep going in
+    // place on one server.
+    let reference = {
+        let mut server = MultiStreamServer::new(ServerConfig::uniform(1, base.clone()));
+        server.attach_store(0, Box::new(MemoryStore::new()), CheckpointConfig::default()).unwrap();
+        push_range(&mut server, 0, 0..cut);
+        server.checkpoint_stream(0).unwrap();
+        push_range(&mut server, 0, cut..frames);
+        server.finish_all();
+        result_of(&server, 0)
+    };
+
+    // One hand-off through a fresh loopback store server: returns the
+    // cut-over gap and the migrated stream's final semantic state.
+    let run_migration = || {
+        let store_server = StoreServer::spawn("127.0.0.1:0", Box::new(MemoryStore::new()))
+            .expect("bind loopback store server");
+        let addr = store_server.local_addr();
+        let mut source = MultiStreamServer::new(ServerConfig::uniform(1, base.clone()));
+        let direct = RemoteStore::connect(addr, retry).expect("dial store");
+        source.attach_store(0, Box::new(direct), CheckpointConfig::default()).unwrap();
+        push_range(&mut source, 0, 0..cut);
+        let mut dest = MultiStreamServer::new(ServerConfig {
+            streams: 0,
+            per_stream: vec![],
+            pool_workers: None,
+            base: base.clone(),
+        });
+        let report = migrate_stream(
+            &mut source,
+            0,
+            &mut dest,
+            policy,
+            &CheckpointConfig::default(),
+            &mut |_end| -> Result<Box<dyn MapStore>, StoreError> {
+                Ok(Box::new(RemoteStore::connect(addr, retry)?))
+            },
+        )
+        .expect("loopback migration completes");
+        let gap_ms = report.cutover.as_secs_f64() * 1e3;
+        push_range(&mut dest, report.dest_stream, cut..frames);
+        dest.finish_all();
+        (gap_ms, result_of(&dest, report.dest_stream))
+    };
+
+    // Fidelity once, then min-of-N on the cut-over gap.
+    let (first_gap, migrated) = run_migration();
+    assert_eq!(
+        reference, migrated,
+        "migrated stream must be bit-identical to checkpoint-and-continue in place"
+    );
+    let mut migration_gap_ms = first_gap;
+    for _ in 0..2 {
+        migration_gap_ms = migration_gap_ms.min(run_migration().0);
+    }
+
+    // Restore cost, eager vs lazy, over a 3-generation chain (all kept).
+    let config = CheckpointConfig { keep_manifests: 3, ..CheckpointConfig::default() };
+    let backing = MemoryStore::new();
+    {
+        let mut server = MultiStreamServer::new(ServerConfig::uniform(1, base.clone()));
+        server.attach_store(0, Box::new(backing.clone()), config.clone()).unwrap();
+        for f in 0..frames {
+            push_range(&mut server, 0, f..f + 1);
+            if f == 2 || f == 5 {
+                server.checkpoint_stream(0).unwrap();
+            }
+        }
+        server.finish_all();
+        server.checkpoint_stream(0).unwrap();
+    }
+    let restore = |lazy: bool| {
+        let mut server = MultiStreamServer::new(ServerConfig::uniform(1, base.clone()));
+        if lazy {
+            server
+                .attach_store_with(
+                    0,
+                    Box::new(backing.clone()),
+                    config.clone(),
+                    StoreAttachOptions { prefix: None, lazy_open: true },
+                )
+                .unwrap();
+            server.restore_stream_lazy(0).unwrap();
+        } else {
+            server.attach_store(0, Box::new(backing.clone()), config.clone()).unwrap();
+            server.restore_stream(0).unwrap();
+        }
+        let stats = server.store_stats(0).unwrap();
+        (stats.read_bytes, result_of(&server, 0))
+    };
+    let (eager_restore_bytes, eager_state) = restore(false);
+    let (lazy_restore_bytes, lazy_state) = restore(true);
+    assert_eq!(eager_state, lazy_state, "both restore paths load the same stream state");
+    assert!(
+        lazy_restore_bytes > 0 && lazy_restore_bytes < eager_restore_bytes,
+        "lazy restore must fetch strictly fewer bytes ({lazy_restore_bytes} vs {eager_restore_bytes})"
+    );
+
+    MigrationResult {
+        frames,
+        width,
+        height,
+        migration_gap_ms,
+        eager_restore_bytes,
+        lazy_restore_bytes,
+    }
+}
+
 struct OverloadResult {
     frames: usize,
     width: usize,
@@ -1171,6 +1339,17 @@ fn main() {
         compaction.ate_compacted,
         compaction.delta_bytes_per_epoch
     );
+    let migration = bench_migration();
+    println!(
+        "stream migration (remote store) {}x{}:  cut-over gap {:>7.2} ms  restore eager {:>8} B  lazy {:>8} B (-{:.1}%)",
+        migration.width,
+        migration.height,
+        migration.migration_gap_ms,
+        migration.eager_restore_bytes,
+        migration.lazy_restore_bytes,
+        100.0
+            * (1.0 - migration.lazy_restore_bytes as f64 / migration.eager_restore_bytes as f64)
+    );
 
     let json = format!(
         r#"{{
@@ -1295,6 +1474,14 @@ fn main() {
     "ate_uncompacted": {:.5},
     "ate_compacted": {:.5},
     "compaction_delta_bytes_per_epoch": {:.1}
+  }},
+  "migration": {{
+    "frame": [{}, {}],
+    "frames": {},
+    "pipeline": "map_overlapped(1, 1)",
+    "migration_gap_ms": {:.3},
+    "eager_restore_bytes": {},
+    "lazy_restore_bytes": {}
   }}
 }}
 "#,
@@ -1382,6 +1569,12 @@ fn main() {
         compaction.ate_uncompacted,
         compaction.ate_compacted,
         compaction.delta_bytes_per_epoch,
+        migration.width,
+        migration.height,
+        migration.frames,
+        migration.migration_gap_ms,
+        migration.eager_restore_bytes,
+        migration.lazy_restore_bytes,
     );
     let path = out_path();
     match std::fs::write(&path, &json) {

@@ -70,7 +70,8 @@ pub use fc::{FcDetector, FcDetectorState};
 pub use pipeline::{AgsFrameRecord, AgsSlam};
 pub use pipelined::PipelinedAgsSlam;
 pub use server::{
-    MultiStreamServer, ServerConfig, ServerStats, StreamError, StreamPolicy, StreamStats,
+    migrate_stream, MigrationEnd, MigrationError, MigrationReport, MultiStreamServer, ServerConfig,
+    ServerStats, StoreAttachOptions, StreamError, StreamPolicy, StreamStats,
 };
 pub use stages::{FcStage, FrameImages, FrameInput, MapStage, TrackStage};
 pub use trace::{StageTimes, TraceFrame, WorkloadTrace};

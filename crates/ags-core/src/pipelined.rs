@@ -532,6 +532,43 @@ impl MapOverlapBody {
         self.stall_window.clear();
     }
 
+    /// Re-winds `latest` to the contractual epoch the *next* frame must
+    /// read (`frame_count − slack`), queueing the fresher retained
+    /// snapshots as replay — the same split [`Self::from_state`] performs.
+    ///
+    /// A quiesce ([`Self::finish`]) drains `latest` all the way to the
+    /// head, which is fresher than the staleness contract allows the next
+    /// frame to see; without this re-wind, a stream that checkpoints
+    /// in-place and keeps running would read a fresher snapshot at the
+    /// seam than either an uninterrupted or a restored run — breaking
+    /// checkpoint-is-invisible bit-identity under `MapOverlapped`.
+    fn rewind_to_contract(&mut self) {
+        let needed = self.frame_count.saturating_sub(self.slack) as u64;
+        if self.latest.epoch() <= needed {
+            return;
+        }
+        let mut retained_snaps = Vec::new();
+        let mut replay = VecDeque::new();
+        let mut latest = None;
+        for snap in self.retained.snapshots().cloned().collect::<Vec<_>>() {
+            if snap.epoch() <= needed {
+                if snap.epoch() == needed {
+                    latest = Some(snap.clone());
+                }
+                retained_snaps.push(snap);
+            } else {
+                replay.push_back(snap);
+            }
+        }
+        // A window that does not reach back to the contractual epoch (a
+        // checkpoint taken within the first `slack` frames) keeps the
+        // drained head — exactly what a restored run sees in that case.
+        let Some(latest) = latest else { return };
+        self.retained = SnapshotWindow::from_snapshots(self.slack_cap, retained_snaps);
+        self.replay = replay;
+        self.latest = latest;
+    }
+
     /// Drains every outstanding mapping result — and any un-replayed
     /// checkpoint snapshots, so `latest` lands on the true head — returning
     /// the completed records in stream order.
@@ -658,6 +695,14 @@ impl SlamBackEnd {
             SlamBackEnd::MapWorker(body) => body.export_state(fc),
         }
     }
+
+    /// Re-applies the staleness contract after a quiesce (no-op for the
+    /// inline back end, whose slack is always zero).
+    fn rewind_to_contract(&mut self) {
+        if let SlamBackEnd::MapWorker(body) = self {
+            body.rewind_to_contract();
+        }
+    }
 }
 
 /// AGS driver with an explicit stage graph: `FcStage ‖ (TrackStage ‖
@@ -760,7 +805,12 @@ impl PipelinedAgsSlam {
                 spawn_fc_worker(&config, self.depth, fc)
             }
         };
-        (records, self.back.export_state(fc_state))
+        let state = self.back.export_state(fc_state);
+        // The quiesce drained `latest` to the head; re-wind it onto the
+        // contractual staleness schedule so continuing in place is
+        // bit-identical to restoring this very state elsewhere.
+        self.back.rewind_to_contract();
+        (records, state)
     }
 
     /// Installs (or removes) the non-blocking durability sink that receives

@@ -67,6 +67,7 @@ use ags_store::{CheckpointConfig, CheckpointWriter, EpochStore, MapStore, StoreE
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Per-stream execution policy.
 ///
@@ -382,6 +383,9 @@ struct StreamSlot {
     /// into every subsequent [`StreamError::Poisoned`].
     panic_msg: Option<String>,
     writer: Option<CheckpointWriter>,
+    /// The key prefix the attached store was opened under (kept across
+    /// detach so a migration can hand the same prefix to the destination).
+    store_prefix: Option<String>,
     pushed: usize,
     completed: usize,
     qos: QosController,
@@ -416,6 +420,7 @@ impl StreamSlot {
             poisoned: false,
             panic_msg: None,
             writer: None,
+            store_prefix: None,
             pushed: 0,
             completed: 0,
             qos: QosController::new(policy.qos),
@@ -889,16 +894,51 @@ impl MultiStreamServer {
         store: Box<dyn MapStore>,
         config: CheckpointConfig,
     ) -> Result<(), StreamError> {
+        self.attach_store_with(stream, store, config, StoreAttachOptions::default())
+    }
+
+    /// [`attach_store`](Self::attach_store) with explicit [`StoreAttachOptions`]:
+    /// a caller-chosen key prefix (so a migrated stream can keep reading the
+    /// checkpoint generations its source wrote under the source's id), and a
+    /// lazy open that adopts the newest durable chain without fetching its
+    /// records — the fast path before [`restore_stream_lazy`]
+    /// (Self::restore_stream_lazy) streams them exactly once.
+    pub fn attach_store_with(
+        &mut self,
+        stream: usize,
+        store: Box<dyn MapStore>,
+        config: CheckpointConfig,
+        options: StoreAttachOptions,
+    ) -> Result<(), StreamError> {
         let slot = self.streams.get_mut(stream).ok_or(StreamError::UnknownStream(stream))?;
-        let prefix = format!("s{stream}");
-        let epoch_store = EpochStore::open(store, &prefix, config)
-            .map_err(|source| StreamError::Storage { stream, source })?;
+        let prefix = options.prefix.unwrap_or_else(|| format!("s{stream}"));
+        let epoch_store = if options.lazy_open {
+            EpochStore::open_lazy(store, &prefix, config)
+        } else {
+            EpochStore::open(store, &prefix, config)
+        }
+        .map_err(|source| StreamError::Storage { stream, source })?;
         let writer = CheckpointWriter::spawn(epoch_store);
         if let Some(slam) = slot.slam.as_mut() {
             slam.set_checkpoint_sink(Some(writer.sink()));
         }
         slot.writer = Some(writer);
+        slot.store_prefix = Some(prefix);
         Ok(())
+    }
+
+    /// Whether stream `stream` currently has a store (checkpoint writer)
+    /// attached. Works on retired slots — a detach stops and drops the
+    /// writer, so this turns `false` until a store is re-attached.
+    pub fn has_store(&self, stream: usize) -> bool {
+        self.streams.get(stream).is_some_and(|s| s.writer.is_some())
+    }
+
+    /// The key prefix stream `stream`'s store was (last) attached under.
+    /// Survives detach, so a migration can hand the exact prefix to the
+    /// destination server. `None` if no store was ever attached.
+    pub fn store_prefix(&self, stream: usize) -> Option<String> {
+        self.streams.get(stream).and_then(|s| s.store_prefix.clone())
     }
 
     /// Quiesces stream `stream` and commits a durable checkpoint generation
@@ -958,6 +998,20 @@ impl MultiStreamServer {
     /// loaded; if no valid generation exists the slot is left untouched and
     /// [`StreamError::Storage`] is returned.
     pub fn restore_stream(&mut self, stream: usize) -> Result<(), StreamError> {
+        self.restore_stream_impl(stream, false)
+    }
+
+    /// [`restore_stream`](Self::restore_stream) through the store's
+    /// streaming path ([`EpochStore::restore_lazy`]): the delta chain is
+    /// fetched in one pass and only the snapshot window is materialized.
+    /// Bit-identical result to the eager restore; strictly fewer store
+    /// bytes when the store was attached with `lazy_open` (the chain is
+    /// fetched once instead of twice).
+    pub fn restore_stream_lazy(&mut self, stream: usize) -> Result<(), StreamError> {
+        self.restore_stream_impl(stream, true)
+    }
+
+    fn restore_stream_impl(&mut self, stream: usize, lazy: bool) -> Result<(), StreamError> {
         let slot = self.streams.get_mut(stream).ok_or(StreamError::UnknownStream(stream))?;
         let storage = |source| StreamError::Storage { stream, source };
         let writer = slot
@@ -966,7 +1020,8 @@ impl MultiStreamServer {
             .ok_or_else(|| storage(StoreError::Missing("no store attached to stream".into())))?;
         // The writer owns the store; stop it for synchronous read access.
         let mut store = writer.stop();
-        let restored = match store.restore_latest() {
+        let restored = if lazy { store.restore_lazy() } else { store.restore_latest() };
+        let restored = match restored {
             Ok(Some(restored)) => restored,
             Ok(None) => {
                 // Nothing durable yet: hand the store back and report.
@@ -1104,6 +1159,172 @@ impl MultiStreamServer {
             });
         }
         Ok(slot)
+    }
+}
+
+/// How [`MultiStreamServer::attach_store_with`] opens the store.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StoreAttachOptions {
+    /// Key prefix to open the [`EpochStore`] under. `None` (the default)
+    /// uses `s{stream}` — the destination of a migration passes the
+    /// **source's** prefix here so it reads the generations the source
+    /// wrote.
+    pub prefix: Option<String>,
+    /// Open lazily ([`EpochStore::open_lazy`]): adopt the newest durable
+    /// chain from its manifest alone instead of materializing it. Pair with
+    /// [`MultiStreamServer::restore_stream_lazy`] to fetch the chain exactly
+    /// once end to end.
+    pub lazy_open: bool,
+}
+
+/// Which end of a migration a [`migrate_stream`] dial callback is for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MigrationEnd {
+    /// A store connection for the **source** server — used for the final
+    /// checkpoint when the source has no store attached yet, and to revive
+    /// the source if the destination fails.
+    Source,
+    /// A store connection for the **destination** server — used to restore
+    /// the migrated stream.
+    Destination,
+}
+
+/// What a successful [`migrate_stream`] hand-off produced.
+#[derive(Debug)]
+pub struct MigrationReport {
+    /// The stream id allocated on the destination server. Ids are
+    /// per-server, so this generally differs from the source id.
+    pub dest_stream: usize,
+    /// Records drained from the source pipeline by the final checkpoint —
+    /// frames that completed on the source but were never handed to the
+    /// caller. Nothing is lost across the hand-off.
+    pub drained: Vec<AgsFrameRecord>,
+    /// Wall-clock gap from starting the source's final checkpoint to the
+    /// destination stream being restored and ready for frames.
+    pub cutover: Duration,
+}
+
+/// Why a [`migrate_stream`] hand-off failed.
+#[derive(Debug)]
+pub enum MigrationError {
+    /// The source side failed (dial, final checkpoint, or detach). The
+    /// source stream is **left attached** and keeps serving — nothing moved.
+    Source(StreamError),
+    /// The source detached cleanly but the destination could not restore
+    /// (e.g. retries against the remote store exhausted mid-transfer).
+    Destination {
+        /// The destination-side failure.
+        error: StreamError,
+        /// Whether the source stream was revived from its final checkpoint
+        /// (re-attached + restored) so no stream was lost. `false` means the
+        /// revival itself also failed and the stream exists only as durable
+        /// generations in the store.
+        source_revived: bool,
+    },
+}
+
+impl std::fmt::Display for MigrationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MigrationError::Source(e) => write!(f, "migration failed at the source: {e}"),
+            MigrationError::Destination { error, source_revived } => write!(
+                f,
+                "migration failed at the destination ({}): {error}",
+                if *source_revived { "source revived" } else { "source NOT revived" }
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MigrationError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MigrationError::Source(e) | MigrationError::Destination { error: e, .. } => Some(e),
+        }
+    }
+}
+
+/// Live hand-off of stream `src` from `source` to `dest` through a shared
+/// map store: the source quiesces and commits a final checkpoint generation,
+/// detaches, and the destination restores the stream from the store and
+/// resumes — bit-identical to checkpointing and continuing in place.
+///
+/// `dial` opens a fresh [`MapStore`] connection to the shared store for the
+/// given [`MigrationEnd`] — for a remote store each server end needs its own
+/// connection, and keeping the two dials separate lets a test route the
+/// destination through a fault proxy while the source dials direct. It is
+/// called up to three times: `Source` if the source has no store attached
+/// yet (a store already attached via
+/// [`attach_store`](MultiStreamServer::attach_store) is reused as-is),
+/// `Destination` for the restore, and `Source` again only to revive the
+/// source after a destination-side failure.
+///
+/// Failure semantics (the elasticity contract):
+///
+/// * Source-side failure ([`MigrationError::Source`]) — dial, final
+///   checkpoint, or detach failed. The stream is **left attached** on the
+///   source and keeps serving.
+/// * Destination-side failure ([`MigrationError::Destination`]) — e.g. the
+///   remote store's bounded retries exhausted mid-restore. The destination
+///   slot is detached again (best-effort) and the source is revived from
+///   the final checkpoint it just committed; `source_revived` reports
+///   whether that succeeded. Either way the checkpoint generations remain
+///   durable in the store.
+///
+/// On success the destination stream reads checkpoints under the source's
+/// key prefix (see [`StoreAttachOptions::prefix`]), restores through the
+/// lazy path ([`MultiStreamServer::restore_stream_lazy`] — the chain is
+/// fetched exactly once), and the report carries the drained source records
+/// and the cut-over gap.
+pub fn migrate_stream(
+    source: &mut MultiStreamServer,
+    src: usize,
+    dest: &mut MultiStreamServer,
+    policy: StreamPolicy,
+    config: &CheckpointConfig,
+    dial: &mut dyn FnMut(MigrationEnd) -> Result<Box<dyn MapStore>, StoreError>,
+) -> Result<MigrationReport, MigrationError> {
+    let storage = |stream, source| StreamError::Storage { stream, source };
+    // Make sure the source can commit its final generation: dial the store
+    // for it if nothing is attached yet. Failure here leaves the stream
+    // untouched.
+    if !source.has_store(src) {
+        let store =
+            dial(MigrationEnd::Source).map_err(|e| MigrationError::Source(storage(src, e)))?;
+        source.attach_store(src, store, config.clone()).map_err(MigrationError::Source)?;
+    }
+    let prefix = source.store_prefix(src).unwrap_or_else(|| format!("s{src}"));
+
+    let cutover_start = Instant::now();
+    // Quiesce + final checkpoint + retire the source lane. On error the
+    // stream is still attached (detach_stream's contract) — nothing moved.
+    let drained = source.detach_stream(src, true).map_err(MigrationError::Source)?;
+
+    // Bring the stream up on the destination under the source's prefix.
+    let dest_stream = dest.attach_stream(policy);
+    let restored =
+        dial(MigrationEnd::Destination).map_err(|e| storage(dest_stream, e)).and_then(|store| {
+            let options = StoreAttachOptions { prefix: Some(prefix.clone()), lazy_open: true };
+            dest.attach_store_with(dest_stream, store, config.clone(), options)?;
+            dest.restore_stream_lazy(dest_stream)
+        });
+    match restored {
+        Ok(()) => Ok(MigrationReport { dest_stream, drained, cutover: cutover_start.elapsed() }),
+        Err(error) => {
+            // Roll back: free the half-attached destination slot, then
+            // revive the source from the generation it just committed.
+            let _ = dest.detach_stream(dest_stream, false);
+            let source_revived = dial(MigrationEnd::Source)
+                .map_err(|e| storage(src, e))
+                .and_then(|store| {
+                    let options =
+                        StoreAttachOptions { prefix: Some(prefix.clone()), lazy_open: true };
+                    source.attach_store_with(src, store, config.clone(), options)?;
+                    source.restore_stream_lazy(src)
+                })
+                .is_ok();
+            Err(MigrationError::Destination { error, source_revived })
+        }
     }
 }
 

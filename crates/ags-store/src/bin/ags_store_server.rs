@@ -1,0 +1,68 @@
+//! Standalone blob-store server for remote checkpointing.
+//!
+//! Serves the `ags-store` length-framed TCP protocol over a
+//! [`MemoryStore`] (default) or a [`FileStore`] (`--root <dir>`), so
+//! multiple `MultiStreamServer` processes can share one durable map store
+//! — the storage half of cross-server stream migration.
+//!
+//! ```text
+//! ags-store-server [--addr HOST:PORT] [--root DIR]
+//! ```
+//!
+//! Prints `listening on <addr>` once ready (parse this to learn the
+//! ephemeral port when binding `:0`), then serves until stdin reaches EOF
+//! (close the pipe, or Ctrl-D interactively) so a parent process can stop
+//! it cleanly by dropping the pipe.
+
+use ags_store::{FileStore, MapStore, MemoryStore, StoreServer};
+use std::io::{BufRead, Write};
+
+fn usage() -> ! {
+    eprintln!("usage: ags-store-server [--addr HOST:PORT] [--root DIR]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut addr = "127.0.0.1:0".to_string();
+    let mut root: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => addr = args.next().unwrap_or_else(|| usage()),
+            "--root" => root = Some(args.next().unwrap_or_else(|| usage())),
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+
+    let backing: Box<dyn MapStore> = match &root {
+        Some(dir) => match FileStore::new(dir) {
+            Ok(store) => Box::new(store),
+            Err(e) => {
+                eprintln!("ags-store-server: cannot open root {dir}: {e}");
+                std::process::exit(1);
+            }
+        },
+        None => Box::new(MemoryStore::new()),
+    };
+
+    let server = match StoreServer::spawn(addr.as_str(), backing) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("ags-store-server: cannot bind {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    // Flush explicitly: stdout is block-buffered when piped, and the parent
+    // process parses this line to learn the ephemeral port.
+    println!("listening on {}", server.local_addr());
+    std::io::stdout().flush().ok();
+
+    // Serve until the parent closes our stdin (or EOF interactively).
+    let stdin = std::io::stdin();
+    let mut line = String::new();
+    while stdin.lock().read_line(&mut line).map(|n| n > 0).unwrap_or(false) {
+        line.clear();
+    }
+    server.shutdown();
+}

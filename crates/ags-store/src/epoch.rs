@@ -20,6 +20,7 @@ use crate::backend::MapStore;
 use crate::delta::{decode_cloud_payload, encode_cloud_payload, CloudDelta};
 use crate::error::StoreError;
 use crate::framing::{frame, unframe, RecordKind};
+use crate::retry::RetryPolicy;
 use crate::wire::{ByteReader, ByteWriter};
 use ags_splat::{CloudSnapshot, GaussianCloud};
 use std::collections::BTreeSet;
@@ -59,6 +60,19 @@ impl Default for CheckpointConfig {
     }
 }
 
+impl CheckpointConfig {
+    /// The write-path [`RetryPolicy`] implied by this config. The
+    /// per-attempt timeout only matters to remote stores (local backends
+    /// complete or fail immediately).
+    pub fn retry_policy(&self) -> RetryPolicy {
+        RetryPolicy::new(
+            self.retry_attempts.max(1).min(u32::MAX as usize) as u32,
+            Duration::from_millis(1000),
+            Duration::from_millis(self.retry_backoff_ms),
+        )
+    }
+}
+
 /// Byte and record counters for the bench harness.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct StoreStats {
@@ -72,6 +86,14 @@ pub struct StoreStats {
     pub delta_bytes: u64,
     /// Store writes retried after a transient I/O error.
     pub write_retries: u64,
+    /// Backoff sleeps taken by the write retry path.
+    pub write_backoff_waits: u64,
+    /// Records fetched by the open/restore paths (manifests, bases,
+    /// deltas, aux). GC reads are not counted, so eager and lazy restore
+    /// traffic can be compared directly.
+    pub read_records: u64,
+    /// Bytes of those fetched records (framed).
+    pub read_bytes: u64,
     /// Async offers that failed persistently (healed by the next commit).
     pub async_write_errors: u64,
     /// Checkpoint generations committed.
@@ -141,6 +163,8 @@ pub struct CommitReport {
     /// Window epochs this commit persisted synchronously because the async
     /// offer path had not already written them.
     pub topped_up: usize,
+    /// Store writes this commit retried after transient errors.
+    pub retries: u64,
 }
 
 /// A checkpoint generation read back from the store.
@@ -174,6 +198,11 @@ pub struct EpochStore {
     /// Newest persisted epoch (diff parent for the next delta). Holding the
     /// snapshot is an `Arc` bump, not a cloud copy.
     last: Option<CloudSnapshot>,
+    /// Head epoch of a chain adopted by [`open_lazy`](Self::open_lazy)
+    /// without materializing it (`last` stays `None` until a restore).
+    /// Epochs at or below it are already persisted and skipped; a fresh
+    /// epoch above it starts a new chain, exactly like the eager dedup.
+    adopted_head: Option<u64>,
     next_seq: u64,
     stats: StoreStats,
     offers: OfferCounters,
@@ -187,25 +216,76 @@ impl EpochStore {
         prefix: impl Into<String>,
         config: CheckpointConfig,
     ) -> Result<Self, StoreError> {
+        let mut log = Self::open_cold(store, prefix, config)?;
+        let _ = log.restore_latest()?;
+        Ok(log)
+    }
+
+    /// Opens the epoch log for `prefix` **without materializing** the newest
+    /// generation: only the newest structurally-valid manifest is fetched
+    /// and its chain adopted by reference, so new deltas chain onto the
+    /// adopted head exactly as after an eager [`open`](Self::open). The
+    /// snapshots themselves are fetched only when
+    /// [`restore_lazy`](Self::restore_lazy) (or
+    /// [`restore_latest`](Self::restore_latest)) asks for them.
+    ///
+    /// This is half of the lazy restore path: `open` + `restore_latest`
+    /// fetches and replays the whole chain twice (once to adopt it, once to
+    /// restore), while `open_lazy` + `restore_lazy` fetches it exactly once
+    /// — strictly fewer store bytes whenever a generation exists.
+    pub fn open_lazy(
+        store: Box<dyn MapStore>,
+        prefix: impl Into<String>,
+        config: CheckpointConfig,
+    ) -> Result<Self, StoreError> {
+        let mut log = Self::open_cold(store, prefix, config)?;
+        let manifests = log.manifest_keys()?;
+        for key in manifests.iter().rev() {
+            if let Ok(chain) = log.adopt_manifest(key) {
+                log.adopted_head = chain.last().map(|c| c.epoch);
+                log.chain = chain;
+                break;
+            }
+        }
+        Ok(log)
+    }
+
+    /// Shared open prelude: builds the log and claims the next unused
+    /// sequence number (never reusing one, even of a corrupt generation).
+    fn open_cold(
+        store: Box<dyn MapStore>,
+        prefix: impl Into<String>,
+        config: CheckpointConfig,
+    ) -> Result<Self, StoreError> {
         let mut log = Self {
             store,
             prefix: prefix.into(),
             config,
             chain: Vec::new(),
             last: None,
+            adopted_head: None,
             next_seq: 0,
             stats: StoreStats::default(),
             offers: OfferCounters::default(),
         };
         let manifests = log.manifest_keys()?;
-        // Never reuse a sequence number, even of a corrupt generation.
         log.next_seq = manifests
             .iter()
             .filter_map(|k| k.rsplit('/').next()?.parse::<u64>().ok())
             .max()
             .map_or(0, |m| m + 1);
-        let _ = log.restore_latest()?;
         Ok(log)
+    }
+
+    /// Reads and structurally validates the manifest at `key`, returning
+    /// its chain without fetching any chain record.
+    fn adopt_manifest(&mut self, key: &str) -> Result<Vec<ChainEntry>, StoreError> {
+        let bytes =
+            self.read_record(key)?.ok_or_else(|| StoreError::Missing(format!("manifest {key}")))?;
+        let payload = unframe(RecordKind::Manifest, &bytes)?;
+        let (chain, _, _) = decode_manifest(payload)?;
+        validate_chain_shape(&chain)?;
+        Ok(chain)
     }
 
     /// The stream prefix this log writes under.
@@ -264,23 +344,28 @@ impl EpochStore {
         self.store.keys(&format!("{}/manifest/", self.prefix))
     }
 
-    /// Writes with bounded retry/backoff on transient I/O errors.
+    /// Writes through the config's [`RetryPolicy`]: transient errors
+    /// ([`StoreError::is_transient`]) retry with deterministic exponential
+    /// backoff, permanent ones surface immediately. Retry and backoff
+    /// counts land in [`StoreStats`].
     fn put_with_retry(&mut self, key: &str, bytes: Vec<u8>) -> Result<(), StoreError> {
-        let attempts = self.config.retry_attempts.max(1);
-        for attempt in 0..attempts {
-            match self.store.put(key, bytes.clone()) {
-                Ok(()) => return Ok(()),
-                Err(StoreError::Io(_)) if attempt + 1 < attempts => {
-                    self.stats.write_retries += 1;
-                    let backoff = self.config.retry_backoff_ms << attempt.min(6);
-                    if backoff > 0 {
-                        std::thread::sleep(Duration::from_millis(backoff));
-                    }
-                }
-                Err(e) => return Err(e),
-            }
+        let policy = self.config.retry_policy();
+        let store = &mut self.store;
+        let (result, telemetry) = policy.run_tracked(|_| store.put(key, bytes.clone()));
+        self.stats.write_retries += telemetry.retries;
+        self.stats.write_backoff_waits += telemetry.backoff_waits;
+        result
+    }
+
+    /// Fetches one record, counting fetched records/bytes in [`StoreStats`]
+    /// so restore paths can be compared by store traffic.
+    fn read_record(&mut self, key: &str) -> Result<Option<Vec<u8>>, StoreError> {
+        let got = self.store.get(key)?;
+        if let Some(bytes) = &got {
+            self.stats.read_records += 1;
+            self.stats.read_bytes += bytes.len() as u64;
         }
-        unreachable!("loop returns on the last attempt")
+        Ok(got)
     }
 
     fn write_base(&mut self, snap: &CloudSnapshot) -> Result<(), StoreError> {
@@ -294,6 +379,7 @@ impl EpochStore {
         self.put_with_retry(&key, bytes)?;
         self.chain = vec![ChainEntry { epoch: snap.epoch(), base: true }];
         self.last = Some(snap.clone());
+        self.adopted_head = None;
         Ok(())
     }
 
@@ -318,6 +404,10 @@ impl EpochStore {
             if snap.epoch() <= last.epoch() {
                 return Ok(false);
             }
+        } else if self.adopted_head.is_some_and(|head| snap.epoch() <= head) {
+            // Lazily-opened log: the adopted chain already persisted this
+            // epoch (the same dedup an eager open derives from `last`).
+            return Ok(false);
         }
         if self.last.is_none() {
             self.write_base(snap)?;
@@ -357,6 +447,7 @@ impl EpochStore {
         aux: &[u8],
     ) -> Result<CommitReport, StoreError> {
         assert!(!window.is_empty(), "checkpoint window must not be empty");
+        let retries_before = self.stats.write_retries;
         debug_assert!(
             window.windows(2).all(|p| p[0].epoch() < p[1].epoch()),
             "checkpoint window must be ascending in epoch"
@@ -382,7 +473,11 @@ impl EpochStore {
         // such a commit starts a fresh chain too.
         let head_epoch = window.last().expect("window is non-empty").epoch();
         let head_matches = self.chain.last().is_some_and(|c| c.epoch == head_epoch);
-        let rebased = holey || too_long || !head_matches;
+        // A chain adopted by a lazy open was never *content*-validated (only
+        // a restore does that) — committing against it could reference torn
+        // records, so such a commit starts a fresh chain.
+        let unvalidated = self.adopted_head.is_some();
+        let rebased = holey || too_long || !head_matches || unvalidated;
         if rebased {
             self.write_base(&window[0])?;
             for snap in &window[1..] {
@@ -400,7 +495,13 @@ impl EpochStore {
         // GC is best-effort: the generation is already durable, and a
         // failed delete only leaves unreferenced records behind.
         let _ = self.gc();
-        Ok(CommitReport { seq, rebased, chain_len: self.chain.len(), topped_up })
+        Ok(CommitReport {
+            seq,
+            rebased,
+            chain_len: self.chain.len(),
+            topped_up,
+            retries: self.stats.write_retries - retries_before,
+        })
     }
 
     /// Keys referenced by the manifest stored at `key` (chain + aux), or an
@@ -457,6 +558,7 @@ impl EpochStore {
                 Ok((chain, restored)) => {
                     self.chain = chain;
                     self.last = restored.window.last().cloned();
+                    self.adopted_head = None;
                     return Ok(Some(restored));
                 }
                 Err(_) => continue,
@@ -464,27 +566,53 @@ impl EpochStore {
         }
         self.chain.clear();
         self.last = None;
+        self.adopted_head = None;
+        Ok(None)
+    }
+
+    /// Like [`restore_latest`](Self::restore_latest), but streams the chain
+    /// incrementally: each record is fetched, applied in place and dropped
+    /// before the next one, and the chain head is **moved** (not cloned)
+    /// into the final window snapshot — so only the `slack + 1` window
+    /// snapshots the stream actually needs are ever materialized at once,
+    /// instead of holding the replay cloud *and* a clone per generation.
+    ///
+    /// Paired with [`open_lazy`](Self::open_lazy), the whole restore path
+    /// fetches every chain record exactly once — strictly fewer store bytes
+    /// than the eager `open` + `restore_latest` pair. Validation and the
+    /// restored result are bit-identical to the eager path.
+    pub fn restore_lazy(&mut self) -> Result<Option<RestoredCheckpoint>, StoreError> {
+        let manifests = self.manifest_keys()?;
+        for key in manifests.iter().rev() {
+            match self.try_stream(key) {
+                Ok((chain, restored)) => {
+                    self.chain = chain;
+                    self.last = restored.window.last().cloned();
+                    self.adopted_head = None;
+                    return Ok(Some(restored));
+                }
+                Err(_) => continue,
+            }
+        }
+        self.chain.clear();
+        self.last = None;
+        self.adopted_head = None;
         Ok(None)
     }
 
     /// Fully validates and materializes the generation rooted at
     /// `manifest_key`.
     fn try_materialize(
-        &self,
+        &mut self,
         manifest_key: &str,
     ) -> Result<(Vec<ChainEntry>, RestoredCheckpoint), StoreError> {
         let bytes = self
-            .store
-            .get(manifest_key)?
+            .read_record(manifest_key)?
             .ok_or_else(|| StoreError::Missing(format!("manifest {manifest_key}")))?;
         let payload = unframe(RecordKind::Manifest, &bytes)?;
         let (chain, window_epochs, aux_seq) = decode_manifest(payload)?;
-        let Some(first) = chain.first() else {
-            return Err(StoreError::Corrupt("manifest with empty chain".into()));
-        };
-        if !first.base || chain[1..].iter().any(|e| e.base) {
-            return Err(StoreError::Corrupt("chain must be one base followed by deltas".into()));
-        }
+        validate_chain_shape(&chain)?;
+        let first = chain.first().expect("validated chain is non-empty");
 
         // Replay the chain, collecting the window epochs along the way.
         let wanted: BTreeSet<u64> = window_epochs.iter().copied().collect();
@@ -496,8 +624,9 @@ impl EpochStore {
         let mut current_epoch: u64;
         {
             let key = self.key_base(first.epoch);
-            let record =
-                self.store.get(&key)?.ok_or_else(|| StoreError::Missing(format!("base {key}")))?;
+            let record = self
+                .read_record(&key)?
+                .ok_or_else(|| StoreError::Missing(format!("base {key}")))?;
             let mut r = ByteReader::new(unframe(RecordKind::Base, &record)?);
             current_epoch = r.get_u64()?;
             if current_epoch != first.epoch {
@@ -511,8 +640,9 @@ impl EpochStore {
         }
         for entry in &chain[1..] {
             let key = self.key_delta(entry.epoch);
-            let record =
-                self.store.get(&key)?.ok_or_else(|| StoreError::Missing(format!("delta {key}")))?;
+            let record = self
+                .read_record(&key)?
+                .ok_or_else(|| StoreError::Missing(format!("delta {key}")))?;
             let delta = CloudDelta::decode(unframe(RecordKind::Delta, &record)?)?;
             if delta.epoch != entry.epoch || delta.parent_epoch != current_epoch {
                 return Err(StoreError::Corrupt(format!(
@@ -530,20 +660,110 @@ impl EpochStore {
             return Err(StoreError::Corrupt("window epochs missing from chain".into()));
         }
 
-        let aux_key = self.key_aux(aux_seq);
-        let aux_record = self
-            .store
-            .get(&aux_key)?
-            .ok_or_else(|| StoreError::Missing(format!("aux {aux_key}")))?;
-        let aux = unframe(RecordKind::Aux, &aux_record)?.to_vec();
-
-        let seq = manifest_key
-            .rsplit('/')
-            .next()
-            .and_then(|s| s.parse::<u64>().ok())
-            .ok_or_else(|| StoreError::Corrupt("manifest key without sequence".into()))?;
+        let aux = self.read_aux(aux_seq)?;
+        let seq = seq_of(manifest_key)?;
         Ok((chain, RestoredCheckpoint { seq, window, aux }))
     }
+
+    /// The streaming twin of [`try_materialize`](Self::try_materialize):
+    /// same validation, same result, but the replay cloud is moved into the
+    /// head window snapshot instead of cloned, and intermediate epochs are
+    /// dropped as soon as the next delta supersedes them.
+    fn try_stream(
+        &mut self,
+        manifest_key: &str,
+    ) -> Result<(Vec<ChainEntry>, RestoredCheckpoint), StoreError> {
+        let bytes = self
+            .read_record(manifest_key)?
+            .ok_or_else(|| StoreError::Missing(format!("manifest {manifest_key}")))?;
+        let payload = unframe(RecordKind::Manifest, &bytes)?;
+        let (chain, window_epochs, aux_seq) = decode_manifest(payload)?;
+        validate_chain_shape(&chain)?;
+        let first = chain.first().expect("validated chain is non-empty");
+        let tail_epoch = chain.last().expect("validated chain is non-empty").epoch;
+
+        let wanted: BTreeSet<u64> = window_epochs.iter().copied().collect();
+        if wanted.len() != window_epochs.len() {
+            return Err(StoreError::Corrupt("duplicate window epochs in manifest".into()));
+        }
+        let mut window = Vec::with_capacity(window_epochs.len());
+        let mut current: GaussianCloud;
+        let mut current_epoch: u64;
+        {
+            let key = self.key_base(first.epoch);
+            let record = self
+                .read_record(&key)?
+                .ok_or_else(|| StoreError::Missing(format!("base {key}")))?;
+            let mut r = ByteReader::new(unframe(RecordKind::Base, &record)?);
+            current_epoch = r.get_u64()?;
+            if current_epoch != first.epoch {
+                return Err(StoreError::Corrupt("base epoch disagrees with its key".into()));
+            }
+            current = decode_cloud_payload(&mut r)?;
+            r.finish()?;
+        }
+        if wanted.contains(&current_epoch) && current_epoch != tail_epoch {
+            window.push(CloudSnapshot::from_parts(Arc::new(current.clone()), current_epoch));
+        }
+        for entry in &chain[1..] {
+            let key = self.key_delta(entry.epoch);
+            let record = self
+                .read_record(&key)?
+                .ok_or_else(|| StoreError::Missing(format!("delta {key}")))?;
+            let delta = CloudDelta::decode(unframe(RecordKind::Delta, &record)?)?;
+            if delta.epoch != entry.epoch || delta.parent_epoch != current_epoch {
+                return Err(StoreError::Corrupt(format!(
+                    "delta chain discontinuity at epoch {}",
+                    entry.epoch
+                )));
+            }
+            current = delta.apply(&current)?;
+            current_epoch = entry.epoch;
+            if wanted.contains(&current_epoch) && current_epoch != tail_epoch {
+                window.push(CloudSnapshot::from_parts(Arc::new(current.clone()), current_epoch));
+            }
+        }
+        // Window epochs ascend along the chain, so moving the head in last
+        // keeps the same ascending order the eager path produces.
+        if wanted.contains(&tail_epoch) {
+            window.push(CloudSnapshot::from_parts(Arc::new(current), tail_epoch));
+        }
+        if window.len() != window_epochs.len() {
+            return Err(StoreError::Corrupt("window epochs missing from chain".into()));
+        }
+
+        let aux = self.read_aux(aux_seq)?;
+        let seq = seq_of(manifest_key)?;
+        Ok((chain, RestoredCheckpoint { seq, window, aux }))
+    }
+
+    fn read_aux(&mut self, aux_seq: u64) -> Result<Vec<u8>, StoreError> {
+        let aux_key = self.key_aux(aux_seq);
+        let aux_record = self
+            .read_record(&aux_key)?
+            .ok_or_else(|| StoreError::Missing(format!("aux {aux_key}")))?;
+        Ok(unframe(RecordKind::Aux, &aux_record)?.to_vec())
+    }
+}
+
+/// One base followed by deltas, nothing else.
+fn validate_chain_shape(chain: &[ChainEntry]) -> Result<(), StoreError> {
+    let Some(first) = chain.first() else {
+        return Err(StoreError::Corrupt("manifest with empty chain".into()));
+    };
+    if !first.base || chain[1..].iter().any(|e| e.base) {
+        return Err(StoreError::Corrupt("chain must be one base followed by deltas".into()));
+    }
+    Ok(())
+}
+
+/// The generation sequence number encoded in a manifest key.
+fn seq_of(manifest_key: &str) -> Result<u64, StoreError> {
+    manifest_key
+        .rsplit('/')
+        .next()
+        .and_then(|s| s.parse::<u64>().ok())
+        .ok_or_else(|| StoreError::Corrupt("manifest key without sequence".into()))
 }
 
 fn decode_manifest(payload: &[u8]) -> Result<(Vec<ChainEntry>, Vec<u64>, u64), StoreError> {
@@ -738,6 +958,147 @@ mod tests {
         let fault = FaultStore::new(MemoryStore::new(), plan);
         let mut log = EpochStore::open(Box::new(fault), "s0", fast_config()).unwrap();
         assert!(matches!(log.persist_epoch(&snaps[1]), Err(StoreError::Io(_))));
+    }
+
+    /// Grows a shared chain across `gens` committed generations (no
+    /// rebase), two fresh epochs per generation, and returns the snapshots.
+    fn grow_generations(
+        backing: &MemoryStore,
+        config: &CheckpointConfig,
+        gens: usize,
+    ) -> Vec<CloudSnapshot> {
+        let mut log = EpochStore::open(Box::new(backing.clone()), "s0", config.clone()).unwrap();
+        let snaps = epochs(2 * gens);
+        for g in 0..gens {
+            let hi = 2 * (g + 1);
+            for s in &snaps[..=hi] {
+                log.persist_epoch(s).unwrap();
+            }
+            let report = log.commit(&snaps[hi - 1..=hi], format!("gen{g}").as_bytes()).unwrap();
+            assert!(!report.rebased, "contiguous chain must not rebase");
+        }
+        snaps
+    }
+
+    #[test]
+    fn lazy_restore_is_bit_identical_and_fetches_strictly_fewer_bytes() {
+        let backing = MemoryStore::new();
+        let config = CheckpointConfig { keep_manifests: 3, ..fast_config() };
+        let snaps = grow_generations(&backing, &config, 3);
+
+        // Eager path: open() materializes the generation to adopt it, then
+        // restore_latest() materializes it again.
+        let mut eager = EpochStore::open(Box::new(backing.clone()), "s0", config.clone()).unwrap();
+        let eager_restored = eager.restore_latest().unwrap().unwrap();
+        let eager_stats = eager.stats();
+
+        // Lazy path: open_lazy() adopts the manifest only, restore_lazy()
+        // streams the chain once.
+        let mut lazy = EpochStore::open_lazy(Box::new(backing.clone()), "s0", config).unwrap();
+        let lazy_restored = lazy.restore_lazy().unwrap().unwrap();
+        let lazy_stats = lazy.stats();
+
+        assert_eq!(eager_restored.seq, lazy_restored.seq);
+        assert_eq!(eager_restored.aux, lazy_restored.aux);
+        let eager_window: Vec<&CloudSnapshot> = eager_restored.window.iter().collect();
+        assert_window_eq(&lazy_restored.window, &eager_window);
+        assert_window_eq(&lazy_restored.window, &[&snaps[5], &snaps[6]]);
+
+        assert!(lazy_stats.read_bytes > 0, "lazy restore must actually fetch the chain");
+        assert!(
+            lazy_stats.read_bytes < eager_stats.read_bytes,
+            "lazy path must fetch strictly fewer bytes: lazy {} vs eager {}",
+            lazy_stats.read_bytes,
+            eager_stats.read_bytes
+        );
+        assert!(lazy_stats.read_records < eager_stats.read_records);
+
+        // Both adopt the same chain: the next epoch extends it as a delta.
+        let next = {
+            let mut shared = ags_splat::SharedCloud::new();
+            for _ in 0..7 {
+                shared.make_mut().push(Gaussian::isotropic(Vec3::splat(9.0), 0.1, Vec3::ONE, 0.5));
+                shared.publish();
+            }
+            shared.peek()
+        };
+        assert_eq!(next.epoch(), 7);
+        assert!(lazy.persist_epoch(&next).unwrap());
+        assert_eq!(lazy.stats().base_records, 0, "restored chain must extend, not rebase");
+    }
+
+    #[test]
+    fn lazy_open_adopts_the_chain_without_fetching_it() {
+        let backing = MemoryStore::new();
+        let config = fast_config();
+        let snaps = grow_generations(&backing, &config, 1);
+
+        let mut lazy = EpochStore::open_lazy(Box::new(backing.clone()), "s0", config).unwrap();
+        assert_eq!(lazy.stats().read_records, 1, "lazy open fetches exactly the newest manifest");
+        // Epochs at or below the adopted head are deduped without a fetch,
+        // exactly like after an eager open.
+        assert!(!lazy.persist_epoch(&snaps[1]).unwrap());
+        assert!(!lazy.persist_epoch(&snaps[2]).unwrap());
+        assert_eq!(lazy.stats().base_records + lazy.stats().delta_records, 0);
+
+        // Committing a window that ends at the adopted head would reference
+        // chain records this incarnation never wrote — the commit must
+        // rebase onto fresh records instead (same guard as eager opens:
+        // only a restore may adopt record *contents*).
+        let report = lazy.commit(&snaps[1..=2], b"fresh").unwrap();
+        assert!(report.rebased, "un-restored lazy log must rebase on commit");
+        let restored = lazy.restore_lazy().unwrap().unwrap();
+        assert_eq!(restored.aux, b"fresh");
+        assert_window_eq(&restored.window, &[&snaps[1], &snaps[2]]);
+    }
+
+    #[test]
+    fn gc_of_oldest_generation_mid_chain_keeps_newer_generations_restorable() {
+        // keep_manifests = 1: after the second commit on a *shared* chain,
+        // generation 0's manifest and aux are GC'd while the chain prefix it
+        // referenced lives on (generation 1 still references those records).
+        let backing = MemoryStore::new();
+        let config = CheckpointConfig { keep_manifests: 1, ..fast_config() };
+        let snaps = grow_generations(&backing, &config, 2);
+
+        let manifests = backing.keys("s0/manifest/").unwrap();
+        assert_eq!(manifests.len(), 1, "gen0 manifest must be GC'd");
+        assert_eq!(backing.keys("s0/aux/").unwrap().len(), 1, "gen0 aux must be GC'd");
+        assert_eq!(
+            backing.keys("s0/base/").unwrap().len() + backing.keys("s0/delta/").unwrap().len(),
+            5,
+            "shared chain (base 0 + deltas 1..=4) must survive"
+        );
+
+        let mut log = EpochStore::open(Box::new(backing.clone()), "s0", config.clone()).unwrap();
+        let restored = log.restore_latest().unwrap().unwrap();
+        assert_eq!(restored.aux, b"gen1");
+        assert_window_eq(&restored.window, &[&snaps[3], &snaps[4]]);
+
+        let mut lazy = EpochStore::open_lazy(Box::new(backing), "s0", config).unwrap();
+        let lazy_restored = lazy.restore_lazy().unwrap().unwrap();
+        assert_eq!(lazy_restored.aux, b"gen1");
+        assert_window_eq(&lazy_restored.window, &[&snaps[3], &snaps[4]]);
+    }
+
+    #[test]
+    fn torn_aux_record_falls_back_a_generation() {
+        let backing = MemoryStore::new();
+        let config = fast_config();
+        let snaps = grow_generations(&backing, &config, 2);
+        // Tear the newest generation's aux record after the fact.
+        let newest_aux = backing.keys("s0/aux/").unwrap().pop().unwrap();
+        assert!(backing.tamper(&newest_aux, |v| v.truncate(v.len() / 2)));
+
+        let mut log = EpochStore::open(Box::new(backing.clone()), "s0", config.clone()).unwrap();
+        let restored = log.restore_latest().unwrap().unwrap();
+        assert_eq!(restored.aux, b"gen0", "torn aux must fall back a generation");
+        assert_window_eq(&restored.window, &[&snaps[1], &snaps[2]]);
+
+        let mut lazy = EpochStore::open_lazy(Box::new(backing), "s0", config).unwrap();
+        let lazy_restored = lazy.restore_lazy().unwrap().unwrap();
+        assert_eq!(lazy_restored.aux, b"gen0");
+        assert_window_eq(&lazy_restored.window, &[&snaps[1], &snaps[2]]);
     }
 
     #[test]

@@ -16,6 +16,30 @@ pub enum StoreError {
     Corrupt(String),
     /// A referenced record or checkpoint does not exist.
     Missing(String),
+    /// A store operation did not complete within its deadline. The backend
+    /// may or may not have applied it; retrying is safe because every
+    /// `MapStore` operation is idempotent.
+    Timeout(String),
+    /// The transport to a remote store dropped mid-operation: connection
+    /// reset, short read, torn or out-of-sequence response. The client
+    /// reconnects and retries.
+    Disconnected(String),
+}
+
+impl StoreError {
+    /// Whether retrying the failed operation can plausibly succeed.
+    ///
+    /// I/O failures, timeouts and disconnects are transient — the retry
+    /// layer ([`crate::RetryPolicy`]) backs off and tries again (remote
+    /// stores additionally reconnect). Corruption and missing records are
+    /// permanent: retrying re-reads the same bytes, so they surface
+    /// immediately without poisoning the stream.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            StoreError::Io(_) | StoreError::Timeout(_) | StoreError::Disconnected(_) => true,
+            StoreError::Corrupt(_) | StoreError::Missing(_) => false,
+        }
+    }
 }
 
 impl fmt::Display for StoreError {
@@ -24,6 +48,8 @@ impl fmt::Display for StoreError {
             StoreError::Io(msg) => write!(f, "store I/O error: {msg}"),
             StoreError::Corrupt(msg) => write!(f, "corrupt store record: {msg}"),
             StoreError::Missing(msg) => write!(f, "missing store record: {msg}"),
+            StoreError::Timeout(msg) => write!(f, "store operation timed out: {msg}"),
+            StoreError::Disconnected(msg) => write!(f, "store transport disconnected: {msg}"),
         }
     }
 }

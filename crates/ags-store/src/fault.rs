@@ -4,12 +4,13 @@ use crate::backend::MapStore;
 use crate::error::StoreError;
 use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// Which store operations misbehave, by 0-based operation index.
 ///
 /// Write indices count `put` calls; read indices count `get` calls. One
 /// index can appear in at most one write set (corruption wins over failure
-/// if both are given).
+/// if both are given), and likewise on the read side.
 #[derive(Debug, Clone, Default)]
 pub struct FaultPlan {
     /// `put` calls that fail with an I/O error; the write is dropped.
@@ -19,6 +20,9 @@ pub struct FaultPlan {
     pub corrupt_writes: BTreeSet<usize>,
     /// `get` calls that fail with an I/O error.
     pub fail_reads: BTreeSet<usize>,
+    /// `get` calls whose fetched bytes are corrupted before being returned
+    /// (torn-read model, mirroring the torn-write shape).
+    pub corrupt_reads: BTreeSet<usize>,
 }
 
 impl FaultPlan {
@@ -50,6 +54,51 @@ impl FaultPlan {
         self.fail_reads.insert(index);
         self
     }
+
+    /// Adds failing reads at every index in `indices`.
+    pub fn fail_reads(mut self, indices: impl IntoIterator<Item = usize>) -> Self {
+        self.fail_reads.extend(indices);
+        self
+    }
+
+    /// Adds a corrupting read at `index`.
+    pub fn corrupt_read(mut self, index: usize) -> Self {
+        self.corrupt_reads.insert(index);
+        self
+    }
+}
+
+/// Operation counters shared with a [`FaultStore`], cloneable so tests can
+/// keep a handle after the store is boxed into an [`crate::EpochStore`] or
+/// handed to a server.
+#[derive(Debug, Clone, Default)]
+pub struct FaultCounters {
+    puts: Arc<AtomicUsize>,
+    gets: Arc<AtomicUsize>,
+    deletes: Arc<AtomicUsize>,
+    keys: Arc<AtomicUsize>,
+}
+
+impl FaultCounters {
+    /// Number of `put` calls attempted so far (including failed ones).
+    pub fn puts(&self) -> usize {
+        self.puts.load(Ordering::Relaxed)
+    }
+
+    /// Number of `get` calls attempted so far (including failed ones).
+    pub fn gets(&self) -> usize {
+        self.gets.load(Ordering::Relaxed)
+    }
+
+    /// Number of `delete` calls attempted so far.
+    pub fn deletes(&self) -> usize {
+        self.deletes.load(Ordering::Relaxed)
+    }
+
+    /// Number of `keys` calls attempted so far.
+    pub fn keys(&self) -> usize {
+        self.keys.load(Ordering::Relaxed)
+    }
 }
 
 /// A [`MapStore`] wrapper executing a [`FaultPlan`] against its inner store.
@@ -57,24 +106,40 @@ impl FaultPlan {
 pub struct FaultStore<S> {
     inner: S,
     plan: FaultPlan,
-    writes: AtomicUsize,
-    reads: AtomicUsize,
+    counters: FaultCounters,
+}
+
+/// Truncate to half (at least one byte) and flip a bit in the tail, so both
+/// length and checksum validation get exercised. Shared by the torn-write
+/// and torn-read models.
+fn tear(value: &mut Vec<u8>) {
+    let keep = value.len() / 2;
+    value.truncate(keep.max(1));
+    if let Some(b) = value.last_mut() {
+        *b ^= 0x5a;
+    }
 }
 
 impl<S: MapStore> FaultStore<S> {
     /// Wraps `inner`, injecting the faults in `plan`.
     pub fn new(inner: S, plan: FaultPlan) -> Self {
-        Self { inner, plan, writes: AtomicUsize::new(0), reads: AtomicUsize::new(0) }
+        Self { inner, plan, counters: FaultCounters::default() }
+    }
+
+    /// A cloneable handle onto this store's operation counters. Take it
+    /// before boxing the store; it stays live after ownership moves.
+    pub fn counters(&self) -> FaultCounters {
+        self.counters.clone()
     }
 
     /// Number of `put` calls attempted so far (including failed ones).
     pub fn writes_attempted(&self) -> usize {
-        self.writes.load(Ordering::Relaxed)
+        self.counters.puts()
     }
 
     /// Number of `get` calls attempted so far (including failed ones).
     pub fn reads_attempted(&self) -> usize {
-        self.reads.load(Ordering::Relaxed)
+        self.counters.gets()
     }
 
     /// The wrapped store.
@@ -85,15 +150,9 @@ impl<S: MapStore> FaultStore<S> {
 
 impl<S: MapStore> MapStore for FaultStore<S> {
     fn put(&mut self, key: &str, mut value: Vec<u8>) -> Result<(), StoreError> {
-        let op = self.writes.fetch_add(1, Ordering::Relaxed);
+        let op = self.counters.puts.fetch_add(1, Ordering::Relaxed);
         if self.plan.corrupt_writes.contains(&op) {
-            // Model a torn write: drop the tail and flip a byte in what is
-            // left, so both length and checksum validation get exercised.
-            let keep = value.len() / 2;
-            value.truncate(keep.max(1));
-            if let Some(b) = value.last_mut() {
-                *b ^= 0x5a;
-            }
+            tear(&mut value);
             return self.inner.put(key, value);
         }
         if self.plan.fail_writes.contains(&op) {
@@ -103,7 +162,13 @@ impl<S: MapStore> MapStore for FaultStore<S> {
     }
 
     fn get(&self, key: &str) -> Result<Option<Vec<u8>>, StoreError> {
-        let op = self.reads.fetch_add(1, Ordering::Relaxed);
+        let op = self.counters.gets.fetch_add(1, Ordering::Relaxed);
+        if self.plan.corrupt_reads.contains(&op) {
+            return Ok(self.inner.get(key)?.map(|mut value| {
+                tear(&mut value);
+                value
+            }));
+        }
         if self.plan.fail_reads.contains(&op) {
             return Err(StoreError::Io(format!("injected read failure at op {op}")));
         }
@@ -111,10 +176,12 @@ impl<S: MapStore> MapStore for FaultStore<S> {
     }
 
     fn delete(&mut self, key: &str) -> Result<(), StoreError> {
+        self.counters.deletes.fetch_add(1, Ordering::Relaxed);
         self.inner.delete(key)
     }
 
     fn keys(&self, prefix: &str) -> Result<Vec<String>, StoreError> {
+        self.counters.keys.fetch_add(1, Ordering::Relaxed);
         self.inner.keys(prefix)
     }
 }
@@ -146,5 +213,35 @@ mod tests {
         assert!(store.get("a").is_err()); // op 1
         assert_eq!(store.get("a").unwrap(), Some(vec![1])); // op 2
         assert_eq!(store.reads_attempted(), 3);
+    }
+
+    #[test]
+    fn read_fault_ranges_and_corrupt_reads() {
+        let plan = FaultPlan::none().fail_reads(0..2).corrupt_read(2);
+        let mut store = FaultStore::new(MemoryStore::new(), plan);
+        store.put("a", vec![7; 16]).unwrap();
+        assert!(store.get("a").is_err()); // op 0
+        assert!(store.get("a").is_err()); // op 1
+        let torn = store.get("a").unwrap().unwrap(); // op 2: torn read
+        assert_eq!(torn.len(), 8, "torn read drops the tail");
+        assert_ne!(torn, vec![7; 8], "torn read flips a byte");
+        assert_eq!(store.get("a").unwrap(), Some(vec![7; 16])); // op 3: clean
+        assert_eq!(store.get("missing").unwrap(), None, "corrupt read of nothing is nothing");
+    }
+
+    #[test]
+    fn counters_handle_survives_boxing() {
+        let store = FaultStore::new(MemoryStore::new(), FaultPlan::none());
+        let counters = store.counters();
+        let mut boxed: Box<dyn MapStore> = Box::new(store);
+        boxed.put("a", vec![1]).unwrap();
+        boxed.get("a").unwrap();
+        boxed.get("a").unwrap();
+        boxed.keys("").unwrap();
+        boxed.delete("a").unwrap();
+        assert_eq!(
+            (counters.puts(), counters.gets(), counters.deletes(), counters.keys()),
+            (1, 2, 1, 1)
+        );
     }
 }

@@ -20,8 +20,17 @@
 //!   without ever blocking, and an explicit commit synchronously tops up
 //!   whatever backpressure dropped.
 //! - [`FaultPlan`] / [`FaultStore`] inject write failures, corruption and
-//!   read errors for crash testing; transient I/O errors are retried with
-//!   bounded backoff on the write path.
+//!   read errors for crash testing; transient errors are retried through a
+//!   deterministic [`RetryPolicy`] on the write path.
+//! - [`RemoteStore`] speaks a length-framed TCP blob protocol to a
+//!   [`StoreServer`] (or the `ags-store-server` binary) backed by any other
+//!   [`MapStore`] — with per-attempt timeouts, reconnect-and-retry on
+//!   transient transport failures, and [`NetFaultProxy`] injecting
+//!   deterministic network faults (latency, disconnects, torn or duplicated
+//!   responses) for tests.
+//! - [`EpochStore::open_lazy`] + [`EpochStore::restore_lazy`] stream a
+//!   restore incrementally, fetching each chain record exactly once —
+//!   strictly fewer remote bytes than the eager open + restore pair.
 
 #![warn(missing_docs)]
 
@@ -31,6 +40,9 @@ mod epoch;
 mod error;
 mod fault;
 pub mod framing;
+mod net_fault;
+mod remote;
+mod retry;
 mod wire;
 mod writer;
 
@@ -40,6 +52,9 @@ pub use epoch::{
     CheckpointConfig, CommitReport, EpochStore, OfferCounters, RestoredCheckpoint, StoreStats,
 };
 pub use error::StoreError;
-pub use fault::{FaultPlan, FaultStore};
+pub use fault::{FaultCounters, FaultPlan, FaultStore};
+pub use net_fault::{NetFaultPlan, NetFaultProxy};
+pub use remote::{RemoteCounters, RemoteStore, StoreServer};
+pub use retry::{RetryPolicy, RetryTelemetry};
 pub use wire::{ByteReader, ByteWriter};
 pub use writer::{CheckpointSink, CheckpointWriter};

@@ -1,0 +1,374 @@
+//! Deterministic network fault injection for the remote store protocol.
+//!
+//! [`NetFaultProxy`] sits between a [`crate::RemoteStore`] client and a
+//! [`crate::StoreServer`], relaying whole protocol frames and injecting the
+//! faults planned in [`NetFaultPlan`] — indexed by a **global operation
+//! counter** that survives client reconnects, so "tear the 7th operation"
+//! means the same thing no matter how the connection history played out.
+//!
+//! The transport-level counterpart of [`crate::FaultPlan`] (which injects
+//! faults at the storage API layer): these faults exercise the client's
+//! timeout / reconnect / retry machinery rather than the record-validation
+//! fallback.
+
+use crate::error::StoreError;
+use crate::remote::{
+    encode_frame, read_frame, read_frame_after_header, write_frame, HEADER_LEN, REQUEST_MAGIC,
+    RESPONSE_MAGIC,
+};
+use std::collections::BTreeMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// What to do to one relayed operation's **response**.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum NetFault {
+    /// Delay the response by this many milliseconds, then deliver it.
+    Latency(u64),
+    /// Forward only the first `n` bytes of the response, then drop both
+    /// connections: the client sees a torn response (or a short read) and a
+    /// disconnect.
+    DropAfter(usize),
+    /// Swallow the response entirely but keep the connection open: the
+    /// client's read deadline fires as a [`StoreError::Timeout`].
+    Stall,
+    /// Deliver the response twice: the duplicate desynchronizes the stream
+    /// and the client's next operation sees an out-of-sequence frame.
+    Duplicate,
+}
+
+/// Faults by 0-based global operation index (one index, one fault).
+#[derive(Debug, Clone, Default)]
+pub struct NetFaultPlan {
+    faults: BTreeMap<usize, NetFault>,
+}
+
+impl NetFaultPlan {
+    /// A plan that relays everything untouched.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Delays the response of operation `index` by `ms` milliseconds.
+    pub fn latency(mut self, index: usize, ms: u64) -> Self {
+        self.faults.insert(index, NetFault::Latency(ms));
+        self
+    }
+
+    /// Tears the response of operation `index` after `n` bytes and drops
+    /// the connection (a mid-transfer disconnect; `n > 0` also hands the
+    /// client a torn partial frame first).
+    pub fn drop_after(mut self, index: usize, n: usize) -> Self {
+        self.faults.insert(index, NetFault::DropAfter(n));
+        self
+    }
+
+    /// Tears the responses of every operation in `indices` right after the
+    /// frame header (torn response + disconnect each time).
+    pub fn drop_all(mut self, indices: impl IntoIterator<Item = usize>) -> Self {
+        for index in indices {
+            self.faults.insert(index, NetFault::DropAfter(HEADER_LEN / 2));
+        }
+        self
+    }
+
+    /// Swallows the response of operation `index` (client read times out).
+    pub fn stall(mut self, index: usize, _ms_hint: u64) -> Self {
+        self.faults.insert(index, NetFault::Stall);
+        self
+    }
+
+    /// Duplicates the response of operation `index`.
+    pub fn duplicate(mut self, index: usize) -> Self {
+        self.faults.insert(index, NetFault::Duplicate);
+        self
+    }
+}
+
+/// A protocol-aware TCP relay injecting a [`NetFaultPlan`] between a
+/// [`crate::RemoteStore`] and its upstream server.
+pub struct NetFaultProxy {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    ops: Arc<AtomicUsize>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl NetFaultProxy {
+    /// Binds an ephemeral loopback port relaying to `upstream` under
+    /// `plan`. Point the client at [`local_addr`](Self::local_addr).
+    pub fn spawn(upstream: impl ToSocketAddrs, plan: NetFaultPlan) -> Result<Self, StoreError> {
+        let upstream = upstream
+            .to_socket_addrs()
+            .map_err(|e| StoreError::Disconnected(format!("bad upstream address: {e}")))?
+            .next()
+            .ok_or_else(|| {
+                StoreError::Disconnected("upstream address resolved to nothing".into())
+            })?;
+        let listener = TcpListener::bind("127.0.0.1:0")
+            .map_err(|e| StoreError::Io(format!("proxy bind: {e}")))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| StoreError::Io(format!("proxy nonblocking: {e}")))?;
+        let addr =
+            listener.local_addr().map_err(|e| StoreError::Io(format!("proxy local addr: {e}")))?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let ops = Arc::new(AtomicUsize::new(0));
+        let accept = {
+            let stop = Arc::clone(&stop);
+            let ops = Arc::clone(&ops);
+            std::thread::spawn(move || {
+                let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+                while !stop.load(Ordering::Relaxed) {
+                    match listener.accept() {
+                        Ok((conn, _peer)) => {
+                            let stop = Arc::clone(&stop);
+                            let ops = Arc::clone(&ops);
+                            let plan = plan.clone();
+                            handlers.push(std::thread::spawn(move || {
+                                relay_conn(conn, upstream, &plan, &stop, &ops);
+                            }));
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(2));
+                        }
+                        Err(_) => break,
+                    }
+                    handlers.retain(|h| !h.is_finished());
+                }
+                for handler in handlers {
+                    let _ = handler.join();
+                }
+            })
+        };
+        Ok(Self { addr, stop, ops, accept: Some(accept) })
+    }
+
+    /// The proxy's listening address (what the client dials).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Operations relayed so far (the next operation gets this index).
+    pub fn ops_relayed(&self) -> usize {
+        self.ops.load(Ordering::Relaxed)
+    }
+
+    /// Stops relaying and joins all handler threads.
+    pub fn shutdown(mut self) {
+        self.halt();
+    }
+
+    fn halt(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+    }
+}
+
+impl Drop for NetFaultProxy {
+    fn drop(&mut self) {
+        self.halt();
+    }
+}
+
+const PROXY_POLL: Duration = Duration::from_millis(20);
+const PROXY_FRAME_TIMEOUT: Duration = Duration::from_secs(10);
+
+fn relay_conn(
+    mut client: TcpStream,
+    upstream_addr: SocketAddr,
+    plan: &NetFaultPlan,
+    stop: &AtomicBool,
+    ops: &AtomicUsize,
+) {
+    let _ = client.set_nodelay(true);
+    let Ok(mut upstream) = TcpStream::connect_timeout(&upstream_addr, PROXY_FRAME_TIMEOUT) else {
+        return;
+    };
+    let _ = upstream.set_nodelay(true);
+    let _ = upstream.set_read_timeout(Some(PROXY_FRAME_TIMEOUT));
+    loop {
+        // Poll for the next request's first byte so shutdown is observed.
+        let _ = client.set_read_timeout(Some(PROXY_POLL));
+        let mut header = [0u8; HEADER_LEN];
+        match client.read(&mut header[..1]) {
+            Ok(0) => return,
+            Ok(_) => {}
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if stop.load(Ordering::Relaxed) {
+                    return;
+                }
+                continue;
+            }
+            Err(_) => return,
+        }
+        let _ = client.set_read_timeout(Some(PROXY_FRAME_TIMEOUT));
+        if client.read_exact(&mut header[1..]).is_err() {
+            return;
+        }
+        let Ok(request) = read_frame_after_header(&mut client, &header, &REQUEST_MAGIC) else {
+            return;
+        };
+        // The global operation index: stable across client reconnects.
+        let op = ops.fetch_add(1, Ordering::Relaxed);
+        if write_frame(&mut upstream, &REQUEST_MAGIC, &request).is_err() {
+            return;
+        }
+        let Ok(response) = read_frame(&mut upstream, &RESPONSE_MAGIC) else {
+            return;
+        };
+        let bytes = encode_frame(&RESPONSE_MAGIC, &response);
+        match plan.faults.get(&op).copied() {
+            None => {
+                if client.write_all(&bytes).is_err() {
+                    return;
+                }
+            }
+            Some(NetFault::Latency(ms)) => {
+                std::thread::sleep(Duration::from_millis(ms));
+                if client.write_all(&bytes).is_err() {
+                    return;
+                }
+            }
+            Some(NetFault::DropAfter(n)) => {
+                let _ = client.write_all(&bytes[..n.min(bytes.len())]);
+                return; // drops both connections
+            }
+            Some(NetFault::Stall) => {
+                // Swallow the response; the client's read deadline fires.
+                // Keep relaying: the retried request arrives on a new
+                // connection (handled by a fresh relay thread), while this
+                // one idles until the client closes or shutdown.
+                continue;
+            }
+            Some(NetFault::Duplicate) => {
+                if client.write_all(&bytes).is_err() || client.write_all(&bytes).is_err() {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::MemoryStore;
+    use crate::remote::{RemoteStore, StoreServer};
+    use crate::retry::RetryPolicy;
+    use crate::MapStore;
+    use std::time::Instant;
+
+    fn rig(plan: NetFaultPlan, policy: RetryPolicy) -> (StoreServer, NetFaultProxy, RemoteStore) {
+        let server = StoreServer::spawn("127.0.0.1:0", Box::new(MemoryStore::new())).unwrap();
+        let proxy = NetFaultProxy::spawn(server.local_addr(), plan).unwrap();
+        let client = RemoteStore::connect(proxy.local_addr(), policy).unwrap();
+        (server, proxy, client)
+    }
+
+    fn fast_policy() -> RetryPolicy {
+        RetryPolicy::new(5, Duration::from_millis(250), Duration::ZERO)
+    }
+
+    #[test]
+    fn clean_relay_is_transparent() {
+        let (server, proxy, mut client) = rig(NetFaultPlan::none(), fast_policy());
+        client.put("a", vec![1, 2]).unwrap();
+        assert_eq!(client.get("a").unwrap(), Some(vec![1, 2]));
+        assert_eq!(client.counters().retries(), 0);
+        assert_eq!(proxy.ops_relayed(), 2);
+        proxy.shutdown();
+        server.shutdown();
+    }
+
+    #[test]
+    fn injected_latency_delays_but_does_not_fail() {
+        let (server, proxy, mut client) = rig(NetFaultPlan::none().latency(0, 60), fast_policy());
+        let start = Instant::now();
+        client.put("a", vec![1]).unwrap();
+        assert!(start.elapsed() >= Duration::from_millis(55), "latency must be injected");
+        assert_eq!(client.counters().retries(), 0, "latency under the deadline never retries");
+        proxy.shutdown();
+        server.shutdown();
+    }
+
+    #[test]
+    fn torn_response_reconnects_and_retries_transparently() {
+        // Tear op 1's response mid-frame: the client sees a partial frame +
+        // disconnect, reconnects, and the retry (op 2) succeeds.
+        let (server, proxy, mut client) = rig(NetFaultPlan::none().drop_after(1, 9), fast_policy());
+        client.put("a", vec![7; 128]).unwrap(); // op 0: clean
+        assert_eq!(client.get("a").unwrap(), Some(vec![7; 128])); // ops 1 (torn) + 2
+        let counters = client.counters();
+        assert_eq!(counters.retries(), 1);
+        assert!(counters.connects() >= 2, "torn response must force a reconnect");
+        assert_eq!(proxy.ops_relayed(), 3);
+        proxy.shutdown();
+        server.shutdown();
+    }
+
+    #[test]
+    fn mid_transfer_disconnect_retries_the_write() {
+        // Drop op 0 with zero bytes forwarded: a pure disconnect. The put
+        // retries and must still land exactly once in the backing store.
+        let backing = MemoryStore::new();
+        let server = StoreServer::spawn("127.0.0.1:0", Box::new(backing.clone())).unwrap();
+        let proxy =
+            NetFaultProxy::spawn(server.local_addr(), NetFaultPlan::none().drop_after(0, 0))
+                .unwrap();
+        let mut client = RemoteStore::connect(proxy.local_addr(), fast_policy()).unwrap();
+        client.put("k", vec![3; 32]).unwrap();
+        assert_eq!(backing.get("k").unwrap(), Some(vec![3; 32]));
+        assert_eq!(client.counters().retries(), 1);
+        proxy.shutdown();
+        server.shutdown();
+    }
+
+    #[test]
+    fn stalled_response_times_out_and_retries() {
+        let (server, proxy, mut client) = rig(NetFaultPlan::none().stall(0, 0), fast_policy());
+        let start = Instant::now();
+        client.put("a", vec![5]).unwrap();
+        let counters = client.counters();
+        assert!(start.elapsed() >= Duration::from_millis(200), "deadline must have fired");
+        assert_eq!(counters.timeouts(), 1);
+        assert_eq!(counters.retries(), 1);
+        proxy.shutdown();
+        server.shutdown();
+    }
+
+    #[test]
+    fn duplicated_response_desync_is_detected_and_healed() {
+        let (server, proxy, mut client) = rig(NetFaultPlan::none().duplicate(0), fast_policy());
+        client.put("a", vec![1]).unwrap(); // op 0: succeeds, leaves a stale dup behind
+                                           // The next read hits the stale duplicate (out-of-sequence), drops
+                                           // the connection, and the retry returns the right answer.
+        assert_eq!(client.get("a").unwrap(), Some(vec![1]));
+        let counters = client.counters();
+        assert_eq!(counters.retries(), 1, "desync costs exactly one retry");
+        assert!(counters.connects() >= 2);
+        proxy.shutdown();
+        server.shutdown();
+    }
+
+    #[test]
+    fn exhausted_retries_surface_a_transient_error() {
+        let plan = NetFaultPlan::none().drop_all(0..64);
+        let (server, proxy, mut client) =
+            rig(plan, RetryPolicy::new(3, Duration::from_millis(250), Duration::ZERO));
+        let err = client.put("a", vec![1]).unwrap_err();
+        assert!(err.is_transient(), "exhausted transport retries stay transient: {err:?}");
+        assert_eq!(client.counters().retries(), 2, "attempts - 1 retries");
+        proxy.shutdown();
+        server.shutdown();
+    }
+}

@@ -1,0 +1,100 @@
+//! Integration test for the `ags-store-server` binary: spawn it as a real
+//! child process, checkpoint over the wire, kill it, respawn over the same
+//! file root, and verify the data survived the process boundary.
+
+use ags_store::{MapStore, RemoteStore, RetryPolicy};
+use std::io::{BufRead, BufReader};
+use std::process::{Child, ChildStdin, Command, Stdio};
+use std::time::Duration;
+
+struct ServerProc {
+    child: Child,
+    stdin: Option<ChildStdin>,
+    addr: String,
+}
+
+impl ServerProc {
+    fn spawn(extra_args: &[&str]) -> Self {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_ags-store-server"))
+            .args(["--addr", "127.0.0.1:0"])
+            .args(extra_args)
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .spawn()
+            .expect("spawn ags-store-server");
+        let stdin = child.stdin.take();
+        let stdout = child.stdout.take().expect("child stdout");
+        let mut lines = BufReader::new(stdout).lines();
+        let banner = lines.next().expect("server must print its address").expect("readable stdout");
+        let addr = banner
+            .strip_prefix("listening on ")
+            .unwrap_or_else(|| panic!("unexpected banner: {banner}"))
+            .to_string();
+        Self { child, stdin, addr }
+    }
+
+    /// Clean shutdown: close the stdin pipe and wait.
+    fn stop(mut self) {
+        drop(self.stdin.take());
+        let _ = self.child.wait();
+    }
+
+    /// Crash: kill the process outright.
+    fn kill(mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// Never leave a child process behind, even when a test panics.
+impl Drop for ServerProc {
+    fn drop(&mut self) {
+        drop(self.stdin.take());
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+fn policy() -> RetryPolicy {
+    RetryPolicy::new(4, Duration::from_millis(1000), Duration::from_millis(1))
+}
+
+#[test]
+fn binary_serves_the_protocol_and_stops_on_stdin_eof() {
+    let server = ServerProc::spawn(&[]);
+    let mut client = RemoteStore::connect(server.addr.as_str(), policy()).unwrap();
+    client.put("s0/manifest/000", vec![1, 2, 3]).unwrap();
+    assert_eq!(client.get("s0/manifest/000").unwrap(), Some(vec![1, 2, 3]));
+    assert_eq!(client.keys("s0/").unwrap(), vec!["s0/manifest/000".to_string()]);
+    client.delete("s0/manifest/000").unwrap();
+    assert_eq!(client.get("s0/manifest/000").unwrap(), None);
+    server.stop();
+}
+
+#[test]
+fn file_backed_data_survives_a_server_crash_and_respawn() {
+    let root = std::env::temp_dir().join(format!("ags_store_server_{}", std::process::id()));
+    let root_arg = root.to_str().expect("utf-8 temp path");
+
+    let server = ServerProc::spawn(&["--root", root_arg]);
+    let mut client = RemoteStore::connect(server.addr.as_str(), policy()).unwrap();
+    client.put("s0/base/00000000000000000001", vec![0xaa; 256]).unwrap();
+    client.put("s0/manifest/00000000000000000000", vec![0xbb; 32]).unwrap();
+    server.kill();
+
+    // A fresh process over the same root (new ephemeral port) serves the
+    // same records: durability across the process boundary, which a
+    // migrated stream's restore depends on.
+    let server = ServerProc::spawn(&["--root", root_arg]);
+    let client = RemoteStore::connect(server.addr.as_str(), policy()).unwrap();
+    assert_eq!(client.get("s0/base/00000000000000000001").unwrap(), Some(vec![0xaa; 256]));
+    assert_eq!(
+        client.keys("s0/").unwrap(),
+        vec![
+            "s0/base/00000000000000000001".to_string(),
+            "s0/manifest/00000000000000000000".to_string()
+        ]
+    );
+    server.stop();
+    let _ = std::fs::remove_dir_all(&root);
+}
